@@ -1,0 +1,85 @@
+#include "bench_util.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace uvmsim::bench
+{
+
+std::vector<std::string>
+selectedBenchmarks(const Options &opts)
+{
+    return opts.getList("benchmarks", allWorkloadNames());
+}
+
+WorkloadParams
+workloadParams(const Options &opts)
+{
+    WorkloadParams params;
+    params.size_scale = opts.getDouble("scale", 1.0);
+    params.seed = opts.getUint("seed", 42);
+    return params;
+}
+
+void
+printHeader(const std::string &figure, const std::string &what)
+{
+    std::printf("# %s\n", figure.c_str());
+    std::printf("# %s\n", what.c_str());
+    std::printf("# uvmsim -- reproduction of Ganguly et al., ISCA'19\n");
+}
+
+void
+printRow(const std::string &label, const std::vector<std::string> &cells)
+{
+    std::printf("%-12s", label.c_str());
+    for (const auto &cell : cells)
+        std::printf(" %14s", cell.c_str());
+    std::printf("\n");
+    std::fflush(stdout);
+}
+
+std::string
+fmt(double v, int precision)
+{
+    std::ostringstream oss;
+    oss.setf(std::ios::fixed);
+    oss.precision(precision);
+    oss << v;
+    return oss.str();
+}
+
+std::string
+fmtInt(double v)
+{
+    return std::to_string(static_cast<long long>(v + 0.5));
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+RunResult
+run(const std::string &benchmark, const SimConfig &config,
+    const WorkloadParams &params)
+{
+    std::fprintf(stderr, "[bench] %-10s prefetch=%s/%s evict=%s "
+                 "oversub=%.0f%% buffer=%.0f%% reserve=%.0f%%...\n",
+                 benchmark.c_str(),
+                 toString(config.prefetcher_before).c_str(),
+                 toString(config.prefetcher_after).c_str(),
+                 toString(config.eviction).c_str(),
+                 config.oversubscription_percent,
+                 config.free_buffer_percent, config.lru_reserve_percent);
+    return runBenchmark(benchmark, config, params);
+}
+
+} // namespace uvmsim::bench

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Shared helpers for the per-figure bench harnesses.
+ *
+ * Every binary in bench/ regenerates one table or figure of the paper:
+ * it sweeps the relevant configurations over the seven benchmarks and
+ * prints the same rows/series the paper reports, normalized the same
+ * way.  Command-line options (see printStandardOptions) select subsets
+ * for quick runs.
+ */
+
+#ifndef UVMSIM_BENCH_BENCH_UTIL_HH
+#define UVMSIM_BENCH_BENCH_UTIL_HH
+
+#include <string>
+#include <vector>
+
+#include "api/simulator.hh"
+#include "sim/options.hh"
+
+namespace uvmsim::bench
+{
+
+/** The benchmark list selected by --benchmarks (default: all 7). */
+std::vector<std::string> selectedBenchmarks(const Options &opts);
+
+/** Workload parameters honoring --scale / --seed. */
+WorkloadParams workloadParams(const Options &opts);
+
+/** Print the standard header: figure id, description, options. */
+void printHeader(const std::string &figure, const std::string &what);
+
+/** Print one aligned row: first column the label, then values. */
+void printRow(const std::string &label,
+              const std::vector<std::string> &cells);
+
+/** Format helpers. */
+std::string fmt(double v, int precision = 3);
+std::string fmtInt(double v);
+
+/** Geometric mean of positive values. */
+double geomean(const std::vector<double> &values);
+
+/**
+ * Run one benchmark under a config, echoing a progress line to
+ * stderr so long sweeps are watchable.
+ */
+RunResult run(const std::string &benchmark, const SimConfig &config,
+              const WorkloadParams &params);
+
+} // namespace uvmsim::bench
+
+#endif // UVMSIM_BENCH_BENCH_UTIL_HH

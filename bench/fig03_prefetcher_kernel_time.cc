@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Figure 3: kernel execution time with different hardware prefetching
+ * schemes against no hardware prefetching (no over-subscription).
+ *
+ * Prints per-benchmark kernel time in milliseconds for none/Rp/SLp/
+ * TBNp plus the speedup of each prefetcher over on-demand paging --
+ * the paper's bars are exactly these speedups.  Expected shape: every
+ * prefetcher beats none; TBNp is the best.
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "bench_util.hh"
+
+using namespace uvmsim;
+
+int
+main(int argc, char **argv)
+{
+    Options opts(argc, argv);
+    auto params = bench::workloadParams(opts);
+
+    bench::printHeader("Figure 3",
+                       "kernel execution time (ms) per prefetcher, "
+                       "working set fits in device memory");
+
+    const std::vector<PrefetcherKind> prefetchers = {
+        PrefetcherKind::none, PrefetcherKind::random,
+        PrefetcherKind::sequentialLocal,
+        PrefetcherKind::treeBasedNeighborhood};
+
+    bench::printRow("benchmark", {"none_ms", "Rp_ms", "SLp_ms",
+                                  "TBNp_ms", "Rp_x", "SLp_x", "TBNp_x"});
+
+    std::map<PrefetcherKind, std::vector<double>> speedups;
+    for (const std::string &name : bench::selectedBenchmarks(opts)) {
+        std::map<PrefetcherKind, double> ms;
+        for (PrefetcherKind pf : prefetchers) {
+            SimConfig cfg;
+            cfg.prefetcher_before = pf;
+            cfg.prefetcher_after = pf;
+            cfg.oversubscription_percent = 0.0;
+            ms[pf] = bench::run(name, cfg, params).kernelTimeMs();
+        }
+        double base = ms[PrefetcherKind::none];
+        for (PrefetcherKind pf : prefetchers) {
+            if (pf != PrefetcherKind::none)
+                speedups[pf].push_back(base / ms[pf]);
+        }
+        bench::printRow(
+            name,
+            {bench::fmt(ms[PrefetcherKind::none]),
+             bench::fmt(ms[PrefetcherKind::random]),
+             bench::fmt(ms[PrefetcherKind::sequentialLocal]),
+             bench::fmt(ms[PrefetcherKind::treeBasedNeighborhood]),
+             bench::fmt(base / ms[PrefetcherKind::random], 2),
+             bench::fmt(base / ms[PrefetcherKind::sequentialLocal], 2),
+             bench::fmt(base / ms[PrefetcherKind::treeBasedNeighborhood],
+                        2)});
+    }
+
+    bench::printRow(
+        "geomean",
+        {"-", "-", "-", "-",
+         bench::fmt(bench::geomean(speedups[PrefetcherKind::random]), 2),
+         bench::fmt(
+             bench::geomean(speedups[PrefetcherKind::sequentialLocal]),
+             2),
+         bench::fmt(bench::geomean(
+                        speedups[PrefetcherKind::treeBasedNeighborhood]),
+                    2)});
+    std::printf("# paper shape: TBNp best everywhere; all prefetchers "
+                ">> on-demand paging\n");
+    return 0;
+}

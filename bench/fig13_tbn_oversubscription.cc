@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Figure 13: sensitivity of the TBNe+TBNp combination to the memory
+ * over-subscription percentage.
+ *
+ * Expected shape: backprop and pathfinder flat (streaming); the other
+ * benchmarks scale roughly linearly; nw degrades by an order of
+ * magnitude because of its localized sparse reuse (Sec. 7.3).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace uvmsim;
+
+int
+main(int argc, char **argv)
+{
+    Options opts(argc, argv);
+    auto params = bench::workloadParams(opts);
+
+    bench::printHeader("Figure 13",
+                       "TBNe+TBNp slowdown vs over-subscription "
+                       "percentage (relative to fits-in-memory)");
+
+    const std::vector<double> levels = {110.0, 125.0, 150.0};
+
+    bench::printRow("benchmark",
+                    {"fits_ms", "110%", "125%", "150%"});
+
+    for (const std::string &name : bench::selectedBenchmarks(opts)) {
+        SimConfig fits;
+        fits.prefetcher_before = PrefetcherKind::treeBasedNeighborhood;
+        fits.prefetcher_after = PrefetcherKind::treeBasedNeighborhood;
+        double base_ms = bench::run(name, fits, params).kernelTimeMs();
+
+        std::vector<std::string> cells{bench::fmt(base_ms)};
+        for (double pct : levels) {
+            SimConfig cfg = fits;
+            cfg.eviction = EvictionKind::treeBasedNeighborhood;
+            cfg.oversubscription_percent = pct;
+            double ms = bench::run(name, cfg, params).kernelTimeMs();
+            cells.push_back(bench::fmt(ms / base_ms, 2) + "x");
+        }
+        bench::printRow(name, cells);
+    }
+    std::printf("# paper shape: streaming flat, others roughly linear, "
+                "nw degrades dramatically\n");
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Table 1: PCI-e read bandwidth measured for different transfer sizes.
+ *
+ * Regenerates the paper's calibration table from the interconnect
+ * model (the interpolated model reproduces the measurements exactly;
+ * the affine fit is printed alongside as the ablation), then verifies
+ * the link achieves those numbers end-to-end by timing real transfers
+ * through the event queue.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "interconnect/pcie_link.hh"
+
+using namespace uvmsim;
+
+int
+main(int argc, char **argv)
+{
+    Options opts(argc, argv);
+    (void)opts;
+
+    bench::printHeader(
+        "Table 1",
+        "PCI-e read bandwidth (GB/s) vs transfer size, GTX 1080ti "
+        "PCI-e 3.0 16x calibration");
+
+    PcieBandwidthModel interp(PcieModelKind::interpolated);
+    PcieBandwidthModel affine(PcieModelKind::affine);
+
+    bench::printRow("size_KB", {"paper_GBps", "model_GBps",
+                                "affine_GBps", "measured_GBps"});
+
+    for (const auto &point : PcieBandwidthModel::table1Calibration()) {
+        // "measured": time an actual transfer through a live link.
+        EventQueue eq;
+        PcieLink link(eq, interp);
+        link.transfer(PcieDir::hostToDevice, point.bytes, [] {});
+        eq.run();
+        double measured =
+            static_cast<double>(point.bytes) /
+            ticksToSeconds(eq.curTick()) / 1e9;
+
+        bench::printRow(
+            std::to_string(point.bytes / sizeKiB),
+            {bench::fmt(point.gb_per_sec, 4),
+             bench::fmt(interp.bandwidthGBps(point.bytes), 4),
+             bench::fmt(affine.bandwidthGBps(point.bytes), 4),
+             bench::fmt(measured, 4)});
+    }
+
+    std::printf("\n# interpolation between calibration points "
+                "(log2-size linear):\n");
+    bench::printRow("size_KB", {"model_GBps"});
+    for (std::uint64_t s = kib(4); s <= mib(1); s *= 2)
+        bench::printRow(std::to_string(s / sizeKiB),
+                        {bench::fmt(interp.bandwidthGBps(s), 4)});
+    return 0;
+}

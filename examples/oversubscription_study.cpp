@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Example: study how a workload degrades as its working set outgrows
+ * device memory, under the naive policy pair and under the paper's
+ * tree-based pair.
+ *
+ * This is the scenario that motivates the paper: a data-intensive
+ * kernel whose footprint exceeds GPU memory, where UVM keeps it
+ * running -- at a cost that depends entirely on the prefetcher /
+ * eviction interplay.
+ *
+ * Usage:
+ *   oversubscription_study [--workload=srad] [--levels=105,110,125,150]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "api/simulator.hh"
+#include "sim/options.hh"
+
+using namespace uvmsim;
+
+namespace
+{
+
+double
+runOnce(const std::string &name, double oversub, bool tree_policies)
+{
+    SimConfig cfg;
+    cfg.oversubscription_percent = oversub;
+    cfg.prefetcher_before = PrefetcherKind::treeBasedNeighborhood;
+    if (tree_policies) {
+        cfg.prefetcher_after = PrefetcherKind::treeBasedNeighborhood;
+        cfg.eviction = EvictionKind::treeBasedNeighborhood;
+    } else {
+        cfg.prefetcher_after = PrefetcherKind::none;
+        cfg.eviction = EvictionKind::lru4k;
+    }
+    return runBenchmark(name, cfg).kernelTimeMs();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts(argc, argv);
+    std::string name = opts.get("workload", "srad");
+    auto levels = opts.getList("levels", {"105", "110", "125", "150"});
+
+    std::printf("over-subscription study: %s\n", name.c_str());
+    std::printf("%-10s %16s %16s %10s\n", "oversub", "LRU4K+none_ms",
+                "TBNe+TBNp_ms", "gain");
+
+    SimConfig fits;
+    double fits_ms = runBenchmark(name, fits).kernelTimeMs();
+    std::printf("%-10s %16.3f %16.3f %10s\n", "fits", fits_ms, fits_ms,
+                "-");
+
+    for (const std::string &level : levels) {
+        double pct = std::strtod(level.c_str(), nullptr);
+        double naive = runOnce(name, pct, false);
+        double tree = runOnce(name, pct, true);
+        std::printf("%-10s %16.3f %16.3f %9.2fx\n",
+                    (level + "%").c_str(), naive, tree, naive / tree);
+    }
+
+    std::printf("\nThe tree-based pair keeps the slowdown near the\n"
+                "bandwidth bound; the naive pair collapses into 4KB\n"
+                "on-demand paging plus LRU thrashing.\n");
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Example: classify each benchmark's page access pattern the way the
+ * paper's Sec. 7 does when explaining its results -- streaming vs
+ * iterative reuse vs sparse-localized -- and show how the class
+ * predicts which eviction policy wins.
+ *
+ * Usage:
+ *   pattern_analysis [--benchmarks=hotspot,nw,...] [--scale=0.5]
+ */
+
+#include <cstdio>
+
+#include "api/simulator.hh"
+#include "sim/options.hh"
+
+using namespace uvmsim;
+
+int
+main(int argc, char **argv)
+{
+    Options opts(argc, argv);
+    auto names = opts.getList("benchmarks", allWorkloadNames());
+    WorkloadParams params;
+    params.size_scale = opts.getDouble("scale", 0.5);
+
+    std::printf("%-11s %10s %8s %9s %9s %8s  %s\n", "benchmark",
+                "accesses", "pages", "overlap", "spread", "reuse_d",
+                "class");
+
+    for (const std::string &name : names) {
+        auto workload = makeWorkload(name, params);
+        SimConfig cfg;
+        Simulator sim(cfg);
+        AccessPatternAnalyzer analyzer;
+        attachAnalyzer(sim, analyzer);
+        sim.run(*workload);
+
+        std::printf("%-11s %10llu %8llu %9.2f %9.2f %8llu  %s\n",
+                    name.c_str(),
+                    static_cast<unsigned long long>(
+                        analyzer.totalAccesses()),
+                    static_cast<unsigned long long>(
+                        analyzer.uniquePages()),
+                    analyzer.meanInterKernelOverlap(),
+                    analyzer.meanSpreadRatio(),
+                    static_cast<unsigned long long>(
+                        analyzer.medianReuseDistance()),
+                    analyzer.classString().c_str());
+    }
+
+    std::printf(
+        "\nReading the classes the paper's way:\n"
+        "  streaming        -> insensitive to eviction policy\n"
+        "  iterative-reuse  -> LRU thrashes; reservation/TBNe help\n"
+        "  sparse-localized -> prefers small (SLe) granularity\n");
+    return 0;
+}

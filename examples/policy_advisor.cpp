@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Example: exhaustively evaluate every prefetcher x eviction pairing
+ * for one workload at one over-subscription level and report the
+ * ranking -- the "which knobs should my driver use?" question the
+ * paper answers for its suite.
+ *
+ * Usage:
+ *   policy_advisor [--workload=nw] [--oversubscription=110]
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "api/simulator.hh"
+#include "sim/options.hh"
+
+using namespace uvmsim;
+
+int
+main(int argc, char **argv)
+{
+    Options opts(argc, argv);
+    std::string name = opts.get("workload", "nw");
+    double oversub = opts.getDouble("oversubscription", 110.0);
+
+    const std::vector<PrefetcherKind> prefetchers = {
+        PrefetcherKind::none, PrefetcherKind::random,
+        PrefetcherKind::sequentialLocal,
+        PrefetcherKind::treeBasedNeighborhood};
+    const std::vector<EvictionKind> evictions = {
+        EvictionKind::lru4k, EvictionKind::random4k,
+        EvictionKind::sequentialLocal,
+        EvictionKind::treeBasedNeighborhood, EvictionKind::lru2mb};
+
+    struct Entry
+    {
+        std::string label;
+        double ms;
+        double thrashed;
+    };
+    std::vector<Entry> entries;
+
+    for (PrefetcherKind pf : prefetchers) {
+        for (EvictionKind ev : evictions) {
+            SimConfig cfg;
+            cfg.prefetcher_before =
+                PrefetcherKind::treeBasedNeighborhood;
+            cfg.prefetcher_after = pf;
+            cfg.eviction = ev;
+            cfg.oversubscription_percent = oversub;
+            RunResult r = runBenchmark(name, cfg);
+            entries.push_back(Entry{
+                toString(ev) + "+" + toString(pf),
+                r.kernelTimeMs(), r.pagesThrashed()});
+            std::fprintf(stderr, "evaluated %s\n",
+                         entries.back().label.c_str());
+        }
+    }
+
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) { return a.ms < b.ms; });
+
+    std::printf("policy ranking for %s at %.0f%% working set\n",
+                name.c_str(), oversub);
+    std::printf("%-4s %-16s %12s %12s %10s\n", "rank",
+                "eviction+prefetch", "kernel_ms", "thrashed",
+                "vs_best");
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        std::printf("%-4zu %-16s %12.3f %12.0f %9.2fx\n", i + 1,
+                    entries[i].label.c_str(), entries[i].ms,
+                    entries[i].thrashed, entries[i].ms / entries[0].ms);
+    }
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Quickstart: run one benchmark under the paper's best configuration
+ * (TBNp prefetch + TBNe pre-eviction) at 110% over-subscription and
+ * print the headline statistics.
+ *
+ * Usage:
+ *   quickstart [--workload=hotspot] [--oversubscription=110]
+ *              [--prefetcher=TBNp] [--eviction=TBNe]
+ */
+
+#include <cstdio>
+
+#include "api/simulator.hh"
+#include "sim/options.hh"
+
+using namespace uvmsim;
+
+int
+main(int argc, char **argv)
+{
+    Options opts(argc, argv);
+
+    SimConfig cfg;
+    cfg.oversubscription_percent =
+        opts.getDouble("oversubscription", 110.0);
+    cfg.prefetcher_before =
+        prefetcherFromString(opts.get("prefetcher", "TBNp"));
+    cfg.prefetcher_after = cfg.prefetcher_before;
+    cfg.eviction = evictionFromString(opts.get("eviction", "TBNe"));
+
+    std::string name = opts.get("workload", "hotspot");
+    RunResult r = runBenchmark(name, cfg);
+
+    std::printf("workload            : %s\n", r.workload.c_str());
+    std::printf("footprint           : %.1f MB\n",
+                static_cast<double>(r.footprint_bytes) / (1 << 20));
+    std::printf("device memory       : %.1f MB\n",
+                static_cast<double>(r.device_memory_bytes) / (1 << 20));
+    std::printf("kernel time         : %.3f ms\n", r.kernelTimeMs());
+    std::printf("far faults          : %.0f\n", r.farFaults());
+    std::printf("pages migrated      : %.0f\n", r.pagesMigrated());
+    std::printf("pages prefetched    : %.0f\n",
+                r.stat("gmmu.pages_prefetched"));
+    std::printf("pages evicted       : %.0f\n", r.pagesEvicted());
+    std::printf("pages thrashed      : %.0f\n", r.pagesThrashed());
+    std::printf("avg PCI-e read BW   : %.2f GB/s\n",
+                r.avgReadBandwidthGBps());
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Example: programmer-driven prefetch (cudaMemPrefetchAsync) versus
+ * hardware prefetching.
+ *
+ * The paper (Sec. 3) notes that CUDA exposes an asynchronous
+ * user-directed prefetch, but that deciding what/when to prefetch
+ * still burdens the programmer -- hardware prefetchers exist to take
+ * that burden away.  This example quantifies the trade-off: when the
+ * working set fits, prefetching the whole footprint up front overlaps
+ * all migration with execution; under over-subscription the same call
+ * floods device memory and the eviction policy has to clean up.
+ *
+ * Usage:
+ *   user_directed_prefetch [--workload=srad]
+ */
+
+#include <cstdio>
+
+#include "api/simulator.hh"
+#include "sim/options.hh"
+
+using namespace uvmsim;
+
+namespace
+{
+
+void
+report(const char *label, const RunResult &r)
+{
+    std::printf("%-28s %10.3f ms %8.0f faults %10.0f prefetched\n",
+                label, r.kernelTimeMs(), r.farFaults(),
+                r.stat("gmmu.pages_prefetched"));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts(argc, argv);
+    std::string name = opts.get("workload", "srad");
+
+    std::printf("user-directed vs hardware prefetch: %s\n\n",
+                name.c_str());
+
+    // 1. Working set fits.
+    std::printf("-- working set fits in device memory --\n");
+    {
+        SimConfig cfg;
+        cfg.prefetcher_before = PrefetcherKind::none;
+        cfg.prefetcher_after = PrefetcherKind::none;
+        report("on-demand 4KB", runBenchmark(name, cfg));
+
+        cfg.prefetcher_before = PrefetcherKind::treeBasedNeighborhood;
+        cfg.prefetcher_after = PrefetcherKind::treeBasedNeighborhood;
+        report("hardware TBNp", runBenchmark(name, cfg));
+
+        cfg.prefetcher_before = PrefetcherKind::none;
+        cfg.prefetcher_after = PrefetcherKind::none;
+        cfg.user_prefetch_footprint = true;
+        report("cudaMemPrefetchAsync(all)", runBenchmark(name, cfg));
+    }
+
+    // 2. Working set at 125% of device memory.
+    std::printf("\n-- working set 125%% of device memory --\n");
+    {
+        SimConfig cfg;
+        cfg.oversubscription_percent = 125.0;
+        cfg.eviction = EvictionKind::treeBasedNeighborhood;
+
+        cfg.prefetcher_before = PrefetcherKind::treeBasedNeighborhood;
+        cfg.prefetcher_after = PrefetcherKind::treeBasedNeighborhood;
+        report("hardware TBNp + TBNe", runBenchmark(name, cfg));
+
+        cfg.prefetcher_before = PrefetcherKind::none;
+        cfg.prefetcher_after = PrefetcherKind::none;
+        cfg.user_prefetch_footprint = true;
+        report("prefetch(all) + TBNe", runBenchmark(name, cfg));
+    }
+
+    std::printf("\nUp-front prefetch wins when memory is plentiful; "
+                "under\nover-subscription it self-evicts and the "
+                "adaptive hardware\npath wins -- the paper's argument "
+                "for programmer-agnostic\nprefetching.\n");
+    return 0;
+}

@@ -1,0 +1,9 @@
+#!/bin/sh
+# Regenerate every paper artifact and the test log from a clean build.
+# Usage: scripts/regen_experiments.sh [build-dir]
+set -e
+BUILD=${1:-build}
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+ctest --test-dir "$BUILD" 2>&1 | tee test_output.txt
+for b in "$BUILD"/bench/*; do "$b"; done 2>&1 | tee bench_output.txt

@@ -1,0 +1,219 @@
+#include "access_pattern.hh"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace uvmsim
+{
+
+void
+AccessPatternAnalyzer::bitSet(std::size_t pos, int delta)
+{
+    if (pos >= bit_.size())
+        bit_.resize(std::max(pos + 1, bit_.size() * 2 + 64), 0);
+    for (std::size_t i = pos + 1; i <= bit_.size();
+         i += i & (~i + 1)) {
+        bit_[i - 1] += delta;
+    }
+}
+
+std::uint64_t
+AccessPatternAnalyzer::bitSum(std::size_t pos) const
+{
+    // Sum of marks in positions [0, pos].
+    std::uint64_t sum = 0;
+    std::size_t limit = std::min(pos + 1, bit_.size());
+    for (std::size_t i = limit; i > 0; i -= i & (~i + 1))
+        sum += static_cast<std::uint64_t>(bit_[i - 1]);
+    return sum;
+}
+
+void
+AccessPatternAnalyzer::recordAccess(Tick when, PageNum page,
+                                    bool is_write)
+{
+    (void)when;
+    std::size_t pos = static_cast<std::size_t>(total_accesses_);
+    ++total_accesses_;
+    writes_ += is_write;
+    current_kernel_pages_.insert(page);
+
+    auto it = last_pos_.find(page);
+    if (it != last_pos_.end()) {
+        std::size_t last = it->second - 1;
+        // Distinct pages touched strictly after `last`: those with
+        // marks in (last, pos).
+        std::uint64_t distance = bitSum(pos) - bitSum(last);
+        std::size_t bucket =
+            distance == 0
+                ? 0
+                : static_cast<std::size_t>(
+                      std::bit_width(distance) - 1);
+        if (bucket >= reuse_hist_.size())
+            bucket = reuse_hist_.size() - 1;
+        ++reuse_hist_[bucket];
+        ++reuse_samples_;
+        bitSet(last, -1);
+    }
+    bitSet(pos, +1);
+    last_pos_[page] = pos + 1;
+}
+
+void
+AccessPatternAnalyzer::kernelBoundary(std::uint64_t kernel_index)
+{
+    (void)kernel_index;
+    kernel_pages_.push_back(std::move(current_kernel_pages_));
+    current_kernel_pages_.clear();
+}
+
+double
+AccessPatternAnalyzer::writeFraction() const
+{
+    return total_accesses_
+               ? static_cast<double>(writes_) /
+                     static_cast<double>(total_accesses_)
+               : 0.0;
+}
+
+double
+AccessPatternAnalyzer::meanAccessesPerPage() const
+{
+    return uniquePages()
+               ? static_cast<double>(total_accesses_) /
+                     static_cast<double>(uniquePages())
+               : 0.0;
+}
+
+std::uint64_t
+AccessPatternAnalyzer::medianReuseDistance() const
+{
+    if (reuse_samples_ == 0)
+        return 0;
+    std::uint64_t half = reuse_samples_ / 2;
+    std::uint64_t running = 0;
+    for (std::size_t bucket = 0; bucket < reuse_hist_.size(); ++bucket) {
+        running += reuse_hist_[bucket];
+        if (running > half)
+            return 1ull << bucket; // bucket lower bound
+    }
+    return 1ull << (reuse_hist_.size() - 1);
+}
+
+std::vector<double>
+AccessPatternAnalyzer::interKernelOverlap() const
+{
+    std::vector<double> out;
+    for (std::size_t k = 1; k < kernel_pages_.size(); ++k) {
+        const auto &prev = kernel_pages_[k - 1];
+        const auto &cur = kernel_pages_[k];
+        if (cur.empty()) {
+            out.push_back(0.0);
+            continue;
+        }
+        std::uint64_t shared = 0;
+        for (PageNum p : cur)
+            shared += prev.count(p);
+        out.push_back(static_cast<double>(shared) /
+                      static_cast<double>(cur.size()));
+    }
+    return out;
+}
+
+double
+AccessPatternAnalyzer::meanInterKernelOverlap() const
+{
+    auto overlaps = interKernelOverlap();
+    if (overlaps.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : overlaps)
+        sum += v;
+    return sum / static_cast<double>(overlaps.size());
+}
+
+std::vector<double>
+AccessPatternAnalyzer::kernelSpreadRatio() const
+{
+    std::vector<double> out;
+    for (const auto &pages : kernel_pages_) {
+        if (pages.size() < 2) {
+            out.push_back(1.0);
+            continue;
+        }
+        double span = static_cast<double>(*pages.rbegin() -
+                                          *pages.begin() + 1);
+        out.push_back(span / static_cast<double>(pages.size()));
+    }
+    return out;
+}
+
+double
+AccessPatternAnalyzer::meanSpreadRatio() const
+{
+    auto ratios = kernelSpreadRatio();
+    if (ratios.empty())
+        return 1.0;
+    double sum = 0.0;
+    for (double v : ratios)
+        sum += v;
+    return sum / static_cast<double>(ratios.size());
+}
+
+AccessPatternAnalyzer::PatternClass
+AccessPatternAnalyzer::classify() const
+{
+    // Heuristics mirroring the paper's Sec. 7 categories:
+    //  - sparse localized (nw, bfs): kernels re-touch prior pages
+    //    (overlap) across widely spaced bands (span >> unique);
+    //  - iterative reuse (hotspot, srad): successive kernels touch
+    //    mostly the same pages, densely;
+    //  - streaming (backprop, pathfinder, gemm): later kernels mostly
+    //    move on to fresh pages.
+    double overlap = meanInterKernelOverlap();
+    double spread = meanSpreadRatio();
+
+    if (spread >= 3.0 && overlap >= 0.4)
+        return PatternClass::sparseLocalized;
+    if (overlap >= 0.6)
+        return PatternClass::iterativeReuse;
+    if (overlap <= 0.55)
+        return PatternClass::streaming;
+    return PatternClass::mixed;
+}
+
+std::string
+AccessPatternAnalyzer::classString() const
+{
+    switch (classify()) {
+      case PatternClass::streaming:
+        return "streaming";
+      case PatternClass::iterativeReuse:
+        return "iterative-reuse";
+      case PatternClass::sparseLocalized:
+        return "sparse-localized";
+      case PatternClass::mixed:
+        return "mixed";
+    }
+    panic("unknown PatternClass");
+}
+
+std::string
+AccessPatternAnalyzer::report() const
+{
+    std::ostringstream oss;
+    oss << "accesses=" << total_accesses_
+        << " unique_pages=" << uniquePages()
+        << " touches/page=" << meanAccessesPerPage()
+        << " write_frac=" << writeFraction()
+        << " median_reuse_dist=" << medianReuseDistance()
+        << " inter_kernel_overlap=" << meanInterKernelOverlap()
+        << " spread_ratio=" << meanSpreadRatio()
+        << " class=" << classString();
+    return oss.str();
+}
+
+} // namespace uvmsim

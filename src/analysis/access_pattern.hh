@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Memory access pattern analysis.
+ *
+ * The paper's Sec. 7 explains every performance result through the
+ * benchmarks' page-access patterns: streaming (backprop, pathfinder),
+ * iterative reuse (hotspot, srad), and sparse-but-localized repeated
+ * access (nw).  This module computes those signatures from an access
+ * stream: per-page statistics, exact page-level LRU reuse distances
+ * (via a Fenwick tree, O(log n) per access), inter-kernel page
+ * overlap, per-kernel address spread, and a classification heuristic
+ * mirroring the paper's categories.
+ *
+ * Attach an analyzer to a Simulator with attachAnalyzer() (see
+ * examples/pattern_analysis.cpp), or feed it events directly.
+ */
+
+#ifndef UVMSIM_ANALYSIS_ACCESS_PATTERN_HH
+#define UVMSIM_ANALYSIS_ACCESS_PATTERN_HH
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "mem/types.hh"
+#include "sim/ticks.hh"
+
+namespace uvmsim
+{
+
+/** Collects and summarizes a page-access stream. */
+class AccessPatternAnalyzer
+{
+  public:
+    AccessPatternAnalyzer() = default;
+
+    /** Feed one completed page access. */
+    void recordAccess(Tick when, PageNum page, bool is_write);
+
+    /** Mark the end of a kernel (accesses so far belong to it). */
+    void kernelBoundary(std::uint64_t kernel_index);
+
+    // ---- aggregate results ----
+
+    /** Total accesses recorded. */
+    std::uint64_t totalAccesses() const { return total_accesses_; }
+
+    /** Distinct pages touched. */
+    std::uint64_t uniquePages() const { return last_pos_.size(); }
+
+    /** Fraction of accesses that were writes. */
+    double writeFraction() const;
+
+    /** Mean accesses per touched page. */
+    double meanAccessesPerPage() const;
+
+    /**
+     * Exact LRU stack (reuse) distances at page granularity,
+     * in distinct-pages units.  First touches are not counted.
+     */
+    const std::vector<std::uint64_t> &reuseDistanceCounts() const
+    {
+        return reuse_hist_;
+    }
+
+    /** Number of re-accesses (samples behind the reuse histogram). */
+    std::uint64_t reuseSamples() const { return reuse_samples_; }
+
+    /** Median reuse distance (0 when no re-accesses). */
+    std::uint64_t medianReuseDistance() const;
+
+    /**
+     * Fraction of pages of kernel k that were also touched by kernel
+     * k-1 (index 0 of the result corresponds to kernel 1).
+     */
+    std::vector<double> interKernelOverlap() const;
+
+    /** Mean of interKernelOverlap (0 with fewer than 2 kernels). */
+    double meanInterKernelOverlap() const;
+
+    /**
+     * Per-kernel address spread: (page span) / (unique pages), >= 1.
+     * Near 1 means dense; large means widely spaced bands (Fig. 12).
+     */
+    std::vector<double> kernelSpreadRatio() const;
+
+    /** Mean of kernelSpreadRatio. */
+    double meanSpreadRatio() const;
+
+    /** The paper's qualitative access-pattern classes. */
+    enum class PatternClass
+    {
+        streaming,       //!< Pages touched once, front to back.
+        iterativeReuse,  //!< Full footprint re-touched per kernel.
+        sparseLocalized, //!< Widely spaced bands, repeated over time.
+        mixed,           //!< None of the clean signatures.
+    };
+
+    /** Classify the stream (heuristic; see implementation notes). */
+    PatternClass classify() const;
+
+    /** Human-readable class name. */
+    std::string classString() const;
+
+    /** One-paragraph textual report. */
+    std::string report() const;
+
+  private:
+    /** Fenwick tree over access positions for exact stack distances. */
+    void bitSet(std::size_t pos, int delta);
+    std::uint64_t bitSum(std::size_t pos) const;
+
+    std::vector<int> bit_;
+    std::map<PageNum, std::size_t> last_pos_; //!< page -> position+1
+    std::uint64_t total_accesses_ = 0;
+    std::uint64_t writes_ = 0;
+
+    /** Log2-bucketed reuse distance counts: bucket i holds distances
+     *  in [2^i, 2^(i+1)). */
+    std::vector<std::uint64_t> reuse_hist_ =
+        std::vector<std::uint64_t>(40, 0);
+    std::uint64_t reuse_samples_ = 0;
+
+    /** Per-kernel page sets (kernel index order). */
+    std::vector<std::set<PageNum>> kernel_pages_;
+    std::set<PageNum> current_kernel_pages_;
+};
+
+} // namespace uvmsim
+
+#endif // UVMSIM_ANALYSIS_ACCESS_PATTERN_HH

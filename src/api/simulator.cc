@@ -1,0 +1,222 @@
+#include "simulator.hh"
+
+#include <algorithm>
+#include <memory>
+
+#include "gpu/gpu.hh"
+#include "interconnect/pcie_link.hh"
+#include "mem/frame_allocator.hh"
+#include "mem/page_table.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+
+namespace uvmsim
+{
+
+double
+RunResult::stat(const std::string &name) const
+{
+    auto it = stats.find(name);
+    if (it == stats.end())
+        fatal("RunResult: unknown stat '%s'", name.c_str());
+    return it->second;
+}
+
+Simulator::Simulator(SimConfig config)
+    : config_(std::move(config))
+{
+    if (config_.oversubscription_percent < 0.0)
+        fatal("negative oversubscription percentage");
+    if (config_.free_buffer_percent < 0.0 ||
+        config_.free_buffer_percent >= 100.0)
+        fatal("free-page buffer percentage outside [0, 100)");
+    if (config_.lru_reserve_percent < 0.0 ||
+        config_.lru_reserve_percent >= 100.0)
+        fatal("LRU reservation percentage outside [0, 100)");
+}
+
+void
+Simulator::setAccessObserver(Gmmu::AccessObserver observer)
+{
+    access_observer_ = std::move(observer);
+}
+
+void
+Simulator::setKernelObserver(KernelObserver observer)
+{
+    kernel_observer_ = std::move(observer);
+}
+
+RunResult
+Simulator::run(Workload &workload)
+{
+    EventQueue eq;
+    stats::StatRegistry registry;
+
+    // 1. Let the workload make its managed allocations.
+    ManagedSpace space;
+    workload.setup(space);
+    std::uint64_t footprint = space.totalPaddedBytes();
+    if (footprint == 0)
+        fatal("workload '%s' allocated nothing", workload.name().c_str());
+
+    // 2. Size the device memory.
+    std::uint64_t device_bytes = config_.device_memory_bytes;
+    if (device_bytes == 0) {
+        if (config_.oversubscription_percent > 100.0) {
+            device_bytes = static_cast<std::uint64_t>(
+                static_cast<double>(footprint) * 100.0 /
+                config_.oversubscription_percent);
+        } else {
+            // Fits comfortably: footprint plus one large page of slack.
+            device_bytes = footprint + largePageSize;
+        }
+    }
+    device_bytes = roundUpToPages(device_bytes);
+    if (device_bytes < 16 * basicBlockSize)
+        fatal("device memory of %llu bytes is too small to model",
+              static_cast<unsigned long long>(device_bytes));
+
+    // 3. Assemble the system.
+    FrameAllocator frames(device_bytes / pageSize);
+    PageTable page_table;
+    PcieLink pcie(eq, PcieBandwidthModel(config_.pcie_model));
+
+    GmmuConfig gcfg;
+    gcfg.fault_handling_latency = config_.fault_latency;
+    gcfg.fault_batch_size = config_.fault_batch_size;
+    gcfg.fault_latency_jitter = config_.fault_latency_jitter;
+    gcfg.page_walk_latency =
+        config_.page_walk_cycles * config_.gpu.corePeriod();
+    gcfg.page_walkers = config_.page_walkers;
+    gcfg.mshr_entries = config_.mshr_entries;
+    gcfg.prefetcher_before = config_.prefetcher_before;
+    gcfg.prefetcher_after = config_.prefetcher_after;
+    gcfg.eviction = config_.eviction;
+    gcfg.free_buffer_pages = static_cast<std::uint64_t>(
+        config_.free_buffer_percent / 100.0 *
+        static_cast<double>(frames.totalFrames()));
+    gcfg.lru_reserve_fraction = config_.lru_reserve_percent / 100.0;
+    gcfg.whole_unit_writeback = config_.whole_unit_writeback;
+    gcfg.seed = config_.seed;
+
+    Gmmu gmmu(eq, pcie, frames, page_table, space, gcfg);
+    Gpu gpu(eq, config_.gpu, gmmu);
+
+    if (access_observer_)
+        gmmu.setAccessObserver(access_observer_);
+
+    frames.registerStats(registry);
+    page_table.registerStats(registry);
+    pcie.registerStats(registry);
+    gmmu.registerStats(registry);
+    gpu.registerStats(registry);
+
+    // 4. Chain the workload's kernels launch-by-launch.
+    struct Driver
+    {
+        Workload &wl;
+        Gpu &gpu;
+        EventQueue &eq;
+        KernelObserver &observer;
+        std::uint64_t index = 0;
+
+        void
+        launchNext()
+        {
+            Kernel *kernel = wl.nextKernel();
+            if (!kernel)
+                return;
+            Tick start = eq.curTick();
+            std::string name = kernel->name();
+            gpu.launch(*kernel, [this, start, name]() {
+                if (observer)
+                    observer(index, name, start, eq.curTick());
+                ++index;
+                launchNext();
+            });
+        }
+    };
+
+    if (config_.user_prefetch_footprint) {
+        // cudaMemPrefetchAsync over every allocation; the transfers
+        // overlap with kernel execution exactly as on real hardware.
+        for (const auto &alloc : space.allocations())
+            gmmu.prefetchRange(alloc->base(), alloc->paddedBytes());
+    }
+
+    Driver driver{workload, gpu, eq, kernel_observer_};
+    driver.launchNext();
+    eq.run();
+
+    if (gpu.busy())
+        panic("event queue drained while a kernel was still running");
+
+    // 5. Collect the results.
+    RunResult result;
+    result.workload = workload.name();
+    result.kernel_time = gpu.totalKernelTime();
+    result.final_time = eq.curTick();
+    result.device_memory_bytes = device_bytes;
+    result.footprint_bytes = footprint;
+    for (const stats::Stat *stat : registry.all())
+        result.stats[stat->name()] = stat->value();
+    return result;
+}
+
+RunResult
+runBenchmark(const std::string &workload_name, const SimConfig &config,
+             const WorkloadParams &params)
+{
+    auto workload = makeWorkload(workload_name, params);
+    Simulator sim(config);
+    return sim.run(*workload);
+}
+
+SeedSweepResult
+runBenchmarkSeeds(const std::string &workload_name,
+                  const SimConfig &config, const WorkloadParams &params,
+                  std::size_t num_seeds)
+{
+    if (num_seeds == 0)
+        fatal("runBenchmarkSeeds needs at least one seed");
+
+    SeedSweepResult agg;
+    agg.runs = num_seeds;
+    for (std::size_t i = 0; i < num_seeds; ++i) {
+        SimConfig cfg = config;
+        cfg.seed = config.seed + i;
+        RunResult r = runBenchmark(workload_name, cfg, params);
+        double us = r.kernelTimeUs();
+        agg.mean_kernel_time_us += us;
+        if (i == 0) {
+            agg.min_kernel_time_us = us;
+            agg.max_kernel_time_us = us;
+        } else {
+            agg.min_kernel_time_us = std::min(agg.min_kernel_time_us, us);
+            agg.max_kernel_time_us = std::max(agg.max_kernel_time_us, us);
+        }
+        for (const auto &[name, value] : r.stats)
+            agg.mean_stats[name] += value;
+    }
+    agg.mean_kernel_time_us /= static_cast<double>(num_seeds);
+    for (auto &[name, value] : agg.mean_stats)
+        value /= static_cast<double>(num_seeds);
+    return agg;
+}
+
+void
+attachAnalyzer(Simulator &sim, AccessPatternAnalyzer &analyzer)
+{
+    sim.setAccessObserver(
+        [&analyzer](Tick when, PageNum page, bool is_write) {
+            analyzer.recordAccess(when, page, is_write);
+        });
+    sim.setKernelObserver([&analyzer](std::uint64_t index,
+                                      const std::string &, Tick, Tick) {
+        analyzer.kernelBoundary(index);
+    });
+}
+
+} // namespace uvmsim

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * The public entry point of uvmsim.
+ *
+ * A Simulator assembles the full system -- event queue, managed
+ * address space, PCI-e link, device frames, page table, GMMU, GPU --
+ * from one SimConfig, runs a Workload's kernel sequence to completion,
+ * and returns every statistic the run produced.  Each run() call
+ * builds a fresh system, so results are independent and deterministic
+ * for a given (config, workload) pair.
+ *
+ * Typical use (see examples/quickstart.cpp):
+ *
+ *   SimConfig cfg;
+ *   cfg.prefetcher_before = PrefetcherKind::treeBasedNeighborhood;
+ *   cfg.eviction = EvictionKind::treeBasedNeighborhood;
+ *   cfg.oversubscription_percent = 110.0;
+ *   Simulator sim(cfg);
+ *   auto workload = makeWorkload("hotspot", {});
+ *   RunResult r = sim.run(*workload);
+ *   std::cout << r.kernelTimeUs() << "\n";
+ */
+
+#ifndef UVMSIM_API_SIMULATOR_HH
+#define UVMSIM_API_SIMULATOR_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "analysis/access_pattern.hh"
+#include "core/gmmu.hh"
+#include "core/policies.hh"
+#include "gpu/gpu_config.hh"
+#include "interconnect/bandwidth_model.hh"
+#include "sim/ticks.hh"
+#include "workloads/workload.hh"
+
+namespace uvmsim
+{
+
+/** Complete configuration of one simulation. */
+struct SimConfig
+{
+    /** GPU execution-model parameters. */
+    GpuConfig gpu;
+
+    /** Prefetcher while the working set fits (paper default: TBNp). */
+    PrefetcherKind prefetcher_before =
+        PrefetcherKind::treeBasedNeighborhood;
+
+    /** Prefetcher once over-subscribed (paper Secs. 4.2/7.1: none). */
+    PrefetcherKind prefetcher_after = PrefetcherKind::none;
+
+    /** Eviction policy under over-subscription. */
+    EvictionKind eviction = EvictionKind::lru4k;
+
+    /**
+     * Working set as a percentage of device memory.  0 or <=100 means
+     * the workload fits (device memory = footprint plus slack);
+     * 110 reproduces the paper's "110% of device memory" setup.
+     */
+    double oversubscription_percent = 0.0;
+
+    /** Free-page buffer as a percentage of device frames (Fig. 6/7). */
+    double free_buffer_percent = 0.0;
+
+    /** LRU cold-end reservation as a percentage of pages (Fig. 14). */
+    double lru_reserve_percent = 0.0;
+
+    /** Device memory override in bytes; 0 derives it from the rules
+     *  above. */
+    std::uint64_t device_memory_bytes = 0;
+
+    /** PCI-e timing model flavour. */
+    PcieModelKind pcie_model = PcieModelKind::interpolated;
+
+    /** Far-fault service latency (measured: 45us on a GTX 1080ti). */
+    Tick fault_latency = microseconds(45);
+
+    /** Faulting pages serviced per latency window (1 = strict serial). */
+    std::uint32_t fault_batch_size = 1;
+
+    /** Relative jitter on the fault latency (0 = deterministic 45us). */
+    double fault_latency_jitter = 0.0;
+
+    /** Block policies write whole units back (paper Sec. 5.1); false
+     *  ablates to dirty-page-only write-back. */
+    bool whole_unit_writeback = true;
+
+    /**
+     * Issue a cudaMemPrefetchAsync-style user-directed prefetch of the
+     * entire managed footprint before the first kernel launch (paper
+     * Sec. 3's programmer-driven alternative to hardware prefetch).
+     */
+    bool user_prefetch_footprint = false;
+
+    /** Page-walk latency in core cycles (Table 2: 100). */
+    std::uint32_t page_walk_cycles = 100;
+
+    /** Concurrent page-table walkers (0 = unlimited). */
+    std::uint32_t page_walkers = 8;
+
+    /** Far-fault MSHR capacity in distinct pages (0 = unlimited). */
+    std::uint32_t mshr_entries = 0;
+
+    /** Seed for all policy randomness. */
+    std::uint64_t seed = 1;
+};
+
+/** Everything a run produced. */
+struct RunResult
+{
+    /** Workload name. */
+    std::string workload;
+
+    /** Accumulated kernel execution time (the paper's metric). */
+    Tick kernel_time = 0;
+
+    /** End-of-simulation time. */
+    Tick final_time = 0;
+
+    /** Device memory the run used, in bytes. */
+    std::uint64_t device_memory_bytes = 0;
+
+    /** Managed footprint (padded), in bytes. */
+    std::uint64_t footprint_bytes = 0;
+
+    /** Every registered statistic by name. */
+    std::map<std::string, double> stats;
+
+    /** Kernel time in microseconds. */
+    double kernelTimeUs() const { return ticksToMicroseconds(kernel_time); }
+
+    /** Kernel time in milliseconds. */
+    double kernelTimeMs() const { return ticksToMilliseconds(kernel_time); }
+
+    /** Look up a stat; fatal() when the name is unknown. */
+    double stat(const std::string &name) const;
+
+    /** Convenience: far-faults serviced (Fig. 5). */
+    double farFaults() const { return stat("gmmu.far_faults"); }
+
+    /** Convenience: 4KB pages migrated host-to-device (Fig. 7). */
+    double pagesMigrated() const { return stat("gmmu.pages_migrated"); }
+
+    /** Convenience: 4KB pages evicted (Fig. 10). */
+    double pagesEvicted() const { return stat("gmmu.pages_evicted"); }
+
+    /** Convenience: thrashed pages (Fig. 16). */
+    double pagesThrashed() const { return stat("gmmu.pages_thrashed"); }
+
+    /** Convenience: average PCI-e read bandwidth in GB/s (Fig. 4). */
+    double
+    avgReadBandwidthGBps() const
+    {
+        return stat("pcie.h2d.avg_bandwidth_gbps");
+    }
+};
+
+/** Builds and runs complete simulations. */
+class Simulator
+{
+  public:
+    /** Per-kernel boundary observer: (index, name, start, end). */
+    using KernelObserver = std::function<void(
+        std::uint64_t, const std::string &, Tick, Tick)>;
+
+    explicit Simulator(SimConfig config = SimConfig{});
+
+    /** The configuration this simulator applies to each run. */
+    const SimConfig &config() const { return config_; }
+
+    /** Observe every completed page access (Fig. 12 traces). */
+    void setAccessObserver(Gmmu::AccessObserver observer);
+
+    /** Observe kernel launch boundaries. */
+    void setKernelObserver(KernelObserver observer);
+
+    /**
+     * Run a workload to completion on a freshly built system.
+     * The workload must be freshly constructed (kernel streams are
+     * consumed).
+     */
+    RunResult run(Workload &workload);
+
+  private:
+    SimConfig config_;
+    Gmmu::AccessObserver access_observer_;
+    KernelObserver kernel_observer_;
+};
+
+/**
+ * One-call convenience used throughout the bench harnesses: build the
+ * named workload and run it under the given config.
+ */
+RunResult runBenchmark(const std::string &workload_name,
+                       const SimConfig &config,
+                       const WorkloadParams &params = WorkloadParams{});
+
+/**
+ * Wire an AccessPatternAnalyzer into a simulator: every completed
+ * page access feeds recordAccess() and every kernel completion feeds
+ * kernelBoundary().  Replaces any previously set observers.
+ */
+void attachAnalyzer(Simulator &sim, AccessPatternAnalyzer &analyzer);
+
+/** Mean/min/max of a metric across seed-varied runs. */
+struct SeedSweepResult
+{
+    std::size_t runs = 0;
+    double mean_kernel_time_us = 0.0;
+    double min_kernel_time_us = 0.0;
+    double max_kernel_time_us = 0.0;
+    /** Per-stat means across the runs. */
+    std::map<std::string, double> mean_stats;
+};
+
+/**
+ * Run a benchmark under `num_seeds` different policy seeds (base
+ * seed, base+1, ...) and aggregate.  Deterministic policies produce
+ * identical runs; the stochastic ones (Rp, Re, latency jitter) get a
+ * fair average -- use this when comparing against them.
+ */
+SeedSweepResult runBenchmarkSeeds(const std::string &workload_name,
+                                  const SimConfig &config,
+                                  const WorkloadParams &params,
+                                  std::size_t num_seeds);
+
+} // namespace uvmsim
+
+#endif // UVMSIM_API_SIMULATOR_HH

@@ -1,0 +1,99 @@
+#include "eviction.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace uvmsim
+{
+
+std::vector<PageNum>
+Lru4kEviction::selectVictims(EvictionContext &ctx)
+{
+    auto victim = ctx.residency.lruPageVictim(ctx.reserve_pages);
+    if (!victim)
+        return {};
+    return {*victim};
+}
+
+std::vector<PageNum>
+Random4kEviction::selectVictims(EvictionContext &ctx)
+{
+    auto victim = ctx.residency.randomPageVictim(ctx.rng);
+    if (!victim)
+        return {};
+    return {*victim};
+}
+
+std::vector<PageNum>
+SequentialLocalEviction::selectVictims(EvictionContext &ctx)
+{
+    auto block = ctx.residency.lruBlockVictim(ctx.reserve_pages);
+    if (!block)
+        return {};
+    // The whole basic block goes, accessed or not (this is how SLe
+    // reclaims the unused pages its companion prefetcher migrated).
+    return ctx.residency.pagesInBlock(*block);
+}
+
+std::vector<PageNum>
+TreeBasedEviction::selectVictims(EvictionContext &ctx)
+{
+    auto block = ctx.residency.lruBlockVictim(ctx.reserve_pages);
+    if (!block)
+        return {};
+
+    PageNum first_page = pageOf(basicBlockBase(*block));
+    LargePageTree *tree = ctx.space.treeFor(first_page);
+    if (!tree) {
+        panic("TBNe victim block %llu has no tree",
+              static_cast<unsigned long long>(*block));
+    }
+
+    // The drain unmarks the victim leaf and rebalances the tree; it
+    // may include pages that are marked to-be-valid but still in
+    // flight -- the GMMU filters those and restores their marks.
+    std::vector<PageNum> drained =
+        tree->evictDrain(tree->leafOf(first_page));
+    return drained;
+}
+
+std::vector<PageNum>
+Lru2mbEviction::selectVictims(EvictionContext &ctx)
+{
+    auto slot = ctx.residency.lruLargePageVictim(ctx.reserve_pages);
+    if (!slot)
+        return {};
+    return ctx.residency.pagesInLargePage(*slot);
+}
+
+std::vector<PageNum>
+Mru4kEviction::selectVictims(EvictionContext &ctx)
+{
+    auto victim = ctx.residency.mruPageVictim();
+    if (!victim)
+        return {};
+    return {*victim};
+}
+
+std::unique_ptr<EvictionPolicy>
+makeEvictionPolicy(EvictionKind kind)
+{
+    switch (kind) {
+      case EvictionKind::lru4k:
+        return std::make_unique<Lru4kEviction>();
+      case EvictionKind::random4k:
+        return std::make_unique<Random4kEviction>();
+      case EvictionKind::sequentialLocal:
+        return std::make_unique<SequentialLocalEviction>();
+      case EvictionKind::treeBasedNeighborhood:
+        return std::make_unique<TreeBasedEviction>();
+      case EvictionKind::lru2mb:
+        return std::make_unique<Lru2mbEviction>();
+      case EvictionKind::mru4k:
+        return std::make_unique<Mru4kEviction>();
+    }
+    panic("unknown EvictionKind");
+}
+
+} // namespace uvmsim

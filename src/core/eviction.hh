@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Page replacement / pre-eviction policies (paper Secs. 4.2, 5, 7.5).
+ *
+ * A policy produces one eviction "unit" per call -- a 4KB page for the
+ * traditional policies, a 64KB basic block for SLe, a tree-balanced
+ * set of blocks for TBNe, or a whole 2MB large page for LRU-2MB.  The
+ * GMMU keeps calling until it has freed enough frames.
+ *
+ * Victim recency comes from the ResidencyTracker; TBNe additionally
+ * mutates the allocation's LargePageTree (its drain *is* the selection
+ * algorithm).  Applying the eviction -- invalidating PTEs, shooting
+ * down TLBs, scheduling write-backs -- is the GMMU's job.
+ */
+
+#ifndef UVMSIM_CORE_EVICTION_HH
+#define UVMSIM_CORE_EVICTION_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/managed_space.hh"
+#include "core/policies.hh"
+#include "core/residency_tracker.hh"
+#include "mem/types.hh"
+#include "sim/rng.hh"
+
+namespace uvmsim
+{
+
+/** Everything a policy may consult when choosing victims. */
+struct EvictionContext
+{
+    ResidencyTracker &residency;
+    ManagedSpace &space;
+    Rng &rng;
+    /** Pages at the cold end of the LRU protected from eviction. */
+    std::uint64_t reserve_pages = 0;
+};
+
+/** Strategy interface for victim selection. */
+class EvictionPolicy
+{
+  public:
+    virtual ~EvictionPolicy() = default;
+
+    /** Display name ("LRU4K", "Re", "SLe", "TBNe", "LRU2MB"). */
+    virtual std::string name() const = 0;
+
+    /** The kind this instance implements. */
+    virtual EvictionKind kind() const = 0;
+
+    /**
+     * Whether eviction write-backs cover whole selected units
+     * regardless of dirtiness (true for the block/tree policies per
+     * paper Sec. 5.1; the 4KB policies write back dirty pages only).
+     */
+    virtual bool writesBackWholeUnits() const = 0;
+
+    /**
+     * Select the next eviction unit.
+     *
+     * @return Candidate pages in ascending order; empty when nothing
+     *         is evictable under the context's reservation (the caller
+     *         retries with reserve_pages = 0 before giving up).
+     */
+    virtual std::vector<PageNum> selectVictims(EvictionContext &ctx) = 0;
+};
+
+/** Traditional 4KB LRU replacement. */
+class Lru4kEviction : public EvictionPolicy
+{
+  public:
+    std::string name() const override { return "LRU4K"; }
+    EvictionKind kind() const override { return EvictionKind::lru4k; }
+    bool writesBackWholeUnits() const override { return false; }
+    std::vector<PageNum> selectVictims(EvictionContext &ctx) override;
+};
+
+/** Re: uniformly random 4KB page replacement. */
+class Random4kEviction : public EvictionPolicy
+{
+  public:
+    std::string name() const override { return "Re"; }
+    EvictionKind kind() const override { return EvictionKind::random4k; }
+    bool writesBackWholeUnits() const override { return false; }
+    std::vector<PageNum> selectVictims(EvictionContext &ctx) override;
+};
+
+/**
+ * SLe: pick the LRU candidate hierarchically, then evict its entire
+ * 64KB basic block as one unit (paper Sec. 5.1).
+ */
+class SequentialLocalEviction : public EvictionPolicy
+{
+  public:
+    std::string name() const override { return "SLe"; }
+    EvictionKind
+    kind() const override
+    {
+        return EvictionKind::sequentialLocal;
+    }
+    bool writesBackWholeUnits() const override { return true; }
+    std::vector<PageNum> selectVictims(EvictionContext &ctx) override;
+};
+
+/**
+ * TBNe: evict the LRU candidate's basic block, then rebalance the
+ * large-page tree, draining ancestors below 50% occupancy (paper
+ * Sec. 5.2).  Adaptive granularity between 64KB and 1MB.
+ */
+class TreeBasedEviction : public EvictionPolicy
+{
+  public:
+    std::string name() const override { return "TBNe"; }
+    EvictionKind
+    kind() const override
+    {
+        return EvictionKind::treeBasedNeighborhood;
+    }
+    bool writesBackWholeUnits() const override { return true; }
+    std::vector<PageNum> selectVictims(EvictionContext &ctx) override;
+};
+
+/** Static 2MB large-page LRU eviction (paper Sec. 7.5). */
+class Lru2mbEviction : public EvictionPolicy
+{
+  public:
+    std::string name() const override { return "LRU2MB"; }
+    EvictionKind kind() const override { return EvictionKind::lru2mb; }
+    bool writesBackWholeUnits() const override { return true; }
+    std::vector<PageNum> selectVictims(EvictionContext &ctx) override;
+};
+
+/**
+ * MRU 4KB eviction: the classic alternative the paper's Sec. 5.3
+ * mentions for repetitive linear access patterns (evicting the most
+ * recently used page keeps the loop prefix resident).  Kept as the
+ * ablation comparator to LRU-list reservation.
+ */
+class Mru4kEviction : public EvictionPolicy
+{
+  public:
+    std::string name() const override { return "MRU4K"; }
+    EvictionKind kind() const override { return EvictionKind::mru4k; }
+    bool writesBackWholeUnits() const override { return false; }
+    std::vector<PageNum> selectVictims(EvictionContext &ctx) override;
+};
+
+/** Factory for an eviction policy of the given kind. */
+std::unique_ptr<EvictionPolicy> makeEvictionPolicy(EvictionKind kind);
+
+} // namespace uvmsim
+
+#endif // UVMSIM_CORE_EVICTION_HH

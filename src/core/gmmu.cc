@@ -1,0 +1,583 @@
+#include "gmmu.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace uvmsim
+{
+
+Gmmu::Gmmu(EventQueue &eq, PcieLink &pcie, FrameAllocator &frames,
+           PageTable &page_table, ManagedSpace &space, GmmuConfig config)
+    : eq_(eq),
+      pcie_(pcie),
+      frames_(frames),
+      page_table_(page_table),
+      space_(space),
+      config_(config),
+      rng_(config.seed),
+      prefetcher_before_(makePrefetcher(config.prefetcher_before)),
+      prefetcher_after_(makePrefetcher(config.prefetcher_after)),
+      eviction_(makeEvictionPolicy(config.eviction)),
+      far_faults_("gmmu.far_faults",
+                  "far-faults that initiated a fault service"),
+      fault_services_("gmmu.fault_services",
+                      "fault-engine services performed (45us each)"),
+      skipped_services_("gmmu.skipped_services",
+                        "services whose page was already in flight"),
+      prefetches_trimmed_("gmmu.prefetches_trimmed",
+                          "prefetch sets trimmed to fit device memory"),
+      pages_migrated_("gmmu.pages_migrated",
+                      "4KB pages migrated host-to-device"),
+      pages_prefetched_("gmmu.pages_prefetched",
+                        "migrated pages that were prefetches"),
+      pages_evicted_("gmmu.pages_evicted", "4KB pages evicted"),
+      pages_written_back_("gmmu.pages_written_back",
+                          "4KB pages written back device-to-host"),
+      pages_thrashed_("gmmu.pages_thrashed",
+                      "evicted pages that were migrated again"),
+      walk_count_("gmmu.page_walks", "page table walks performed"),
+      walk_queue_delay_ns_("gmmu.walk_queue_delay_ns",
+                           "mean wait for a free page walker (ns)"),
+      mshr_stalls_("gmmu.mshr_stalls",
+                   "faults delayed by full far-fault MSHRs"),
+      user_prefetched_pages_("gmmu.user_prefetched_pages",
+                             "pages migrated by user-directed prefetch"),
+      oversubscribed_at_us_("gmmu.oversubscribed_at_us",
+                            "sim time the over-subscription latch tripped")
+{
+    if (config_.lru_reserve_fraction < 0.0 ||
+        config_.lru_reserve_fraction >= 1.0) {
+        fatal("lru_reserve_fraction %.3f outside [0, 1)",
+              config_.lru_reserve_fraction);
+    }
+    if (config_.page_walkers > 0)
+        walker_free_.assign(config_.page_walkers, 0);
+}
+
+Prefetcher &
+Gmmu::activePrefetcher()
+{
+    return oversubscribed_ ? *prefetcher_after_ : *prefetcher_before_;
+}
+
+void
+Gmmu::accountAccess(const MemAccess &access)
+{
+    PageNum page = pageOf(access.addr);
+    if (access.is_write)
+        page_table_.markDirty(page);
+    else
+        page_table_.markAccessed(page);
+    residency_.onAccess(page);
+    if (observer_)
+        observer_(eq_.curTick(), page, access.is_write);
+}
+
+void
+Gmmu::recordAccess(const MemAccess &access)
+{
+    accountAccess(access);
+}
+
+void
+Gmmu::translate(const MemAccess &access, AccessDone done)
+{
+    ++walk_count_;
+
+    Tick start = eq_.curTick();
+    if (!walker_free_.empty()) {
+        // Multi-threaded walker pool: take the earliest-free walker.
+        auto it = std::min_element(walker_free_.begin(),
+                                   walker_free_.end());
+        start = std::max(start, *it);
+        *it = start + config_.page_walk_latency;
+        walk_queue_delay_ns_.sample(
+            ticksToNanoseconds(start - eq_.curTick()));
+    }
+
+    eq_.schedule(start + config_.page_walk_latency,
+                 [this, access, done = std::move(done)]() mutable {
+                     walkDone(access, std::move(done));
+                 });
+}
+
+void
+Gmmu::walkDone(const MemAccess &access, AccessDone done)
+{
+    PageNum page = pageOf(access.addr);
+    if (page_table_.isValid(page)) {
+        accountAccess(access);
+        done();
+        return;
+    }
+    raiseFault(access, std::move(done));
+}
+
+void
+Gmmu::raiseFault(const MemAccess &access, AccessDone done)
+{
+    PageNum page = pageOf(access.addr);
+
+    // Finite MSHRs: a fault on a page with no existing entry must
+    // wait for space; it retries through the validity check (the page
+    // may even have become resident meanwhile).
+    if (config_.mshr_entries > 0 && !mshr_.isPending(page) &&
+        mshr_.pendingPages() >= config_.mshr_entries) {
+        ++mshr_stalls_;
+        eq_.scheduleAfter(config_.mshr_retry_latency,
+                          [this, access,
+                           done = std::move(done)]() mutable {
+                              walkDone(access, std::move(done));
+                          });
+        return;
+    }
+
+    auto waiter = [this, access, done = std::move(done)]() {
+        accountAccess(access);
+        done();
+    };
+    bool primary = mshr_.registerFault(page, std::move(waiter));
+    DTRACE("GMMU", "far-fault on page %llu (%s)",
+           static_cast<unsigned long long>(page),
+           primary ? "primary" : "merged");
+    if (primary) {
+        fault_queue_.push_back(page);
+        kickFaultEngine();
+    }
+}
+
+void
+Gmmu::kickFaultEngine()
+{
+    if (engine_busy_)
+        return;
+
+    // Fault-buffer entries whose page is already in flight (another
+    // fault's prefetch covered them) are discarded for free -- the
+    // driver processes them in the same buffer sweep.
+    while (!fault_queue_.empty()) {
+        LargePageTree *tree = space_.treeFor(fault_queue_.front());
+        if (!tree || !tree->pageMarked(fault_queue_.front()))
+            break;
+        fault_queue_.pop_front();
+        ++skipped_services_;
+    }
+    if (fault_queue_.empty())
+        return;
+
+    engine_busy_ = true;
+    std::vector<PageNum> batch;
+    std::uint32_t batch_size = std::max<std::uint32_t>(
+        1, config_.fault_batch_size);
+    while (!fault_queue_.empty() && batch.size() < batch_size) {
+        batch.push_back(fault_queue_.front());
+        fault_queue_.pop_front();
+    }
+
+    Tick latency = config_.fault_handling_latency;
+    if (config_.fault_latency_jitter > 0.0) {
+        double factor = 1.0 + config_.fault_latency_jitter *
+                                  (2.0 * rng_.real() - 1.0);
+        latency = static_cast<Tick>(
+            static_cast<double>(latency) * std::max(factor, 0.0));
+    }
+    eq_.scheduleAfter(latency, [this, batch = std::move(batch)]() {
+        serviceBatch(batch);
+    });
+}
+
+void
+Gmmu::serviceBatch(const std::vector<PageNum> &batch)
+{
+    ++fault_services_;
+    for (PageNum page : batch)
+        serviceFault(page);
+    engine_busy_ = false;
+    kickFaultEngine();
+}
+
+void
+Gmmu::serviceFault(PageNum page)
+{
+    // The paper's over-subscription trigger: once occupancy reaches
+    // capacity (minus any free-page buffer), the aggressive
+    // prefetcher is replaced *before* the next migration decision.
+    if (!oversubscribed_ &&
+        frames_.freeFrames() <= config_.free_buffer_pages)
+        enterOversubscription();
+
+    LargePageTree *tree = space_.treeFor(page);
+    if (!tree)
+        panic("far-fault on unmanaged page %llu",
+              static_cast<unsigned long long>(page));
+
+    if (tree->pageMarked(page)) {
+        // Another fault's prefetch already scheduled (or completed)
+        // this page; the MSHR wakes the waiters when it lands.
+        ++skipped_services_;
+    } else {
+        ++far_faults_;
+        std::vector<PageNum> pages =
+            activePrefetcher().selectPages(page, *tree, rng_);
+
+        // A single migration may never exceed half the device memory:
+        // an aggressive prefetch decision is trimmed to the pages
+        // nearest the fault (the driver equivalent of throttling
+        // prefetch under memory pressure).
+        const std::uint64_t limit =
+            std::max<std::uint64_t>(1, frames_.totalFrames() / 2);
+        if (pages.size() > limit) {
+            std::stable_sort(pages.begin(), pages.end(),
+                             [page](PageNum a, PageNum b) {
+                                 auto da = a > page ? a - page : page - a;
+                                 auto db = b > page ? b - page : page - b;
+                                 return da < db;
+                             });
+            for (std::size_t i = limit; i < pages.size(); ++i)
+                tree->unmarkPage(pages[i]);
+            pages.resize(limit);
+            std::sort(pages.begin(), pages.end());
+            ++prefetches_trimmed_;
+        }
+
+        scheduleMigration(std::move(pages), page);
+    }
+}
+
+void
+Gmmu::prefetchRange(Addr base, std::uint64_t bytes)
+{
+    if (bytes == 0)
+        return;
+    PageNum first = pageOf(base);
+    PageNum last = pageOf(base + bytes - 1);
+
+    std::vector<PageNum> batch;
+    auto flush = [&]() {
+        if (batch.empty())
+            return;
+        user_prefetched_pages_ += batch.size();
+        scheduleMigration(std::move(batch), std::nullopt);
+        batch.clear();
+    };
+
+    // Chunk like the driver's async copies: within one 2MB large
+    // page, and never a single batch larger than a quarter of device
+    // memory (so an oversized prefetch can recycle frames by evicting
+    // its own already-landed head).
+    const std::uint64_t max_batch = std::max<std::uint64_t>(
+        pagesPerBasicBlock,
+        std::min<std::uint64_t>(pagesPerLargePage,
+                                frames_.totalFrames() / 4));
+
+    for (PageNum p = first; p <= last; ++p) {
+        LargePageTree *tree = space_.treeFor(p);
+        if (!tree || tree->pageMarked(p) || page_table_.isValid(p))
+            continue;
+        if (!batch.empty() &&
+            (batch.size() >= max_batch ||
+             largePageOf(pageBase(p)) !=
+                 largePageOf(pageBase(batch.back()))))
+            flush();
+        tree->markPage(p);
+        batch.push_back(p);
+    }
+    flush();
+}
+
+void
+Gmmu::scheduleMigration(std::vector<PageNum> pages,
+                        std::optional<PageNum> faulty)
+{
+    if (pages.empty())
+        panic("empty migration set");
+
+    DTRACE("GMMU", "migrating %zu pages (fault %lld)", pages.size(),
+           faulty ? static_cast<long long>(*faulty) : -1ll);
+    pages_migrated_ += pages.size();
+    pages_prefetched_ += pages.size() - (faulty ? 1 : 0);
+    for (PageNum p : pages) {
+        if (ever_evicted_.count(p))
+            ++pages_thrashed_;
+        // Every in-flight page gets an MSHR entry (the faulting page
+        // already has one): later faults merge and eviction can tell
+        // the page is in flight.
+        if (!mshr_.isPending(p))
+            mshr_.registerPrefetch(p);
+    }
+
+    const std::uint64_t num_pages = pages.size();
+    ensureFrames(num_pages,
+                 [this, pages = std::move(pages), faulty]
+                 (std::vector<FrameNum> granted) {
+        // Pair page[i] with granted[i], then cut the ascending page
+        // list into transfers: the faulting page goes alone and first
+        // (the "page fault group"), every other maximal contiguous run
+        // is one grouped "prefetch group" transfer.
+        struct Run
+        {
+            std::vector<PageNum> pages;
+            std::vector<FrameNum> frames;
+        };
+        std::vector<Run> runs;
+        Run fault_run;
+        for (std::size_t i = 0; i < pages.size(); ++i) {
+            if (faulty && pages[i] == *faulty) {
+                fault_run.pages.push_back(pages[i]);
+                fault_run.frames.push_back(granted[i]);
+                continue;
+            }
+            // Contiguity naturally breaks across the hole left by the
+            // fault-page cut, because the fault page is not in `runs`.
+            bool extend = !runs.empty() &&
+                          runs.back().pages.back() + 1 == pages[i] &&
+                          !(faulty && pages[i] == *faulty + 1);
+            if (!extend)
+                runs.emplace_back();
+            runs.back().pages.push_back(pages[i]);
+            runs.back().frames.push_back(granted[i]);
+        }
+
+        frames_in_transit_ += granted.size();
+        auto launch = [this](Run run) {
+            std::uint64_t bytes = run.pages.size() * pageSize;
+            auto arrive = [this, run = std::move(run)]() {
+                for (std::size_t i = 0; i < run.pages.size(); ++i) {
+                    page_table_.mapPage(run.pages[i], run.frames[i]);
+                    residency_.onResident(run.pages[i]);
+                }
+                frames_in_transit_ -= run.pages.size();
+                migrationArrived(run.pages);
+                // Newly resident pages may unblock queued frame
+                // requests that had nothing evictable before.
+                pumpFrameQueue();
+            };
+            pcie_.transfer(PcieDir::hostToDevice, bytes, std::move(arrive));
+        };
+
+        if (!fault_run.pages.empty())
+            launch(std::move(fault_run));
+        for (auto &run : runs)
+            launch(std::move(run));
+    });
+}
+
+void
+Gmmu::migrationArrived(const std::vector<PageNum> &pages)
+{
+    for (PageNum p : pages) {
+        auto waiters = mshr_.complete(p);
+        for (auto &w : waiters)
+            w();
+    }
+}
+
+void
+Gmmu::ensureFrames(std::uint64_t pages,
+                   std::function<void(std::vector<FrameNum>)> grant)
+{
+    if (pages > frames_.totalFrames()) {
+        fatal("migration of %llu pages exceeds device memory of %llu "
+              "frames",
+              static_cast<unsigned long long>(pages),
+              static_cast<unsigned long long>(frames_.totalFrames()));
+    }
+    frame_requests_.push_back(FrameRequest{pages, std::move(grant)});
+    pumpFrameQueue();
+}
+
+void
+Gmmu::pumpFrameQueue()
+{
+    while (!frame_requests_.empty()) {
+        FrameRequest &req = frame_requests_.front();
+        if (frames_.freeFrames() >= req.pages) {
+            std::vector<FrameNum> granted;
+            granted.reserve(req.pages);
+            for (std::uint64_t i = 0; i < req.pages; ++i)
+                granted.push_back(*frames_.allocate());
+            auto grant = std::move(req.grant);
+            frame_requests_.pop_front();
+            grant(std::move(granted));
+            continue;
+        }
+        // Short on frames: this is the over-subscription moment.
+        if (!oversubscribed_)
+            enterOversubscription();
+        if (frames_.freeFrames() + pending_free_frames_ < req.pages) {
+            if (!evictUntil(req.pages) && pending_free_frames_ == 0 &&
+                frames_in_transit_ == 0) {
+                fatal("device memory exhausted and nothing evictable "
+                      "(need %llu frames)",
+                      static_cast<unsigned long long>(req.pages));
+            }
+        }
+        // Clean 4KB victims free their frames synchronously; retry
+        // the request before deciding to wait.
+        if (frames_.freeFrames() >= req.pages)
+            continue;
+        // Wait for in-flight write-backs; completions re-pump.
+        break;
+    }
+    maintainFreeBuffer();
+}
+
+void
+Gmmu::enterOversubscription()
+{
+    oversubscribed_ = true;
+    oversubscribed_at_us_.set(ticksToMicroseconds(eq_.curTick()));
+    DTRACE("GMMU", "over-subscription latched at %.1f us",
+           ticksToMicroseconds(eq_.curTick()));
+}
+
+void
+Gmmu::maintainFreeBuffer()
+{
+    if (config_.free_buffer_pages == 0)
+        return;
+    if (frames_.freeFrames() + pending_free_frames_ >=
+        config_.free_buffer_pages)
+        return;
+    // The buffer cannot be maintained without eviction: the threshold
+    // pre-eviction latch also disables the aggressive prefetcher
+    // (paper Sec. 4.2).
+    if (!oversubscribed_ && frames_.usedFrames() + pending_free_frames_ +
+                                    config_.free_buffer_pages >=
+                                frames_.totalFrames()) {
+        enterOversubscription();
+    }
+    if (oversubscribed_)
+        evictUntil(config_.free_buffer_pages);
+}
+
+bool
+Gmmu::evictUntil(std::uint64_t target_frames)
+{
+    while (frames_.freeFrames() + pending_free_frames_ < target_frames) {
+        std::uint64_t reserve = static_cast<std::uint64_t>(
+            config_.lru_reserve_fraction *
+            static_cast<double>(residency_.size()));
+        EvictionContext ctx{residency_, space_, rng_, reserve};
+        std::vector<PageNum> victims = eviction_->selectVictims(ctx);
+        if (victims.empty() && reserve > 0) {
+            ctx.reserve_pages = 0;
+            victims = eviction_->selectVictims(ctx);
+        }
+        if (victims.empty())
+            return false;
+        if (applyEviction(victims) == 0)
+            return false; // no progress; avoid spinning
+    }
+    return true;
+}
+
+std::uint64_t
+Gmmu::applyEviction(const std::vector<PageNum> &victims)
+{
+    struct Victim
+    {
+        PageNum page;
+        FrameNum frame;
+        bool dirty;
+    };
+    std::vector<Victim> evicted;
+    evicted.reserve(victims.size());
+
+    for (PageNum p : victims) {
+        if (!page_table_.isValid(p)) {
+            // TBNe's tree drain can select pages whose migration is
+            // still in flight; restore their to-be-valid marks and
+            // leave them alone.
+            if (mshr_.isPending(p)) {
+                if (LargePageTree *tree = space_.treeFor(p)) {
+                    if (!tree->pageMarked(p))
+                        tree->markPage(p);
+                }
+            }
+            continue;
+        }
+        bool dirty = page_table_.isDirty(p);
+        FrameNum frame = page_table_.invalidatePage(p);
+        if (tlb_shootdown_)
+            tlb_shootdown_(p);
+        residency_.onEvicted(p);
+        if (LargePageTree *tree = space_.treeFor(p))
+            tree->unmarkPage(p);
+        ever_evicted_.insert(p);
+        ++pages_evicted_;
+        DTRACE("Evict", "evicting page %llu (%s)",
+               static_cast<unsigned long long>(p),
+               dirty ? "dirty" : "clean");
+        evicted.push_back(Victim{p, frame, dirty});
+    }
+
+    if (evicted.empty())
+        return 0;
+
+    auto writeBack = [this](std::vector<FrameNum> frames,
+                            std::uint64_t num_pages) {
+        pages_written_back_ += num_pages;
+        pending_free_frames_ += frames.size();
+        pcie_.transfer(PcieDir::deviceToHost, num_pages * pageSize,
+                       [this, frames = std::move(frames)]() {
+                           for (FrameNum f : frames)
+                               frames_.free(f);
+                           pending_free_frames_ -= frames.size();
+                           pumpFrameQueue();
+                       });
+    };
+
+    if (eviction_->writesBackWholeUnits() && config_.whole_unit_writeback) {
+        // Contiguous victim pages group into single write-back
+        // transfers (paper Sec. 5.1: the whole 64KB unit goes back
+        // regardless of which pages are dirty).
+        std::size_t i = 0;
+        while (i < evicted.size()) {
+            std::size_t j = i + 1;
+            while (j < evicted.size() &&
+                   evicted[j].page == evicted[j - 1].page + 1)
+                ++j;
+            std::vector<FrameNum> frames;
+            frames.reserve(j - i);
+            for (std::size_t k = i; k < j; ++k)
+                frames.push_back(evicted[k].frame);
+            writeBack(std::move(frames), j - i);
+            i = j;
+        }
+    } else {
+        // 4KB policies: dirty pages round-trip through the write-back
+        // channel; clean frames are reusable immediately.
+        for (const Victim &v : evicted) {
+            if (v.dirty)
+                writeBack({v.frame}, 1);
+            else
+                frames_.free(v.frame);
+        }
+    }
+    return evicted.size();
+}
+
+void
+Gmmu::registerStats(stats::StatRegistry &registry)
+{
+    registry.add(&far_faults_);
+    registry.add(&fault_services_);
+    registry.add(&skipped_services_);
+    registry.add(&prefetches_trimmed_);
+    registry.add(&pages_migrated_);
+    registry.add(&pages_prefetched_);
+    registry.add(&pages_evicted_);
+    registry.add(&pages_written_back_);
+    registry.add(&pages_thrashed_);
+    registry.add(&walk_count_);
+    registry.add(&walk_queue_delay_ns_);
+    registry.add(&mshr_stalls_);
+    registry.add(&user_prefetched_pages_);
+    registry.add(&oversubscribed_at_us_);
+    mshr_.registerStats(registry);
+}
+
+} // namespace uvmsim

@@ -1,0 +1,298 @@
+#include "large_page_tree.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "sim/logging.hh"
+
+namespace uvmsim
+{
+
+LargePageTree::LargePageTree(Addr base_addr, std::uint32_t num_leaves)
+    : base_(base_addr), num_leaves_(num_leaves)
+{
+    if (base_ % basicBlockSize != 0)
+        panic("LargePageTree base %llx not 64KB aligned",
+              static_cast<unsigned long long>(base_));
+    if (num_leaves_ == 0 || num_leaves_ > blocksPerLargePage ||
+        !std::has_single_bit(num_leaves_)) {
+        panic("LargePageTree leaf count %u must be a power of two in "
+              "[1, 32]", num_leaves_);
+    }
+    height_ = static_cast<std::uint32_t>(std::bit_width(num_leaves_) - 1);
+    leaf_bits_.assign(num_leaves_, 0);
+}
+
+bool
+LargePageTree::covers(PageNum page) const
+{
+    Addr a = pageBase(page);
+    return a >= base_ && a < endAddr();
+}
+
+std::uint32_t
+LargePageTree::leafOf(PageNum page) const
+{
+    if (!covers(page))
+        panic("page %llu outside tree at base %llx",
+              static_cast<unsigned long long>(page),
+              static_cast<unsigned long long>(base_));
+    return static_cast<std::uint32_t>((pageBase(page) - base_) >>
+                                      basicBlockShift);
+}
+
+PageNum
+LargePageTree::leafFirstPage(std::uint32_t leaf) const
+{
+    return pageOf(base_ + static_cast<Addr>(leaf) * basicBlockSize);
+}
+
+void
+LargePageTree::markPage(PageNum page)
+{
+    std::uint32_t leaf = leafOf(page);
+    std::uint32_t bit =
+        static_cast<std::uint32_t>(page - leafFirstPage(leaf));
+    leaf_bits_[leaf] |= static_cast<std::uint16_t>(1u << bit);
+}
+
+void
+LargePageTree::unmarkPage(PageNum page)
+{
+    std::uint32_t leaf = leafOf(page);
+    std::uint32_t bit =
+        static_cast<std::uint32_t>(page - leafFirstPage(leaf));
+    leaf_bits_[leaf] &= static_cast<std::uint16_t>(~(1u << bit));
+}
+
+bool
+LargePageTree::pageMarked(PageNum page) const
+{
+    std::uint32_t leaf = leafOf(page);
+    std::uint32_t bit =
+        static_cast<std::uint32_t>(page - leafFirstPage(leaf));
+    return (leaf_bits_[leaf] >> bit) & 1u;
+}
+
+std::uint32_t
+LargePageTree::leafMarkedPages(std::uint32_t leaf) const
+{
+    if (leaf >= num_leaves_)
+        panic("leaf index %u out of range", leaf);
+    return static_cast<std::uint32_t>(std::popcount(leaf_bits_[leaf]));
+}
+
+std::uint64_t
+LargePageTree::markedUnder(std::uint32_t height, std::uint32_t index) const
+{
+    std::uint32_t first = firstLeafUnder(height, index);
+    std::uint32_t count = leavesUnder(height);
+    std::uint64_t pages = 0;
+    for (std::uint32_t l = first; l < first + count; ++l)
+        pages += std::popcount(leaf_bits_[l]);
+    return pages * pageSize;
+}
+
+std::uint64_t
+LargePageTree::nodeMarkedBytes(std::uint32_t height,
+                               std::uint32_t index) const
+{
+    if (height > height_ || index >= (num_leaves_ >> height))
+        panic("node (%u, %u) out of range", height, index);
+    return markedUnder(height, index);
+}
+
+std::uint64_t
+LargePageTree::totalMarkedBytes() const
+{
+    return markedUnder(height_, 0);
+}
+
+std::vector<PageNum>
+LargePageTree::markedPages() const
+{
+    std::vector<PageNum> out;
+    for (std::uint32_t l = 0; l < num_leaves_; ++l) {
+        PageNum first = leafFirstPage(l);
+        for (std::uint32_t p = 0; p < pagesPerBasicBlock; ++p) {
+            if ((leaf_bits_[l] >> p) & 1u)
+                out.push_back(first + p);
+        }
+    }
+    return out;
+}
+
+std::uint64_t
+LargePageTree::fillPages(std::uint32_t height, std::uint32_t index,
+                         std::uint64_t pages, std::vector<PageNum> &out)
+{
+    std::uint64_t filled = 0;
+    while (filled < pages) {
+        // Descend toward the emptier side until a leaf is reached.
+        std::uint32_t h = height;
+        std::uint32_t i = index;
+        while (h > 0) {
+            std::uint32_t left = 2 * i;
+            std::uint32_t right = 2 * i + 1;
+            std::uint64_t cap_child = nodeCapacityBytes(h - 1);
+            std::uint64_t lm = markedUnder(h - 1, left);
+            std::uint64_t rm = markedUnder(h - 1, right);
+            bool left_has_room = lm < cap_child;
+            bool right_has_room = rm < cap_child;
+            if (!left_has_room && !right_has_room)
+                return filled; // subtree full
+            if (left_has_room && (!right_has_room || lm <= rm)) {
+                i = left;
+            } else {
+                i = right;
+            }
+            --h;
+        }
+        // Leaf: mark the lowest unmarked page.
+        std::uint16_t bits = leaf_bits_[i];
+        if (bits == 0xffff)
+            return filled; // leaf full (whole subtree was this leaf)
+        std::uint32_t bit = std::countr_one(bits);
+        leaf_bits_[i] |= static_cast<std::uint16_t>(1u << bit);
+        out.push_back(leafFirstPage(i) + bit);
+        ++filled;
+    }
+    return filled;
+}
+
+std::uint64_t
+LargePageTree::drainPages(std::uint32_t height, std::uint32_t index,
+                          std::uint64_t pages, std::vector<PageNum> &out)
+{
+    std::uint64_t drained = 0;
+    while (drained < pages) {
+        // Descend toward the fuller side until a leaf is reached.
+        std::uint32_t h = height;
+        std::uint32_t i = index;
+        while (h > 0) {
+            std::uint32_t left = 2 * i;
+            std::uint32_t right = 2 * i + 1;
+            std::uint64_t lm = markedUnder(h - 1, left);
+            std::uint64_t rm = markedUnder(h - 1, right);
+            if (lm == 0 && rm == 0)
+                return drained; // subtree empty
+            if (lm > 0 && (rm == 0 || lm >= rm)) {
+                i = left;
+            } else {
+                i = right;
+            }
+            --h;
+        }
+        // Leaf: unmark the highest marked page.
+        std::uint16_t bits = leaf_bits_[i];
+        if (bits == 0)
+            return drained;
+        std::uint32_t bit =
+            static_cast<std::uint32_t>(
+                std::bit_width(static_cast<unsigned>(bits))) - 1;
+        leaf_bits_[i] &= static_cast<std::uint16_t>(~(1u << bit));
+        out.push_back(leafFirstPage(i) + bit);
+        ++drained;
+    }
+    return drained;
+}
+
+std::vector<PageNum>
+LargePageTree::faultFill(PageNum faulty_page)
+{
+    std::uint32_t leaf = leafOf(faulty_page);
+    std::vector<PageNum> out;
+
+    // Step 1: migrate the whole faulted basic block (the unmarked
+    // remainder of it).
+    PageNum first = leafFirstPage(leaf);
+    for (std::uint32_t p = 0; p < pagesPerBasicBlock; ++p) {
+        if (!((leaf_bits_[leaf] >> p) & 1u)) {
+            leaf_bits_[leaf] |= static_cast<std::uint16_t>(1u << p);
+            out.push_back(first + p);
+        }
+    }
+
+    // Step 2: walk leaf-to-root; balance any ancestor whose to-be-valid
+    // size strictly exceeds half its capacity.
+    for (std::uint32_t h = 1; h <= height_; ++h) {
+        std::uint32_t node = leaf >> h;
+        std::uint64_t marked = markedUnder(h, node);
+        std::uint64_t cap = nodeCapacityBytes(h);
+        if (marked * 2 <= cap)
+            continue;
+        std::uint32_t left = 2 * node;
+        std::uint32_t right = 2 * node + 1;
+        std::uint64_t lm = markedUnder(h - 1, left);
+        std::uint64_t rm = markedUnder(h - 1, right);
+        if (lm == rm)
+            continue;
+        if (lm < rm)
+            fillPages(h - 1, left, (rm - lm) / pageSize, out);
+        else
+            fillPages(h - 1, right, (lm - rm) / pageSize, out);
+    }
+
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::vector<PageNum>
+LargePageTree::evictDrain(std::uint32_t victim_leaf)
+{
+    if (victim_leaf >= num_leaves_)
+        panic("evictDrain: leaf %u out of range", victim_leaf);
+
+    std::vector<PageNum> out;
+
+    // Step 1: evict every marked page of the victim basic block.
+    PageNum first = leafFirstPage(victim_leaf);
+    for (std::uint32_t p = 0; p < pagesPerBasicBlock; ++p) {
+        if ((leaf_bits_[victim_leaf] >> p) & 1u) {
+            leaf_bits_[victim_leaf] &= static_cast<std::uint16_t>(~(1u << p));
+            out.push_back(first + p);
+        }
+    }
+
+    // Step 2: walk leaf-to-root; balance any ancestor whose valid size
+    // falls strictly below half its capacity by draining its fuller
+    // child down to the emptier child's size.
+    for (std::uint32_t h = 1; h <= height_; ++h) {
+        std::uint32_t node = victim_leaf >> h;
+        std::uint64_t marked = markedUnder(h, node);
+        std::uint64_t cap = nodeCapacityBytes(h);
+        if (marked * 2 >= cap)
+            continue;
+        std::uint32_t left = 2 * node;
+        std::uint32_t right = 2 * node + 1;
+        std::uint64_t lm = markedUnder(h - 1, left);
+        std::uint64_t rm = markedUnder(h - 1, right);
+        if (lm == rm)
+            continue;
+        if (lm > rm)
+            drainPages(h - 1, left, (lm - rm) / pageSize, out);
+        else
+            drainPages(h - 1, right, (rm - lm) / pageSize, out);
+    }
+
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+bool
+LargePageTree::checkConsistent() const
+{
+    // Aggregates must equal the sum of their children at every level.
+    for (std::uint32_t h = 1; h <= height_; ++h) {
+        for (std::uint32_t i = 0; i < (num_leaves_ >> h); ++i) {
+            std::uint64_t whole = markedUnder(h, i);
+            std::uint64_t parts =
+                markedUnder(h - 1, 2 * i) + markedUnder(h - 1, 2 * i + 1);
+            if (whole != parts)
+                return false;
+        }
+    }
+    return totalMarkedBytes() <= capacityBytes();
+}
+
+} // namespace uvmsim

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * The full binary tree the GMMU maintains per 2MB large page.
+ *
+ * Paper Sec. 3.3: every cudaMallocManaged allocation is logically split
+ * into 2MB large pages; each large page is a full binary tree whose
+ * leaves are 64KB basic blocks (16 x 4KB pages).  If the allocation
+ * size is not a multiple of 2MB, the remainder is rounded up to the
+ * next 2^i * 64KB and gets its own (smaller) full binary tree.
+ *
+ * The tree tracks the *to-be-valid* size of every node: the bytes of
+ * 4KB pages under the node that are either resident or already
+ * scheduled for migration.  Two balancing walks implement the paper's
+ * policies:
+ *
+ *  - TBNp (faultFill): after a far-fault fills a leaf, any ancestor
+ *    whose to-be-valid size strictly exceeds 50% of its capacity has
+ *    its emptier child filled up to the fuller child's size, recursing
+ *    into descendants with spare capacity.  This exactly reproduces
+ *    the paper's Figure 2(a)/(b) examples.
+ *
+ *  - TBNe (evictDrain): after an eviction empties a leaf, any ancestor
+ *    whose valid size falls strictly below 50% of its capacity has its
+ *    fuller child drained down to the emptier child's size.  This
+ *    exactly reproduces the paper's Figure 8 example.
+ */
+
+#ifndef UVMSIM_CORE_LARGE_PAGE_TREE_HH
+#define UVMSIM_CORE_LARGE_PAGE_TREE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/types.hh"
+
+namespace uvmsim
+{
+
+/** Full binary tree over the 64KB basic blocks of one large page. */
+class LargePageTree
+{
+  public:
+    /**
+     * @param base_addr  Virtual base of the region; must be 64KB
+     *                   aligned.
+     * @param num_leaves Number of 64KB leaves; must be a power of two
+     *                   in [1, 32] (32 leaves == one 2MB large page).
+     */
+    LargePageTree(Addr base_addr, std::uint32_t num_leaves);
+
+    /** Virtual base address of the covered region. */
+    Addr baseAddr() const { return base_; }
+
+    /** Bytes covered by the whole tree (leaf count x 64KB). */
+    std::uint64_t capacityBytes() const
+    {
+        return static_cast<std::uint64_t>(num_leaves_) * basicBlockSize;
+    }
+
+    /** One-past-the-end address of the covered region. */
+    Addr endAddr() const { return base_ + capacityBytes(); }
+
+    /** Number of 64KB leaves. */
+    std::uint32_t numLeaves() const { return num_leaves_; }
+
+    /** Height of the root (0 for a single-leaf tree). */
+    std::uint32_t rootHeight() const { return height_; }
+
+    /** Whether the page lies inside the covered region. */
+    bool covers(PageNum page) const;
+
+    /** Leaf index containing the page. @pre covers(page). */
+    std::uint32_t leafOf(PageNum page) const;
+
+    /** First page number of a leaf. */
+    PageNum leafFirstPage(std::uint32_t leaf) const;
+
+    /** Mark one page to-be-valid (scheduled or resident). */
+    void markPage(PageNum page);
+
+    /** Clear one page's to-be-valid mark. */
+    void unmarkPage(PageNum page);
+
+    /** Whether the page is currently marked to-be-valid. */
+    bool pageMarked(PageNum page) const;
+
+    /** Number of marked pages in a leaf (0..16). */
+    std::uint32_t leafMarkedPages(std::uint32_t leaf) const;
+
+    /** Marked bytes under the node at (height, index). */
+    std::uint64_t nodeMarkedBytes(std::uint32_t height,
+                                  std::uint32_t index) const;
+
+    /** Capacity in bytes of any node at the given height. */
+    std::uint64_t
+    nodeCapacityBytes(std::uint32_t height) const
+    {
+        return basicBlockSize << height;
+    }
+
+    /** Total marked bytes in the tree. */
+    std::uint64_t totalMarkedBytes() const;
+
+    /** All currently marked pages, in address order. */
+    std::vector<PageNum> markedPages() const;
+
+    /**
+     * TBNp: handle a far-fault on a page of this tree.
+     *
+     * Marks the remainder of the faulted 64KB basic block, then walks
+     * leaf-to-root balancing every ancestor whose to-be-valid size
+     * strictly exceeds half its capacity.
+     *
+     * @param faulty_page The faulting page (must be unmarked & covered).
+     * @return Every page newly marked by this call, in address order;
+     *         includes faulty_page itself.
+     */
+    std::vector<PageNum> faultFill(PageNum faulty_page);
+
+    /**
+     * TBNe: handle the eviction of a basic block of this tree.
+     *
+     * Unmarks every marked page of the victim leaf, then walks
+     * leaf-to-root draining the fuller child of every ancestor whose
+     * valid size falls strictly below half its capacity.
+     *
+     * @param victim_leaf Leaf chosen from the LRU list.
+     * @return Every page newly unmarked by this call, in address
+     *         order.
+     */
+    std::vector<PageNum> evictDrain(std::uint32_t victim_leaf);
+
+    /**
+     * Verify internal consistency (leaf counts within range and
+     * aggregate bookkeeping coherent).  Used by tests; returns true
+     * when consistent.
+     */
+    bool checkConsistent() const;
+
+  private:
+    /** Node address helpers: node (h, i) spans leaves [i<<h, (i+1)<<h). */
+    std::uint32_t firstLeafUnder(std::uint32_t height,
+                                 std::uint32_t index) const
+    {
+        return index << height;
+    }
+
+    std::uint32_t leavesUnder(std::uint32_t height) const
+    {
+        return 1u << height;
+    }
+
+    /** Marked bytes in the leaf range of node (h, i). */
+    std::uint64_t markedUnder(std::uint32_t height,
+                              std::uint32_t index) const;
+
+    /**
+     * Fill `pages` unmarked pages under node (h, i), descending into
+     * the child with the smaller marked size first (ties to the lower
+     * address), appending newly marked page numbers to out.
+     * @return Pages actually filled (limited by spare capacity).
+     */
+    std::uint64_t fillPages(std::uint32_t height, std::uint32_t index,
+                            std::uint64_t pages,
+                            std::vector<PageNum> &out);
+
+    /**
+     * Drain `pages` marked pages under node (h, i), descending into
+     * the child with the larger marked size first (ties to the lower
+     * address), appending newly unmarked page numbers to out.
+     * @return Pages actually drained (limited by marked content).
+     */
+    std::uint64_t drainPages(std::uint32_t height, std::uint32_t index,
+                             std::uint64_t pages,
+                             std::vector<PageNum> &out);
+
+    Addr base_;
+    std::uint32_t num_leaves_;
+    std::uint32_t height_;
+
+    /** Per-leaf bitmap of marked 4KB pages (bit p = page p of leaf). */
+    std::vector<std::uint16_t> leaf_bits_;
+};
+
+} // namespace uvmsim
+
+#endif // UVMSIM_CORE_LARGE_PAGE_TREE_HH

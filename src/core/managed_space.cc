@@ -1,0 +1,112 @@
+#include "managed_space.hh"
+
+#include <bit>
+
+#include "sim/logging.hh"
+
+namespace uvmsim
+{
+
+std::uint64_t
+ManagedAllocation::roundUpRemainder(std::uint64_t remainder_bytes)
+{
+    if (remainder_bytes == 0)
+        return 0;
+    std::uint64_t blocks =
+        (remainder_bytes + basicBlockSize - 1) / basicBlockSize;
+    return std::bit_ceil(blocks) * basicBlockSize;
+}
+
+ManagedAllocation::ManagedAllocation(std::string name, Addr base,
+                                     std::uint64_t user_bytes)
+    : name_(std::move(name)), base_(base), user_bytes_(user_bytes)
+{
+    if (user_bytes_ == 0)
+        fatal("managed allocation '%s' of zero bytes", name_.c_str());
+    if (base_ % largePageSize != 0)
+        panic("allocation base %llx not 2MB aligned",
+              static_cast<unsigned long long>(base_));
+
+    std::uint64_t full_large_pages = user_bytes_ / largePageSize;
+    std::uint64_t remainder = user_bytes_ % largePageSize;
+
+    Addr cursor = base_;
+    for (std::uint64_t i = 0; i < full_large_pages; ++i) {
+        trees_.push_back(std::make_unique<LargePageTree>(
+            cursor, static_cast<std::uint32_t>(blocksPerLargePage)));
+        cursor += largePageSize;
+    }
+    std::uint64_t padded_remainder = roundUpRemainder(remainder);
+    if (padded_remainder > 0) {
+        trees_.push_back(std::make_unique<LargePageTree>(
+            cursor,
+            static_cast<std::uint32_t>(padded_remainder / basicBlockSize)));
+        cursor += padded_remainder;
+    }
+    padded_bytes_ = cursor - base_;
+}
+
+LargePageTree *
+ManagedAllocation::treeFor(PageNum page) const
+{
+    Addr a = pageBase(page);
+    if (!contains(a))
+        return nullptr;
+    std::uint64_t slot = (a - base_) / largePageSize;
+    // Full trees occupy one 2MB slot each; the remainder tree (if any)
+    // is the last entry and also starts on a 2MB boundary.
+    if (slot >= trees_.size())
+        return nullptr;
+    LargePageTree *tree = trees_[slot].get();
+    return tree->covers(page) ? tree : nullptr;
+}
+
+ManagedSpace::ManagedSpace()
+    : next_base_(vaBase)
+{
+}
+
+ManagedAllocation &
+ManagedSpace::allocate(std::uint64_t bytes, std::string name)
+{
+    auto alloc = std::make_unique<ManagedAllocation>(std::move(name),
+                                                     next_base_, bytes);
+    ManagedAllocation &ref = *alloc;
+
+    // Advance the bump pointer past the padded region, keeping 2MB
+    // alignment for the next allocation.
+    Addr end = ref.endAddr();
+    next_base_ = (end + largePageSize - 1) & ~(largePageSize - 1);
+
+    for (const auto &tree : ref.trees()) {
+        std::uint64_t slot = tree->baseAddr() / largePageSize;
+        slot_to_tree_[slot] = tree.get();
+        slot_to_alloc_[slot] = &ref;
+    }
+
+    total_user_bytes_ += ref.userBytes();
+    total_padded_bytes_ += ref.paddedBytes();
+
+    allocations_.push_back(std::move(alloc));
+    return ref;
+}
+
+ManagedAllocation *
+ManagedSpace::allocationFor(PageNum page) const
+{
+    auto it = slot_to_alloc_.find(pageBase(page) / largePageSize);
+    if (it == slot_to_alloc_.end())
+        return nullptr;
+    return it->second->contains(pageBase(page)) ? it->second : nullptr;
+}
+
+LargePageTree *
+ManagedSpace::treeFor(PageNum page) const
+{
+    auto it = slot_to_tree_.find(pageBase(page) / largePageSize);
+    if (it == slot_to_tree_.end())
+        return nullptr;
+    return it->second->covers(page) ? it->second : nullptr;
+}
+
+} // namespace uvmsim

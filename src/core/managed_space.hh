@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Managed (unified virtual memory) allocations and their trees.
+ *
+ * ManagedSpace plays the role of cudaMallocManaged: it hands out
+ * regions of the unified virtual address space and builds, per
+ * allocation, the full binary trees the GMMU's prefetch/evict policies
+ * operate on (paper Sec. 3.3): one 32-leaf tree per whole 2MB large
+ * page, plus one rounded-up power-of-two tree for any remainder.
+ *
+ * No physical memory is allocated here -- pages materialize on demand
+ * when the GMMU resolves far-faults, exactly as in the paper.
+ */
+
+#ifndef UVMSIM_CORE_MANAGED_SPACE_HH
+#define UVMSIM_CORE_MANAGED_SPACE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/large_page_tree.hh"
+#include "mem/types.hh"
+
+namespace uvmsim
+{
+
+/** One cudaMallocManaged-style allocation. */
+class ManagedAllocation
+{
+  public:
+    /**
+     * @param name       Debug label (e.g. "temp_grid").
+     * @param base       2MB-aligned virtual base address.
+     * @param user_bytes Size the "programmer" requested.
+     */
+    ManagedAllocation(std::string name, Addr base,
+                      std::uint64_t user_bytes);
+
+    /** Debug label. */
+    const std::string &name() const { return name_; }
+
+    /** Virtual base address (2MB aligned). */
+    Addr base() const { return base_; }
+
+    /** Size as requested by the user. */
+    std::uint64_t userBytes() const { return user_bytes_; }
+
+    /**
+     * Size after the driver's rounding: whole 2MB large pages plus the
+     * remainder rounded up to the next 2^i * 64KB.
+     */
+    std::uint64_t paddedBytes() const { return padded_bytes_; }
+
+    /** One-past-the-end of the padded region. */
+    Addr endAddr() const { return base_ + padded_bytes_; }
+
+    /** Whether an address lies in the padded region. */
+    bool
+    contains(Addr a) const
+    {
+        return a >= base_ && a < endAddr();
+    }
+
+    /** The trees covering this allocation, in address order. */
+    const std::vector<std::unique_ptr<LargePageTree>> &trees() const
+    {
+        return trees_;
+    }
+
+    /** The tree covering a page; nullptr when outside the region. */
+    LargePageTree *treeFor(PageNum page) const;
+
+    /**
+     * The driver's rounding rule for the non-2MB remainder: round up
+     * to the next power-of-two multiple of 64KB (192KB -> 256KB).
+     */
+    static std::uint64_t roundUpRemainder(std::uint64_t remainder_bytes);
+
+  private:
+    std::string name_;
+    Addr base_;
+    std::uint64_t user_bytes_;
+    std::uint64_t padded_bytes_;
+    std::vector<std::unique_ptr<LargePageTree>> trees_;
+};
+
+/** The unified virtual address space and its allocations. */
+class ManagedSpace
+{
+  public:
+    ManagedSpace();
+
+    /**
+     * Allocate a managed region.
+     *
+     * @param bytes User-requested size; must be > 0.
+     * @param name  Debug label.
+     * @return The allocation (owned by this space; stable address).
+     */
+    ManagedAllocation &allocate(std::uint64_t bytes,
+                                std::string name = "alloc");
+
+    /** The allocation containing a page; nullptr when unmanaged. */
+    ManagedAllocation *allocationFor(PageNum page) const;
+
+    /** The tree containing a page; nullptr when unmanaged. */
+    LargePageTree *treeFor(PageNum page) const;
+
+    /** All allocations in creation order. */
+    const std::vector<std::unique_ptr<ManagedAllocation>> &
+    allocations() const
+    {
+        return allocations_;
+    }
+
+    /** Sum of user-requested sizes. */
+    std::uint64_t totalUserBytes() const { return total_user_bytes_; }
+
+    /** Sum of padded sizes (what the device must eventually hold). */
+    std::uint64_t totalPaddedBytes() const { return total_padded_bytes_; }
+
+  private:
+    /** Virtual addresses start well away from zero to catch bugs. */
+    static constexpr Addr vaBase = 0x100000000ull;
+
+    Addr next_base_;
+    std::vector<std::unique_ptr<ManagedAllocation>> allocations_;
+
+    /** 2MB-slot index -> tree, for O(1) page-to-tree lookup. */
+    std::unordered_map<std::uint64_t, LargePageTree *> slot_to_tree_;
+    std::unordered_map<std::uint64_t, ManagedAllocation *> slot_to_alloc_;
+
+    std::uint64_t total_user_bytes_ = 0;
+    std::uint64_t total_padded_bytes_ = 0;
+};
+
+} // namespace uvmsim
+
+#endif // UVMSIM_CORE_MANAGED_SPACE_HH

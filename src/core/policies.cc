@@ -1,0 +1,87 @@
+#include "policies.hh"
+
+#include "sim/logging.hh"
+
+namespace uvmsim
+{
+
+std::string
+toString(PrefetcherKind kind)
+{
+    switch (kind) {
+      case PrefetcherKind::none:
+        return "none";
+      case PrefetcherKind::random:
+        return "Rp";
+      case PrefetcherKind::sequentialLocal:
+        return "SLp";
+      case PrefetcherKind::treeBasedNeighborhood:
+        return "TBNp";
+      case PrefetcherKind::sequentialGlobal:
+        return "SGp";
+      case PrefetcherKind::zhengLocality:
+        return "ZLp";
+    }
+    panic("unknown PrefetcherKind");
+}
+
+std::string
+toString(EvictionKind kind)
+{
+    switch (kind) {
+      case EvictionKind::lru4k:
+        return "LRU4K";
+      case EvictionKind::random4k:
+        return "Re";
+      case EvictionKind::sequentialLocal:
+        return "SLe";
+      case EvictionKind::treeBasedNeighborhood:
+        return "TBNe";
+      case EvictionKind::lru2mb:
+        return "LRU2MB";
+      case EvictionKind::mru4k:
+        return "MRU4K";
+    }
+    panic("unknown EvictionKind");
+}
+
+PrefetcherKind
+prefetcherFromString(const std::string &name)
+{
+    if (name == "none" || name == "None")
+        return PrefetcherKind::none;
+    if (name == "Rp" || name == "random")
+        return PrefetcherKind::random;
+    if (name == "SLp" || name == "sequential-local")
+        return PrefetcherKind::sequentialLocal;
+    if (name == "TBNp" || name == "tree-based-neighborhood")
+        return PrefetcherKind::treeBasedNeighborhood;
+    if (name == "SGp" || name == "sequential-global")
+        return PrefetcherKind::sequentialGlobal;
+    if (name == "ZLp" || name == "zheng-locality")
+        return PrefetcherKind::zhengLocality;
+    fatal("unknown prefetcher '%s' (expected none|Rp|SLp|TBNp|SGp|ZLp)",
+          name.c_str());
+}
+
+EvictionKind
+evictionFromString(const std::string &name)
+{
+    if (name == "LRU4K" || name == "lru4k" || name == "LRU")
+        return EvictionKind::lru4k;
+    if (name == "Re" || name == "random")
+        return EvictionKind::random4k;
+    if (name == "SLe" || name == "sequential-local")
+        return EvictionKind::sequentialLocal;
+    if (name == "TBNe" || name == "tree-based-neighborhood")
+        return EvictionKind::treeBasedNeighborhood;
+    if (name == "LRU2MB" || name == "lru2mb" || name == "2MB")
+        return EvictionKind::lru2mb;
+    if (name == "MRU4K" || name == "mru4k" || name == "MRU")
+        return EvictionKind::mru4k;
+    fatal("unknown eviction policy '%s' "
+          "(expected LRU4K|Re|SLe|TBNe|LRU2MB|MRU4K)",
+          name.c_str());
+}
+
+} // namespace uvmsim

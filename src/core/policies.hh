@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Enumerations naming the prefetch and eviction policies the paper
+ * studies, plus string conversions used by harness command lines.
+ */
+
+#ifndef UVMSIM_CORE_POLICIES_HH
+#define UVMSIM_CORE_POLICIES_HH
+
+#include <string>
+
+namespace uvmsim
+{
+
+/**
+ * Hardware prefetcher flavours.  The first four are the paper's
+ * Sec. 3 set; the last two are the Zheng et al. [26] baselines the
+ * paper discusses when positioning SLp (kept as ablation comparators).
+ */
+enum class PrefetcherKind
+{
+    none,                  //!< Pure 4KB on-demand migration.
+    random,                //!< Rp: +1 random 4KB page in the 2MB range.
+    sequentialLocal,       //!< SLp: fill the faulted 64KB basic block.
+    treeBasedNeighborhood, //!< TBNp: tree balancing within 2MB.
+    sequentialGlobal,      //!< Zheng's sequential: next pages in VA
+                           //!< order regardless of fault position.
+    zhengLocality,         //!< Zheng's locality-aware: 128 consecutive
+                           //!< 4KB pages from the faulting page.
+};
+
+/**
+ * Page replacement / pre-eviction flavours (paper Secs. 4.2, 5, 7.5).
+ * mru4k is the alternative Sec. 5.3 mentions for repetitive linear
+ * patterns, kept as an ablation comparator to LRU reservation.
+ */
+enum class EvictionKind
+{
+    lru4k,                 //!< Traditional LRU at 4KB granularity.
+    random4k,              //!< Re: uniformly random valid 4KB page.
+    sequentialLocal,       //!< SLe: evict the victim's 64KB block.
+    treeBasedNeighborhood, //!< TBNe: tree balancing within 2MB.
+    lru2mb,                //!< Evict the victim's whole 2MB large page.
+    mru4k,                 //!< Most-recently-used 4KB eviction.
+};
+
+/** Short display name, e.g. "TBNp". */
+std::string toString(PrefetcherKind kind);
+
+/** Short display name, e.g. "TBNe". */
+std::string toString(EvictionKind kind);
+
+/** Parse a prefetcher name (accepts "none", "Rp", "SLp", "TBNp"). */
+PrefetcherKind prefetcherFromString(const std::string &name);
+
+/** Parse an eviction name ("LRU4K", "Re", "SLe", "TBNe", "LRU2MB"). */
+EvictionKind evictionFromString(const std::string &name);
+
+} // namespace uvmsim
+
+#endif // UVMSIM_CORE_POLICIES_HH

@@ -1,0 +1,164 @@
+#include "prefetcher.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace uvmsim
+{
+
+namespace
+{
+
+void
+checkPreconditions(PageNum faulty_page, LargePageTree &tree)
+{
+    if (!tree.covers(faulty_page))
+        panic("prefetcher: fault page %llu not covered by tree",
+              static_cast<unsigned long long>(faulty_page));
+    if (tree.pageMarked(faulty_page))
+        panic("prefetcher: fault page %llu already to-be-valid",
+              static_cast<unsigned long long>(faulty_page));
+}
+
+} // namespace
+
+std::vector<PageNum>
+NonePrefetcher::selectPages(PageNum faulty_page, LargePageTree &tree,
+                            Rng &rng)
+{
+    (void)rng;
+    checkPreconditions(faulty_page, tree);
+    tree.markPage(faulty_page);
+    return {faulty_page};
+}
+
+std::vector<PageNum>
+RandomPrefetcher::selectPages(PageNum faulty_page, LargePageTree &tree,
+                              Rng &rng)
+{
+    checkPreconditions(faulty_page, tree);
+    tree.markPage(faulty_page);
+
+    // Candidate pool: every unmarked page within the tree (the 2MB
+    // large-page boundary, or the rounded remainder region).
+    std::uint64_t total_pages = tree.capacityBytes() / pageSize;
+    std::uint64_t marked_pages = tree.totalMarkedBytes() / pageSize;
+    std::uint64_t invalid = total_pages - marked_pages;
+    if (invalid == 0)
+        return {faulty_page};
+
+    // Pick the k-th unmarked page uniformly.
+    std::uint64_t k = rng.below(invalid);
+    PageNum first = pageOf(tree.baseAddr());
+    for (PageNum p = first; p < first + total_pages; ++p) {
+        if (tree.pageMarked(p))
+            continue;
+        if (k == 0) {
+            tree.markPage(p);
+            std::vector<PageNum> out{faulty_page, p};
+            std::sort(out.begin(), out.end());
+            return out;
+        }
+        --k;
+    }
+    panic("RandomPrefetcher: candidate scan fell through");
+}
+
+std::vector<PageNum>
+SequentialLocalPrefetcher::selectPages(PageNum faulty_page,
+                                       LargePageTree &tree, Rng &rng)
+{
+    (void)rng;
+    checkPreconditions(faulty_page, tree);
+
+    // Fill the unmarked remainder of the faulted basic block.
+    std::uint32_t leaf = tree.leafOf(faulty_page);
+    PageNum first = tree.leafFirstPage(leaf);
+    std::vector<PageNum> out;
+    for (std::uint64_t p = 0; p < pagesPerBasicBlock; ++p) {
+        PageNum page = first + p;
+        if (!tree.pageMarked(page)) {
+            tree.markPage(page);
+            out.push_back(page);
+        }
+    }
+    return out;
+}
+
+std::vector<PageNum>
+TreeBasedPrefetcher::selectPages(PageNum faulty_page, LargePageTree &tree,
+                                 Rng &rng)
+{
+    (void)rng;
+    checkPreconditions(faulty_page, tree);
+    return tree.faultFill(faulty_page);
+}
+
+std::vector<PageNum>
+SequentialGlobalPrefetcher::selectPages(PageNum faulty_page,
+                                        LargePageTree &tree, Rng &rng)
+{
+    (void)rng;
+    checkPreconditions(faulty_page, tree);
+    tree.markPage(faulty_page);
+    std::vector<PageNum> out{faulty_page};
+
+    // Stream from the lowest invalid page of the region upward,
+    // ignoring the fault position (Zheng et al.'s "sequential").
+    PageNum first = pageOf(tree.baseAddr());
+    PageNum end = pageOf(tree.endAddr() - 1) + 1;
+    std::uint64_t taken = 0;
+    for (PageNum p = first; p < end && taken < pages_per_fault_; ++p) {
+        if (tree.pageMarked(p))
+            continue;
+        tree.markPage(p);
+        out.push_back(p);
+        ++taken;
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::vector<PageNum>
+ZhengLocalityPrefetcher::selectPages(PageNum faulty_page,
+                                     LargePageTree &tree, Rng &rng)
+{
+    (void)rng;
+    checkPreconditions(faulty_page, tree);
+    std::vector<PageNum> out;
+
+    // 128 consecutive pages starting at the fault, clamped to the
+    // region end; already-valid pages in the run are skipped.
+    PageNum end = pageOf(tree.endAddr() - 1) + 1;
+    for (PageNum p = faulty_page;
+         p < end && p < faulty_page + pages_per_fault_; ++p) {
+        if (tree.pageMarked(p))
+            continue;
+        tree.markPage(p);
+        out.push_back(p);
+    }
+    return out;
+}
+
+std::unique_ptr<Prefetcher>
+makePrefetcher(PrefetcherKind kind)
+{
+    switch (kind) {
+      case PrefetcherKind::none:
+        return std::make_unique<NonePrefetcher>();
+      case PrefetcherKind::random:
+        return std::make_unique<RandomPrefetcher>();
+      case PrefetcherKind::sequentialLocal:
+        return std::make_unique<SequentialLocalPrefetcher>();
+      case PrefetcherKind::treeBasedNeighborhood:
+        return std::make_unique<TreeBasedPrefetcher>();
+      case PrefetcherKind::sequentialGlobal:
+        return std::make_unique<SequentialGlobalPrefetcher>();
+      case PrefetcherKind::zhengLocality:
+        return std::make_unique<ZhengLocalityPrefetcher>();
+    }
+    panic("unknown PrefetcherKind");
+}
+
+} // namespace uvmsim

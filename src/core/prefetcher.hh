@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Hardware prefetchers (paper Sec. 3).
+ *
+ * A prefetcher answers one question for the GMMU: given a far-fault on
+ * a page, which set of pages should migrate together?  The returned
+ * set always includes the faulting page.  Every selected page is
+ * marked to-be-valid in the allocation's tree as part of selection, so
+ * concurrent fault decisions see each other.
+ */
+
+#ifndef UVMSIM_CORE_PREFETCHER_HH
+#define UVMSIM_CORE_PREFETCHER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/large_page_tree.hh"
+#include "core/policies.hh"
+#include "mem/types.hh"
+#include "sim/rng.hh"
+
+namespace uvmsim
+{
+
+/** Strategy interface for the migration-set decision. */
+class Prefetcher
+{
+  public:
+    virtual ~Prefetcher() = default;
+
+    /** Display name ("none", "Rp", "SLp", "TBNp"). */
+    virtual std::string name() const = 0;
+
+    /** The kind this instance implements. */
+    virtual PrefetcherKind kind() const = 0;
+
+    /**
+     * Choose the pages to migrate for a far-fault.
+     *
+     * @param faulty_page The faulting page; must be unmarked in tree.
+     * @param tree        The large-page tree covering faulty_page.
+     * @param rng         Randomness source (used by Rp only).
+     * @return Newly marked pages in ascending order, always including
+     *         faulty_page.
+     */
+    virtual std::vector<PageNum> selectPages(PageNum faulty_page,
+                                             LargePageTree &tree,
+                                             Rng &rng) = 0;
+};
+
+/** 4KB on-demand: migrate exactly the faulting page. */
+class NonePrefetcher : public Prefetcher
+{
+  public:
+    std::string name() const override { return "none"; }
+    PrefetcherKind kind() const override { return PrefetcherKind::none; }
+    std::vector<PageNum> selectPages(PageNum faulty_page,
+                                     LargePageTree &tree,
+                                     Rng &rng) override;
+};
+
+/**
+ * Rp: the faulting page plus one random invalid 4KB page drawn from
+ * the same 2MB large-page boundary (paper Sec. 3.1).
+ */
+class RandomPrefetcher : public Prefetcher
+{
+  public:
+    std::string name() const override { return "Rp"; }
+    PrefetcherKind kind() const override { return PrefetcherKind::random; }
+    std::vector<PageNum> selectPages(PageNum faulty_page,
+                                     LargePageTree &tree,
+                                     Rng &rng) override;
+};
+
+/**
+ * SLp: fill the 64KB basic block containing the faulting page (paper
+ * Sec. 3.2) -- 16 contiguous pages local to the fault.
+ */
+class SequentialLocalPrefetcher : public Prefetcher
+{
+  public:
+    std::string name() const override { return "SLp"; }
+    PrefetcherKind
+    kind() const override
+    {
+        return PrefetcherKind::sequentialLocal;
+    }
+    std::vector<PageNum> selectPages(PageNum faulty_page,
+                                     LargePageTree &tree,
+                                     Rng &rng) override;
+};
+
+/**
+ * TBNp: the tree-based neighborhood prefetcher reverse engineered from
+ * the CUDA 8.0 driver (paper Sec. 3.3) -- fill the faulted basic block
+ * and rebalance ancestors above 50% occupancy.
+ */
+class TreeBasedPrefetcher : public Prefetcher
+{
+  public:
+    std::string name() const override { return "TBNp"; }
+    PrefetcherKind
+    kind() const override
+    {
+        return PrefetcherKind::treeBasedNeighborhood;
+    }
+    std::vector<PageNum> selectPages(PageNum faulty_page,
+                                     LargePageTree &tree,
+                                     Rng &rng) override;
+};
+
+/**
+ * SGp: Zheng et al.'s sequential prefetcher -- on every fault, besides
+ * the faulting page, migrate the next invalid pages in ascending
+ * virtual-address order within the region, irrespective of where the
+ * fault landed.  Kept as the ablation baseline the paper contrasts
+ * SLp against.
+ */
+class SequentialGlobalPrefetcher : public Prefetcher
+{
+  public:
+    /** @param pages_per_fault How many pages to stream per fault. */
+    explicit SequentialGlobalPrefetcher(std::uint64_t pages_per_fault =
+                                            pagesPerBasicBlock)
+        : pages_per_fault_(pages_per_fault)
+    {}
+
+    std::string name() const override { return "SGp"; }
+    PrefetcherKind
+    kind() const override
+    {
+        return PrefetcherKind::sequentialGlobal;
+    }
+    std::vector<PageNum> selectPages(PageNum faulty_page,
+                                     LargePageTree &tree,
+                                     Rng &rng) override;
+
+  private:
+    std::uint64_t pages_per_fault_;
+};
+
+/**
+ * ZLp: Zheng et al.'s locality-aware prefetcher -- migrate 128
+ * consecutive 4KB pages (512KB) starting from the faulting page,
+ * clamped to the region end.  The paper notes SLp deliberately
+ * differs (64KB blocks, no cross-large-page coordination).
+ */
+class ZhengLocalityPrefetcher : public Prefetcher
+{
+  public:
+    /** @param pages_per_fault Run length from the fault (default 128). */
+    explicit ZhengLocalityPrefetcher(std::uint64_t pages_per_fault = 128)
+        : pages_per_fault_(pages_per_fault)
+    {}
+
+    std::string name() const override { return "ZLp"; }
+    PrefetcherKind
+    kind() const override
+    {
+        return PrefetcherKind::zhengLocality;
+    }
+    std::vector<PageNum> selectPages(PageNum faulty_page,
+                                     LargePageTree &tree,
+                                     Rng &rng) override;
+
+  private:
+    std::uint64_t pages_per_fault_;
+};
+
+/** Factory for a prefetcher of the given kind. */
+std::unique_ptr<Prefetcher> makePrefetcher(PrefetcherKind kind);
+
+} // namespace uvmsim
+
+#endif // UVMSIM_CORE_PREFETCHER_HH

@@ -1,0 +1,246 @@
+#include "residency_tracker.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace uvmsim
+{
+
+void
+ResidencyTracker::touchHierarchy(PageNum page)
+{
+    std::uint64_t block = basicBlockOf(pageBase(page));
+    std::uint64_t slot = largePageOf(pageBase(page));
+
+    auto [cit, chunk_new] = chunks_.try_emplace(slot);
+    ChunkEntry &chunk = cit->second;
+    if (chunk_new) {
+        chunk_order_.push_front(slot);
+        chunk.self = chunk_order_.begin();
+    } else {
+        chunk_order_.splice(chunk_order_.begin(), chunk_order_, chunk.self);
+    }
+
+    auto bit = chunk.block_pos.find(block);
+    if (bit == chunk.block_pos.end()) {
+        chunk.block_order.push_front(block);
+        chunk.block_pos[block] = chunk.block_order.begin();
+    } else {
+        chunk.block_order.splice(chunk.block_order.begin(),
+                                 chunk.block_order, bit->second);
+    }
+}
+
+void
+ResidencyTracker::removeFromHierarchy(PageNum page)
+{
+    std::uint64_t block = basicBlockOf(pageBase(page));
+    std::uint64_t slot = largePageOf(pageBase(page));
+
+    auto cit = chunks_.find(slot);
+    if (cit == chunks_.end())
+        panic("hierarchy missing chunk for page %llu",
+              static_cast<unsigned long long>(page));
+    ChunkEntry &chunk = cit->second;
+
+    auto pit = chunk.block_pages.find(block);
+    if (pit == chunk.block_pages.end() || pit->second == 0)
+        panic("hierarchy missing block for page %llu",
+              static_cast<unsigned long long>(page));
+    --pit->second;
+    --chunk.pages;
+    if (pit->second == 0) {
+        chunk.block_pages.erase(pit);
+        auto bit = chunk.block_pos.find(block);
+        chunk.block_order.erase(bit->second);
+        chunk.block_pos.erase(bit);
+    }
+    if (chunk.pages == 0) {
+        chunk_order_.erase(chunk.self);
+        chunks_.erase(cit);
+    }
+}
+
+void
+ResidencyTracker::onResident(PageNum page)
+{
+    if (page_pos_.count(page))
+        panic("page %llu already tracked as resident",
+              static_cast<unsigned long long>(page));
+
+    page_order_.push_front(page);
+    page_pos_[page] = page_order_.begin();
+
+    std::uint64_t block = basicBlockOf(pageBase(page));
+    std::uint64_t slot = largePageOf(pageBase(page));
+    touchHierarchy(page);
+    ChunkEntry &chunk = chunks_.at(slot);
+    ++chunk.block_pages[block];
+    ++chunk.pages;
+
+    random_pos_[page] = random_pool_.size();
+    random_pool_.push_back(page);
+}
+
+void
+ResidencyTracker::onAccess(PageNum page)
+{
+    auto it = page_pos_.find(page);
+    if (it == page_pos_.end())
+        return; // access raced with an eviction decision; harmless
+    page_order_.splice(page_order_.begin(), page_order_, it->second);
+    touchHierarchy(page);
+}
+
+void
+ResidencyTracker::onEvicted(PageNum page)
+{
+    auto it = page_pos_.find(page);
+    if (it == page_pos_.end())
+        panic("evicting untracked page %llu",
+              static_cast<unsigned long long>(page));
+    page_order_.erase(it->second);
+    page_pos_.erase(it);
+
+    removeFromHierarchy(page);
+
+    auto rit = random_pos_.find(page);
+    std::size_t idx = rit->second;
+    PageNum last = random_pool_.back();
+    random_pool_[idx] = last;
+    random_pos_[last] = idx;
+    random_pool_.pop_back();
+    random_pos_.erase(rit);
+}
+
+bool
+ResidencyTracker::isTracked(PageNum page) const
+{
+    return page_pos_.count(page) > 0;
+}
+
+std::optional<PageNum>
+ResidencyTracker::lruPageVictim(std::uint64_t skip_pages) const
+{
+    if (skip_pages >= page_order_.size())
+        return std::nullopt;
+    auto it = page_order_.rbegin();
+    std::advance(it, static_cast<long>(skip_pages));
+    return *it;
+}
+
+std::optional<PageNum>
+ResidencyTracker::randomPageVictim(Rng &rng) const
+{
+    if (random_pool_.empty())
+        return std::nullopt;
+    return random_pool_[rng.below(random_pool_.size())];
+}
+
+std::optional<PageNum>
+ResidencyTracker::mruPageVictim() const
+{
+    if (page_order_.empty())
+        return std::nullopt;
+    return page_order_.front();
+}
+
+std::optional<std::uint64_t>
+ResidencyTracker::lruBlockVictim(std::uint64_t skip_pages) const
+{
+    std::uint64_t to_skip = skip_pages;
+    // Chunks cold-to-hot, blocks cold-to-hot within each chunk.
+    for (auto cit = chunk_order_.rbegin(); cit != chunk_order_.rend();
+         ++cit) {
+        const ChunkEntry &chunk = chunks_.at(*cit);
+        for (auto bit = chunk.block_order.rbegin();
+             bit != chunk.block_order.rend(); ++bit) {
+            std::uint64_t pages = chunk.block_pages.at(*bit);
+            if (to_skip >= pages) {
+                to_skip -= pages;
+                continue;
+            }
+            return *bit;
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<std::uint64_t>
+ResidencyTracker::lruLargePageVictim(std::uint64_t skip_pages) const
+{
+    std::uint64_t to_skip = skip_pages;
+    for (auto cit = chunk_order_.rbegin(); cit != chunk_order_.rend();
+         ++cit) {
+        const ChunkEntry &chunk = chunks_.at(*cit);
+        if (to_skip >= chunk.pages) {
+            to_skip -= chunk.pages;
+            continue;
+        }
+        return *cit;
+    }
+    return std::nullopt;
+}
+
+std::vector<PageNum>
+ResidencyTracker::pagesInBlock(std::uint64_t block) const
+{
+    std::vector<PageNum> out;
+    PageNum first = pageOf(basicBlockBase(block));
+    for (std::uint64_t p = 0; p < pagesPerBasicBlock; ++p) {
+        if (isTracked(first + p))
+            out.push_back(first + p);
+    }
+    return out;
+}
+
+std::vector<PageNum>
+ResidencyTracker::pagesInLargePage(std::uint64_t slot) const
+{
+    std::vector<PageNum> out;
+    PageNum first = pageOf(slot << largePageShift);
+    for (std::uint64_t p = 0; p < pagesPerLargePage; ++p) {
+        if (isTracked(first + p))
+            out.push_back(first + p);
+    }
+    return out;
+}
+
+std::uint64_t
+ResidencyTracker::blockResidentPages(std::uint64_t block) const
+{
+    std::uint64_t slot = block / (largePageSize / basicBlockSize);
+    auto cit = chunks_.find(slot);
+    if (cit == chunks_.end())
+        return 0;
+    auto bit = cit->second.block_pages.find(block);
+    return bit == cit->second.block_pages.end() ? 0 : bit->second;
+}
+
+bool
+ResidencyTracker::checkConsistent() const
+{
+    if (page_order_.size() != page_pos_.size())
+        return false;
+    if (random_pool_.size() != page_pos_.size())
+        return false;
+
+    std::uint64_t hierarchy_pages = 0;
+    for (const auto &[slot, chunk] : chunks_) {
+        std::uint64_t chunk_pages = 0;
+        for (const auto &[block, n] : chunk.block_pages) {
+            if (n == 0)
+                return false;
+            chunk_pages += n;
+        }
+        if (chunk_pages != chunk.pages)
+            return false;
+        if (chunk.block_pos.size() != chunk.block_pages.size())
+            return false;
+        hierarchy_pages += chunk.pages;
+    }
+    return hierarchy_pages == page_pos_.size();
+}
+
+} // namespace uvmsim

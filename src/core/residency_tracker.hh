@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Recency bookkeeping for resident pages -- the paper's LRU page list.
+ *
+ * Paper Sec. 5.3 design choices, all implemented here:
+ *  - the list holds *every* page whose valid flag is set (not just
+ *    accessed pages); pages enter on migration completion;
+ *  - any read or write access moves a page to the MRU end;
+ *  - ordering is hierarchical: 2MB chunks are ordered by the chunk's
+ *    last access, and 64KB basic blocks are ordered within their chunk
+ *    by the block's last access;
+ *  - a configurable count of pages at the cold (top-of-LRU) end can be
+ *    reserved from eviction (Sec. 7.4).
+ *
+ * The tracker also maintains a flat page-granular LRU (for the
+ * traditional LRU-4KB policy) and an O(1) uniform random sampler (for
+ * the Re policy).
+ */
+
+#ifndef UVMSIM_CORE_RESIDENCY_TRACKER_HH
+#define UVMSIM_CORE_RESIDENCY_TRACKER_HH
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/types.hh"
+#include "sim/rng.hh"
+
+namespace uvmsim
+{
+
+/** Tracks which pages are resident and how recently they were used. */
+class ResidencyTracker
+{
+  public:
+    ResidencyTracker() = default;
+
+    /** A page finished migrating: insert at the MRU end. */
+    void onResident(PageNum page);
+
+    /** A resident page was read or written: move to the MRU end. */
+    void onAccess(PageNum page);
+
+    /** A page was evicted: forget it. */
+    void onEvicted(PageNum page);
+
+    /** Whether the tracker knows the page as resident. */
+    bool isTracked(PageNum page) const;
+
+    /** Number of resident pages tracked. */
+    std::uint64_t size() const { return page_pos_.size(); }
+
+    /**
+     * Flat 4KB LRU victim: the oldest page after skipping `skip_pages`
+     * pages from the cold end (the reservation of Sec. 7.4).
+     * @return nullopt when nothing is evictable after the skip.
+     */
+    std::optional<PageNum> lruPageVictim(std::uint64_t skip_pages) const;
+
+    /** Uniformly random resident page (Re policy). */
+    std::optional<PageNum> randomPageVictim(Rng &rng) const;
+
+    /**
+     * Most-recently-used page (the MRU policy Sec. 5.3 mentions as the
+     * classic fix for repetitive linear patterns).
+     */
+    std::optional<PageNum> mruPageVictim() const;
+
+    /**
+     * Hierarchical 64KB victim: the least-recent basic block of the
+     * least-recent 2MB chunk, after skipping blocks covering the first
+     * `skip_pages` resident pages from the cold end.
+     * @return Global basic-block index (addr >> 16), or nullopt.
+     */
+    std::optional<std::uint64_t>
+    lruBlockVictim(std::uint64_t skip_pages) const;
+
+    /**
+     * 2MB victim: the least-recent large-page chunk after skipping
+     * chunks covering the first `skip_pages` resident pages.
+     * @return Global 2MB slot index (addr >> 21), or nullopt.
+     */
+    std::optional<std::uint64_t>
+    lruLargePageVictim(std::uint64_t skip_pages) const;
+
+    /** Resident pages inside a global basic-block index, ascending. */
+    std::vector<PageNum> pagesInBlock(std::uint64_t block) const;
+
+    /** Resident pages inside a global 2MB slot index, ascending. */
+    std::vector<PageNum> pagesInLargePage(std::uint64_t slot) const;
+
+    /** Resident-page count of a block (0 when unknown). */
+    std::uint64_t blockResidentPages(std::uint64_t block) const;
+
+    /** Internal invariants hold (for tests). */
+    bool checkConsistent() const;
+
+  private:
+    // ---- flat page LRU (MRU at front) ----
+    std::list<PageNum> page_order_;
+    std::unordered_map<PageNum, std::list<PageNum>::iterator> page_pos_;
+
+    // ---- hierarchical structures ----
+    struct ChunkEntry
+    {
+        /** Blocks of this chunk, MRU at front. */
+        std::list<std::uint64_t> block_order;
+        std::unordered_map<std::uint64_t,
+                           std::list<std::uint64_t>::iterator> block_pos;
+        /** Resident pages per block of this chunk. */
+        std::unordered_map<std::uint64_t, std::uint64_t> block_pages;
+        /** Total resident pages in the chunk. */
+        std::uint64_t pages = 0;
+        /** Position in chunk_order_. */
+        std::list<std::uint64_t>::iterator self;
+    };
+
+    /** 2MB chunks, MRU at front. */
+    std::list<std::uint64_t> chunk_order_;
+    std::unordered_map<std::uint64_t, ChunkEntry> chunks_;
+
+    // ---- O(1) random sampling ----
+    std::vector<PageNum> random_pool_;
+    std::unordered_map<PageNum, std::size_t> random_pos_;
+
+    void touchHierarchy(PageNum page);
+    void removeFromHierarchy(PageNum page);
+};
+
+} // namespace uvmsim
+
+#endif // UVMSIM_CORE_RESIDENCY_TRACKER_HH

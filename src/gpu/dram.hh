@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Device DRAM (GDDR5-class) channel model.
+ *
+ * A single logical channel with fixed access latency plus a bandwidth
+ * constraint: each line fill occupies the channel for
+ * line_bytes / bandwidth, so sustained miss streams see queueing
+ * exactly like a real memory controller's bank/bus serialization --
+ * without modeling banks individually (UVM behaviour is insensitive to
+ * that level of detail).
+ */
+
+#ifndef UVMSIM_GPU_DRAM_HH
+#define UVMSIM_GPU_DRAM_HH
+
+#include <algorithm>
+#include <cstdint>
+
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+#include "sim/ticks.hh"
+
+namespace uvmsim
+{
+
+/** Fixed-latency, bandwidth-limited device memory channel. */
+class DramModel
+{
+  public:
+    /**
+     * @param eq             Event queue.
+     * @param latency        Access latency in ticks.
+     * @param bandwidth_gbps Sustained bandwidth (1e9 B/s).
+     */
+    DramModel(EventQueue &eq, Tick latency, double bandwidth_gbps)
+        : eq_(eq),
+          latency_(latency),
+          accesses_("dram.accesses", "DRAM line transfers"),
+          bytes_("dram.bytes", "bytes moved through DRAM")
+    {
+        if (bandwidth_gbps <= 0.0)
+            fatal("DRAM bandwidth must be positive");
+        ticks_per_byte_ =
+            static_cast<double>(oneSecond) / (bandwidth_gbps * 1e9);
+    }
+
+    /**
+     * Complete one line transfer of `bytes` and report its completion
+     * tick: the channel serializes occupancy, then the fixed latency
+     * applies.
+     */
+    Tick
+    access(std::uint32_t bytes)
+    {
+        Tick now = eq_.curTick();
+        Tick start = std::max(now, busy_until_);
+        Tick occupy = static_cast<Tick>(
+            ticks_per_byte_ * static_cast<double>(bytes) + 0.5);
+        busy_until_ = start + occupy;
+        ++accesses_;
+        bytes_ += bytes;
+        return busy_until_ + latency_;
+    }
+
+    /** Register this component's statistics. */
+    void
+    registerStats(stats::StatRegistry &registry)
+    {
+        registry.add(&accesses_);
+        registry.add(&bytes_);
+    }
+
+  private:
+    EventQueue &eq_;
+    Tick latency_;
+    double ticks_per_byte_;
+    Tick busy_until_ = 0;
+
+    stats::Counter accesses_;
+    stats::Counter bytes_;
+};
+
+} // namespace uvmsim
+
+#endif // UVMSIM_GPU_DRAM_HH

@@ -1,0 +1,148 @@
+#include "gpu.hh"
+
+#include "sim/logging.hh"
+
+namespace uvmsim
+{
+
+Gpu::Gpu(EventQueue &eq, const GpuConfig &config, Gmmu &gmmu)
+    : eq_(eq),
+      config_(config),
+      gmmu_(gmmu),
+      l2_(config.l2_bytes, config.l2_assoc, config.l2_line_bytes),
+      dram_(eq, nanoseconds(config.dram_latency_ns),
+            config.dram_bandwidth_gbps),
+      kernels_("gpu.kernels", "kernels completed"),
+      blocks_dispatched_("gpu.blocks_dispatched",
+                         "thread blocks dispatched to SMs"),
+      kernel_time_us_("gpu.kernel_time_us",
+                      "accumulated kernel execution time (us)",
+                      [this] {
+                          return ticksToMicroseconds(total_kernel_ticks_);
+                      })
+{
+    if (config_.num_sms == 0)
+        fatal("GPU needs at least one SM");
+    sms_.reserve(config_.num_sms);
+    for (std::uint32_t i = 0; i < config_.num_sms; ++i) {
+        sms_.push_back(std::make_unique<Sm>(
+            i, config_, eq_, gmmu_, l2_, dram_,
+            [this]() { onBlockDone(); }));
+    }
+    gmmu_.setTlbShootdown([this](PageNum page) { invalidatePage(page); });
+}
+
+void
+Gpu::launch(Kernel &kernel, std::function<void()> on_done)
+{
+    if (current_)
+        panic("kernel '%s' launched while '%s' is running",
+              kernel.name().c_str(), current_->name().c_str());
+
+    DTRACE("GPU", "launching kernel '%s'", kernel.name().c_str());
+    current_ = &kernel;
+    stream_exhausted_ = false;
+    on_done_ = std::move(on_done);
+    kernel_start_ = eq_.curTick();
+
+    eq_.scheduleAfter(config_.kernel_launch_overhead, [this]() {
+        dispatch();
+        checkKernelDone();
+    });
+}
+
+void
+Gpu::dispatch()
+{
+    if (!current_)
+        return;
+
+    while (true) {
+        // Pull the next block (or use the one parked when no SM had
+        // room on the previous round).
+        if (!pending_block_ && !stream_exhausted_) {
+            pending_block_ = current_->nextThreadBlock();
+            if (!pending_block_)
+                stream_exhausted_ = true;
+        }
+        if (!pending_block_)
+            return;
+
+        auto warps =
+            static_cast<std::uint32_t>(pending_block_->warps.size());
+        if (warps > config_.max_warps_per_sm)
+            fatal("thread block with %u warps exceeds the %u-warp SM "
+                  "limit", warps, config_.max_warps_per_sm);
+
+        // Round-robin placement so blocks spread across SMs.
+        Sm *target = nullptr;
+        for (std::uint32_t i = 0; i < config_.num_sms; ++i) {
+            Sm &sm = *sms_[(rr_cursor_ + i) % config_.num_sms];
+            if (sm.canAccept(warps)) {
+                target = &sm;
+                rr_cursor_ = (sm.id() + 1) % config_.num_sms;
+                break;
+            }
+        }
+        if (!target)
+            return; // everything full; a draining block re-dispatches
+
+        std::uint64_t first_id = next_warp_id_;
+        next_warp_id_ += warps;
+        ++blocks_dispatched_;
+        target->acceptBlock(std::move(pending_block_), first_id);
+    }
+}
+
+void
+Gpu::checkKernelDone()
+{
+    if (!current_ || !stream_exhausted_ || pending_block_)
+        return;
+    for (const auto &sm : sms_) {
+        if (!sm->idle())
+            return;
+    }
+
+    DTRACE("GPU", "kernel complete after %.1f us",
+           ticksToMicroseconds(eq_.curTick() - kernel_start_));
+    total_kernel_ticks_ += eq_.curTick() - kernel_start_;
+    ++kernels_;
+    current_ = nullptr;
+    auto done = std::move(on_done_);
+    on_done_ = nullptr;
+    if (done)
+        done();
+}
+
+void
+Gpu::onBlockDone()
+{
+    dispatch();
+    checkKernelDone();
+}
+
+void
+Gpu::invalidatePage(PageNum page)
+{
+    for (auto &sm : sms_) {
+        sm->tlb().invalidate(page);
+        if (L2Cache *l1 = sm->l1())
+            l1->invalidatePage(page);
+    }
+    l2_.invalidatePage(page);
+}
+
+void
+Gpu::registerStats(stats::StatRegistry &registry)
+{
+    registry.add(&kernels_);
+    registry.add(&blocks_dispatched_);
+    registry.add(&kernel_time_us_);
+    l2_.registerStats(registry);
+    dram_.registerStats(registry);
+    for (auto &sm : sms_)
+        sm->registerStats(registry);
+}
+
+} // namespace uvmsim

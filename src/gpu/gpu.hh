@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The whole GPU: SMs, L2, DRAM, the thread-block dispatcher, and the
+ * kernel-launch interface.
+ *
+ * Kernels execute one at a time (the benchmarks synchronize between
+ * launches, as the paper's iterative workloads do); the dispatcher
+ * pulls thread blocks from the kernel stream into any SM with room,
+ * re-filling as blocks drain.
+ */
+
+#ifndef UVMSIM_GPU_GPU_HH
+#define UVMSIM_GPU_GPU_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/gmmu.hh"
+#include "gpu/dram.hh"
+#include "gpu/gpu_config.hh"
+#include "gpu/kernel.hh"
+#include "gpu/l2_cache.hh"
+#include "gpu/sm.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace uvmsim
+{
+
+/** The device: execution resources plus their shared memory side. */
+class Gpu
+{
+  public:
+    Gpu(EventQueue &eq, const GpuConfig &config, Gmmu &gmmu);
+
+    Gpu(const Gpu &) = delete;
+    Gpu &operator=(const Gpu &) = delete;
+
+    /**
+     * Launch a kernel.  Only one kernel runs at a time; `on_done`
+     * fires when every thread block has completed.
+     */
+    void launch(Kernel &kernel, std::function<void()> on_done);
+
+    /** Whether a kernel is currently executing. */
+    bool busy() const { return current_ != nullptr; }
+
+    /**
+     * Page shootdown hook for the GMMU: drops the page's translations
+     * from every SM TLB and its lines from the L2.
+     */
+    void invalidatePage(PageNum page);
+
+    /** Accumulated kernel execution time (the paper's main metric). */
+    Tick totalKernelTime() const { return total_kernel_ticks_; }
+
+    /** Number of kernels completed. */
+    std::uint64_t kernelsCompleted() const { return kernels_.count(); }
+
+    /** The shared L2 (exposed for tests). */
+    L2Cache &l2() { return l2_; }
+
+    /** The DRAM channel (exposed for tests). */
+    DramModel &dram() { return dram_; }
+
+    /** The configuration in use. */
+    const GpuConfig &config() const { return config_; }
+
+    /** Register this component's (and its children's) statistics. */
+    void registerStats(stats::StatRegistry &registry);
+
+  private:
+    /** Fill SMs from the current kernel's block stream. */
+    void dispatch();
+
+    /** A block finished somewhere; refill and check for completion. */
+    void onBlockDone();
+
+    /** Finish the kernel when the stream drained and all SMs idle. */
+    void checkKernelDone();
+
+    EventQueue &eq_;
+    GpuConfig config_;
+    Gmmu &gmmu_;
+
+    L2Cache l2_;
+    DramModel dram_;
+    std::vector<std::unique_ptr<Sm>> sms_;
+
+    Kernel *current_ = nullptr;
+    std::unique_ptr<ThreadBlock> pending_block_;
+    bool stream_exhausted_ = false;
+    std::function<void()> on_done_;
+    Tick kernel_start_ = 0;
+    Tick total_kernel_ticks_ = 0;
+    std::uint64_t next_warp_id_ = 0;
+    std::uint32_t rr_cursor_ = 0;
+
+    stats::Counter kernels_;
+    stats::Counter blocks_dispatched_;
+    stats::Formula kernel_time_us_;
+};
+
+} // namespace uvmsim
+
+#endif // UVMSIM_GPU_GPU_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * GPU execution-model parameters.
+ *
+ * Defaults follow the paper's Table 2 (a Pascal-class GPU: 28 SMs of
+ * 128 cores at 1481 MHz) plus conventional Pascal-era memory-side
+ * constants for the parts the paper holds fixed (L2, GDDR5).
+ */
+
+#ifndef UVMSIM_GPU_GPU_CONFIG_HH
+#define UVMSIM_GPU_GPU_CONFIG_HH
+
+#include <cstdint>
+
+#include "sim/ticks.hh"
+
+namespace uvmsim
+{
+
+/** Static configuration of the modeled GPU. */
+struct GpuConfig
+{
+    /** Number of streaming multiprocessors. */
+    std::uint32_t num_sms = 28;
+
+    /** Core clock in MHz (Table 2: 1481 MHz). */
+    double core_mhz = 1481.0;
+
+    /** Maximum warps resident per SM (TLP available to hide faults). */
+    std::uint32_t max_warps_per_sm = 16;
+
+    /** Maximum thread blocks resident per SM. */
+    std::uint32_t max_tbs_per_sm = 4;
+
+    /** Per-SM TLB entries (fully associative, single-cycle lookup). */
+    std::uint32_t tlb_entries = 64;
+
+    /** Per-SM L1 data cache capacity in bytes (0 disables the L1). */
+    std::uint64_t l1_bytes = 24 * sizeKiB;
+
+    /** L1 associativity. */
+    std::uint32_t l1_assoc = 4;
+
+    /** L1 hit latency in core cycles. */
+    std::uint32_t l1_hit_cycles = 28;
+
+    /** Unified L2 capacity in bytes (GTX 1080ti-class). */
+    std::uint64_t l2_bytes = 2 * sizeMiB;
+
+    /** L2 associativity. */
+    std::uint32_t l2_assoc = 16;
+
+    /** L2 line size in bytes. */
+    std::uint32_t l2_line_bytes = 128;
+
+    /** L2 hit latency in core cycles. */
+    std::uint32_t l2_hit_cycles = 120;
+
+    /** Device DRAM access latency in nanoseconds. */
+    std::uint64_t dram_latency_ns = 220;
+
+    /** Device DRAM bandwidth in GB/s (GDDR5X-class). */
+    double dram_bandwidth_gbps = 320.0;
+
+    /** Fixed driver overhead per kernel launch. */
+    Tick kernel_launch_overhead = microseconds(8);
+
+    /**
+     * Warp ops an SM can begin per core cycle (its issue ports for
+     * memory instructions).  Creates back-pressure when many resident
+     * warps are compute-light; 0 disables the throttle.
+     */
+    std::uint32_t issue_ports_per_sm = 2;
+
+    /** The core clock period in ticks. */
+    Tick corePeriod() const { return periodFromMHz(core_mhz); }
+};
+
+} // namespace uvmsim
+
+#endif // UVMSIM_GPU_GPU_CONFIG_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Kernels and thread blocks.
+ *
+ * A Kernel is a lazy stream of ThreadBlocks; the GPU's dispatcher pulls
+ * blocks as SMs free up, mirroring the hardware TB scheduler.  Each
+ * ThreadBlock carries the warp traces that execute it.
+ */
+
+#ifndef UVMSIM_GPU_KERNEL_HH
+#define UVMSIM_GPU_KERNEL_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gpu/warp_trace.hh"
+
+namespace uvmsim
+{
+
+/** One thread block ready for dispatch. */
+struct ThreadBlock
+{
+    std::uint64_t id = 0;
+    std::vector<std::unique_ptr<WarpTrace>> warps;
+};
+
+/** A lazy stream of thread blocks. */
+class Kernel
+{
+  public:
+    virtual ~Kernel() = default;
+
+    /** Kernel name for tracing. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Produce the next thread block, or nullptr when the grid is
+     * exhausted.
+     */
+    virtual std::unique_ptr<ThreadBlock> nextThreadBlock() = 0;
+};
+
+/**
+ * A kernel defined by a grid size and a factory that builds the warp
+ * traces of block `tb` on demand -- the form every workload generator
+ * uses.
+ */
+class GridKernel : public Kernel
+{
+  public:
+    /** Builds the warps of one thread block. */
+    using BlockFactory = std::function<
+        std::vector<std::unique_ptr<WarpTrace>>(std::uint64_t tb)>;
+
+    GridKernel(std::string name, std::uint64_t num_blocks,
+               BlockFactory factory)
+        : name_(std::move(name)),
+          num_blocks_(num_blocks),
+          factory_(std::move(factory))
+    {}
+
+    std::string name() const override { return name_; }
+
+    std::unique_ptr<ThreadBlock>
+    nextThreadBlock() override
+    {
+        if (next_ >= num_blocks_)
+            return nullptr;
+        auto tb = std::make_unique<ThreadBlock>();
+        tb->id = next_;
+        tb->warps = factory_(next_);
+        ++next_;
+        return tb;
+    }
+
+  private:
+    std::string name_;
+    std::uint64_t num_blocks_;
+    BlockFactory factory_;
+    std::uint64_t next_ = 0;
+};
+
+} // namespace uvmsim
+
+#endif // UVMSIM_GPU_KERNEL_HH

@@ -1,0 +1,122 @@
+#include "l2_cache.hh"
+
+#include <bit>
+
+#include "sim/logging.hh"
+
+namespace uvmsim
+{
+
+L2Cache::L2Cache(std::uint64_t capacity_bytes, std::uint32_t assoc,
+                 std::uint32_t line_bytes, std::string stat_prefix)
+    : assoc_(assoc),
+      line_bytes_(line_bytes),
+      hits_(stat_prefix + ".hits", "cache hits"),
+      misses_(stat_prefix + ".misses", "cache misses"),
+      invalidations_(stat_prefix + ".invalidations",
+                     "cache lines invalidated by page eviction")
+{
+    if (assoc_ == 0 || line_bytes_ == 0 ||
+        !std::has_single_bit(line_bytes_))
+        panic("L2Cache: bad geometry");
+    std::uint64_t set_bytes =
+        static_cast<std::uint64_t>(assoc_) * line_bytes_;
+    if (capacity_bytes == 0 || capacity_bytes % set_bytes != 0)
+        panic("L2Cache: capacity not divisible by set size");
+    num_sets_ = capacity_bytes / set_bytes;
+    lines_.assign(num_sets_ * assoc_, Line{});
+}
+
+std::uint64_t
+L2Cache::setIndex(Addr addr) const
+{
+    return (addr / line_bytes_) % num_sets_;
+}
+
+Addr
+L2Cache::tagOf(Addr addr) const
+{
+    return addr / line_bytes_;
+}
+
+bool
+L2Cache::access(Addr addr, bool is_write)
+{
+    std::uint64_t set = setIndex(addr);
+    Addr tag = tagOf(addr);
+    Line *base = &lines_[set * assoc_];
+
+    Line *victim = base;
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            line.lru = ++tick_;
+            line.dirty = line.dirty || is_write;
+            ++hits_;
+            return true;
+        }
+        if (!line.valid) {
+            victim = &line;
+        } else if (victim->valid && line.lru < victim->lru) {
+            victim = &line;
+        }
+    }
+
+    // Miss: fill into the invalid way or the LRU way.
+    victim->valid = true;
+    victim->tag = tag;
+    victim->dirty = is_write;
+    victim->lru = ++tick_;
+    ++misses_;
+    return false;
+}
+
+bool
+L2Cache::contains(Addr addr) const
+{
+    std::uint64_t set = setIndex(addr);
+    Addr tag = tagOf(addr);
+    const Line *base = &lines_[set * assoc_];
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+L2Cache::invalidatePage(PageNum page)
+{
+    Addr lo = pageBase(page);
+    for (Addr a = lo; a < lo + pageSize; a += line_bytes_) {
+        std::uint64_t set = setIndex(a);
+        Addr tag = tagOf(a);
+        Line *base = &lines_[set * assoc_];
+        for (std::uint32_t w = 0; w < assoc_; ++w) {
+            if (base[w].valid && base[w].tag == tag) {
+                base[w].valid = false;
+                base[w].dirty = false;
+                ++invalidations_;
+            }
+        }
+    }
+}
+
+void
+L2Cache::flushAll()
+{
+    for (Line &line : lines_) {
+        line.valid = false;
+        line.dirty = false;
+    }
+}
+
+void
+L2Cache::registerStats(stats::StatRegistry &registry)
+{
+    registry.add(&hits_);
+    registry.add(&misses_);
+    registry.add(&invalidations_);
+}
+
+} // namespace uvmsim

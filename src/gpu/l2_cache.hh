@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Set-associative data cache tag store.
+ *
+ * Used twice: as the unified L2 shared by all SMs and as each SM's
+ * private L1 (with a different geometry and stat prefix).
+ * Write-back, write-allocate, true-LRU within a set.  The UVM study
+ * only needs hit/miss classification and invalidation of lines whose
+ * backing page is evicted; replacement traffic is folded into the
+ * DRAM channel occupancy.
+ */
+
+#ifndef UVMSIM_GPU_L2_CACHE_HH
+#define UVMSIM_GPU_L2_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/types.hh"
+#include "sim/stats.hh"
+
+namespace uvmsim
+{
+
+/** Set-associative tag store with named stats. */
+class L2Cache
+{
+  public:
+    /**
+     * @param capacity_bytes Total capacity; must be divisible by
+     *                       assoc * line_bytes.
+     * @param assoc          Ways per set.
+     * @param line_bytes     Line size (power of two).
+     * @param stat_prefix    Prefix for the stat names ("l2", "sm0.l1").
+     */
+    L2Cache(std::uint64_t capacity_bytes, std::uint32_t assoc,
+            std::uint32_t line_bytes, std::string stat_prefix = "l2");
+
+    /**
+     * Look up (and on miss, fill) the line for an address.
+     * @param addr     Byte address accessed.
+     * @param is_write Marks the line dirty on hit/fill.
+     * @return true on hit, false on miss (line now filled).
+     */
+    bool access(Addr addr, bool is_write);
+
+    /** Probe without side effects. */
+    bool contains(Addr addr) const;
+
+    /** Invalidate every line belonging to a 4KB page. */
+    void invalidatePage(PageNum page);
+
+    /** Drop all lines. */
+    void flushAll();
+
+    /** Hit count so far. */
+    std::uint64_t hits() const { return hits_.count(); }
+
+    /** Miss count so far. */
+    std::uint64_t misses() const { return misses_.count(); }
+
+    /** Register this component's statistics. */
+    void registerStats(stats::StatRegistry &registry);
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lru = 0; //!< Higher = more recent.
+    };
+
+    std::uint64_t setIndex(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+
+    std::uint32_t assoc_;
+    std::uint32_t line_bytes_;
+    std::uint64_t num_sets_;
+    std::uint64_t tick_ = 0;
+    std::vector<Line> lines_; //!< num_sets_ * assoc_, set-major.
+
+    stats::Counter hits_;
+    stats::Counter misses_;
+    stats::Counter invalidations_;
+};
+
+} // namespace uvmsim
+
+#endif // UVMSIM_GPU_L2_CACHE_HH

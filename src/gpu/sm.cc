@@ -1,0 +1,216 @@
+#include "sm.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace uvmsim
+{
+
+Sm::Sm(std::uint32_t id, const GpuConfig &config, EventQueue &eq,
+       Gmmu &gmmu, L2Cache &l2, DramModel &dram, BlockDoneFn block_done)
+    : id_(id),
+      config_(config),
+      eq_(eq),
+      gmmu_(gmmu),
+      l2_(l2),
+      dram_(dram),
+      block_done_(std::move(block_done)),
+      tlb_("sm" + std::to_string(id) + ".tlb", config.tlb_entries),
+      core_period_(config.corePeriod()),
+      l1_hit_latency_(config.l1_hit_cycles * config.corePeriod()),
+      l2_hit_latency_(config.l2_hit_cycles * config.corePeriod()),
+      warps_retired_("sm" + std::to_string(id) + ".warps_retired",
+                     "warps that completed their trace"),
+      ops_executed_("sm" + std::to_string(id) + ".ops_executed",
+                    "warp ops executed"),
+      accesses_issued_("sm" + std::to_string(id) + ".accesses_issued",
+                       "coalesced memory accesses issued")
+{
+    if (config.l1_bytes > 0) {
+        l1_ = std::make_unique<L2Cache>(
+            config.l1_bytes, config.l1_assoc, config.l2_line_bytes,
+            "sm" + std::to_string(id) + ".l1");
+    }
+}
+
+bool
+Sm::canAccept(std::uint32_t warps) const
+{
+    return blocks_.size() < config_.max_tbs_per_sm &&
+           live_warps_ + warps <= config_.max_warps_per_sm;
+}
+
+void
+Sm::acceptBlock(std::unique_ptr<ThreadBlock> block,
+                std::uint64_t first_warp_id)
+{
+    if (!canAccept(static_cast<std::uint32_t>(block->warps.size())))
+        panic("SM %u accepted a block it cannot host", id_);
+    if (block->warps.empty())
+        panic("thread block %llu has no warps",
+              static_cast<unsigned long long>(block->id));
+
+    blocks_.push_back(BlockCtx{
+        block->id, static_cast<std::uint32_t>(block->warps.size())});
+    BlockCtx *ctx = &blocks_.back();
+
+    std::uint64_t warp_id = first_warp_id;
+    for (auto &trace : block->warps) {
+        warps_.push_back(WarpCtx{warp_id++, std::move(trace), ctx,
+                                 WarpOp{}, 0, false});
+        ++live_warps_;
+        stepWarp(&warps_.back());
+    }
+}
+
+void
+Sm::stepWarp(WarpCtx *warp)
+{
+    if (!warp->trace->next(warp->op)) {
+        retireWarp(warp);
+        return;
+    }
+    ++ops_executed_;
+
+    Cycles cycles = warp->op.compute_cycles;
+    if (cycles == 0 && warp->op.accesses.empty())
+        cycles = 1; // guarantee forward progress through empty ops
+
+    Tick ready = eq_.curTick() + cycles * core_period_;
+
+    // Memory ops contend for the SM's issue ports: at most
+    // issue_ports_per_sm warp ops begin per core cycle.
+    if (!warp->op.accesses.empty() && config_.issue_ports_per_sm > 0) {
+        Tick slot_interval =
+            core_period_ / config_.issue_ports_per_sm;
+        if (slot_interval == 0)
+            slot_interval = 1;
+        Tick slot = std::max(ready, next_issue_free_);
+        next_issue_free_ = slot + slot_interval;
+        ready = slot;
+    }
+
+    if (ready == eq_.curTick()) {
+        issueOp(warp);
+    } else {
+        eq_.schedule(ready, [this, warp]() { issueOp(warp); });
+    }
+}
+
+void
+Sm::issueOp(WarpCtx *warp)
+{
+    if (warp->op.accesses.empty()) {
+        stepWarp(warp);
+        return;
+    }
+    warp->outstanding =
+        static_cast<std::uint32_t>(warp->op.accesses.size());
+    // Issue on a copy: completing accesses may advance warp->op.
+    std::vector<TraceAccess> accesses = warp->op.accesses;
+    for (const TraceAccess &access : accesses)
+        performAccess(warp, access);
+}
+
+void
+Sm::performAccess(WarpCtx *warp, const TraceAccess &access)
+{
+    ++accesses_issued_;
+    if (pageOf(access.addr) != pageOf(access.addr + access.size - 1))
+        panic("coalesced access spans pages (addr %llx size %u)",
+              static_cast<unsigned long long>(access.addr), access.size);
+
+    MemAccess m;
+    m.addr = access.addr;
+    m.size = access.size;
+    m.is_write = access.is_write;
+    m.sm_id = id_;
+    m.warp_id = warp->id;
+
+    PageNum page = pageOf(m.addr);
+    if (tlb_.lookup(page)) {
+        gmmu_.recordAccess(m);
+        memoryStage(m, [this, warp]() { accessDone(warp); });
+    } else {
+        gmmu_.translate(m, [this, warp, m]() {
+            tlb_.insert(pageOf(m.addr));
+            memoryStage(m, [this, warp]() { accessDone(warp); });
+        });
+    }
+}
+
+void
+Sm::memoryStage(const MemAccess &access, std::function<void()> done)
+{
+    // Touch every line the access covers; the completion time is the
+    // slowest line's.  Reads probe the write-through L1 first; writes
+    // go straight to the L2 (no-write-allocate L1, GPU style).
+    Addr first_line = access.addr / config_.l2_line_bytes;
+    Addr last_line =
+        (access.addr + access.size - 1) / config_.l2_line_bytes;
+    Tick completion = eq_.curTick() + l1_hit_latency_;
+    for (Addr line = first_line; line <= last_line; ++line) {
+        Addr line_addr = line * config_.l2_line_bytes;
+        if (l1_ && !access.is_write) {
+            if (l1_->access(line_addr, false))
+                continue; // L1 hit: the base latency covers it
+        }
+        bool hit = l2_.access(line_addr, access.is_write);
+        if (hit) {
+            completion = std::max(completion,
+                                  eq_.curTick() + l2_hit_latency_);
+        } else {
+            Tick fill = dram_.access(config_.l2_line_bytes);
+            completion = std::max(completion, fill + l2_hit_latency_);
+        }
+    }
+    eq_.schedule(completion, std::move(done));
+}
+
+void
+Sm::accessDone(WarpCtx *warp)
+{
+    if (warp->outstanding == 0)
+        panic("access completion with none outstanding (warp %llu)",
+              static_cast<unsigned long long>(warp->id));
+    if (--warp->outstanding == 0)
+        stepWarp(warp);
+}
+
+void
+Sm::retireWarp(WarpCtx *warp)
+{
+    if (warp->retired)
+        panic("double retire of warp %llu",
+              static_cast<unsigned long long>(warp->id));
+    warp->retired = true;
+    ++warps_retired_;
+    --live_warps_;
+
+    BlockCtx *block = warp->block;
+    if (--block->live_warps == 0) {
+        // Reap the block and its warp contexts.
+        std::uint64_t block_id = block->id;
+        warps_.remove_if([block](const WarpCtx &w) {
+            return w.block == block && w.retired;
+        });
+        blocks_.remove_if([block_id](const BlockCtx &b) {
+            return b.id == block_id;
+        });
+        block_done_();
+    }
+}
+
+void
+Sm::registerStats(stats::StatRegistry &registry)
+{
+    registry.add(&warps_retired_);
+    registry.add(&ops_executed_);
+    registry.add(&accesses_issued_);
+    tlb_.registerStats(registry);
+    if (l1_)
+        l1_->registerStats(registry);
+}
+
+} // namespace uvmsim

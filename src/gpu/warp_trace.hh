@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Warp instruction traces.
+ *
+ * A warp's execution is modeled as a sequence of WarpOps: a burst of
+ * compute cycles followed by the coalesced global-memory transactions
+ * the warp's load/store unit emits for one (or a few fused) memory
+ * instructions.  Workload generators implement WarpTrace to produce
+ * these lazily, so multi-gigabyte traces never materialize.
+ */
+
+#ifndef UVMSIM_GPU_WARP_TRACE_HH
+#define UVMSIM_GPU_WARP_TRACE_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "mem/types.hh"
+#include "sim/ticks.hh"
+
+namespace uvmsim
+{
+
+/** One coalesced memory transaction of a warp op. */
+struct TraceAccess
+{
+    Addr addr = 0;
+    std::uint32_t size = 128; //!< One fully coalesced warp access.
+    bool is_write = false;
+};
+
+/** One step of a warp: compute, then memory. */
+struct WarpOp
+{
+    /** Cycles of compute before the memory accesses issue. */
+    Cycles compute_cycles = 0;
+    /** Coalesced transactions; may be empty (pure compute). */
+    std::vector<TraceAccess> accesses;
+};
+
+/** Lazily generated stream of WarpOps. */
+class WarpTrace
+{
+  public:
+    virtual ~WarpTrace() = default;
+
+    /**
+     * Produce the next op.
+     * @return false when the warp has retired (op is unchanged).
+     */
+    virtual bool next(WarpOp &op) = 0;
+};
+
+/** A trace backed by a pre-built vector (tests, tiny kernels). */
+class VectorTrace : public WarpTrace
+{
+  public:
+    explicit VectorTrace(std::vector<WarpOp> ops)
+        : ops_(std::move(ops))
+    {}
+
+    bool
+    next(WarpOp &op) override
+    {
+        if (pos_ >= ops_.size())
+            return false;
+        op = ops_[pos_++];
+        return true;
+    }
+
+  private:
+    std::vector<WarpOp> ops_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace uvmsim
+
+#endif // UVMSIM_GPU_WARP_TRACE_HH

@@ -1,0 +1,115 @@
+#include "bandwidth_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace uvmsim
+{
+
+std::vector<PcieBandwidthModel::CalibrationPoint>
+PcieBandwidthModel::table1Calibration()
+{
+    // ISCA'19 Table 1: PCI-e read bandwidth measured for different
+    // transfer sizes on GTX 1080ti with PCI-e 3.0 16x.
+    return {
+        {4 * sizeKiB, 3.2219},
+        {16 * sizeKiB, 6.4437},
+        {64 * sizeKiB, 8.4771},
+        {256 * sizeKiB, 10.508},
+        {1024 * sizeKiB, 11.223},
+    };
+}
+
+PcieBandwidthModel::PcieBandwidthModel(PcieModelKind kind)
+    : PcieBandwidthModel(kind, table1Calibration())
+{
+}
+
+PcieBandwidthModel::PcieBandwidthModel(PcieModelKind kind,
+                                       std::vector<CalibrationPoint> points)
+    : kind_(kind), points_(std::move(points))
+{
+    if (points_.size() < 2)
+        fatal("PcieBandwidthModel needs at least two calibration points");
+    if (!std::is_sorted(points_.begin(), points_.end(),
+                        [](const auto &a, const auto &b) {
+                            return a.bytes < b.bytes;
+                        })) {
+        fatal("PcieBandwidthModel calibration points must be sorted by size");
+    }
+    for (const auto &p : points_) {
+        if (p.bytes == 0 || p.gb_per_sec <= 0.0)
+            fatal("PcieBandwidthModel calibration point must be positive");
+    }
+    fitAffine();
+}
+
+void
+PcieBandwidthModel::fitAffine()
+{
+    // Least-squares fit of T(s) = alpha + s / B over the calibration
+    // points, treating T = s / bw as the observed latency.  Linear
+    // regression of T against s: slope = 1/B, intercept = alpha.
+    double n = static_cast<double>(points_.size());
+    double sum_s = 0, sum_t = 0, sum_ss = 0, sum_st = 0;
+    for (const auto &p : points_) {
+        double s = static_cast<double>(p.bytes);
+        double t = s / (p.gb_per_sec * 1e9);
+        sum_s += s;
+        sum_t += t;
+        sum_ss += s * s;
+        sum_st += s * t;
+    }
+    double denom = n * sum_ss - sum_s * sum_s;
+    double slope = (n * sum_st - sum_s * sum_t) / denom;
+    double intercept = (sum_t - slope * sum_s) / n;
+    if (slope <= 0.0)
+        fatal("PcieBandwidthModel affine fit produced non-positive slope");
+    peak_bps_ = 1.0 / slope;
+    alpha_seconds_ = std::max(intercept, 0.0);
+}
+
+double
+PcieBandwidthModel::bandwidthBytesPerSec(std::uint64_t bytes) const
+{
+    if (bytes == 0)
+        panic("bandwidth queried for zero-size transfer");
+
+    if (kind_ == PcieModelKind::affine) {
+        double t = alpha_seconds_ + static_cast<double>(bytes) / peak_bps_;
+        return static_cast<double>(bytes) / t;
+    }
+
+    // Interpolated: clamp outside the calibrated range, piecewise
+    // linear in log2(size) between points.
+    const double s = std::log2(static_cast<double>(bytes));
+    if (bytes <= points_.front().bytes)
+        return points_.front().gb_per_sec * 1e9;
+    if (bytes >= points_.back().bytes)
+        return points_.back().gb_per_sec * 1e9;
+
+    for (std::size_t i = 1; i < points_.size(); ++i) {
+        if (bytes <= points_[i].bytes) {
+            const auto &lo = points_[i - 1];
+            const auto &hi = points_[i];
+            double s0 = std::log2(static_cast<double>(lo.bytes));
+            double s1 = std::log2(static_cast<double>(hi.bytes));
+            double f = (s - s0) / (s1 - s0);
+            double bw = lo.gb_per_sec + f * (hi.gb_per_sec - lo.gb_per_sec);
+            return bw * 1e9;
+        }
+    }
+    panic("unreachable: calibration scan fell through");
+}
+
+Tick
+PcieBandwidthModel::transferLatency(std::uint64_t bytes) const
+{
+    double seconds =
+        static_cast<double>(bytes) / bandwidthBytesPerSec(bytes);
+    return static_cast<Tick>(seconds * static_cast<double>(oneSecond) + 0.5);
+}
+
+} // namespace uvmsim

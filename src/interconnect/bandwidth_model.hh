@@ -1,0 +1,93 @@
+/**
+ * @file
+ * PCI-e bandwidth as a function of transfer size.
+ *
+ * The paper measures read bandwidth on a GTX 1080ti / PCI-e 3.0 16x
+ * system for five transfer sizes (Table 1) and "deduces a function to
+ * express PCI-e bandwidth as a function of transfer size" for its
+ * simulator.  We provide two models:
+ *
+ *  - Interpolated (default): piecewise-linear in log2(size) through the
+ *    exact Table 1 points, clamped outside [4KB, 1MB].  This reproduces
+ *    Table 1 to the digit.
+ *  - Affine latency: T(s) = alpha + s / B_peak, least-squares fitted to
+ *    the same points; the classic first-order interconnect model, kept
+ *    as an ablation of the fitting choice.
+ */
+
+#ifndef UVMSIM_INTERCONNECT_BANDWIDTH_MODEL_HH
+#define UVMSIM_INTERCONNECT_BANDWIDTH_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/ticks.hh"
+
+namespace uvmsim
+{
+
+/** Which bandwidth-vs-size fit the link uses. */
+enum class PcieModelKind
+{
+    interpolated, //!< Log-linear interpolation of Table 1 (default).
+    affine,       //!< T(s) = alpha + s / B_peak fit.
+};
+
+/** Size-dependent PCI-e transfer timing. */
+class PcieBandwidthModel
+{
+  public:
+    /** One measured calibration point. */
+    struct CalibrationPoint
+    {
+        std::uint64_t bytes;   //!< Transfer size.
+        double gb_per_sec;     //!< Measured bandwidth (GB/s, 1e9 B/s).
+    };
+
+    /** Construct with the paper's Table 1 calibration. */
+    explicit PcieBandwidthModel(PcieModelKind kind =
+                                    PcieModelKind::interpolated);
+
+    /** Construct from custom calibration points (sorted by size). */
+    PcieBandwidthModel(PcieModelKind kind,
+                       std::vector<CalibrationPoint> points);
+
+    /** Effective bandwidth for a transfer of the given size, in B/s. */
+    double bandwidthBytesPerSec(std::uint64_t bytes) const;
+
+    /** Same, in the GB/s (1e9) units Table 1 uses. */
+    double
+    bandwidthGBps(std::uint64_t bytes) const
+    {
+        return bandwidthBytesPerSec(bytes) / 1e9;
+    }
+
+    /** Wire latency of one transfer of the given size, in ticks. */
+    Tick transferLatency(std::uint64_t bytes) const;
+
+    /** The calibration used (for reporting/tests). */
+    const std::vector<CalibrationPoint> &calibration() const
+    {
+        return points_;
+    }
+
+    /** The model kind in use. */
+    PcieModelKind kind() const { return kind_; }
+
+    /** The paper's Table 1 measurements. */
+    static std::vector<CalibrationPoint> table1Calibration();
+
+  private:
+    void fitAffine();
+
+    PcieModelKind kind_;
+    std::vector<CalibrationPoint> points_;
+
+    // Affine fit parameters: T(s) = alpha_seconds_ + s / peak_bps_.
+    double alpha_seconds_ = 0.0;
+    double peak_bps_ = 1.0;
+};
+
+} // namespace uvmsim
+
+#endif // UVMSIM_INTERCONNECT_BANDWIDTH_MODEL_HH

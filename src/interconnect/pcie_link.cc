@@ -1,0 +1,121 @@
+#include "pcie_link.hh"
+
+#include <algorithm>
+
+#include "mem/types.hh"
+#include "sim/logging.hh"
+
+namespace uvmsim
+{
+
+PcieLink::PcieLink(EventQueue &eq, PcieBandwidthModel model)
+    : eq_(eq),
+      model_(std::move(model)),
+      h2d_transfers_("pcie.h2d.transfers",
+                     "host-to-device transfers scheduled"),
+      h2d_bytes_("pcie.h2d.bytes", "bytes migrated host-to-device"),
+      d2h_transfers_("pcie.d2h.transfers",
+                     "device-to-host write-back transfers scheduled"),
+      d2h_bytes_("pcie.d2h.bytes", "bytes written back device-to-host"),
+      // Buckets of 64KB from 0..2MB cover every legal transfer size.
+      h2d_size_hist_("pcie.h2d.transfer_size", "h2d transfer sizes (bytes)",
+                     0.0, static_cast<double>(basicBlockSize), 32),
+      h2d_avg_bw_("pcie.h2d.avg_bandwidth_gbps",
+                  "average achieved read bandwidth while busy (GB/s)",
+                  [this] { return averageBandwidthGBps(PcieDir::hostToDevice); }),
+      d2h_avg_bw_("pcie.d2h.avg_bandwidth_gbps",
+                  "average achieved write bandwidth while busy (GB/s)",
+                  [this] { return averageBandwidthGBps(PcieDir::deviceToHost); })
+{
+}
+
+PcieLink::Channel &
+PcieLink::channel(PcieDir dir)
+{
+    return dir == PcieDir::hostToDevice ? h2d_ : d2h_;
+}
+
+const PcieLink::Channel &
+PcieLink::channel(PcieDir dir) const
+{
+    return dir == PcieDir::hostToDevice ? h2d_ : d2h_;
+}
+
+Tick
+PcieLink::transfer(PcieDir dir, std::uint64_t bytes, Callback cb)
+{
+    if (bytes == 0)
+        panic("zero-byte PCI-e transfer requested");
+
+    Channel &ch = channel(dir);
+    const Tick now = eq_.curTick();
+    const Tick start = std::max(now, ch.free_at);
+    const Tick latency = model_.transferLatency(bytes);
+    const Tick done = start + latency;
+
+    ch.free_at = done;
+    ch.bytes += bytes;
+    ch.transfers += 1;
+    ch.busy += latency;
+
+    if (dir == PcieDir::hostToDevice) {
+        ++h2d_transfers_;
+        h2d_bytes_ += bytes;
+        h2d_size_hist_.sample(static_cast<double>(bytes));
+    } else {
+        ++d2h_transfers_;
+        d2h_bytes_ += bytes;
+    }
+
+    if (cb)
+        eq_.schedule(done, std::move(cb));
+    return done;
+}
+
+Tick
+PcieLink::channelFreeAt(PcieDir dir) const
+{
+    return channel(dir).free_at;
+}
+
+std::uint64_t
+PcieLink::bytesTransferred(PcieDir dir) const
+{
+    return channel(dir).bytes;
+}
+
+std::uint64_t
+PcieLink::transferCount(PcieDir dir) const
+{
+    return channel(dir).transfers;
+}
+
+Tick
+PcieLink::busyTicks(PcieDir dir) const
+{
+    return channel(dir).busy;
+}
+
+double
+PcieLink::averageBandwidthGBps(PcieDir dir) const
+{
+    const Channel &ch = channel(dir);
+    if (ch.busy == 0)
+        return 0.0;
+    double seconds = ticksToSeconds(ch.busy);
+    return static_cast<double>(ch.bytes) / seconds / 1e9;
+}
+
+void
+PcieLink::registerStats(stats::StatRegistry &registry)
+{
+    registry.add(&h2d_transfers_);
+    registry.add(&h2d_bytes_);
+    registry.add(&d2h_transfers_);
+    registry.add(&d2h_bytes_);
+    registry.add(&h2d_size_hist_);
+    registry.add(&h2d_avg_bw_);
+    registry.add(&d2h_avg_bw_);
+}
+
+} // namespace uvmsim

@@ -1,0 +1,59 @@
+#include "frame_allocator.hh"
+
+#include "sim/logging.hh"
+
+namespace uvmsim
+{
+
+FrameAllocator::FrameAllocator(std::uint64_t total_frames)
+    : total_(total_frames),
+      allocated_(total_frames, false),
+      allocations_("frames.allocations", "device frames handed out"),
+      frees_("frames.frees", "device frames returned"),
+      failures_("frames.failures", "allocation attempts on empty pool")
+{
+    if (total_ == 0)
+        panic("FrameAllocator constructed with zero frames");
+    free_list_.reserve(total_);
+    // Push in reverse so frame 0 is handed out first (LIFO pop_back).
+    for (std::uint64_t f = total_; f-- > 0;)
+        free_list_.push_back(f);
+}
+
+std::optional<FrameNum>
+FrameAllocator::allocate()
+{
+    if (free_list_.empty()) {
+        ++failures_;
+        return std::nullopt;
+    }
+    FrameNum frame = free_list_.back();
+    free_list_.pop_back();
+    allocated_[frame] = true;
+    ++allocations_;
+    return frame;
+}
+
+void
+FrameAllocator::free(FrameNum frame)
+{
+    if (frame >= total_)
+        panic("freeing out-of-range frame %llu",
+              static_cast<unsigned long long>(frame));
+    if (!allocated_[frame])
+        panic("double free of frame %llu",
+              static_cast<unsigned long long>(frame));
+    allocated_[frame] = false;
+    free_list_.push_back(frame);
+    ++frees_;
+}
+
+void
+FrameAllocator::registerStats(stats::StatRegistry &registry)
+{
+    registry.add(&allocations_);
+    registry.add(&frees_);
+    registry.add(&failures_);
+}
+
+} // namespace uvmsim

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Device physical frame allocator.
+ *
+ * The device memory is a fixed pool of 4KB frames.  The GMMU draws
+ * frames here on migration and returns them on eviction.  Exhaustion is
+ * the over-subscription trigger: when no frame is free the eviction
+ * policy must produce victims before a migration can complete.
+ */
+
+#ifndef UVMSIM_MEM_FRAME_ALLOCATOR_HH
+#define UVMSIM_MEM_FRAME_ALLOCATOR_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mem/types.hh"
+#include "sim/stats.hh"
+
+namespace uvmsim
+{
+
+/** LIFO free-list allocator over a fixed pool of device frames. */
+class FrameAllocator
+{
+  public:
+    /** @param total_frames Size of the device memory in 4KB frames. */
+    explicit FrameAllocator(std::uint64_t total_frames);
+
+    /**
+     * Allocate one frame.
+     * @return The frame number, or nullopt when the pool is exhausted.
+     */
+    std::optional<FrameNum> allocate();
+
+    /** Return a frame to the pool. Double-free panics. */
+    void free(FrameNum frame);
+
+    /** Frames currently free. */
+    std::uint64_t freeFrames() const { return free_list_.size(); }
+
+    /** Frames currently allocated. */
+    std::uint64_t usedFrames() const { return total_ - free_list_.size(); }
+
+    /** Pool capacity in frames. */
+    std::uint64_t totalFrames() const { return total_; }
+
+    /** Pool capacity in bytes. */
+    std::uint64_t capacityBytes() const { return total_ * pageSize; }
+
+    /** Fraction of the pool in use, in [0, 1]. */
+    double
+    occupancy() const
+    {
+        return total_ ? static_cast<double>(usedFrames()) /
+                            static_cast<double>(total_)
+                      : 0.0;
+    }
+
+    /** Register this component's statistics. */
+    void registerStats(stats::StatRegistry &registry);
+
+  private:
+    std::uint64_t total_;
+    std::vector<FrameNum> free_list_;
+    std::vector<bool> allocated_;
+
+    stats::Counter allocations_;
+    stats::Counter frees_;
+    stats::Counter failures_;
+};
+
+} // namespace uvmsim
+
+#endif // UVMSIM_MEM_FRAME_ALLOCATOR_HH

@@ -1,0 +1,118 @@
+#include "page_table.hh"
+
+#include "sim/logging.hh"
+
+namespace uvmsim
+{
+
+PageTable::PageTable()
+    : mappings_("page_table.mappings", "PTE validations performed"),
+      invalidations_("page_table.invalidations", "PTE invalidations performed")
+{
+}
+
+const Pte *
+PageTable::lookup(PageNum page) const
+{
+    auto it = table_.find(page);
+    return it == table_.end() ? nullptr : &it->second;
+}
+
+bool
+PageTable::isValid(PageNum page) const
+{
+    const Pte *pte = lookup(page);
+    return pte && pte->valid;
+}
+
+Pte &
+PageTable::entryFor(PageNum page)
+{
+    return table_[page];
+}
+
+void
+PageTable::mapPage(PageNum page, FrameNum frame)
+{
+    if (frame == invalidFrame)
+        panic("mapPage with invalid frame (page %llu)",
+              static_cast<unsigned long long>(page));
+
+    Pte &pte = entryFor(page);
+    if (pte.valid)
+        panic("double mapping of page %llu",
+              static_cast<unsigned long long>(page));
+    pte.frame = frame;
+    pte.valid = true;
+    pte.dirty = false;
+    pte.accessed = false;
+    ++valid_pages_;
+    ++mappings_;
+}
+
+FrameNum
+PageTable::invalidatePage(PageNum page)
+{
+    auto it = table_.find(page);
+    if (it == table_.end() || !it->second.valid)
+        return invalidFrame;
+    FrameNum frame = it->second.frame;
+    it->second.valid = false;
+    it->second.frame = invalidFrame;
+    it->second.dirty = false;
+    it->second.accessed = false;
+    --valid_pages_;
+    ++invalidations_;
+    return frame;
+}
+
+void
+PageTable::markAccessed(PageNum page)
+{
+    auto it = table_.find(page);
+    if (it == table_.end() || !it->second.valid)
+        panic("markAccessed on invalid page %llu",
+              static_cast<unsigned long long>(page));
+    it->second.accessed = true;
+}
+
+void
+PageTable::markDirty(PageNum page)
+{
+    auto it = table_.find(page);
+    if (it == table_.end() || !it->second.valid)
+        panic("markDirty on invalid page %llu",
+              static_cast<unsigned long long>(page));
+    it->second.accessed = true;
+    it->second.dirty = true;
+}
+
+bool
+PageTable::isDirty(PageNum page) const
+{
+    const Pte *pte = lookup(page);
+    return pte && pte->valid && pte->dirty;
+}
+
+bool
+PageTable::wasAccessed(PageNum page) const
+{
+    const Pte *pte = lookup(page);
+    return pte && pte->valid && pte->accessed;
+}
+
+void
+PageTable::clear()
+{
+    table_.clear();
+    valid_pages_ = 0;
+}
+
+void
+PageTable::registerStats(stats::StatRegistry &registry)
+{
+    registry.add(&mappings_);
+    registry.add(&invalidations_);
+}
+
+} // namespace uvmsim

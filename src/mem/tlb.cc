@@ -1,0 +1,82 @@
+#include "tlb.hh"
+
+#include "sim/logging.hh"
+
+namespace uvmsim
+{
+
+Tlb::Tlb(std::string name, std::size_t entries)
+    : name_(std::move(name)),
+      capacity_(entries),
+      hits_(name_ + ".hits", "TLB hits"),
+      misses_(name_ + ".misses", "TLB misses"),
+      evictions_(name_ + ".evictions", "TLB capacity evictions")
+{
+    if (capacity_ == 0)
+        panic("Tlb %s constructed with zero capacity", name_.c_str());
+}
+
+bool
+Tlb::lookup(PageNum page)
+{
+    auto it = map_.find(page);
+    if (it == map_.end()) {
+        ++misses_;
+        return false;
+    }
+    // Move to MRU position.
+    order_.splice(order_.begin(), order_, it->second);
+    ++hits_;
+    return true;
+}
+
+bool
+Tlb::contains(PageNum page) const
+{
+    return map_.count(page) > 0;
+}
+
+void
+Tlb::insert(PageNum page)
+{
+    auto it = map_.find(page);
+    if (it != map_.end()) {
+        order_.splice(order_.begin(), order_, it->second);
+        return;
+    }
+    if (map_.size() >= capacity_) {
+        PageNum victim = order_.back();
+        order_.pop_back();
+        map_.erase(victim);
+        ++evictions_;
+    }
+    order_.push_front(page);
+    map_[page] = order_.begin();
+}
+
+void
+Tlb::invalidate(PageNum page)
+{
+    auto it = map_.find(page);
+    if (it == map_.end())
+        return;
+    order_.erase(it->second);
+    map_.erase(it);
+}
+
+void
+Tlb::flushAll()
+{
+    order_.clear();
+    map_.clear();
+}
+
+void
+Tlb::registerStats(stats::StatRegistry &registry)
+{
+    registry.add(&hits_);
+    registry.add(&misses_);
+    registry.add(&evictions_);
+}
+
+} // namespace uvmsim

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Per-SM translation lookaside buffer.
+ *
+ * Modeled after the fully-associative, single-cycle-lookup TLB the
+ * paper assumes (Sec. 6.1, after Pichai et al.): a bounded set of page
+ * translations with true-LRU replacement.  Misses are relayed to the
+ * GMMU, which walks the page table.
+ */
+
+#ifndef UVMSIM_MEM_TLB_HH
+#define UVMSIM_MEM_TLB_HH
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "mem/types.hh"
+#include "sim/stats.hh"
+
+namespace uvmsim
+{
+
+/** A fully-associative, LRU-replaced TLB over 4KB translations. */
+class Tlb
+{
+  public:
+    /**
+     * @param name    Stat-name prefix, e.g. "sm3.tlb".
+     * @param entries Capacity in translations; must be > 0.
+     */
+    Tlb(std::string name, std::size_t entries);
+
+    /**
+     * Probe for a cached translation and update recency.
+     * @return true on hit.
+     */
+    bool lookup(PageNum page);
+
+    /** Probe without updating recency or stats (for tests/inspection). */
+    bool contains(PageNum page) const;
+
+    /** Insert a translation after a fill, evicting LRU if full. */
+    void insert(PageNum page);
+
+    /** Remove one translation (page invalidated by eviction). */
+    void invalidate(PageNum page);
+
+    /** Remove everything (full shootdown). */
+    void flushAll();
+
+    /** Current number of cached translations. */
+    std::size_t size() const { return map_.size(); }
+
+    /** Capacity in translations. */
+    std::size_t capacity() const { return capacity_; }
+
+    /** Register this component's statistics. */
+    void registerStats(stats::StatRegistry &registry);
+
+  private:
+    /** Most-recent at front. */
+    using LruOrder = std::list<PageNum>;
+
+    std::string name_;
+    std::size_t capacity_;
+    LruOrder order_;
+    std::unordered_map<PageNum, LruOrder::iterator> map_;
+
+    stats::Counter hits_;
+    stats::Counter misses_;
+    stats::Counter evictions_;
+};
+
+} // namespace uvmsim
+
+#endif // UVMSIM_MEM_TLB_HH

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Address-space constants and elementary memory types.
+ *
+ * The paper's geometry (Sec. 2, 3): the OS/driver page is 4KB, the
+ * prefetcher/evictor basic block is 64KB (16 pages), and the large page
+ * / tree root granule is 2MB (512 pages, 32 basic blocks).
+ */
+
+#ifndef UVMSIM_MEM_TYPES_HH
+#define UVMSIM_MEM_TYPES_HH
+
+#include <cstdint>
+
+namespace uvmsim
+{
+
+/** A virtual or physical byte address. */
+using Addr = std::uint64_t;
+
+/** A virtual page number (address >> pageShift). */
+using PageNum = std::uint64_t;
+
+/** A device physical frame number. */
+using FrameNum = std::uint64_t;
+
+/** Sentinel for "no frame". */
+constexpr FrameNum invalidFrame = ~FrameNum{0};
+
+/** log2 of the 4KB page size. */
+constexpr unsigned pageShift = 12;
+/** The 4KB driver page size in bytes. */
+constexpr std::uint64_t pageSize = 1ull << pageShift;
+
+/** log2 of the 64KB basic block size. */
+constexpr unsigned basicBlockShift = 16;
+/** The 64KB prefetch/evict basic block size in bytes. */
+constexpr std::uint64_t basicBlockSize = 1ull << basicBlockShift;
+/** Pages per basic block (16). */
+constexpr std::uint64_t pagesPerBasicBlock = basicBlockSize / pageSize;
+
+/** log2 of the 2MB large page size. */
+constexpr unsigned largePageShift = 21;
+/** The 2MB large page size in bytes. */
+constexpr std::uint64_t largePageSize = 1ull << largePageShift;
+/** Basic blocks per 2MB large page (32). */
+constexpr std::uint64_t blocksPerLargePage = largePageSize / basicBlockSize;
+/** Pages per 2MB large page (512). */
+constexpr std::uint64_t pagesPerLargePage = largePageSize / pageSize;
+
+/** Page number containing a byte address. */
+constexpr PageNum
+pageOf(Addr a)
+{
+    return a >> pageShift;
+}
+
+/** First byte address of a page. */
+constexpr Addr
+pageBase(PageNum p)
+{
+    return p << pageShift;
+}
+
+/** Index of the 64KB basic block containing a byte address. */
+constexpr std::uint64_t
+basicBlockOf(Addr a)
+{
+    return a >> basicBlockShift;
+}
+
+/** First byte address of a basic block index. */
+constexpr Addr
+basicBlockBase(std::uint64_t b)
+{
+    return b << basicBlockShift;
+}
+
+/** Index of the 2MB large page containing a byte address. */
+constexpr std::uint64_t
+largePageOf(Addr a)
+{
+    return a >> largePageShift;
+}
+
+/** Align an address down to its page base. */
+constexpr Addr
+alignToPage(Addr a)
+{
+    return a & ~(pageSize - 1);
+}
+
+/** Align an address down to its basic-block base. */
+constexpr Addr
+alignToBasicBlock(Addr a)
+{
+    return a & ~(basicBlockSize - 1);
+}
+
+/** Align a size up to a whole number of pages. */
+constexpr std::uint64_t
+roundUpToPages(std::uint64_t bytes)
+{
+    return (bytes + pageSize - 1) & ~(pageSize - 1);
+}
+
+/** Align a size up to a whole number of basic blocks. */
+constexpr std::uint64_t
+roundUpToBasicBlocks(std::uint64_t bytes)
+{
+    return (bytes + basicBlockSize - 1) & ~(basicBlockSize - 1);
+}
+
+/**
+ * One coalesced global-memory transaction as seen by the memory system:
+ * produced by an SM's load/store unit after coalescing the lanes of one
+ * warp instruction.
+ */
+struct MemAccess
+{
+    Addr addr = 0;          //!< First byte touched.
+    std::uint32_t size = 4; //!< Bytes touched (within one page).
+    bool is_write = false;  //!< Store vs load.
+    std::uint32_t sm_id = 0;   //!< Issuing SM, for TLB selection.
+    std::uint64_t warp_id = 0; //!< Globally unique warp identifier.
+};
+
+} // namespace uvmsim
+
+#endif // UVMSIM_MEM_TYPES_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Clock-domain helper mapping between cycles and ticks.
+ *
+ * Components that think in cycles (the SMs, the page-table walker) hold
+ * a Clock describing their domain and convert at the boundary to the
+ * picosecond ticks used by the EventQueue.
+ */
+
+#ifndef UVMSIM_SIM_CLOCK_HH
+#define UVMSIM_SIM_CLOCK_HH
+
+#include "sim/logging.hh"
+#include "sim/ticks.hh"
+
+namespace uvmsim
+{
+
+/** A fixed-frequency clock domain. */
+class Clock
+{
+  public:
+    /** Construct from a period in ticks (picoseconds). */
+    explicit Clock(Tick period)
+        : period_(period)
+    {
+        if (period_ == 0)
+            panic("Clock constructed with zero period");
+    }
+
+    /** Construct a clock from a frequency in MHz. */
+    static Clock
+    fromMHz(double mhz)
+    {
+        if (mhz <= 0.0)
+            panic("Clock::fromMHz requires a positive frequency");
+        return Clock(periodFromMHz(mhz));
+    }
+
+    /** The clock period in ticks. */
+    Tick period() const { return period_; }
+
+    /** The clock frequency in Hz. */
+    double
+    frequencyHz() const
+    {
+        return static_cast<double>(oneSecond) / static_cast<double>(period_);
+    }
+
+    /** Convert a cycle count in this domain to a tick duration. */
+    Tick cyclesToTicks(Cycles c) const { return c * period_; }
+
+    /** Convert a tick duration to whole elapsed cycles (floor). */
+    Cycles ticksToCycles(Tick t) const { return t / period_; }
+
+    /**
+     * The first clock edge at or after the given tick.  Useful when a
+     * component must act on cycle boundaries.
+     */
+    Tick
+    nextEdge(Tick t) const
+    {
+        Tick rem = t % period_;
+        return rem == 0 ? t : t + (period_ - rem);
+    }
+
+  private:
+    Tick period_;
+};
+
+} // namespace uvmsim
+
+#endif // UVMSIM_SIM_CLOCK_HH

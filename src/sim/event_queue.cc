@@ -1,0 +1,84 @@
+#include "event_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace uvmsim
+{
+
+EventQueue::EventId
+EventQueue::schedule(Tick when, int priority, Callback cb)
+{
+    if (when < cur_tick_) {
+        panic("event scheduled in the past (when=%llu cur=%llu)",
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(cur_tick_));
+    }
+    if (!cb)
+        panic("event scheduled with empty callback");
+
+    EventId id = next_id_++;
+    heap_.push(Entry{when, priority, id});
+    callbacks_.emplace(id, std::move(cb));
+    return id;
+}
+
+bool
+EventQueue::deschedule(EventId id)
+{
+    // Lazy deletion: the heap entry stays behind and is skipped when it
+    // reaches the top.
+    return callbacks_.erase(id) > 0;
+}
+
+bool
+EventQueue::runOne()
+{
+    while (!heap_.empty()) {
+        Entry top = heap_.top();
+        auto it = callbacks_.find(top.id);
+        if (it == callbacks_.end()) {
+            // Cancelled event; discard the stale heap entry.
+            heap_.pop();
+            continue;
+        }
+        Callback cb = std::move(it->second);
+        callbacks_.erase(it);
+        heap_.pop();
+        cur_tick_ = top.when;
+        ++executed_;
+        cb();
+        return true;
+    }
+    return false;
+}
+
+std::uint64_t
+EventQueue::run(Tick limit)
+{
+    std::uint64_t count = 0;
+    while (!heap_.empty()) {
+        // Skip stale entries without advancing time.
+        Entry top = heap_.top();
+        if (callbacks_.find(top.id) == callbacks_.end()) {
+            heap_.pop();
+            continue;
+        }
+        if (top.when > limit)
+            break;
+        runOne();
+        ++count;
+    }
+    return count;
+}
+
+void
+EventQueue::reset()
+{
+    heap_ = decltype(heap_)();
+    callbacks_.clear();
+    cur_tick_ = 0;
+    next_id_ = 1;
+    executed_ = 0;
+}
+
+} // namespace uvmsim

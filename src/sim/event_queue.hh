@@ -1,0 +1,151 @@
+/**
+ * @file
+ * The discrete-event simulation kernel.
+ *
+ * Every timed behaviour in the simulator -- a warp finishing a compute
+ * burst, a PCI-e transfer completing, the GMMU finishing a fault-handling
+ * window -- is an Event scheduled on the single global EventQueue owned
+ * by the Simulator.  Events with equal timestamps are ordered by an
+ * explicit priority and then by insertion order, so simulations are
+ * fully deterministic.
+ */
+
+#ifndef UVMSIM_SIM_EVENT_QUEUE_HH
+#define UVMSIM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/ticks.hh"
+
+namespace uvmsim
+{
+
+/**
+ * A time-ordered queue of callbacks.
+ *
+ * The queue advances simulated time: executing an event sets the current
+ * tick to that event's timestamp.  Scheduling into the past is a
+ * simulator bug and panics.
+ */
+class EventQueue
+{
+  public:
+    /** Opaque handle identifying a scheduled event; 0 is never valid. */
+    using EventId = std::uint64_t;
+
+    /** The callable executed when an event fires. */
+    using Callback = std::function<void()>;
+
+    /** Handle value that never names a live event. */
+    static constexpr EventId invalidEventId = 0;
+
+    /** Default tie-break priority; lower runs first at equal ticks. */
+    static constexpr int defaultPriority = 0;
+
+    EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick curTick() const { return cur_tick_; }
+
+    /**
+     * Schedule a callback at an absolute tick.
+     *
+     * @param when     Absolute firing time; must be >= curTick().
+     * @param priority Tie-break among events at the same tick (lower
+     *                 value fires first).
+     * @param cb       Callback to run.
+     * @return A handle usable with deschedule().
+     */
+    EventId schedule(Tick when, int priority, Callback cb);
+
+    /** Schedule with the default priority. */
+    EventId
+    schedule(Tick when, Callback cb)
+    {
+        return schedule(when, defaultPriority, std::move(cb));
+    }
+
+    /** Schedule relative to the current tick. */
+    EventId
+    scheduleAfter(Tick delay, Callback cb)
+    {
+        return schedule(cur_tick_ + delay, std::move(cb));
+    }
+
+    /**
+     * Cancel a previously scheduled event.
+     *
+     * @return true if the event existed and was cancelled; false if it
+     *         already fired or was already cancelled.
+     */
+    bool deschedule(EventId id);
+
+    /** True if there is at least one live (non-cancelled) event. */
+    bool empty() const { return callbacks_.empty(); }
+
+    /** Number of live scheduled events. */
+    std::size_t pending() const { return callbacks_.size(); }
+
+    /** Total number of events executed since construction/reset. */
+    std::uint64_t executed() const { return executed_; }
+
+    /**
+     * Execute the single next live event, advancing time to it.
+     *
+     * @return true if an event was executed, false if the queue was
+     *         empty.
+     */
+    bool runOne();
+
+    /**
+     * Run events until the queue drains or the next event lies beyond
+     * the limit tick.
+     *
+     * @param limit Run no event scheduled strictly after this tick.
+     * @return Number of events executed.
+     */
+    std::uint64_t run(Tick limit = maxTick);
+
+    /** Drop all events and reset time to zero. */
+    void reset();
+
+  private:
+    /** Heap entry; callbacks live in callbacks_ so cancellation is O(1). */
+    struct Entry
+    {
+        Tick when;
+        int priority;
+        EventId id;
+    };
+
+    /** Ordering: earliest tick, then lowest priority, then FIFO by id. */
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.priority != b.priority)
+                return a.priority > b.priority;
+            return a.id > b.id;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::unordered_map<EventId, Callback> callbacks_;
+    Tick cur_tick_ = 0;
+    EventId next_id_ = 1;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace uvmsim
+
+#endif // UVMSIM_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,150 @@
+#include "logging.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+
+namespace uvmsim
+{
+
+namespace
+{
+
+void
+vreport(const char *prefix, const char *fmt, va_list args)
+{
+    std::fprintf(stderr, "%s: ", prefix);
+    std::vfprintf(stderr, fmt, args);
+    std::fprintf(stderr, "\n");
+    std::fflush(stderr);
+}
+
+} // namespace
+
+void
+panic(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport("panic", fmt, args);
+    va_end(args);
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport("fatal", fmt, args);
+    va_end(args);
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport("warn", fmt, args);
+    va_end(args);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport("info", fmt, args);
+    va_end(args);
+}
+
+namespace debug
+{
+
+namespace
+{
+
+struct FlagState
+{
+    std::set<std::string> enabled;
+    bool all = false;
+
+    FlagState()
+    {
+        // Seed from UVMSIM_DEBUG=Flag1,Flag2 or UVMSIM_DEBUG=All.
+        const char *env = std::getenv("UVMSIM_DEBUG");
+        if (!env)
+            return;
+        std::string spec(env);
+        std::size_t start = 0;
+        while (start <= spec.size()) {
+            std::size_t comma = spec.find(',', start);
+            if (comma == std::string::npos)
+                comma = spec.size();
+            std::string flag = spec.substr(start, comma - start);
+            if (flag == "All")
+                all = true;
+            else if (!flag.empty())
+                enabled.insert(flag);
+            start = comma + 1;
+        }
+    }
+};
+
+FlagState &
+state()
+{
+    static FlagState the_state;
+    return the_state;
+}
+
+} // namespace
+
+void
+enableFlag(const std::string &flag)
+{
+    if (flag == "All")
+        state().all = true;
+    else
+        state().enabled.insert(flag);
+}
+
+void
+disableFlag(const std::string &flag)
+{
+    if (flag == "All")
+        state().all = false;
+    else
+        state().enabled.erase(flag);
+}
+
+bool
+flagEnabled(const std::string &flag)
+{
+    return state().all || state().enabled.count(flag) > 0;
+}
+
+void
+clearFlags()
+{
+    state().all = false;
+    state().enabled.clear();
+}
+
+void
+tracePrintf(const std::string &flag, const char *fmt, ...)
+{
+    std::fprintf(stderr, "%s: ", flag.c_str());
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "\n");
+}
+
+} // namespace debug
+
+} // namespace uvmsim

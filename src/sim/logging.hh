@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Status and error reporting helpers, following the gem5 idiom.
+ *
+ * panic()  -- an internal simulator invariant was violated (a bug in
+ *             uvmsim itself).  Aborts, so a core dump / debugger catch
+ *             is possible.
+ * fatal()  -- the simulation cannot continue because of a user error
+ *             (bad configuration, impossible parameters).  Exits with a
+ *             non-zero status.
+ * warn()   -- something is modelled approximately; results may still be
+ *             usable.
+ * inform() -- purely informational status output.
+ *
+ * Debug tracing is controlled by named flags (e.g. "GMMU", "PCIe"),
+ * enabled programmatically or via the UVMSIM_DEBUG environment variable
+ * (comma-separated list of flags, or "All").
+ */
+
+#ifndef UVMSIM_SIM_LOGGING_HH
+#define UVMSIM_SIM_LOGGING_HH
+
+#include <string>
+
+namespace uvmsim
+{
+
+/** Print an error describing a simulator bug and abort. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print an error describing a user/configuration problem and exit(1). */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning about approximate or suspicious behaviour. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational status message. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+namespace debug
+{
+
+/** Enable trace output for a named debug flag ("All" enables all). */
+void enableFlag(const std::string &flag);
+
+/** Disable trace output for a named debug flag. */
+void disableFlag(const std::string &flag);
+
+/** Return true if the given debug flag is currently enabled. */
+bool flagEnabled(const std::string &flag);
+
+/** Remove all enabled flags (including any set from the environment). */
+void clearFlags();
+
+/**
+ * Emit one trace line, prefixed by the flag name, if the flag is
+ * enabled.  Callers normally use the DTRACE macro below so the
+ * formatting arguments are not evaluated when tracing is off.
+ */
+void tracePrintf(const std::string &flag, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+} // namespace debug
+
+/** Trace macro: DTRACE("GMMU", "fault at page %lu", page). */
+#define DTRACE(flag, ...)                                                   \
+    do {                                                                    \
+        if (::uvmsim::debug::flagEnabled(flag))                             \
+            ::uvmsim::debug::tracePrintf(flag, __VA_ARGS__);                \
+    } while (0)
+
+} // namespace uvmsim
+
+#endif // UVMSIM_SIM_LOGGING_HH

@@ -1,0 +1,105 @@
+#include "options.hh"
+
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace uvmsim
+{
+
+Options::Options(int argc, const char *const *argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg(argv[i]);
+        if (arg.rfind("--", 0) != 0) {
+            positional_.push_back(arg);
+            continue;
+        }
+        std::string body = arg.substr(2);
+        std::size_t eq = body.find('=');
+        if (eq == std::string::npos) {
+            values_[body] = "true";
+        } else {
+            values_[body.substr(0, eq)] = body.substr(eq + 1);
+        }
+    }
+}
+
+bool
+Options::has(const std::string &name) const
+{
+    return values_.count(name) > 0;
+}
+
+std::string
+Options::get(const std::string &name, const std::string &def) const
+{
+    auto it = values_.find(name);
+    return it == values_.end() ? def : it->second;
+}
+
+std::uint64_t
+Options::getUint(const std::string &name, std::uint64_t def) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return def;
+    char *end = nullptr;
+    std::uint64_t v = std::strtoull(it->second.c_str(), &end, 0);
+    if (!end || *end != '\0')
+        fatal("option --%s expects an unsigned integer, got '%s'",
+              name.c_str(), it->second.c_str());
+    return v;
+}
+
+double
+Options::getDouble(const std::string &name, double def) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return def;
+    char *end = nullptr;
+    double v = std::strtod(it->second.c_str(), &end);
+    if (!end || *end != '\0')
+        fatal("option --%s expects a number, got '%s'", name.c_str(),
+              it->second.c_str());
+    return v;
+}
+
+bool
+Options::getBool(const std::string &name, bool def) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return def;
+    const std::string &v = it->second;
+    if (v == "true" || v == "1" || v == "yes" || v == "on")
+        return true;
+    if (v == "false" || v == "0" || v == "no" || v == "off")
+        return false;
+    fatal("option --%s expects a boolean, got '%s'", name.c_str(), v.c_str());
+}
+
+std::vector<std::string>
+Options::getList(const std::string &name,
+                 const std::vector<std::string> &def_list) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return def_list;
+    std::vector<std::string> out;
+    const std::string &spec = it->second;
+    std::size_t start = 0;
+    while (start <= spec.size()) {
+        std::size_t comma = spec.find(',', start);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        std::string item = spec.substr(start, comma - start);
+        if (!item.empty())
+            out.push_back(item);
+        start = comma + 1;
+    }
+    return out;
+}
+
+} // namespace uvmsim

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Minimal command-line option parsing shared by the bench and example
+ * binaries.
+ *
+ * Supported syntax: "--name=value" and bare "--flag" (which reads as
+ * boolean true).  Anything not starting with "--" is collected as a
+ * positional argument.  Unknown options are allowed: harnesses query
+ * only the names they understand.
+ */
+
+#ifndef UVMSIM_SIM_OPTIONS_HH
+#define UVMSIM_SIM_OPTIONS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace uvmsim
+{
+
+/** Parsed command-line options. */
+class Options
+{
+  public:
+    Options() = default;
+
+    /** Parse argv; never throws, malformed numerics fatal() on access. */
+    Options(int argc, const char *const *argv);
+
+    /** True if --name or --name=value was given. */
+    bool has(const std::string &name) const;
+
+    /** String value; the default when absent. */
+    std::string get(const std::string &name,
+                    const std::string &def = "") const;
+
+    /** Unsigned integer value; fatal() if present but unparsable. */
+    std::uint64_t getUint(const std::string &name, std::uint64_t def) const;
+
+    /** Floating-point value; fatal() if present but unparsable. */
+    double getDouble(const std::string &name, double def) const;
+
+    /** Boolean value: absent => def; bare flag or true/1/yes => true. */
+    bool getBool(const std::string &name, bool def = false) const;
+
+    /** Positional (non --) arguments in order. */
+    const std::vector<std::string> &positional() const { return positional_; }
+
+    /**
+     * Parse a comma-separated list value into its elements, e.g.
+     * --benchmarks=bfs,nw,srad.  Returns def_list when absent.
+     */
+    std::vector<std::string>
+    getList(const std::string &name,
+            const std::vector<std::string> &def_list) const;
+
+  private:
+    std::map<std::string, std::string> values_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace uvmsim
+
+#endif // UVMSIM_SIM_OPTIONS_HH

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator.
+ *
+ * All stochastic behaviour in the simulator (the random prefetcher, the
+ * random eviction policy, workload irregularity) draws from instances of
+ * this generator so that a run is exactly reproducible from its seed.
+ * The algorithm is xorshift64*, which is fast, has a 2^64-1 period and
+ * passes the statistical tests that matter at simulation scale.
+ */
+
+#ifndef UVMSIM_SIM_RNG_HH
+#define UVMSIM_SIM_RNG_HH
+
+#include <cstdint>
+
+#include "sim/logging.hh"
+
+namespace uvmsim
+{
+
+/** A small deterministic xorshift64* PRNG. */
+class Rng
+{
+  public:
+    /** Construct with a seed; zero seeds are remapped (xorshift needs
+     *  non-zero state). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : state_(seed ? seed : 0x9e3779b97f4a7c15ull)
+    {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = state_;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state_ = x;
+        return x * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Uniform integer in [0, bound). @pre bound > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        if (bound == 0)
+            panic("Rng::below called with bound == 0");
+        // Rejection sampling to avoid modulo bias for large bounds.
+        const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % bound);
+        std::uint64_t v = next();
+        while (v >= limit)
+            v = next();
+        return v % bound;
+    }
+
+    /** Uniform integer in the inclusive range [lo, hi]. */
+    std::uint64_t
+    inRange(std::uint64_t lo, std::uint64_t hi)
+    {
+        if (lo > hi)
+            panic("Rng::inRange called with lo > hi");
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    real()
+    {
+        // 53 random mantissa bits.
+        return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Bernoulli draw with probability p of returning true. */
+    bool
+    chance(double p)
+    {
+        return real() < p;
+    }
+
+    /** Derive an independent child generator (for per-component seeds). */
+    Rng
+    fork()
+    {
+        return Rng(next() ^ 0xd1b54a32d192ed03ull);
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace uvmsim
+
+#endif // UVMSIM_SIM_RNG_HH

@@ -1,0 +1,161 @@
+#include "stats.hh"
+
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace uvmsim::stats
+{
+
+std::string
+Stat::render() const
+{
+    std::ostringstream oss;
+    double v = value();
+    if (std::floor(v) == v && std::abs(v) < 1e15) {
+        oss << static_cast<long long>(v);
+    } else {
+        oss << std::setprecision(6) << v;
+    }
+    return oss.str();
+}
+
+std::string
+Counter::render() const
+{
+    return std::to_string(value_);
+}
+
+Histogram::Histogram(std::string name, std::string desc, double bucket_lo,
+                     double bucket_width, std::size_t num_buckets)
+    : Stat(std::move(name), std::move(desc)),
+      lo_(bucket_lo),
+      width_(bucket_width)
+{
+    if (bucket_width <= 0.0)
+        panic("Histogram %s: bucket width must be positive", this->name().c_str());
+    if (num_buckets == 0)
+        panic("Histogram %s: need at least one bucket", this->name().c_str());
+    buckets_.assign(num_buckets, 0);
+}
+
+void
+Histogram::sample(double v)
+{
+    if (samples_ == 0) {
+        min_ = max_ = v;
+    } else {
+        if (v < min_)
+            min_ = v;
+        if (v > max_)
+            max_ = v;
+    }
+    ++samples_;
+    sum_ += v;
+
+    if (v < lo_) {
+        ++underflow_;
+        return;
+    }
+    auto idx = static_cast<std::size_t>((v - lo_) / width_);
+    if (idx >= buckets_.size()) {
+        ++overflow_;
+        return;
+    }
+    ++buckets_[idx];
+}
+
+void
+Histogram::reset()
+{
+    for (auto &b : buckets_)
+        b = 0;
+    underflow_ = overflow_ = samples_ = 0;
+    sum_ = min_ = max_ = 0.0;
+}
+
+std::string
+Histogram::render() const
+{
+    std::ostringstream oss;
+    oss << "samples=" << samples_ << " mean=" << std::setprecision(6)
+        << mean() << " min=" << minSample() << " max=" << maxSample();
+    return oss.str();
+}
+
+void
+StatRegistry::add(Stat *stat)
+{
+    if (!stat)
+        panic("StatRegistry::add(nullptr)");
+    auto [it, inserted] = stats_.emplace(stat->name(), stat);
+    (void)it;
+    if (!inserted)
+        panic("duplicate stat name '%s'", stat->name().c_str());
+}
+
+void
+StatRegistry::remove(const std::string &name)
+{
+    stats_.erase(name);
+}
+
+Stat *
+StatRegistry::find(const std::string &name) const
+{
+    auto it = stats_.find(name);
+    return it == stats_.end() ? nullptr : it->second;
+}
+
+Stat &
+StatRegistry::at(const std::string &name) const
+{
+    Stat *s = find(name);
+    if (!s)
+        panic("unknown stat '%s'", name.c_str());
+    return *s;
+}
+
+std::vector<Stat *>
+StatRegistry::all() const
+{
+    std::vector<Stat *> out;
+    out.reserve(stats_.size());
+    for (const auto &[name, stat] : stats_)
+        out.push_back(stat);
+    return out;
+}
+
+void
+StatRegistry::resetAll()
+{
+    for (auto &[name, stat] : stats_)
+        stat->reset();
+}
+
+void
+StatRegistry::dump(std::ostream &os) const
+{
+    std::size_t widest = 0;
+    for (const auto &[name, stat] : stats_)
+        widest = std::max(widest, name.size());
+
+    for (const auto &[name, stat] : stats_) {
+        os << std::left << std::setw(static_cast<int>(widest) + 2) << name
+           << std::setw(24) << stat->render() << "# " << stat->description()
+           << '\n';
+    }
+}
+
+void
+StatRegistry::dumpCsv(std::ostream &os) const
+{
+    os << "stat,value\n";
+    for (const auto &[name, stat] : stats_)
+        os << name << ',' << stat->value() << '\n';
+}
+
+} // namespace uvmsim::stats

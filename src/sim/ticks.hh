@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Fundamental simulated-time types and unit helpers.
+ *
+ * Simulated time is measured in Ticks, where one tick is one picosecond.
+ * This matches the gem5 convention and lets heterogeneous clock domains
+ * (the 1481 MHz GPU core clock, the PCI-e link, microsecond-scale driver
+ * latencies) compose without accumulating rounding error.
+ */
+
+#ifndef UVMSIM_SIM_TICKS_HH
+#define UVMSIM_SIM_TICKS_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace uvmsim
+{
+
+/** Simulated time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** A count of clock cycles in some clock domain. */
+using Cycles = std::uint64_t;
+
+/** The maximum representable tick; used as "never" / "no limit". */
+constexpr Tick maxTick = std::numeric_limits<Tick>::max();
+
+/** One picosecond expressed in ticks (the base unit). */
+constexpr Tick onePicosecond = 1;
+/** One nanosecond expressed in ticks. */
+constexpr Tick oneNanosecond = 1000 * onePicosecond;
+/** One microsecond expressed in ticks. */
+constexpr Tick oneMicrosecond = 1000 * oneNanosecond;
+/** One millisecond expressed in ticks. */
+constexpr Tick oneMillisecond = 1000 * oneMicrosecond;
+/** One second expressed in ticks. */
+constexpr Tick oneSecond = 1000 * oneMillisecond;
+
+/** Convert a tick count to (fractional) nanoseconds. */
+constexpr double
+ticksToNanoseconds(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(oneNanosecond);
+}
+
+/** Convert a tick count to (fractional) microseconds. */
+constexpr double
+ticksToMicroseconds(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(oneMicrosecond);
+}
+
+/** Convert a tick count to (fractional) milliseconds. */
+constexpr double
+ticksToMilliseconds(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(oneMillisecond);
+}
+
+/** Convert a tick count to (fractional) seconds. */
+constexpr double
+ticksToSeconds(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(oneSecond);
+}
+
+/** Convert whole nanoseconds to ticks. */
+constexpr Tick
+nanoseconds(std::uint64_t ns)
+{
+    return ns * oneNanosecond;
+}
+
+/** Convert whole microseconds to ticks. */
+constexpr Tick
+microseconds(std::uint64_t us)
+{
+    return us * oneMicrosecond;
+}
+
+/** Convert whole milliseconds to ticks. */
+constexpr Tick
+milliseconds(std::uint64_t ms)
+{
+    return ms * oneMillisecond;
+}
+
+/**
+ * Convert a frequency in MHz to the corresponding clock period in ticks,
+ * rounded to the nearest picosecond.
+ */
+constexpr Tick
+periodFromMHz(double mhz)
+{
+    // period [ps] = 1e6 / f[MHz]
+    return static_cast<Tick>(1.0e6 / mhz + 0.5);
+}
+
+/** Sizes, in bytes, of the units the paper reasons in. */
+constexpr std::uint64_t sizeKiB = 1024;
+constexpr std::uint64_t sizeMiB = 1024 * sizeKiB;
+constexpr std::uint64_t sizeGiB = 1024 * sizeMiB;
+
+/** Convert KiB to bytes. */
+constexpr std::uint64_t
+kib(std::uint64_t n)
+{
+    return n * sizeKiB;
+}
+
+/** Convert MiB to bytes. */
+constexpr std::uint64_t
+mib(std::uint64_t n)
+{
+    return n * sizeMiB;
+}
+
+} // namespace uvmsim
+
+#endif // UVMSIM_SIM_TICKS_HH

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * PolyBench atax, UVM port (suite extension, not one of the paper's
+ * seven benchmarks).
+ *
+ * y = A^T (A x): kernel 1 streams A row-major computing tmp = A x
+ * (with the x vector hot); kernel 2 re-walks A column-wise to
+ * accumulate y = A^T tmp.  The second kernel's column walk turns each
+ * A column into a page-strided scan -- a full re-touch of the big
+ * array with a completely different order, which stresses eviction
+ * policies differently from hotspot's in-place stencils.
+ */
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "workloads/benchmarks.hh"
+#include "workloads/trace_util.hh"
+
+namespace uvmsim
+{
+
+namespace
+{
+
+class AtaxWorkload : public Workload
+{
+  public:
+    explicit AtaxWorkload(const WorkloadParams &params)
+        : params_(params)
+    {
+        n_ = static_cast<std::uint64_t>(
+            1536.0 * std::sqrt(params.size_scale));
+        n_ = std::max<std::uint64_t>(256, n_ & ~std::uint64_t{255});
+    }
+
+    std::string name() const override { return "atax"; }
+
+    void
+    setup(ManagedSpace &space) override
+    {
+        a_ = space.allocate(n_ * n_ * 4, "atax_A").base();
+        x_ = space.allocate(n_ * 4, "atax_x").base();
+        y_ = space.allocate(n_ * 4, "atax_y").base();
+        tmp_ = space.allocate(n_ * 4, "atax_tmp").base();
+        ready_ = true;
+    }
+
+    std::uint64_t totalKernels() const override { return 2; }
+
+    Kernel *
+    nextKernel() override
+    {
+        if (!ready_)
+            panic("atax: nextKernel before setup");
+        if (next_ >= 2)
+            return nullptr;
+
+        const std::uint64_t rows_per_tb = 32;
+        const std::uint64_t blocks = n_ / rows_per_tb;
+        const std::uint64_t row_bytes = n_ * 4;
+
+        if (next_ == 0) {
+            // tmp = A x: row-major streaming of A; x is read hot.
+            current_ = std::make_unique<GridKernel>(
+                "atax_kernel1", blocks,
+                [this, rows_per_tb, row_bytes](std::uint64_t tb) {
+                    std::vector<WarpOp> ops;
+                    for (std::uint64_t r = tb * rows_per_tb;
+                         r < (tb + 1) * rows_per_tb; ++r) {
+                        traceutil::appendStream(ops,
+                                                a_ + r * row_bytes,
+                                                row_bytes, 1024, false,
+                                                8);
+                        WarpOp &op = traceutil::beginOp(ops, 6);
+                        traceutil::appendAccess(op, x_ + (r % n_) * 4,
+                                                128, false);
+                        traceutil::appendAccess(op, tmp_ + r * 4, 4,
+                                                true);
+                    }
+                    return traceutil::splitAmongWarps(
+                        std::move(ops), params_.warps_per_tb);
+                });
+        } else {
+            // y = A^T tmp: each block owns a band of columns and
+            // walks them down the rows -- page-strided accesses.
+            const std::uint64_t cols_per_tb = 32;
+            const std::uint64_t col_blocks = n_ / cols_per_tb;
+            current_ = std::make_unique<GridKernel>(
+                "atax_kernel2", col_blocks,
+                [this, cols_per_tb, row_bytes](std::uint64_t tb) {
+                    std::vector<WarpOp> ops;
+                    std::uint64_t c0 = tb * cols_per_tb;
+                    // Sample every 4th row: each access strides a full
+                    // row (usually a page) through A.
+                    for (std::uint64_t r = 0; r < n_; r += 4) {
+                        WarpOp &op = traceutil::beginOp(ops, 10);
+                        traceutil::appendAccess(
+                            op, a_ + r * row_bytes + c0 * 4,
+                            static_cast<std::uint32_t>(cols_per_tb * 4),
+                            false);
+                        traceutil::appendAccess(op, tmp_ + r * 4, 4,
+                                                false);
+                    }
+                    WarpOp &out = traceutil::beginOp(ops, 4);
+                    traceutil::appendAccess(
+                        out, y_ + c0 * 4,
+                        static_cast<std::uint32_t>(cols_per_tb * 4),
+                        true);
+                    return traceutil::splitAmongWarps(
+                        std::move(ops), params_.warps_per_tb);
+                });
+        }
+        ++next_;
+        return current_.get();
+    }
+
+  private:
+    WorkloadParams params_;
+    std::uint64_t n_;
+    bool ready_ = false;
+    std::uint64_t next_ = 0;
+    std::unique_ptr<Kernel> current_;
+
+    Addr a_ = 0;
+    Addr x_ = 0;
+    Addr y_ = 0;
+    Addr tmp_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeAtax(const WorkloadParams &params)
+{
+    return std::make_unique<AtaxWorkload>(params);
+}
+
+} // namespace uvmsim

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Rodinia backprop, UVM port.
+ *
+ * A two-layer neural network training step.  The footprint is
+ * dominated by the input-to-hidden weight matrix and its momentum
+ * twin; both are streamed once per kernel.  Two kernel launches:
+ *
+ *   bpnn_layerforward : reads input_units and input_weights,
+ *                       accumulates hidden sums (streaming read).
+ *   bpnn_adjust_weights: reads deltas, reads+writes input_weights and
+ *                        input_prev_weights (streaming read-write).
+ *
+ * Access-pattern class (paper Sec. 7.1): pure streaming, no data reuse
+ * across kernels beyond the tiny vectors -- the benchmark shows no
+ * sensitivity to eviction policy and no thrashing.
+ */
+
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "workloads/benchmarks.hh"
+#include "workloads/trace_util.hh"
+
+namespace uvmsim
+{
+
+namespace
+{
+
+class BackpropWorkload : public Workload
+{
+  public:
+    explicit BackpropWorkload(const WorkloadParams &params)
+        : params_(params)
+    {
+        // Default: 98304 input units, 16 hidden units -- a ~13MB
+        // footprint at scale 1.0.
+        double scale = std::sqrt(params.size_scale);
+        in_ = static_cast<std::uint64_t>(98304 * params.size_scale);
+        in_ = std::max<std::uint64_t>(4096, in_ & ~std::uint64_t{31});
+        (void)scale;
+        hid_ = 16;
+    }
+
+    std::string name() const override { return "backprop"; }
+
+    void
+    setup(ManagedSpace &space) override
+    {
+        input_units_ = space.allocate(in_ * 4, "input_units").base();
+        input_weights_ =
+            space.allocate(in_ * (hid_ + 1) * 4, "input_weights").base();
+        prev_weights_ =
+            space.allocate(in_ * (hid_ + 1) * 4, "input_prev_weights")
+                .base();
+        hidden_units_ = space.allocate(kib(4), "hidden_units").base();
+        hidden_delta_ = space.allocate(kib(4), "hidden_delta").base();
+        ready_ = true;
+    }
+
+    std::uint64_t totalKernels() const override { return 2; }
+
+    Kernel *
+    nextKernel() override
+    {
+        if (!ready_)
+            panic("backprop: nextKernel before setup");
+        if (next_ >= totalKernels())
+            return nullptr;
+
+        // Thread blocks partition the input dimension.
+        const std::uint64_t chunk = 2048; // input units per block
+        const std::uint64_t blocks = in_ / chunk;
+        const std::uint64_t row_bytes = (hid_ + 1) * 4;
+
+        if (next_ == 0) {
+            current_ = std::make_unique<GridKernel>(
+                "bpnn_layerforward", blocks,
+                [this, chunk, row_bytes](std::uint64_t tb) {
+                    std::vector<WarpOp> ops;
+                    Addr units = input_units_ + tb * chunk * 4;
+                    Addr weights =
+                        input_weights_ + tb * chunk * row_bytes;
+                    // Stream this block's input slice and weight rows.
+                    traceutil::appendStream(ops, units, chunk * 4, 512,
+                                            false, 8);
+                    traceutil::appendStream(ops, weights,
+                                            chunk * row_bytes, 512,
+                                            false, 4);
+                    // Partial-sum write to the tiny hidden arrays.
+                    WarpOp &sum = traceutil::beginOp(ops, 16);
+                    traceutil::appendAccess(sum, hidden_units_, 64, true);
+                    return traceutil::splitAmongWarps(
+                        std::move(ops), params_.warps_per_tb);
+                });
+        } else {
+            current_ = std::make_unique<GridKernel>(
+                "bpnn_adjust_weights", blocks,
+                [this, chunk, row_bytes](std::uint64_t tb) {
+                    std::vector<WarpOp> ops;
+                    Addr weights =
+                        input_weights_ + tb * chunk * row_bytes;
+                    Addr prev = prev_weights_ + tb * chunk * row_bytes;
+                    WarpOp &delta = traceutil::beginOp(ops, 8);
+                    traceutil::appendAccess(delta, hidden_delta_, 64,
+                                            false);
+                    // Read-modify-write both weight matrices.
+                    traceutil::appendStream(ops, weights,
+                                            chunk * row_bytes, 512,
+                                            true, 6);
+                    traceutil::appendStream(ops, prev,
+                                            chunk * row_bytes, 512,
+                                            true, 6);
+                    return traceutil::splitAmongWarps(
+                        std::move(ops), params_.warps_per_tb);
+                });
+        }
+        ++next_;
+        return current_.get();
+    }
+
+  private:
+    WorkloadParams params_;
+    std::uint64_t in_;
+    std::uint64_t hid_;
+    bool ready_ = false;
+    std::uint64_t next_ = 0;
+    std::unique_ptr<Kernel> current_;
+
+    Addr input_units_ = 0;
+    Addr input_weights_ = 0;
+    Addr prev_weights_ = 0;
+    Addr hidden_units_ = 0;
+    Addr hidden_delta_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeBackprop(const WorkloadParams &params)
+{
+    return std::make_unique<BackpropWorkload>(params);
+}
+
+} // namespace uvmsim

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Factories for the seven benchmark workloads (paper Sec. 6.2).
+ *
+ * Each factory returns an unconfigured workload; call setup() with the
+ * simulation's ManagedSpace before pulling kernels.
+ */
+
+#ifndef UVMSIM_WORKLOADS_BENCHMARKS_HH
+#define UVMSIM_WORKLOADS_BENCHMARKS_HH
+
+#include <memory>
+
+#include "workloads/workload.hh"
+
+namespace uvmsim
+{
+
+/** Rodinia backprop: two streaming kernels over the weight matrices. */
+std::unique_ptr<Workload> makeBackprop(const WorkloadParams &params);
+
+/** Rodinia bfs: level-synchronous traversal of a random graph. */
+std::unique_ptr<Workload> makeBfs(const WorkloadParams &params);
+
+/** PolyBench gemm: tiled dense matrix multiply with B reuse. */
+std::unique_ptr<Workload> makeGemm(const WorkloadParams &params);
+
+/** Rodinia hotspot: iterative 5-point stencil with full reuse. */
+std::unique_ptr<Workload> makeHotspot(const WorkloadParams &params);
+
+/** Rodinia nw: wavefront over diagonal tile bands (sparse reuse). */
+std::unique_ptr<Workload> makeNw(const WorkloadParams &params);
+
+/** Rodinia pathfinder: row-streaming dynamic programming. */
+std::unique_ptr<Workload> makePathfinder(const WorkloadParams &params);
+
+/** Rodinia srad: two-kernel iterative diffusion stencil. */
+std::unique_ptr<Workload> makeSrad(const WorkloadParams &params);
+
+/** PolyBench atax (extension): row-stream then column re-walk. */
+std::unique_ptr<Workload> makeAtax(const WorkloadParams &params);
+
+/** Rodinia kmeans (extension): repetitive linear full-footprint scan. */
+std::unique_ptr<Workload> makeKmeans(const WorkloadParams &params);
+
+} // namespace uvmsim
+
+#endif // UVMSIM_WORKLOADS_BENCHMARKS_HH

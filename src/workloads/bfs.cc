@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Rodinia bfs, UVM port.
+ *
+ * Level-synchronous breadth-first search over a random graph in CSR
+ * form.  The workload generator builds the graph and runs the BFS on
+ * the host so each level's kernel traces the *actual* frontier: a
+ * sequential scan of the mask array plus, for every active node, a
+ * contiguous gather from its edge list and scattered touches of the
+ * visited/cost arrays at random neighbours.  Irregular but repeatedly
+ * re-touching the graph structure -- the paper's "sparse memory
+ * accesses over a large set of pages" class.
+ */
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "workloads/benchmarks.hh"
+#include "workloads/trace_util.hh"
+
+namespace uvmsim
+{
+
+namespace
+{
+
+class BfsWorkload : public Workload
+{
+  public:
+    explicit BfsWorkload(const WorkloadParams &params)
+        : params_(params)
+    {
+        vertices_ = static_cast<std::uint64_t>(98304 * params.size_scale);
+        vertices_ =
+            std::max<std::uint64_t>(8192, vertices_ & ~std::uint64_t{1023});
+        buildGraphAndLevels();
+    }
+
+    std::string name() const override { return "bfs"; }
+
+    void
+    setup(ManagedSpace &space) override
+    {
+        nodes_ = space.allocate(vertices_ * 8, "graph_nodes").base();
+        edges_ = space.allocate(
+            std::max<std::uint64_t>(edge_list_.size() * 4, pageSize),
+            "graph_edges").base();
+        mask_ = space.allocate(vertices_ * 4, "graph_mask").base();
+        updating_ = space.allocate(vertices_ * 4, "updating_mask").base();
+        visited_ = space.allocate(vertices_ * 4, "visited").base();
+        cost_ = space.allocate(vertices_ * 4, "cost").base();
+        ready_ = true;
+    }
+
+    std::uint64_t
+    totalKernels() const override
+    {
+        // One traversal kernel and one mask-update kernel per level.
+        return 2 * levels_.size();
+    }
+
+    Kernel *
+    nextKernel() override
+    {
+        if (!ready_)
+            panic("bfs: nextKernel before setup");
+        if (next_ >= totalKernels())
+            return nullptr;
+
+        std::uint64_t level = next_ / 2;
+        bool traversal = (next_ % 2) == 0;
+        const std::uint64_t nodes_per_tb = 8192;
+        const std::uint64_t blocks =
+            (vertices_ + nodes_per_tb - 1) / nodes_per_tb;
+
+        if (traversal) {
+            current_ = std::make_unique<GridKernel>(
+                "bfs_kernel1_l" + std::to_string(level), blocks,
+                [this, level, nodes_per_tb](std::uint64_t tb) {
+                    return makeTraversalWarps(level, tb, nodes_per_tb);
+                });
+        } else {
+            current_ = std::make_unique<GridKernel>(
+                "bfs_kernel2_l" + std::to_string(level), blocks,
+                [this, nodes_per_tb](std::uint64_t tb) {
+                    // Stream updating_mask; refresh mask/visited.
+                    std::vector<WarpOp> ops;
+                    Addr lo = updating_ + tb * nodes_per_tb * 4;
+                    traceutil::appendStream(ops, lo, nodes_per_tb * 4,
+                                            512, false, 6);
+                    Addr mlo = mask_ + tb * nodes_per_tb * 4;
+                    traceutil::appendStream(ops, mlo, nodes_per_tb * 4,
+                                            512, true, 4);
+                    return traceutil::splitAmongWarps(
+                        std::move(ops), params_.warps_per_tb);
+                });
+        }
+        ++next_;
+        return current_.get();
+    }
+
+  private:
+    void
+    buildGraphAndLevels()
+    {
+        Rng rng(params_.seed);
+        offsets_.assign(vertices_ + 1, 0);
+        std::vector<std::uint32_t> degree(vertices_);
+        for (std::uint64_t v = 0; v < vertices_; ++v)
+            degree[v] = 4 + static_cast<std::uint32_t>(rng.below(8));
+        for (std::uint64_t v = 0; v < vertices_; ++v)
+            offsets_[v + 1] = offsets_[v] + degree[v];
+        edge_list_.resize(offsets_[vertices_]);
+        for (std::uint64_t v = 0; v < vertices_; ++v) {
+            for (std::uint64_t e = offsets_[v]; e < offsets_[v + 1]; ++e)
+                edge_list_[e] =
+                    static_cast<std::uint32_t>(rng.below(vertices_));
+        }
+
+        // Host-side BFS to get the real per-level frontiers.
+        std::vector<bool> seen(vertices_, false);
+        std::vector<std::uint32_t> frontier{0};
+        seen[0] = true;
+        std::uint64_t max_levels =
+            params_.iterations ? params_.iterations : 64;
+        while (!frontier.empty() && levels_.size() < max_levels) {
+            levels_.push_back(frontier);
+            std::vector<std::uint32_t> nxt;
+            for (std::uint32_t v : frontier) {
+                for (std::uint64_t e = offsets_[v]; e < offsets_[v + 1];
+                     ++e) {
+                    std::uint32_t n = edge_list_[e];
+                    if (!seen[n]) {
+                        seen[n] = true;
+                        nxt.push_back(n);
+                    }
+                }
+            }
+            frontier = std::move(nxt);
+        }
+    }
+
+    std::vector<std::unique_ptr<WarpTrace>>
+    makeTraversalWarps(std::uint64_t level, std::uint64_t tb,
+                       std::uint64_t nodes_per_tb)
+    {
+        std::vector<WarpOp> ops;
+        std::uint64_t v_lo = tb * nodes_per_tb;
+        std::uint64_t v_hi = std::min(vertices_, v_lo + nodes_per_tb);
+
+        // Every thread scans its node's mask word: a sequential
+        // stream over this block's slice.
+        traceutil::appendStream(ops, mask_ + v_lo * 4,
+                                (v_hi - v_lo) * 4, 512, false, 6);
+
+        // Expand the frontier members that fall in this slice.  Model
+        // every other member to account for intra-warp coalescing of
+        // neighbour probes (documented sampling; preserves page
+        // coverage and randomness).
+        const std::vector<std::uint32_t> &frontier = levels_[level];
+        auto lo_it = std::lower_bound(frontier.begin(), frontier.end(),
+                                      static_cast<std::uint32_t>(v_lo));
+        std::uint64_t count = 0;
+        for (auto it = lo_it; it != frontier.end() && *it < v_hi; ++it) {
+            if ((count++ % 2) != 0)
+                continue;
+            std::uint32_t v = *it;
+            std::uint64_t deg = offsets_[v + 1] - offsets_[v];
+
+            WarpOp &gather = traceutil::beginOp(ops, 10);
+            // The CSR node record, then the contiguous edge list.
+            traceutil::appendAccess(gather, nodes_ + v * 8, 8, false);
+            traceutil::appendAccess(
+                gather, edges_ + offsets_[v] * 4,
+                static_cast<std::uint32_t>(deg * 4), false);
+
+            // Scattered neighbour probes: visited read, cost write.
+            WarpOp &probe = traceutil::beginOp(ops, 8);
+            for (std::uint64_t s = 0; s < std::min<std::uint64_t>(deg, 2);
+                 ++s) {
+                std::uint32_t n = edge_list_[offsets_[v] + s];
+                traceutil::appendAccess(probe, visited_ + n * 4, 4,
+                                        false);
+                traceutil::appendAccess(probe, cost_ + n * 4, 4, true);
+            }
+        }
+        return traceutil::splitAmongWarps(std::move(ops),
+                                          params_.warps_per_tb);
+    }
+
+    WorkloadParams params_;
+    std::uint64_t vertices_;
+    std::vector<std::uint64_t> offsets_;
+    std::vector<std::uint32_t> edge_list_;
+    std::vector<std::vector<std::uint32_t>> levels_;
+
+    bool ready_ = false;
+    std::uint64_t next_ = 0;
+    std::unique_ptr<Kernel> current_;
+
+    Addr nodes_ = 0;
+    Addr edges_ = 0;
+    Addr mask_ = 0;
+    Addr updating_ = 0;
+    Addr visited_ = 0;
+    Addr cost_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeBfs(const WorkloadParams &params)
+{
+    return std::make_unique<BfsWorkload>(params);
+}
+
+} // namespace uvmsim

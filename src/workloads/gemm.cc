@@ -1,0 +1,122 @@
+/**
+ * @file
+ * PolyBench gemm, UVM port.
+ *
+ * C = alpha * A x B + beta * C, computed tile by tile: each thread
+ * block owns a 64x64 tile of C, streams its row panel of A, and walks
+ * the matching column panel of row-major B -- a strided pattern that
+ * re-reads B's pages across many thread blocks.  Dense, heavily
+ * reused, single kernel launch.
+ */
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "workloads/benchmarks.hh"
+#include "workloads/trace_util.hh"
+
+namespace uvmsim
+{
+
+namespace
+{
+
+class GemmWorkload : public Workload
+{
+  public:
+    explicit GemmWorkload(const WorkloadParams &params)
+        : params_(params)
+    {
+        n_ = static_cast<std::uint64_t>(
+            1024.0 * std::sqrt(params.size_scale));
+        n_ = std::max<std::uint64_t>(256, n_ & ~std::uint64_t{255});
+        tile_ = 64;
+    }
+
+    std::string name() const override { return "gemm"; }
+
+    void
+    setup(ManagedSpace &space) override
+    {
+        a_ = space.allocate(n_ * n_ * 4, "gemm_A").base();
+        b_ = space.allocate(n_ * n_ * 4, "gemm_B").base();
+        c_ = space.allocate(n_ * n_ * 4, "gemm_C").base();
+        ready_ = true;
+    }
+
+    std::uint64_t totalKernels() const override { return 1; }
+
+    Kernel *
+    nextKernel() override
+    {
+        if (!ready_)
+            panic("gemm: nextKernel before setup");
+        if (next_ >= 1)
+            return nullptr;
+
+        const std::uint64_t tiles_per_dim = n_ / tile_;
+        const std::uint64_t blocks = tiles_per_dim * tiles_per_dim;
+        const std::uint64_t row_bytes = n_ * 4;
+
+        current_ = std::make_unique<GridKernel>(
+            "gemm_kernel", blocks,
+            [this, tiles_per_dim, row_bytes](std::uint64_t tb) {
+                std::uint64_t ti = tb / tiles_per_dim;
+                std::uint64_t tj = tb % tiles_per_dim;
+                std::vector<WarpOp> ops;
+
+                // A row panel: tile_ rows streamed contiguously.
+                for (std::uint64_t r = ti * tile_;
+                     r < (ti + 1) * tile_; ++r) {
+                    traceutil::appendStream(ops, a_ + r * row_bytes,
+                                            row_bytes, 1024, false, 10);
+                }
+
+                // B column panel: one 256B strip of each 4th row of B
+                // at column offset tj*tile_ -- a page-strided walk
+                // every block with the same tj repeats.
+                for (std::uint64_t k = 0; k < n_; k += 4) {
+                    WarpOp &op = traceutil::beginOp(ops, 12);
+                    traceutil::appendAccess(
+                        op, b_ + k * row_bytes + tj * tile_ * 4,
+                        tile_ * 4, false);
+                }
+
+                // C tile: read-modify-write.
+                for (std::uint64_t r = ti * tile_;
+                     r < (ti + 1) * tile_; ++r) {
+                    WarpOp &op = traceutil::beginOp(ops, 6);
+                    traceutil::appendAccess(
+                        op, c_ + r * row_bytes + tj * tile_ * 4,
+                        tile_ * 4, true);
+                }
+                return traceutil::splitAmongWarps(std::move(ops),
+                                                  params_.warps_per_tb);
+            });
+        ++next_;
+        return current_.get();
+    }
+
+  private:
+    WorkloadParams params_;
+    std::uint64_t n_;
+    std::uint64_t tile_;
+    bool ready_ = false;
+    std::uint64_t next_ = 0;
+    std::unique_ptr<Kernel> current_;
+
+    Addr a_ = 0;
+    Addr b_ = 0;
+    Addr c_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeGemm(const WorkloadParams &params)
+{
+    return std::make_unique<GemmWorkload>(params);
+}
+
+} // namespace uvmsim

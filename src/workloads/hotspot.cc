@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Rodinia hotspot, UVM port.
+ *
+ * Thermal simulation: an iterative 5-point stencil over a dim x dim
+ * temperature grid with a power grid input, ping-ponging between two
+ * temperature buffers.  Every page of all three arrays is touched
+ * every iteration -- the paper's canonical iterative-reuse benchmark
+ * (LRU thrashes badly under over-subscription; reservation of the LRU
+ * head helps).
+ */
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "workloads/benchmarks.hh"
+#include "workloads/trace_util.hh"
+
+namespace uvmsim
+{
+
+namespace
+{
+
+class HotspotWorkload : public Workload
+{
+  public:
+    explicit HotspotWorkload(const WorkloadParams &params)
+        : params_(params)
+    {
+        dim_ = static_cast<std::uint64_t>(
+            1024.0 * std::sqrt(params.size_scale));
+        dim_ = std::max<std::uint64_t>(256, dim_ & ~std::uint64_t{255});
+        iterations_ = params.iterations ? params.iterations : 8;
+    }
+
+    std::string name() const override { return "hotspot"; }
+
+    void
+    setup(ManagedSpace &space) override
+    {
+        temp_[0] = space.allocate(dim_ * dim_ * 4, "temp_src").base();
+        temp_[1] = space.allocate(dim_ * dim_ * 4, "temp_dst").base();
+        power_ = space.allocate(dim_ * dim_ * 4, "power").base();
+        ready_ = true;
+    }
+
+    std::uint64_t totalKernels() const override { return iterations_; }
+
+    Kernel *
+    nextKernel() override
+    {
+        if (!ready_)
+            panic("hotspot: nextKernel before setup");
+        if (next_ >= iterations_)
+            return nullptr;
+
+        const std::uint64_t iter = next_;
+        const std::uint64_t rows_per_tb = 8;
+        const std::uint64_t blocks = dim_ / rows_per_tb;
+        const std::uint64_t row_bytes = dim_ * 4;
+        const std::uint32_t granule = 1024;
+        Addr src = temp_[iter % 2];
+        Addr dst = temp_[(iter + 1) % 2];
+
+        current_ = std::make_unique<GridKernel>(
+            "calculate_temp_" + std::to_string(iter), blocks,
+            [this, rows_per_tb, row_bytes, granule, src,
+             dst](std::uint64_t tb) {
+                std::vector<WarpOp> ops;
+                std::uint64_t row0 = tb * rows_per_tb;
+                for (std::uint64_t r = row0; r < row0 + rows_per_tb;
+                     ++r) {
+                    std::uint64_t up = r == 0 ? r : r - 1;
+                    std::uint64_t down = r + 1 == dim_ ? r : r + 1;
+                    for (std::uint64_t c = 0; c < row_bytes;
+                         c += granule) {
+                        // One op per output chunk: the three stencil
+                        // rows, the power input, and the output write.
+                        WarpOp &op = traceutil::beginOp(ops, 12);
+                        traceutil::appendAccess(
+                            op, src + up * row_bytes + c, granule,
+                            false);
+                        traceutil::appendAccess(
+                            op, src + r * row_bytes + c, granule,
+                            false);
+                        traceutil::appendAccess(
+                            op, src + down * row_bytes + c, granule,
+                            false);
+                        traceutil::appendAccess(
+                            op, power_ + r * row_bytes + c, granule,
+                            false);
+                        traceutil::appendAccess(
+                            op, dst + r * row_bytes + c, granule, true);
+                    }
+                }
+                return traceutil::splitAmongWarps(std::move(ops),
+                                                  params_.warps_per_tb);
+            });
+        ++next_;
+        return current_.get();
+    }
+
+  private:
+    WorkloadParams params_;
+    std::uint64_t dim_;
+    std::uint64_t iterations_;
+    bool ready_ = false;
+    std::uint64_t next_ = 0;
+    std::unique_ptr<Kernel> current_;
+
+    Addr temp_[2] = {0, 0};
+    Addr power_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeHotspot(const WorkloadParams &params)
+{
+    return std::make_unique<HotspotWorkload>(params);
+}
+
+} // namespace uvmsim

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Rodinia kmeans, UVM port (suite extension, not one of the paper's
+ * seven benchmarks).
+ *
+ * Iterative clustering: every iteration streams the full feature
+ * matrix (point-major), keeps the small centroid table hot, and
+ * writes each point's membership.  The whole footprint is re-touched
+ * per iteration in the *same* order -- the textbook repetitive linear
+ * scan that makes plain LRU pathological (paper Sec. 5.3's motivating
+ * pattern for reservation/MRU).
+ */
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "workloads/benchmarks.hh"
+#include "workloads/trace_util.hh"
+
+namespace uvmsim
+{
+
+namespace
+{
+
+class KmeansWorkload : public Workload
+{
+  public:
+    explicit KmeansWorkload(const WorkloadParams &params)
+        : params_(params)
+    {
+        points_ = static_cast<std::uint64_t>(
+            524288 * params.size_scale);
+        points_ =
+            std::max<std::uint64_t>(16384, points_ & ~std::uint64_t{4095});
+        dims_ = 4;
+        iterations_ = params.iterations ? params.iterations : 5;
+    }
+
+    std::string name() const override { return "kmeans"; }
+
+    void
+    setup(ManagedSpace &space) override
+    {
+        features_ =
+            space.allocate(points_ * dims_ * 4, "kmeans_features").base();
+        clusters_ = space.allocate(kib(8), "kmeans_clusters").base();
+        membership_ =
+            space.allocate(points_ * 4, "kmeans_membership").base();
+        ready_ = true;
+    }
+
+    std::uint64_t totalKernels() const override { return iterations_; }
+
+    Kernel *
+    nextKernel() override
+    {
+        if (!ready_)
+            panic("kmeans: nextKernel before setup");
+        if (next_ >= iterations_)
+            return nullptr;
+
+        const std::uint64_t points_per_tb = 16384;
+        const std::uint64_t blocks = points_ / points_per_tb;
+
+        current_ = std::make_unique<GridKernel>(
+            "kmeans_kernel_" + std::to_string(next_), blocks,
+            [this, points_per_tb](std::uint64_t tb) {
+                std::vector<WarpOp> ops;
+                std::uint64_t p0 = tb * points_per_tb;
+                // Stream this block's slice of the feature matrix.
+                traceutil::appendStream(
+                    ops, features_ + p0 * dims_ * 4,
+                    points_per_tb * dims_ * 4, 1024, false, 10);
+                // Hot centroid reads interleaved with membership
+                // writes, one per 256-point chunk.
+                for (std::uint64_t c = 0; c < points_per_tb; c += 256) {
+                    WarpOp &op = traceutil::beginOp(ops, 16);
+                    traceutil::appendAccess(op, clusters_, 512, false);
+                    traceutil::appendAccess(
+                        op, membership_ + (p0 + c) * 4, 1024, true);
+                }
+                return traceutil::splitAmongWarps(std::move(ops),
+                                                  params_.warps_per_tb);
+            });
+        ++next_;
+        return current_.get();
+    }
+
+  private:
+    WorkloadParams params_;
+    std::uint64_t points_;
+    std::uint64_t dims_;
+    std::uint64_t iterations_;
+    bool ready_ = false;
+    std::uint64_t next_ = 0;
+    std::unique_ptr<Kernel> current_;
+
+    Addr features_ = 0;
+    Addr clusters_ = 0;
+    Addr membership_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeKmeans(const WorkloadParams &params)
+{
+    return std::make_unique<KmeansWorkload>(params);
+}
+
+} // namespace uvmsim

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Rodinia nw (Needleman-Wunsch), UVM port.
+ *
+ * Sequence alignment over an (n+1) x (n+1) score matrix plus a
+ * same-sized reference matrix, processed as 16x16 tiles along
+ * anti-diagonals: kernel launch d computes every tile (bi, bj) with
+ * bi + bj == d.  Because the matrices are row-major and a row is just
+ * over one 4KB page, a tile's 16 rows land on 16 widely spaced pages:
+ * the paper's Figure 12 "sparse yet localized, repeated over time"
+ * pattern.  Adjacent diagonals re-read tile boundary rows, so there is
+ * reuse, but it is scattered -- which is why nw prefers SLe's 64KB
+ * granularity over TBNe's larger drains (paper Sec. 7.2) and degrades
+ * sharply with over-subscription (Sec. 7.3).
+ */
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "workloads/benchmarks.hh"
+#include "workloads/trace_util.hh"
+
+namespace uvmsim
+{
+
+namespace
+{
+
+class NwWorkload : public Workload
+{
+  public:
+    explicit NwWorkload(const WorkloadParams &params)
+        : params_(params)
+    {
+        n_ = static_cast<std::uint64_t>(
+            1024.0 * std::sqrt(params.size_scale));
+        n_ = std::max<std::uint64_t>(256, n_ & ~std::uint64_t{255});
+        tile_ = 16;
+        nb_ = n_ / tile_;
+        // Rodinia nw: forward sweep over 2*nb - 1 anti-diagonals.
+        steps_ = params.iterations ? params.iterations : 2 * nb_ - 1;
+    }
+
+    std::string name() const override { return "nw"; }
+
+    void
+    setup(ManagedSpace &space) override
+    {
+        std::uint64_t dim = n_ + 1;
+        matrix_ = space.allocate(dim * dim * 4, "nw_matrix").base();
+        reference_ = space.allocate(dim * dim * 4, "nw_reference").base();
+        ready_ = true;
+    }
+
+    std::uint64_t totalKernels() const override { return steps_; }
+
+    Kernel *
+    nextKernel() override
+    {
+        if (!ready_)
+            panic("nw: nextKernel before setup");
+        if (next_ >= steps_)
+            return nullptr;
+
+        const std::uint64_t d = next_;
+        // Tiles on anti-diagonal d: bi in [lo, hi].
+        const std::uint64_t lo = d < nb_ ? 0 : d - (nb_ - 1);
+        const std::uint64_t hi = std::min(d, nb_ - 1);
+        const std::uint64_t tiles = hi - lo + 1;
+        const std::uint64_t row_ints = n_ + 1;
+
+        current_ = std::make_unique<GridKernel>(
+            "needle_kernel_" + std::to_string(d), tiles,
+            [this, d, lo, row_ints](std::uint64_t t) {
+                std::uint64_t bi = lo + t;
+                std::uint64_t bj = d - bi;
+                std::vector<WarpOp> ops;
+
+                std::uint64_t r0 = bi * tile_ + 1;
+                std::uint64_t c0 = bj * tile_ + 1;
+
+                // Boundary row from the tile above (written by the
+                // previous diagonal) and boundary column cells from
+                // the tile to the left.
+                WarpOp &boundary = traceutil::beginOp(ops, 10);
+                traceutil::appendAccess(
+                    boundary,
+                    matrix_ + ((r0 - 1) * row_ints + c0 - 1) * 4,
+                    (tile_ + 1) * 4, false);
+
+                for (std::uint64_t r = r0; r < r0 + tile_; ++r) {
+                    WarpOp &op = traceutil::beginOp(ops, 20);
+                    // Left boundary cell of this row.
+                    traceutil::appendAccess(
+                        op, matrix_ + (r * row_ints + c0 - 1) * 4, 4,
+                        false);
+                    // Reference tile row (read).
+                    traceutil::appendAccess(
+                        op, reference_ + (r * row_ints + c0) * 4,
+                        tile_ * 4, false);
+                    // Score tile row (read-modify-write).
+                    traceutil::appendAccess(
+                        op, matrix_ + (r * row_ints + c0) * 4,
+                        tile_ * 4, true);
+                }
+                return traceutil::splitAmongWarps(std::move(ops),
+                                                  params_.warps_per_tb);
+            });
+        ++next_;
+        return current_.get();
+    }
+
+  private:
+    WorkloadParams params_;
+    std::uint64_t n_;
+    std::uint64_t tile_;
+    std::uint64_t nb_;
+    std::uint64_t steps_;
+    bool ready_ = false;
+    std::uint64_t next_ = 0;
+    std::unique_ptr<Kernel> current_;
+
+    Addr matrix_ = 0;
+    Addr reference_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeNw(const WorkloadParams &params)
+{
+    return std::make_unique<NwWorkload>(params);
+}
+
+} // namespace uvmsim

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Rodinia pathfinder, UVM port.
+ *
+ * Dynamic programming over a rows x cols grid: each step consumes a
+ * band of `pyramid_height` wall rows and the previous result row and
+ * produces the next result row.  The wall data is touched exactly
+ * once, front to back -- the paper's canonical streaming benchmark
+ * (insensitive to eviction policy, no thrashing, flat
+ * over-subscription curves).
+ */
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "workloads/benchmarks.hh"
+#include "workloads/trace_util.hh"
+
+namespace uvmsim
+{
+
+namespace
+{
+
+class PathfinderWorkload : public Workload
+{
+  public:
+    explicit PathfinderWorkload(const WorkloadParams &params)
+        : params_(params)
+    {
+        cols_ = static_cast<std::uint64_t>(32768 * params.size_scale);
+        cols_ = std::max<std::uint64_t>(4096, cols_ & ~std::uint64_t{1023});
+        rows_ = 96;
+        pyramid_ = 4;
+        steps_ = params.iterations
+                     ? params.iterations
+                     : rows_ / pyramid_;
+    }
+
+    std::string name() const override { return "pathfinder"; }
+
+    void
+    setup(ManagedSpace &space) override
+    {
+        wall_ = space.allocate(rows_ * cols_ * 4, "wall").base();
+        result_[0] = space.allocate(cols_ * 4, "result_src").base();
+        result_[1] = space.allocate(cols_ * 4, "result_dst").base();
+        ready_ = true;
+    }
+
+    std::uint64_t totalKernels() const override { return steps_; }
+
+    Kernel *
+    nextKernel() override
+    {
+        if (!ready_)
+            panic("pathfinder: nextKernel before setup");
+        if (next_ >= steps_)
+            return nullptr;
+
+        const std::uint64_t step = next_;
+        const std::uint64_t tb_cols = 1024; // columns per thread block
+        const std::uint64_t blocks = cols_ / tb_cols;
+        Addr src = result_[step % 2];
+        Addr dst = result_[(step + 1) % 2];
+
+        current_ = std::make_unique<GridKernel>(
+            "dynproc_kernel_" + std::to_string(step), blocks,
+            [this, step, tb_cols, src, dst](std::uint64_t tb) {
+                std::vector<WarpOp> ops;
+                std::uint64_t col0 = tb * tb_cols;
+                // Previous result row segment (reused buffer).
+                traceutil::appendStream(ops, src + col0 * 4,
+                                        tb_cols * 4, 512, false, 6);
+                // The band of wall rows consumed by this step --
+                // streamed once and never touched again.
+                for (std::uint64_t r = 0; r < pyramid_; ++r) {
+                    std::uint64_t row = step * pyramid_ + r;
+                    if (row >= rows_)
+                        break;
+                    Addr row_base = wall_ + (row * cols_ + col0) * 4;
+                    traceutil::appendStream(ops, row_base, tb_cols * 4,
+                                            512, false, 8);
+                }
+                // New result row segment.
+                traceutil::appendStream(ops, dst + col0 * 4,
+                                        tb_cols * 4, 512, true, 4);
+                return traceutil::splitAmongWarps(std::move(ops),
+                                                  params_.warps_per_tb);
+            });
+        ++next_;
+        return current_.get();
+    }
+
+  private:
+    WorkloadParams params_;
+    std::uint64_t cols_;
+    std::uint64_t rows_;
+    std::uint64_t pyramid_;
+    std::uint64_t steps_;
+    bool ready_ = false;
+    std::uint64_t next_ = 0;
+    std::unique_ptr<Kernel> current_;
+
+    Addr wall_ = 0;
+    Addr result_[2] = {0, 0};
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makePathfinder(const WorkloadParams &params)
+{
+    return std::make_unique<PathfinderWorkload>(params);
+}
+
+} // namespace uvmsim

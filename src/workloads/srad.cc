@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Rodinia srad (speckle-reducing anisotropic diffusion), UVM port.
+ *
+ * Two kernels per iteration over a dim x dim image:
+ *
+ *   srad_kernel1: reads the image J with a 4-neighbour stencil and
+ *                 writes the diffusion coefficient c plus the N/S
+ *                 directional derivatives.
+ *   srad_kernel2: reads c and the derivatives with a stencil and
+ *                 updates J in place.
+ *
+ * Like hotspot this re-touches the full footprint every iteration,
+ * but with four large arrays and two kernels per step -- heavier reuse
+ * pressure per unit of compute.
+ */
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "workloads/benchmarks.hh"
+#include "workloads/trace_util.hh"
+
+namespace uvmsim
+{
+
+namespace
+{
+
+class SradWorkload : public Workload
+{
+  public:
+    explicit SradWorkload(const WorkloadParams &params)
+        : params_(params)
+    {
+        dim_ = static_cast<std::uint64_t>(
+            1024.0 * std::sqrt(params.size_scale));
+        dim_ = std::max<std::uint64_t>(256, dim_ & ~std::uint64_t{255});
+        iterations_ = params.iterations ? params.iterations : 4;
+    }
+
+    std::string name() const override { return "srad"; }
+
+    void
+    setup(ManagedSpace &space) override
+    {
+        j_ = space.allocate(dim_ * dim_ * 4, "srad_J").base();
+        c_ = space.allocate(dim_ * dim_ * 4, "srad_c").base();
+        dn_ = space.allocate(dim_ * dim_ * 4, "srad_dN").base();
+        ds_ = space.allocate(dim_ * dim_ * 4, "srad_dS").base();
+        ready_ = true;
+    }
+
+    std::uint64_t totalKernels() const override { return 2 * iterations_; }
+
+    Kernel *
+    nextKernel() override
+    {
+        if (!ready_)
+            panic("srad: nextKernel before setup");
+        if (next_ >= totalKernels())
+            return nullptr;
+
+        const bool first_phase = (next_ % 2) == 0;
+        const std::uint64_t rows_per_tb = 8;
+        const std::uint64_t blocks = dim_ / rows_per_tb;
+        const std::uint64_t row_bytes = dim_ * 4;
+        const std::uint32_t granule = 1024;
+
+        auto factory = [this, first_phase, rows_per_tb, row_bytes,
+                        granule](std::uint64_t tb) {
+            std::vector<WarpOp> ops;
+            std::uint64_t row0 = tb * rows_per_tb;
+            for (std::uint64_t r = row0; r < row0 + rows_per_tb; ++r) {
+                std::uint64_t up = r == 0 ? r : r - 1;
+                std::uint64_t down = r + 1 == dim_ ? r : r + 1;
+                for (std::uint64_t col = 0; col < row_bytes;
+                     col += granule) {
+                    WarpOp &op = traceutil::beginOp(ops, 14);
+                    if (first_phase) {
+                        // J stencil in, c/dN/dS out.
+                        traceutil::appendAccess(
+                            op, j_ + up * row_bytes + col, granule,
+                            false);
+                        traceutil::appendAccess(
+                            op, j_ + r * row_bytes + col, granule,
+                            false);
+                        traceutil::appendAccess(
+                            op, j_ + down * row_bytes + col, granule,
+                            false);
+                        traceutil::appendAccess(
+                            op, c_ + r * row_bytes + col, granule,
+                            true);
+                        traceutil::appendAccess(
+                            op, dn_ + r * row_bytes + col, granule,
+                            true);
+                        traceutil::appendAccess(
+                            op, ds_ + r * row_bytes + col, granule,
+                            true);
+                    } else {
+                        // c stencil + derivatives in, J updated.
+                        traceutil::appendAccess(
+                            op, c_ + r * row_bytes + col, granule,
+                            false);
+                        traceutil::appendAccess(
+                            op, c_ + down * row_bytes + col, granule,
+                            false);
+                        traceutil::appendAccess(
+                            op, dn_ + r * row_bytes + col, granule,
+                            false);
+                        traceutil::appendAccess(
+                            op, ds_ + r * row_bytes + col, granule,
+                            false);
+                        traceutil::appendAccess(
+                            op, j_ + r * row_bytes + col, granule,
+                            true);
+                    }
+                }
+            }
+            return traceutil::splitAmongWarps(std::move(ops),
+                                              params_.warps_per_tb);
+        };
+
+        std::string kname = first_phase ? "srad_kernel1_" : "srad_kernel2_";
+        current_ = std::make_unique<GridKernel>(
+            kname + std::to_string(next_ / 2), blocks, factory);
+        ++next_;
+        return current_.get();
+    }
+
+  private:
+    WorkloadParams params_;
+    std::uint64_t dim_;
+    std::uint64_t iterations_;
+    bool ready_ = false;
+    std::uint64_t next_ = 0;
+    std::unique_ptr<Kernel> current_;
+
+    Addr j_ = 0;
+    Addr c_ = 0;
+    Addr dn_ = 0;
+    Addr ds_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeSrad(const WorkloadParams &params)
+{
+    return std::make_unique<SradWorkload>(params);
+}
+
+} // namespace uvmsim

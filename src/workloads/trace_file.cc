@@ -1,0 +1,206 @@
+#include "trace_file.hh"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "workloads/trace_util.hh"
+
+namespace uvmsim
+{
+
+namespace
+{
+
+/** One parsed access record. */
+struct TraceRecord
+{
+    std::size_t alloc_index;
+    std::uint64_t offset;
+    std::uint32_t size;
+    bool is_write;
+    Cycles compute;
+};
+
+/** One parsed thread block: an ordered access list. */
+struct TraceBlock
+{
+    std::vector<TraceRecord> records;
+};
+
+/** One parsed kernel launch. */
+struct TraceKernelDesc
+{
+    std::string name;
+    std::vector<TraceBlock> blocks;
+};
+
+/** The fully parsed trace. */
+struct TraceProgram
+{
+    std::vector<std::pair<std::string, std::uint64_t>> allocs;
+    std::vector<TraceKernelDesc> kernels;
+};
+
+TraceProgram
+parse(std::istream &input)
+{
+    TraceProgram prog;
+    std::string line;
+    std::size_t line_no = 0;
+    bool seen_kernel = false;
+
+    while (std::getline(input, line)) {
+        ++line_no;
+        std::istringstream iss(line);
+        std::string word;
+        if (!(iss >> word) || word[0] == '#')
+            continue;
+
+        if (word == "alloc") {
+            if (seen_kernel)
+                fatal("trace line %zu: alloc after first kernel",
+                      line_no);
+            std::string name;
+            std::uint64_t bytes = 0;
+            if (!(iss >> name >> bytes) || bytes == 0)
+                fatal("trace line %zu: expected 'alloc <name> <bytes>'",
+                      line_no);
+            prog.allocs.emplace_back(name, bytes);
+        } else if (word == "kernel") {
+            std::string name;
+            if (!(iss >> name))
+                fatal("trace line %zu: expected 'kernel <name>'",
+                      line_no);
+            seen_kernel = true;
+            prog.kernels.push_back(TraceKernelDesc{name, {}});
+        } else if (word == "tb") {
+            if (prog.kernels.empty())
+                fatal("trace line %zu: 'tb' before any kernel", line_no);
+            prog.kernels.back().blocks.emplace_back();
+        } else {
+            // Access record: <alloc> <offset> <size> <r|w> [cycles]
+            if (prog.kernels.empty() ||
+                prog.kernels.back().blocks.empty())
+                fatal("trace line %zu: access before any 'tb'", line_no);
+            TraceRecord rec{};
+            std::string rw;
+            std::uint64_t cycles = 4;
+            std::istringstream rss(line);
+            if (!(rss >> rec.alloc_index >> rec.offset >> rec.size >>
+                  rw))
+                fatal("trace line %zu: expected '<alloc> <offset> "
+                      "<size> <r|w> [cycles]'",
+                      line_no);
+            rss >> cycles;
+            if (rec.alloc_index >= prog.allocs.size())
+                fatal("trace line %zu: allocation index %zu out of "
+                      "range",
+                      line_no, rec.alloc_index);
+            if (rec.size == 0)
+                fatal("trace line %zu: zero-size access", line_no);
+            if (rec.offset + rec.size >
+                prog.allocs[rec.alloc_index].second)
+                fatal("trace line %zu: access past end of allocation",
+                      line_no);
+            if (rw != "r" && rw != "w")
+                fatal("trace line %zu: access kind must be r or w",
+                      line_no);
+            rec.is_write = rw == "w";
+            rec.compute = cycles;
+            prog.kernels.back().blocks.back().records.push_back(rec);
+        }
+    }
+    if (prog.allocs.empty())
+        fatal("trace declares no allocations");
+    return prog;
+}
+
+class TraceWorkload : public Workload
+{
+  public:
+    TraceWorkload(TraceProgram prog, const WorkloadParams &params,
+                  std::string name)
+        : prog_(std::move(prog)),
+          params_(params),
+          name_(std::move(name))
+    {}
+
+    std::string name() const override { return name_; }
+
+    void
+    setup(ManagedSpace &space) override
+    {
+        for (const auto &[alloc_name, bytes] : prog_.allocs)
+            bases_.push_back(space.allocate(bytes, alloc_name).base());
+        ready_ = true;
+    }
+
+    std::uint64_t totalKernels() const override
+    {
+        return prog_.kernels.size();
+    }
+
+    Kernel *
+    nextKernel() override
+    {
+        if (!ready_)
+            panic("trace workload: nextKernel before setup");
+        if (next_ >= prog_.kernels.size())
+            return nullptr;
+
+        const TraceKernelDesc &desc = prog_.kernels[next_];
+        current_ = std::make_unique<GridKernel>(
+            desc.name, desc.blocks.size(),
+            [this, &desc](std::uint64_t tb) {
+                std::vector<WarpOp> ops;
+                for (const TraceRecord &rec :
+                     desc.blocks[tb].records) {
+                    WarpOp &op = traceutil::beginOp(ops, rec.compute);
+                    traceutil::appendAccess(
+                        op, bases_[rec.alloc_index] + rec.offset,
+                        rec.size, rec.is_write);
+                }
+                return traceutil::splitAmongWarps(std::move(ops),
+                                                  params_.warps_per_tb);
+            });
+        ++next_;
+        return current_.get();
+    }
+
+  private:
+    TraceProgram prog_;
+    WorkloadParams params_;
+    std::string name_;
+    std::vector<Addr> bases_;
+    bool ready_ = false;
+    std::uint64_t next_ = 0;
+    std::unique_ptr<Kernel> current_;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeTraceWorkload(std::istream &input, const WorkloadParams &params,
+                  std::string name)
+{
+    return std::make_unique<TraceWorkload>(parse(input), params,
+                                           std::move(name));
+}
+
+std::unique_ptr<Workload>
+makeTraceWorkloadFromFile(const std::string &path,
+                          const WorkloadParams &params)
+{
+    std::ifstream file(path);
+    if (!file)
+        fatal("cannot open trace file '%s'", path.c_str());
+    std::string name = path;
+    std::size_t slash = name.find_last_of('/');
+    if (slash != std::string::npos)
+        name = name.substr(slash + 1);
+    return makeTraceWorkload(file, params, name);
+}
+
+} // namespace uvmsim

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Trace-file workload: replay a recorded page-access trace.
+ *
+ * Lets downstream users evaluate the paper's policies on traces from
+ * *real* applications (e.g. captured with nvbit / nvprof and converted
+ * to this format) instead of the synthetic generators.
+ *
+ * File format -- plain text, one record per line:
+ *
+ *   # comment
+ *   alloc <name> <bytes>
+ *   kernel <name>
+ *   tb
+ *   <alloc_index> <offset> <size> <r|w> [compute_cycles]
+ *
+ * `alloc` lines (before the first kernel) declare managed allocations
+ * in index order.  Each `kernel` starts a new launch; each `tb`
+ * starts a new thread block inside it; access lines belong to the
+ * current thread block and execute in order, split round-robin across
+ * the configured warps per block.
+ */
+
+#ifndef UVMSIM_WORKLOADS_TRACE_FILE_HH
+#define UVMSIM_WORKLOADS_TRACE_FILE_HH
+
+#include <istream>
+#include <memory>
+#include <string>
+
+#include "workloads/workload.hh"
+
+namespace uvmsim
+{
+
+/**
+ * Parse a trace from a stream.  fatal()s with a line number on
+ * malformed input.
+ *
+ * @param input Trace text.
+ * @param params Warps-per-TB and other common knobs.
+ * @param name   Workload display name.
+ */
+std::unique_ptr<Workload> makeTraceWorkload(std::istream &input,
+                                            const WorkloadParams &params,
+                                            std::string name = "trace");
+
+/** Parse a trace from a file path. */
+std::unique_ptr<Workload>
+makeTraceWorkloadFromFile(const std::string &path,
+                          const WorkloadParams &params);
+
+} // namespace uvmsim
+
+#endif // UVMSIM_WORKLOADS_TRACE_FILE_HH

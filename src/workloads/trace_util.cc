@@ -1,0 +1,73 @@
+#include "trace_util.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace uvmsim::traceutil
+{
+
+void
+appendAccess(WarpOp &op, Addr addr, std::uint32_t bytes, bool is_write)
+{
+    if (bytes == 0)
+        panic("zero-byte trace access");
+    while (bytes > 0) {
+        Addr page_end = alignToPage(addr) + pageSize;
+        std::uint32_t chunk = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(bytes, page_end - addr));
+        op.accesses.push_back(TraceAccess{addr, chunk, is_write});
+        addr += chunk;
+        bytes -= chunk;
+    }
+}
+
+void
+appendStream(std::vector<WarpOp> &ops, Addr base, std::uint64_t bytes,
+             std::uint32_t granule, bool is_write, Cycles compute)
+{
+    if (granule == 0)
+        panic("zero granule");
+    Addr addr = base;
+    std::uint64_t remaining = bytes;
+    while (remaining > 0) {
+        std::uint32_t chunk = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(granule, remaining));
+        WarpOp op;
+        op.compute_cycles = compute;
+        appendAccess(op, addr, chunk, is_write);
+        ops.push_back(std::move(op));
+        addr += chunk;
+        remaining -= chunk;
+    }
+}
+
+WarpOp &
+beginOp(std::vector<WarpOp> &ops, Cycles compute)
+{
+    ops.emplace_back();
+    ops.back().compute_cycles = compute;
+    return ops.back();
+}
+
+std::vector<std::unique_ptr<WarpTrace>>
+splitAmongWarps(std::vector<WarpOp> ops, std::uint32_t warps)
+{
+    if (warps == 0)
+        panic("splitAmongWarps with zero warps");
+
+    std::vector<std::vector<WarpOp>> lanes(warps);
+    for (std::size_t i = 0; i < ops.size(); ++i)
+        lanes[i % warps].push_back(std::move(ops[i]));
+
+    std::vector<std::unique_ptr<WarpTrace>> out;
+    for (auto &lane : lanes) {
+        if (!lane.empty())
+            out.push_back(std::make_unique<VectorTrace>(std::move(lane)));
+    }
+    if (out.empty())
+        out.push_back(std::make_unique<VectorTrace>(std::vector<WarpOp>{}));
+    return out;
+}
+
+} // namespace uvmsim::traceutil

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Shared helpers for building warp traces.
+ *
+ * All benchmark generators express their access patterns as lists of
+ * WarpOps built through these helpers, which take care of page-safe
+ * splitting (a coalesced transaction never crosses a 4KB page) and of
+ * distributing a thread block's ops across its warps.
+ */
+
+#ifndef UVMSIM_WORKLOADS_TRACE_UTIL_HH
+#define UVMSIM_WORKLOADS_TRACE_UTIL_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "gpu/warp_trace.hh"
+#include "mem/types.hh"
+
+namespace uvmsim::traceutil
+{
+
+/**
+ * Append one access to an op, splitting at page boundaries so each
+ * TraceAccess stays within a page.
+ */
+void appendAccess(WarpOp &op, Addr addr, std::uint32_t bytes,
+                  bool is_write);
+
+/**
+ * Append a run of ops streaming through [base, base + bytes): one op
+ * per `granule` bytes, each a single coalesced access.
+ *
+ * @param compute Cycles of compute preceding each op's access.
+ */
+void appendStream(std::vector<WarpOp> &ops, Addr base,
+                  std::uint64_t bytes, std::uint32_t granule,
+                  bool is_write, Cycles compute);
+
+/**
+ * Begin a new op with the given compute burst and return it for
+ * appendAccess calls.
+ */
+WarpOp &beginOp(std::vector<WarpOp> &ops, Cycles compute);
+
+/**
+ * Deal a thread block's ops round-robin across `warps` warp traces
+ * (the usual "consecutive warps take consecutive chunks" layout).
+ * Empty warps are dropped; at least one warp is always returned when
+ * ops is non-empty.
+ */
+std::vector<std::unique_ptr<WarpTrace>>
+splitAmongWarps(std::vector<WarpOp> ops, std::uint32_t warps);
+
+} // namespace uvmsim::traceutil
+
+#endif // UVMSIM_WORKLOADS_TRACE_UTIL_HH

@@ -1,0 +1,46 @@
+#include "workload.hh"
+
+#include "sim/logging.hh"
+#include "workloads/benchmarks.hh"
+
+namespace uvmsim
+{
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name, const WorkloadParams &params)
+{
+    if (name == "backprop")
+        return makeBackprop(params);
+    if (name == "bfs")
+        return makeBfs(params);
+    if (name == "gemm")
+        return makeGemm(params);
+    if (name == "hotspot")
+        return makeHotspot(params);
+    if (name == "nw")
+        return makeNw(params);
+    if (name == "pathfinder")
+        return makePathfinder(params);
+    if (name == "srad")
+        return makeSrad(params);
+    if (name == "atax")
+        return makeAtax(params);
+    if (name == "kmeans")
+        return makeKmeans(params);
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+std::vector<std::string>
+allWorkloadNames()
+{
+    return {"backprop", "bfs", "gemm", "hotspot", "nw", "pathfinder",
+            "srad"};
+}
+
+std::vector<std::string>
+extraWorkloadNames()
+{
+    return {"atax", "kmeans"};
+}
+
+} // namespace uvmsim

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Benchmark workload interface.
+ *
+ * The paper evaluates seven Rodinia/PolyBench benchmarks ported to UVM
+ * (cudaMalloc -> cudaMallocManaged, cudaMemcpy removed).  We reproduce
+ * each as a generator that (a) performs the same managed allocations
+ * and (b) emits, kernel launch by kernel launch, warp traces with the
+ * benchmark's documented page-access pattern: streaming (backprop,
+ * pathfinder), iterative stencils with full reuse (hotspot, srad),
+ * irregular graph traversal (bfs), wavefront sparse-localized reuse
+ * (nw), and dense tiled reuse (gemm).
+ */
+
+#ifndef UVMSIM_WORKLOADS_WORKLOAD_HH
+#define UVMSIM_WORKLOADS_WORKLOAD_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/managed_space.hh"
+#include "gpu/kernel.hh"
+
+namespace uvmsim
+{
+
+/** Knobs common to every workload generator. */
+struct WorkloadParams
+{
+    /** Multiplies the benchmark's default problem size (1.0 = paper
+     *  scale, a 4-16MB footprint). */
+    double size_scale = 1.0;
+
+    /** Override the benchmark's default iteration count (0 = default). */
+    std::uint64_t iterations = 0;
+
+    /** Seed for any generator randomness (graphs, irregularity). */
+    std::uint64_t seed = 42;
+
+    /** Warps per thread block. */
+    std::uint32_t warps_per_tb = 4;
+};
+
+/** A benchmark: managed allocations plus a stream of kernels. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Benchmark name ("hotspot", "nw", ...). */
+    virtual std::string name() const = 0;
+
+    /** Perform the managed allocations.  Called exactly once. */
+    virtual void setup(ManagedSpace &space) = 0;
+
+    /**
+     * The next kernel to launch, or nullptr when the benchmark is
+     * finished.  The returned kernel stays valid until the next call.
+     */
+    virtual Kernel *nextKernel() = 0;
+
+    /** Total number of kernel launches this workload will perform. */
+    virtual std::uint64_t totalKernels() const = 0;
+};
+
+/** Construct a workload by name; fatal() on unknown names. */
+std::unique_ptr<Workload> makeWorkload(const std::string &name,
+                                       const WorkloadParams &params);
+
+/** The paper's seven benchmarks, in alphabetical order. */
+std::vector<std::string> allWorkloadNames();
+
+/** Additional workloads this repo ships beyond the paper's suite. */
+std::vector<std::string> extraWorkloadNames();
+
+} // namespace uvmsim
+
+#endif // UVMSIM_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,162 @@
+/** @file Unit tests for the access-pattern analyzer. */
+
+#include <gtest/gtest.h>
+
+#include "sim/ticks.hh"
+
+#include "analysis/access_pattern.hh"
+#include "api/simulator.hh"
+
+namespace uvmsim
+{
+
+TEST(AccessPattern, EmptyStream)
+{
+    AccessPatternAnalyzer a;
+    EXPECT_EQ(a.totalAccesses(), 0u);
+    EXPECT_EQ(a.uniquePages(), 0u);
+    EXPECT_DOUBLE_EQ(a.writeFraction(), 0.0);
+    EXPECT_EQ(a.medianReuseDistance(), 0u);
+    EXPECT_DOUBLE_EQ(a.meanInterKernelOverlap(), 0.0);
+}
+
+TEST(AccessPattern, CountsAndWriteFraction)
+{
+    AccessPatternAnalyzer a;
+    a.recordAccess(0, 1, false);
+    a.recordAccess(1, 2, true);
+    a.recordAccess(2, 1, true);
+    EXPECT_EQ(a.totalAccesses(), 3u);
+    EXPECT_EQ(a.uniquePages(), 2u);
+    EXPECT_NEAR(a.writeFraction(), 2.0 / 3.0, 1e-12);
+    EXPECT_NEAR(a.meanAccessesPerPage(), 1.5, 1e-12);
+}
+
+TEST(AccessPattern, ReuseDistanceImmediateReaccess)
+{
+    AccessPatternAnalyzer a;
+    a.recordAccess(0, 7, false);
+    a.recordAccess(1, 7, false); // distance 0 distinct pages between
+    EXPECT_EQ(a.reuseSamples(), 1u);
+    EXPECT_EQ(a.reuseDistanceCounts()[0], 1u);
+}
+
+TEST(AccessPattern, ReuseDistanceCountsDistinctIntervening)
+{
+    AccessPatternAnalyzer a;
+    // Touch pages 0..7, then re-touch page 0: 7 distinct pages in
+    // between -> bucket floor(log2(7)) = 2.
+    for (PageNum p = 0; p < 8; ++p)
+        a.recordAccess(p, p, false);
+    a.recordAccess(8, 0, false);
+    EXPECT_EQ(a.reuseSamples(), 1u);
+    EXPECT_EQ(a.reuseDistanceCounts()[2], 1u);
+}
+
+TEST(AccessPattern, ReuseDistanceIgnoresDuplicateIntervening)
+{
+    AccessPatternAnalyzer a;
+    a.recordAccess(0, 0, false);
+    // The same page re-touched many times counts once.
+    for (int i = 0; i < 10; ++i)
+        a.recordAccess(1 + i, 1, false);
+    a.recordAccess(11, 0, false); // 1 distinct page in between
+    // distance 1 -> bucket 0.
+    EXPECT_EQ(a.reuseDistanceCounts()[0], 9u + 1u); // 9 self + 1
+}
+
+TEST(AccessPattern, InterKernelOverlap)
+{
+    AccessPatternAnalyzer a;
+    for (PageNum p = 0; p < 10; ++p)
+        a.recordAccess(p, p, false);
+    a.kernelBoundary(0);
+    for (PageNum p = 5; p < 15; ++p)
+        a.recordAccess(p, p, false);
+    a.kernelBoundary(1);
+    auto overlap = a.interKernelOverlap();
+    ASSERT_EQ(overlap.size(), 1u);
+    EXPECT_NEAR(overlap[0], 0.5, 1e-12);
+}
+
+TEST(AccessPattern, SpreadRatio)
+{
+    AccessPatternAnalyzer a;
+    // 4 pages spanning 40 -> spread 10.25.
+    for (PageNum p : {100u, 110u, 120u, 140u})
+        a.recordAccess(0, p, false);
+    a.kernelBoundary(0);
+    auto spread = a.kernelSpreadRatio();
+    ASSERT_EQ(spread.size(), 1u);
+    EXPECT_NEAR(spread[0], 41.0 / 4.0, 1e-12);
+}
+
+TEST(AccessPattern, ClassifiesSyntheticStreams)
+{
+    // Streaming: disjoint pages per kernel.
+    AccessPatternAnalyzer streaming;
+    for (int k = 0; k < 4; ++k) {
+        for (PageNum p = 0; p < 64; ++p)
+            streaming.recordAccess(0, k * 64 + p, false);
+        streaming.kernelBoundary(k);
+    }
+    EXPECT_EQ(streaming.classify(),
+              AccessPatternAnalyzer::PatternClass::streaming);
+
+    // Iterative reuse: the same dense pages every kernel.
+    AccessPatternAnalyzer iterative;
+    for (int k = 0; k < 4; ++k) {
+        for (PageNum p = 0; p < 64; ++p)
+            iterative.recordAccess(0, p, false);
+        iterative.kernelBoundary(k);
+    }
+    EXPECT_EQ(iterative.classify(),
+              AccessPatternAnalyzer::PatternClass::iterativeReuse);
+
+    // Sparse localized: widely spaced pages, re-touched.
+    AccessPatternAnalyzer sparse;
+    for (int k = 0; k < 4; ++k) {
+        for (PageNum p = 0; p < 32; ++p)
+            sparse.recordAccess(0, p * 64, false);
+        sparse.kernelBoundary(k);
+    }
+    EXPECT_EQ(sparse.classify(),
+              AccessPatternAnalyzer::PatternClass::sparseLocalized);
+}
+
+TEST(AccessPattern, ReportMentionsClass)
+{
+    AccessPatternAnalyzer a;
+    a.recordAccess(0, 1, false);
+    a.kernelBoundary(0);
+    std::string report = a.report();
+    EXPECT_NE(report.find("class="), std::string::npos);
+    EXPECT_NE(report.find("unique_pages=1"), std::string::npos);
+}
+
+TEST(AccessPattern, ClassifiesRealBenchmarks)
+{
+    WorkloadParams params;
+    params.size_scale = 0.25;
+
+    auto classify = [&](const std::string &name) {
+        auto workload = makeWorkload(name, params);
+        SimConfig cfg;
+        cfg.gpu.num_sms = 8;
+        Simulator sim(cfg);
+        AccessPatternAnalyzer analyzer;
+        attachAnalyzer(sim, analyzer);
+        sim.run(*workload);
+        return analyzer.classify();
+    };
+
+    // The paper's Sec. 7 categories for its suite.
+    EXPECT_EQ(classify("pathfinder"),
+              AccessPatternAnalyzer::PatternClass::streaming);
+    EXPECT_EQ(classify("hotspot"),
+              AccessPatternAnalyzer::PatternClass::iterativeReuse);
+    EXPECT_EQ(classify("nw"),
+              AccessPatternAnalyzer::PatternClass::sparseLocalized);
+}
+
+} // namespace uvmsim

@@ -1,0 +1,65 @@
+/** @file Unit tests for the bench harness helpers. */
+
+#include <gtest/gtest.h>
+
+#include "bench_util.hh"
+
+namespace uvmsim::bench
+{
+
+TEST(BenchUtil, GeomeanBasics)
+{
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    EXPECT_DOUBLE_EQ(geomean({5.0}), 5.0);
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({1.0, 10.0, 100.0}), 10.0, 1e-9);
+}
+
+TEST(BenchUtil, FormatHelpers)
+{
+    EXPECT_EQ(fmt(1.23456, 2), "1.23");
+    EXPECT_EQ(fmt(1.23456, 4), "1.2346");
+    EXPECT_EQ(fmt(2.0, 0), "2");
+    EXPECT_EQ(fmtInt(41.7), "42");
+    EXPECT_EQ(fmtInt(0.2), "0");
+}
+
+TEST(BenchUtil, SelectedBenchmarksDefaultsToPaperSuite)
+{
+    Options empty;
+    auto names = selectedBenchmarks(empty);
+    EXPECT_EQ(names, allWorkloadNames());
+}
+
+TEST(BenchUtil, SelectedBenchmarksHonorsOverride)
+{
+    const char *argv[] = {"prog", "--benchmarks=nw,srad"};
+    Options opts(2, argv);
+    auto names = selectedBenchmarks(opts);
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "nw");
+    EXPECT_EQ(names[1], "srad");
+}
+
+TEST(BenchUtil, WorkloadParamsHonorScaleAndSeed)
+{
+    const char *argv[] = {"prog", "--scale=0.5", "--seed=7"};
+    Options opts(3, argv);
+    WorkloadParams p = workloadParams(opts);
+    EXPECT_DOUBLE_EQ(p.size_scale, 0.5);
+    EXPECT_EQ(p.seed, 7u);
+}
+
+TEST(BenchUtil, RunProducesUsableResult)
+{
+    WorkloadParams p;
+    p.size_scale = 0.1;
+    SimConfig cfg;
+    cfg.gpu.num_sms = 4;
+    RunResult r = run("backprop", cfg, p);
+    EXPECT_EQ(r.workload, "backprop");
+    EXPECT_GT(r.kernelTimeUs(), 0.0);
+}
+
+} // namespace uvmsim::bench

@@ -1,0 +1,200 @@
+/** @file Unit tests for the eviction policies (paper Secs. 4.2, 5, 7.5). */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/eviction.hh"
+#include "sim/ticks.hh"
+
+namespace uvmsim
+{
+
+namespace
+{
+
+struct EvictionFixture : public ::testing::Test
+{
+    ManagedSpace space;
+    ResidencyTracker residency;
+    Rng rng{11};
+
+    EvictionContext
+    ctx(std::uint64_t reserve = 0)
+    {
+        return EvictionContext{residency, space, rng, reserve};
+    }
+
+    /** Make `pages` pages of an allocation resident, in page order. */
+    void
+    populate(const ManagedAllocation &alloc, std::uint64_t pages)
+    {
+        PageNum first = pageOf(alloc.base());
+        for (PageNum p = first; p < first + pages; ++p) {
+            space.treeFor(p)->markPage(p);
+            residency.onResident(p);
+        }
+    }
+};
+
+} // namespace
+
+TEST_F(EvictionFixture, FactoryAndNames)
+{
+    EXPECT_EQ(makeEvictionPolicy(EvictionKind::lru4k)->name(), "LRU4K");
+    EXPECT_EQ(makeEvictionPolicy(EvictionKind::random4k)->name(), "Re");
+    EXPECT_EQ(makeEvictionPolicy(EvictionKind::sequentialLocal)->name(),
+              "SLe");
+    EXPECT_EQ(
+        makeEvictionPolicy(EvictionKind::treeBasedNeighborhood)->name(),
+        "TBNe");
+    EXPECT_EQ(makeEvictionPolicy(EvictionKind::lru2mb)->name(), "LRU2MB");
+}
+
+TEST_F(EvictionFixture, WriteBackUnitSemantics)
+{
+    // Paper Sec. 5.1: block policies write whole units back; 4KB
+    // policies write only dirty pages.
+    EXPECT_FALSE(makeEvictionPolicy(EvictionKind::lru4k)
+                     ->writesBackWholeUnits());
+    EXPECT_FALSE(makeEvictionPolicy(EvictionKind::random4k)
+                     ->writesBackWholeUnits());
+    EXPECT_TRUE(makeEvictionPolicy(EvictionKind::sequentialLocal)
+                    ->writesBackWholeUnits());
+    EXPECT_TRUE(makeEvictionPolicy(EvictionKind::treeBasedNeighborhood)
+                    ->writesBackWholeUnits());
+    EXPECT_TRUE(
+        makeEvictionPolicy(EvictionKind::lru2mb)->writesBackWholeUnits());
+}
+
+TEST_F(EvictionFixture, EmptyResidencyYieldsNoVictims)
+{
+    for (EvictionKind k :
+         {EvictionKind::lru4k, EvictionKind::random4k,
+          EvictionKind::sequentialLocal,
+          EvictionKind::treeBasedNeighborhood, EvictionKind::lru2mb}) {
+        auto policy = makeEvictionPolicy(k);
+        auto c = ctx();
+        EXPECT_TRUE(policy->selectVictims(c).empty())
+            << policy->name();
+    }
+}
+
+TEST_F(EvictionFixture, Lru4kPicksOldestPage)
+{
+    auto &alloc = space.allocate(mib(2), "a");
+    populate(alloc, 10);
+    residency.onAccess(pageOf(alloc.base())); // refresh page 0
+    Lru4kEviction policy;
+    auto c = ctx();
+    auto victims = policy.selectVictims(c);
+    ASSERT_EQ(victims.size(), 1u);
+    EXPECT_EQ(victims[0], pageOf(alloc.base()) + 1);
+}
+
+TEST_F(EvictionFixture, Lru4kRespectsReservation)
+{
+    auto &alloc = space.allocate(mib(2), "a");
+    populate(alloc, 10);
+    Lru4kEviction policy;
+    auto c = ctx(3); // protect the three coldest pages
+    auto victims = policy.selectVictims(c);
+    ASSERT_EQ(victims.size(), 1u);
+    EXPECT_EQ(victims[0], pageOf(alloc.base()) + 3);
+}
+
+TEST_F(EvictionFixture, RandomPicksTrackedPage)
+{
+    auto &alloc = space.allocate(mib(2), "a");
+    populate(alloc, 32);
+    Random4kEviction policy;
+    auto c = ctx();
+    for (int i = 0; i < 10; ++i) {
+        auto victims = policy.selectVictims(c);
+        ASSERT_EQ(victims.size(), 1u);
+        EXPECT_TRUE(residency.isTracked(victims[0]));
+    }
+}
+
+TEST_F(EvictionFixture, SleEvictsWholeBlockIncludingUnaccessedPages)
+{
+    auto &alloc = space.allocate(mib(2), "a");
+    populate(alloc, 2 * pagesPerBasicBlock); // blocks 0 and 1
+    // Touch block 0's pages so block 1 is the LRU block.
+    for (PageNum p = pageOf(alloc.base());
+         p < pageOf(alloc.base()) + pagesPerBasicBlock; ++p)
+        residency.onAccess(p);
+
+    SequentialLocalEviction policy;
+    auto c = ctx();
+    auto victims = policy.selectVictims(c);
+    EXPECT_EQ(victims.size(), pagesPerBasicBlock);
+    EXPECT_EQ(victims.front(),
+              pageOf(alloc.base()) + pagesPerBasicBlock);
+    EXPECT_TRUE(std::is_sorted(victims.begin(), victims.end()));
+}
+
+TEST_F(EvictionFixture, TbneDrainsTreeOnImbalance)
+{
+    // Mirror the Figure 8 setup through the policy interface: a 512KB
+    // allocation fully resident, evict blocks 1, 3, 4, then 0.
+    auto &alloc = space.allocate(kib(512), "a");
+    populate(alloc, 8 * pagesPerBasicBlock);
+    TreeBasedEviction policy;
+
+    auto evictBlock = [&](std::uint32_t leaf_hint) {
+        // Make the target leaf's pages the LRU ones by touching all
+        // other resident pages.
+        PageNum lo = pageOf(alloc.base()) + leaf_hint * pagesPerBasicBlock;
+        PageNum hi = lo + pagesPerBasicBlock;
+        for (PageNum p = pageOf(alloc.base());
+             p < pageOf(alloc.base()) + 8 * pagesPerBasicBlock; ++p) {
+            if (residency.isTracked(p) && (p < lo || p >= hi))
+                residency.onAccess(p);
+        }
+        auto c = ctx();
+        auto victims = policy.selectVictims(c);
+        for (PageNum p : victims)
+            residency.onEvicted(p);
+        return victims;
+    };
+
+    EXPECT_EQ(evictBlock(1).size(), pagesPerBasicBlock);
+    EXPECT_EQ(evictBlock(3).size(), pagesPerBasicBlock);
+    EXPECT_EQ(evictBlock(4).size(), pagesPerBasicBlock);
+    // Fourth eviction triggers the cascading drain: blocks 0, 2, 5,
+    // 6, 7 all go (80 pages).
+    EXPECT_EQ(evictBlock(0).size(), 5 * pagesPerBasicBlock);
+    EXPECT_EQ(residency.size(), 0u);
+}
+
+TEST_F(EvictionFixture, Lru2mbEvictsTheWholeLargePage)
+{
+    auto &a = space.allocate(mib(2), "a");
+    auto &b = space.allocate(mib(2), "b");
+    populate(a, 100);
+    populate(b, 50);
+    // Touch all of a's pages: b becomes the LRU chunk.
+    for (PageNum p = pageOf(a.base()); p < pageOf(a.base()) + 100; ++p)
+        residency.onAccess(p);
+
+    Lru2mbEviction policy;
+    auto c = ctx();
+    auto victims = policy.selectVictims(c);
+    EXPECT_EQ(victims.size(), 50u);
+    for (PageNum p : victims)
+        EXPECT_TRUE(b.contains(pageBase(p)));
+}
+
+TEST_F(EvictionFixture, ReservationFallbackHandledByCaller)
+{
+    auto &alloc = space.allocate(mib(2), "a");
+    populate(alloc, 4);
+    Lru4kEviction policy;
+    auto c = ctx(100); // reserve more than resident
+    EXPECT_TRUE(policy.selectVictims(c).empty());
+    auto c0 = ctx(0);
+    EXPECT_EQ(policy.selectVictims(c0).size(), 1u);
+}
+
+} // namespace uvmsim

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Randomized stress tests of the GMMU: drive random read/write traffic
+ * through every policy combination on a tiny device memory and check
+ * the global invariants that must hold when the event queue drains.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/ticks.hh"
+
+#include <tuple>
+
+#include "core/gmmu.hh"
+#include "interconnect/pcie_link.hh"
+
+namespace uvmsim
+{
+
+namespace
+{
+
+using FuzzParam =
+    std::tuple<PrefetcherKind, EvictionKind, std::uint64_t /*seed*/>;
+
+class GmmuFuzz : public ::testing::TestWithParam<FuzzParam>
+{
+};
+
+} // namespace
+
+TEST_P(GmmuFuzz, InvariantsHoldAfterRandomTraffic)
+{
+    const auto [prefetcher, eviction, seed] = GetParam();
+
+    EventQueue eq;
+    PcieLink pcie(eq, PcieBandwidthModel{});
+    FrameAllocator frames(96); // tiny: forces constant eviction
+    PageTable pt;
+    ManagedSpace space;
+    GmmuConfig cfg;
+    cfg.prefetcher_before = prefetcher;
+    cfg.prefetcher_after = prefetcher;
+    cfg.eviction = eviction;
+    cfg.seed = seed;
+    Gmmu gmmu(eq, pcie, frames, pt, space, cfg);
+
+    auto &alloc = space.allocate(mib(2) + kib(192), "fuzz");
+    const std::uint64_t pages = alloc.paddedBytes() / pageSize;
+
+    Rng rng(seed * 77 + 1);
+    std::uint64_t completions = 0;
+    std::uint64_t issued = 0;
+
+    for (int burst = 0; burst < 20; ++burst) {
+        // Issue a burst of concurrent accesses, then drain.
+        int burst_size = 1 + static_cast<int>(rng.below(24));
+        for (int i = 0; i < burst_size; ++i) {
+            MemAccess m;
+            m.addr = alloc.base() + rng.below(pages) * pageSize +
+                     rng.below(pageSize / 128) * 128;
+            m.size = 128;
+            m.is_write = rng.chance(0.4);
+            ++issued;
+            gmmu.translate(m, [&completions] { ++completions; });
+        }
+        eq.run();
+    }
+
+    // 1. Every access eventually completed.
+    EXPECT_EQ(completions, issued);
+
+    // 2. Device frame accounting matches the page table exactly.
+    EXPECT_EQ(pt.validPages(), frames.usedFrames());
+    EXPECT_LE(pt.validPages(), 96u);
+
+    // 3. The residency tracker agrees with the page table.
+    EXPECT_EQ(gmmu.residency().size(), pt.validPages());
+    EXPECT_TRUE(gmmu.residency().checkConsistent());
+
+    // 4. With the queue drained, tree marks equal valid pages (no
+    //    in-flight migrations remain).
+    std::uint64_t marked = 0;
+    for (const auto &tree : alloc.trees())
+        marked += tree->totalMarkedBytes() / pageSize;
+    EXPECT_EQ(marked, pt.validPages());
+
+    // 5. Nothing is left pending in the MSHRs.
+    EXPECT_EQ(gmmu.mshr().pendingPages(), 0u);
+    EXPECT_EQ(gmmu.mshr().pendingWaiters(), 0u);
+}
+
+TEST_P(GmmuFuzz, DeterministicUnderSameSeed)
+{
+    const auto [prefetcher, eviction, seed] = GetParam();
+
+    auto runOnce = [&]() {
+        EventQueue eq;
+        PcieLink pcie(eq, PcieBandwidthModel{});
+        FrameAllocator frames(64);
+        PageTable pt;
+        ManagedSpace space;
+        GmmuConfig cfg;
+        cfg.prefetcher_before = prefetcher;
+        cfg.prefetcher_after = prefetcher;
+        cfg.eviction = eviction;
+        cfg.seed = seed;
+        Gmmu gmmu(eq, pcie, frames, pt, space, cfg);
+        auto &alloc = space.allocate(mib(1), "d");
+        Rng rng(seed);
+        for (int i = 0; i < 200; ++i) {
+            MemAccess m;
+            m.addr = alloc.base() + rng.below(256) * pageSize;
+            m.size = 128;
+            m.is_write = rng.chance(0.3);
+            gmmu.translate(m, [] {});
+            if (i % 16 == 15)
+                eq.run();
+        }
+        eq.run();
+        return std::make_tuple(eq.curTick(),
+                               pcie.bytesTransferred(
+                                   PcieDir::hostToDevice),
+                               pcie.bytesTransferred(
+                                   PcieDir::deviceToHost),
+                               pt.validPages());
+    };
+
+    EXPECT_EQ(runOnce(), runOnce());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicyCombos, GmmuFuzz,
+    ::testing::Combine(
+        ::testing::Values(PrefetcherKind::none, PrefetcherKind::random,
+                          PrefetcherKind::sequentialLocal,
+                          PrefetcherKind::treeBasedNeighborhood,
+                          PrefetcherKind::sequentialGlobal,
+                          PrefetcherKind::zhengLocality),
+        ::testing::Values(EvictionKind::lru4k, EvictionKind::random4k,
+                          EvictionKind::sequentialLocal,
+                          EvictionKind::treeBasedNeighborhood,
+                          EvictionKind::lru2mb, EvictionKind::mru4k),
+        ::testing::Values(3u, 11u)),
+    [](const ::testing::TestParamInfo<FuzzParam> &info) {
+        return toString(std::get<0>(info.param)) + "_" +
+               toString(std::get<1>(info.param)) + "_s" +
+               std::to_string(std::get<2>(info.param));
+    });
+
+} // namespace uvmsim

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Unit tests for the large-page tree, including exact replays of the
+ * paper's Figure 2(a), Figure 2(b) (TBNp) and Figure 8 (TBNe) worked
+ * examples on a 512KB chunk.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/ticks.hh"
+
+#include <algorithm>
+
+#include "core/large_page_tree.hh"
+
+namespace uvmsim
+{
+
+namespace
+{
+
+constexpr Addr treeBase = 0x100000000ull; // 2MB aligned
+
+/** All pages of leaf `leaf` for a tree at treeBase. */
+std::vector<PageNum>
+leafPages(const LargePageTree &tree, std::uint32_t leaf)
+{
+    std::vector<PageNum> out;
+    PageNum first = tree.leafFirstPage(leaf);
+    for (std::uint64_t p = 0; p < pagesPerBasicBlock; ++p)
+        out.push_back(first + p);
+    return out;
+}
+
+/** Union of whole leaves, ascending. */
+std::vector<PageNum>
+pagesOfLeaves(const LargePageTree &tree,
+              std::initializer_list<std::uint32_t> leaves)
+{
+    std::vector<PageNum> out;
+    for (std::uint32_t l : leaves) {
+        auto pages = leafPages(tree, l);
+        out.insert(out.end(), pages.begin(), pages.end());
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+} // namespace
+
+TEST(LargePageTree, GeometryOf512KBTree)
+{
+    LargePageTree tree(treeBase, 8);
+    EXPECT_EQ(tree.capacityBytes(), kib(512));
+    EXPECT_EQ(tree.numLeaves(), 8u);
+    EXPECT_EQ(tree.rootHeight(), 3u);
+    EXPECT_EQ(tree.nodeCapacityBytes(0), kib(64));
+    EXPECT_EQ(tree.nodeCapacityBytes(3), kib(512));
+    EXPECT_EQ(tree.endAddr(), treeBase + kib(512));
+}
+
+TEST(LargePageTree, CoversAndLeafMapping)
+{
+    LargePageTree tree(treeBase, 8);
+    EXPECT_TRUE(tree.covers(pageOf(treeBase)));
+    EXPECT_TRUE(tree.covers(pageOf(treeBase + kib(512) - 1)));
+    EXPECT_FALSE(tree.covers(pageOf(treeBase + kib(512))));
+    EXPECT_FALSE(tree.covers(pageOf(treeBase - 1)));
+    EXPECT_EQ(tree.leafOf(pageOf(treeBase)), 0u);
+    EXPECT_EQ(tree.leafOf(pageOf(treeBase + kib(64))), 1u);
+    EXPECT_EQ(tree.leafOf(pageOf(treeBase + kib(448))), 7u);
+}
+
+TEST(LargePageTree, MarkUnmarkSinglePages)
+{
+    LargePageTree tree(treeBase, 8);
+    PageNum p = pageOf(treeBase + kib(64)); // first page of leaf 1
+    EXPECT_FALSE(tree.pageMarked(p));
+    tree.markPage(p);
+    EXPECT_TRUE(tree.pageMarked(p));
+    EXPECT_EQ(tree.leafMarkedPages(1), 1u);
+    EXPECT_EQ(tree.totalMarkedBytes(), pageSize);
+    tree.unmarkPage(p);
+    EXPECT_FALSE(tree.pageMarked(p));
+    EXPECT_EQ(tree.totalMarkedBytes(), 0u);
+}
+
+TEST(LargePageTree, NodeMarkedBytesAggregates)
+{
+    LargePageTree tree(treeBase, 8);
+    for (PageNum p : leafPages(tree, 2))
+        tree.markPage(p);
+    EXPECT_EQ(tree.nodeMarkedBytes(0, 2), kib(64));
+    EXPECT_EQ(tree.nodeMarkedBytes(1, 1), kib(64)); // leaves 2,3
+    EXPECT_EQ(tree.nodeMarkedBytes(2, 0), kib(64)); // leaves 0..3
+    EXPECT_EQ(tree.nodeMarkedBytes(3, 0), kib(64)); // root
+    EXPECT_TRUE(tree.checkConsistent());
+}
+
+/**
+ * Paper Figure 2(a): accesses to leaves 1, 3, 5, 7 migrate only the
+ * faulted basic blocks; the fifth access (leaf 0) triggers balancing
+ * that prefetches leaves 2, 4, and 6.
+ */
+TEST(LargePageTree, Figure2aExample)
+{
+    LargePageTree tree(treeBase, 8);
+
+    for (std::uint32_t leaf : {1u, 3u, 5u, 7u}) {
+        auto got = tree.faultFill(tree.leafFirstPage(leaf));
+        EXPECT_EQ(got, pagesOfLeaves(tree, {leaf}))
+            << "fault on leaf " << leaf;
+    }
+    EXPECT_EQ(tree.totalMarkedBytes(), kib(256));
+
+    auto got = tree.faultFill(tree.leafFirstPage(0));
+    EXPECT_EQ(got, pagesOfLeaves(tree, {0, 2, 4, 6}));
+    EXPECT_EQ(tree.totalMarkedBytes(), kib(512));
+    EXPECT_TRUE(tree.checkConsistent());
+}
+
+/**
+ * Paper Figure 2(b): faults on leaves 1 and 3 migrate just those
+ * blocks; the third fault (leaf 0) prefetches leaf 2; the fourth
+ * fault (leaf 4) prefetches leaves 5, 6, and 7.
+ */
+TEST(LargePageTree, Figure2bExample)
+{
+    LargePageTree tree(treeBase, 8);
+
+    EXPECT_EQ(tree.faultFill(tree.leafFirstPage(1)),
+              pagesOfLeaves(tree, {1}));
+    EXPECT_EQ(tree.faultFill(tree.leafFirstPage(3)),
+              pagesOfLeaves(tree, {3}));
+    EXPECT_EQ(tree.faultFill(tree.leafFirstPage(0)),
+              pagesOfLeaves(tree, {0, 2}));
+    EXPECT_EQ(tree.nodeMarkedBytes(2, 0), kib(256));
+    EXPECT_EQ(tree.faultFill(tree.leafFirstPage(4)),
+              pagesOfLeaves(tree, {4, 5, 6, 7}));
+    EXPECT_EQ(tree.totalMarkedBytes(), kib(512));
+}
+
+/** Faulting mid-block still fills the whole basic block. */
+TEST(LargePageTree, FaultAnywhereInBlockFillsBlock)
+{
+    LargePageTree tree(treeBase, 8);
+    PageNum mid = tree.leafFirstPage(2) + 7;
+    auto got = tree.faultFill(mid);
+    EXPECT_EQ(got, pagesOfLeaves(tree, {2}));
+}
+
+/** A fault in a partially valid block migrates only the remainder. */
+TEST(LargePageTree, PartialBlockFillsOnlyInvalidPages)
+{
+    LargePageTree tree(treeBase, 8);
+    PageNum first = tree.leafFirstPage(2);
+    tree.markPage(first);
+    tree.markPage(first + 1);
+    auto got = tree.faultFill(first + 5);
+    EXPECT_EQ(got.size(), pagesPerBasicBlock - 2);
+    EXPECT_EQ(got.front(), first + 2);
+    EXPECT_EQ(tree.leafMarkedPages(2), pagesPerBasicBlock);
+}
+
+/**
+ * Paper Figure 8 (TBNe): with all 512KB valid, evicting blocks 1, 3,
+ * and 4 stays local; evicting block 0 then drains block 2 (node N02
+ * below 50%) and blocks 5, 6, 7 (root below 50%).
+ */
+TEST(LargePageTree, Figure8TbneExample)
+{
+    LargePageTree tree(treeBase, 8);
+    for (std::uint32_t l = 0; l < 8; ++l)
+        for (PageNum p : leafPages(tree, l))
+            tree.markPage(p);
+    ASSERT_EQ(tree.totalMarkedBytes(), kib(512));
+
+    EXPECT_EQ(tree.evictDrain(1), pagesOfLeaves(tree, {1}));
+    EXPECT_EQ(tree.evictDrain(3), pagesOfLeaves(tree, {3}));
+    EXPECT_EQ(tree.evictDrain(4), pagesOfLeaves(tree, {4}));
+    EXPECT_EQ(tree.totalMarkedBytes(), kib(320));
+
+    EXPECT_EQ(tree.evictDrain(0), pagesOfLeaves(tree, {0, 2, 5, 6, 7}));
+    EXPECT_EQ(tree.totalMarkedBytes(), 0u);
+    EXPECT_TRUE(tree.checkConsistent());
+}
+
+/** Evicting an empty leaf with an empty tree does nothing. */
+TEST(LargePageTree, EvictDrainOnEmptyLeaf)
+{
+    LargePageTree tree(treeBase, 8);
+    EXPECT_TRUE(tree.evictDrain(3).empty());
+}
+
+/**
+ * The paper's maximum-prefetch scenario: a full 2MB tree whose left
+ * half is entirely valid; a fault in the right half prefetches
+ * 1020KB in addition to the 4KB fault page (Sec. 3.3).
+ */
+TEST(LargePageTree, MaxPrefetchIs1020KB)
+{
+    LargePageTree tree(treeBase, 32);
+    // Mark leaves 0..15: the full left 1MB half.
+    for (std::uint32_t l = 0; l < 16; ++l)
+        for (PageNum p : leafPages(tree, l))
+            tree.markPage(p);
+
+    PageNum fault = tree.leafFirstPage(16);
+    auto got = tree.faultFill(fault);
+    // Newly marked: the faulted 64KB block + 960KB balancing fill =
+    // 1024KB total, i.e. 4KB fault + 1020KB prefetch.
+    EXPECT_EQ(got.size() * pageSize, kib(1024));
+    EXPECT_EQ(tree.totalMarkedBytes(), mib(2));
+}
+
+TEST(LargePageTree, SingleLeafTreeDegenerates)
+{
+    LargePageTree tree(treeBase, 1);
+    EXPECT_EQ(tree.rootHeight(), 0u);
+    auto got = tree.faultFill(tree.leafFirstPage(0));
+    EXPECT_EQ(got.size(), pagesPerBasicBlock);
+    EXPECT_EQ(tree.totalMarkedBytes(), kib(64));
+    auto drained = tree.evictDrain(0);
+    EXPECT_EQ(drained.size(), pagesPerBasicBlock);
+    EXPECT_EQ(tree.totalMarkedBytes(), 0u);
+}
+
+TEST(LargePageTree, BadConstructionDies)
+{
+    EXPECT_DEATH(LargePageTree(treeBase + 123, 8), "aligned");
+    EXPECT_DEATH(LargePageTree(treeBase, 0), "power of two");
+    EXPECT_DEATH(LargePageTree(treeBase, 3), "power of two");
+    EXPECT_DEATH(LargePageTree(treeBase, 64), "power of two");
+}
+
+TEST(LargePageTree, FaultFillReturnsAscendingUniquePages)
+{
+    LargePageTree tree(treeBase, 32);
+    auto got = tree.faultFill(tree.leafFirstPage(5) + 3);
+    EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+    EXPECT_EQ(std::adjacent_find(got.begin(), got.end()), got.end());
+    for (PageNum p : got)
+        EXPECT_TRUE(tree.covers(p));
+}
+
+} // namespace uvmsim

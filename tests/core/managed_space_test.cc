@@ -1,0 +1,123 @@
+/** @file Unit tests for managed allocations and their trees. */
+
+#include <gtest/gtest.h>
+
+#include "sim/ticks.hh"
+
+#include "core/managed_space.hh"
+
+namespace uvmsim
+{
+
+TEST(ManagedAllocation, RemainderRoundingRule)
+{
+    // Paper Sec. 3.3: remainder rounds to the next 2^i * 64KB.
+    EXPECT_EQ(ManagedAllocation::roundUpRemainder(0), 0u);
+    EXPECT_EQ(ManagedAllocation::roundUpRemainder(1), kib(64));
+    EXPECT_EQ(ManagedAllocation::roundUpRemainder(kib(64)), kib(64));
+    EXPECT_EQ(ManagedAllocation::roundUpRemainder(kib(65)), kib(128));
+    EXPECT_EQ(ManagedAllocation::roundUpRemainder(kib(192)), kib(256));
+    EXPECT_EQ(ManagedAllocation::roundUpRemainder(kib(257)), kib(512));
+    EXPECT_EQ(ManagedAllocation::roundUpRemainder(kib(1025)), mib(2));
+}
+
+TEST(ManagedSpace, PaperExample4MBPlus192KB)
+{
+    // "if the programmer specifies 4MB and 192KB ... GMMU rounds this
+    //  up to 4MB and 256KB. Then two full binary trees for 2MB large
+    //  pages and one full tree for 256KB are created."
+    ManagedSpace space;
+    ManagedAllocation &alloc =
+        space.allocate(mib(4) + kib(192), "paper_example");
+    EXPECT_EQ(alloc.userBytes(), mib(4) + kib(192));
+    EXPECT_EQ(alloc.paddedBytes(), mib(4) + kib(256));
+    ASSERT_EQ(alloc.trees().size(), 3u);
+    EXPECT_EQ(alloc.trees()[0]->capacityBytes(), mib(2));
+    EXPECT_EQ(alloc.trees()[1]->capacityBytes(), mib(2));
+    EXPECT_EQ(alloc.trees()[2]->capacityBytes(), kib(256));
+    EXPECT_EQ(alloc.trees()[2]->numLeaves(), 4u);
+}
+
+TEST(ManagedSpace, ExactMultipleHasNoRemainderTree)
+{
+    ManagedSpace space;
+    ManagedAllocation &alloc = space.allocate(mib(6), "six");
+    EXPECT_EQ(alloc.paddedBytes(), mib(6));
+    EXPECT_EQ(alloc.trees().size(), 3u);
+    for (const auto &tree : alloc.trees())
+        EXPECT_EQ(tree->capacityBytes(), mib(2));
+}
+
+TEST(ManagedSpace, TinyAllocationGetsSingleSmallTree)
+{
+    ManagedSpace space;
+    ManagedAllocation &alloc = space.allocate(100, "tiny");
+    EXPECT_EQ(alloc.paddedBytes(), kib(64));
+    ASSERT_EQ(alloc.trees().size(), 1u);
+    EXPECT_EQ(alloc.trees()[0]->numLeaves(), 1u);
+}
+
+TEST(ManagedSpace, BasesAre2MBAlignedAndDisjoint)
+{
+    ManagedSpace space;
+    ManagedAllocation &a = space.allocate(mib(3), "a");
+    ManagedAllocation &b = space.allocate(kib(100), "b");
+    ManagedAllocation &c = space.allocate(mib(2), "c");
+    EXPECT_EQ(a.base() % largePageSize, 0u);
+    EXPECT_EQ(b.base() % largePageSize, 0u);
+    EXPECT_EQ(c.base() % largePageSize, 0u);
+    EXPECT_GE(b.base(), a.endAddr());
+    EXPECT_GE(c.base(), b.endAddr());
+}
+
+TEST(ManagedSpace, TreeForFindsTheRightTree)
+{
+    ManagedSpace space;
+    ManagedAllocation &alloc = space.allocate(mib(4) + kib(192), "x");
+    PageNum first = pageOf(alloc.base());
+    PageNum in_second = pageOf(alloc.base() + mib(2) + kib(100));
+    PageNum in_remainder = pageOf(alloc.base() + mib(4) + kib(10));
+
+    EXPECT_EQ(space.treeFor(first), alloc.trees()[0].get());
+    EXPECT_EQ(space.treeFor(in_second), alloc.trees()[1].get());
+    EXPECT_EQ(space.treeFor(in_remainder), alloc.trees()[2].get());
+}
+
+TEST(ManagedSpace, LookupOutsideAnyAllocationIsNull)
+{
+    ManagedSpace space;
+    ManagedAllocation &alloc = space.allocate(kib(128), "x");
+    EXPECT_EQ(space.treeFor(pageOf(alloc.base() - pageSize)), nullptr);
+    EXPECT_EQ(space.treeFor(pageOf(alloc.endAddr())), nullptr);
+    EXPECT_EQ(space.allocationFor(pageOf(alloc.endAddr())), nullptr);
+    // Inside the padded region but past it: the 128KB remainder tree
+    // ends mid-2MB-slot; the rest of the slot is unmapped.
+    EXPECT_EQ(space.treeFor(pageOf(alloc.base() + kib(200))), nullptr);
+}
+
+TEST(ManagedSpace, AllocationForMapsPagesToOwner)
+{
+    ManagedSpace space;
+    ManagedAllocation &a = space.allocate(mib(2), "a");
+    ManagedAllocation &b = space.allocate(mib(2), "b");
+    EXPECT_EQ(space.allocationFor(pageOf(a.base())), &a);
+    EXPECT_EQ(space.allocationFor(pageOf(b.base() + kib(100))), &b);
+}
+
+TEST(ManagedSpace, TotalsAccumulate)
+{
+    ManagedSpace space;
+    space.allocate(mib(2), "a");
+    space.allocate(kib(192), "b");
+    EXPECT_EQ(space.totalUserBytes(), mib(2) + kib(192));
+    EXPECT_EQ(space.totalPaddedBytes(), mib(2) + kib(256));
+    EXPECT_EQ(space.allocations().size(), 2u);
+}
+
+TEST(ManagedSpace, ZeroByteAllocationDies)
+{
+    ManagedSpace space;
+    EXPECT_DEATH(space.allocate(0, "zero"), "zero bytes");
+}
+
+} // namespace uvmsim

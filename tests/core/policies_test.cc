@@ -1,0 +1,56 @@
+/** @file Unit tests for policy enum string conversions. */
+
+#include <gtest/gtest.h>
+
+#include "core/policies.hh"
+
+namespace uvmsim
+{
+
+TEST(Policies, PrefetcherToString)
+{
+    EXPECT_EQ(toString(PrefetcherKind::none), "none");
+    EXPECT_EQ(toString(PrefetcherKind::random), "Rp");
+    EXPECT_EQ(toString(PrefetcherKind::sequentialLocal), "SLp");
+    EXPECT_EQ(toString(PrefetcherKind::treeBasedNeighborhood), "TBNp");
+}
+
+TEST(Policies, EvictionToString)
+{
+    EXPECT_EQ(toString(EvictionKind::lru4k), "LRU4K");
+    EXPECT_EQ(toString(EvictionKind::random4k), "Re");
+    EXPECT_EQ(toString(EvictionKind::sequentialLocal), "SLe");
+    EXPECT_EQ(toString(EvictionKind::treeBasedNeighborhood), "TBNe");
+    EXPECT_EQ(toString(EvictionKind::lru2mb), "LRU2MB");
+}
+
+TEST(Policies, PrefetcherRoundTrip)
+{
+    for (PrefetcherKind k :
+         {PrefetcherKind::none, PrefetcherKind::random,
+          PrefetcherKind::sequentialLocal,
+          PrefetcherKind::treeBasedNeighborhood}) {
+        EXPECT_EQ(prefetcherFromString(toString(k)), k);
+    }
+}
+
+TEST(Policies, EvictionRoundTrip)
+{
+    for (EvictionKind k :
+         {EvictionKind::lru4k, EvictionKind::random4k,
+          EvictionKind::sequentialLocal,
+          EvictionKind::treeBasedNeighborhood, EvictionKind::lru2mb}) {
+        EXPECT_EQ(evictionFromString(toString(k)), k);
+    }
+}
+
+TEST(Policies, AlternateSpellings)
+{
+    EXPECT_EQ(prefetcherFromString("random"), PrefetcherKind::random);
+    EXPECT_EQ(prefetcherFromString("tree-based-neighborhood"),
+              PrefetcherKind::treeBasedNeighborhood);
+    EXPECT_EQ(evictionFromString("LRU"), EvictionKind::lru4k);
+    EXPECT_EQ(evictionFromString("2MB"), EvictionKind::lru2mb);
+}
+
+} // namespace uvmsim

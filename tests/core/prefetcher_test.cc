@@ -1,0 +1,150 @@
+/** @file Unit tests for the hardware prefetchers (paper Sec. 3). */
+
+#include <gtest/gtest.h>
+
+#include "sim/ticks.hh"
+
+#include <algorithm>
+
+#include "core/prefetcher.hh"
+
+namespace uvmsim
+{
+
+namespace
+{
+
+constexpr Addr treeBase = 0x300000000ull;
+
+} // namespace
+
+TEST(Prefetcher, FactoryProducesRightKinds)
+{
+    EXPECT_EQ(makePrefetcher(PrefetcherKind::none)->kind(),
+              PrefetcherKind::none);
+    EXPECT_EQ(makePrefetcher(PrefetcherKind::random)->kind(),
+              PrefetcherKind::random);
+    EXPECT_EQ(makePrefetcher(PrefetcherKind::sequentialLocal)->kind(),
+              PrefetcherKind::sequentialLocal);
+    EXPECT_EQ(
+        makePrefetcher(PrefetcherKind::treeBasedNeighborhood)->kind(),
+        PrefetcherKind::treeBasedNeighborhood);
+}
+
+TEST(Prefetcher, PolicyNamesMatchPaper)
+{
+    EXPECT_EQ(makePrefetcher(PrefetcherKind::none)->name(), "none");
+    EXPECT_EQ(makePrefetcher(PrefetcherKind::random)->name(), "Rp");
+    EXPECT_EQ(makePrefetcher(PrefetcherKind::sequentialLocal)->name(),
+              "SLp");
+    EXPECT_EQ(
+        makePrefetcher(PrefetcherKind::treeBasedNeighborhood)->name(),
+        "TBNp");
+}
+
+TEST(Prefetcher, NoneMigratesExactlyTheFaultPage)
+{
+    LargePageTree tree(treeBase, 32);
+    Rng rng(1);
+    NonePrefetcher pf;
+    PageNum fault = tree.leafFirstPage(3) + 5;
+    auto got = pf.selectPages(fault, tree, rng);
+    EXPECT_EQ(got, std::vector<PageNum>{fault});
+    EXPECT_TRUE(tree.pageMarked(fault));
+    EXPECT_EQ(tree.totalMarkedBytes(), pageSize);
+}
+
+TEST(Prefetcher, RandomAddsOneInvalidPageInBoundary)
+{
+    LargePageTree tree(treeBase, 32);
+    Rng rng(2);
+    RandomPrefetcher pf;
+    PageNum fault = tree.leafFirstPage(0);
+    auto got = pf.selectPages(fault, tree, rng);
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_TRUE(std::binary_search(got.begin(), got.end(), fault));
+    for (PageNum p : got) {
+        EXPECT_TRUE(tree.covers(p));
+        EXPECT_TRUE(tree.pageMarked(p));
+    }
+    EXPECT_EQ(tree.totalMarkedBytes(), 2 * pageSize);
+}
+
+TEST(Prefetcher, RandomWithNoInvalidCandidateReturnsFaultOnly)
+{
+    LargePageTree tree(treeBase, 1);
+    // Mark everything except one page.
+    PageNum fault = tree.leafFirstPage(0) + 9;
+    for (PageNum p = tree.leafFirstPage(0);
+         p < tree.leafFirstPage(0) + pagesPerBasicBlock; ++p) {
+        if (p != fault)
+            tree.markPage(p);
+    }
+    Rng rng(3);
+    RandomPrefetcher pf;
+    auto got = pf.selectPages(fault, tree, rng);
+    EXPECT_EQ(got, std::vector<PageNum>{fault});
+}
+
+TEST(Prefetcher, RandomIsSeedDeterministic)
+{
+    RandomPrefetcher pf;
+    LargePageTree t1(treeBase, 32), t2(treeBase, 32);
+    Rng r1(7), r2(7);
+    PageNum fault = t1.leafFirstPage(4);
+    EXPECT_EQ(pf.selectPages(fault, t1, r1),
+              pf.selectPages(fault, t2, r2));
+}
+
+TEST(Prefetcher, SequentialLocalFillsTheBasicBlock)
+{
+    LargePageTree tree(treeBase, 32);
+    Rng rng(1);
+    SequentialLocalPrefetcher pf;
+    PageNum fault = tree.leafFirstPage(5) + 11;
+    auto got = pf.selectPages(fault, tree, rng);
+    EXPECT_EQ(got.size(), pagesPerBasicBlock);
+    EXPECT_EQ(got.front(), tree.leafFirstPage(5));
+    EXPECT_EQ(got.back(), tree.leafFirstPage(5) + 15);
+    EXPECT_EQ(tree.leafMarkedPages(5), pagesPerBasicBlock);
+    // Nothing outside the faulted block.
+    EXPECT_EQ(tree.totalMarkedBytes(), basicBlockSize);
+}
+
+TEST(Prefetcher, SequentialLocalSkipsAlreadyValidPages)
+{
+    LargePageTree tree(treeBase, 32);
+    Rng rng(1);
+    SequentialLocalPrefetcher pf;
+    PageNum first = tree.leafFirstPage(5);
+    tree.markPage(first);
+    tree.markPage(first + 1);
+    auto got = pf.selectPages(first + 4, tree, rng);
+    EXPECT_EQ(got.size(), pagesPerBasicBlock - 2);
+    EXPECT_EQ(got.front(), first + 2);
+}
+
+TEST(Prefetcher, TreeBasedDelegatesToTreeBalancing)
+{
+    // Replays the first step of Figure 2(b) through the policy class.
+    LargePageTree tree(treeBase, 8);
+    Rng rng(1);
+    TreeBasedPrefetcher pf;
+    pf.selectPages(tree.leafFirstPage(1), tree, rng);
+    pf.selectPages(tree.leafFirstPage(3), tree, rng);
+    auto got = pf.selectPages(tree.leafFirstPage(0), tree, rng);
+    // Leaf 0 fill + leaf 2 balancing prefetch = 32 pages.
+    EXPECT_EQ(got.size(), 2 * pagesPerBasicBlock);
+}
+
+TEST(Prefetcher, FaultOnMarkedPageDies)
+{
+    LargePageTree tree(treeBase, 8);
+    Rng rng(1);
+    NonePrefetcher pf;
+    PageNum fault = tree.leafFirstPage(0);
+    tree.markPage(fault);
+    EXPECT_DEATH(pf.selectPages(fault, tree, rng), "already");
+}
+
+} // namespace uvmsim

@@ -1,0 +1,225 @@
+/** @file Unit tests for the hierarchical LRU residency tracker. */
+
+#include <gtest/gtest.h>
+
+#include "core/residency_tracker.hh"
+
+namespace uvmsim
+{
+
+namespace
+{
+
+// Pages inside different 64KB blocks / 2MB chunks for layout tests.
+constexpr PageNum pageAt(std::uint64_t chunk, std::uint64_t block,
+                         std::uint64_t page)
+{
+    return pageOf(chunk * largePageSize + block * basicBlockSize +
+                  page * pageSize);
+}
+
+} // namespace
+
+TEST(ResidencyTracker, EmptyVictims)
+{
+    ResidencyTracker rt;
+    Rng rng(1);
+    EXPECT_FALSE(rt.lruPageVictim(0).has_value());
+    EXPECT_FALSE(rt.randomPageVictim(rng).has_value());
+    EXPECT_FALSE(rt.lruBlockVictim(0).has_value());
+    EXPECT_FALSE(rt.lruLargePageVictim(0).has_value());
+    EXPECT_EQ(rt.size(), 0u);
+}
+
+TEST(ResidencyTracker, LruOrderIsInsertionWithoutAccesses)
+{
+    ResidencyTracker rt;
+    rt.onResident(10);
+    rt.onResident(11);
+    rt.onResident(12);
+    EXPECT_EQ(rt.lruPageVictim(0).value(), 10u);
+    EXPECT_EQ(rt.lruPageVictim(1).value(), 11u);
+    EXPECT_EQ(rt.lruPageVictim(2).value(), 12u);
+    EXPECT_FALSE(rt.lruPageVictim(3).has_value());
+}
+
+TEST(ResidencyTracker, AccessMovesToMru)
+{
+    ResidencyTracker rt;
+    rt.onResident(10);
+    rt.onResident(11);
+    rt.onAccess(10);
+    EXPECT_EQ(rt.lruPageVictim(0).value(), 11u);
+}
+
+TEST(ResidencyTracker, EvictionRemoves)
+{
+    ResidencyTracker rt;
+    rt.onResident(10);
+    rt.onResident(11);
+    rt.onEvicted(10);
+    EXPECT_FALSE(rt.isTracked(10));
+    EXPECT_TRUE(rt.isTracked(11));
+    EXPECT_EQ(rt.size(), 1u);
+    EXPECT_EQ(rt.lruPageVictim(0).value(), 11u);
+}
+
+TEST(ResidencyTracker, AccessToUntrackedPageIsIgnored)
+{
+    ResidencyTracker rt;
+    rt.onAccess(10); // no crash, no insertion
+    EXPECT_EQ(rt.size(), 0u);
+}
+
+TEST(ResidencyTracker, DoubleResidentDies)
+{
+    ResidencyTracker rt;
+    rt.onResident(10);
+    EXPECT_DEATH(rt.onResident(10), "already tracked");
+}
+
+TEST(ResidencyTracker, EvictUntrackedDies)
+{
+    ResidencyTracker rt;
+    EXPECT_DEATH(rt.onEvicted(10), "untracked");
+}
+
+TEST(ResidencyTracker, RandomVictimIsTrackedAndSeedStable)
+{
+    ResidencyTracker rt;
+    for (PageNum p = 0; p < 50; ++p)
+        rt.onResident(p);
+    Rng rng1(99), rng2(99);
+    for (int i = 0; i < 20; ++i) {
+        auto v1 = rt.randomPageVictim(rng1);
+        auto v2 = rt.randomPageVictim(rng2);
+        ASSERT_TRUE(v1.has_value());
+        EXPECT_EQ(*v1, *v2);
+        EXPECT_TRUE(rt.isTracked(*v1));
+    }
+}
+
+TEST(ResidencyTracker, HierarchicalBlockVictimOldestChunkFirst)
+{
+    ResidencyTracker rt;
+    // Chunk 0 resident first, then chunk 1.
+    rt.onResident(pageAt(0, 3, 0));
+    rt.onResident(pageAt(1, 5, 0));
+    // Touch chunk 0 again: chunk 1 becomes the LRU chunk.
+    rt.onAccess(pageAt(0, 3, 0));
+    auto block = rt.lruBlockVictim(0);
+    ASSERT_TRUE(block.has_value());
+    EXPECT_EQ(*block, basicBlockOf(pageBase(pageAt(1, 5, 0))));
+}
+
+TEST(ResidencyTracker, HierarchicalBlockOrderWithinChunk)
+{
+    ResidencyTracker rt;
+    rt.onResident(pageAt(0, 2, 0));
+    rt.onResident(pageAt(0, 7, 0));
+    // Touch block 2: block 7 becomes LRU within the chunk.
+    rt.onAccess(pageAt(0, 2, 0));
+    EXPECT_EQ(rt.lruBlockVictim(0).value(),
+              basicBlockOf(pageBase(pageAt(0, 7, 0))));
+}
+
+TEST(ResidencyTracker, ChunkRecencyDominatesBlockRecency)
+{
+    ResidencyTracker rt;
+    // Chunk 0 block 1 is the globally oldest *page*, but chunk 0 was
+    // touched recently via another block -- hierarchical order puts
+    // chunk 1's blocks first.
+    rt.onResident(pageAt(0, 1, 0));
+    rt.onResident(pageAt(1, 0, 0));
+    rt.onResident(pageAt(0, 9, 0)); // touches chunk 0 again
+    EXPECT_EQ(rt.lruBlockVictim(0).value(),
+              basicBlockOf(pageBase(pageAt(1, 0, 0))));
+    // Flat page LRU still reports the oldest page.
+    EXPECT_EQ(rt.lruPageVictim(0).value(), pageAt(0, 1, 0));
+}
+
+TEST(ResidencyTracker, BlockVictimSkipsReservedPages)
+{
+    ResidencyTracker rt;
+    // Two blocks in the LRU chunk: 4 pages + 2 pages, then a block in
+    // a hotter chunk.
+    for (int p = 0; p < 4; ++p)
+        rt.onResident(pageAt(0, 0, p));
+    for (int p = 0; p < 2; ++p)
+        rt.onResident(pageAt(0, 1, p));
+    rt.onResident(pageAt(1, 0, 0));
+    // Re-touch chunk 0 ordering: chunk 0 is MRU; chunk 1 is LRU chunk.
+    for (int p = 0; p < 4; ++p)
+        rt.onAccess(pageAt(0, 0, p));
+    for (int p = 0; p < 2; ++p)
+        rt.onAccess(pageAt(0, 1, p));
+
+    // LRU chunk is chunk 1 (1 page). Skipping 1 page moves into chunk
+    // 0's LRU block (block 0, 4 pages); skipping 5 lands on block 1.
+    EXPECT_EQ(rt.lruBlockVictim(0).value(),
+              basicBlockOf(pageBase(pageAt(1, 0, 0))));
+    EXPECT_EQ(rt.lruBlockVictim(1).value(),
+              basicBlockOf(pageBase(pageAt(0, 0, 0))));
+    EXPECT_EQ(rt.lruBlockVictim(5).value(),
+              basicBlockOf(pageBase(pageAt(0, 1, 0))));
+    EXPECT_FALSE(rt.lruBlockVictim(7).has_value());
+}
+
+TEST(ResidencyTracker, LargePageVictimAndSkip)
+{
+    ResidencyTracker rt;
+    rt.onResident(pageAt(0, 0, 0));
+    rt.onResident(pageAt(0, 0, 1));
+    rt.onResident(pageAt(2, 0, 0));
+    EXPECT_EQ(rt.lruLargePageVictim(0).value(), 0u + largePageOf(
+        pageBase(pageAt(0, 0, 0))));
+    EXPECT_EQ(rt.lruLargePageVictim(2).value(),
+              largePageOf(pageBase(pageAt(2, 0, 0))));
+    EXPECT_FALSE(rt.lruLargePageVictim(3).has_value());
+}
+
+TEST(ResidencyTracker, PagesInBlockAndLargePage)
+{
+    ResidencyTracker rt;
+    rt.onResident(pageAt(0, 2, 1));
+    rt.onResident(pageAt(0, 2, 5));
+    rt.onResident(pageAt(0, 3, 0));
+    auto block_pages =
+        rt.pagesInBlock(basicBlockOf(pageBase(pageAt(0, 2, 0))));
+    ASSERT_EQ(block_pages.size(), 2u);
+    EXPECT_EQ(block_pages[0], pageAt(0, 2, 1));
+    EXPECT_EQ(block_pages[1], pageAt(0, 2, 5));
+    auto lp_pages =
+        rt.pagesInLargePage(largePageOf(pageBase(pageAt(0, 0, 0))));
+    EXPECT_EQ(lp_pages.size(), 3u);
+    EXPECT_EQ(rt.blockResidentPages(
+                  basicBlockOf(pageBase(pageAt(0, 2, 0)))), 2u);
+}
+
+TEST(ResidencyTracker, ConsistencyUnderChurn)
+{
+    ResidencyTracker rt;
+    Rng rng(5);
+    std::vector<PageNum> live;
+    for (int step = 0; step < 2000; ++step) {
+        double roll = rng.real();
+        if (roll < 0.5 || live.empty()) {
+            PageNum p = rng.below(4096);
+            if (!rt.isTracked(p)) {
+                rt.onResident(p);
+                live.push_back(p);
+            }
+        } else if (roll < 0.8) {
+            rt.onAccess(live[rng.below(live.size())]);
+        } else {
+            std::size_t idx = rng.below(live.size());
+            rt.onEvicted(live[idx]);
+            live[idx] = live.back();
+            live.pop_back();
+        }
+    }
+    EXPECT_TRUE(rt.checkConsistent());
+    EXPECT_EQ(rt.size(), live.size());
+}
+
+} // namespace uvmsim

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Property-based tests for the large-page tree: random interleavings
+ * of TBNp fills, TBNe drains, and single-page marks must preserve the
+ * structure's invariants on every tree size, and runs must be
+ * deterministic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "core/large_page_tree.hh"
+#include "sim/rng.hh"
+
+namespace uvmsim
+{
+
+namespace
+{
+
+constexpr Addr treeBase = 0x200000000ull;
+
+using Param = std::tuple<std::uint32_t /*leaves*/, std::uint64_t /*seed*/>;
+
+class TreeProperty : public ::testing::TestWithParam<Param>
+{
+  protected:
+    std::uint32_t leaves() const { return std::get<0>(GetParam()); }
+    std::uint64_t seed() const { return std::get<1>(GetParam()); }
+};
+
+} // namespace
+
+TEST_P(TreeProperty, RandomOpsPreserveInvariants)
+{
+    LargePageTree tree(treeBase, leaves());
+    Rng rng(seed());
+    const std::uint64_t total_pages =
+        tree.capacityBytes() / pageSize;
+
+    for (int step = 0; step < 400; ++step) {
+        PageNum page = pageOf(treeBase) + rng.below(total_pages);
+        switch (rng.below(4)) {
+          case 0: // TBNp fault on an unmarked page
+            if (!tree.pageMarked(page)) {
+                std::uint64_t before = tree.totalMarkedBytes();
+                auto got = tree.faultFill(page);
+                // Every returned page was unmarked and is marked now.
+                for (PageNum p : got)
+                    EXPECT_TRUE(tree.pageMarked(p));
+                EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+                EXPECT_EQ(std::adjacent_find(got.begin(), got.end()),
+                          got.end());
+                EXPECT_EQ(tree.totalMarkedBytes(),
+                          before + got.size() * pageSize);
+                // The fault page itself is always included.
+                EXPECT_TRUE(std::binary_search(got.begin(), got.end(),
+                                               page));
+            }
+            break;
+          case 1: { // TBNe drain on a random leaf
+            std::uint32_t leaf =
+                static_cast<std::uint32_t>(rng.below(leaves()));
+            std::uint64_t before = tree.totalMarkedBytes();
+            auto got = tree.evictDrain(leaf);
+            for (PageNum p : got)
+                EXPECT_FALSE(tree.pageMarked(p));
+            EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+            EXPECT_EQ(tree.totalMarkedBytes(),
+                      before - got.size() * pageSize);
+            // The whole victim leaf is gone.
+            EXPECT_EQ(tree.leafMarkedPages(leaf), 0u);
+            break;
+          }
+          case 2: // on-demand single-page mark
+            tree.markPage(page);
+            EXPECT_TRUE(tree.pageMarked(page));
+            break;
+          case 3: // single-page eviction
+            tree.unmarkPage(page);
+            EXPECT_FALSE(tree.pageMarked(page));
+            break;
+        }
+        ASSERT_TRUE(tree.checkConsistent()) << "after step " << step;
+        EXPECT_LE(tree.totalMarkedBytes(), tree.capacityBytes());
+    }
+}
+
+TEST_P(TreeProperty, FaultFillNeverEscapesTheTree)
+{
+    LargePageTree tree(treeBase, leaves());
+    Rng rng(seed());
+    const std::uint64_t total_pages = tree.capacityBytes() / pageSize;
+    for (int step = 0; step < 100; ++step) {
+        PageNum page = pageOf(treeBase) + rng.below(total_pages);
+        if (tree.pageMarked(page))
+            continue;
+        for (PageNum p : tree.faultFill(page)) {
+            EXPECT_GE(pageBase(p), treeBase);
+            EXPECT_LT(pageBase(p), tree.endAddr());
+        }
+    }
+}
+
+TEST_P(TreeProperty, DeterministicReplay)
+{
+    LargePageTree a(treeBase, leaves());
+    LargePageTree b(treeBase, leaves());
+    Rng rng_a(seed()), rng_b(seed());
+    const std::uint64_t total_pages = a.capacityBytes() / pageSize;
+
+    for (int step = 0; step < 200; ++step) {
+        PageNum pa = pageOf(treeBase) + rng_a.below(total_pages);
+        PageNum pb = pageOf(treeBase) + rng_b.below(total_pages);
+        ASSERT_EQ(pa, pb);
+        if (!a.pageMarked(pa)) {
+            EXPECT_EQ(a.faultFill(pa), b.faultFill(pb));
+        } else {
+            std::uint32_t leaf = a.leafOf(pa);
+            EXPECT_EQ(a.evictDrain(leaf), b.evictDrain(leaf));
+        }
+        ASSERT_EQ(a.totalMarkedBytes(), b.totalMarkedBytes());
+    }
+}
+
+/**
+ * Fill-then-drain round trip: TBNp-filling every leaf then
+ * TBNe-draining every leaf always returns the tree to empty.
+ */
+TEST_P(TreeProperty, FillAllThenDrainAllIsEmpty)
+{
+    LargePageTree tree(treeBase, leaves());
+    for (std::uint32_t l = 0; l < leaves(); ++l) {
+        PageNum p = tree.leafFirstPage(l);
+        if (!tree.pageMarked(p))
+            tree.faultFill(p);
+    }
+    EXPECT_EQ(tree.totalMarkedBytes(), tree.capacityBytes());
+    for (std::uint32_t l = 0; l < leaves(); ++l)
+        tree.evictDrain(l);
+    EXPECT_EQ(tree.totalMarkedBytes(), 0u);
+    EXPECT_TRUE(tree.checkConsistent());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTreeSizes, TreeProperty,
+    ::testing::Combine(::testing::Values(1u, 2u, 4u, 8u, 16u, 32u),
+                       ::testing::Values(1u, 7u, 42u)),
+    [](const ::testing::TestParamInfo<Param> &info) {
+        return "leaves" + std::to_string(std::get<0>(info.param)) +
+               "_seed" + std::to_string(std::get<1>(info.param));
+    });
+
+} // namespace uvmsim

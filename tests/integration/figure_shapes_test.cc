@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Paper-shape regression tests: miniature versions of the evaluation
+ * figures whose qualitative claims must keep holding.  Complements
+ * tests/integration/simulation_test.cc with the shapes that involve
+ * the 2MB-eviction baseline, reservation, and oversubscription
+ * scaling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "api/simulator.hh"
+
+namespace uvmsim
+{
+
+namespace
+{
+
+WorkloadParams
+smallWl()
+{
+    WorkloadParams p;
+    p.size_scale = 0.25;
+    return p;
+}
+
+SimConfig
+treeConfig(double oversub)
+{
+    SimConfig cfg;
+    cfg.gpu.num_sms = 8;
+    cfg.prefetcher_before = PrefetcherKind::treeBasedNeighborhood;
+    cfg.prefetcher_after = PrefetcherKind::treeBasedNeighborhood;
+    cfg.eviction = EvictionKind::treeBasedNeighborhood;
+    cfg.oversubscription_percent = oversub;
+    return cfg;
+}
+
+} // namespace
+
+TEST(FigureShapes, Fig5SlpFaultsOncePerBasicBlock)
+{
+    SimConfig cfg;
+    cfg.gpu.num_sms = 8;
+    cfg.prefetcher_before = PrefetcherKind::sequentialLocal;
+    cfg.prefetcher_after = PrefetcherKind::sequentialLocal;
+    RunResult r = runBenchmark("srad", cfg, smallWl());
+    // Every fault migrates one 64KB block; faults ~= blocks touched.
+    double blocks =
+        static_cast<double>(r.footprint_bytes) / basicBlockSize;
+    EXPECT_LE(r.farFaults(), blocks * 1.05);
+    EXPECT_GE(r.pagesMigrated(), blocks * pagesPerBasicBlock * 0.95);
+}
+
+TEST(FigureShapes, Fig13SlowdownGrowsWithOversubscriptionForNw)
+{
+    RunResult fits = runBenchmark("nw", treeConfig(0.0), smallWl());
+    RunResult at110 = runBenchmark("nw", treeConfig(110.0), smallWl());
+    RunResult at150 = runBenchmark("nw", treeConfig(150.0), smallWl());
+    EXPECT_GT(at110.kernel_time, fits.kernel_time);
+    EXPECT_GT(at150.kernel_time, at110.kernel_time);
+    // nw degrades sharply (paper: order of magnitude at high levels).
+    EXPECT_GT(static_cast<double>(at150.kernel_time),
+              2.0 * static_cast<double>(fits.kernel_time));
+}
+
+TEST(FigureShapes, Fig13StreamingStaysFlat)
+{
+    RunResult fits =
+        runBenchmark("pathfinder", treeConfig(0.0), smallWl());
+    RunResult at125 =
+        runBenchmark("pathfinder", treeConfig(125.0), smallWl());
+    // At miniature scale the two fixed-size reused result buffers are
+    // a visible footprint fraction, so "flat" is looser than at the
+    // paper's scale: well under 2x while nw is >2x by 150% already.
+    EXPECT_LT(static_cast<double>(at125.kernel_time),
+              1.8 * static_cast<double>(fits.kernel_time));
+    // Thrashing stays marginal: a sliver of the migrated pages.
+    EXPECT_LT(at125.pagesThrashed(), at125.pagesMigrated() * 0.05);
+}
+
+TEST(FigureShapes, Fig15TbneNoWorseThan2MBOnNw)
+{
+    SimConfig tbne = treeConfig(110.0);
+    SimConfig lru2mb = treeConfig(110.0);
+    lru2mb.eviction = EvictionKind::lru2mb;
+    RunResult r_tbne = runBenchmark("nw", tbne, smallWl());
+    RunResult r_2mb = runBenchmark("nw", lru2mb, smallWl());
+    EXPECT_LE(r_tbne.kernel_time, r_2mb.kernel_time);
+}
+
+TEST(FigureShapes, Fig16TbneThrashesNoMoreThan2MB)
+{
+    for (const char *bench : {"hotspot", "srad", "nw"}) {
+        SimConfig tbne = treeConfig(110.0);
+        SimConfig lru2mb = treeConfig(110.0);
+        lru2mb.eviction = EvictionKind::lru2mb;
+        RunResult r_tbne = runBenchmark(bench, tbne, smallWl());
+        RunResult r_2mb = runBenchmark(bench, lru2mb, smallWl());
+        EXPECT_LE(r_tbne.pagesThrashed(), r_2mb.pagesThrashed())
+            << bench;
+    }
+}
+
+TEST(FigureShapes, Fig16StreamingNeverThrashes)
+{
+    for (const char *bench : {"backprop", "pathfinder"}) {
+        for (double pct : {110.0, 125.0}) {
+            RunResult r = runBenchmark(bench, treeConfig(pct), smallWl());
+            EXPECT_DOUBLE_EQ(r.pagesThrashed(), 0.0)
+                << bench << " at " << pct;
+        }
+    }
+}
+
+TEST(FigureShapes, Fig6FreePageBufferDoesNotHelp)
+{
+    // The paper's counterintuitive result: the free-page buffer is not
+    // an improvement for reuse workloads.
+    SimConfig no_buffer;
+    no_buffer.gpu.num_sms = 8;
+    no_buffer.prefetcher_before = PrefetcherKind::treeBasedNeighborhood;
+    no_buffer.prefetcher_after = PrefetcherKind::none;
+    no_buffer.eviction = EvictionKind::lru4k;
+    no_buffer.oversubscription_percent = 110.0;
+
+    SimConfig buffered = no_buffer;
+    buffered.free_buffer_percent = 10.0;
+
+    RunResult r_plain = runBenchmark("srad", no_buffer, smallWl());
+    RunResult r_buffered = runBenchmark("srad", buffered, smallWl());
+    EXPECT_GE(static_cast<double>(r_buffered.kernel_time) * 1.1,
+              static_cast<double>(r_plain.kernel_time));
+}
+
+TEST(FigureShapes, ExtensionWorkloadsBehaveAsDesigned)
+{
+    // kmeans: repetitive linear scan -> thrashing under plain LRU.
+    SimConfig lru;
+    lru.gpu.num_sms = 8;
+    lru.prefetcher_after = PrefetcherKind::none;
+    lru.eviction = EvictionKind::lru4k;
+    lru.oversubscription_percent = 110.0;
+    RunResult km = runBenchmark("kmeans", lru, smallWl());
+    EXPECT_GT(km.pagesThrashed(), 0.0);
+
+    // atax: the column re-walk re-touches A, so the footprint moves
+    // over PCI-e at least once and reuse exists across the 2 kernels.
+    RunResult at = runBenchmark("atax", treeConfig(0.0), smallWl());
+    EXPECT_GE(at.pagesMigrated() * pageSize,
+              at.footprint_bytes * 9 / 10);
+    EXPECT_DOUBLE_EQ(at.pagesEvicted(), 0.0);
+}
+
+} // namespace uvmsim

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Golden regression pins: exact statistic values for a small fixed
+ * configuration.  The simulator is fully deterministic, so any change
+ * to these numbers means the *model* changed -- which must be a
+ * conscious decision (update the constants together with DESIGN.md /
+ * EXPERIMENTS.md), never an accident.
+ */
+
+#include <gtest/gtest.h>
+
+#include "api/simulator.hh"
+
+namespace uvmsim
+{
+
+namespace
+{
+
+RunResult
+goldenRun()
+{
+    WorkloadParams params;
+    params.size_scale = 0.25;
+    params.seed = 42;
+
+    SimConfig cfg;
+    cfg.gpu.num_sms = 4;
+    cfg.prefetcher_before = PrefetcherKind::treeBasedNeighborhood;
+    cfg.prefetcher_after = PrefetcherKind::treeBasedNeighborhood;
+    cfg.eviction = EvictionKind::treeBasedNeighborhood;
+    cfg.oversubscription_percent = 110.0;
+    cfg.seed = 1;
+    return runBenchmark("hotspot", cfg, params);
+}
+
+} // namespace
+
+TEST(GoldenRegression, StructuralConstants)
+{
+    RunResult r = goldenRun();
+    // 512x512 floats x 3 arrays = 3MB footprint.
+    EXPECT_EQ(r.footprint_bytes, 3u * 256 * kib(4));
+    // Device memory = footprint / 1.10, rounded to pages.
+    EXPECT_EQ(r.device_memory_bytes,
+              roundUpToPages(static_cast<std::uint64_t>(
+                  r.footprint_bytes * 100.0 / 110.0)));
+    EXPECT_EQ(r.stat("gpu.kernels"), 8.0);
+}
+
+TEST(GoldenRegression, ConservationInvariants)
+{
+    RunResult r = goldenRun();
+    // Bytes on the h2d wire equal pages migrated.
+    EXPECT_EQ(r.stat("pcie.h2d.bytes"),
+              r.pagesMigrated() * static_cast<double>(pageSize));
+    // Every evicted page under a whole-unit policy was written back.
+    EXPECT_EQ(r.stat("pcie.d2h.bytes"),
+              r.stat("gmmu.pages_written_back") *
+                  static_cast<double>(pageSize));
+    EXPECT_EQ(r.pagesEvicted(), r.stat("gmmu.pages_written_back"));
+    // PTE bookkeeping is conservative: mappings = migrations,
+    // invalidations = evictions.
+    EXPECT_EQ(r.stat("page_table.mappings"), r.pagesMigrated());
+    EXPECT_EQ(r.stat("page_table.invalidations"), r.pagesEvicted());
+    // Frames: every allocation is matched by a free or still resident.
+    EXPECT_EQ(r.stat("frames.allocations") - r.stat("frames.frees"),
+              r.stat("page_table.mappings") -
+                  r.stat("page_table.invalidations"));
+    // Thrashed pages are re-migrations: strictly fewer than total.
+    EXPECT_LT(r.pagesThrashed(), r.pagesMigrated());
+}
+
+TEST(GoldenRegression, ExactReplayAcrossProcessLifetime)
+{
+    // Two runs inside one process must agree bit-for-bit; this is the
+    // anchor for cross-commit reproducibility checks.
+    RunResult a = goldenRun();
+    RunResult b = goldenRun();
+    EXPECT_EQ(a.kernel_time, b.kernel_time);
+    EXPECT_EQ(a.final_time, b.final_time);
+    EXPECT_EQ(a.stats, b.stats);
+}
+
+TEST(GoldenRegression, HeadlineBandsHold)
+{
+    // Looser bands (not exact pins) for the headline outputs, so a
+    // deliberate model tweak fails loudly here only if it moves the
+    // result class, not on every minor latency adjustment.
+    RunResult r = goldenRun();
+    EXPECT_GT(r.kernelTimeMs(), 0.5);
+    EXPECT_LT(r.kernelTimeMs(), 20.0);
+    EXPECT_GT(r.farFaults(), 5.0);
+    EXPECT_LT(r.farFaults(), 2000.0);
+    EXPECT_GT(r.avgReadBandwidthGBps(), 5.0);
+    EXPECT_GT(r.pagesEvicted(), 0.0);
+}
+
+} // namespace uvmsim

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Policy-matrix integration sweep: every eviction policy completes
+ * every benchmark at 110% over-subscription with the system-wide
+ * invariants intact.  This is the broad compatibility net behind the
+ * per-figure tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "api/simulator.hh"
+
+namespace uvmsim
+{
+
+namespace
+{
+
+using MatrixParam = std::tuple<std::string, EvictionKind>;
+
+class PolicyMatrix : public ::testing::TestWithParam<MatrixParam>
+{
+};
+
+} // namespace
+
+TEST_P(PolicyMatrix, CompletesWithConsistentAccounting)
+{
+    const auto &[bench, eviction] = GetParam();
+
+    WorkloadParams params;
+    params.size_scale = 0.25;
+
+    SimConfig cfg;
+    cfg.gpu.num_sms = 8;
+    cfg.prefetcher_before = PrefetcherKind::treeBasedNeighborhood;
+    cfg.prefetcher_after = PrefetcherKind::treeBasedNeighborhood;
+    cfg.eviction = eviction;
+    cfg.oversubscription_percent = 110.0;
+
+    RunResult r = runBenchmark(bench, cfg, params);
+
+    // Completed with real work done.
+    EXPECT_GT(r.kernelTimeUs(), 0.0);
+    EXPECT_GT(r.farFaults(), 0.0);
+    EXPECT_GT(r.pagesMigrated(), 0.0);
+
+    // Conservation: wire bytes match page counts.
+    EXPECT_EQ(r.stat("pcie.h2d.bytes"),
+              r.pagesMigrated() * static_cast<double>(pageSize));
+    EXPECT_EQ(r.stat("page_table.mappings"), r.pagesMigrated());
+    EXPECT_EQ(r.stat("page_table.invalidations"), r.pagesEvicted());
+
+    // Resident pages never exceed the device.
+    double resident = r.stat("page_table.mappings") -
+                      r.stat("page_table.invalidations");
+    EXPECT_LE(resident * pageSize,
+              static_cast<double>(r.device_memory_bytes));
+
+    // Thrashing only happens when something was evicted.
+    if (r.pagesEvicted() == 0.0) {
+        EXPECT_EQ(r.pagesThrashed(), 0.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarksAllEvictions, PolicyMatrix,
+    ::testing::Combine(
+        ::testing::ValuesIn(allWorkloadNames()),
+        ::testing::Values(EvictionKind::lru4k, EvictionKind::random4k,
+                          EvictionKind::sequentialLocal,
+                          EvictionKind::treeBasedNeighborhood,
+                          EvictionKind::lru2mb, EvictionKind::mru4k)),
+    [](const ::testing::TestParamInfo<MatrixParam> &info) {
+        return std::get<0>(info.param) + "_" +
+               toString(std::get<1>(info.param));
+    });
+
+} // namespace uvmsim

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Integration tests: full simulations on scaled-down workloads,
+ * asserting the paper's qualitative results hold end to end.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/ticks.hh"
+
+#include "api/simulator.hh"
+
+namespace uvmsim
+{
+
+namespace
+{
+
+WorkloadParams
+tiny()
+{
+    WorkloadParams p;
+    p.size_scale = 0.25;
+    return p;
+}
+
+SimConfig
+baseConfig()
+{
+    SimConfig cfg;
+    cfg.gpu.num_sms = 8; // shrink the GPU with the workloads
+    return cfg;
+}
+
+} // namespace
+
+TEST(Integration, FitsInMemoryRunsWithoutEviction)
+{
+    SimConfig cfg = baseConfig();
+    cfg.oversubscription_percent = 0.0;
+    RunResult r = runBenchmark("hotspot", cfg, tiny());
+    EXPECT_GT(r.kernelTimeUs(), 0.0);
+    EXPECT_DOUBLE_EQ(r.pagesEvicted(), 0.0);
+    EXPECT_DOUBLE_EQ(r.pagesThrashed(), 0.0);
+    EXPECT_GT(r.farFaults(), 0.0);
+    // Everything the workload touched fits: migrated bytes are at
+    // most the footprint.
+    EXPECT_LE(r.pagesMigrated() * pageSize, r.footprint_bytes);
+}
+
+TEST(Integration, DeterministicAcrossRuns)
+{
+    SimConfig cfg = baseConfig();
+    cfg.oversubscription_percent = 110.0;
+    cfg.eviction = EvictionKind::treeBasedNeighborhood;
+    cfg.prefetcher_after = PrefetcherKind::treeBasedNeighborhood;
+    RunResult a = runBenchmark("srad", cfg, tiny());
+    RunResult b = runBenchmark("srad", cfg, tiny());
+    EXPECT_EQ(a.kernel_time, b.kernel_time);
+    EXPECT_EQ(a.stats, b.stats);
+}
+
+TEST(Integration, NoPrefetchFaultsEqualMigratedPages)
+{
+    SimConfig cfg = baseConfig();
+    cfg.prefetcher_before = PrefetcherKind::none;
+    RunResult r = runBenchmark("backprop", cfg, tiny());
+    // With pure on-demand paging every migrated page was a fault.
+    EXPECT_DOUBLE_EQ(r.farFaults(), r.pagesMigrated());
+    EXPECT_DOUBLE_EQ(r.stat("gmmu.pages_prefetched"), 0.0);
+}
+
+TEST(Integration, PrefetchersReduceFaultsAndTime)
+{
+    SimConfig none = baseConfig();
+    none.prefetcher_before = PrefetcherKind::none;
+    SimConfig slp = baseConfig();
+    slp.prefetcher_before = PrefetcherKind::sequentialLocal;
+    SimConfig tbnp = baseConfig();
+    tbnp.prefetcher_before = PrefetcherKind::treeBasedNeighborhood;
+
+    RunResult r_none = runBenchmark("hotspot", none, tiny());
+    RunResult r_slp = runBenchmark("hotspot", slp, tiny());
+    RunResult r_tbnp = runBenchmark("hotspot", tbnp, tiny());
+
+    // Paper Figs. 3 and 5: big fault reduction and speedup.
+    EXPECT_LT(r_slp.farFaults() * 4, r_none.farFaults());
+    EXPECT_LE(r_tbnp.farFaults(), r_slp.farFaults());
+    EXPECT_LT(r_slp.kernel_time, r_none.kernel_time);
+    EXPECT_LE(r_tbnp.kernel_time, r_slp.kernel_time);
+}
+
+TEST(Integration, ReadBandwidthOrderingMatchesFigure4)
+{
+    SimConfig none = baseConfig();
+    none.prefetcher_before = PrefetcherKind::none;
+    SimConfig tbnp = baseConfig();
+    tbnp.prefetcher_before = PrefetcherKind::treeBasedNeighborhood;
+
+    RunResult r_none = runBenchmark("srad", none, tiny());
+    RunResult r_tbnp = runBenchmark("srad", tbnp, tiny());
+    EXPECT_NEAR(r_none.avgReadBandwidthGBps(), 3.22, 0.05);
+    EXPECT_GT(r_tbnp.avgReadBandwidthGBps(), 6.0);
+}
+
+TEST(Integration, OversubscriptionTriggersEviction)
+{
+    SimConfig cfg = baseConfig();
+    cfg.oversubscription_percent = 110.0;
+    cfg.prefetcher_after = PrefetcherKind::treeBasedNeighborhood;
+    cfg.eviction = EvictionKind::treeBasedNeighborhood;
+    RunResult r = runBenchmark("hotspot", cfg, tiny());
+    EXPECT_GT(r.pagesEvicted(), 0.0);
+    EXPECT_GT(r.stat("gmmu.pages_written_back"), 0.0);
+    // Device memory really was ~10/11 of the footprint.
+    EXPECT_NEAR(static_cast<double>(r.device_memory_bytes) * 1.10,
+                static_cast<double>(r.footprint_bytes),
+                static_cast<double>(pageSize) * 2);
+}
+
+TEST(Integration, TreePoliciesBeatNaiveLruUnderOversubscription)
+{
+    // Paper Fig. 11: TBNe+TBNp dramatically outperforms LRU4K with
+    // prefetching disabled.
+    SimConfig naive = baseConfig();
+    naive.oversubscription_percent = 110.0;
+    naive.prefetcher_after = PrefetcherKind::none;
+    naive.eviction = EvictionKind::lru4k;
+
+    SimConfig tree = baseConfig();
+    tree.oversubscription_percent = 110.0;
+    tree.prefetcher_after = PrefetcherKind::treeBasedNeighborhood;
+    tree.eviction = EvictionKind::treeBasedNeighborhood;
+
+    RunResult r_naive = runBenchmark("hotspot", naive, tiny());
+    RunResult r_tree = runBenchmark("hotspot", tree, tiny());
+    EXPECT_LT(r_tree.kernel_time, r_naive.kernel_time);
+}
+
+TEST(Integration, StreamingWorkloadInsensitiveToEviction)
+{
+    // Paper Sec. 7.1: backprop/pathfinder show no sensitivity to the
+    // eviction policy.
+    SimConfig lru = baseConfig();
+    lru.oversubscription_percent = 110.0;
+    lru.prefetcher_after = PrefetcherKind::none;
+    lru.eviction = EvictionKind::lru4k;
+
+    SimConfig re = lru;
+    re.eviction = EvictionKind::random4k;
+
+    RunResult r_lru = runBenchmark("pathfinder", lru, tiny());
+    RunResult r_re = runBenchmark("pathfinder", re, tiny());
+    double ratio = static_cast<double>(r_lru.kernel_time) /
+                   static_cast<double>(r_re.kernel_time);
+    EXPECT_NEAR(ratio, 1.0, 0.10);
+    EXPECT_DOUBLE_EQ(r_lru.pagesThrashed(), 0.0);
+}
+
+TEST(Integration, IterativeWorkloadThrashesUnderLru)
+{
+    SimConfig cfg = baseConfig();
+    cfg.oversubscription_percent = 110.0;
+    cfg.prefetcher_after = PrefetcherKind::none;
+    cfg.eviction = EvictionKind::lru4k;
+    RunResult r = runBenchmark("hotspot", cfg, tiny());
+    EXPECT_GT(r.pagesThrashed(), 0.0);
+}
+
+TEST(Integration, DeviceMemoryOverrideRespected)
+{
+    SimConfig cfg = baseConfig();
+    cfg.device_memory_bytes = mib(64);
+    RunResult r = runBenchmark("bfs", cfg, tiny());
+    EXPECT_EQ(r.device_memory_bytes, mib(64));
+    EXPECT_DOUBLE_EQ(r.pagesEvicted(), 0.0);
+}
+
+TEST(Integration, KernelObserverSeesEveryLaunch)
+{
+    auto wl = makeWorkload("srad", tiny());
+    SimConfig cfg = baseConfig();
+    Simulator sim(cfg);
+    std::vector<std::string> names;
+    Tick last_end = 0;
+    sim.setKernelObserver([&](std::uint64_t idx, const std::string &name,
+                              Tick start, Tick end) {
+        EXPECT_EQ(idx, names.size());
+        EXPECT_GE(start, last_end);
+        EXPECT_GT(end, start);
+        last_end = end;
+        names.push_back(name);
+    });
+    sim.run(*wl);
+    EXPECT_EQ(names.size(), wl->totalKernels());
+    EXPECT_NE(names[0].find("srad_kernel1"), std::string::npos);
+}
+
+TEST(Integration, AccessObserverStreamsPageTouches)
+{
+    auto wl = makeWorkload("backprop", tiny());
+    Simulator sim(baseConfig());
+    std::uint64_t count = 0;
+    sim.setAccessObserver([&](Tick, PageNum, bool) { ++count; });
+    sim.run(*wl);
+    EXPECT_GT(count, 1000u);
+}
+
+TEST(Integration, LruReservationReducesThrashingForIterative)
+{
+    SimConfig plain = baseConfig();
+    plain.oversubscription_percent = 110.0;
+    plain.prefetcher_after = PrefetcherKind::treeBasedNeighborhood;
+    plain.eviction = EvictionKind::treeBasedNeighborhood;
+
+    SimConfig reserved = plain;
+    reserved.lru_reserve_percent = 10.0;
+
+    RunResult r_plain = runBenchmark("srad", plain, tiny());
+    RunResult r_reserved = runBenchmark("srad", reserved, tiny());
+    // Reservation must not be catastrophically worse; the paper shows
+    // it helping reuse workloads.
+    EXPECT_LT(r_reserved.kernel_time,
+              static_cast<Tick>(1.3 * r_plain.kernel_time));
+}
+
+TEST(Integration, AllBenchmarksCompleteAt110Percent)
+{
+    SimConfig cfg = baseConfig();
+    cfg.oversubscription_percent = 110.0;
+    cfg.prefetcher_after = PrefetcherKind::treeBasedNeighborhood;
+    cfg.eviction = EvictionKind::treeBasedNeighborhood;
+    for (const std::string &name : allWorkloadNames()) {
+        RunResult r = runBenchmark(name, cfg, tiny());
+        EXPECT_GT(r.kernelTimeUs(), 0.0) << name;
+        EXPECT_GT(r.farFaults(), 0.0) << name;
+    }
+}
+
+TEST(Integration, SeedSweepAggregatesStochasticPolicies)
+{
+    SimConfig cfg = baseConfig();
+    cfg.prefetcher_before = PrefetcherKind::random; // Rp is seeded
+    cfg.prefetcher_after = PrefetcherKind::random;
+    SeedSweepResult agg = runBenchmarkSeeds("bfs", cfg, tiny(), 3);
+    EXPECT_EQ(agg.runs, 3u);
+    EXPECT_GT(agg.mean_kernel_time_us, 0.0);
+    EXPECT_LE(agg.min_kernel_time_us, agg.mean_kernel_time_us);
+    EXPECT_GE(agg.max_kernel_time_us, agg.mean_kernel_time_us);
+    EXPECT_GT(agg.mean_stats.at("gmmu.far_faults"), 0.0);
+}
+
+TEST(Integration, SeedSweepIsDegenerateForDeterministicPolicies)
+{
+    SimConfig cfg = baseConfig(); // TBNp: no randomness consumed
+    SeedSweepResult agg = runBenchmarkSeeds("hotspot", cfg, tiny(), 3);
+    EXPECT_DOUBLE_EQ(agg.min_kernel_time_us, agg.max_kernel_time_us);
+}
+
+} // namespace uvmsim

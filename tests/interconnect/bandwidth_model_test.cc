@@ -1,0 +1,107 @@
+/** @file Unit tests for the PCI-e bandwidth model (paper Table 1). */
+
+#include <gtest/gtest.h>
+
+#include "sim/ticks.hh"
+
+#include "interconnect/bandwidth_model.hh"
+#include "mem/types.hh"
+
+namespace uvmsim
+{
+
+TEST(BandwidthModel, ReproducesTable1Exactly)
+{
+    PcieBandwidthModel model(PcieModelKind::interpolated);
+    EXPECT_NEAR(model.bandwidthGBps(kib(4)), 3.2219, 1e-9);
+    EXPECT_NEAR(model.bandwidthGBps(kib(16)), 6.4437, 1e-9);
+    EXPECT_NEAR(model.bandwidthGBps(kib(64)), 8.4771, 1e-9);
+    EXPECT_NEAR(model.bandwidthGBps(kib(256)), 10.508, 1e-9);
+    EXPECT_NEAR(model.bandwidthGBps(kib(1024)), 11.223, 1e-9);
+}
+
+TEST(BandwidthModel, ClampsOutsideCalibratedRange)
+{
+    PcieBandwidthModel model;
+    EXPECT_NEAR(model.bandwidthGBps(1024), 3.2219, 1e-9);
+    EXPECT_NEAR(model.bandwidthGBps(mib(4)), 11.223, 1e-9);
+}
+
+TEST(BandwidthModel, InterpolatedBetweenPoints)
+{
+    PcieBandwidthModel model;
+    // 8KB is the log-midpoint of 4KB and 16KB.
+    double expect = (3.2219 + 6.4437) / 2.0;
+    EXPECT_NEAR(model.bandwidthGBps(kib(8)), expect, 1e-6);
+}
+
+TEST(BandwidthModel, MonotoneNondecreasingBandwidth)
+{
+    PcieBandwidthModel model;
+    double prev = 0.0;
+    for (std::uint64_t s = kib(4); s <= mib(2); s *= 2) {
+        double bw = model.bandwidthGBps(s);
+        EXPECT_GE(bw, prev) << "at size " << s;
+        prev = bw;
+    }
+}
+
+TEST(BandwidthModel, LatencyMatchesBandwidth)
+{
+    PcieBandwidthModel model;
+    // 4KB at 3.2219 GB/s = 1271.3 ns.
+    Tick lat = model.transferLatency(kib(4));
+    double expect_ns = 4096.0 / 3.2219;
+    EXPECT_NEAR(ticksToNanoseconds(lat), expect_ns, 1.0);
+}
+
+TEST(BandwidthModel, LargerTransfersAmortize)
+{
+    PcieBandwidthModel model;
+    // 16 separate 4KB transfers take much longer than one 64KB one.
+    Tick small16 = 16 * model.transferLatency(kib(4));
+    Tick big = model.transferLatency(kib(64));
+    EXPECT_GT(small16, 2 * big);
+}
+
+TEST(BandwidthModel, AffineFitIsReasonable)
+{
+    PcieBandwidthModel model(PcieModelKind::affine);
+    // The unweighted least-squares fit is dominated by the 1MB point,
+    // so the small-transfer end deviates more; 35% brackets it.
+    for (const auto &p : PcieBandwidthModel::table1Calibration()) {
+        double bw = model.bandwidthGBps(p.bytes);
+        EXPECT_NEAR(bw, p.gb_per_sec, p.gb_per_sec * 0.35)
+            << "at size " << p.bytes;
+    }
+}
+
+TEST(BandwidthModel, AffineLatencyStrictlyIncreasesWithSize)
+{
+    PcieBandwidthModel model(PcieModelKind::affine);
+    Tick prev = 0;
+    for (std::uint64_t s = kib(4); s <= mib(1); s *= 2) {
+        Tick lat = model.transferLatency(s);
+        EXPECT_GT(lat, prev);
+        prev = lat;
+    }
+}
+
+TEST(BandwidthModel, CustomCalibration)
+{
+    std::vector<PcieBandwidthModel::CalibrationPoint> pts = {
+        {kib(4), 2.0}, {kib(64), 8.0}};
+    PcieBandwidthModel model(PcieModelKind::interpolated, pts);
+    EXPECT_NEAR(model.bandwidthGBps(kib(4)), 2.0, 1e-9);
+    EXPECT_NEAR(model.bandwidthGBps(kib(64)), 8.0, 1e-9);
+    // Log-midpoint (16KB) is halfway.
+    EXPECT_NEAR(model.bandwidthGBps(kib(16)), 5.0, 1e-6);
+}
+
+TEST(BandwidthModel, ZeroSizeQueryDies)
+{
+    PcieBandwidthModel model;
+    EXPECT_DEATH(model.bandwidthBytesPerSec(0), "zero-size");
+}
+
+} // namespace uvmsim

@@ -1,0 +1,135 @@
+/** @file Unit tests for the full-duplex PCI-e link. */
+
+#include <gtest/gtest.h>
+
+#include "sim/ticks.hh"
+
+#include "interconnect/pcie_link.hh"
+#include "mem/types.hh"
+
+namespace uvmsim
+{
+
+namespace
+{
+
+struct LinkFixture : public ::testing::Test
+{
+    EventQueue eq;
+    PcieLink link{eq, PcieBandwidthModel{}};
+};
+
+} // namespace
+
+TEST_F(LinkFixture, SingleTransferCompletesAtModelLatency)
+{
+    Tick expect = link.model().transferLatency(kib(64));
+    bool done = false;
+    Tick completion =
+        link.transfer(PcieDir::hostToDevice, kib(64), [&] { done = true; });
+    EXPECT_EQ(completion, expect);
+    eq.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(eq.curTick(), expect);
+}
+
+TEST_F(LinkFixture, SameChannelSerializes)
+{
+    Tick lat = link.model().transferLatency(kib(4));
+    Tick c1 = link.transfer(PcieDir::hostToDevice, kib(4), nullptr);
+    Tick c2 = link.transfer(PcieDir::hostToDevice, kib(4), nullptr);
+    EXPECT_EQ(c1, lat);
+    EXPECT_EQ(c2, 2 * lat);
+}
+
+TEST_F(LinkFixture, OppositeChannelsOverlap)
+{
+    Tick c1 = link.transfer(PcieDir::hostToDevice, kib(64), nullptr);
+    Tick c2 = link.transfer(PcieDir::deviceToHost, kib(64), nullptr);
+    EXPECT_EQ(c1, c2); // full duplex: identical start and latency
+}
+
+TEST_F(LinkFixture, QueuedTransferStartsWhenChannelFrees)
+{
+    // Request the second transfer later but while busy.
+    link.transfer(PcieDir::hostToDevice, kib(256), nullptr);
+    Tick first_done = link.channelFreeAt(PcieDir::hostToDevice);
+    eq.schedule(first_done / 2, [&] {
+        Tick c = link.transfer(PcieDir::hostToDevice, kib(4), nullptr);
+        EXPECT_EQ(c, first_done + link.model().transferLatency(kib(4)));
+    });
+    eq.run();
+}
+
+TEST_F(LinkFixture, IdleChannelStartsImmediately)
+{
+    link.transfer(PcieDir::hostToDevice, kib(4), nullptr);
+    eq.run();
+    Tick now = eq.curTick();
+    // Much later request: starts at request time, not at free_at.
+    eq.schedule(now + oneMillisecond, [&] {
+        Tick c = link.transfer(PcieDir::hostToDevice, kib(4), nullptr);
+        EXPECT_EQ(c, eq.curTick() + link.model().transferLatency(kib(4)));
+    });
+    eq.run();
+}
+
+TEST_F(LinkFixture, AccountingPerDirection)
+{
+    link.transfer(PcieDir::hostToDevice, kib(64), nullptr);
+    link.transfer(PcieDir::hostToDevice, kib(4), nullptr);
+    link.transfer(PcieDir::deviceToHost, kib(16), nullptr);
+    eq.run();
+    EXPECT_EQ(link.bytesTransferred(PcieDir::hostToDevice), kib(68));
+    EXPECT_EQ(link.transferCount(PcieDir::hostToDevice), 2u);
+    EXPECT_EQ(link.bytesTransferred(PcieDir::deviceToHost), kib(16));
+    EXPECT_EQ(link.transferCount(PcieDir::deviceToHost), 1u);
+}
+
+TEST_F(LinkFixture, AverageBandwidthMatchesSingleTransferSize)
+{
+    link.transfer(PcieDir::hostToDevice, kib(4), nullptr);
+    eq.run();
+    EXPECT_NEAR(link.averageBandwidthGBps(PcieDir::hostToDevice), 3.2219,
+                0.01);
+}
+
+TEST_F(LinkFixture, AverageBandwidthRisesWithLargerTransfers)
+{
+    link.transfer(PcieDir::hostToDevice, kib(4), nullptr);
+    double small_bw = link.averageBandwidthGBps(PcieDir::hostToDevice);
+    link.transfer(PcieDir::hostToDevice, mib(1), nullptr);
+    double mixed_bw = link.averageBandwidthGBps(PcieDir::hostToDevice);
+    EXPECT_GT(mixed_bw, small_bw);
+}
+
+TEST_F(LinkFixture, ZeroByteTransferDies)
+{
+    EXPECT_DEATH(link.transfer(PcieDir::hostToDevice, 0, nullptr),
+                 "zero-byte");
+}
+
+TEST_F(LinkFixture, CallbackOrderFollowsCompletionOrder)
+{
+    std::vector<int> order;
+    link.transfer(PcieDir::hostToDevice, kib(64), [&] { order.push_back(1); });
+    link.transfer(PcieDir::hostToDevice, kib(4), [&] { order.push_back(2); });
+    link.transfer(PcieDir::deviceToHost, kib(4), [&] { order.push_back(3); });
+    eq.run();
+    // d2h 4KB finishes before the h2d 64KB+4KB chain completes.
+    EXPECT_EQ(order, (std::vector<int>{3, 1, 2}));
+}
+
+TEST_F(LinkFixture, StatsRegistered)
+{
+    stats::StatRegistry reg;
+    link.registerStats(reg);
+    link.transfer(PcieDir::hostToDevice, kib(64), nullptr);
+    eq.run();
+    EXPECT_DOUBLE_EQ(reg.at("pcie.h2d.transfers").value(), 1.0);
+    EXPECT_DOUBLE_EQ(reg.at("pcie.h2d.bytes").value(),
+                     static_cast<double>(kib(64)));
+    EXPECT_GT(reg.at("pcie.h2d.avg_bandwidth_gbps").value(), 0.0);
+}
+
+} // namespace uvmsim

@@ -1,0 +1,117 @@
+/** @file Unit tests for the GPU page table. */
+
+#include <gtest/gtest.h>
+
+#include "mem/page_table.hh"
+
+namespace uvmsim
+{
+
+TEST(PageTable, EmptyLookup)
+{
+    PageTable pt;
+    EXPECT_EQ(pt.lookup(5), nullptr);
+    EXPECT_FALSE(pt.isValid(5));
+    EXPECT_EQ(pt.validPages(), 0u);
+}
+
+TEST(PageTable, MapCreatesValidEntry)
+{
+    PageTable pt;
+    pt.mapPage(5, 100);
+    const Pte *pte = pt.lookup(5);
+    ASSERT_NE(pte, nullptr);
+    EXPECT_TRUE(pte->valid);
+    EXPECT_EQ(pte->frame, 100u);
+    EXPECT_FALSE(pte->dirty);
+    EXPECT_FALSE(pte->accessed);
+    EXPECT_EQ(pt.validPages(), 1u);
+}
+
+TEST(PageTable, InvalidateReturnsFrameAndKeepsEntry)
+{
+    PageTable pt;
+    pt.mapPage(5, 100);
+    EXPECT_EQ(pt.invalidatePage(5), 100u);
+    EXPECT_FALSE(pt.isValid(5));
+    // Entry survives with valid=false (re-validated on next touch).
+    ASSERT_NE(pt.lookup(5), nullptr);
+    EXPECT_EQ(pt.validPages(), 0u);
+}
+
+TEST(PageTable, InvalidateMissingPageReturnsInvalidFrame)
+{
+    PageTable pt;
+    EXPECT_EQ(pt.invalidatePage(5), invalidFrame);
+}
+
+TEST(PageTable, RemapAfterInvalidate)
+{
+    PageTable pt;
+    pt.mapPage(5, 100);
+    pt.invalidatePage(5);
+    pt.mapPage(5, 200);
+    EXPECT_TRUE(pt.isValid(5));
+    EXPECT_EQ(pt.lookup(5)->frame, 200u);
+}
+
+TEST(PageTable, AccessedAndDirtyFlags)
+{
+    PageTable pt;
+    pt.mapPage(7, 1);
+    EXPECT_FALSE(pt.wasAccessed(7));
+    pt.markAccessed(7);
+    EXPECT_TRUE(pt.wasAccessed(7));
+    EXPECT_FALSE(pt.isDirty(7));
+    pt.markDirty(7);
+    EXPECT_TRUE(pt.isDirty(7));
+    EXPECT_TRUE(pt.wasAccessed(7));
+}
+
+TEST(PageTable, MigrationClearsFlags)
+{
+    PageTable pt;
+    pt.mapPage(7, 1);
+    pt.markDirty(7);
+    pt.invalidatePage(7);
+    pt.mapPage(7, 2);
+    EXPECT_FALSE(pt.isDirty(7));
+    EXPECT_FALSE(pt.wasAccessed(7));
+}
+
+TEST(PageTable, DoubleMapDies)
+{
+    PageTable pt;
+    pt.mapPage(5, 100);
+    EXPECT_DEATH(pt.mapPage(5, 101), "double mapping");
+}
+
+TEST(PageTable, MarkOnInvalidDies)
+{
+    PageTable pt;
+    EXPECT_DEATH(pt.markAccessed(5), "invalid page");
+    EXPECT_DEATH(pt.markDirty(5), "invalid page");
+}
+
+TEST(PageTable, ClearDropsEverything)
+{
+    PageTable pt;
+    pt.mapPage(1, 10);
+    pt.mapPage(2, 11);
+    pt.clear();
+    EXPECT_EQ(pt.entries(), 0u);
+    EXPECT_EQ(pt.validPages(), 0u);
+}
+
+TEST(PageTable, ValidPageCountTracksMapAndInvalidate)
+{
+    PageTable pt;
+    for (PageNum p = 0; p < 10; ++p)
+        pt.mapPage(p, p);
+    EXPECT_EQ(pt.validPages(), 10u);
+    for (PageNum p = 0; p < 5; ++p)
+        pt.invalidatePage(p);
+    EXPECT_EQ(pt.validPages(), 5u);
+}
+
+} // namespace uvmsim

@@ -1,0 +1,118 @@
+/** @file Unit tests for the per-SM TLB. */
+
+#include <gtest/gtest.h>
+
+#include "mem/tlb.hh"
+
+namespace uvmsim
+{
+
+TEST(Tlb, MissOnEmpty)
+{
+    Tlb tlb("t", 4);
+    EXPECT_FALSE(tlb.lookup(1));
+    EXPECT_EQ(tlb.size(), 0u);
+}
+
+TEST(Tlb, HitAfterInsert)
+{
+    Tlb tlb("t", 4);
+    tlb.insert(1);
+    EXPECT_TRUE(tlb.lookup(1));
+    EXPECT_EQ(tlb.size(), 1u);
+}
+
+TEST(Tlb, LruEvictionOrder)
+{
+    Tlb tlb("t", 2);
+    tlb.insert(1);
+    tlb.insert(2);
+    tlb.insert(3); // evicts 1
+    EXPECT_FALSE(tlb.contains(1));
+    EXPECT_TRUE(tlb.contains(2));
+    EXPECT_TRUE(tlb.contains(3));
+}
+
+TEST(Tlb, LookupRefreshesRecency)
+{
+    Tlb tlb("t", 2);
+    tlb.insert(1);
+    tlb.insert(2);
+    EXPECT_TRUE(tlb.lookup(1)); // 1 becomes MRU
+    tlb.insert(3);              // evicts 2
+    EXPECT_TRUE(tlb.contains(1));
+    EXPECT_FALSE(tlb.contains(2));
+}
+
+TEST(Tlb, ReinsertRefreshesWithoutGrowth)
+{
+    Tlb tlb("t", 2);
+    tlb.insert(1);
+    tlb.insert(2);
+    tlb.insert(1); // refresh, no eviction
+    EXPECT_EQ(tlb.size(), 2u);
+    tlb.insert(3); // evicts 2 (1 was refreshed)
+    EXPECT_TRUE(tlb.contains(1));
+    EXPECT_FALSE(tlb.contains(2));
+}
+
+TEST(Tlb, InvalidateRemovesOneEntry)
+{
+    Tlb tlb("t", 4);
+    tlb.insert(1);
+    tlb.insert(2);
+    tlb.invalidate(1);
+    EXPECT_FALSE(tlb.contains(1));
+    EXPECT_TRUE(tlb.contains(2));
+    EXPECT_EQ(tlb.size(), 1u);
+    tlb.invalidate(99); // no-op
+    EXPECT_EQ(tlb.size(), 1u);
+}
+
+TEST(Tlb, FlushAll)
+{
+    Tlb tlb("t", 4);
+    tlb.insert(1);
+    tlb.insert(2);
+    tlb.flushAll();
+    EXPECT_EQ(tlb.size(), 0u);
+    EXPECT_FALSE(tlb.contains(1));
+}
+
+TEST(Tlb, ContainsHasNoSideEffects)
+{
+    Tlb tlb("t", 2);
+    tlb.insert(1);
+    tlb.insert(2);
+    EXPECT_TRUE(tlb.contains(1)); // does NOT refresh 1
+    tlb.insert(3);                // evicts 1 (still LRU)
+    EXPECT_FALSE(tlb.contains(1));
+}
+
+TEST(Tlb, CapacityRespected)
+{
+    Tlb tlb("t", 8);
+    for (PageNum p = 0; p < 100; ++p)
+        tlb.insert(p);
+    EXPECT_EQ(tlb.size(), 8u);
+    EXPECT_EQ(tlb.capacity(), 8u);
+    for (PageNum p = 92; p < 100; ++p)
+        EXPECT_TRUE(tlb.contains(p));
+}
+
+TEST(Tlb, StatsCount)
+{
+    stats::StatRegistry reg;
+    Tlb tlb("t", 2);
+    tlb.registerStats(reg);
+    tlb.lookup(1); // miss
+    tlb.insert(1);
+    tlb.lookup(1); // hit
+    tlb.insert(2);
+    tlb.insert(3); // eviction
+    EXPECT_DOUBLE_EQ(reg.at("t.hits").value(), 1.0);
+    EXPECT_DOUBLE_EQ(reg.at("t.misses").value(), 1.0);
+    EXPECT_DOUBLE_EQ(reg.at("t.evictions").value(), 1.0);
+}
+
+} // namespace uvmsim

@@ -1,0 +1,61 @@
+/** @file Unit tests for address-space constants and helpers. */
+
+#include <gtest/gtest.h>
+
+#include "mem/types.hh"
+
+namespace uvmsim
+{
+
+TEST(MemTypes, PaperGeometry)
+{
+    EXPECT_EQ(pageSize, 4096u);
+    EXPECT_EQ(basicBlockSize, 65536u);
+    EXPECT_EQ(largePageSize, 2097152u);
+    EXPECT_EQ(pagesPerBasicBlock, 16u);
+    EXPECT_EQ(blocksPerLargePage, 32u);
+    EXPECT_EQ(pagesPerLargePage, 512u);
+}
+
+TEST(MemTypes, PageMapping)
+{
+    EXPECT_EQ(pageOf(0), 0u);
+    EXPECT_EQ(pageOf(4095), 0u);
+    EXPECT_EQ(pageOf(4096), 1u);
+    EXPECT_EQ(pageBase(3), 12288u);
+    EXPECT_EQ(pageOf(pageBase(77)), 77u);
+}
+
+TEST(MemTypes, BlockMapping)
+{
+    EXPECT_EQ(basicBlockOf(0), 0u);
+    EXPECT_EQ(basicBlockOf(65535), 0u);
+    EXPECT_EQ(basicBlockOf(65536), 1u);
+    EXPECT_EQ(basicBlockBase(2), 131072u);
+}
+
+TEST(MemTypes, LargePageMapping)
+{
+    EXPECT_EQ(largePageOf(0), 0u);
+    EXPECT_EQ(largePageOf(largePageSize - 1), 0u);
+    EXPECT_EQ(largePageOf(largePageSize), 1u);
+}
+
+TEST(MemTypes, Alignment)
+{
+    EXPECT_EQ(alignToPage(4097), 4096u);
+    EXPECT_EQ(alignToPage(4096), 4096u);
+    EXPECT_EQ(alignToBasicBlock(70000), 65536u);
+}
+
+TEST(MemTypes, RoundUp)
+{
+    EXPECT_EQ(roundUpToPages(1), pageSize);
+    EXPECT_EQ(roundUpToPages(4096), 4096u);
+    EXPECT_EQ(roundUpToPages(4097), 8192u);
+    EXPECT_EQ(roundUpToBasicBlocks(1), basicBlockSize);
+    EXPECT_EQ(roundUpToBasicBlocks(65536), 65536u);
+    EXPECT_EQ(roundUpToBasicBlocks(65537), 131072u);
+}
+
+} // namespace uvmsim

@@ -1,0 +1,130 @@
+/** @file Unit tests for Clock, Options, and debug logging flags. */
+
+#include <gtest/gtest.h>
+
+#include "sim/clock.hh"
+#include "sim/logging.hh"
+#include "sim/options.hh"
+
+namespace uvmsim
+{
+
+TEST(Clock, PeriodAndFrequency)
+{
+    Clock c(1000); // 1 ns period
+    EXPECT_EQ(c.period(), 1000u);
+    EXPECT_DOUBLE_EQ(c.frequencyHz(), 1e9);
+}
+
+TEST(Clock, FromMHz)
+{
+    Clock c = Clock::fromMHz(1481.0);
+    EXPECT_EQ(c.period(), 675u);
+}
+
+TEST(Clock, CycleConversions)
+{
+    Clock c(675);
+    EXPECT_EQ(c.cyclesToTicks(100), 67500u);
+    EXPECT_EQ(c.ticksToCycles(67500), 100u);
+    EXPECT_EQ(c.ticksToCycles(67499), 99u); // floor
+}
+
+TEST(Clock, NextEdge)
+{
+    Clock c(100);
+    EXPECT_EQ(c.nextEdge(0), 0u);
+    EXPECT_EQ(c.nextEdge(100), 100u);
+    EXPECT_EQ(c.nextEdge(101), 200u);
+    EXPECT_EQ(c.nextEdge(199), 200u);
+}
+
+namespace
+{
+
+Options
+makeOptions(std::initializer_list<const char *> args)
+{
+    std::vector<const char *> argv{"prog"};
+    argv.insert(argv.end(), args.begin(), args.end());
+    return Options(static_cast<int>(argv.size()), argv.data());
+}
+
+} // namespace
+
+TEST(Options, StringValues)
+{
+    Options o = makeOptions({"--name=hotspot", "--empty="});
+    EXPECT_TRUE(o.has("name"));
+    EXPECT_EQ(o.get("name"), "hotspot");
+    EXPECT_EQ(o.get("missing", "dflt"), "dflt");
+    EXPECT_EQ(o.get("empty"), "");
+}
+
+TEST(Options, BareFlagIsTrue)
+{
+    Options o = makeOptions({"--verbose"});
+    EXPECT_TRUE(o.getBool("verbose"));
+    EXPECT_FALSE(o.getBool("quiet", false));
+    EXPECT_TRUE(o.getBool("quiet", true));
+}
+
+TEST(Options, NumericValues)
+{
+    Options o = makeOptions({"--count=42", "--ratio=1.5", "--hex=0x10"});
+    EXPECT_EQ(o.getUint("count", 0), 42u);
+    EXPECT_EQ(o.getUint("hex", 0), 16u);
+    EXPECT_DOUBLE_EQ(o.getDouble("ratio", 0.0), 1.5);
+    EXPECT_EQ(o.getUint("missing", 7), 7u);
+    EXPECT_DOUBLE_EQ(o.getDouble("missing", 2.5), 2.5);
+}
+
+TEST(Options, BooleanSpellings)
+{
+    Options o = makeOptions({"--a=true", "--b=0", "--c=yes", "--d=off"});
+    EXPECT_TRUE(o.getBool("a"));
+    EXPECT_FALSE(o.getBool("b"));
+    EXPECT_TRUE(o.getBool("c"));
+    EXPECT_FALSE(o.getBool("d"));
+}
+
+TEST(Options, Positional)
+{
+    Options o = makeOptions({"first", "--x=1", "second"});
+    ASSERT_EQ(o.positional().size(), 2u);
+    EXPECT_EQ(o.positional()[0], "first");
+    EXPECT_EQ(o.positional()[1], "second");
+}
+
+TEST(Options, ListParsing)
+{
+    Options o = makeOptions({"--benchmarks=bfs,nw,srad"});
+    auto list = o.getList("benchmarks", {});
+    ASSERT_EQ(list.size(), 3u);
+    EXPECT_EQ(list[0], "bfs");
+    EXPECT_EQ(list[2], "srad");
+    auto dflt = o.getList("missing", {"a", "b"});
+    EXPECT_EQ(dflt.size(), 2u);
+}
+
+TEST(DebugFlags, EnableDisableQuery)
+{
+    debug::clearFlags();
+    EXPECT_FALSE(debug::flagEnabled("GMMU"));
+    debug::enableFlag("GMMU");
+    EXPECT_TRUE(debug::flagEnabled("GMMU"));
+    EXPECT_FALSE(debug::flagEnabled("PCIe"));
+    debug::disableFlag("GMMU");
+    EXPECT_FALSE(debug::flagEnabled("GMMU"));
+}
+
+TEST(DebugFlags, AllEnablesEverything)
+{
+    debug::clearFlags();
+    debug::enableFlag("All");
+    EXPECT_TRUE(debug::flagEnabled("anything"));
+    debug::clearFlags();
+    EXPECT_FALSE(debug::flagEnabled("anything"));
+}
+
+} // namespace uvmsim

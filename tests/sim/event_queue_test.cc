@@ -1,0 +1,166 @@
+/** @file Unit tests for the discrete-event kernel. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace uvmsim
+{
+
+TEST(EventQueue, StartsEmptyAtTickZero)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.curTick(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_FALSE(eq.runOne());
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.curTick(), 30u);
+}
+
+TEST(EventQueue, AdvancesTimeToEventTimestamp)
+{
+    EventQueue eq;
+    Tick seen = 0;
+    eq.schedule(12345, [&] { seen = eq.curTick(); });
+    eq.runOne();
+    EXPECT_EQ(seen, 12345u);
+}
+
+TEST(EventQueue, SameTickOrderedByPriorityThenFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(5, 1, [&] { order.push_back(10); });
+    eq.schedule(5, 0, [&] { order.push_back(20); });
+    eq.schedule(5, 0, [&] { order.push_back(21); });
+    eq.schedule(5, -1, [&] { order.push_back(30); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{30, 20, 21, 10}));
+}
+
+TEST(EventQueue, ScheduleAfterUsesCurrentTick)
+{
+    EventQueue eq;
+    Tick fired_at = 0;
+    eq.schedule(100, [&] {
+        eq.scheduleAfter(50, [&] { fired_at = eq.curTick(); });
+    });
+    eq.run();
+    EXPECT_EQ(fired_at, 150u);
+}
+
+TEST(EventQueue, DescheduleCancelsEvent)
+{
+    EventQueue eq;
+    bool ran = false;
+    auto id = eq.schedule(10, [&] { ran = true; });
+    EXPECT_TRUE(eq.deschedule(id));
+    eq.run();
+    EXPECT_FALSE(ran);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, DescheduleTwiceReturnsFalse)
+{
+    EventQueue eq;
+    auto id = eq.schedule(10, [] {});
+    EXPECT_TRUE(eq.deschedule(id));
+    EXPECT_FALSE(eq.deschedule(id));
+}
+
+TEST(EventQueue, DescheduleAfterFiringReturnsFalse)
+{
+    EventQueue eq;
+    auto id = eq.schedule(10, [] {});
+    eq.run();
+    EXPECT_FALSE(eq.deschedule(id));
+}
+
+TEST(EventQueue, EventsMayScheduleAtCurrentTick)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(10, [&] {
+        order.push_back(1);
+        eq.schedule(10, [&] { order.push_back(2); });
+    });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, RunHonoursLimit)
+{
+    EventQueue eq;
+    int count = 0;
+    eq.schedule(10, [&] { ++count; });
+    eq.schedule(20, [&] { ++count; });
+    eq.schedule(30, [&] { ++count; });
+    EXPECT_EQ(eq.run(20), 2u);
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(eq.pending(), 1u);
+    EXPECT_EQ(eq.run(), 1u);
+    EXPECT_EQ(count, 3);
+}
+
+TEST(EventQueue, ExecutedCounterCounts)
+{
+    EventQueue eq;
+    for (int i = 0; i < 5; ++i)
+        eq.schedule(static_cast<Tick>(i + 1), [] {});
+    eq.run();
+    EXPECT_EQ(eq.executed(), 5u);
+}
+
+TEST(EventQueue, ResetClearsEverything)
+{
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.schedule(20, [] {});
+    eq.runOne();
+    eq.reset();
+    EXPECT_EQ(eq.curTick(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.executed(), 0u);
+}
+
+TEST(EventQueue, CancelledEventsDoNotBlockLimitRun)
+{
+    EventQueue eq;
+    auto id = eq.schedule(5, [] {});
+    eq.schedule(10, [] {});
+    eq.deschedule(id);
+    EXPECT_EQ(eq.run(10), 1u);
+}
+
+TEST(EventQueue, ManyEventsStressOrdering)
+{
+    EventQueue eq;
+    Tick last = 0;
+    bool monotone = true;
+    for (int i = 1000; i > 0; --i) {
+        eq.schedule(static_cast<Tick>(i), [&, i] {
+            if (eq.curTick() < last)
+                monotone = false;
+            last = eq.curTick();
+            (void)i;
+        });
+    }
+    EXPECT_EQ(eq.run(), 1000u);
+    EXPECT_TRUE(monotone);
+    EXPECT_EQ(last, 1000u);
+}
+
+} // namespace uvmsim

@@ -1,0 +1,117 @@
+/** @file Unit tests for the deterministic RNG. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/rng.hh"
+
+namespace uvmsim
+{
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ZeroSeedIsUsable)
+{
+    Rng r(0);
+    EXPECT_NE(r.next(), 0u); // state was remapped away from zero
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng r(7);
+    for (std::uint64_t bound : {1ull, 2ull, 10ull, 1000ull}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(r.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowOneAlwaysZero)
+{
+    Rng r(9);
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(r.below(1), 0u);
+}
+
+TEST(Rng, InRangeInclusive)
+{
+    Rng r(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 500; ++i) {
+        auto v = r.inRange(5, 8);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 8u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 4u); // all four values show up
+}
+
+TEST(Rng, RealInUnitInterval)
+{
+    Rng r(13);
+    for (int i = 0; i < 1000; ++i) {
+        double v = r.real();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(17);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceRoughlyCalibrated)
+{
+    Rng r(19);
+    int hits = 0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i)
+        hits += r.chance(0.25);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.03);
+}
+
+TEST(Rng, ForkIsIndependentButDeterministic)
+{
+    Rng a(42), b(42);
+    Rng fa = a.fork();
+    Rng fb = b.fork();
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(fa.next(), fb.next());
+    // The fork differs from the parent's continued stream.
+    Rng c(42);
+    Rng fc = c.fork();
+    EXPECT_NE(fc.next(), c.next());
+}
+
+TEST(Rng, RoughUniformityOfBelow)
+{
+    Rng r(23);
+    const std::uint64_t buckets = 8;
+    std::uint64_t counts[8] = {};
+    const int n = 80000;
+    for (int i = 0; i < n; ++i)
+        ++counts[r.below(buckets)];
+    for (std::uint64_t c : counts)
+        EXPECT_NEAR(static_cast<double>(c), n / 8.0, n / 8.0 * 0.1);
+}
+
+} // namespace uvmsim

@@ -1,0 +1,178 @@
+/** @file Unit tests for the statistics framework. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.hh"
+
+namespace uvmsim::stats
+{
+
+TEST(Counter, IncrementAndAdd)
+{
+    Counter c("c", "a counter");
+    EXPECT_EQ(c.count(), 0u);
+    ++c;
+    c += 5;
+    EXPECT_EQ(c.count(), 6u);
+    EXPECT_DOUBLE_EQ(c.value(), 6.0);
+    c.reset();
+    EXPECT_EQ(c.count(), 0u);
+}
+
+TEST(Scalar, SetAndReset)
+{
+    Scalar s("s", "a scalar");
+    s.set(3.25);
+    EXPECT_DOUBLE_EQ(s.value(), 3.25);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(Maximum, TracksMax)
+{
+    Maximum m("m", "a maximum");
+    EXPECT_DOUBLE_EQ(m.value(), 0.0);
+    m.sample(-5.0);
+    EXPECT_DOUBLE_EQ(m.value(), -5.0);
+    m.sample(10.0);
+    m.sample(3.0);
+    EXPECT_DOUBLE_EQ(m.value(), 10.0);
+}
+
+TEST(Average, Mean)
+{
+    Average a("a", "an average");
+    EXPECT_DOUBLE_EQ(a.value(), 0.0);
+    a.sample(2.0);
+    a.sample(4.0);
+    a.sample(6.0);
+    EXPECT_DOUBLE_EQ(a.value(), 4.0);
+    EXPECT_EQ(a.samples(), 3u);
+}
+
+TEST(Histogram, BucketsAndBounds)
+{
+    Histogram h("h", "a histogram", 0.0, 10.0, 5); // [0,50) in 5 buckets
+    h.sample(-1.0);  // underflow
+    h.sample(0.0);   // bucket 0
+    h.sample(9.99);  // bucket 0
+    h.sample(10.0);  // bucket 1
+    h.sample(49.0);  // bucket 4
+    h.sample(50.0);  // overflow
+    h.sample(500.0); // overflow
+
+    EXPECT_EQ(h.samples(), 7u);
+    EXPECT_EQ(h.underflows(), 1u);
+    EXPECT_EQ(h.overflows(), 2u);
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(2), 0u);
+    EXPECT_EQ(h.bucketCount(4), 1u);
+    EXPECT_DOUBLE_EQ(h.minSample(), -1.0);
+    EXPECT_DOUBLE_EQ(h.maxSample(), 500.0);
+}
+
+TEST(Histogram, MeanAndReset)
+{
+    Histogram h("h", "a histogram", 0.0, 1.0, 4);
+    h.sample(1.0);
+    h.sample(3.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+    h.reset();
+    EXPECT_EQ(h.samples(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Formula, EvaluatesLazily)
+{
+    int x = 1;
+    Formula f("f", "a formula", [&] { return x * 2.0; });
+    EXPECT_DOUBLE_EQ(f.value(), 2.0);
+    x = 21;
+    EXPECT_DOUBLE_EQ(f.value(), 42.0);
+}
+
+TEST(StatRegistry, AddFindAt)
+{
+    StatRegistry reg;
+    Counter c("module.counter", "desc");
+    reg.add(&c);
+    EXPECT_EQ(reg.find("module.counter"), &c);
+    EXPECT_EQ(reg.find("missing"), nullptr);
+    EXPECT_EQ(&reg.at("module.counter"), &c);
+    EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(StatRegistry, RemoveStat)
+{
+    StatRegistry reg;
+    Counter c("c", "desc");
+    reg.add(&c);
+    reg.remove("c");
+    EXPECT_EQ(reg.find("c"), nullptr);
+}
+
+TEST(StatRegistry, AllSortedByName)
+{
+    StatRegistry reg;
+    Counter b("b", ""), a("a", ""), c("c", "");
+    reg.add(&b);
+    reg.add(&a);
+    reg.add(&c);
+    auto all = reg.all();
+    ASSERT_EQ(all.size(), 3u);
+    EXPECT_EQ(all[0]->name(), "a");
+    EXPECT_EQ(all[1]->name(), "b");
+    EXPECT_EQ(all[2]->name(), "c");
+}
+
+TEST(StatRegistry, ResetAll)
+{
+    StatRegistry reg;
+    Counter c("c", "");
+    Scalar s("s", "");
+    reg.add(&c);
+    reg.add(&s);
+    c += 10;
+    s.set(5.0);
+    reg.resetAll();
+    EXPECT_EQ(c.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(StatRegistry, TextDumpContainsNamesValuesDescriptions)
+{
+    StatRegistry reg;
+    Counter c("gmmu.far_faults", "far-faults serviced");
+    c += 42;
+    reg.add(&c);
+    std::ostringstream oss;
+    reg.dump(oss);
+    std::string out = oss.str();
+    EXPECT_NE(out.find("gmmu.far_faults"), std::string::npos);
+    EXPECT_NE(out.find("42"), std::string::npos);
+    EXPECT_NE(out.find("far-faults serviced"), std::string::npos);
+}
+
+TEST(StatRegistry, CsvDump)
+{
+    StatRegistry reg;
+    Counter c("a.b", "");
+    c += 3;
+    reg.add(&c);
+    std::ostringstream oss;
+    reg.dumpCsv(oss);
+    EXPECT_EQ(oss.str(), "stat,value\na.b,3\n");
+}
+
+TEST(StatRegistry, DuplicateNameDies)
+{
+    StatRegistry reg;
+    Counter c1("dup", ""), c2("dup", "");
+    reg.add(&c1);
+    EXPECT_DEATH(reg.add(&c2), "duplicate stat");
+}
+
+} // namespace uvmsim::stats

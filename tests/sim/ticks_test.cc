@@ -1,0 +1,58 @@
+/** @file Unit tests for tick/unit conversions. */
+
+#include <gtest/gtest.h>
+
+#include "sim/ticks.hh"
+
+namespace uvmsim
+{
+
+TEST(Ticks, UnitRatios)
+{
+    EXPECT_EQ(oneNanosecond, 1000u);
+    EXPECT_EQ(oneMicrosecond, 1000u * 1000u);
+    EXPECT_EQ(oneMillisecond, 1000u * 1000u * 1000u);
+    EXPECT_EQ(oneSecond, 1000ull * 1000 * 1000 * 1000);
+}
+
+TEST(Ticks, ForwardConversions)
+{
+    EXPECT_EQ(nanoseconds(7), 7000u);
+    EXPECT_EQ(microseconds(45), 45ull * 1000 * 1000);
+    EXPECT_EQ(milliseconds(3), 3ull * 1000 * 1000 * 1000);
+}
+
+TEST(Ticks, BackwardConversions)
+{
+    EXPECT_DOUBLE_EQ(ticksToNanoseconds(1500), 1.5);
+    EXPECT_DOUBLE_EQ(ticksToMicroseconds(microseconds(45)), 45.0);
+    EXPECT_DOUBLE_EQ(ticksToMilliseconds(milliseconds(2)), 2.0);
+    EXPECT_DOUBLE_EQ(ticksToSeconds(oneSecond), 1.0);
+}
+
+TEST(Ticks, RoundTripIsExactForWholeUnits)
+{
+    for (std::uint64_t us : {1ull, 45ull, 1000ull, 123456ull})
+        EXPECT_DOUBLE_EQ(ticksToMicroseconds(microseconds(us)),
+                         static_cast<double>(us));
+}
+
+TEST(Ticks, PeriodFromMHz)
+{
+    // 1000 MHz -> 1 ns period.
+    EXPECT_EQ(periodFromMHz(1000.0), 1000u);
+    // The paper's 1481 MHz core clock: 675.2 ps, rounds to 675.
+    EXPECT_EQ(periodFromMHz(1481.0), 675u);
+    // 500 MHz -> 2 ns.
+    EXPECT_EQ(periodFromMHz(500.0), 2000u);
+}
+
+TEST(Ticks, SizeHelpers)
+{
+    EXPECT_EQ(kib(4), 4096u);
+    EXPECT_EQ(kib(64), 65536u);
+    EXPECT_EQ(mib(2), 2097152u);
+    EXPECT_EQ(sizeGiB, 1073741824u);
+}
+
+} // namespace uvmsim

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Per-benchmark structural claims tied to the paper's description of
+ * the suite: launch counts, footprint ranges, and the access-pattern
+ * properties each result section relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/ticks.hh"
+
+#include "workloads/workload.hh"
+
+namespace uvmsim
+{
+
+namespace
+{
+
+std::uint64_t
+footprintMB(const std::string &name, const WorkloadParams &params)
+{
+    auto wl = makeWorkload(name, params);
+    ManagedSpace space;
+    wl->setup(space);
+    return space.totalPaddedBytes() / sizeMiB;
+}
+
+} // namespace
+
+TEST(BenchmarkSpecifics, FootprintsMatchThePaperRange)
+{
+    // Paper Sec. 6.2: working sets 4MB..38.5MB, average 15.5MB.  At
+    // scale 1.0 every benchmark must land inside 4..39 MB.
+    WorkloadParams params;
+    double total = 0.0;
+    for (const auto &name : allWorkloadNames()) {
+        std::uint64_t mb = footprintMB(name, params);
+        EXPECT_GE(mb, 4u) << name;
+        EXPECT_LE(mb, 39u) << name;
+        total += static_cast<double>(mb);
+    }
+    double average = total / 7.0;
+    EXPECT_GE(average, 8.0);
+    EXPECT_LE(average, 20.0);
+}
+
+TEST(BenchmarkSpecifics, BackpropLaunchesTwoKernels)
+{
+    auto wl = makeWorkload("backprop", WorkloadParams{});
+    EXPECT_EQ(wl->totalKernels(), 2u); // layerforward + adjust_weights
+}
+
+TEST(BenchmarkSpecifics, NwRuns127DiagonalsAtPaperScale)
+{
+    // The paper's nw example "runs for 127 iterations": 2 * 64 - 1
+    // anti-diagonals for a 1024/16 tile grid.
+    auto wl = makeWorkload("nw", WorkloadParams{});
+    EXPECT_EQ(wl->totalKernels(), 127u);
+}
+
+TEST(BenchmarkSpecifics, NwDiagonalWidthRampsUpAndDown)
+{
+    auto wl = makeWorkload("nw", WorkloadParams{});
+    ManagedSpace space;
+    wl->setup(space);
+    std::vector<std::uint64_t> widths;
+    while (Kernel *k = wl->nextKernel()) {
+        std::uint64_t blocks = 0;
+        while (k->nextThreadBlock())
+            ++blocks;
+        widths.push_back(blocks);
+    }
+    ASSERT_EQ(widths.size(), 127u);
+    EXPECT_EQ(widths.front(), 1u);
+    EXPECT_EQ(widths[63], 64u); // the main diagonal
+    EXPECT_EQ(widths.back(), 1u);
+}
+
+TEST(BenchmarkSpecifics, SradAlternatesItsTwoKernels)
+{
+    WorkloadParams p;
+    p.iterations = 3;
+    auto wl = makeWorkload("srad", p);
+    ManagedSpace space;
+    wl->setup(space);
+    std::vector<std::string> names;
+    while (Kernel *k = wl->nextKernel())
+        names.push_back(k->name());
+    ASSERT_EQ(names.size(), 6u);
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        if (i % 2 == 0)
+            EXPECT_NE(names[i].find("srad_kernel1"), std::string::npos);
+        else
+            EXPECT_NE(names[i].find("srad_kernel2"), std::string::npos);
+    }
+}
+
+TEST(BenchmarkSpecifics, GemmIsASingleLaunch)
+{
+    auto wl = makeWorkload("gemm", WorkloadParams{});
+    EXPECT_EQ(wl->totalKernels(), 1u);
+}
+
+TEST(BenchmarkSpecifics, BfsLevelsDependOnTheGraphSeed)
+{
+    WorkloadParams a;
+    a.size_scale = 0.25;
+    a.seed = 1;
+    WorkloadParams b = a;
+    b.seed = 2;
+    auto wl_a = makeWorkload("bfs", a);
+    auto wl_b = makeWorkload("bfs", b);
+    // Random graphs of this density have a handful of BFS levels;
+    // both seeds must produce a plausible count (2 kernels per level).
+    EXPECT_GE(wl_a->totalKernels(), 6u);
+    EXPECT_LE(wl_a->totalKernels(), 40u);
+    EXPECT_GE(wl_b->totalKernels(), 6u);
+    EXPECT_LE(wl_b->totalKernels(), 40u);
+}
+
+TEST(BenchmarkSpecifics, PathfinderStepCountFollowsPyramid)
+{
+    auto wl = makeWorkload("pathfinder", WorkloadParams{});
+    EXPECT_EQ(wl->totalKernels(), 24u); // 96 rows / pyramid height 4
+}
+
+TEST(BenchmarkSpecifics, HotspotIterationOverrideRespected)
+{
+    WorkloadParams p;
+    p.iterations = 13;
+    auto wl = makeWorkload("hotspot", p);
+    EXPECT_EQ(wl->totalKernels(), 13u);
+}
+
+TEST(BenchmarkSpecifics, ScaleShrinksFootprints)
+{
+    WorkloadParams full;
+    WorkloadParams quarter;
+    quarter.size_scale = 0.25;
+    for (const auto &name : allWorkloadNames()) {
+        std::uint64_t big = footprintMB(name, full);
+        std::uint64_t small = footprintMB(name, quarter);
+        EXPECT_LT(small, big) << name;
+    }
+}
+
+} // namespace uvmsim

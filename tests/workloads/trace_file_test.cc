@@ -1,0 +1,145 @@
+/** @file Tests for the trace-file workload replayer. */
+
+#include <gtest/gtest.h>
+
+#include "sim/ticks.hh"
+
+#include <sstream>
+
+#include "api/simulator.hh"
+#include "workloads/trace_file.hh"
+
+namespace uvmsim
+{
+
+namespace
+{
+
+const char *kSimpleTrace = R"(# a tiny two-kernel trace
+alloc input 1048576
+alloc output 65536
+kernel k1
+tb
+0 0 512 r 8
+0 512 512 r 8
+1 0 128 w 4
+tb
+0 65536 1024 r 2
+kernel k2
+tb
+1 0 128 r
+)";
+
+} // namespace
+
+TEST(TraceFile, ParsesAndReportsStructure)
+{
+    std::istringstream in(kSimpleTrace);
+    auto wl = makeTraceWorkload(in, WorkloadParams{}, "simple");
+    EXPECT_EQ(wl->name(), "simple");
+    EXPECT_EQ(wl->totalKernels(), 2u);
+}
+
+TEST(TraceFile, DrivesAFullSimulation)
+{
+    std::istringstream in(kSimpleTrace);
+    auto wl = makeTraceWorkload(in, WorkloadParams{}, "simple");
+    SimConfig cfg;
+    cfg.gpu.num_sms = 2;
+    Simulator sim(cfg);
+    RunResult r = sim.run(*wl);
+    EXPECT_GT(r.kernelTimeUs(), 0.0);
+    EXPECT_GT(r.farFaults(), 0.0);
+    EXPECT_EQ(r.stat("gpu.kernels"), 2.0);
+    // Footprint: 1MB + 64KB, both padded sizes already aligned.
+    EXPECT_EQ(r.footprint_bytes, mib(1) + kib(64));
+}
+
+TEST(TraceFile, AccessesLandInTheDeclaredAllocations)
+{
+    std::istringstream in(kSimpleTrace);
+    auto wl = makeTraceWorkload(in, WorkloadParams{}, "simple");
+    ManagedSpace space;
+    wl->setup(space);
+    std::uint64_t accesses = 0;
+    while (Kernel *k = wl->nextKernel()) {
+        while (auto tb = k->nextThreadBlock()) {
+            for (auto &trace : tb->warps) {
+                WarpOp op;
+                while (trace->next(op)) {
+                    for (const TraceAccess &a : op.accesses) {
+                        ++accesses;
+                        EXPECT_NE(space.allocationFor(pageOf(a.addr)),
+                                  nullptr);
+                    }
+                }
+            }
+        }
+    }
+    EXPECT_EQ(accesses, 5u);
+}
+
+TEST(TraceFile, CommentsAndBlankLinesIgnored)
+{
+    std::istringstream in("# leading comment\n\nalloc a 4096\n"
+                          "kernel k\ntb\n0 0 64 r\n");
+    auto wl = makeTraceWorkload(in, WorkloadParams{});
+    EXPECT_EQ(wl->totalKernels(), 1u);
+}
+
+TEST(TraceFile, DefaultComputeCyclesApplied)
+{
+    std::istringstream in("alloc a 4096\nkernel k\ntb\n0 0 64 r\n");
+    auto wl = makeTraceWorkload(in, WorkloadParams{});
+    ManagedSpace space;
+    wl->setup(space);
+    Kernel *k = wl->nextKernel();
+    auto tb = k->nextThreadBlock();
+    WarpOp op;
+    ASSERT_TRUE(tb->warps[0]->next(op));
+    EXPECT_EQ(op.compute_cycles, 4u); // documented default
+}
+
+TEST(TraceFile, MalformedInputsAreFatal)
+{
+    WorkloadParams p;
+    {
+        std::istringstream in("kernel k\n");
+        EXPECT_EXIT(makeTraceWorkload(in, p),
+                    ::testing::ExitedWithCode(1), "no allocations");
+    }
+    {
+        std::istringstream in("alloc a 4096\nkernel k\n0 0 64 r\n");
+        EXPECT_EXIT(makeTraceWorkload(in, p),
+                    ::testing::ExitedWithCode(1), "before any 'tb'");
+    }
+    {
+        std::istringstream in("alloc a 4096\nkernel k\ntb\n5 0 64 r\n");
+        EXPECT_EXIT(makeTraceWorkload(in, p),
+                    ::testing::ExitedWithCode(1), "out of range");
+    }
+    {
+        std::istringstream in("alloc a 4096\nkernel k\ntb\n0 4090 64 r\n");
+        EXPECT_EXIT(makeTraceWorkload(in, p),
+                    ::testing::ExitedWithCode(1), "past end");
+    }
+    {
+        std::istringstream in("alloc a 4096\nkernel k\ntb\n0 0 64 x\n");
+        EXPECT_EXIT(makeTraceWorkload(in, p),
+                    ::testing::ExitedWithCode(1), "r or w");
+    }
+    {
+        std::istringstream in("alloc a 4096\nkernel k\nalloc b 4096\n");
+        EXPECT_EXIT(makeTraceWorkload(in, p),
+                    ::testing::ExitedWithCode(1), "after first kernel");
+    }
+}
+
+TEST(TraceFile, MissingFileIsFatal)
+{
+    EXPECT_EXIT(makeTraceWorkloadFromFile("/nonexistent/trace.txt",
+                                          WorkloadParams{}),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+} // namespace uvmsim

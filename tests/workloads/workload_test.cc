@@ -1,0 +1,292 @@
+/** @file Tests of the workload generators' structure and patterns. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "workloads/benchmarks.hh"
+#include "workloads/trace_util.hh"
+#include "workloads/workload.hh"
+
+namespace uvmsim
+{
+
+namespace
+{
+
+/** Drain a workload's kernels, collecting every traced access. */
+struct DrainResult
+{
+    std::uint64_t kernels = 0;
+    std::uint64_t blocks = 0;
+    std::uint64_t accesses = 0;
+    std::set<PageNum> pages;
+    std::uint64_t writes = 0;
+};
+
+DrainResult
+drain(Workload &wl, ManagedSpace &space)
+{
+    wl.setup(space);
+    DrainResult r;
+    while (Kernel *k = wl.nextKernel()) {
+        ++r.kernels;
+        while (auto tb = k->nextThreadBlock()) {
+            ++r.blocks;
+            for (auto &trace : tb->warps) {
+                WarpOp op;
+                while (trace->next(op)) {
+                    for (const TraceAccess &a : op.accesses) {
+                        ++r.accesses;
+                        r.pages.insert(pageOf(a.addr));
+                        r.writes += a.is_write;
+                        // Every access is page-contained and lands in
+                        // a managed allocation.
+                        EXPECT_EQ(pageOf(a.addr),
+                                  pageOf(a.addr + a.size - 1));
+                        EXPECT_NE(space.allocationFor(pageOf(a.addr)),
+                                  nullptr)
+                            << "unmanaged access in " << wl.name();
+                    }
+                }
+            }
+        }
+    }
+    return r;
+}
+
+WorkloadParams
+smallParams()
+{
+    WorkloadParams p;
+    p.size_scale = 0.1; // keep structural tests fast
+    return p;
+}
+
+} // namespace
+
+class WorkloadStructure : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(WorkloadStructure, KernelsMatchDeclaredCount)
+{
+    auto wl = makeWorkload(GetParam(), smallParams());
+    ManagedSpace space;
+    DrainResult r = drain(*wl, space);
+    EXPECT_EQ(r.kernels, wl->totalKernels());
+    EXPECT_GT(r.blocks, 0u);
+    EXPECT_GT(r.accesses, 0u);
+}
+
+TEST_P(WorkloadStructure, AccessesStayInsideAllocations)
+{
+    auto wl = makeWorkload(GetParam(), smallParams());
+    ManagedSpace space;
+    DrainResult r = drain(*wl, space); // EXPECTs inside
+    EXPECT_FALSE(r.pages.empty());
+}
+
+TEST_P(WorkloadStructure, TouchesASubstantialFractionOfFootprint)
+{
+    auto wl = makeWorkload(GetParam(), smallParams());
+    ManagedSpace space;
+    DrainResult r = drain(*wl, space);
+    std::uint64_t touched = r.pages.size() * pageSize;
+    // Every benchmark touches at least a third of what it allocates
+    // (bfs's random edge lists are the sparsest).
+    EXPECT_GT(touched * 3, space.totalUserBytes())
+        << wl->name() << " touched only " << touched << " bytes of "
+        << space.totalUserBytes();
+}
+
+TEST_P(WorkloadStructure, GeneratorIsDeterministic)
+{
+    auto wl1 = makeWorkload(GetParam(), smallParams());
+    auto wl2 = makeWorkload(GetParam(), smallParams());
+    ManagedSpace s1, s2;
+    DrainResult r1 = drain(*wl1, s1);
+    DrainResult r2 = drain(*wl2, s2);
+    EXPECT_EQ(r1.accesses, r2.accesses);
+    EXPECT_EQ(r1.pages, r2.pages);
+    EXPECT_EQ(r1.writes, r2.writes);
+}
+
+TEST_P(WorkloadStructure, NextKernelBeforeSetupDies)
+{
+    auto wl = makeWorkload(GetParam(), smallParams());
+    EXPECT_DEATH(wl->nextKernel(), "before setup");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, WorkloadStructure,
+                         ::testing::ValuesIn(allWorkloadNames()),
+                         [](const auto &info) { return info.param; });
+
+INSTANTIATE_TEST_SUITE_P(ExtraBenchmarks, WorkloadStructure,
+                         ::testing::ValuesIn(extraWorkloadNames()),
+                         [](const auto &info) { return info.param; });
+
+TEST(WorkloadRegistry, ListsSevenBenchmarks)
+{
+    auto names = allWorkloadNames();
+    EXPECT_EQ(names.size(), 7u);
+    for (const auto &n : names)
+        EXPECT_NE(makeWorkload(n, smallParams()), nullptr);
+}
+
+TEST(WorkloadRegistry, ExtrasAreSeparateFromThePaperSuite)
+{
+    auto extras = extraWorkloadNames();
+    EXPECT_EQ(extras.size(), 2u);
+    auto paper = allWorkloadNames();
+    for (const auto &n : extras) {
+        EXPECT_EQ(std::find(paper.begin(), paper.end(), n), paper.end());
+        EXPECT_NE(makeWorkload(n, smallParams()), nullptr);
+    }
+}
+
+TEST(WorkloadRegistry, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(makeWorkload("nosuch", WorkloadParams{}),
+                ::testing::ExitedWithCode(1), "unknown workload");
+}
+
+TEST(WorkloadPatterns, StreamingBenchmarksNeverRevisitWallPages)
+{
+    // pathfinder's wall array must be streamed: each wall page is
+    // touched in exactly one kernel.
+    auto wl = makeWorkload("pathfinder", smallParams());
+    ManagedSpace space;
+    wl->setup(space);
+    const ManagedAllocation *wall = space.allocations()[0].get();
+
+    std::map<PageNum, std::set<std::uint64_t>> page_kernels;
+    std::uint64_t kernel_idx = 0;
+    while (Kernel *k = wl->nextKernel()) {
+        while (auto tb = k->nextThreadBlock()) {
+            for (auto &trace : tb->warps) {
+                WarpOp op;
+                while (trace->next(op)) {
+                    for (const TraceAccess &a : op.accesses) {
+                        if (wall->contains(a.addr))
+                            page_kernels[pageOf(a.addr)].insert(
+                                kernel_idx);
+                    }
+                }
+            }
+        }
+        ++kernel_idx;
+    }
+    for (const auto &[page, kernels] : page_kernels)
+        EXPECT_LE(kernels.size(), 2u); // band boundaries may share
+}
+
+TEST(WorkloadPatterns, HotspotRevisitsEveryPageEachIteration)
+{
+    WorkloadParams p = smallParams();
+    p.iterations = 3;
+    auto wl = makeWorkload("hotspot", p);
+    ManagedSpace space;
+    wl->setup(space);
+    // The power array is read on every iteration.
+    const ManagedAllocation *power = space.allocations()[2].get();
+
+    std::map<std::uint64_t, std::set<PageNum>> kernel_pages;
+    std::uint64_t kernel_idx = 0;
+    while (Kernel *k = wl->nextKernel()) {
+        while (auto tb = k->nextThreadBlock()) {
+            for (auto &trace : tb->warps) {
+                WarpOp op;
+                while (trace->next(op)) {
+                    for (const TraceAccess &a : op.accesses) {
+                        if (power->contains(a.addr))
+                            kernel_pages[kernel_idx].insert(
+                                pageOf(a.addr));
+                    }
+                }
+            }
+        }
+        ++kernel_idx;
+    }
+    ASSERT_EQ(kernel_pages.size(), 3u);
+    EXPECT_EQ(kernel_pages[0], kernel_pages[1]);
+    EXPECT_EQ(kernel_pages[1], kernel_pages[2]);
+}
+
+TEST(WorkloadPatterns, NwTouchesWidelySpacedPagesPerKernel)
+{
+    auto wl = makeWorkload("nw", WorkloadParams{});
+    ManagedSpace space;
+    wl->setup(space);
+    // Advance to a mid-computation diagonal.
+    Kernel *k = nullptr;
+    for (int i = 0; i < 40; ++i)
+        k = wl->nextKernel();
+    ASSERT_NE(k, nullptr);
+    std::set<PageNum> pages;
+    while (auto tb = k->nextThreadBlock()) {
+        for (auto &trace : tb->warps) {
+            WarpOp op;
+            while (trace->next(op))
+                for (const TraceAccess &a : op.accesses)
+                    pages.insert(pageOf(a.addr));
+        }
+    }
+    // Sparse-but-spread (paper Fig. 12): the diagonal's working set
+    // spans a range wider than the pages it actually touches, and the
+    // bands cover both the score and reference matrices.
+    ASSERT_GT(pages.size(), 10u);
+    PageNum span = *pages.rbegin() - *pages.begin();
+    EXPECT_GT(span, pages.size());
+    EXPECT_GT(span, pagesPerLargePage); // wider than one 2MB chunk
+}
+
+TEST(TraceUtil, AppendAccessSplitsAtPageBoundary)
+{
+    WarpOp op;
+    traceutil::appendAccess(op, pageSize - 100, 300, false);
+    ASSERT_EQ(op.accesses.size(), 2u);
+    EXPECT_EQ(op.accesses[0].size, 100u);
+    EXPECT_EQ(op.accesses[1].addr, pageSize);
+    EXPECT_EQ(op.accesses[1].size, 200u);
+}
+
+TEST(TraceUtil, AppendStreamCoversRangeExactly)
+{
+    std::vector<WarpOp> ops;
+    traceutil::appendStream(ops, 0x10000, 2500, 1024, true, 5);
+    ASSERT_EQ(ops.size(), 3u);
+    std::uint64_t total = 0;
+    for (const auto &op : ops)
+        for (const auto &a : op.accesses)
+            total += a.size;
+    EXPECT_EQ(total, 2500u);
+    EXPECT_TRUE(ops[0].accesses[0].is_write);
+}
+
+TEST(TraceUtil, SplitAmongWarpsRoundRobin)
+{
+    std::vector<WarpOp> ops(10);
+    for (int i = 0; i < 10; ++i)
+        ops[i].compute_cycles = static_cast<Cycles>(i);
+    auto warps = traceutil::splitAmongWarps(std::move(ops), 3);
+    ASSERT_EQ(warps.size(), 3u);
+    WarpOp op;
+    ASSERT_TRUE(warps[0]->next(op));
+    EXPECT_EQ(op.compute_cycles, 0u);
+    ASSERT_TRUE(warps[0]->next(op));
+    EXPECT_EQ(op.compute_cycles, 3u);
+    ASSERT_TRUE(warps[1]->next(op));
+    EXPECT_EQ(op.compute_cycles, 1u);
+}
+
+TEST(TraceUtil, SplitNeverReturnsZeroWarps)
+{
+    auto warps = traceutil::splitAmongWarps({}, 4);
+    ASSERT_EQ(warps.size(), 1u);
+    WarpOp op;
+    EXPECT_FALSE(warps[0]->next(op));
+}
+
+} // namespace uvmsim

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * uvmsim_run -- the command-line front end to the simulator.
+ *
+ * Runs any workload under any configuration and dumps the results:
+ * headline numbers, the full statistics table (or CSV), and optionally
+ * the access-pattern analysis.
+ *
+ * Examples:
+ *   uvmsim_run --workload=hotspot
+ *   uvmsim_run --workload=nw --oversubscription=110 \
+ *              --prefetcher=TBNp --prefetcher-after=TBNp \
+ *              --eviction=TBNe --reserve=10 --stats
+ *   uvmsim_run --workload=kmeans --stats-csv --analyze
+ *   uvmsim_run --list
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "api/simulator.hh"
+#include "sim/options.hh"
+#include "workloads/trace_file.hh"
+
+using namespace uvmsim;
+
+namespace
+{
+
+void
+usage()
+{
+    std::printf(
+        "uvmsim_run -- GPU UVM simulator (Ganguly et al., ISCA'19 "
+        "reproduction)\n\n"
+        "options:\n"
+        "  --workload=NAME          benchmark to run (--list to "
+        "enumerate)\n"
+        "  --trace=PATH             replay a trace file instead (see "
+        "src/workloads/trace_file.hh)\n"
+        "  --scale=F                problem size multiplier "
+        "(default 1.0)\n"
+        "  --iterations=N           override iteration count\n"
+        "  --oversubscription=PCT   working set as %% of device memory "
+        "(0 = fits)\n"
+        "  --device-mb=N            device memory override in MiB\n"
+        "  --prefetcher=P           before capacity: "
+        "none|Rp|SLp|TBNp|SGp|ZLp\n"
+        "  --prefetcher-after=P     after capacity (default none)\n"
+        "  --eviction=E             LRU4K|Re|SLe|TBNe|LRU2MB|MRU4K\n"
+        "  --buffer=PCT             free-page buffer %%\n"
+        "  --reserve=PCT            LRU reservation %%\n"
+        "  --fault-us=N             fault service latency (default 45)\n"
+        "  --fault-batch=N          faults per service window\n"
+        "  --user-prefetch          prefetch the footprint up front\n"
+        "  --sms=N --warps=N        GPU geometry overrides\n"
+        "  --seed=N                 policy RNG seed\n"
+        "  --stats / --stats-csv    dump the full statistics table\n"
+        "  --analyze                print the access-pattern analysis\n"
+        "  --list                   list available workloads\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts(argc, argv);
+    if (opts.getBool("help")) {
+        usage();
+        return 0;
+    }
+    if (opts.getBool("list")) {
+        std::printf("paper suite :");
+        for (const auto &n : allWorkloadNames())
+            std::printf(" %s", n.c_str());
+        std::printf("\nextensions  :");
+        for (const auto &n : extraWorkloadNames())
+            std::printf(" %s", n.c_str());
+        std::printf("\n");
+        return 0;
+    }
+
+    SimConfig cfg;
+    cfg.oversubscription_percent = opts.getDouble("oversubscription", 0.0);
+    cfg.device_memory_bytes = opts.getUint("device-mb", 0) * sizeMiB;
+    cfg.prefetcher_before =
+        prefetcherFromString(opts.get("prefetcher", "TBNp"));
+    cfg.prefetcher_after = prefetcherFromString(
+        opts.get("prefetcher-after", opts.get("prefetcher", "TBNp")));
+    cfg.eviction = evictionFromString(opts.get("eviction", "TBNe"));
+    cfg.free_buffer_percent = opts.getDouble("buffer", 0.0);
+    cfg.lru_reserve_percent = opts.getDouble("reserve", 0.0);
+    cfg.fault_latency = microseconds(opts.getUint("fault-us", 45));
+    cfg.fault_batch_size =
+        static_cast<std::uint32_t>(opts.getUint("fault-batch", 1));
+    cfg.user_prefetch_footprint = opts.getBool("user-prefetch");
+    cfg.seed = opts.getUint("seed", 1);
+    if (opts.has("sms"))
+        cfg.gpu.num_sms =
+            static_cast<std::uint32_t>(opts.getUint("sms", 28));
+    if (opts.has("warps"))
+        cfg.gpu.max_warps_per_sm =
+            static_cast<std::uint32_t>(opts.getUint("warps", 16));
+
+    WorkloadParams params;
+    params.size_scale = opts.getDouble("scale", 1.0);
+    params.iterations = opts.getUint("iterations", 0);
+    params.seed = opts.getUint("workload-seed", 42);
+
+    std::unique_ptr<Workload> workload;
+    if (opts.has("trace")) {
+        workload =
+            makeTraceWorkloadFromFile(opts.get("trace"), params);
+    } else {
+        workload = makeWorkload(opts.get("workload", "hotspot"), params);
+    }
+
+    Simulator sim(cfg);
+    AccessPatternAnalyzer analyzer;
+    bool analyze = opts.getBool("analyze");
+    if (analyze)
+        attachAnalyzer(sim, analyzer);
+
+    RunResult r = sim.run(*workload);
+
+    std::printf("workload        : %s\n", r.workload.c_str());
+    std::printf("config          : prefetch %s -> %s, evict %s, "
+                "oversub %.0f%%\n",
+                toString(cfg.prefetcher_before).c_str(),
+                toString(cfg.prefetcher_after).c_str(),
+                toString(cfg.eviction).c_str(),
+                cfg.oversubscription_percent);
+    std::printf("footprint       : %.1f MB (device %.1f MB)\n",
+                static_cast<double>(r.footprint_bytes) / (1 << 20),
+                static_cast<double>(r.device_memory_bytes) / (1 << 20));
+    std::printf("kernel time     : %.3f ms\n", r.kernelTimeMs());
+    std::printf("far faults      : %.0f\n", r.farFaults());
+    std::printf("pages migrated  : %.0f (evicted %.0f, thrashed %.0f)\n",
+                r.pagesMigrated(), r.pagesEvicted(), r.pagesThrashed());
+    std::printf("PCI-e read BW   : %.2f GB/s\n",
+                r.avgReadBandwidthGBps());
+
+    if (analyze)
+        std::printf("access pattern  : %s\n", analyzer.report().c_str());
+
+    if (opts.getBool("stats-csv")) {
+        std::printf("\nstat,value\n");
+        for (const auto &[stat, value] : r.stats)
+            std::printf("%s,%g\n", stat.c_str(), value);
+    } else if (opts.getBool("stats")) {
+        std::printf("\n");
+        for (const auto &[stat, value] : r.stats)
+            std::printf("%-36s %g\n", stat.c_str(), value);
+    }
+    return 0;
+}

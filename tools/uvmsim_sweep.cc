@@ -1,0 +1,134 @@
+/**
+ * @file
+ * uvmsim_sweep -- generic one-dimensional parameter sweeps.
+ *
+ * Sweeps one configuration axis over a set of workloads and prints a
+ * metric table, so new experiments don't require writing a bench
+ * binary.
+ *
+ * Examples:
+ *   uvmsim_sweep --axis=oversubscription --values=105,110,125,150 \
+ *                --benchmarks=hotspot,nw --metric=kernel_ms
+ *   uvmsim_sweep --axis=eviction --values=LRU4K,Re,SLe,TBNe,LRU2MB \
+ *                --oversubscription=110 --metric=pages_thrashed
+ *   uvmsim_sweep --axis=fault-us --values=15,30,45,90
+ *   uvmsim_sweep --axis=reserve --values=0,5,10,20,40
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "api/simulator.hh"
+#include "sim/options.hh"
+
+using namespace uvmsim;
+
+namespace
+{
+
+SimConfig
+baseConfig(const Options &opts)
+{
+    SimConfig cfg;
+    cfg.oversubscription_percent =
+        opts.getDouble("oversubscription", 110.0);
+    cfg.prefetcher_before =
+        prefetcherFromString(opts.get("prefetcher", "TBNp"));
+    cfg.prefetcher_after = prefetcherFromString(
+        opts.get("prefetcher-after", opts.get("prefetcher", "TBNp")));
+    cfg.eviction = evictionFromString(opts.get("eviction", "TBNe"));
+    cfg.lru_reserve_percent = opts.getDouble("reserve", 0.0);
+    cfg.free_buffer_percent = opts.getDouble("buffer", 0.0);
+    cfg.seed = opts.getUint("seed", 1);
+    return cfg;
+}
+
+void
+applyAxis(SimConfig &cfg, const std::string &axis,
+          const std::string &value)
+{
+    if (axis == "oversubscription") {
+        cfg.oversubscription_percent = std::strtod(value.c_str(), nullptr);
+    } else if (axis == "eviction") {
+        cfg.eviction = evictionFromString(value);
+    } else if (axis == "prefetcher") {
+        cfg.prefetcher_before = prefetcherFromString(value);
+        cfg.prefetcher_after = cfg.prefetcher_before;
+    } else if (axis == "reserve") {
+        cfg.lru_reserve_percent = std::strtod(value.c_str(), nullptr);
+    } else if (axis == "buffer") {
+        cfg.free_buffer_percent = std::strtod(value.c_str(), nullptr);
+    } else if (axis == "fault-us") {
+        cfg.fault_latency = microseconds(
+            std::strtoull(value.c_str(), nullptr, 10));
+    } else if (axis == "fault-batch") {
+        cfg.fault_batch_size = static_cast<std::uint32_t>(
+            std::strtoul(value.c_str(), nullptr, 10));
+    } else if (axis == "warps") {
+        cfg.gpu.max_warps_per_sm = static_cast<std::uint32_t>(
+            std::strtoul(value.c_str(), nullptr, 10));
+    } else if (axis == "walkers") {
+        cfg.page_walkers = static_cast<std::uint32_t>(
+            std::strtoul(value.c_str(), nullptr, 10));
+    } else {
+        fatal("unknown sweep axis '%s' (oversubscription|eviction|"
+              "prefetcher|reserve|buffer|fault-us|fault-batch|warps|"
+              "walkers)",
+              axis.c_str());
+    }
+}
+
+double
+metric(const RunResult &r, const std::string &name)
+{
+    if (name == "kernel_ms")
+        return r.kernelTimeMs();
+    if (name == "far_faults")
+        return r.farFaults();
+    if (name == "pages_migrated")
+        return r.pagesMigrated();
+    if (name == "pages_evicted")
+        return r.pagesEvicted();
+    if (name == "pages_thrashed")
+        return r.pagesThrashed();
+    if (name == "read_bw_gbps")
+        return r.avgReadBandwidthGBps();
+    // Fall through to a raw stat name.
+    return r.stat(name);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts(argc, argv);
+    std::string axis = opts.get("axis", "oversubscription");
+    auto values = opts.getList("values", {"105", "110", "125", "150"});
+    auto benchmarks = opts.getList("benchmarks", allWorkloadNames());
+    std::string metric_name = opts.get("metric", "kernel_ms");
+
+    WorkloadParams params;
+    params.size_scale = opts.getDouble("scale", 1.0);
+    params.seed = opts.getUint("workload-seed", 42);
+
+    std::printf("sweep: axis=%s metric=%s\n", axis.c_str(),
+                metric_name.c_str());
+    std::printf("%-12s", "benchmark");
+    for (const auto &v : values)
+        std::printf(" %14s", v.c_str());
+    std::printf("\n");
+
+    for (const std::string &bench : benchmarks) {
+        std::printf("%-12s", bench.c_str());
+        for (const std::string &value : values) {
+            SimConfig cfg = baseConfig(opts);
+            applyAxis(cfg, axis, value);
+            RunResult r = runBenchmark(bench, cfg, params);
+            std::printf(" %14.3f", metric(r, metric_name));
+            std::fflush(stdout);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}
