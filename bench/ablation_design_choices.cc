@@ -42,11 +42,13 @@ main(int argc, char **argv)
     bench::printHeader("Ablations A2-A5",
                        "modeling/design choice sensitivity (kernel ms)");
 
-    // ---- A2: PCI-e model kind (TBNp, fits in memory) ----
-    std::printf("\n## A2: PCI-e timing model (TBNp, fits)\n");
-    bench::printRow("benchmark", {"interpolated", "affine"});
-    for (const std::string &name : subset(opts)) {
-        std::vector<std::string> cells;
+    // Phase 1: queue every cell of every section into one batch.
+    const auto names = subset(opts);
+    bench::Batch batch(opts);
+
+    std::vector<std::vector<std::size_t>> a2_handles;
+    for (const std::string &name : names) {
+        std::vector<std::size_t> row;
         for (PcieModelKind kind :
              {PcieModelKind::interpolated, PcieModelKind::affine}) {
             SimConfig cfg;
@@ -54,34 +56,28 @@ main(int argc, char **argv)
                 PrefetcherKind::treeBasedNeighborhood;
             cfg.prefetcher_after = PrefetcherKind::treeBasedNeighborhood;
             cfg.pcie_model = kind;
-            cells.push_back(bench::fmt(
-                bench::run(name, cfg, params).kernelTimeMs()));
+            row.push_back(batch.add(name, cfg, params));
         }
-        bench::printRow(name, cells);
+        a2_handles.push_back(row);
     }
 
-    // ---- A3: fault service latency ----
-    std::printf("\n## A3: far-fault service latency (TBNp, fits)\n");
-    bench::printRow("benchmark", {"30us", "45us", "60us"});
-    for (const std::string &name : subset(opts)) {
-        std::vector<std::string> cells;
+    std::vector<std::vector<std::size_t>> a3_handles;
+    for (const std::string &name : names) {
+        std::vector<std::size_t> row;
         for (std::uint64_t us : {30ull, 45ull, 60ull}) {
             SimConfig cfg;
             cfg.prefetcher_before =
                 PrefetcherKind::treeBasedNeighborhood;
             cfg.prefetcher_after = PrefetcherKind::treeBasedNeighborhood;
             cfg.fault_latency = microseconds(us);
-            cells.push_back(bench::fmt(
-                bench::run(name, cfg, params).kernelTimeMs()));
+            row.push_back(batch.add(name, cfg, params));
         }
-        bench::printRow(name, cells);
+        a3_handles.push_back(row);
     }
 
-    // ---- A4: whole-unit write-back vs dirty-only (TBNe+TBNp, 110%) ----
-    std::printf("\n## A4: write-back policy (TBNe+TBNp, WS=110%%)\n");
-    bench::printRow("benchmark", {"whole_unit", "dirty_only"});
-    for (const std::string &name : subset(opts)) {
-        std::vector<std::string> cells;
+    std::vector<std::vector<std::size_t>> a4_handles;
+    for (const std::string &name : names) {
+        std::vector<std::size_t> row;
         for (bool whole : {true, false}) {
             SimConfig cfg;
             cfg.prefetcher_before =
@@ -90,23 +86,19 @@ main(int argc, char **argv)
             cfg.eviction = EvictionKind::treeBasedNeighborhood;
             cfg.oversubscription_percent = 110.0;
             cfg.whole_unit_writeback = whole;
-            cells.push_back(bench::fmt(
-                bench::run(name, cfg, params).kernelTimeMs()));
+            row.push_back(batch.add(name, cfg, params));
         }
-        bench::printRow(name, cells);
+        a4_handles.push_back(row);
     }
 
-    // ---- A5: MRU vs LRU reservation (prefetch disabled after cap) ----
-    std::printf("\n## A5: anti-thrash fix: MRU vs 10%% LRU reservation "
-                "(4KB on-demand after capacity, WS=110%%)\n");
-    bench::printRow("benchmark", {"LRU", "MRU", "LRU+reserve10"});
-    for (const std::string &name : subset(opts)) {
-        std::vector<std::string> cells;
-        struct Variant
-        {
-            EvictionKind ev;
-            double reserve;
-        };
+    struct Variant
+    {
+        EvictionKind ev;
+        double reserve;
+    };
+    std::vector<std::vector<std::size_t>> a5_handles;
+    for (const std::string &name : names) {
+        std::vector<std::size_t> row;
         for (const Variant &v :
              {Variant{EvictionKind::lru4k, 0.0},
               Variant{EvictionKind::mru4k, 0.0},
@@ -118,28 +110,59 @@ main(int argc, char **argv)
             cfg.eviction = v.ev;
             cfg.lru_reserve_percent = v.reserve;
             cfg.oversubscription_percent = 110.0;
-            cells.push_back(bench::fmt(
-                bench::run(name, cfg, params).kernelTimeMs()));
+            row.push_back(batch.add(name, cfg, params));
         }
-        bench::printRow(name, cells);
+        a5_handles.push_back(row);
     }
 
-    // ---- A6: fault-engine batch size (on-demand paging) ----
-    std::printf("\n## A6: fault services per 45us window "
-                "(no prefetching -- the worst case for seriality)\n");
-    bench::printRow("benchmark", {"batch1", "batch4", "batch16"});
-    for (const std::string &name : subset(opts)) {
-        std::vector<std::string> cells;
-        for (std::uint32_t batch : {1u, 4u, 16u}) {
+    std::vector<std::vector<std::size_t>> a6_handles;
+    for (const std::string &name : names) {
+        std::vector<std::size_t> row;
+        for (std::uint32_t faults_per_window : {1u, 4u, 16u}) {
             SimConfig cfg;
             cfg.prefetcher_before = PrefetcherKind::none;
             cfg.prefetcher_after = PrefetcherKind::none;
-            cfg.fault_batch_size = batch;
-            cells.push_back(bench::fmt(
-                bench::run(name, cfg, params).kernelTimeMs()));
+            cfg.fault_batch_size = faults_per_window;
+            row.push_back(batch.add(name, cfg, params));
         }
-        bench::printRow(name, cells);
+        a6_handles.push_back(row);
     }
+
+    batch.run();
+
+    // Phase 2: format each section from the resolved results.
+    auto printSection = [&](const std::vector<std::vector<std::size_t>>
+                                &handles) {
+        for (std::size_t b = 0; b < names.size(); ++b) {
+            std::vector<std::string> cells;
+            for (std::size_t h : handles[b])
+                cells.push_back(
+                    bench::fmt(batch.result(h).kernelTimeMs()));
+            bench::printRow(names[b], cells);
+        }
+    };
+
+    std::printf("\n## A2: PCI-e timing model (TBNp, fits)\n");
+    bench::printRow("benchmark", {"interpolated", "affine"});
+    printSection(a2_handles);
+
+    std::printf("\n## A3: far-fault service latency (TBNp, fits)\n");
+    bench::printRow("benchmark", {"30us", "45us", "60us"});
+    printSection(a3_handles);
+
+    std::printf("\n## A4: write-back policy (TBNe+TBNp, WS=110%%)\n");
+    bench::printRow("benchmark", {"whole_unit", "dirty_only"});
+    printSection(a4_handles);
+
+    std::printf("\n## A5: anti-thrash fix: MRU vs 10%% LRU reservation "
+                "(4KB on-demand after capacity, WS=110%%)\n");
+    bench::printRow("benchmark", {"LRU", "MRU", "LRU+reserve10"});
+    printSection(a5_handles);
+
+    std::printf("\n## A6: fault services per 45us window "
+                "(no prefetching -- the worst case for seriality)\n");
+    bench::printRow("benchmark", {"batch1", "batch4", "batch16"});
+    printSection(a6_handles);
 
     std::printf("\n# A2: shapes must be insensitive to the fit choice. "
                 "A3: on-demand-dominated runs scale with latency.\n"

@@ -12,6 +12,7 @@
 
 #include <cstdio>
 #include <functional>
+#include <utility>
 
 #include "bench_util.hh"
 
@@ -22,9 +23,9 @@ namespace
 
 const std::vector<std::string> kSubset = {"hotspot", "nw", "srad"};
 
-double
-speedup(const std::string &name, const WorkloadParams &params,
-        std::function<void(SimConfig &)> tweak)
+/** The naive/tree config pair whose ratio is the headline speedup. */
+std::pair<SimConfig, SimConfig>
+speedupConfigs(const std::function<void(SimConfig &)> &tweak)
 {
     SimConfig naive;
     naive.oversubscription_percent = 110.0;
@@ -36,10 +37,7 @@ speedup(const std::string &name, const WorkloadParams &params,
     SimConfig tree = naive;
     tree.prefetcher_after = PrefetcherKind::treeBasedNeighborhood;
     tree.eviction = EvictionKind::treeBasedNeighborhood;
-
-    double naive_ms = bench::run(name, naive, params).kernelTimeMs();
-    double tree_ms = bench::run(name, tree, params).kernelTimeMs();
-    return naive_ms / tree_ms;
+    return {naive, tree};
 }
 
 } // namespace
@@ -76,13 +74,27 @@ main(int argc, char **argv)
         header.push_back(v.label);
     bench::printRow("benchmark", header);
 
+    bench::Batch batch(opts);
+    std::vector<std::vector<std::pair<std::size_t, std::size_t>>> handles;
     for (const std::string &name : benchmarks) {
-        std::vector<std::string> cells;
+        std::vector<std::pair<std::size_t, std::size_t>> row;
         for (const auto &v : variants) {
-            double s = speedup(name, params, v.tweak);
+            auto [naive, tree] = speedupConfigs(v.tweak);
+            row.emplace_back(batch.add(name, naive, params),
+                             batch.add(name, tree, params));
+        }
+        handles.push_back(row);
+    }
+    batch.run();
+
+    for (std::size_t b = 0; b < benchmarks.size(); ++b) {
+        std::vector<std::string> cells;
+        for (const auto &[naive_h, tree_h] : handles[b]) {
+            double s = batch.result(naive_h).kernelTimeMs() /
+                       batch.result(tree_h).kernelTimeMs();
             cells.push_back(bench::fmt(s, 2) + "x");
         }
-        bench::printRow(name, cells);
+        bench::printRow(benchmarks[b], cells);
     }
     std::printf("# the TBN advantage is a property of the UVM layer, "
                 "not of a particular GPU-side configuration\n");

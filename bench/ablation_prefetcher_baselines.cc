@@ -33,16 +33,27 @@ main(int argc, char **argv)
 
     bench::printRow("benchmark", {"SLp", "TBNp", "SGp", "ZLp"});
 
-    for (const std::string &name : bench::selectedBenchmarks(opts)) {
-        std::vector<std::string> cells;
+    const auto benchmarks = bench::selectedBenchmarks(opts);
+    bench::Batch batch(opts);
+    std::vector<std::vector<std::size_t>> handles;
+    for (const std::string &name : benchmarks) {
+        std::vector<std::size_t> row;
         for (PrefetcherKind pf : prefetchers) {
             SimConfig cfg;
             cfg.prefetcher_before = pf;
             cfg.prefetcher_after = pf;
-            cells.push_back(bench::fmt(
-                bench::run(name, cfg, params).kernelTimeMs()));
+            row.push_back(batch.add(name, cfg, params));
         }
-        bench::printRow(name, cells);
+        handles.push_back(row);
+    }
+    batch.run();
+
+    for (std::size_t b = 0; b < benchmarks.size(); ++b) {
+        std::vector<std::string> cells;
+        for (std::size_t h : handles[b])
+            cells.push_back(
+                bench::fmt(batch.result(h).kernelTimeMs()));
+        bench::printRow(benchmarks[b], cells);
     }
     std::printf("# TBNp's adaptive grouping should match or beat the "
                 "fixed-run baselines across patterns\n");

@@ -1,11 +1,34 @@
 #include "bench_util.hh"
 
+#include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <mutex>
 #include <sstream>
 
 namespace uvmsim::bench
 {
+
+namespace
+{
+
+/** One "[bench] ..." progress line, serialized against other output. */
+void
+progressLine(const std::string &benchmark, const SimConfig &config,
+             const char *counter)
+{
+    std::lock_guard<std::mutex> lock(outputMutex());
+    std::fprintf(stderr, "[bench%s] %-10s prefetch=%s/%s evict=%s "
+                 "oversub=%.0f%% buffer=%.0f%% reserve=%.0f%%...\n",
+                 counter, benchmark.c_str(),
+                 toString(config.prefetcher_before).c_str(),
+                 toString(config.prefetcher_after).c_str(),
+                 toString(config.eviction).c_str(),
+                 config.oversubscription_percent,
+                 config.free_buffer_percent, config.lru_reserve_percent);
+}
+
+} // namespace
 
 std::vector<std::string>
 selectedBenchmarks(const Options &opts)
@@ -20,6 +43,12 @@ workloadParams(const Options &opts)
     params.size_scale = opts.getDouble("scale", 1.0);
     params.seed = opts.getUint("seed", 42);
     return params;
+}
+
+std::size_t
+jobCount(const Options &opts)
+{
+    return static_cast<std::size_t>(opts.getUint("jobs", 0));
 }
 
 void
@@ -62,8 +91,11 @@ geomean(const std::vector<double> &values)
     if (values.empty())
         return 0.0;
     double log_sum = 0.0;
-    for (double v : values)
+    for (double v : values) {
+        if (!(v > 0.0))
+            fatal("geomean requires positive values, got %g", v);
         log_sum += std::log(v);
+    }
     return std::exp(log_sum / static_cast<double>(values.size()));
 }
 
@@ -71,15 +103,23 @@ RunResult
 run(const std::string &benchmark, const SimConfig &config,
     const WorkloadParams &params)
 {
-    std::fprintf(stderr, "[bench] %-10s prefetch=%s/%s evict=%s "
-                 "oversub=%.0f%% buffer=%.0f%% reserve=%.0f%%...\n",
-                 benchmark.c_str(),
-                 toString(config.prefetcher_before).c_str(),
-                 toString(config.prefetcher_after).c_str(),
-                 toString(config.eviction).c_str(),
-                 config.oversubscription_percent,
-                 config.free_buffer_percent, config.lru_reserve_percent);
+    progressLine(benchmark, config, "");
     return runBenchmark(benchmark, config, params);
+}
+
+std::vector<RunResult>
+runAll(const std::vector<RunJob> &jobs, const Options &opts)
+{
+    RunExecutor executor(jobCount(opts));
+    std::atomic<std::size_t> started{0};
+    const std::size_t total = jobs.size();
+    auto progress = [&started, total](const RunJob &job, std::size_t) {
+        char counter[32];
+        std::snprintf(counter, sizeof(counter), " %zu/%zu",
+                      started.fetch_add(1) + 1, total);
+        progressLine(job.workload, job.config, counter);
+    };
+    return executor.runBatch(jobs, progress);
 }
 
 } // namespace uvmsim::bench

@@ -7,15 +7,23 @@
  * prints the same rows/series the paper reports, normalized the same
  * way.  Command-line options (see printStandardOptions) select subsets
  * for quick runs.
+ *
+ * Harnesses queue every (benchmark, config) cell of their sweep into a
+ * Batch, execute it once -- in parallel on a RunExecutor pool sized by
+ * --jobs -- and then format rows from the resolved results.  Output is
+ * bit-identical for every --jobs value; only wall-clock time changes.
  */
 
 #ifndef UVMSIM_BENCH_BENCH_UTIL_HH
 #define UVMSIM_BENCH_BENCH_UTIL_HH
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
+#include "api/run_executor.hh"
 #include "api/simulator.hh"
+#include "sim/logging.hh"
 #include "sim/options.hh"
 
 namespace uvmsim::bench
@@ -26,6 +34,12 @@ std::vector<std::string> selectedBenchmarks(const Options &opts);
 
 /** Workload parameters honoring --scale / --seed. */
 WorkloadParams workloadParams(const Options &opts);
+
+/**
+ * Worker-pool size selected by --jobs (0 and the default mean
+ * hardware concurrency; --jobs=1 restores serial execution).
+ */
+std::size_t jobCount(const Options &opts);
 
 /** Print the standard header: figure id, description, options. */
 void printHeader(const std::string &figure, const std::string &what);
@@ -38,7 +52,11 @@ void printRow(const std::string &label,
 std::string fmt(double v, int precision = 3);
 std::string fmtInt(double v);
 
-/** Geometric mean of positive values. */
+/**
+ * Geometric mean.  Returns 0.0 for an empty input; fatal()s on
+ * non-positive values (their logarithm is undefined, so any result
+ * would be garbage).
+ */
 double geomean(const std::vector<double> &values);
 
 /**
@@ -47,6 +65,67 @@ double geomean(const std::vector<double> &values);
  */
 RunResult run(const std::string &benchmark, const SimConfig &config,
               const WorkloadParams &params);
+
+/**
+ * Run a whole batch of jobs on a RunExecutor pool sized by --jobs,
+ * echoing one progress line per simulated job.  Results come back in
+ * submission order; duplicate sweep points are simulated once.
+ */
+std::vector<RunResult> runAll(const std::vector<RunJob> &jobs,
+                              const Options &opts);
+
+/**
+ * Deferred sweep execution for the figure harnesses: add() every cell
+ * up front (it returns a handle), run() the whole batch through
+ * runAll(), then read result(handle) while formatting rows.
+ */
+class Batch
+{
+  public:
+    explicit Batch(const Options &opts)
+        : opts_(opts)
+    {}
+
+    /** Queue one run; the handle resolves after run(). */
+    std::size_t
+    add(const std::string &benchmark, const SimConfig &config,
+        const WorkloadParams &params)
+    {
+        if (ran_)
+            fatal("bench::Batch: add() after run()");
+        jobs_.push_back(RunJob{benchmark, config, params});
+        return jobs_.size() - 1;
+    }
+
+    /** Execute every queued job (parallel, deterministic). */
+    void
+    run()
+    {
+        if (ran_)
+            fatal("bench::Batch: run() called twice");
+        results_ = runAll(jobs_, opts_);
+        ran_ = true;
+    }
+
+    /** The result for a handle returned by add(). */
+    const RunResult &
+    result(std::size_t handle) const
+    {
+        if (!ran_)
+            fatal("bench::Batch: result() before run()");
+        if (handle >= results_.size())
+            fatal("bench::Batch: bad handle %zu", handle);
+        return results_[handle];
+    }
+
+    std::size_t size() const { return jobs_.size(); }
+
+  private:
+    const Options &opts_;
+    std::vector<RunJob> jobs_;
+    std::vector<RunResult> results_;
+    bool ran_ = false;
+};
 
 } // namespace uvmsim::bench
 

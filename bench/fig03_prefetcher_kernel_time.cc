@@ -34,16 +34,25 @@ main(int argc, char **argv)
     bench::printRow("benchmark", {"none_ms", "Rp_ms", "SLp_ms",
                                   "TBNp_ms", "Rp_x", "SLp_x", "TBNp_x"});
 
-    std::map<PrefetcherKind, std::vector<double>> speedups;
-    for (const std::string &name : bench::selectedBenchmarks(opts)) {
-        std::map<PrefetcherKind, double> ms;
+    const auto benchmarks = bench::selectedBenchmarks(opts);
+    bench::Batch batch(opts);
+    std::map<std::string, std::map<PrefetcherKind, std::size_t>> handles;
+    for (const std::string &name : benchmarks) {
         for (PrefetcherKind pf : prefetchers) {
             SimConfig cfg;
             cfg.prefetcher_before = pf;
             cfg.prefetcher_after = pf;
             cfg.oversubscription_percent = 0.0;
-            ms[pf] = bench::run(name, cfg, params).kernelTimeMs();
+            handles[name][pf] = batch.add(name, cfg, params);
         }
+    }
+    batch.run();
+
+    std::map<PrefetcherKind, std::vector<double>> speedups;
+    for (const std::string &name : benchmarks) {
+        std::map<PrefetcherKind, double> ms;
+        for (PrefetcherKind pf : prefetchers)
+            ms[pf] = batch.result(handles[name][pf]).kernelTimeMs();
         double base = ms[PrefetcherKind::none];
         for (PrefetcherKind pf : prefetchers) {
             if (pf != PrefetcherKind::none)

@@ -32,19 +32,31 @@ main(int argc, char **argv)
     bench::printRow("benchmark",
                     {"none", "Rp", "SLp", "TBNp"});
 
+    const auto benchmarks = bench::selectedBenchmarks(opts);
+    bench::Batch batch(opts);
+    std::vector<std::vector<std::size_t>> handles;
+    for (const std::string &name : benchmarks) {
+        std::vector<std::size_t> row;
+        for (PrefetcherKind pf : prefetchers) {
+            SimConfig cfg;
+            cfg.prefetcher_before = pf;
+            cfg.prefetcher_after = pf;
+            row.push_back(batch.add(name, cfg, params));
+        }
+        handles.push_back(row);
+    }
+    batch.run();
+
     std::vector<std::vector<double>> columns(prefetchers.size());
-    for (const std::string &name : bench::selectedBenchmarks(opts)) {
+    for (std::size_t b = 0; b < benchmarks.size(); ++b) {
         std::vector<std::string> cells;
         for (std::size_t i = 0; i < prefetchers.size(); ++i) {
-            SimConfig cfg;
-            cfg.prefetcher_before = prefetchers[i];
-            cfg.prefetcher_after = prefetchers[i];
             double bw =
-                bench::run(name, cfg, params).avgReadBandwidthGBps();
+                batch.result(handles[b][i]).avgReadBandwidthGBps();
             columns[i].push_back(bw);
             cells.push_back(bench::fmt(bw, 2));
         }
-        bench::printRow(name, cells);
+        bench::printRow(benchmarks[b], cells);
     }
 
     std::vector<std::string> means;

@@ -33,14 +33,26 @@ main(int argc, char **argv)
     bench::printRow("benchmark",
                     {"none", "Rp", "SLp", "TBNp", "TBNp_reduction"});
 
-    for (const std::string &name : bench::selectedBenchmarks(opts)) {
-        std::vector<double> faults;
+    const auto benchmarks = bench::selectedBenchmarks(opts);
+    bench::Batch batch(opts);
+    std::vector<std::vector<std::size_t>> handles;
+    for (const std::string &name : benchmarks) {
+        std::vector<std::size_t> row;
         for (PrefetcherKind pf : prefetchers) {
             SimConfig cfg;
             cfg.prefetcher_before = pf;
             cfg.prefetcher_after = pf;
-            faults.push_back(bench::run(name, cfg, params).farFaults());
+            row.push_back(batch.add(name, cfg, params));
         }
+        handles.push_back(row);
+    }
+    batch.run();
+
+    for (std::size_t b = 0; b < benchmarks.size(); ++b) {
+        const std::string &name = benchmarks[b];
+        std::vector<double> faults;
+        for (std::size_t h : handles[b])
+            faults.push_back(batch.result(h).farFaults());
         bench::printRow(name,
                         {bench::fmtInt(faults[0]), bench::fmtInt(faults[1]),
                          bench::fmtInt(faults[2]), bench::fmtInt(faults[3]),

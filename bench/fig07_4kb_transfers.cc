@@ -50,8 +50,11 @@ main(int argc, char **argv)
         header.push_back(s.label);
     bench::printRow("benchmark", header);
 
-    for (const std::string &name : bench::selectedBenchmarks(opts)) {
-        std::vector<std::string> cells;
+    const auto benchmarks = bench::selectedBenchmarks(opts);
+    bench::Batch batch(opts);
+    std::vector<std::vector<std::size_t>> handles;
+    for (const std::string &name : benchmarks) {
+        std::vector<std::size_t> row;
         for (const auto &s : settings) {
             SimConfig cfg;
             cfg.prefetcher_before =
@@ -63,12 +66,21 @@ main(int argc, char **argv)
             cfg.eviction = EvictionKind::lru4k;
             cfg.oversubscription_percent = s.oversub;
             cfg.free_buffer_percent = s.buffer;
-            RunResult r = bench::run(name, cfg, params);
+            row.push_back(batch.add(name, cfg, params));
+        }
+        handles.push_back(row);
+    }
+    batch.run();
+
+    for (std::size_t b = 0; b < benchmarks.size(); ++b) {
+        std::vector<std::string> cells;
+        for (std::size_t h : handles[b]) {
+            const RunResult &r = batch.result(h);
             double transfers =
                 r.pagesMigrated() + r.stat("gmmu.pages_written_back");
             cells.push_back(bench::fmtInt(transfers));
         }
-        bench::printRow(name, cells);
+        bench::printRow(benchmarks[b], cells);
     }
     std::printf("# paper shape: transfer counts explode under "
                 "over-subscription and with the free-page buffer\n");

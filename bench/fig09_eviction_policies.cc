@@ -39,8 +39,11 @@ main(int argc, char **argv)
                     {"LRU4K_ms", "Re_ms", "SLe_ms", "TBNe_ms",
                      "Re_vs_LRU"});
 
-    for (const std::string &name : bench::selectedBenchmarks(opts)) {
-        std::vector<double> ms;
+    const auto benchmarks = bench::selectedBenchmarks(opts);
+    bench::Batch batch(opts);
+    std::vector<std::vector<std::size_t>> handles;
+    for (const std::string &name : benchmarks) {
+        std::vector<std::size_t> row;
         for (EvictionKind ev : policies) {
             SimConfig cfg;
             cfg.prefetcher_before =
@@ -48,8 +51,17 @@ main(int argc, char **argv)
             cfg.prefetcher_after = PrefetcherKind::none;
             cfg.eviction = ev;
             cfg.oversubscription_percent = 110.0;
-            ms.push_back(bench::run(name, cfg, params).kernelTimeMs());
+            row.push_back(batch.add(name, cfg, params));
         }
+        handles.push_back(row);
+    }
+    batch.run();
+
+    for (std::size_t b = 0; b < benchmarks.size(); ++b) {
+        const std::string &name = benchmarks[b];
+        std::vector<double> ms;
+        for (std::size_t h : handles[b])
+            ms.push_back(batch.result(h).kernelTimeMs());
         bench::printRow(name,
                         {bench::fmt(ms[0]), bench::fmt(ms[1]),
                          bench::fmt(ms[2]), bench::fmt(ms[3]),

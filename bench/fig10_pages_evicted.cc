@@ -28,8 +28,11 @@ main(int argc, char **argv)
 
     bench::printRow("benchmark", {"LRU4K", "Re", "SLe", "TBNe"});
 
-    for (const std::string &name : bench::selectedBenchmarks(opts)) {
-        std::vector<std::string> cells;
+    const auto benchmarks = bench::selectedBenchmarks(opts);
+    bench::Batch batch(opts);
+    std::vector<std::vector<std::size_t>> handles;
+    for (const std::string &name : benchmarks) {
+        std::vector<std::size_t> row;
         for (EvictionKind ev : policies) {
             SimConfig cfg;
             cfg.prefetcher_before =
@@ -37,10 +40,18 @@ main(int argc, char **argv)
             cfg.prefetcher_after = PrefetcherKind::none;
             cfg.eviction = ev;
             cfg.oversubscription_percent = 110.0;
-            cells.push_back(bench::fmtInt(
-                bench::run(name, cfg, params).pagesEvicted()));
+            row.push_back(batch.add(name, cfg, params));
         }
-        bench::printRow(name, cells);
+        handles.push_back(row);
+    }
+    batch.run();
+
+    for (std::size_t b = 0; b < benchmarks.size(); ++b) {
+        std::vector<std::string> cells;
+        for (std::size_t h : handles[b])
+            cells.push_back(
+                bench::fmtInt(batch.result(h).pagesEvicted()));
+        bench::printRow(benchmarks[b], cells);
     }
     std::printf("# paper shape: eviction counts track the Figure 9 "
                 "kernel times\n");

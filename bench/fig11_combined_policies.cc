@@ -56,9 +56,11 @@ main(int argc, char **argv)
                     {"LRU4K+none", "Re+Rp", "SLe+SLp", "TBNe+TBNp",
                      "TBN_speedup"});
 
-    std::vector<double> tbn_speedups;
-    for (const std::string &name : bench::selectedBenchmarks(opts)) {
-        std::vector<double> ms;
+    const auto benchmarks = bench::selectedBenchmarks(opts);
+    bench::Batch batch(opts);
+    std::vector<std::vector<std::size_t>> handles;
+    for (const std::string &name : benchmarks) {
+        std::vector<std::size_t> row;
         for (const Combo &combo : combos) {
             SimConfig cfg;
             cfg.prefetcher_before =
@@ -66,8 +68,18 @@ main(int argc, char **argv)
             cfg.prefetcher_after = combo.prefetcher_after;
             cfg.eviction = combo.eviction;
             cfg.oversubscription_percent = 110.0;
-            ms.push_back(bench::run(name, cfg, params).kernelTimeMs());
+            row.push_back(batch.add(name, cfg, params));
         }
+        handles.push_back(row);
+    }
+    batch.run();
+
+    std::vector<double> tbn_speedups;
+    for (std::size_t b = 0; b < benchmarks.size(); ++b) {
+        const std::string &name = benchmarks[b];
+        std::vector<double> ms;
+        for (std::size_t h : handles[b])
+            ms.push_back(batch.result(h).kernelTimeMs());
         double speedup = ms[0] / ms[3];
         tbn_speedups.push_back(speedup);
         bench::printRow(name,

@@ -29,21 +29,35 @@ main(int argc, char **argv)
     bench::printRow("benchmark",
                     {"fits_ms", "110%", "125%", "150%"});
 
-    for (const std::string &name : bench::selectedBenchmarks(opts)) {
+    const auto benchmarks = bench::selectedBenchmarks(opts);
+    bench::Batch batch(opts);
+    std::vector<std::size_t> fits_handles;
+    std::vector<std::vector<std::size_t>> handles;
+    for (const std::string &name : benchmarks) {
         SimConfig fits;
         fits.prefetcher_before = PrefetcherKind::treeBasedNeighborhood;
         fits.prefetcher_after = PrefetcherKind::treeBasedNeighborhood;
-        double base_ms = bench::run(name, fits, params).kernelTimeMs();
+        fits_handles.push_back(batch.add(name, fits, params));
 
-        std::vector<std::string> cells{bench::fmt(base_ms)};
+        std::vector<std::size_t> row;
         for (double pct : levels) {
             SimConfig cfg = fits;
             cfg.eviction = EvictionKind::treeBasedNeighborhood;
             cfg.oversubscription_percent = pct;
-            double ms = bench::run(name, cfg, params).kernelTimeMs();
+            row.push_back(batch.add(name, cfg, params));
+        }
+        handles.push_back(row);
+    }
+    batch.run();
+
+    for (std::size_t b = 0; b < benchmarks.size(); ++b) {
+        double base_ms = batch.result(fits_handles[b]).kernelTimeMs();
+        std::vector<std::string> cells{bench::fmt(base_ms)};
+        for (std::size_t h : handles[b]) {
+            double ms = batch.result(h).kernelTimeMs();
             cells.push_back(bench::fmt(ms / base_ms, 2) + "x");
         }
-        bench::printRow(name, cells);
+        bench::printRow(benchmarks[b], cells);
     }
     std::printf("# paper shape: streaming flat, others roughly linear, "
                 "nw degrades dramatically\n");

@@ -31,8 +31,11 @@ main(int argc, char **argv)
                     {"reserve0_ms", "reserve10_ms", "reserve20_ms",
                      "best"});
 
-    for (const std::string &name : bench::selectedBenchmarks(opts)) {
-        std::vector<double> ms;
+    const auto benchmarks = bench::selectedBenchmarks(opts);
+    bench::Batch batch(opts);
+    std::vector<std::vector<std::size_t>> handles;
+    for (const std::string &name : benchmarks) {
+        std::vector<std::size_t> row;
         for (double pct : reservations) {
             SimConfig cfg;
             cfg.prefetcher_before =
@@ -42,8 +45,17 @@ main(int argc, char **argv)
             cfg.eviction = EvictionKind::treeBasedNeighborhood;
             cfg.oversubscription_percent = 110.0;
             cfg.lru_reserve_percent = pct;
-            ms.push_back(bench::run(name, cfg, params).kernelTimeMs());
+            row.push_back(batch.add(name, cfg, params));
         }
+        handles.push_back(row);
+    }
+    batch.run();
+
+    for (std::size_t b = 0; b < benchmarks.size(); ++b) {
+        const std::string &name = benchmarks[b];
+        std::vector<double> ms;
+        for (std::size_t h : handles[b])
+            ms.push_back(batch.result(h).kernelTimeMs());
         std::size_t best = 0;
         for (std::size_t i = 1; i < ms.size(); ++i) {
             if (ms[i] < ms[best])

@@ -29,11 +29,13 @@ main(int argc, char **argv)
     bench::printRow("benchmark",
                     {"LRU2MB_ms", "TBNe_ms", "improvement"});
 
-    std::vector<double> improvements;
-    for (const std::string &name : bench::selectedBenchmarks(opts)) {
-        double ms[2];
-        EvictionKind kinds[2] = {EvictionKind::lru2mb,
-                                 EvictionKind::treeBasedNeighborhood};
+    const auto benchmarks = bench::selectedBenchmarks(opts);
+    const EvictionKind kinds[2] = {EvictionKind::lru2mb,
+                                   EvictionKind::treeBasedNeighborhood};
+    bench::Batch batch(opts);
+    std::vector<std::vector<std::size_t>> handles;
+    for (const std::string &name : benchmarks) {
+        std::vector<std::size_t> row;
         for (int i = 0; i < 2; ++i) {
             SimConfig cfg;
             cfg.prefetcher_before =
@@ -42,8 +44,18 @@ main(int argc, char **argv)
                 PrefetcherKind::treeBasedNeighborhood;
             cfg.eviction = kinds[i];
             cfg.oversubscription_percent = 110.0;
-            ms[i] = bench::run(name, cfg, params).kernelTimeMs();
+            row.push_back(batch.add(name, cfg, params));
         }
+        handles.push_back(row);
+    }
+    batch.run();
+
+    std::vector<double> improvements;
+    for (std::size_t b = 0; b < benchmarks.size(); ++b) {
+        const std::string &name = benchmarks[b];
+        double ms[2];
+        for (int i = 0; i < 2; ++i)
+            ms[i] = batch.result(handles[b][i]).kernelTimeMs();
         double improvement = (ms[0] - ms[1]) / ms[0] * 100.0;
         improvements.push_back(ms[0] / ms[1]);
         bench::printRow(name,

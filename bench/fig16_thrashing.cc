@@ -28,8 +28,11 @@ main(int argc, char **argv)
     bench::printRow("benchmark",
                     {"2MB@110", "TBNe@110", "2MB@125", "TBNe@125"});
 
-    for (const std::string &name : bench::selectedBenchmarks(opts)) {
-        std::vector<std::string> cells;
+    const auto benchmarks = bench::selectedBenchmarks(opts);
+    bench::Batch batch(opts);
+    std::vector<std::vector<std::size_t>> handles;
+    for (const std::string &name : benchmarks) {
+        std::vector<std::size_t> row;
         for (double pct : {110.0, 125.0}) {
             for (EvictionKind ev :
                  {EvictionKind::lru2mb,
@@ -41,11 +44,19 @@ main(int argc, char **argv)
                     PrefetcherKind::treeBasedNeighborhood;
                 cfg.eviction = ev;
                 cfg.oversubscription_percent = pct;
-                cells.push_back(bench::fmtInt(
-                    bench::run(name, cfg, params).pagesThrashed()));
+                row.push_back(batch.add(name, cfg, params));
             }
         }
-        bench::printRow(name, cells);
+        handles.push_back(row);
+    }
+    batch.run();
+
+    for (std::size_t b = 0; b < benchmarks.size(); ++b) {
+        std::vector<std::string> cells;
+        for (std::size_t h : handles[b])
+            cells.push_back(
+                bench::fmtInt(batch.result(h).pagesThrashed()));
+        bench::printRow(benchmarks[b], cells);
     }
     std::printf("# paper shape: no thrashing for streaming benchmarks; "
                 "TBNe thrashes far less than 2MB eviction\n");

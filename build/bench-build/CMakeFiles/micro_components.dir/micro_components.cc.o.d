@@ -192,7 +192,13 @@ bench-build/CMakeFiles/micro_components.dir/micro_components.cc.o: \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h /root/repo/src/sim/rng.hh \
- /root/repo/src/sim/logging.hh \
+ /root/repo/src/sim/logging.hh /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/ext/atomicity.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/atomic_word.h \
+ /usr/include/x86_64-linux-gnu/sys/single_threaded.h \
  /root/repo/src/interconnect/bandwidth_model.hh \
  /root/repo/src/sim/ticks.hh /root/repo/src/mem/page_table.hh \
  /root/repo/src/sim/stats.hh /usr/include/c++/12/functional \

@@ -225,7 +225,10 @@ examples/CMakeFiles/custom_workload.dir/custom_workload.cpp.o: \
  /root/repo/src/core/residency_tracker.hh /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
  /root/repo/src/sim/rng.hh /root/repo/src/sim/logging.hh \
- /root/repo/src/core/prefetcher.hh \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/core/prefetcher.hh \
  /root/repo/src/interconnect/pcie_link.hh \
  /root/repo/src/interconnect/bandwidth_model.hh \
  /root/repo/src/sim/event_queue.hh /usr/include/c++/12/queue \

@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/api/run_executor.cc" "src/api/CMakeFiles/uvmsim_api.dir/run_executor.cc.o" "gcc" "src/api/CMakeFiles/uvmsim_api.dir/run_executor.cc.o.d"
   "/root/repo/src/api/simulator.cc" "src/api/CMakeFiles/uvmsim_api.dir/simulator.cc.o" "gcc" "src/api/CMakeFiles/uvmsim_api.dir/simulator.cc.o.d"
   )
 

@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/uvmsim_api.dir/run_executor.cc.o"
+  "CMakeFiles/uvmsim_api.dir/run_executor.cc.o.d"
   "CMakeFiles/uvmsim_api.dir/simulator.cc.o"
   "CMakeFiles/uvmsim_api.dir/simulator.cc.o.d"
   "libuvmsim_api.a"

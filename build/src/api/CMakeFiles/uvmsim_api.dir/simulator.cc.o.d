@@ -224,7 +224,10 @@ src/api/CMakeFiles/uvmsim_api.dir/simulator.cc.o: \
  /root/repo/src/core/residency_tracker.hh /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
  /root/repo/src/sim/rng.hh /root/repo/src/sim/logging.hh \
- /root/repo/src/core/prefetcher.hh \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/core/prefetcher.hh \
  /root/repo/src/interconnect/pcie_link.hh \
  /root/repo/src/interconnect/bandwidth_model.hh \
  /root/repo/src/sim/event_queue.hh /usr/include/c++/12/queue \
@@ -236,6 +239,16 @@ src/api/CMakeFiles/uvmsim_api.dir/simulator.cc.o: \
  /root/repo/src/gpu/warp_trace.hh /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h /root/repo/src/gpu/gpu.hh \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/api/run_executor.hh \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/thread \
+ /root/repo/src/api/simulator.hh /root/repo/src/gpu/gpu.hh \
  /root/repo/src/gpu/dram.hh /root/repo/src/gpu/l2_cache.hh \
  /root/repo/src/gpu/sm.hh /root/repo/src/mem/tlb.hh

@@ -218,14 +218,17 @@ src/core/CMakeFiles/uvmsim_core.dir/gmmu.cc.o: \
  /root/repo/src/core/policies.hh /root/repo/src/core/residency_tracker.hh \
  /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
  /usr/include/c++/12/bits/list.tcc /root/repo/src/sim/rng.hh \
- /root/repo/src/sim/logging.hh /root/repo/src/core/prefetcher.hh \
+ /root/repo/src/sim/logging.hh /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/core/prefetcher.hh \
  /root/repo/src/interconnect/pcie_link.hh \
  /root/repo/src/interconnect/bandwidth_model.hh \
- /root/repo/src/sim/ticks.hh /usr/include/c++/12/limits \
- /root/repo/src/sim/event_queue.hh /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/stats.hh \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
+ /root/repo/src/sim/ticks.hh /root/repo/src/sim/event_queue.hh \
+ /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/sim/stats.hh /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
  /root/repo/src/mem/frame_allocator.hh /root/repo/src/mem/mshr.hh \
  /root/repo/src/mem/page_table.hh /usr/include/c++/12/algorithm \

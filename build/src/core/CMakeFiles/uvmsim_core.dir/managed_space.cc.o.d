@@ -205,4 +205,8 @@ src/core/CMakeFiles/uvmsim_core.dir/managed_space.cc.o: \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc \
  /root/repo/src/core/large_page_tree.hh /root/repo/src/mem/types.hh \
- /root/repo/src/sim/logging.hh
+ /root/repo/src/sim/logging.hh /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h

@@ -200,7 +200,11 @@ src/core/CMakeFiles/uvmsim_core.dir/prefetcher.cc.o: \
  /usr/include/c++/12/bits/vector.tcc \
  /root/repo/src/core/large_page_tree.hh /root/repo/src/mem/types.hh \
  /root/repo/src/core/policies.hh /root/repo/src/sim/rng.hh \
- /root/repo/src/sim/logging.hh /usr/include/c++/12/algorithm \
+ /root/repo/src/sim/logging.hh /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \

@@ -202,4 +202,8 @@ src/sim/CMakeFiles/uvmsim_sim.dir/stats.cc.o: /root/repo/src/sim/stats.cc \
  /usr/include/c++/12/bits/basic_ios.tcc /usr/include/c++/12/ostream \
  /usr/include/c++/12/bits/ostream.tcc \
  /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/sim/logging.hh
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/sim/logging.hh \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/std_mutex.h \
+ /usr/include/c++/12/bits/unique_lock.h

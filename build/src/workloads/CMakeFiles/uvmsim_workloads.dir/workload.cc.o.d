@@ -213,5 +213,9 @@ src/workloads/CMakeFiles/uvmsim_workloads.dir/workload.cc.o: \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/gpu/warp_trace.hh \
  /root/repo/src/sim/ticks.hh /usr/include/c++/12/limits \
- /root/repo/src/sim/logging.hh /root/repo/src/workloads/benchmarks.hh \
+ /root/repo/src/sim/logging.hh /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/workloads/benchmarks.hh \
  /root/repo/src/workloads/workload.hh

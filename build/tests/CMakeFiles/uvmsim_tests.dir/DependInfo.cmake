@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/analysis/access_pattern_test.cc" "tests/CMakeFiles/uvmsim_tests.dir/analysis/access_pattern_test.cc.o" "gcc" "tests/CMakeFiles/uvmsim_tests.dir/analysis/access_pattern_test.cc.o.d"
+  "/root/repo/tests/api/run_executor_test.cc" "tests/CMakeFiles/uvmsim_tests.dir/api/run_executor_test.cc.o" "gcc" "tests/CMakeFiles/uvmsim_tests.dir/api/run_executor_test.cc.o.d"
   "/root/repo/tests/bench/bench_util_test.cc" "tests/CMakeFiles/uvmsim_tests.dir/bench/bench_util_test.cc.o" "gcc" "tests/CMakeFiles/uvmsim_tests.dir/bench/bench_util_test.cc.o.d"
   "/root/repo/tests/core/eviction_test.cc" "tests/CMakeFiles/uvmsim_tests.dir/core/eviction_test.cc.o" "gcc" "tests/CMakeFiles/uvmsim_tests.dir/core/eviction_test.cc.o.d"
   "/root/repo/tests/core/extended_policies_test.cc" "tests/CMakeFiles/uvmsim_tests.dir/core/extended_policies_test.cc.o" "gcc" "tests/CMakeFiles/uvmsim_tests.dir/core/extended_policies_test.cc.o.d"
@@ -32,6 +33,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/gpu/sm_features_test.cc" "tests/CMakeFiles/uvmsim_tests.dir/gpu/sm_features_test.cc.o" "gcc" "tests/CMakeFiles/uvmsim_tests.dir/gpu/sm_features_test.cc.o.d"
   "/root/repo/tests/integration/figure_shapes_test.cc" "tests/CMakeFiles/uvmsim_tests.dir/integration/figure_shapes_test.cc.o" "gcc" "tests/CMakeFiles/uvmsim_tests.dir/integration/figure_shapes_test.cc.o.d"
   "/root/repo/tests/integration/golden_regression_test.cc" "tests/CMakeFiles/uvmsim_tests.dir/integration/golden_regression_test.cc.o" "gcc" "tests/CMakeFiles/uvmsim_tests.dir/integration/golden_regression_test.cc.o.d"
+  "/root/repo/tests/integration/parallel_determinism_test.cc" "tests/CMakeFiles/uvmsim_tests.dir/integration/parallel_determinism_test.cc.o" "gcc" "tests/CMakeFiles/uvmsim_tests.dir/integration/parallel_determinism_test.cc.o.d"
   "/root/repo/tests/integration/policy_matrix_test.cc" "tests/CMakeFiles/uvmsim_tests.dir/integration/policy_matrix_test.cc.o" "gcc" "tests/CMakeFiles/uvmsim_tests.dir/integration/policy_matrix_test.cc.o.d"
   "/root/repo/tests/integration/simulation_test.cc" "tests/CMakeFiles/uvmsim_tests.dir/integration/simulation_test.cc.o" "gcc" "tests/CMakeFiles/uvmsim_tests.dir/integration/simulation_test.cc.o.d"
   "/root/repo/tests/interconnect/bandwidth_model_test.cc" "tests/CMakeFiles/uvmsim_tests.dir/interconnect/bandwidth_model_test.cc.o" "gcc" "tests/CMakeFiles/uvmsim_tests.dir/interconnect/bandwidth_model_test.cc.o.d"

@@ -293,11 +293,21 @@ tests/CMakeFiles/uvmsim_tests.dir/bench/bench_util_test.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/bench/bench_util.hh /root/repo/src/api/simulator.hh \
+ /root/repo/bench/bench_util.hh /root/repo/src/api/run_executor.hh \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/mutex /usr/include/c++/12/thread \
+ /root/repo/src/api/simulator.hh \
  /root/repo/src/analysis/access_pattern.hh /root/repo/src/mem/types.hh \
  /root/repo/src/sim/ticks.hh /root/repo/src/core/gmmu.hh \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/core/eviction.hh \
  /root/repo/src/core/managed_space.hh \
  /root/repo/src/core/large_page_tree.hh /root/repo/src/core/policies.hh \

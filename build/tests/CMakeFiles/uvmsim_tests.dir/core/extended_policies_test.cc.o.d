@@ -300,7 +300,9 @@ tests/CMakeFiles/uvmsim_tests.dir/core/extended_policies_test.cc.o: \
  /root/repo/src/core/policies.hh /root/repo/src/core/residency_tracker.hh \
  /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
  /usr/include/c++/12/bits/list.tcc /root/repo/src/sim/rng.hh \
- /root/repo/src/sim/logging.hh /root/repo/src/core/gmmu.hh \
+ /root/repo/src/sim/logging.hh /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/core/gmmu.hh \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \

@@ -297,4 +297,6 @@ tests/CMakeFiles/uvmsim_tests.dir/core/residency_tracker_test.cc.o: \
  /root/repo/src/core/residency_tracker.hh /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
  /root/repo/src/mem/types.hh /root/repo/src/sim/rng.hh \
- /root/repo/src/sim/logging.hh
+ /root/repo/src/sim/logging.hh /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h

@@ -297,4 +297,6 @@ tests/CMakeFiles/uvmsim_tests.dir/core/tree_property_test.cc.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/core/large_page_tree.hh /root/repo/src/mem/types.hh \
- /root/repo/src/sim/rng.hh /root/repo/src/sim/logging.hh
+ /root/repo/src/sim/rng.hh /root/repo/src/sim/logging.hh \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h

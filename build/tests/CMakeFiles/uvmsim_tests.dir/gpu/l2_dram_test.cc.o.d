@@ -300,5 +300,7 @@ tests/CMakeFiles/uvmsim_tests.dir/gpu/l2_dram_test.cc.o: \
  /root/repo/src/sim/event_queue.hh /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/sim/logging.hh /root/repo/src/sim/stats.hh \
+ /root/repo/src/sim/logging.hh /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/sim/stats.hh \
  /root/repo/src/gpu/l2_cache.hh /root/repo/src/mem/types.hh

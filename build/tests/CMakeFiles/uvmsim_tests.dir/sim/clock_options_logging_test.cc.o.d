@@ -295,4 +295,6 @@ tests/CMakeFiles/uvmsim_tests.dir/sim/clock_options_logging_test.cc.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/sim/clock.hh /root/repo/src/sim/logging.hh \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/sim/ticks.hh /root/repo/src/sim/options.hh

@@ -293,4 +293,6 @@ tests/CMakeFiles/uvmsim_tests.dir/sim/rng_test.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/sim/rng.hh /root/repo/src/sim/logging.hh
+ /root/repo/src/sim/rng.hh /root/repo/src/sim/logging.hh \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h

@@ -300,4 +300,6 @@ tests/CMakeFiles/uvmsim_tests.dir/sim/stress_test.cc.o: \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/sim/stats.hh /root/repo/src/sim/rng.hh \
- /root/repo/src/sim/logging.hh
+ /root/repo/src/sim/logging.hh /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h

@@ -1,0 +1,55 @@
+#!/bin/sh
+# Time a fixed small sweep at --jobs=1 vs --jobs=$(nproc) and record
+# the wall-clock results in BENCH_parallel.json, so PRs can track the
+# perf trajectory of the parallel run executor.
+#
+# Usage: scripts/bench_timing.sh [build-dir]
+set -e
+BUILD=${1:-build}
+SWEEP="$BUILD/tools/uvmsim_sweep"
+if [ ! -x "$SWEEP" ]; then
+    echo "error: $SWEEP not built (run cmake --build $BUILD first)" >&2
+    exit 1
+fi
+
+JOBS=$(nproc 2>/dev/null || echo 1)
+# 8 configurations x 3 workloads: the fixed reference sweep.
+ARGS="--axis=oversubscription --values=0,105,110,115,120,125,140,150 \
+      --benchmarks=backprop,hotspot,nw --scale=0.25 --metric=kernel_ms"
+
+now_s() { date +%s.%N; }
+elapsed() { awk -v a="$1" -v b="$2" 'BEGIN { printf "%.3f", b - a }'; }
+
+START=$(now_s)
+# shellcheck disable=SC2086
+"$SWEEP" $ARGS --jobs=1 >BENCH_parallel_serial.txt 2>/dev/null
+SERIAL=$(elapsed "$START" "$(now_s)")
+
+START=$(now_s)
+# shellcheck disable=SC2086
+"$SWEEP" $ARGS --jobs="$JOBS" >BENCH_parallel_parallel.txt 2>/dev/null
+PARALLEL=$(elapsed "$START" "$(now_s)")
+
+if cmp -s BENCH_parallel_serial.txt BENCH_parallel_parallel.txt; then
+    IDENTICAL=true
+else
+    IDENTICAL=false
+fi
+rm -f BENCH_parallel_serial.txt BENCH_parallel_parallel.txt
+
+SPEEDUP=$(awk -v s="$SERIAL" -v p="$PARALLEL" \
+    'BEGIN { printf "%.3f", s / p }')
+
+cat >BENCH_parallel.json <<EOF
+{
+  "sweep": "oversubscription x 8 values, 3 workloads, scale 0.25",
+  "cores": $JOBS,
+  "serial_jobs": 1,
+  "serial_wall_s": $SERIAL,
+  "parallel_jobs": $JOBS,
+  "parallel_wall_s": $PARALLEL,
+  "speedup": $SPEEDUP,
+  "output_identical": $IDENTICAL
+}
+EOF
+cat BENCH_parallel.json

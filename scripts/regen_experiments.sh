@@ -1,9 +1,18 @@
 #!/bin/sh
 # Regenerate every paper artifact and the test log from a clean build.
 # Usage: scripts/regen_experiments.sh [build-dir]
+# Figure harnesses run their sweeps on JOBS parallel workers (see
+# "Parallel execution" in EXPERIMENTS.md); JOBS=1 forces serial runs.
 set -e
 BUILD=${1:-build}
+JOBS=${JOBS:-$(nproc 2>/dev/null || echo 1)}
 cmake -B "$BUILD" -G Ninja
 cmake --build "$BUILD"
 ctest --test-dir "$BUILD" 2>&1 | tee test_output.txt
-for b in "$BUILD"/bench/*; do "$b"; done 2>&1 | tee bench_output.txt
+for b in "$BUILD"/bench/*; do
+    case "$(basename "$b")" in
+        # google-benchmark binary: owns its own flags, no --jobs.
+        micro_components) "$b" ;;
+        *) "$b" --jobs="$JOBS" ;;
+    esac
+done 2>&1 | tee bench_output.txt

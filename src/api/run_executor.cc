@@ -1,0 +1,259 @@
+#include "run_executor.hh"
+
+#include <cstdio>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace uvmsim
+{
+
+namespace
+{
+
+/** Exact round-trip formatting for double-typed config fields. */
+void
+appendDouble(std::string &out, double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%a,", v);
+    out += buf;
+}
+
+void
+appendUint(std::string &out, std::uint64_t v)
+{
+    out += std::to_string(v);
+    out += ',';
+}
+
+} // namespace
+
+std::string
+runJobKey(const RunJob &job)
+{
+    std::string key = job.workload;
+    key += '|';
+
+    const GpuConfig &g = job.config.gpu;
+    appendUint(key, g.num_sms);
+    appendDouble(key, g.core_mhz);
+    appendUint(key, g.max_warps_per_sm);
+    appendUint(key, g.max_tbs_per_sm);
+    appendUint(key, g.tlb_entries);
+    appendUint(key, g.l1_bytes);
+    appendUint(key, g.l1_assoc);
+    appendUint(key, g.l1_hit_cycles);
+    appendUint(key, g.l2_bytes);
+    appendUint(key, g.l2_assoc);
+    appendUint(key, g.l2_line_bytes);
+    appendUint(key, g.l2_hit_cycles);
+    appendUint(key, g.dram_latency_ns);
+    appendDouble(key, g.dram_bandwidth_gbps);
+    appendUint(key, g.kernel_launch_overhead);
+    appendUint(key, g.issue_ports_per_sm);
+    key += '|';
+
+    const SimConfig &c = job.config;
+    appendUint(key, static_cast<std::uint64_t>(c.prefetcher_before));
+    appendUint(key, static_cast<std::uint64_t>(c.prefetcher_after));
+    appendUint(key, static_cast<std::uint64_t>(c.eviction));
+    appendDouble(key, c.oversubscription_percent);
+    appendDouble(key, c.free_buffer_percent);
+    appendDouble(key, c.lru_reserve_percent);
+    appendUint(key, c.device_memory_bytes);
+    appendUint(key, static_cast<std::uint64_t>(c.pcie_model));
+    appendUint(key, c.fault_latency);
+    appendUint(key, c.fault_batch_size);
+    appendDouble(key, c.fault_latency_jitter);
+    appendUint(key, c.whole_unit_writeback ? 1 : 0);
+    appendUint(key, c.user_prefetch_footprint ? 1 : 0);
+    appendUint(key, c.page_walk_cycles);
+    appendUint(key, c.page_walkers);
+    appendUint(key, c.mshr_entries);
+    appendUint(key, c.seed);
+    key += '|';
+
+    const WorkloadParams &p = job.params;
+    appendDouble(key, p.size_scale);
+    appendUint(key, p.iterations);
+    appendUint(key, p.seed);
+    appendUint(key, p.warps_per_tb);
+    return key;
+}
+
+RunExecutor::RunExecutor(std::size_t num_threads)
+{
+    if (num_threads == 0) {
+        num_threads = std::thread::hardware_concurrency();
+        if (num_threads == 0)
+            num_threads = 1;
+    }
+    workers_.reserve(num_threads);
+    for (std::size_t i = 0; i < num_threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+RunExecutor::~RunExecutor()
+{
+    {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        stopping_ = true;
+    }
+    queue_cv_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+RunExecutor::workerLoop()
+{
+    for (;;) {
+        std::function<void()> work;
+        {
+            std::unique_lock<std::mutex> lock(queue_mutex_);
+            queue_cv_.wait(lock,
+                           [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty()) {
+                if (stopping_)
+                    return;
+                continue;
+            }
+            work = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        work();
+    }
+}
+
+void
+RunExecutor::enqueue(std::function<void()> work)
+{
+    {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        queue_.push_back(std::move(work));
+    }
+    queue_cv_.notify_one();
+}
+
+std::vector<RunExecutor::Outcome>
+RunExecutor::runTasks(const std::vector<Task> &tasks)
+{
+    std::vector<Outcome> outcomes(tasks.size());
+    if (tasks.empty())
+        return outcomes;
+
+    // Completion latch shared with the workers.
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+    std::size_t remaining = tasks.size();
+
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        const Task &task = tasks[i];
+        Outcome &slot = outcomes[i];
+        enqueue([&task, &slot, &done_mutex, &done_cv, &remaining] {
+            try {
+                slot.result = task();
+            } catch (...) {
+                slot.error = std::current_exception();
+            }
+            std::lock_guard<std::mutex> lock(done_mutex);
+            if (--remaining == 0)
+                done_cv.notify_all();
+        });
+    }
+
+    std::unique_lock<std::mutex> lock(done_mutex);
+    done_cv.wait(lock, [&remaining] { return remaining == 0; });
+    return outcomes;
+}
+
+std::vector<RunResult>
+RunExecutor::runBatch(const std::vector<RunJob> &jobs,
+                      const Progress &progress)
+{
+    const std::size_t n = jobs.size();
+    std::vector<RunResult> results(n);
+    if (n == 0)
+        return results;
+
+    // Resolve cache hits and collapse duplicate keys: one task per
+    // distinct uncached key, in first-appearance (= submission) order.
+    std::vector<std::string> keys(n);
+    std::vector<std::size_t> task_jobs;
+    {
+        std::lock_guard<std::mutex> lock(cache_mutex_);
+        std::unordered_map<std::string, std::size_t> scheduled;
+        for (std::size_t i = 0; i < n; ++i) {
+            keys[i] = runJobKey(jobs[i]);
+            if (cache_.count(keys[i]) > 0) {
+                ++cache_hits_;
+                continue;
+            }
+            if (scheduled.emplace(keys[i], i).second)
+                task_jobs.push_back(i);
+        }
+    }
+
+    std::vector<Task> tasks;
+    tasks.reserve(task_jobs.size());
+    for (std::size_t job_index : task_jobs) {
+        const RunJob &job = jobs[job_index];
+        tasks.push_back([&job, job_index, &progress] {
+            if (progress)
+                progress(job, job_index);
+            return runBenchmark(job.workload, job.config, job.params);
+        });
+    }
+
+    std::vector<Outcome> outcomes = runTasks(tasks);
+
+    // Cache everything that completed, then surface the first failure.
+    std::exception_ptr first_error;
+    {
+        std::lock_guard<std::mutex> lock(cache_mutex_);
+        for (std::size_t t = 0; t < outcomes.size(); ++t) {
+            if (outcomes[t].ok()) {
+                cache_[keys[task_jobs[t]]] = std::move(outcomes[t].result);
+            } else if (!first_error) {
+                first_error = outcomes[t].error;
+            }
+        }
+    }
+    if (first_error)
+        std::rethrow_exception(first_error);
+
+    {
+        std::lock_guard<std::mutex> lock(cache_mutex_);
+        for (std::size_t i = 0; i < n; ++i) {
+            auto it = cache_.find(keys[i]);
+            if (it == cache_.end())
+                panic("RunExecutor: batch result missing for job %zu", i);
+            results[i] = it->second;
+        }
+    }
+    return results;
+}
+
+std::size_t
+RunExecutor::cacheHits() const
+{
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    return cache_hits_;
+}
+
+std::size_t
+RunExecutor::cacheSize() const
+{
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    return cache_.size();
+}
+
+void
+RunExecutor::clearCache()
+{
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    cache_.clear();
+}
+
+} // namespace uvmsim

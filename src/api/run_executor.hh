@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Parallel run executor: thread-pooled batch simulation.
+ *
+ * Every experiment in this repo -- the per-figure bench harnesses,
+ * uvmsim_sweep, runBenchmarkSeeds() -- is a batch of fully independent
+ * Simulator::run() calls: each run builds a fresh system and is
+ * deterministic for its (workload, config, params) triple.  The
+ * RunExecutor exploits that: it owns a fixed-size pool of worker
+ * threads, accepts a batch of RunJobs, runs each job on a worker with
+ * its own freshly built system, and hands the RunResults back in
+ * submission order.  Results are bit-identical to serial execution by
+ * construction; only wall-clock time changes.
+ *
+ * Repeated sweep points are computed once: the executor keeps an
+ * in-process cache keyed by a canonical serialization of the job
+ * (runJobKey), so e.g. the shared 110% baseline across figures, or
+ * duplicate cells inside one batch, cost a single simulation.
+ *
+ * Typical use:
+ *
+ *   RunExecutor exec(jobs);              // 0 = hardware concurrency
+ *   std::vector<RunJob> batch;
+ *   batch.push_back({"hotspot", cfg, params});
+ *   batch.push_back({"nw", cfg, params});
+ *   std::vector<RunResult> results = exec.runBatch(batch);
+ */
+
+#ifndef UVMSIM_API_RUN_EXECUTOR_HH
+#define UVMSIM_API_RUN_EXECUTOR_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "api/simulator.hh"
+
+namespace uvmsim
+{
+
+/** One unit of work: run this workload under this configuration. */
+struct RunJob
+{
+    std::string workload;
+    SimConfig config;
+    WorkloadParams params;
+};
+
+/**
+ * Canonical cache key covering every field that can change a run's
+ * outcome: the workload name, every SimConfig field (including the
+ * embedded GpuConfig) and every WorkloadParams field.  Two jobs with
+ * equal keys produce bit-identical RunResults.
+ *
+ * NOTE: when adding a field to SimConfig, GpuConfig or WorkloadParams,
+ * extend this serialization or the cache will alias distinct configs.
+ */
+std::string runJobKey(const RunJob &job);
+
+/** A fixed-size thread pool running simulation batches. */
+class RunExecutor
+{
+  public:
+    /** A task the pool can run directly (used by runBatch and tests). */
+    using Task = std::function<RunResult()>;
+
+    /** What one task produced: a result, or the exception it threw. */
+    struct Outcome
+    {
+        RunResult result;
+        std::exception_ptr error;
+
+        bool ok() const { return error == nullptr; }
+    };
+
+    /**
+     * Called on a worker thread just before a job starts executing
+     * (cache hits never invoke it).  `index` is the job's position in
+     * the submitted batch.  Must be thread-safe; serialize any output
+     * through outputMutex().
+     */
+    using Progress =
+        std::function<void(const RunJob &job, std::size_t index)>;
+
+    /**
+     * Create the pool.  `num_threads` == 0 selects the hardware
+     * concurrency; 1 reproduces serial execution order exactly.
+     */
+    explicit RunExecutor(std::size_t num_threads = 0);
+
+    /** Joins all workers; outstanding batches must have completed. */
+    ~RunExecutor();
+
+    RunExecutor(const RunExecutor &) = delete;
+    RunExecutor &operator=(const RunExecutor &) = delete;
+
+    /** Number of worker threads in the pool. */
+    std::size_t threads() const { return workers_.size(); }
+
+    /**
+     * Run a batch of jobs and return their results in submission
+     * order.  Jobs whose key is already cached (or duplicated inside
+     * the batch) are simulated only once.  If a job throws, the
+     * remaining jobs still complete and their results are cached;
+     * the first exception is then rethrown.  (Configuration errors
+     * inside the simulator call fatal()/panic() and terminate the
+     * process, exactly as under serial execution.)
+     */
+    std::vector<RunResult> runBatch(const std::vector<RunJob> &jobs,
+                                    const Progress &progress = nullptr);
+
+    /**
+     * Run arbitrary tasks on the pool and wait for all of them.
+     * A task that throws yields an Outcome holding the exception; the
+     * other tasks are unaffected and nothing deadlocks.  Outcomes are
+     * in submission order.  Bypasses the result cache.
+     */
+    std::vector<Outcome> runTasks(const std::vector<Task> &tasks);
+
+    /** Batch results served from the cache so far. */
+    std::size_t cacheHits() const;
+
+    /** Distinct results currently cached. */
+    std::size_t cacheSize() const;
+
+    /** Drop every cached result. */
+    void clearCache();
+
+  private:
+    void workerLoop();
+    void enqueue(std::function<void()> work);
+
+    mutable std::mutex queue_mutex_;
+    std::condition_variable queue_cv_;
+    std::deque<std::function<void()>> queue_;
+    bool stopping_ = false;
+    std::vector<std::thread> workers_;
+
+    mutable std::mutex cache_mutex_;
+    std::unordered_map<std::string, RunResult> cache_;
+    std::size_t cache_hits_ = 0;
+};
+
+} // namespace uvmsim
+
+#endif // UVMSIM_API_RUN_EXECUTOR_HH

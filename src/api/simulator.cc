@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <memory>
+#include <vector>
 
+#include "api/run_executor.hh"
 #include "gpu/gpu.hh"
 #include "interconnect/pcie_link.hh"
 #include "mem/frame_allocator.hh"
@@ -177,17 +179,37 @@ runBenchmark(const std::string &workload_name, const SimConfig &config,
 SeedSweepResult
 runBenchmarkSeeds(const std::string &workload_name,
                   const SimConfig &config, const WorkloadParams &params,
-                  std::size_t num_seeds)
+                  std::size_t num_seeds, std::size_t jobs)
 {
     if (num_seeds == 0)
         fatal("runBenchmarkSeeds needs at least one seed");
 
+    // Each seed is an independent run; farm them out, then aggregate
+    // in seed order so the sums are identical for any `jobs` value.
+    std::vector<RunResult> runs;
+    runs.reserve(num_seeds);
+    if (jobs == 1) {
+        for (std::size_t i = 0; i < num_seeds; ++i) {
+            SimConfig cfg = config;
+            cfg.seed = config.seed + i;
+            runs.push_back(runBenchmark(workload_name, cfg, params));
+        }
+    } else {
+        std::vector<RunJob> batch;
+        batch.reserve(num_seeds);
+        for (std::size_t i = 0; i < num_seeds; ++i) {
+            RunJob job{workload_name, config, params};
+            job.config.seed = config.seed + i;
+            batch.push_back(std::move(job));
+        }
+        RunExecutor executor(jobs);
+        runs = executor.runBatch(batch);
+    }
+
     SeedSweepResult agg;
     agg.runs = num_seeds;
     for (std::size_t i = 0; i < num_seeds; ++i) {
-        SimConfig cfg = config;
-        cfg.seed = config.seed + i;
-        RunResult r = runBenchmark(workload_name, cfg, params);
+        const RunResult &r = runs[i];
         double us = r.kernelTimeUs();
         agg.mean_kernel_time_us += us;
         if (i == 0) {

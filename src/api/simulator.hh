@@ -222,11 +222,18 @@ struct SeedSweepResult
  * seed, base+1, ...) and aggregate.  Deterministic policies produce
  * identical runs; the stochastic ones (Rp, Re, latency jitter) get a
  * fair average -- use this when comparing against them.
+ *
+ * `jobs` sets how many seeds run concurrently on a RunExecutor pool
+ * (see api/run_executor.hh): 1 keeps everything on the calling
+ * thread, 0 uses the hardware concurrency.  The aggregate is
+ * bit-identical for every `jobs` value -- each seed builds its own
+ * system and the sums are accumulated in seed order.
  */
 SeedSweepResult runBenchmarkSeeds(const std::string &workload_name,
                                   const SimConfig &config,
                                   const WorkloadParams &params,
-                                  std::size_t num_seeds);
+                                  std::size_t num_seeds,
+                                  std::size_t jobs = 1);
 
 } // namespace uvmsim
 

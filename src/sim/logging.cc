@@ -1,5 +1,6 @@
 #include "logging.hh"
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
@@ -9,12 +10,20 @@
 namespace uvmsim
 {
 
+std::mutex &
+outputMutex()
+{
+    static std::mutex the_mutex;
+    return the_mutex;
+}
+
 namespace
 {
 
 void
 vreport(const char *prefix, const char *fmt, va_list args)
 {
+    std::lock_guard<std::mutex> lock(outputMutex());
     std::fprintf(stderr, "%s: ", prefix);
     std::vfprintf(stderr, fmt, args);
     std::fprintf(stderr, "\n");
@@ -67,10 +76,19 @@ namespace debug
 namespace
 {
 
+/**
+ * Flag state shared by every thread.  Construction is race-free (a
+ * C++11 magic static); mutation and lookup synchronize on `mutex`.
+ * `maybe_enabled` short-circuits flagEnabled() without taking the lock
+ * in the common all-tracing-off case, so parallel simulation runs pay
+ * one relaxed atomic load per DTRACE site.
+ */
 struct FlagState
 {
+    std::mutex mutex;
     std::set<std::string> enabled;
     bool all = false;
+    std::atomic<bool> maybe_enabled{false};
 
     FlagState()
     {
@@ -91,6 +109,15 @@ struct FlagState
                 enabled.insert(flag);
             start = comma + 1;
         }
+        maybe_enabled.store(all || !enabled.empty(),
+                            std::memory_order_release);
+    }
+
+    void
+    refreshMaybeEnabled()
+    {
+        maybe_enabled.store(all || !enabled.empty(),
+                            std::memory_order_release);
     }
 };
 
@@ -106,37 +133,51 @@ state()
 void
 enableFlag(const std::string &flag)
 {
+    FlagState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
     if (flag == "All")
-        state().all = true;
+        s.all = true;
     else
-        state().enabled.insert(flag);
+        s.enabled.insert(flag);
+    s.refreshMaybeEnabled();
 }
 
 void
 disableFlag(const std::string &flag)
 {
+    FlagState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
     if (flag == "All")
-        state().all = false;
+        s.all = false;
     else
-        state().enabled.erase(flag);
+        s.enabled.erase(flag);
+    s.refreshMaybeEnabled();
 }
 
 bool
 flagEnabled(const std::string &flag)
 {
-    return state().all || state().enabled.count(flag) > 0;
+    FlagState &s = state();
+    if (!s.maybe_enabled.load(std::memory_order_acquire))
+        return false;
+    std::lock_guard<std::mutex> lock(s.mutex);
+    return s.all || s.enabled.count(flag) > 0;
 }
 
 void
 clearFlags()
 {
-    state().all = false;
-    state().enabled.clear();
+    FlagState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.all = false;
+    s.enabled.clear();
+    s.refreshMaybeEnabled();
 }
 
 void
 tracePrintf(const std::string &flag, const char *fmt, ...)
 {
+    std::lock_guard<std::mutex> lock(outputMutex());
     std::fprintf(stderr, "%s: ", flag.c_str());
     va_list args;
     va_start(args, fmt);

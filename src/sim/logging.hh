@@ -20,10 +20,20 @@
 #ifndef UVMSIM_SIM_LOGGING_HH
 #define UVMSIM_SIM_LOGGING_HH
 
+#include <mutex>
 #include <string>
 
 namespace uvmsim
 {
+
+/**
+ * Mutex serializing human-facing stderr output.  Every reporting
+ * helper in this file locks it around its write so lines from
+ * parallel simulation runs (see api/run_executor.hh) never interleave
+ * mid-line; code emitting its own multi-part progress lines to stderr
+ * should lock it too.
+ */
+std::mutex &outputMutex();
 
 /** Print an error describing a simulator bug and abort. */
 [[noreturn]] void panic(const char *fmt, ...)

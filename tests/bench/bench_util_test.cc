@@ -16,6 +16,44 @@ TEST(BenchUtil, GeomeanBasics)
     EXPECT_NEAR(geomean({1.0, 10.0, 100.0}), 10.0, 1e-9);
 }
 
+TEST(BenchUtilDeathTest, GeomeanRejectsNonPositiveValues)
+{
+    EXPECT_EXIT(geomean({1.0, 0.0}), testing::ExitedWithCode(1),
+                "geomean requires positive");
+    EXPECT_EXIT(geomean({-2.0}), testing::ExitedWithCode(1),
+                "geomean requires positive");
+}
+
+TEST(BenchUtil, JobCountDefaultsToHardwareConcurrency)
+{
+    Options empty;
+    EXPECT_EQ(jobCount(empty), 0u); // 0 = let RunExecutor decide
+
+    const char *argv[] = {"prog", "--jobs=3"};
+    Options opts(2, argv);
+    EXPECT_EQ(jobCount(opts), 3u);
+}
+
+TEST(BenchUtil, BatchResolvesHandlesInSubmissionOrder)
+{
+    const char *argv[] = {"prog", "--jobs=2"};
+    Options opts(2, argv);
+
+    WorkloadParams p;
+    p.size_scale = 0.1;
+    SimConfig cfg;
+    cfg.gpu.num_sms = 4;
+
+    Batch batch(opts);
+    std::size_t h0 = batch.add("backprop", cfg, p);
+    std::size_t h1 = batch.add("pathfinder", cfg, p);
+    ASSERT_EQ(batch.size(), 2u);
+    batch.run();
+    EXPECT_EQ(batch.result(h0).workload, "backprop");
+    EXPECT_EQ(batch.result(h1).workload, "pathfinder");
+    EXPECT_GT(batch.result(h1).kernelTimeUs(), 0.0);
+}
+
 TEST(BenchUtil, FormatHelpers)
 {
     EXPECT_EQ(fmt(1.23456, 2), "1.23");

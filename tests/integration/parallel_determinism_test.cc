@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Determinism regression test for the parallel run executor: a
+ * multi-config batch run with jobs=4 must produce bit-identical
+ * RunResults to jobs=1 (and to plain serial runBenchmark calls),
+ * across workloads and eviction policies.  Each run builds a fresh
+ * system, so the only way parallelism could change a result is shared
+ * mutable state leaking between runs -- exactly what this guards.
+ *
+ * This is also the ThreadSanitizer spot-check target: build with
+ * -DUVMSIM_TSAN=ON and run
+ *   uvmsim_tests --gtest_filter='ParallelDeterminism.*'
+ */
+
+#include <gtest/gtest.h>
+
+#include "api/run_executor.hh"
+#include "api/simulator.hh"
+
+namespace uvmsim
+{
+
+namespace
+{
+
+std::vector<RunJob>
+matrix()
+{
+    // 3 workloads x 2 eviction policies under over-subscription, so
+    // prefetch, eviction, write-back and thrashing paths all execute.
+    const std::vector<std::string> workloads = {"backprop", "hotspot",
+                                                "nw"};
+    const std::vector<EvictionKind> policies = {
+        EvictionKind::lru4k, EvictionKind::treeBasedNeighborhood};
+
+    std::vector<RunJob> jobs;
+    for (const std::string &workload : workloads) {
+        for (EvictionKind eviction : policies) {
+            RunJob job;
+            job.workload = workload;
+            job.config.gpu.num_sms = 4;
+            job.config.oversubscription_percent = 110.0;
+            job.config.prefetcher_before =
+                PrefetcherKind::treeBasedNeighborhood;
+            job.config.prefetcher_after = PrefetcherKind::none;
+            job.config.eviction = eviction;
+            // 0.25 keeps every footprint above the simulator's 1MB
+            // device-memory floor at 110% over-subscription.
+            job.params.size_scale = 0.25;
+            jobs.push_back(std::move(job));
+        }
+    }
+    return jobs;
+}
+
+void
+expectIdentical(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.workload, b.workload);
+    EXPECT_EQ(a.kernel_time, b.kernel_time);
+    EXPECT_EQ(a.final_time, b.final_time);
+    EXPECT_EQ(a.device_memory_bytes, b.device_memory_bytes);
+    EXPECT_EQ(a.footprint_bytes, b.footprint_bytes);
+    ASSERT_EQ(a.stats.size(), b.stats.size());
+    for (const auto &[name, value] : a.stats) {
+        auto it = b.stats.find(name);
+        ASSERT_NE(it, b.stats.end()) << "missing stat " << name;
+        // Bit-identical, not nearly-equal: parallel execution must
+        // not perturb a single stat.
+        EXPECT_DOUBLE_EQ(value, it->second) << "stat " << name;
+    }
+}
+
+} // namespace
+
+TEST(ParallelDeterminism, Jobs4MatchesJobs1AcrossPolicyMatrix)
+{
+    const std::vector<RunJob> jobs = matrix();
+
+    RunExecutor serial(1);
+    RunExecutor parallel(4);
+    std::vector<RunResult> serial_results = serial.runBatch(jobs);
+    std::vector<RunResult> parallel_results = parallel.runBatch(jobs);
+
+    ASSERT_EQ(serial_results.size(), jobs.size());
+    ASSERT_EQ(parallel_results.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        expectIdentical(serial_results[i], parallel_results[i]);
+}
+
+TEST(ParallelDeterminism, BatchMatchesDirectRunBenchmark)
+{
+    const std::vector<RunJob> jobs = matrix();
+
+    RunExecutor parallel(4);
+    std::vector<RunResult> batch = parallel.runBatch(jobs);
+
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        RunResult direct = runBenchmark(jobs[i].workload, jobs[i].config,
+                                        jobs[i].params);
+        expectIdentical(direct, batch[i]);
+    }
+}
+
+TEST(ParallelDeterminism, SeedSweepIdenticalForAnyJobCount)
+{
+    SimConfig cfg;
+    cfg.gpu.num_sms = 4;
+    cfg.oversubscription_percent = 110.0;
+    cfg.eviction = EvictionKind::random4k; // stochastic on purpose
+    WorkloadParams params;
+    params.size_scale = 0.25;
+
+    SeedSweepResult serial =
+        runBenchmarkSeeds("hotspot", cfg, params, 4, 1);
+    SeedSweepResult parallel =
+        runBenchmarkSeeds("hotspot", cfg, params, 4, 4);
+
+    EXPECT_EQ(serial.runs, parallel.runs);
+    EXPECT_EQ(serial.mean_kernel_time_us, parallel.mean_kernel_time_us);
+    EXPECT_EQ(serial.min_kernel_time_us, parallel.min_kernel_time_us);
+    EXPECT_EQ(serial.max_kernel_time_us, parallel.max_kernel_time_us);
+    ASSERT_EQ(serial.mean_stats.size(), parallel.mean_stats.size());
+    for (const auto &[name, value] : serial.mean_stats)
+        EXPECT_EQ(value, parallel.mean_stats.at(name)) << name;
+}
+
+} // namespace uvmsim

@@ -6,18 +6,24 @@
  * headline numbers, the full statistics table (or CSV), and optionally
  * the access-pattern analysis.
  *
+ * A comma-separated --workload list runs every named workload under
+ * the same configuration, concurrently on a RunExecutor pool sized by
+ * --jobs, and prints one result block per workload in list order.
+ *
  * Examples:
  *   uvmsim_run --workload=hotspot
  *   uvmsim_run --workload=nw --oversubscription=110 \
  *              --prefetcher=TBNp --prefetcher-after=TBNp \
  *              --eviction=TBNe --reserve=10 --stats
  *   uvmsim_run --workload=kmeans --stats-csv --analyze
+ *   uvmsim_run --workload=hotspot,nw,srad --oversubscription=110 --jobs=3
  *   uvmsim_run --list
  */
 
 #include <cstdio>
 #include <iostream>
 
+#include "api/run_executor.hh"
 #include "api/simulator.hh"
 #include "sim/options.hh"
 #include "workloads/trace_file.hh"
@@ -34,8 +40,10 @@ usage()
         "uvmsim_run -- GPU UVM simulator (Ganguly et al., ISCA'19 "
         "reproduction)\n\n"
         "options:\n"
-        "  --workload=NAME          benchmark to run (--list to "
+        "  --workload=NAME[,NAME..] benchmark(s) to run (--list to "
         "enumerate)\n"
+        "  --jobs=N                 concurrent runs for a workload "
+        "list (default: hardware concurrency)\n"
         "  --trace=PATH             replay a trace file instead (see "
         "src/workloads/trace_file.hh)\n"
         "  --scale=F                problem size multiplier "
@@ -58,6 +66,42 @@ usage()
         "  --stats / --stats-csv    dump the full statistics table\n"
         "  --analyze                print the access-pattern analysis\n"
         "  --list                   list available workloads\n");
+}
+
+void
+printResult(const SimConfig &cfg, const RunResult &r,
+            const Options &opts, const AccessPatternAnalyzer *analyzer)
+{
+    std::printf("workload        : %s\n", r.workload.c_str());
+    std::printf("config          : prefetch %s -> %s, evict %s, "
+                "oversub %.0f%%\n",
+                toString(cfg.prefetcher_before).c_str(),
+                toString(cfg.prefetcher_after).c_str(),
+                toString(cfg.eviction).c_str(),
+                cfg.oversubscription_percent);
+    std::printf("footprint       : %.1f MB (device %.1f MB)\n",
+                static_cast<double>(r.footprint_bytes) / (1 << 20),
+                static_cast<double>(r.device_memory_bytes) / (1 << 20));
+    std::printf("kernel time     : %.3f ms\n", r.kernelTimeMs());
+    std::printf("far faults      : %.0f\n", r.farFaults());
+    std::printf("pages migrated  : %.0f (evicted %.0f, thrashed %.0f)\n",
+                r.pagesMigrated(), r.pagesEvicted(), r.pagesThrashed());
+    std::printf("PCI-e read BW   : %.2f GB/s\n",
+                r.avgReadBandwidthGBps());
+
+    if (analyzer)
+        std::printf("access pattern  : %s\n",
+                    analyzer->report().c_str());
+
+    if (opts.getBool("stats-csv")) {
+        std::printf("\nstat,value\n");
+        for (const auto &[stat, value] : r.stats)
+            std::printf("%s,%g\n", stat.c_str(), value);
+    } else if (opts.getBool("stats")) {
+        std::printf("\n");
+        for (const auto &[stat, value] : r.stats)
+            std::printf("%-36s %g\n", stat.c_str(), value);
+    }
 }
 
 } // namespace
@@ -108,50 +152,45 @@ main(int argc, char **argv)
     params.iterations = opts.getUint("iterations", 0);
     params.seed = opts.getUint("workload-seed", 42);
 
+    bool analyze = opts.getBool("analyze");
+    auto workload_names = opts.getList("workload", {"hotspot"});
+    if (workload_names.empty())
+        fatal("--workload lists no names");
+
+    // A workload list: fan the runs out over the executor and print
+    // one result block per workload, in list order.
+    if (!opts.has("trace") && workload_names.size() > 1) {
+        if (analyze)
+            fatal("--analyze supports a single workload, got %zu",
+                  workload_names.size());
+        std::vector<RunJob> jobs;
+        for (const std::string &name : workload_names)
+            jobs.push_back(RunJob{name, cfg, params});
+        RunExecutor executor(
+            static_cast<std::size_t>(opts.getUint("jobs", 0)));
+        std::vector<RunResult> results = executor.runBatch(jobs);
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            if (i > 0)
+                std::printf("\n");
+            printResult(cfg, results[i], opts, nullptr);
+        }
+        return 0;
+    }
+
     std::unique_ptr<Workload> workload;
     if (opts.has("trace")) {
         workload =
             makeTraceWorkloadFromFile(opts.get("trace"), params);
     } else {
-        workload = makeWorkload(opts.get("workload", "hotspot"), params);
+        workload = makeWorkload(workload_names.front(), params);
     }
 
     Simulator sim(cfg);
     AccessPatternAnalyzer analyzer;
-    bool analyze = opts.getBool("analyze");
     if (analyze)
         attachAnalyzer(sim, analyzer);
 
     RunResult r = sim.run(*workload);
-
-    std::printf("workload        : %s\n", r.workload.c_str());
-    std::printf("config          : prefetch %s -> %s, evict %s, "
-                "oversub %.0f%%\n",
-                toString(cfg.prefetcher_before).c_str(),
-                toString(cfg.prefetcher_after).c_str(),
-                toString(cfg.eviction).c_str(),
-                cfg.oversubscription_percent);
-    std::printf("footprint       : %.1f MB (device %.1f MB)\n",
-                static_cast<double>(r.footprint_bytes) / (1 << 20),
-                static_cast<double>(r.device_memory_bytes) / (1 << 20));
-    std::printf("kernel time     : %.3f ms\n", r.kernelTimeMs());
-    std::printf("far faults      : %.0f\n", r.farFaults());
-    std::printf("pages migrated  : %.0f (evicted %.0f, thrashed %.0f)\n",
-                r.pagesMigrated(), r.pagesEvicted(), r.pagesThrashed());
-    std::printf("PCI-e read BW   : %.2f GB/s\n",
-                r.avgReadBandwidthGBps());
-
-    if (analyze)
-        std::printf("access pattern  : %s\n", analyzer.report().c_str());
-
-    if (opts.getBool("stats-csv")) {
-        std::printf("\nstat,value\n");
-        for (const auto &[stat, value] : r.stats)
-            std::printf("%s,%g\n", stat.c_str(), value);
-    } else if (opts.getBool("stats")) {
-        std::printf("\n");
-        for (const auto &[stat, value] : r.stats)
-            std::printf("%-36s %g\n", stat.c_str(), value);
-    }
+    printResult(cfg, r, opts, analyze ? &analyzer : nullptr);
     return 0;
 }

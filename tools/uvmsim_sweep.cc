@@ -4,20 +4,24 @@
  *
  * Sweeps one configuration axis over a set of workloads and prints a
  * metric table, so new experiments don't require writing a bench
- * binary.
+ * binary.  All (benchmark, value) cells are independent simulations,
+ * so they run concurrently on a RunExecutor pool sized by --jobs
+ * (default: hardware concurrency; --jobs=1 restores serial
+ * execution).  The table is identical for every --jobs value.
  *
  * Examples:
  *   uvmsim_sweep --axis=oversubscription --values=105,110,125,150 \
  *                --benchmarks=hotspot,nw --metric=kernel_ms
  *   uvmsim_sweep --axis=eviction --values=LRU4K,Re,SLe,TBNe,LRU2MB \
  *                --oversubscription=110 --metric=pages_thrashed
- *   uvmsim_sweep --axis=fault-us --values=15,30,45,90
+ *   uvmsim_sweep --axis=fault-us --values=15,30,45,90 --jobs=8
  *   uvmsim_sweep --axis=reserve --values=0,5,10,20,40
  */
 
 #include <cstdio>
 #include <cstdlib>
 
+#include "api/run_executor.hh"
 #include "api/simulator.hh"
 #include "sim/options.hh"
 
@@ -43,33 +47,62 @@ baseConfig(const Options &opts)
     return cfg;
 }
 
+/**
+ * Strict numeric parsing for axis values: strtod/strtoull accept
+ * garbage ("abc" reads as 0, "12x" as 12) which would silently sweep
+ * the wrong configuration -- reject anything but a complete number.
+ */
+double
+axisDouble(const std::string &axis, const std::string &value)
+{
+    const char *s = value.c_str();
+    char *end = nullptr;
+    double v = std::strtod(s, &end);
+    if (value.empty() || end == s || *end != '\0')
+        fatal("axis '%s': invalid numeric value '%s'", axis.c_str(),
+              value.c_str());
+    return v;
+}
+
+std::uint64_t
+axisUint(const std::string &axis, const std::string &value)
+{
+    const char *s = value.c_str();
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(s, &end, 10);
+    if (value.empty() || end == s || *end != '\0' ||
+        value.find('-') != std::string::npos)
+        fatal("axis '%s': invalid unsigned integer value '%s'",
+              axis.c_str(), value.c_str());
+    return v;
+}
+
 void
 applyAxis(SimConfig &cfg, const std::string &axis,
           const std::string &value)
 {
     if (axis == "oversubscription") {
-        cfg.oversubscription_percent = std::strtod(value.c_str(), nullptr);
+        cfg.oversubscription_percent = axisDouble(axis, value);
     } else if (axis == "eviction") {
         cfg.eviction = evictionFromString(value);
     } else if (axis == "prefetcher") {
         cfg.prefetcher_before = prefetcherFromString(value);
         cfg.prefetcher_after = cfg.prefetcher_before;
     } else if (axis == "reserve") {
-        cfg.lru_reserve_percent = std::strtod(value.c_str(), nullptr);
+        cfg.lru_reserve_percent = axisDouble(axis, value);
     } else if (axis == "buffer") {
-        cfg.free_buffer_percent = std::strtod(value.c_str(), nullptr);
+        cfg.free_buffer_percent = axisDouble(axis, value);
     } else if (axis == "fault-us") {
-        cfg.fault_latency = microseconds(
-            std::strtoull(value.c_str(), nullptr, 10));
+        cfg.fault_latency = microseconds(axisUint(axis, value));
     } else if (axis == "fault-batch") {
-        cfg.fault_batch_size = static_cast<std::uint32_t>(
-            std::strtoul(value.c_str(), nullptr, 10));
+        cfg.fault_batch_size =
+            static_cast<std::uint32_t>(axisUint(axis, value));
     } else if (axis == "warps") {
-        cfg.gpu.max_warps_per_sm = static_cast<std::uint32_t>(
-            std::strtoul(value.c_str(), nullptr, 10));
+        cfg.gpu.max_warps_per_sm =
+            static_cast<std::uint32_t>(axisUint(axis, value));
     } else if (axis == "walkers") {
-        cfg.page_walkers = static_cast<std::uint32_t>(
-            std::strtoul(value.c_str(), nullptr, 10));
+        cfg.page_walkers =
+            static_cast<std::uint32_t>(axisUint(axis, value));
     } else {
         fatal("unknown sweep axis '%s' (oversubscription|eviction|"
               "prefetcher|reserve|buffer|fault-us|fault-batch|warps|"
@@ -112,6 +145,22 @@ main(int argc, char **argv)
     params.size_scale = opts.getDouble("scale", 1.0);
     params.seed = opts.getUint("workload-seed", 42);
 
+    // Phase 1: materialize the whole (benchmark x value) grid so the
+    // executor can run every cell concurrently.
+    std::vector<RunJob> jobs;
+    for (const std::string &bench : benchmarks) {
+        for (const std::string &value : values) {
+            SimConfig cfg = baseConfig(opts);
+            applyAxis(cfg, axis, value);
+            jobs.push_back(RunJob{bench, cfg, params});
+        }
+    }
+
+    RunExecutor executor(
+        static_cast<std::size_t>(opts.getUint("jobs", 0)));
+    std::vector<RunResult> results = executor.runBatch(jobs);
+
+    // Phase 2: print the table exactly as the serial sweep did.
     std::printf("sweep: axis=%s metric=%s\n", axis.c_str(),
                 metric_name.c_str());
     std::printf("%-12s", "benchmark");
@@ -119,13 +168,11 @@ main(int argc, char **argv)
         std::printf(" %14s", v.c_str());
     std::printf("\n");
 
+    std::size_t cell = 0;
     for (const std::string &bench : benchmarks) {
         std::printf("%-12s", bench.c_str());
-        for (const std::string &value : values) {
-            SimConfig cfg = baseConfig(opts);
-            applyAxis(cfg, axis, value);
-            RunResult r = runBenchmark(bench, cfg, params);
-            std::printf(" %14.3f", metric(r, metric_name));
+        for (std::size_t i = 0; i < values.size(); ++i) {
+            std::printf(" %14.3f", metric(results[cell++], metric_name));
             std::fflush(stdout);
         }
         std::printf("\n");
