@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_design_choices"
+  "../bench/ablation_design_choices.pdb"
+  "CMakeFiles/ablation_design_choices.dir/ablation_design_choices.cc.o"
+  "CMakeFiles/ablation_design_choices.dir/ablation_design_choices.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_design_choices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_gpu_model"
+  "../bench/ablation_gpu_model.pdb"
+  "CMakeFiles/ablation_gpu_model.dir/ablation_gpu_model.cc.o"
+  "CMakeFiles/ablation_gpu_model.dir/ablation_gpu_model.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gpu_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

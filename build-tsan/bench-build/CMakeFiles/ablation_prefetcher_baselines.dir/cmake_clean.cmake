@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_prefetcher_baselines"
+  "../bench/ablation_prefetcher_baselines.pdb"
+  "CMakeFiles/ablation_prefetcher_baselines.dir/ablation_prefetcher_baselines.cc.o"
+  "CMakeFiles/ablation_prefetcher_baselines.dir/ablation_prefetcher_baselines.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_prefetcher_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

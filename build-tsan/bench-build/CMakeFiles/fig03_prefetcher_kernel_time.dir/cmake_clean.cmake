@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_prefetcher_kernel_time"
+  "../bench/fig03_prefetcher_kernel_time.pdb"
+  "CMakeFiles/fig03_prefetcher_kernel_time.dir/fig03_prefetcher_kernel_time.cc.o"
+  "CMakeFiles/fig03_prefetcher_kernel_time.dir/fig03_prefetcher_kernel_time.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_prefetcher_kernel_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig03_prefetcher_kernel_time.
+# This may be replaced when dependencies are built.

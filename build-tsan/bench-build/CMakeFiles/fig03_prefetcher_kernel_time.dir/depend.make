@@ -1,0 +1,2 @@
+# Empty dependencies file for fig03_prefetcher_kernel_time.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_pcie_read_bandwidth"
+  "../bench/fig04_pcie_read_bandwidth.pdb"
+  "CMakeFiles/fig04_pcie_read_bandwidth.dir/fig04_pcie_read_bandwidth.cc.o"
+  "CMakeFiles/fig04_pcie_read_bandwidth.dir/fig04_pcie_read_bandwidth.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_pcie_read_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

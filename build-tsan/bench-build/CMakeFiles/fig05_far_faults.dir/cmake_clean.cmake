@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_far_faults"
+  "../bench/fig05_far_faults.pdb"
+  "CMakeFiles/fig05_far_faults.dir/fig05_far_faults.cc.o"
+  "CMakeFiles/fig05_far_faults.dir/fig05_far_faults.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_far_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

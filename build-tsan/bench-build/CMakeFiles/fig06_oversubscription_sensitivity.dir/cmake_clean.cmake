@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_oversubscription_sensitivity"
+  "../bench/fig06_oversubscription_sensitivity.pdb"
+  "CMakeFiles/fig06_oversubscription_sensitivity.dir/fig06_oversubscription_sensitivity.cc.o"
+  "CMakeFiles/fig06_oversubscription_sensitivity.dir/fig06_oversubscription_sensitivity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_oversubscription_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_4kb_transfers"
+  "../bench/fig07_4kb_transfers.pdb"
+  "CMakeFiles/fig07_4kb_transfers.dir/fig07_4kb_transfers.cc.o"
+  "CMakeFiles/fig07_4kb_transfers.dir/fig07_4kb_transfers.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_4kb_transfers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

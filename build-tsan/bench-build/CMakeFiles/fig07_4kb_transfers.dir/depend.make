@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07_4kb_transfers.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_eviction_policies"
+  "../bench/fig09_eviction_policies.pdb"
+  "CMakeFiles/fig09_eviction_policies.dir/fig09_eviction_policies.cc.o"
+  "CMakeFiles/fig09_eviction_policies.dir/fig09_eviction_policies.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_eviction_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

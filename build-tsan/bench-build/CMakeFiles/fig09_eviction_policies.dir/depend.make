@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_eviction_policies.
+# This may be replaced when dependencies are built.

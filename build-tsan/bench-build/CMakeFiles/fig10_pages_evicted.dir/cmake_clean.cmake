@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_pages_evicted"
+  "../bench/fig10_pages_evicted.pdb"
+  "CMakeFiles/fig10_pages_evicted.dir/fig10_pages_evicted.cc.o"
+  "CMakeFiles/fig10_pages_evicted.dir/fig10_pages_evicted.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_pages_evicted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_combined_policies"
+  "../bench/fig11_combined_policies.pdb"
+  "CMakeFiles/fig11_combined_policies.dir/fig11_combined_policies.cc.o"
+  "CMakeFiles/fig11_combined_policies.dir/fig11_combined_policies.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_combined_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig11_combined_policies.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_nw_access_pattern"
+  "../bench/fig12_nw_access_pattern.pdb"
+  "CMakeFiles/fig12_nw_access_pattern.dir/fig12_nw_access_pattern.cc.o"
+  "CMakeFiles/fig12_nw_access_pattern.dir/fig12_nw_access_pattern.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_nw_access_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

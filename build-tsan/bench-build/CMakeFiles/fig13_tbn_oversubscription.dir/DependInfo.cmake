@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig13_tbn_oversubscription.cc" "bench-build/CMakeFiles/fig13_tbn_oversubscription.dir/fig13_tbn_oversubscription.cc.o" "gcc" "bench-build/CMakeFiles/fig13_tbn_oversubscription.dir/fig13_tbn_oversubscription.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/bench-build/CMakeFiles/uvmsim_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/api/CMakeFiles/uvmsim_api.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/workloads/CMakeFiles/uvmsim_workloads.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/gpu/CMakeFiles/uvmsim_gpu.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/uvmsim_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/interconnect/CMakeFiles/uvmsim_interconnect.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/analysis/CMakeFiles/uvmsim_analysis.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/mem/CMakeFiles/uvmsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/uvmsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_tbn_oversubscription"
+  "../bench/fig13_tbn_oversubscription.pdb"
+  "CMakeFiles/fig13_tbn_oversubscription.dir/fig13_tbn_oversubscription.cc.o"
+  "CMakeFiles/fig13_tbn_oversubscription.dir/fig13_tbn_oversubscription.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_tbn_oversubscription.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig13_tbn_oversubscription.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_tbn_oversubscription.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_lru_reservation"
+  "../bench/fig14_lru_reservation.pdb"
+  "CMakeFiles/fig14_lru_reservation.dir/fig14_lru_reservation.cc.o"
+  "CMakeFiles/fig14_lru_reservation.dir/fig14_lru_reservation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_lru_reservation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

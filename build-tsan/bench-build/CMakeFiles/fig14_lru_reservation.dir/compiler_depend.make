@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig14_lru_reservation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_tbne_vs_2mb"
+  "../bench/fig15_tbne_vs_2mb.pdb"
+  "CMakeFiles/fig15_tbne_vs_2mb.dir/fig15_tbne_vs_2mb.cc.o"
+  "CMakeFiles/fig15_tbne_vs_2mb.dir/fig15_tbne_vs_2mb.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_tbne_vs_2mb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig15_tbne_vs_2mb.
+# This may be replaced when dependencies are built.

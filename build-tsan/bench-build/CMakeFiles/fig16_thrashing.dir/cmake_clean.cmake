@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig16_thrashing"
+  "../bench/fig16_thrashing.pdb"
+  "CMakeFiles/fig16_thrashing.dir/fig16_thrashing.cc.o"
+  "CMakeFiles/fig16_thrashing.dir/fig16_thrashing.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_thrashing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_components"
+  "../bench/micro_components.pdb"
+  "CMakeFiles/micro_components.dir/micro_components.cc.o"
+  "CMakeFiles/micro_components.dir/micro_components.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_pcie_bandwidth"
+  "../bench/table1_pcie_bandwidth.pdb"
+  "CMakeFiles/table1_pcie_bandwidth.dir/table1_pcie_bandwidth.cc.o"
+  "CMakeFiles/table1_pcie_bandwidth.dir/table1_pcie_bandwidth.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_pcie_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uvmsim_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/uvmsim_bench_util.dir/bench_util.cc.o.d"
+  "libuvmsim_bench_util.a"
+  "libuvmsim_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uvmsim_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_workload.dir/custom_workload.cpp.o"
+  "CMakeFiles/custom_workload.dir/custom_workload.cpp.o.d"
+  "custom_workload"
+  "custom_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

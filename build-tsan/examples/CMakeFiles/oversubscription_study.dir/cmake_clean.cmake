@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oversubscription_study.dir/oversubscription_study.cpp.o"
+  "CMakeFiles/oversubscription_study.dir/oversubscription_study.cpp.o.d"
+  "oversubscription_study"
+  "oversubscription_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oversubscription_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

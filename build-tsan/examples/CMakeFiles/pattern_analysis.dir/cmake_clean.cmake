@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_analysis.dir/pattern_analysis.cpp.o"
+  "CMakeFiles/pattern_analysis.dir/pattern_analysis.cpp.o.d"
+  "pattern_analysis"
+  "pattern_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_advisor.dir/policy_advisor.cpp.o"
+  "CMakeFiles/policy_advisor.dir/policy_advisor.cpp.o.d"
+  "policy_advisor"
+  "policy_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for policy_advisor.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/user_directed_prefetch.dir/user_directed_prefetch.cpp.o"
+  "CMakeFiles/user_directed_prefetch.dir/user_directed_prefetch.cpp.o.d"
+  "user_directed_prefetch"
+  "user_directed_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/user_directed_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

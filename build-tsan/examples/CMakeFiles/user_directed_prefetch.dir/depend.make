@@ -1,0 +1,2 @@
+# Empty dependencies file for user_directed_prefetch.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/access_pattern.cc" "src/analysis/CMakeFiles/uvmsim_analysis.dir/access_pattern.cc.o" "gcc" "src/analysis/CMakeFiles/uvmsim_analysis.dir/access_pattern.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/sim/CMakeFiles/uvmsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/mem/CMakeFiles/uvmsim_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

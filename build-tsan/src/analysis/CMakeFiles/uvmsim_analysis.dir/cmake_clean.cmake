@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uvmsim_analysis.dir/access_pattern.cc.o"
+  "CMakeFiles/uvmsim_analysis.dir/access_pattern.cc.o.d"
+  "libuvmsim_analysis.a"
+  "libuvmsim_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uvmsim_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

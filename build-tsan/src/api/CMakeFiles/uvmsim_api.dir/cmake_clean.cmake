@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uvmsim_api.dir/run_executor.cc.o"
+  "CMakeFiles/uvmsim_api.dir/run_executor.cc.o.d"
+  "CMakeFiles/uvmsim_api.dir/simulator.cc.o"
+  "CMakeFiles/uvmsim_api.dir/simulator.cc.o.d"
+  "libuvmsim_api.a"
+  "libuvmsim_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uvmsim_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/eviction.cc" "src/core/CMakeFiles/uvmsim_core.dir/eviction.cc.o" "gcc" "src/core/CMakeFiles/uvmsim_core.dir/eviction.cc.o.d"
+  "/root/repo/src/core/gmmu.cc" "src/core/CMakeFiles/uvmsim_core.dir/gmmu.cc.o" "gcc" "src/core/CMakeFiles/uvmsim_core.dir/gmmu.cc.o.d"
+  "/root/repo/src/core/large_page_tree.cc" "src/core/CMakeFiles/uvmsim_core.dir/large_page_tree.cc.o" "gcc" "src/core/CMakeFiles/uvmsim_core.dir/large_page_tree.cc.o.d"
+  "/root/repo/src/core/managed_space.cc" "src/core/CMakeFiles/uvmsim_core.dir/managed_space.cc.o" "gcc" "src/core/CMakeFiles/uvmsim_core.dir/managed_space.cc.o.d"
+  "/root/repo/src/core/policies.cc" "src/core/CMakeFiles/uvmsim_core.dir/policies.cc.o" "gcc" "src/core/CMakeFiles/uvmsim_core.dir/policies.cc.o.d"
+  "/root/repo/src/core/prefetcher.cc" "src/core/CMakeFiles/uvmsim_core.dir/prefetcher.cc.o" "gcc" "src/core/CMakeFiles/uvmsim_core.dir/prefetcher.cc.o.d"
+  "/root/repo/src/core/residency_tracker.cc" "src/core/CMakeFiles/uvmsim_core.dir/residency_tracker.cc.o" "gcc" "src/core/CMakeFiles/uvmsim_core.dir/residency_tracker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/sim/CMakeFiles/uvmsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/mem/CMakeFiles/uvmsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/interconnect/CMakeFiles/uvmsim_interconnect.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

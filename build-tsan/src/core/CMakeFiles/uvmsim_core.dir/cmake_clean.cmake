@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uvmsim_core.dir/eviction.cc.o"
+  "CMakeFiles/uvmsim_core.dir/eviction.cc.o.d"
+  "CMakeFiles/uvmsim_core.dir/gmmu.cc.o"
+  "CMakeFiles/uvmsim_core.dir/gmmu.cc.o.d"
+  "CMakeFiles/uvmsim_core.dir/large_page_tree.cc.o"
+  "CMakeFiles/uvmsim_core.dir/large_page_tree.cc.o.d"
+  "CMakeFiles/uvmsim_core.dir/managed_space.cc.o"
+  "CMakeFiles/uvmsim_core.dir/managed_space.cc.o.d"
+  "CMakeFiles/uvmsim_core.dir/policies.cc.o"
+  "CMakeFiles/uvmsim_core.dir/policies.cc.o.d"
+  "CMakeFiles/uvmsim_core.dir/prefetcher.cc.o"
+  "CMakeFiles/uvmsim_core.dir/prefetcher.cc.o.d"
+  "CMakeFiles/uvmsim_core.dir/residency_tracker.cc.o"
+  "CMakeFiles/uvmsim_core.dir/residency_tracker.cc.o.d"
+  "libuvmsim_core.a"
+  "libuvmsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uvmsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

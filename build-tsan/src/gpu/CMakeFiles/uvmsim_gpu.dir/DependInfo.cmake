@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/gpu.cc" "src/gpu/CMakeFiles/uvmsim_gpu.dir/gpu.cc.o" "gcc" "src/gpu/CMakeFiles/uvmsim_gpu.dir/gpu.cc.o.d"
+  "/root/repo/src/gpu/l2_cache.cc" "src/gpu/CMakeFiles/uvmsim_gpu.dir/l2_cache.cc.o" "gcc" "src/gpu/CMakeFiles/uvmsim_gpu.dir/l2_cache.cc.o.d"
+  "/root/repo/src/gpu/sm.cc" "src/gpu/CMakeFiles/uvmsim_gpu.dir/sm.cc.o" "gcc" "src/gpu/CMakeFiles/uvmsim_gpu.dir/sm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/core/CMakeFiles/uvmsim_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/interconnect/CMakeFiles/uvmsim_interconnect.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/mem/CMakeFiles/uvmsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/uvmsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

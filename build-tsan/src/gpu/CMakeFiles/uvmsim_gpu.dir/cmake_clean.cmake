@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uvmsim_gpu.dir/gpu.cc.o"
+  "CMakeFiles/uvmsim_gpu.dir/gpu.cc.o.d"
+  "CMakeFiles/uvmsim_gpu.dir/l2_cache.cc.o"
+  "CMakeFiles/uvmsim_gpu.dir/l2_cache.cc.o.d"
+  "CMakeFiles/uvmsim_gpu.dir/sm.cc.o"
+  "CMakeFiles/uvmsim_gpu.dir/sm.cc.o.d"
+  "libuvmsim_gpu.a"
+  "libuvmsim_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uvmsim_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/interconnect/bandwidth_model.cc" "src/interconnect/CMakeFiles/uvmsim_interconnect.dir/bandwidth_model.cc.o" "gcc" "src/interconnect/CMakeFiles/uvmsim_interconnect.dir/bandwidth_model.cc.o.d"
+  "/root/repo/src/interconnect/pcie_link.cc" "src/interconnect/CMakeFiles/uvmsim_interconnect.dir/pcie_link.cc.o" "gcc" "src/interconnect/CMakeFiles/uvmsim_interconnect.dir/pcie_link.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/sim/CMakeFiles/uvmsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/mem/CMakeFiles/uvmsim_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

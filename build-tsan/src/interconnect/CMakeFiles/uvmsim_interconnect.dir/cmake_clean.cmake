@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uvmsim_interconnect.dir/bandwidth_model.cc.o"
+  "CMakeFiles/uvmsim_interconnect.dir/bandwidth_model.cc.o.d"
+  "CMakeFiles/uvmsim_interconnect.dir/pcie_link.cc.o"
+  "CMakeFiles/uvmsim_interconnect.dir/pcie_link.cc.o.d"
+  "libuvmsim_interconnect.a"
+  "libuvmsim_interconnect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uvmsim_interconnect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

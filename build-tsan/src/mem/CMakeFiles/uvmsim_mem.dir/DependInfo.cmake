@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/frame_allocator.cc" "src/mem/CMakeFiles/uvmsim_mem.dir/frame_allocator.cc.o" "gcc" "src/mem/CMakeFiles/uvmsim_mem.dir/frame_allocator.cc.o.d"
+  "/root/repo/src/mem/mshr.cc" "src/mem/CMakeFiles/uvmsim_mem.dir/mshr.cc.o" "gcc" "src/mem/CMakeFiles/uvmsim_mem.dir/mshr.cc.o.d"
+  "/root/repo/src/mem/page_table.cc" "src/mem/CMakeFiles/uvmsim_mem.dir/page_table.cc.o" "gcc" "src/mem/CMakeFiles/uvmsim_mem.dir/page_table.cc.o.d"
+  "/root/repo/src/mem/tlb.cc" "src/mem/CMakeFiles/uvmsim_mem.dir/tlb.cc.o" "gcc" "src/mem/CMakeFiles/uvmsim_mem.dir/tlb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/sim/CMakeFiles/uvmsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

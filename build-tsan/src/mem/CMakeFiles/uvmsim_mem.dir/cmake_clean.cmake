@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uvmsim_mem.dir/frame_allocator.cc.o"
+  "CMakeFiles/uvmsim_mem.dir/frame_allocator.cc.o.d"
+  "CMakeFiles/uvmsim_mem.dir/mshr.cc.o"
+  "CMakeFiles/uvmsim_mem.dir/mshr.cc.o.d"
+  "CMakeFiles/uvmsim_mem.dir/page_table.cc.o"
+  "CMakeFiles/uvmsim_mem.dir/page_table.cc.o.d"
+  "CMakeFiles/uvmsim_mem.dir/tlb.cc.o"
+  "CMakeFiles/uvmsim_mem.dir/tlb.cc.o.d"
+  "libuvmsim_mem.a"
+  "libuvmsim_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uvmsim_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

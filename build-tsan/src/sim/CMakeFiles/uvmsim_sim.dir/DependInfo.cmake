@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_queue.cc" "src/sim/CMakeFiles/uvmsim_sim.dir/event_queue.cc.o" "gcc" "src/sim/CMakeFiles/uvmsim_sim.dir/event_queue.cc.o.d"
+  "/root/repo/src/sim/logging.cc" "src/sim/CMakeFiles/uvmsim_sim.dir/logging.cc.o" "gcc" "src/sim/CMakeFiles/uvmsim_sim.dir/logging.cc.o.d"
+  "/root/repo/src/sim/options.cc" "src/sim/CMakeFiles/uvmsim_sim.dir/options.cc.o" "gcc" "src/sim/CMakeFiles/uvmsim_sim.dir/options.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/sim/CMakeFiles/uvmsim_sim.dir/stats.cc.o" "gcc" "src/sim/CMakeFiles/uvmsim_sim.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uvmsim_sim.dir/event_queue.cc.o"
+  "CMakeFiles/uvmsim_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/uvmsim_sim.dir/logging.cc.o"
+  "CMakeFiles/uvmsim_sim.dir/logging.cc.o.d"
+  "CMakeFiles/uvmsim_sim.dir/options.cc.o"
+  "CMakeFiles/uvmsim_sim.dir/options.cc.o.d"
+  "CMakeFiles/uvmsim_sim.dir/stats.cc.o"
+  "CMakeFiles/uvmsim_sim.dir/stats.cc.o.d"
+  "libuvmsim_sim.a"
+  "libuvmsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uvmsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libuvmsim_sim.a"
+)

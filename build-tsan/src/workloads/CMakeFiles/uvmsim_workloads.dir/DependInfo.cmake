@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/atax.cc" "src/workloads/CMakeFiles/uvmsim_workloads.dir/atax.cc.o" "gcc" "src/workloads/CMakeFiles/uvmsim_workloads.dir/atax.cc.o.d"
+  "/root/repo/src/workloads/backprop.cc" "src/workloads/CMakeFiles/uvmsim_workloads.dir/backprop.cc.o" "gcc" "src/workloads/CMakeFiles/uvmsim_workloads.dir/backprop.cc.o.d"
+  "/root/repo/src/workloads/bfs.cc" "src/workloads/CMakeFiles/uvmsim_workloads.dir/bfs.cc.o" "gcc" "src/workloads/CMakeFiles/uvmsim_workloads.dir/bfs.cc.o.d"
+  "/root/repo/src/workloads/gemm.cc" "src/workloads/CMakeFiles/uvmsim_workloads.dir/gemm.cc.o" "gcc" "src/workloads/CMakeFiles/uvmsim_workloads.dir/gemm.cc.o.d"
+  "/root/repo/src/workloads/hotspot.cc" "src/workloads/CMakeFiles/uvmsim_workloads.dir/hotspot.cc.o" "gcc" "src/workloads/CMakeFiles/uvmsim_workloads.dir/hotspot.cc.o.d"
+  "/root/repo/src/workloads/kmeans.cc" "src/workloads/CMakeFiles/uvmsim_workloads.dir/kmeans.cc.o" "gcc" "src/workloads/CMakeFiles/uvmsim_workloads.dir/kmeans.cc.o.d"
+  "/root/repo/src/workloads/nw.cc" "src/workloads/CMakeFiles/uvmsim_workloads.dir/nw.cc.o" "gcc" "src/workloads/CMakeFiles/uvmsim_workloads.dir/nw.cc.o.d"
+  "/root/repo/src/workloads/pathfinder.cc" "src/workloads/CMakeFiles/uvmsim_workloads.dir/pathfinder.cc.o" "gcc" "src/workloads/CMakeFiles/uvmsim_workloads.dir/pathfinder.cc.o.d"
+  "/root/repo/src/workloads/srad.cc" "src/workloads/CMakeFiles/uvmsim_workloads.dir/srad.cc.o" "gcc" "src/workloads/CMakeFiles/uvmsim_workloads.dir/srad.cc.o.d"
+  "/root/repo/src/workloads/trace_file.cc" "src/workloads/CMakeFiles/uvmsim_workloads.dir/trace_file.cc.o" "gcc" "src/workloads/CMakeFiles/uvmsim_workloads.dir/trace_file.cc.o.d"
+  "/root/repo/src/workloads/trace_util.cc" "src/workloads/CMakeFiles/uvmsim_workloads.dir/trace_util.cc.o" "gcc" "src/workloads/CMakeFiles/uvmsim_workloads.dir/trace_util.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/workloads/CMakeFiles/uvmsim_workloads.dir/workload.cc.o" "gcc" "src/workloads/CMakeFiles/uvmsim_workloads.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/core/CMakeFiles/uvmsim_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/gpu/CMakeFiles/uvmsim_gpu.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/interconnect/CMakeFiles/uvmsim_interconnect.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/mem/CMakeFiles/uvmsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/uvmsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uvmsim_workloads.dir/atax.cc.o"
+  "CMakeFiles/uvmsim_workloads.dir/atax.cc.o.d"
+  "CMakeFiles/uvmsim_workloads.dir/backprop.cc.o"
+  "CMakeFiles/uvmsim_workloads.dir/backprop.cc.o.d"
+  "CMakeFiles/uvmsim_workloads.dir/bfs.cc.o"
+  "CMakeFiles/uvmsim_workloads.dir/bfs.cc.o.d"
+  "CMakeFiles/uvmsim_workloads.dir/gemm.cc.o"
+  "CMakeFiles/uvmsim_workloads.dir/gemm.cc.o.d"
+  "CMakeFiles/uvmsim_workloads.dir/hotspot.cc.o"
+  "CMakeFiles/uvmsim_workloads.dir/hotspot.cc.o.d"
+  "CMakeFiles/uvmsim_workloads.dir/kmeans.cc.o"
+  "CMakeFiles/uvmsim_workloads.dir/kmeans.cc.o.d"
+  "CMakeFiles/uvmsim_workloads.dir/nw.cc.o"
+  "CMakeFiles/uvmsim_workloads.dir/nw.cc.o.d"
+  "CMakeFiles/uvmsim_workloads.dir/pathfinder.cc.o"
+  "CMakeFiles/uvmsim_workloads.dir/pathfinder.cc.o.d"
+  "CMakeFiles/uvmsim_workloads.dir/srad.cc.o"
+  "CMakeFiles/uvmsim_workloads.dir/srad.cc.o.d"
+  "CMakeFiles/uvmsim_workloads.dir/trace_file.cc.o"
+  "CMakeFiles/uvmsim_workloads.dir/trace_file.cc.o.d"
+  "CMakeFiles/uvmsim_workloads.dir/trace_util.cc.o"
+  "CMakeFiles/uvmsim_workloads.dir/trace_util.cc.o.d"
+  "CMakeFiles/uvmsim_workloads.dir/workload.cc.o"
+  "CMakeFiles/uvmsim_workloads.dir/workload.cc.o.d"
+  "libuvmsim_workloads.a"
+  "libuvmsim_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uvmsim_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

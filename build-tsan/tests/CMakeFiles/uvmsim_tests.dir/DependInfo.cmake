@@ -1,0 +1,70 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/access_pattern_test.cc" "tests/CMakeFiles/uvmsim_tests.dir/analysis/access_pattern_test.cc.o" "gcc" "tests/CMakeFiles/uvmsim_tests.dir/analysis/access_pattern_test.cc.o.d"
+  "/root/repo/tests/api/run_executor_test.cc" "tests/CMakeFiles/uvmsim_tests.dir/api/run_executor_test.cc.o" "gcc" "tests/CMakeFiles/uvmsim_tests.dir/api/run_executor_test.cc.o.d"
+  "/root/repo/tests/bench/bench_util_test.cc" "tests/CMakeFiles/uvmsim_tests.dir/bench/bench_util_test.cc.o" "gcc" "tests/CMakeFiles/uvmsim_tests.dir/bench/bench_util_test.cc.o.d"
+  "/root/repo/tests/core/eviction_test.cc" "tests/CMakeFiles/uvmsim_tests.dir/core/eviction_test.cc.o" "gcc" "tests/CMakeFiles/uvmsim_tests.dir/core/eviction_test.cc.o.d"
+  "/root/repo/tests/core/extended_policies_test.cc" "tests/CMakeFiles/uvmsim_tests.dir/core/extended_policies_test.cc.o" "gcc" "tests/CMakeFiles/uvmsim_tests.dir/core/extended_policies_test.cc.o.d"
+  "/root/repo/tests/core/fault_engine_test.cc" "tests/CMakeFiles/uvmsim_tests.dir/core/fault_engine_test.cc.o" "gcc" "tests/CMakeFiles/uvmsim_tests.dir/core/fault_engine_test.cc.o.d"
+  "/root/repo/tests/core/gmmu_fuzz_test.cc" "tests/CMakeFiles/uvmsim_tests.dir/core/gmmu_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/uvmsim_tests.dir/core/gmmu_fuzz_test.cc.o.d"
+  "/root/repo/tests/core/gmmu_test.cc" "tests/CMakeFiles/uvmsim_tests.dir/core/gmmu_test.cc.o" "gcc" "tests/CMakeFiles/uvmsim_tests.dir/core/gmmu_test.cc.o.d"
+  "/root/repo/tests/core/hardening_test.cc" "tests/CMakeFiles/uvmsim_tests.dir/core/hardening_test.cc.o" "gcc" "tests/CMakeFiles/uvmsim_tests.dir/core/hardening_test.cc.o.d"
+  "/root/repo/tests/core/large_page_tree_test.cc" "tests/CMakeFiles/uvmsim_tests.dir/core/large_page_tree_test.cc.o" "gcc" "tests/CMakeFiles/uvmsim_tests.dir/core/large_page_tree_test.cc.o.d"
+  "/root/repo/tests/core/managed_space_test.cc" "tests/CMakeFiles/uvmsim_tests.dir/core/managed_space_test.cc.o" "gcc" "tests/CMakeFiles/uvmsim_tests.dir/core/managed_space_test.cc.o.d"
+  "/root/repo/tests/core/policies_test.cc" "tests/CMakeFiles/uvmsim_tests.dir/core/policies_test.cc.o" "gcc" "tests/CMakeFiles/uvmsim_tests.dir/core/policies_test.cc.o.d"
+  "/root/repo/tests/core/prefetcher_test.cc" "tests/CMakeFiles/uvmsim_tests.dir/core/prefetcher_test.cc.o" "gcc" "tests/CMakeFiles/uvmsim_tests.dir/core/prefetcher_test.cc.o.d"
+  "/root/repo/tests/core/residency_oracle_test.cc" "tests/CMakeFiles/uvmsim_tests.dir/core/residency_oracle_test.cc.o" "gcc" "tests/CMakeFiles/uvmsim_tests.dir/core/residency_oracle_test.cc.o.d"
+  "/root/repo/tests/core/residency_tracker_test.cc" "tests/CMakeFiles/uvmsim_tests.dir/core/residency_tracker_test.cc.o" "gcc" "tests/CMakeFiles/uvmsim_tests.dir/core/residency_tracker_test.cc.o.d"
+  "/root/repo/tests/core/tbn_sequences_test.cc" "tests/CMakeFiles/uvmsim_tests.dir/core/tbn_sequences_test.cc.o" "gcc" "tests/CMakeFiles/uvmsim_tests.dir/core/tbn_sequences_test.cc.o.d"
+  "/root/repo/tests/core/tree_property_test.cc" "tests/CMakeFiles/uvmsim_tests.dir/core/tree_property_test.cc.o" "gcc" "tests/CMakeFiles/uvmsim_tests.dir/core/tree_property_test.cc.o.d"
+  "/root/repo/tests/core/user_prefetch_test.cc" "tests/CMakeFiles/uvmsim_tests.dir/core/user_prefetch_test.cc.o" "gcc" "tests/CMakeFiles/uvmsim_tests.dir/core/user_prefetch_test.cc.o.d"
+  "/root/repo/tests/core/walker_mshr_limits_test.cc" "tests/CMakeFiles/uvmsim_tests.dir/core/walker_mshr_limits_test.cc.o" "gcc" "tests/CMakeFiles/uvmsim_tests.dir/core/walker_mshr_limits_test.cc.o.d"
+  "/root/repo/tests/gpu/dispatch_test.cc" "tests/CMakeFiles/uvmsim_tests.dir/gpu/dispatch_test.cc.o" "gcc" "tests/CMakeFiles/uvmsim_tests.dir/gpu/dispatch_test.cc.o.d"
+  "/root/repo/tests/gpu/gpu_test.cc" "tests/CMakeFiles/uvmsim_tests.dir/gpu/gpu_test.cc.o" "gcc" "tests/CMakeFiles/uvmsim_tests.dir/gpu/gpu_test.cc.o.d"
+  "/root/repo/tests/gpu/l2_dram_test.cc" "tests/CMakeFiles/uvmsim_tests.dir/gpu/l2_dram_test.cc.o" "gcc" "tests/CMakeFiles/uvmsim_tests.dir/gpu/l2_dram_test.cc.o.d"
+  "/root/repo/tests/gpu/sm_features_test.cc" "tests/CMakeFiles/uvmsim_tests.dir/gpu/sm_features_test.cc.o" "gcc" "tests/CMakeFiles/uvmsim_tests.dir/gpu/sm_features_test.cc.o.d"
+  "/root/repo/tests/integration/figure_shapes_test.cc" "tests/CMakeFiles/uvmsim_tests.dir/integration/figure_shapes_test.cc.o" "gcc" "tests/CMakeFiles/uvmsim_tests.dir/integration/figure_shapes_test.cc.o.d"
+  "/root/repo/tests/integration/golden_regression_test.cc" "tests/CMakeFiles/uvmsim_tests.dir/integration/golden_regression_test.cc.o" "gcc" "tests/CMakeFiles/uvmsim_tests.dir/integration/golden_regression_test.cc.o.d"
+  "/root/repo/tests/integration/parallel_determinism_test.cc" "tests/CMakeFiles/uvmsim_tests.dir/integration/parallel_determinism_test.cc.o" "gcc" "tests/CMakeFiles/uvmsim_tests.dir/integration/parallel_determinism_test.cc.o.d"
+  "/root/repo/tests/integration/policy_matrix_test.cc" "tests/CMakeFiles/uvmsim_tests.dir/integration/policy_matrix_test.cc.o" "gcc" "tests/CMakeFiles/uvmsim_tests.dir/integration/policy_matrix_test.cc.o.d"
+  "/root/repo/tests/integration/simulation_test.cc" "tests/CMakeFiles/uvmsim_tests.dir/integration/simulation_test.cc.o" "gcc" "tests/CMakeFiles/uvmsim_tests.dir/integration/simulation_test.cc.o.d"
+  "/root/repo/tests/interconnect/bandwidth_model_test.cc" "tests/CMakeFiles/uvmsim_tests.dir/interconnect/bandwidth_model_test.cc.o" "gcc" "tests/CMakeFiles/uvmsim_tests.dir/interconnect/bandwidth_model_test.cc.o.d"
+  "/root/repo/tests/interconnect/pcie_link_test.cc" "tests/CMakeFiles/uvmsim_tests.dir/interconnect/pcie_link_test.cc.o" "gcc" "tests/CMakeFiles/uvmsim_tests.dir/interconnect/pcie_link_test.cc.o.d"
+  "/root/repo/tests/mem/frame_allocator_mshr_test.cc" "tests/CMakeFiles/uvmsim_tests.dir/mem/frame_allocator_mshr_test.cc.o" "gcc" "tests/CMakeFiles/uvmsim_tests.dir/mem/frame_allocator_mshr_test.cc.o.d"
+  "/root/repo/tests/mem/page_table_test.cc" "tests/CMakeFiles/uvmsim_tests.dir/mem/page_table_test.cc.o" "gcc" "tests/CMakeFiles/uvmsim_tests.dir/mem/page_table_test.cc.o.d"
+  "/root/repo/tests/mem/tlb_test.cc" "tests/CMakeFiles/uvmsim_tests.dir/mem/tlb_test.cc.o" "gcc" "tests/CMakeFiles/uvmsim_tests.dir/mem/tlb_test.cc.o.d"
+  "/root/repo/tests/mem/types_test.cc" "tests/CMakeFiles/uvmsim_tests.dir/mem/types_test.cc.o" "gcc" "tests/CMakeFiles/uvmsim_tests.dir/mem/types_test.cc.o.d"
+  "/root/repo/tests/sim/clock_options_logging_test.cc" "tests/CMakeFiles/uvmsim_tests.dir/sim/clock_options_logging_test.cc.o" "gcc" "tests/CMakeFiles/uvmsim_tests.dir/sim/clock_options_logging_test.cc.o.d"
+  "/root/repo/tests/sim/event_queue_test.cc" "tests/CMakeFiles/uvmsim_tests.dir/sim/event_queue_test.cc.o" "gcc" "tests/CMakeFiles/uvmsim_tests.dir/sim/event_queue_test.cc.o.d"
+  "/root/repo/tests/sim/rng_test.cc" "tests/CMakeFiles/uvmsim_tests.dir/sim/rng_test.cc.o" "gcc" "tests/CMakeFiles/uvmsim_tests.dir/sim/rng_test.cc.o.d"
+  "/root/repo/tests/sim/stats_test.cc" "tests/CMakeFiles/uvmsim_tests.dir/sim/stats_test.cc.o" "gcc" "tests/CMakeFiles/uvmsim_tests.dir/sim/stats_test.cc.o.d"
+  "/root/repo/tests/sim/stress_test.cc" "tests/CMakeFiles/uvmsim_tests.dir/sim/stress_test.cc.o" "gcc" "tests/CMakeFiles/uvmsim_tests.dir/sim/stress_test.cc.o.d"
+  "/root/repo/tests/sim/ticks_test.cc" "tests/CMakeFiles/uvmsim_tests.dir/sim/ticks_test.cc.o" "gcc" "tests/CMakeFiles/uvmsim_tests.dir/sim/ticks_test.cc.o.d"
+  "/root/repo/tests/workloads/benchmark_specifics_test.cc" "tests/CMakeFiles/uvmsim_tests.dir/workloads/benchmark_specifics_test.cc.o" "gcc" "tests/CMakeFiles/uvmsim_tests.dir/workloads/benchmark_specifics_test.cc.o.d"
+  "/root/repo/tests/workloads/trace_file_test.cc" "tests/CMakeFiles/uvmsim_tests.dir/workloads/trace_file_test.cc.o" "gcc" "tests/CMakeFiles/uvmsim_tests.dir/workloads/trace_file_test.cc.o.d"
+  "/root/repo/tests/workloads/workload_test.cc" "tests/CMakeFiles/uvmsim_tests.dir/workloads/workload_test.cc.o" "gcc" "tests/CMakeFiles/uvmsim_tests.dir/workloads/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/bench-build/CMakeFiles/uvmsim_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/api/CMakeFiles/uvmsim_api.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/workloads/CMakeFiles/uvmsim_workloads.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/gpu/CMakeFiles/uvmsim_gpu.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/uvmsim_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/interconnect/CMakeFiles/uvmsim_interconnect.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/analysis/CMakeFiles/uvmsim_analysis.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/mem/CMakeFiles/uvmsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/uvmsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

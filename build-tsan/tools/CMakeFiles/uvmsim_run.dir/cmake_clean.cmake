@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uvmsim_run.dir/uvmsim_run.cc.o"
+  "CMakeFiles/uvmsim_run.dir/uvmsim_run.cc.o.d"
+  "uvmsim_run"
+  "uvmsim_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uvmsim_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

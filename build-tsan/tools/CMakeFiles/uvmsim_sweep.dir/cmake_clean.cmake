@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uvmsim_sweep.dir/uvmsim_sweep.cc.o"
+  "CMakeFiles/uvmsim_sweep.dir/uvmsim_sweep.cc.o.d"
+  "uvmsim_sweep"
+  "uvmsim_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uvmsim_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

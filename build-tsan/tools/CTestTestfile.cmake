@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build-tsan/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_run_smoke "/root/repo/build-tsan/tools/uvmsim_run" "--workload=backprop" "--scale=0.1" "--sms=4" "--stats")
+set_tests_properties(cli_run_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_run_trace_smoke "/root/repo/build-tsan/tools/uvmsim_run" "--trace=/root/repo/examples/traces/vecadd.trace")
+set_tests_properties(cli_run_trace_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_run_list "/root/repo/build-tsan/tools/uvmsim_run" "--list")
+set_tests_properties(cli_run_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_sweep_smoke "/root/repo/build-tsan/tools/uvmsim_sweep" "--axis=eviction" "--values=LRU4K,TBNe" "--benchmarks=backprop" "--scale=0.1" "--metric=pages_evicted")
+set_tests_properties(cli_sweep_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_sweep_parallel_smoke "/root/repo/build-tsan/tools/uvmsim_sweep" "--axis=eviction" "--values=LRU4K,TBNe" "--benchmarks=backprop,pathfinder" "--scale=0.1" "--metric=pages_evicted" "--jobs=4")
+set_tests_properties(cli_sweep_parallel_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_run_multi_workload_smoke "/root/repo/build-tsan/tools/uvmsim_run" "--workload=backprop,pathfinder" "--scale=0.1" "--sms=4" "--jobs=2")
+set_tests_properties(cli_run_multi_workload_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
