@@ -102,6 +102,7 @@ Simulator::run(Workload &workload)
     gcfg.lru_reserve_fraction = config_.lru_reserve_percent / 100.0;
     gcfg.whole_unit_writeback = config_.whole_unit_writeback;
     gcfg.seed = config_.seed;
+    gcfg.audit = config_.audit;
 
     Gmmu gmmu(eq, pcie, frames, page_table, space, gcfg);
     Gpu gpu(eq, config_.gpu, gmmu);

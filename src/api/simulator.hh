@@ -107,6 +107,16 @@ struct SimConfig
 
     /** Seed for all policy randomness. */
     std::uint64_t seed = 1;
+
+    /**
+     * Enable the SimAuditor: cross-subsystem residency invariants are
+     * re-verified after every fault service, migration arrival and
+     * eviction drain, and the run dies with a structured state diff on
+     * the first violation (see core/auditor.hh).  Costs O(resident
+     * pages) per check; intended for debugging and CI, not timing
+     * runs.  Builds configured with -DUVMSIM_AUDIT=ON force this on.
+     */
+    bool audit = false;
 };
 
 /** Everything a run produced. */

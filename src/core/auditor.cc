@@ -1,0 +1,319 @@
+#include "auditor.hh"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <unordered_map>
+
+#include "sim/logging.hh"
+
+namespace uvmsim
+{
+
+namespace
+{
+
+/** printf-append into a std::string. */
+void
+appendf(std::string &out, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void
+appendf(std::string &out, const char *fmt, ...)
+{
+    char buf[512];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    out += buf;
+}
+
+} // namespace
+
+SimAuditor::SimAuditor(const ManagedSpace &space,
+                       const ResidencyTracker &residency,
+                       const PageTable &page_table,
+                       const FrameAllocator &frames,
+                       const FarFaultMshr &mshr)
+    : space_(space),
+      residency_(residency),
+      page_table_(page_table),
+      frames_(frames),
+      mshr_(mshr)
+{
+}
+
+std::string
+SimAuditor::pageState(PageNum page) const
+{
+    std::string out;
+    appendf(out, "  page       : %llu (va 0x%llx)\n",
+            static_cast<unsigned long long>(page),
+            static_cast<unsigned long long>(pageBase(page)));
+
+    const Pte *pte = page_table_.lookup(page);
+    if (pte) {
+        appendf(out,
+                "  page table : valid=%d dirty=%d accessed=%d frame=%lld\n",
+                pte->valid ? 1 : 0, pte->dirty ? 1 : 0,
+                pte->accessed ? 1 : 0,
+                pte->frame == invalidFrame
+                    ? -1ll
+                    : static_cast<long long>(pte->frame));
+    } else {
+        appendf(out, "  page table : no entry\n");
+    }
+
+    appendf(out, "  residency  : tracked=%s (size %llu)\n",
+            residency_.isTracked(page) ? "yes" : "no",
+            static_cast<unsigned long long>(residency_.size()));
+    appendf(out, "  mshr       : in-flight=%s (pending pages %zu)\n",
+            mshr_.isPending(page) ? "yes" : "no", mshr_.pendingPages());
+
+    LargePageTree *tree = space_.treeFor(page);
+    if (tree) {
+        std::uint32_t leaf = tree->leafOf(page);
+        appendf(out,
+                "  tree       : base=0x%llx leaves=%u leaf=%u marked=%s "
+                "leaf_pages=%u/%llu total_marked=%llu pages\n",
+                static_cast<unsigned long long>(tree->baseAddr()),
+                tree->numLeaves(), leaf,
+                tree->pageMarked(page) ? "yes" : "no",
+                tree->leafMarkedPages(leaf),
+                static_cast<unsigned long long>(pagesPerBasicBlock),
+                static_cast<unsigned long long>(tree->totalMarkedBytes() /
+                                                pageSize));
+        // The leaf's page bitmap, lowest page first.
+        std::string bits;
+        PageNum first = tree->leafFirstPage(leaf);
+        for (std::uint64_t p = 0; p < pagesPerBasicBlock; ++p)
+            bits += tree->pageMarked(first + p) ? '1' : '0';
+        appendf(out, "  leaf bitmap: %s (page %llu..%llu)\n", bits.c_str(),
+                static_cast<unsigned long long>(first),
+                static_cast<unsigned long long>(first + pagesPerBasicBlock -
+                                                1));
+    } else {
+        appendf(out, "  tree       : page is unmanaged\n");
+    }
+    return out;
+}
+
+std::string
+SimAuditor::globalState(const Transients &transients) const
+{
+    std::string out;
+    appendf(out,
+            "  counts     : pt.valid=%llu residency=%llu mshr=%zu "
+            "frames{free=%llu used=%llu total=%llu} in_transit=%llu "
+            "pending_free=%llu\n",
+            static_cast<unsigned long long>(page_table_.validPages()),
+            static_cast<unsigned long long>(residency_.size()),
+            mshr_.pendingPages(),
+            static_cast<unsigned long long>(frames_.freeFrames()),
+            static_cast<unsigned long long>(frames_.usedFrames()),
+            static_cast<unsigned long long>(frames_.totalFrames()),
+            static_cast<unsigned long long>(transients.frames_in_transit),
+            static_cast<unsigned long long>(
+                transients.pending_free_frames));
+
+    std::vector<PageNum> cold = residency_.coldPages(16);
+    appendf(out, "  lru cold   :");
+    for (PageNum p : cold)
+        appendf(out, " %llu", static_cast<unsigned long long>(p));
+    if (residency_.size() > cold.size())
+        appendf(out, " ... (%llu more)",
+                static_cast<unsigned long long>(residency_.size() -
+                                                cold.size()));
+    appendf(out, "\n");
+    return out;
+}
+
+void
+SimAuditor::fail(const char *context, const char *invariant,
+                 const std::string &detail)
+{
+    {
+        std::lock_guard<std::mutex> lock(outputMutex());
+        std::fprintf(stderr,
+                     "==== SimAuditor violation ====\n"
+                     "  context    : %s\n"
+                     "  invariant  : %s\n"
+                     "%s"
+                     "==============================\n",
+                     context, invariant, detail.c_str());
+        std::fflush(stderr);
+    }
+    panic("SimAuditor: %s (context: %s)", invariant, context);
+}
+
+void
+SimAuditor::checkAll(const char *context, const Transients &transients)
+{
+    ++checks_;
+
+    // 1. Each subsystem's own internal bookkeeping.
+    if (!residency_.checkConsistent())
+        fail(context, "ResidencyTracker::checkConsistent failed",
+             globalState(transients));
+
+    // 2. Every tree-marked page is valid XOR in-flight, and every
+    //    valid page is tracked.
+    for (const auto &alloc : space_.allocations()) {
+        for (const auto &tree : alloc->trees()) {
+            if (!tree->checkConsistent()) {
+                std::string detail;
+                appendf(detail,
+                        "  tree       : base=0x%llx (allocation '%s') "
+                        "failed checkConsistent\n",
+                        static_cast<unsigned long long>(tree->baseAddr()),
+                        alloc->name().c_str());
+                detail += globalState(transients);
+                fail(context, "LargePageTree::checkConsistent failed",
+                     detail);
+            }
+            for (PageNum page : tree->markedPages()) {
+                bool valid = page_table_.isValid(page);
+                bool pending = mshr_.isPending(page);
+                if (valid && pending) {
+                    fail(context, "page both valid and in-flight",
+                         pageState(page) + globalState(transients));
+                }
+                if (!valid && !pending) {
+                    fail(context,
+                         "tree-marked page neither valid nor in-flight",
+                         pageState(page) + globalState(transients));
+                }
+                if (valid && !residency_.isTracked(page)) {
+                    fail(context, "valid page missing from residency LRU",
+                         pageState(page) + globalState(transients));
+                }
+            }
+        }
+    }
+
+    // 3. Every tracked page is valid, marked, and holds a distinct
+    //    allocated frame.
+    std::unordered_map<FrameNum, PageNum> frame_owner;
+    for (PageNum page : residency_.coldPages(residency_.size())) {
+        if (!page_table_.isValid(page)) {
+            fail(context, "residency-tracked page not valid in page table",
+                 pageState(page) + globalState(transients));
+        }
+        LargePageTree *tree = space_.treeFor(page);
+        if (!tree) {
+            fail(context, "residency-tracked page is unmanaged",
+                 pageState(page) + globalState(transients));
+        }
+        if (!tree->pageMarked(page)) {
+            fail(context, "resident page not marked in its tree",
+                 pageState(page) + globalState(transients));
+        }
+
+        const Pte *pte = page_table_.lookup(page);
+        if (pte->frame == invalidFrame ||
+            pte->frame >= frames_.totalFrames()) {
+            fail(context, "valid page maps an out-of-range frame",
+                 pageState(page) + globalState(transients));
+        }
+        if (!frames_.isAllocated(pte->frame)) {
+            fail(context, "valid page maps an unallocated frame",
+                 pageState(page) + globalState(transients));
+        }
+        auto [it, inserted] = frame_owner.emplace(pte->frame, page);
+        if (!inserted) {
+            std::string detail = pageState(page);
+            appendf(detail, "  also mapped by:\n");
+            detail += pageState(it->second);
+            detail += globalState(transients);
+            fail(context, "frame mapped by two valid pages", detail);
+        }
+    }
+
+    // 4. Aggregate counts agree across the subsystems.
+    if (page_table_.validPages() != residency_.size()) {
+        fail(context, "page-table valid count != residency size",
+             globalState(transients));
+    }
+
+    // 5. Every in-flight page is non-valid and managed.
+    for (PageNum page : mshr_.pendingPageList()) {
+        if (page_table_.isValid(page)) {
+            fail(context, "MSHR-pending page already valid",
+                 pageState(page) + globalState(transients));
+        }
+        if (!space_.treeFor(page)) {
+            fail(context, "MSHR-pending page is unmanaged",
+                 pageState(page) + globalState(transients));
+        }
+    }
+
+    // 6. Frame accounting closes: every used frame is either backing a
+    //    valid page, granted to an in-transit migration, or waiting
+    //    for its eviction write-back to land.
+    if (frames_.usedFrames() != page_table_.validPages() +
+                                    transients.frames_in_transit +
+                                    transients.pending_free_frames) {
+        fail(context, "frame accounting does not close",
+             globalState(transients));
+    }
+}
+
+void
+SimAuditor::checkVictims(const char *context, EvictionKind kind,
+                         const std::vector<PageNum> &victims,
+                         std::uint64_t reserve_pages)
+{
+    ++victim_checks_;
+
+    auto describe = [&](PageNum offender) {
+        std::string detail;
+        appendf(detail, "  policy     : %s (reserve %llu pages)\n",
+                toString(kind).c_str(),
+                static_cast<unsigned long long>(reserve_pages));
+        appendf(detail, "  victims    :");
+        for (PageNum v : victims)
+            appendf(detail, " %llu%s",
+                    static_cast<unsigned long long>(v),
+                    v == offender ? "*" : "");
+        appendf(detail, "\n");
+        detail += pageState(offender);
+        detail += globalState(Transients{});
+        return detail;
+    };
+
+    for (std::size_t i = 0; i < victims.size(); ++i) {
+        PageNum v = victims[i];
+        if (i > 0 && v == victims[i - 1])
+            fail(context, "duplicate eviction victim", describe(v));
+        if (i > 0 && v < victims[i - 1])
+            fail(context, "eviction victims not ascending", describe(v));
+
+        if (!residency_.isTracked(v)) {
+            // TBNe's drain may legitimately select in-flight pages;
+            // the GMMU filters them and restores their marks.
+            bool inflight_ok =
+                kind == EvictionKind::treeBasedNeighborhood &&
+                mshr_.isPending(v);
+            if (!inflight_ok)
+                fail(context, "non-resident eviction victim", describe(v));
+        }
+    }
+
+    // The flat LRU policy defines its reservation directly on the
+    // page-granular LRU order: no victim may come from the reserved
+    // cold prefix.  (Block policies skip in whole-unit granules and
+    // Re/MRU ignore the reservation by design.)
+    if (kind == EvictionKind::lru4k && reserve_pages > 0) {
+        std::vector<PageNum> protected_pages =
+            residency_.coldPages(reserve_pages);
+        for (PageNum v : victims) {
+            if (std::find(protected_pages.begin(), protected_pages.end(),
+                          v) != protected_pages.end())
+                fail(context, "eviction victim inside reserved LRU prefix",
+                     describe(v));
+        }
+    }
+}
+
+} // namespace uvmsim

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * SimAuditor -- opt-in cross-subsystem state auditing.
+ *
+ * The GMMU keeps four views of "which 4KB pages are resident" that
+ * must never disagree: the to-be-valid marks in each allocation's
+ * LargePageTree, the recency lists of the ResidencyTracker, the valid
+ * bits of the PageTable, and the frames handed out by the
+ * FrameAllocator (with in-flight pages parked in the FarFaultMshr).
+ * The auditor sweeps all of them after every fault service, migration
+ * arrival and eviction drain and, on the first violated invariant,
+ * dumps a structured state diff (page table entry, tree bitmap, LRU
+ * order, MSHR state) before panicking -- so a bookkeeping bug is
+ * diagnosable at the moment it happens instead of surfacing as a
+ * changed golden number thousands of events later.
+ *
+ * Invariants checked by checkAll():
+ *  - every LargePageTree and the ResidencyTracker pass their own
+ *    checkConsistent();
+ *  - a tree-marked page is either valid in the PageTable or in-flight
+ *    in the MSHRs -- never both, never neither;
+ *  - every ResidencyTracker page is valid in the PageTable and marked
+ *    in its allocation's tree;
+ *  - PageTable valid-page count == ResidencyTracker size;
+ *  - every valid page holds a distinct, in-range, allocated frame;
+ *  - every MSHR-pending page is non-valid and managed;
+ *  - frame accounting closes: used == valid + in-transit + pending
+ *    write-back frees.
+ *
+ * checkVictims() validates an eviction selection before the GMMU
+ * applies it: victims ascending and duplicate-free, each one resident
+ * (TBNe may additionally return in-flight pages, which the GMMU
+ * filters), and -- for the flat LRU policy, whose reservation is
+ * defined directly on the page LRU -- never inside the reserved cold
+ * prefix.
+ *
+ * Enabled per-run via GmmuConfig::audit (SimConfig::audit, CLI
+ * --audit) or force-enabled for a whole build with the UVMSIM_AUDIT
+ * CMake option (the debug CI configuration).
+ */
+
+#ifndef UVMSIM_CORE_AUDITOR_HH
+#define UVMSIM_CORE_AUDITOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/managed_space.hh"
+#include "core/policies.hh"
+#include "core/residency_tracker.hh"
+#include "mem/frame_allocator.hh"
+#include "mem/mshr.hh"
+#include "mem/page_table.hh"
+#include "mem/types.hh"
+
+namespace uvmsim
+{
+
+/** Cross-subsystem residency invariant checker. */
+class SimAuditor
+{
+  public:
+    /**
+     * GMMU-private transient counts the auditor cannot observe from
+     * the subsystems themselves.
+     */
+    struct Transients
+    {
+        /** Frames granted to migrations that have not landed yet. */
+        std::uint64_t frames_in_transit = 0;
+        /** Frames of evicted pages awaiting write-back completion. */
+        std::uint64_t pending_free_frames = 0;
+    };
+
+    SimAuditor(const ManagedSpace &space,
+               const ResidencyTracker &residency,
+               const PageTable &page_table, const FrameAllocator &frames,
+               const FarFaultMshr &mshr);
+
+    /**
+     * Sweep every subsystem; on the first violated invariant dump a
+     * structured state diff to stderr and panic.
+     *
+     * @param context Short label of the GMMU event that just finished
+     *                (e.g. "fault-service"), included in the dump.
+     */
+    void checkAll(const char *context, const Transients &transients);
+
+    /**
+     * Validate one eviction selection before it is applied.
+     *
+     * @param kind          Policy that produced the selection.
+     * @param victims       Selected pages (policy contract: ascending).
+     * @param reserve_pages Cold-end reservation in force during the
+     *                      selection.
+     */
+    void checkVictims(const char *context, EvictionKind kind,
+                      const std::vector<PageNum> &victims,
+                      std::uint64_t reserve_pages);
+
+    /** Full sweeps performed so far. */
+    std::uint64_t checksPerformed() const { return checks_; }
+
+    /** Victim-set validations performed so far. */
+    std::uint64_t victimChecksPerformed() const { return victim_checks_; }
+
+  private:
+    /** Dump the structured diff for `page` plus counts, then panic. */
+    [[noreturn]] void fail(const char *context, const char *invariant,
+                           const std::string &detail);
+
+    /** One page's view across every subsystem, as dump lines. */
+    std::string pageState(PageNum page) const;
+
+    /** Global counters line (valid pages, frames, MSHR, LRU head). */
+    std::string globalState(const Transients &transients) const;
+
+    const ManagedSpace &space_;
+    const ResidencyTracker &residency_;
+    const PageTable &page_table_;
+    const FrameAllocator &frames_;
+    const FarFaultMshr &mshr_;
+
+    std::uint64_t checks_ = 0;
+    std::uint64_t victim_checks_ = 0;
+};
+
+} // namespace uvmsim
+
+#endif // UVMSIM_CORE_AUDITOR_HH

@@ -45,8 +45,22 @@ Gmmu::Gmmu(EventQueue &eq, PcieLink &pcie, FrameAllocator &frames,
       user_prefetched_pages_("gmmu.user_prefetched_pages",
                              "pages migrated by user-directed prefetch"),
       oversubscribed_at_us_("gmmu.oversubscribed_at_us",
-                            "sim time the over-subscription latch tripped")
+                            "sim time the over-subscription latch tripped"),
+      audit_checks_("gmmu.audit_checks",
+                    "SimAuditor full-state sweeps performed")
 {
+    // The UVMSIM_AUDIT build config forces the auditor on for every
+    // run (the debug CI job); otherwise it is per-run opt-in.
+#ifdef UVMSIM_AUDIT
+    constexpr bool audit_forced = true;
+#else
+    constexpr bool audit_forced = false;
+#endif
+    if (config_.audit || audit_forced) {
+        auditor_ = std::make_unique<SimAuditor>(space_, residency_,
+                                                page_table_, frames_,
+                                                mshr_);
+    }
     if (config_.lru_reserve_fraction < 0.0 ||
         config_.lru_reserve_fraction >= 1.0) {
         fatal("lru_reserve_fraction %.3f outside [0, 1)",
@@ -60,6 +74,17 @@ Prefetcher &
 Gmmu::activePrefetcher()
 {
     return oversubscribed_ ? *prefetcher_after_ : *prefetcher_before_;
+}
+
+void
+Gmmu::audit(const char *context)
+{
+    if (!auditor_)
+        return;
+    auditor_->checkAll(
+        context,
+        SimAuditor::Transients{frames_in_transit_, pending_free_frames_});
+    ++audit_checks_;
 }
 
 void
@@ -194,6 +219,7 @@ Gmmu::serviceBatch(const std::vector<PageNum> &batch)
     ++fault_services_;
     for (PageNum page : batch)
         serviceFault(page);
+    audit("fault-service");
     engine_busy_ = false;
     kickFaultEngine();
 }
@@ -285,6 +311,7 @@ Gmmu::prefetchRange(Addr base, std::uint64_t bytes)
         batch.push_back(p);
     }
     flush();
+    audit("user-prefetch");
 }
 
 void
@@ -353,6 +380,7 @@ Gmmu::scheduleMigration(std::vector<PageNum> pages,
                 // Newly resident pages may unblock queued frame
                 // requests that had nothing evictable before.
                 pumpFrameQueue();
+                audit("migration-arrival");
             };
             pcie_.transfer(PcieDir::hostToDevice, bytes, std::move(arrive));
         };
@@ -468,6 +496,10 @@ Gmmu::evictUntil(std::uint64_t target_frames)
         }
         if (victims.empty())
             return false;
+        if (auditor_) {
+            auditor_->checkVictims("victim-selection", eviction_->kind(),
+                                   victims, ctx.reserve_pages);
+        }
         if (applyEviction(victims) == 0)
             return false; // no progress; avoid spinning
     }
@@ -557,6 +589,7 @@ Gmmu::applyEviction(const std::vector<PageNum> &victims)
                 frames_.free(v.frame);
         }
     }
+    audit("eviction-drain");
     return evicted.size();
 }
 
@@ -577,6 +610,7 @@ Gmmu::registerStats(stats::StatRegistry &registry)
     registry.add(&mshr_stalls_);
     registry.add(&user_prefetched_pages_);
     registry.add(&oversubscribed_at_us_);
+    registry.add(&audit_checks_);
     mshr_.registerStats(registry);
 }
 

@@ -30,6 +30,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "core/auditor.hh"
 #include "core/eviction.hh"
 #include "core/managed_space.hh"
 #include "core/policies.hh"
@@ -105,6 +106,15 @@ struct GmmuConfig
     bool whole_unit_writeback = true;
     /** Seed for the policy RNG (Rp / Re). */
     std::uint64_t seed = 1;
+
+    /**
+     * Run the SimAuditor's cross-subsystem sweep after every fault
+     * service, migration arrival and eviction drain (see
+     * core/auditor.hh).  O(resident pages) per check -- keep off for
+     * performance runs.  The UVMSIM_AUDIT build option forces this on
+     * for every run regardless of the flag.
+     */
+    bool audit = false;
 };
 
 /** The GPU memory management unit with UVM support. */
@@ -160,6 +170,12 @@ class Gmmu
 
     /** The MSHRs (exposed for tests). */
     FarFaultMshr &mshr() { return mshr_; }
+
+    /** Whether the state auditor is active for this GMMU. */
+    bool auditEnabled() const { return auditor_ != nullptr; }
+
+    /** The auditor, or nullptr when auditing is off (for tests). */
+    SimAuditor *auditor() { return auditor_.get(); }
 
     /** Number of fault services performed. */
     std::uint64_t faultServices() const { return fault_services_.count(); }
@@ -227,6 +243,9 @@ class Gmmu
     /** The prefetcher active right now. */
     Prefetcher &activePrefetcher();
 
+    /** Run the auditor's full sweep, when enabled. */
+    void audit(const char *context);
+
     /** Common post-translation accounting. */
     void accountAccess(const MemAccess &access);
 
@@ -240,6 +259,7 @@ class Gmmu
     FarFaultMshr mshr_;
     ResidencyTracker residency_;
     Rng rng_;
+    std::unique_ptr<SimAuditor> auditor_;
 
     std::unique_ptr<Prefetcher> prefetcher_before_;
     std::unique_ptr<Prefetcher> prefetcher_after_;
@@ -278,6 +298,7 @@ class Gmmu
     stats::Counter mshr_stalls_;
     stats::Counter user_prefetched_pages_;
     stats::Scalar oversubscribed_at_us_;
+    stats::Counter audit_checks_;
 };
 
 } // namespace uvmsim

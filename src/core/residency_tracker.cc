@@ -106,6 +106,9 @@ ResidencyTracker::onEvicted(PageNum page)
     removeFromHierarchy(page);
 
     auto rit = random_pos_.find(page);
+    if (rit == random_pos_.end())
+        panic("evicted page %llu missing from the random sampler",
+              static_cast<unsigned long long>(page));
     std::size_t idx = rit->second;
     PageNum last = random_pool_.back();
     random_pool_[idx] = last;
@@ -216,6 +219,18 @@ ResidencyTracker::blockResidentPages(std::uint64_t block) const
         return 0;
     auto bit = cit->second.block_pages.find(block);
     return bit == cit->second.block_pages.end() ? 0 : bit->second;
+}
+
+std::vector<PageNum>
+ResidencyTracker::coldPages(std::uint64_t n) const
+{
+    std::vector<PageNum> out;
+    out.reserve(static_cast<std::size_t>(
+        std::min<std::uint64_t>(n, page_order_.size())));
+    for (auto it = page_order_.rbegin();
+         it != page_order_.rend() && out.size() < n; ++it)
+        out.push_back(*it);
+    return out;
 }
 
 bool

@@ -95,6 +95,13 @@ class ResidencyTracker
     /** Resident-page count of a block (0 when unknown). */
     std::uint64_t blockResidentPages(std::uint64_t block) const;
 
+    /**
+     * Up to `n` coldest pages in flat LRU order (coldest first).
+     * n >= size() enumerates every tracked page; used by the
+     * SimAuditor for its sweep and reservation checks.
+     */
+    std::vector<PageNum> coldPages(std::uint64_t n) const;
+
     /** Internal invariants hold (for tests). */
     bool checkConsistent() const;
 

@@ -34,6 +34,15 @@ FrameAllocator::allocate()
     return frame;
 }
 
+bool
+FrameAllocator::isAllocated(FrameNum frame) const
+{
+    if (frame >= total_)
+        panic("isAllocated on out-of-range frame %llu",
+              static_cast<unsigned long long>(frame));
+    return allocated_[frame];
+}
+
 void
 FrameAllocator::free(FrameNum frame)
 {

@@ -37,6 +37,9 @@ class FrameAllocator
     /** Return a frame to the pool. Double-free panics. */
     void free(FrameNum frame);
 
+    /** Whether a frame is currently handed out. @pre frame in range. */
+    bool isAllocated(FrameNum frame) const;
+
     /** Frames currently free. */
     std::uint64_t freeFrames() const { return free_list_.size(); }
 

@@ -1,5 +1,7 @@
 #include "mshr.hh"
 
+#include <algorithm>
+
 namespace uvmsim
 {
 
@@ -48,6 +50,17 @@ bool
 FarFaultMshr::isPending(PageNum page) const
 {
     return entries_.count(page) > 0;
+}
+
+std::vector<PageNum>
+FarFaultMshr::pendingPageList() const
+{
+    std::vector<PageNum> pages;
+    pages.reserve(entries_.size());
+    for (const auto &[page, waiters] : entries_)
+        pages.push_back(page);
+    std::sort(pages.begin(), pages.end());
+    return pages;
 }
 
 std::vector<FarFaultMshr::Waiter>

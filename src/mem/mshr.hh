@@ -67,6 +67,10 @@ class FarFaultMshr
     /** Number of distinct pages with in-flight migrations. */
     std::size_t pendingPages() const { return entries_.size(); }
 
+    /** Every page with an in-flight migration, ascending (for the
+     *  SimAuditor's sweep). */
+    std::vector<PageNum> pendingPageList() const;
+
     /** Total number of waiters currently parked. */
     std::size_t pendingWaiters() const { return waiter_count_; }
 

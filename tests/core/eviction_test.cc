@@ -5,6 +5,7 @@
 #include <algorithm>
 
 #include "core/eviction.hh"
+#include "core/gmmu.hh"
 #include "sim/ticks.hh"
 
 namespace uvmsim
@@ -195,6 +196,90 @@ TEST_F(EvictionFixture, ReservationFallbackHandledByCaller)
     EXPECT_TRUE(policy.selectVictims(c).empty());
     auto c0 = ctx(0);
     EXPECT_EQ(policy.selectVictims(c0).size(), 1u);
+}
+
+/**
+ * Regression for the TBNe / in-flight migration interaction documented
+ * at the top of TreeBasedEviction::selectVictims: the tree drain may
+ * select pages whose migration is still in flight.  The GMMU must
+ * filter them out of the eviction (they hold no frame yet), restore
+ * their to-be-valid marks, and let the migration land normally --
+ * losing the mark would strand the pages, applying the eviction would
+ * double-count residency.  Verified with the SimAuditor sweeping after
+ * every step.
+ */
+TEST(TbneInflight, EvictionDuringMigrationKeepsResidencyExact)
+{
+    GmmuConfig cfg;
+    cfg.prefetcher_before = PrefetcherKind::treeBasedNeighborhood;
+    cfg.prefetcher_after = PrefetcherKind::treeBasedNeighborhood;
+    cfg.eviction = EvictionKind::treeBasedNeighborhood;
+    cfg.audit = true;
+
+    EventQueue eq;
+    PcieLink pcie(eq, PcieBandwidthModel{});
+    FrameAllocator frames(2 * pagesPerBasicBlock); // two blocks fit
+    PageTable pt;
+    ManagedSpace space;
+    Gmmu gmmu(eq, pcie, frames, pt, space, cfg);
+
+    stats::StatRegistry reg;
+    gmmu.registerStats(reg);
+
+    auto &alloc = space.allocate(mib(2), "a");
+    LargePageTree *tree = space.treeFor(pageOf(alloc.base()));
+    ASSERT_NE(tree, nullptr);
+
+    auto touch = [&](Addr addr) {
+        MemAccess m;
+        m.addr = addr;
+        m.size = 128;
+        m.is_write = false;
+        bool done = false;
+        gmmu.translate(m, [&] { done = true; });
+        eq.run();
+        EXPECT_TRUE(done);
+    };
+
+    // Fill the device: blocks 0 and 1 resident (32 frames used).
+    touch(alloc.base());
+    touch(alloc.base() + basicBlockSize);
+    ASSERT_EQ(pt.validPages(), 2 * pagesPerBasicBlock);
+
+    // Faulting block 2 migrates 16 in-flight pages while TBNe's drain
+    // (triggered by the frame shortage) cascades over the sparse tree
+    // and selects them along with the resident blocks 0 and 1.
+    touch(alloc.base() + 2 * basicBlockSize);
+
+    PageNum b0 = pageOf(alloc.base());
+    PageNum b2 = b0 + 2 * pagesPerBasicBlock;
+
+    // Exactly block 2 is resident: valid, tracked, and tree-marked.
+    EXPECT_EQ(pt.validPages(), pagesPerBasicBlock);
+    EXPECT_EQ(gmmu.residency().size(), pagesPerBasicBlock);
+    for (std::uint64_t i = 0; i < pagesPerBasicBlock; ++i) {
+        EXPECT_TRUE(pt.isValid(b2 + i));
+        EXPECT_TRUE(gmmu.residency().isTracked(b2 + i));
+        EXPECT_TRUE(tree->pageMarked(b2 + i));
+    }
+    for (std::uint64_t i = 0; i < 2 * pagesPerBasicBlock; ++i) {
+        EXPECT_FALSE(pt.isValid(b0 + i));
+        EXPECT_FALSE(gmmu.residency().isTracked(b0 + i));
+        EXPECT_FALSE(tree->pageMarked(b0 + i));
+    }
+    EXPECT_EQ(tree->markedPages().size(), pagesPerBasicBlock);
+    EXPECT_TRUE(tree->checkConsistent());
+    EXPECT_TRUE(gmmu.residency().checkConsistent());
+
+    // Only the 32 resident pages were evicted -- the 16 in-flight
+    // drain picks were filtered, not lost and not double-counted.
+    EXPECT_DOUBLE_EQ(reg.at("gmmu.pages_evicted").value(),
+                     2.0 * pagesPerBasicBlock);
+    EXPECT_DOUBLE_EQ(reg.at("gmmu.pages_migrated").value(),
+                     3.0 * pagesPerBasicBlock);
+    EXPECT_EQ(gmmu.mshr().pendingPages(), 0u);
+    ASSERT_TRUE(gmmu.auditEnabled());
+    EXPECT_GT(gmmu.auditor()->checksPerformed(), 0u);
 }
 
 } // namespace uvmsim

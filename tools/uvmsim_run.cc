@@ -63,6 +63,8 @@ usage()
         "  --user-prefetch          prefetch the footprint up front\n"
         "  --sms=N --warps=N        GPU geometry overrides\n"
         "  --seed=N                 policy RNG seed\n"
+        "  --audit                  verify cross-subsystem state after "
+        "every fault/eviction (slow; see docs)\n"
         "  --stats / --stats-csv    dump the full statistics table\n"
         "  --analyze                print the access-pattern analysis\n"
         "  --list                   list available workloads\n");
@@ -140,6 +142,7 @@ main(int argc, char **argv)
         static_cast<std::uint32_t>(opts.getUint("fault-batch", 1));
     cfg.user_prefetch_footprint = opts.getBool("user-prefetch");
     cfg.seed = opts.getUint("seed", 1);
+    cfg.audit = opts.getBool("audit");
     if (opts.has("sms"))
         cfg.gpu.num_sms =
             static_cast<std::uint32_t>(opts.getUint("sms", 28));
