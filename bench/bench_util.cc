@@ -52,6 +52,20 @@ jobCount(const Options &opts)
 }
 
 void
+applyTraceOptions(SimConfig &config, const Options &opts,
+                  const std::string &label)
+{
+    config.trace_spec = opts.get("trace", "");
+    if (config.trace_spec.empty())
+        return;
+    config.trace_out = opts.get("trace-out", "uvmsim_bench");
+    if (!label.empty())
+        config.trace_out += "-" + label;
+    config.epoch_ticks =
+        opts.getUint("epoch-ticks", config.epoch_ticks);
+}
+
+void
 printHeader(const std::string &figure, const std::string &what)
 {
     std::printf("# %s\n", figure.c_str());
@@ -110,16 +124,28 @@ run(const std::string &benchmark, const SimConfig &config,
 std::vector<RunResult>
 runAll(const std::vector<RunJob> &jobs, const Options &opts)
 {
+    // --trace on any harness: every cell of the sweep gets its own
+    // uniquely named artifact pair (and its own cache key, so traced
+    // duplicates still each write their files).
+    std::vector<RunJob> batch = jobs;
+    if (opts.has("trace")) {
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            applyTraceOptions(batch[i].config, opts,
+                              batch[i].workload + "-" +
+                                  std::to_string(i));
+        }
+    }
+
     RunExecutor executor(jobCount(opts));
     std::atomic<std::size_t> started{0};
-    const std::size_t total = jobs.size();
+    const std::size_t total = batch.size();
     auto progress = [&started, total](const RunJob &job, std::size_t) {
         char counter[32];
         std::snprintf(counter, sizeof(counter), " %zu/%zu",
                       started.fetch_add(1) + 1, total);
         progressLine(job.workload, job.config, counter);
     };
-    return executor.runBatch(jobs, progress);
+    return executor.runBatch(batch, progress);
 }
 
 } // namespace uvmsim::bench

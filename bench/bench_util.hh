@@ -41,6 +41,16 @@ WorkloadParams workloadParams(const Options &opts);
  */
 std::size_t jobCount(const Options &opts);
 
+/**
+ * Event-tracing wiring shared by every harness: when --trace=<spec>
+ * was given, apply it (plus --trace-out / --epoch-ticks) to the
+ * config.  `label` distinguishes the artifacts of concurrent runs --
+ * each traced cell writes <trace-out>-<label>.trace.json and
+ * <trace-out>-<label>.epochs.csv.  No-op without --trace.
+ */
+void applyTraceOptions(SimConfig &config, const Options &opts,
+                       const std::string &label);
+
 /** Print the standard header: figure id, description, options. */
 void printHeader(const std::string &figure, const std::string &what);
 

@@ -1,0 +1,176 @@
+#include "timeline.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "sim/logging.hh"
+
+namespace uvmsim::analysis
+{
+
+EpochTimeline::EpochTimeline(Tick epoch_ticks, std::size_t capacity)
+    : epoch_ticks_(epoch_ticks), capacity_(capacity)
+{
+    if (epoch_ticks_ == 0)
+        panic("EpochTimeline: epoch length must be positive");
+}
+
+Epoch *
+EpochTimeline::at(std::uint64_t index)
+{
+    if (index < first_epoch_)
+        return nullptr; // The ring already advanced past this epoch.
+    while (first_epoch_ + epochs_.size() <= index) {
+        epochs_.emplace_back();
+        if (capacity_ != 0 && epochs_.size() > capacity_) {
+            epochs_.pop_front();
+            ++first_epoch_;
+            ++dropped_epochs_;
+        }
+    }
+    if (index < first_epoch_)
+        return nullptr;
+    return &epochs_[index - first_epoch_];
+}
+
+void
+EpochTimeline::addBusy(Tick start, Tick duration, bool h2d)
+{
+    const Tick end = start + duration;
+    for (std::uint64_t e = epochOf(start); e * epoch_ticks_ < end; ++e) {
+        const Tick epoch_start = e * epoch_ticks_;
+        const Tick epoch_end = epoch_start + epoch_ticks_;
+        const Tick overlap =
+            std::min(end, epoch_end) - std::max(start, epoch_start);
+        if (Epoch *epoch = at(e)) {
+            if (h2d)
+                epoch->h2d_busy += overlap;
+            else
+                epoch->d2h_busy += overlap;
+        }
+    }
+}
+
+void
+EpochTimeline::record(const trace::Event &event)
+{
+    using trace::Kind;
+    switch (event.kind) {
+      case Kind::faultRaised:
+        if (Epoch *e = at(epochOf(event.start)))
+            ++e->faults;
+        break;
+      case Kind::faultMerged:
+        if (Epoch *e = at(epochOf(event.start)))
+            ++e->merged_faults;
+        break;
+      case Kind::faultService:
+        if (Epoch *e = at(epochOf(event.start)))
+            ++e->fault_services;
+        break;
+      case Kind::migrationArrived:
+        resident_now_ += event.pages;
+        if (Epoch *e = at(epochOf(event.start))) {
+            e->migrated_pages += event.pages;
+            e->resident_pages = resident_now_;
+            e->resident_seen = true;
+        }
+        break;
+      case Kind::evictionDrain:
+        resident_now_ -= std::min(resident_now_, event.pages);
+        if (Epoch *e = at(epochOf(event.start))) {
+            e->evicted_pages += event.pages;
+            e->resident_pages = resident_now_;
+            e->resident_seen = true;
+        }
+        break;
+      case Kind::pcieTransfer: {
+        const bool h2d = event.aux == 0;
+        // Bytes land with the transfer's last tick; channel occupancy
+        // spreads over every epoch the transfer overlaps.
+        if (Epoch *e = at(epochOf(event.start + event.duration))) {
+            if (h2d)
+                e->migrated_bytes += event.bytes;
+            else
+                e->writeback_bytes += event.bytes;
+        }
+        if (event.duration > 0)
+            addBusy(event.start, event.duration, h2d);
+        break;
+      }
+      case Kind::prefetchDecision:
+      case Kind::migrationStart:
+      case Kind::userPrefetch:
+      case Kind::evictionSelect:
+      case Kind::oversubscribed:
+      case Kind::kernelRun:
+        // Visible in the Chrome trace; no epoch column (yet).  Still
+        // materialize the epoch so empty-but-active intervals show up.
+        at(epochOf(event.start));
+        break;
+    }
+    end_tick_ = std::max(end_tick_, event.start + event.duration);
+}
+
+void
+EpochTimeline::finish(Tick end)
+{
+    end_tick_ = std::max(end_tick_, end);
+    // Materialize trailing empty epochs so the series spans the run.
+    if (end_tick_ > 0)
+        at(epochOf(end_tick_ - 1));
+}
+
+const Epoch &
+EpochTimeline::epoch(std::uint64_t index) const
+{
+    if (index < first_epoch_ || index - first_epoch_ >= epochs_.size()) {
+        panic("EpochTimeline: epoch %llu out of range [%llu, %llu)",
+              static_cast<unsigned long long>(index),
+              static_cast<unsigned long long>(first_epoch_),
+              static_cast<unsigned long long>(first_epoch_ +
+                                              epochs_.size()));
+    }
+    return epochs_[index - first_epoch_];
+}
+
+void
+EpochTimeline::dumpCsv(std::ostream &os) const
+{
+    os << "epoch,start_us,faults,merged_faults,fault_services,"
+          "migrated_pages,migrated_bytes,h2d_gbps,h2d_busy_frac,"
+          "evicted_pages,writeback_bytes,d2h_gbps,resident_pages\n";
+
+    const double epoch_seconds = ticksToSeconds(epoch_ticks_);
+    std::uint64_t resident = 0;
+    char buf[64];
+    for (std::size_t i = 0; i < epochs_.size(); ++i) {
+        const Epoch &e = epochs_[i];
+        if (e.resident_seen)
+            resident = e.resident_pages;
+        const std::uint64_t index = first_epoch_ + i;
+        const Tick start = index * epoch_ticks_;
+        const double h2d_gbps = static_cast<double>(e.migrated_bytes) /
+                                epoch_seconds / 1e9;
+        const double d2h_gbps = static_cast<double>(e.writeback_bytes) /
+                                epoch_seconds / 1e9;
+        os << index << ',';
+        std::snprintf(buf, sizeof(buf), "%.3f",
+                      ticksToMicroseconds(start));
+        os << buf << ',' << e.faults << ',' << e.merged_faults << ','
+           << e.fault_services << ',' << e.migrated_pages << ','
+           << e.migrated_bytes << ',';
+        std::snprintf(buf, sizeof(buf), "%.6f", h2d_gbps);
+        os << buf << ',';
+        std::snprintf(buf, sizeof(buf), "%.6f",
+                      static_cast<double>(e.h2d_busy) /
+                          static_cast<double>(epoch_ticks_));
+        os << buf << ',' << e.evicted_pages << ',' << e.writeback_bytes
+           << ',';
+        std::snprintf(buf, sizeof(buf), "%.6f", d2h_gbps);
+        os << buf << ',' << resident << '\n';
+    }
+}
+
+} // namespace uvmsim::analysis

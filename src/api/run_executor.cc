@@ -27,6 +27,16 @@ appendUint(std::string &out, std::uint64_t v)
     out += ',';
 }
 
+/** Length-prefixed so embedded separators cannot alias keys. */
+void
+appendString(std::string &out, const std::string &v)
+{
+    out += std::to_string(v.size());
+    out += ':';
+    out += v;
+    out += ',';
+}
+
 } // namespace
 
 std::string
@@ -72,6 +82,13 @@ runJobKey(const RunJob &job)
     appendUint(key, c.page_walkers);
     appendUint(key, c.mshr_entries);
     appendUint(key, c.seed);
+    appendUint(key, c.audit ? 1 : 0);
+    // Tracing never changes simulation results, but jobs with
+    // different artifact paths must not dedup onto one run or only
+    // one output file would be written.
+    appendString(key, c.trace_spec);
+    appendString(key, c.trace_out);
+    appendUint(key, c.epoch_ticks);
     key += '|';
 
     const WorkloadParams &p = job.params;

@@ -1,9 +1,11 @@
 #include "simulator.hh"
 
 #include <algorithm>
+#include <fstream>
 #include <memory>
 #include <vector>
 
+#include "analysis/timeline.hh"
 #include "api/run_executor.hh"
 #include "gpu/gpu.hh"
 #include "interconnect/pcie_link.hh"
@@ -48,6 +50,14 @@ void
 Simulator::setKernelObserver(KernelObserver observer)
 {
     kernel_observer_ = std::move(observer);
+}
+
+void
+Simulator::addTraceSink(trace::TraceSink *sink)
+{
+    if (!sink)
+        fatal("Simulator::addTraceSink(nullptr)");
+    extra_sinks_.push_back(sink);
 }
 
 RunResult
@@ -107,6 +117,32 @@ Simulator::run(Workload &workload)
     Gmmu gmmu(eq, pcie, frames, page_table, space, gcfg);
     Gpu gpu(eq, config_.gpu, gmmu);
 
+    // Opt-in observability: route component events into the Chrome
+    // trace exporter and the epoch time-series aggregator.  With an
+    // empty trace_spec no tracer exists and every emission site stays
+    // a branch on a null pointer.
+    std::unique_ptr<trace::Tracer> tracer;
+    std::unique_ptr<trace::ChromeTraceSink> chrome_sink;
+    std::unique_ptr<analysis::EpochTimeline> timeline;
+    if (!config_.trace_spec.empty()) {
+        unsigned mask = trace::parseSpec(config_.trace_spec);
+        if (config_.epoch_ticks == 0)
+            fatal("epoch_ticks must be positive when tracing");
+        tracer = std::make_unique<trace::Tracer>(mask);
+        timeline =
+            std::make_unique<analysis::EpochTimeline>(config_.epoch_ticks);
+        tracer->addSink(timeline.get());
+        if (!config_.trace_out.empty()) {
+            chrome_sink = std::make_unique<trace::ChromeTraceSink>(
+                config_.trace_out + ".trace.json");
+            tracer->addSink(chrome_sink.get());
+        }
+        for (trace::TraceSink *sink : extra_sinks_)
+            tracer->addSink(sink);
+        gmmu.setTracer(tracer.get());
+        pcie.setTracer(tracer.get());
+    }
+
     if (access_observer_)
         gmmu.setAccessObserver(access_observer_);
 
@@ -123,6 +159,7 @@ Simulator::run(Workload &workload)
         Gpu &gpu;
         EventQueue &eq;
         KernelObserver &observer;
+        trace::Tracer *tracer;
         std::uint64_t index = 0;
 
         void
@@ -136,6 +173,12 @@ Simulator::run(Workload &workload)
             gpu.launch(*kernel, [this, start, name]() {
                 if (observer)
                     observer(index, name, start, eq.curTick());
+                if (tracer) {
+                    tracer->record(trace::Event{
+                        trace::Kind::kernelRun, trace::Category::kernel,
+                        "kernel", start, eq.curTick() - start, 0, 0,
+                        index});
+                }
                 ++index;
                 launchNext();
             });
@@ -149,12 +192,29 @@ Simulator::run(Workload &workload)
             gmmu.prefetchRange(alloc->base(), alloc->paddedBytes());
     }
 
-    Driver driver{workload, gpu, eq, kernel_observer_};
+    Driver driver{workload, gpu, eq, kernel_observer_, tracer.get()};
     driver.launchNext();
     eq.run();
 
     if (gpu.busy())
         panic("event queue drained while a kernel was still running");
+
+    if (tracer) {
+        tracer->finish(eq.curTick());
+        if (timeline && !config_.trace_out.empty()) {
+            const std::string csv_path =
+                config_.trace_out + ".epochs.csv";
+            std::ofstream csv(csv_path);
+            if (!csv)
+                fatal("cannot open epoch CSV output file '%s'",
+                      csv_path.c_str());
+            timeline->dumpCsv(csv);
+            csv.close();
+            if (!csv)
+                fatal("error writing epoch CSV output file '%s'",
+                      csv_path.c_str());
+        }
+    }
 
     // 5. Collect the results.
     RunResult result;

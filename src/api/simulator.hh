@@ -28,6 +28,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "analysis/access_pattern.hh"
 #include "core/gmmu.hh"
@@ -35,6 +36,7 @@
 #include "gpu/gpu_config.hh"
 #include "interconnect/bandwidth_model.hh"
 #include "sim/ticks.hh"
+#include "sim/trace.hh"
 #include "workloads/workload.hh"
 
 namespace uvmsim
@@ -117,6 +119,31 @@ struct SimConfig
      * runs.  Builds configured with -DUVMSIM_AUDIT=ON force this on.
      */
     bool audit = false;
+
+    /**
+     * Event-tracing specification: "all" or a comma-separated subset
+     * of fault,prefetch,migration,eviction,pcie,kernel (see
+     * sim/trace.hh).  Empty (the default) disables tracing entirely;
+     * every emission site then reduces to one branch on a null
+     * pointer.
+     */
+    std::string trace_spec;
+
+    /**
+     * Base path for trace artifacts: the run writes
+     * <trace_out>.trace.json (Chrome trace_event JSON for
+     * chrome://tracing / Perfetto) and <trace_out>.epochs.csv (the
+     * epoch time-series).  Empty with a non-empty trace_spec keeps
+     * tracing in memory only (custom sinks attached via
+     * Simulator::addTraceSink still see every event).
+     */
+    std::string trace_out;
+
+    /**
+     * Epoch length of the time-series aggregation, in ticks
+     * (1 tick = 1 ps; default 100us).  See analysis/timeline.hh.
+     */
+    Tick epoch_ticks = microseconds(100);
 };
 
 /** Everything a run produced. */
@@ -189,6 +216,13 @@ class Simulator
     void setKernelObserver(KernelObserver observer);
 
     /**
+     * Attach an extra trace sink (e.g. a test capture or an in-memory
+     * EpochTimeline).  Only consulted when config().trace_spec selects
+     * at least one category; the sink must outlive every run().
+     */
+    void addTraceSink(trace::TraceSink *sink);
+
+    /**
      * Run a workload to completion on a freshly built system.
      * The workload must be freshly constructed (kernel streams are
      * consumed).
@@ -199,6 +233,7 @@ class Simulator
     SimConfig config_;
     Gmmu::AccessObserver access_observer_;
     KernelObserver kernel_observer_;
+    std::vector<trace::TraceSink *> extra_sinks_;
 };
 
 /**

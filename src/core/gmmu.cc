@@ -167,6 +167,11 @@ Gmmu::raiseFault(const MemAccess &access, AccessDone done)
     DTRACE("GMMU", "far-fault on page %llu (%s)",
            static_cast<unsigned long long>(page),
            primary ? "primary" : "merged");
+    emit(trace::Event{primary ? trace::Kind::faultRaised
+                              : trace::Kind::faultMerged,
+                      trace::Category::fault,
+                      primary ? "fault" : "fault_merged", eq_.curTick(),
+                      0, 1, 0, page});
     if (primary) {
         fault_queue_.push_back(page);
         kickFaultEngine();
@@ -208,6 +213,9 @@ Gmmu::kickFaultEngine()
         latency = static_cast<Tick>(
             static_cast<double>(latency) * std::max(factor, 0.0));
     }
+    emit(trace::Event{trace::Kind::faultService, trace::Category::fault,
+                      "fault_service", eq_.curTick(), latency,
+                      batch.size(), 0, batch.front()});
     eq_.scheduleAfter(latency, [this, batch = std::move(batch)]() {
         serviceBatch(batch);
     });
@@ -268,6 +276,10 @@ Gmmu::serviceFault(PageNum page)
             ++prefetches_trimmed_;
         }
 
+        emit(trace::Event{trace::Kind::prefetchDecision,
+                          trace::Category::prefetch, "prefetch_decision",
+                          eq_.curTick(), 0, pages.size(),
+                          pages.size() * pageSize, page});
         scheduleMigration(std::move(pages), page);
     }
 }
@@ -285,6 +297,10 @@ Gmmu::prefetchRange(Addr base, std::uint64_t bytes)
         if (batch.empty())
             return;
         user_prefetched_pages_ += batch.size();
+        emit(trace::Event{trace::Kind::userPrefetch,
+                          trace::Category::migration, "user_prefetch",
+                          eq_.curTick(), 0, batch.size(),
+                          batch.size() * pageSize, batch.front()});
         scheduleMigration(std::move(batch), std::nullopt);
         batch.clear();
     };
@@ -323,6 +339,10 @@ Gmmu::scheduleMigration(std::vector<PageNum> pages,
 
     DTRACE("GMMU", "migrating %zu pages (fault %lld)", pages.size(),
            faulty ? static_cast<long long>(*faulty) : -1ll);
+    emit(trace::Event{trace::Kind::migrationStart,
+                      trace::Category::migration, "migration_start",
+                      eq_.curTick(), 0, pages.size(),
+                      pages.size() * pageSize, faulty ? *faulty : 0});
     pages_migrated_ += pages.size();
     pages_prefetched_ += pages.size() - (faulty ? 1 : 0);
     for (PageNum p : pages) {
@@ -395,6 +415,10 @@ Gmmu::scheduleMigration(std::vector<PageNum> pages,
 void
 Gmmu::migrationArrived(const std::vector<PageNum> &pages)
 {
+    emit(trace::Event{trace::Kind::migrationArrived,
+                      trace::Category::migration, "migration_arrived",
+                      eq_.curTick(), 0, pages.size(),
+                      pages.size() * pageSize, pages.front()});
     for (PageNum p : pages) {
         auto waiters = mshr_.complete(p);
         for (auto &w : waiters)
@@ -457,6 +481,9 @@ Gmmu::enterOversubscription()
 {
     oversubscribed_ = true;
     oversubscribed_at_us_.set(ticksToMicroseconds(eq_.curTick()));
+    emit(trace::Event{trace::Kind::oversubscribed,
+                      trace::Category::eviction, "oversubscribed",
+                      eq_.curTick(), 0, 0, 0, 0});
     DTRACE("GMMU", "over-subscription latched at %.1f us",
            ticksToMicroseconds(eq_.curTick()));
 }
@@ -496,6 +523,10 @@ Gmmu::evictUntil(std::uint64_t target_frames)
         }
         if (victims.empty())
             return false;
+        emit(trace::Event{trace::Kind::evictionSelect,
+                          trace::Category::eviction, "victim_select",
+                          eq_.curTick(), 0, victims.size(), 0,
+                          victims.front()});
         if (auditor_) {
             auditor_->checkVictims("victim-selection", eviction_->kind(),
                                    victims, ctx.reserve_pages);
@@ -548,6 +579,11 @@ Gmmu::applyEviction(const std::vector<PageNum> &victims)
 
     if (evicted.empty())
         return 0;
+
+    emit(trace::Event{trace::Kind::evictionDrain,
+                      trace::Category::eviction, "eviction_drain",
+                      eq_.curTick(), 0, evicted.size(),
+                      evicted.size() * pageSize, evicted.front().page});
 
     auto writeBack = [this](std::vector<FrameNum> frames,
                             std::uint64_t num_pages) {

@@ -45,6 +45,7 @@
 #include "sim/rng.hh"
 #include "sim/stats.hh"
 #include "sim/ticks.hh"
+#include "sim/trace.hh"
 
 namespace uvmsim
 {
@@ -183,7 +184,18 @@ class Gmmu
     /** Register this component's statistics. */
     void registerStats(stats::StatRegistry &registry);
 
+    /** Attach an event tracer (nullptr = tracing off, the default). */
+    void setTracer(trace::Tracer *tracer) { tracer_ = tracer; }
+
   private:
+    /** Emit one trace event when tracing is on (branch-on-null). */
+    void
+    emit(const trace::Event &event)
+    {
+        if (tracer_)
+            tracer_->record(event);
+    }
+
     /** One queued request for device frames. */
     struct FrameRequest
     {
@@ -267,6 +279,7 @@ class Gmmu
 
     TlbShootdownFn tlb_shootdown_;
     AccessObserver observer_;
+    trace::Tracer *tracer_ = nullptr;
 
     std::deque<PageNum> fault_queue_;
     bool engine_busy_ = false;

@@ -17,9 +17,13 @@ PcieLink::PcieLink(EventQueue &eq, PcieBandwidthModel model)
       d2h_transfers_("pcie.d2h.transfers",
                      "device-to-host write-back transfers scheduled"),
       d2h_bytes_("pcie.d2h.bytes", "bytes written back device-to-host"),
-      // Buckets of 64KB from 0..2MB cover every legal transfer size.
+      // Buckets of 64KB from 0..2MB cover every legal transfer size
+      // (the 2MB top edge inclusively, see Histogram::sample).
       h2d_size_hist_("pcie.h2d.transfer_size", "h2d transfer sizes (bytes)",
                      0.0, static_cast<double>(basicBlockSize), 32),
+      d2h_size_hist_("pcie.d2h.transfer_size",
+                     "d2h write-back transfer sizes (bytes)", 0.0,
+                     static_cast<double>(basicBlockSize), 32),
       h2d_avg_bw_("pcie.h2d.avg_bandwidth_gbps",
                   "average achieved read bandwidth while busy (GB/s)",
                   [this] { return averageBandwidthGBps(PcieDir::hostToDevice); }),
@@ -53,10 +57,21 @@ PcieLink::transfer(PcieDir dir, std::uint64_t bytes, Callback cb)
     const Tick latency = model_.transferLatency(bytes);
     const Tick done = start + latency;
 
+    if (tracer_) {
+        // The full occupancy is known up front; one complete event
+        // carries it, with the queue depth this transfer found.
+        const bool h2d = dir == PcieDir::hostToDevice;
+        tracer_->record(trace::Event{
+            trace::Kind::pcieTransfer, trace::Category::pcie,
+            h2d ? "pcie.h2d" : "pcie.d2h", start, latency,
+            bytes / pageSize, bytes, ch.outstanding, h2d ? 0u : 1u});
+    }
+
     ch.free_at = done;
     ch.bytes += bytes;
     ch.transfers += 1;
     ch.busy += latency;
+    ch.outstanding += 1;
 
     if (dir == PcieDir::hostToDevice) {
         ++h2d_transfers_;
@@ -65,10 +80,14 @@ PcieLink::transfer(PcieDir dir, std::uint64_t bytes, Callback cb)
     } else {
         ++d2h_transfers_;
         d2h_bytes_ += bytes;
+        d2h_size_hist_.sample(static_cast<double>(bytes));
     }
 
-    if (cb)
-        eq_.schedule(done, std::move(cb));
+    eq_.schedule(done, [this, dir, cb = std::move(cb)]() {
+        channel(dir).outstanding -= 1;
+        if (cb)
+            cb();
+    });
     return done;
 }
 
@@ -88,6 +107,12 @@ std::uint64_t
 PcieLink::transferCount(PcieDir dir) const
 {
     return channel(dir).transfers;
+}
+
+std::uint64_t
+PcieLink::outstandingTransfers(PcieDir dir) const
+{
+    return channel(dir).outstanding;
 }
 
 Tick
@@ -114,6 +139,7 @@ PcieLink::registerStats(stats::StatRegistry &registry)
     registry.add(&d2h_transfers_);
     registry.add(&d2h_bytes_);
     registry.add(&h2d_size_hist_);
+    registry.add(&d2h_size_hist_);
     registry.add(&h2d_avg_bw_);
     registry.add(&d2h_avg_bw_);
 }

@@ -19,6 +19,7 @@
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
 #include "sim/ticks.hh"
+#include "sim/trace.hh"
 
 namespace uvmsim
 {
@@ -74,8 +75,14 @@ class PcieLink
     /** The timing model in use. */
     const PcieBandwidthModel &model() const { return model_; }
 
+    /** Transfers scheduled on a channel but not yet completed. */
+    std::uint64_t outstandingTransfers(PcieDir dir) const;
+
     /** Register this component's statistics. */
     void registerStats(stats::StatRegistry &registry);
+
+    /** Attach an event tracer (nullptr = tracing off, the default). */
+    void setTracer(trace::Tracer *tracer) { tracer_ = tracer; }
 
   private:
     struct Channel
@@ -84,6 +91,8 @@ class PcieLink
         std::uint64_t bytes = 0;
         std::uint64_t transfers = 0;
         Tick busy = 0;
+        /** Transfers scheduled but not yet landed (queue depth). */
+        std::uint64_t outstanding = 0;
     };
 
     Channel &channel(PcieDir dir);
@@ -94,11 +103,14 @@ class PcieLink
     Channel h2d_;
     Channel d2h_;
 
+    trace::Tracer *tracer_ = nullptr;
+
     stats::Counter h2d_transfers_;
     stats::Counter h2d_bytes_;
     stats::Counter d2h_transfers_;
     stats::Counter d2h_bytes_;
     stats::Histogram h2d_size_hist_;
+    stats::Histogram d2h_size_hist_;
     stats::Formula h2d_avg_bw_;
     stats::Formula d2h_avg_bw_;
 };

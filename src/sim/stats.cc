@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <iomanip>
+#include <limits>
 #include <ostream>
 #include <sstream>
 
@@ -11,16 +12,22 @@ namespace uvmsim::stats
 {
 
 std::string
-Stat::render() const
+renderValue(double v)
 {
     std::ostringstream oss;
-    double v = value();
     if (std::floor(v) == v && std::abs(v) < 1e15) {
         oss << static_cast<long long>(v);
     } else {
-        oss << std::setprecision(6) << v;
+        oss << std::setprecision(std::numeric_limits<double>::max_digits10)
+            << v;
     }
     return oss.str();
+}
+
+std::string
+Stat::render() const
+{
+    return renderValue(value());
 }
 
 std::string
@@ -62,8 +69,16 @@ Histogram::sample(double v)
     }
     auto idx = static_cast<std::size_t>((v - lo_) / width_);
     if (idx >= buckets_.size()) {
-        ++overflow_;
-        return;
+        // The range is top-edge inclusive: a sample exactly at
+        // lo + width * num_buckets belongs to the last bucket (a
+        // maximum-size 2MB transfer is a legal size, not overflow).
+        const double hi =
+            lo_ + width_ * static_cast<double>(buckets_.size());
+        if (v > hi) {
+            ++overflow_;
+            return;
+        }
+        idx = buckets_.size() - 1;
     }
     ++buckets_[idx];
 }
@@ -155,7 +170,7 @@ StatRegistry::dumpCsv(std::ostream &os) const
 {
     os << "stat,value\n";
     for (const auto &[name, stat] : stats_)
-        os << name << ',' << stat->value() << '\n';
+        os << name << ',' << renderValue(stat->value()) << '\n';
 }
 
 } // namespace uvmsim::stats

@@ -26,6 +26,15 @@
 namespace uvmsim::stats
 {
 
+/**
+ * Render a stat value without precision loss: whole values print as
+ * integers, fractional ones with max_digits10 significant digits so
+ * they round-trip through text exactly.  Used by the text and CSV
+ * dumps -- the default ostream precision of 6 significant digits
+ * would corrupt large byte/tick counters.
+ */
+std::string renderValue(double v);
+
 /** Abstract named statistic. */
 class Stat
 {
@@ -79,19 +88,30 @@ class Counter : public Stat
     std::uint64_t value_ = 0;
 };
 
-/** A settable floating-point scalar (e.g. a configured ratio). */
+/**
+ * A settable floating-point scalar (e.g. a configured ratio).
+ *
+ * reset() restores the last set() value rather than zeroing: scalars
+ * typically hold configured quantities, and a StatRegistry::resetAll()
+ * between kernels or epochs must not silently wipe them.  clear()
+ * discards the configured value too.
+ */
 class Scalar : public Stat
 {
   public:
     using Stat::Stat;
 
-    void set(double v) { value_ = v; }
+    void set(double v) { value_ = configured_ = v; }
+
+    /** Forget the configured value entirely (back to 0). */
+    void clear() { value_ = configured_ = 0.0; }
 
     double value() const override { return value_; }
-    void reset() override { value_ = 0.0; }
+    void reset() override { value_ = configured_; }
 
   private:
     double value_ = 0.0;
+    double configured_ = 0.0;
 };
 
 /** Tracks the maximum of all samples offered to it. */
@@ -181,7 +201,12 @@ class Histogram : public Stat
     /** Count of samples below the first bucket. */
     std::uint64_t underflows() const { return underflow_; }
 
-    /** Count of samples at or above the end of the last bucket. */
+    /**
+     * Count of samples strictly above the end of the last bucket.
+     * The range is inclusive at the top: a sample exactly equal to
+     * lo + width * num_buckets lands in the last bucket, so e.g. a
+     * maximum-size transfer is counted in range, not as overflow.
+     */
     std::uint64_t overflows() const { return overflow_; }
 
     /** Number of in-range buckets. */

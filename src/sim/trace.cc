@@ -1,0 +1,183 @@
+#include "trace.hh"
+
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+namespace uvmsim::trace
+{
+
+namespace
+{
+
+struct CategoryEntry
+{
+    const char *name;
+    Category category;
+};
+
+constexpr CategoryEntry categoryTable[] = {
+    {"fault", Category::fault},         {"prefetch", Category::prefetch},
+    {"migration", Category::migration}, {"eviction", Category::eviction},
+    {"pcie", Category::pcie},           {"kernel", Category::kernel},
+};
+
+/** Ticks (ps) to the Chrome trace's microsecond timebase, exactly. */
+void
+appendMicros(std::string &out, Tick t)
+{
+    // Integral microseconds plus the sub-microsecond picosecond
+    // remainder, printed with fixed width so output is deterministic
+    // and round-trips the full tick resolution.
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%llu.%06llu",
+                  static_cast<unsigned long long>(t / oneMicrosecond),
+                  static_cast<unsigned long long>(t % oneMicrosecond));
+    out += buf;
+}
+
+} // namespace
+
+unsigned
+parseSpec(const std::string &spec)
+{
+    unsigned mask = 0;
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        std::string token = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (token.empty())
+            continue;
+        if (token == "all") {
+            mask |= allCategories;
+            continue;
+        }
+        bool known = false;
+        for (const CategoryEntry &entry : categoryTable) {
+            if (token == entry.name) {
+                mask |= static_cast<unsigned>(entry.category);
+                known = true;
+                break;
+            }
+        }
+        if (!known) {
+            fatal("unknown trace category '%s' (all|fault|prefetch|"
+                  "migration|eviction|pcie|kernel)",
+                  token.c_str());
+        }
+    }
+    return mask;
+}
+
+const char *
+categoryName(Category c)
+{
+    for (const CategoryEntry &entry : categoryTable) {
+        if (entry.category == c)
+            return entry.name;
+    }
+    return "unknown";
+}
+
+void
+Tracer::addSink(TraceSink *sink)
+{
+    if (!sink)
+        panic("Tracer::addSink(nullptr)");
+    sinks_.push_back(sink);
+}
+
+void
+Tracer::finish(Tick end)
+{
+    for (TraceSink *sink : sinks_)
+        sink->finish(end);
+}
+
+ChromeTraceSink::ChromeTraceSink(const std::string &path)
+    : out_(path, std::ios::out | std::ios::trunc), path_(path)
+{
+    if (!out_)
+        fatal("cannot open trace output file '%s'", path.c_str());
+    out_ << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    writeThreadNames();
+}
+
+ChromeTraceSink::~ChromeTraceSink()
+{
+    // A sink destroyed without finish() still leaves valid JSON
+    // behind, so aborted runs remain loadable.
+    if (!finished_)
+        finish(0);
+}
+
+void
+ChromeTraceSink::writeThreadNames()
+{
+    // One Chrome "thread" lane per category, labelled up front.
+    bool first = true;
+    for (const CategoryEntry &entry : categoryTable) {
+        if (!first)
+            out_ << ',';
+        first = false;
+        out_ << "\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+             << "\"tid\":" << static_cast<unsigned>(entry.category)
+             << ",\"args\":{\"name\":\"" << entry.name << "\"}}";
+    }
+}
+
+void
+ChromeTraceSink::record(const Event &event)
+{
+    if (finished_)
+        panic("ChromeTraceSink::record after finish");
+
+    std::string line = ",\n{\"name\":\"";
+    line += event.name;
+    line += "\",\"cat\":\"";
+    line += categoryName(event.category);
+    line += "\",\"ph\":\"";
+    line += event.duration > 0 ? 'X' : 'i';
+    line += "\",\"ts\":";
+    appendMicros(line, event.start);
+    if (event.duration > 0) {
+        line += ",\"dur\":";
+        appendMicros(line, event.duration);
+    } else {
+        // Instant events are scoped to the whole process.
+        line += ",\"s\":\"p\"";
+    }
+    line += ",\"pid\":0,\"tid\":";
+    line += std::to_string(static_cast<unsigned>(event.category));
+    line += ",\"args\":{\"pages\":";
+    line += std::to_string(event.pages);
+    line += ",\"bytes\":";
+    line += std::to_string(event.bytes);
+    line += ",\"value\":";
+    line += std::to_string(event.value);
+    line += ",\"aux\":";
+    line += std::to_string(event.aux);
+    line += "}}";
+    out_ << line;
+    ++events_;
+}
+
+void
+ChromeTraceSink::finish(Tick end)
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    out_ << "\n],\"otherData\":{\"simEndUs\":\"";
+    std::string tail;
+    appendMicros(tail, end);
+    out_ << tail << "\"}}\n";
+    out_.close();
+    if (!out_)
+        fatal("error writing trace output file '%s'", path_.c_str());
+}
+
+} // namespace uvmsim::trace

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Event tracing: the simulation observability substrate.
+ *
+ * The paper's argument is temporal -- fault batches, prefetch
+ * balancing, eviction thrashing and PCI-e bandwidth collapse under
+ * over-subscription are all *interplays over time* -- but aggregate
+ * end-of-run statistics flatten that structure away.  This layer lets
+ * every component publish its lifecycle as typed events:
+ *
+ *   - the GMMU fault path (raise, MSHR merge, service window,
+ *     prefetch decision, migration start/arrival),
+ *   - the eviction path (victim selection, drain, write-back),
+ *   - the PCI-e link (per-transfer start/duration with queue depth),
+ *   - kernel launch boundaries.
+ *
+ * Events flow through a Tracer into any number of TraceSinks.  Two
+ * sinks ship with the simulator: analysis::EpochTimeline folds events
+ * into fixed-interval time-series (faults/epoch, migrated bytes/epoch,
+ * achieved PCI-e GB/s, resident footprint...) and ChromeTraceSink
+ * exports the Chrome trace_event JSON format, viewable directly in
+ * chrome://tracing or https://ui.perfetto.dev.
+ *
+ * Tracing is strictly opt-in: components hold a `Tracer *` that is
+ * null by default, and every emission site is guarded by that null
+ * check, so a run without --trace pays one predicted-not-taken branch
+ * per site and nothing else.
+ */
+
+#ifndef UVMSIM_SIM_TRACE_HH
+#define UVMSIM_SIM_TRACE_HH
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "sim/ticks.hh"
+
+namespace uvmsim::trace
+{
+
+/** Event categories, selectable via the --trace=<spec> mask. */
+enum class Category : unsigned
+{
+    fault = 1u << 0,     //!< Far-fault raise/merge/service windows.
+    prefetch = 1u << 1,  //!< Prefetcher migration-set decisions.
+    migration = 1u << 2, //!< Migration start / arrival.
+    eviction = 1u << 3,  //!< Victim selection / drain / write-back.
+    pcie = 1u << 4,      //!< Individual link transfers.
+    kernel = 1u << 5,    //!< Kernel launch boundaries.
+};
+
+/** Bitwise-or of every category. */
+constexpr unsigned allCategories = 0x3f;
+
+/**
+ * Parse a --trace specification: "all" or a comma-separated list of
+ * category names (fault,prefetch,migration,eviction,pcie,kernel).
+ * fatal()s on an unknown name; an empty spec parses to 0 (disabled).
+ */
+unsigned parseSpec(const std::string &spec);
+
+/** Human name of one category (for the Chrome trace "cat" field). */
+const char *categoryName(Category c);
+
+/** What an event is, machine-readably (sinks switch on this). */
+enum class Kind
+{
+    faultRaised,      //!< Primary far-fault entered the fault queue.
+    faultMerged,      //!< Fault merged onto an in-flight MSHR entry.
+    faultService,     //!< One fault-engine service window (has duration).
+    prefetchDecision, //!< Prefetcher chose a migration set.
+    migrationStart,   //!< Migration scheduled onto the link.
+    migrationArrived, //!< Migration landed; PTEs validated.
+    userPrefetch,     //!< User-directed prefetch batch scheduled.
+    evictionSelect,   //!< Policy picked a victim set.
+    evictionDrain,    //!< Victims invalidated and freed/written back.
+    oversubscribed,   //!< The over-subscription latch tripped.
+    pcieTransfer,     //!< One link transfer occupying the channel.
+    kernelRun,        //!< One kernel execution (has duration).
+};
+
+/** One trace event.  Instant when duration == 0. */
+struct Event
+{
+    Kind kind;
+    Category category;
+    /** Static display name; must outlive the sinks (string literal). */
+    const char *name;
+    /** Event start time. */
+    Tick start = 0;
+    /** Duration; 0 renders as an instant event. */
+    Tick duration = 0;
+    /** Number of 4KB pages involved (0 when not applicable). */
+    std::uint64_t pages = 0;
+    /** Bytes moved (0 when not applicable). */
+    std::uint64_t bytes = 0;
+    /**
+     * Kind-specific detail: the page number for fault events, the
+     * channel queue depth for pcieTransfer (transfers already
+     * occupying or waiting on the channel when this one was
+     * scheduled), the kernel index for kernelRun, 0 = h2d / 1 = d2h
+     * in `aux` below.
+     */
+    std::uint64_t value = 0;
+    /** Secondary detail (pcieTransfer: 0 = h2d, 1 = d2h). */
+    std::uint64_t aux = 0;
+};
+
+/** Where events go.  Implementations must not outlive their writers. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** Fold in one event.  Called in simulation order. */
+    virtual void record(const Event &event) = 0;
+
+    /** The run ended at `end`; flush any buffered output. */
+    virtual void finish(Tick end) { (void)end; }
+};
+
+/**
+ * The per-run event router: applies the category mask and fans
+ * accepted events out to every attached sink.  Components hold a
+ * `Tracer *` (null = tracing disabled) and guard emissions with it.
+ */
+class Tracer
+{
+  public:
+    /** @param category_mask Bitwise-or of accepted Category bits. */
+    explicit Tracer(unsigned category_mask)
+        : mask_(category_mask)
+    {}
+
+    Tracer(const Tracer &) = delete;
+    Tracer &operator=(const Tracer &) = delete;
+
+    /** Whether a category is selected (cheap pre-check for callers
+     *  that would otherwise assemble an expensive event). */
+    bool
+    wants(Category c) const
+    {
+        return (mask_ & static_cast<unsigned>(c)) != 0;
+    }
+
+    /** Attach a sink; the caller keeps ownership. */
+    void addSink(TraceSink *sink);
+
+    /** Route one event to every sink (dropped if masked out). */
+    void
+    record(const Event &event)
+    {
+        if (!wants(event.category))
+            return;
+        for (TraceSink *sink : sinks_)
+            sink->record(event);
+    }
+
+    /** Tell every sink the run is over. */
+    void finish(Tick end);
+
+  private:
+    unsigned mask_;
+    std::vector<TraceSink *> sinks_;
+};
+
+/**
+ * Streams events as Chrome trace_event JSON ("X" complete events and
+ * "i" instants on one thread lane per category), loadable in
+ * chrome://tracing and Perfetto.  Output is written incrementally so
+ * memory stays O(1) in the event count; finish() writes the footer
+ * that makes the file well-formed JSON.
+ */
+class ChromeTraceSink : public TraceSink
+{
+  public:
+    /** Opens `path` for writing; fatal()s if that fails. */
+    explicit ChromeTraceSink(const std::string &path);
+
+    ~ChromeTraceSink() override;
+
+    void record(const Event &event) override;
+    void finish(Tick end) override;
+
+    /** Number of events written so far. */
+    std::uint64_t eventsWritten() const { return events_; }
+
+  private:
+    void writeThreadNames();
+
+    std::ofstream out_;
+    std::string path_;
+    std::uint64_t events_ = 0;
+    bool finished_ = false;
+};
+
+} // namespace uvmsim::trace
+
+#endif // UVMSIM_SIM_TRACE_HH

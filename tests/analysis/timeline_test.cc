@@ -1,0 +1,251 @@
+/** @file Unit tests for the epoch time-series aggregator. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/timeline.hh"
+#include "sim/ticks.hh"
+#include "sim/trace.hh"
+
+namespace uvmsim::analysis
+{
+
+namespace
+{
+
+using trace::Category;
+using trace::Event;
+using trace::Kind;
+
+constexpr Tick epochLen = microseconds(10);
+
+Event
+transfer(Tick start, Tick duration, std::uint64_t bytes, bool h2d = true)
+{
+    return Event{Kind::pcieTransfer, Category::pcie,
+                 h2d ? "pcie.h2d" : "pcie.d2h", start, duration,
+                 bytes / 4096, bytes, 0, h2d ? 0u : 1u};
+}
+
+Event
+instant(Kind kind, Tick start, std::uint64_t pages = 1)
+{
+    return Event{kind, Category::fault, "ev", start, 0, pages,
+                 pages * 4096, 0, 0};
+}
+
+std::vector<std::string>
+csvLines(const EpochTimeline &tl)
+{
+    std::ostringstream oss;
+    tl.dumpCsv(oss);
+    std::vector<std::string> lines;
+    std::string line;
+    std::istringstream in(oss.str());
+    while (std::getline(in, line))
+        lines.push_back(line);
+    return lines;
+}
+
+} // namespace
+
+TEST(EpochTimeline, ZeroEpochLengthDies)
+{
+    EXPECT_DEATH(EpochTimeline(0), "positive");
+}
+
+TEST(EpochTimeline, InstantEventsLandInContainingEpoch)
+{
+    EpochTimeline tl(epochLen);
+    tl.record(instant(Kind::faultRaised, 0));
+    tl.record(instant(Kind::faultRaised, epochLen - 1));
+    tl.record(instant(Kind::faultMerged, epochLen - 1));
+    tl.record(instant(Kind::faultRaised, epochLen)); // next epoch
+    tl.record(instant(Kind::faultService, 2 * epochLen + 5));
+    tl.finish(3 * epochLen);
+
+    ASSERT_EQ(tl.size(), 3u);
+    EXPECT_EQ(tl.epoch(0).faults, 2u);
+    EXPECT_EQ(tl.epoch(0).merged_faults, 1u);
+    EXPECT_EQ(tl.epoch(1).faults, 1u);
+    EXPECT_EQ(tl.epoch(2).fault_services, 1u);
+}
+
+TEST(EpochTimeline, BytesCreditedAtCompletionEpoch)
+{
+    // A transfer that starts in epoch 0 but completes in epoch 2
+    // contributes its bytes to epoch 2 -- this is what makes the
+    // per-epoch byte column sum to the final pcie counters.
+    EpochTimeline tl(epochLen);
+    tl.record(transfer(epochLen / 2, 2 * epochLen, 65536));
+    tl.finish(3 * epochLen);
+
+    ASSERT_EQ(tl.size(), 3u);
+    EXPECT_EQ(tl.epoch(0).migrated_bytes, 0u);
+    EXPECT_EQ(tl.epoch(1).migrated_bytes, 0u);
+    EXPECT_EQ(tl.epoch(2).migrated_bytes, 65536u);
+}
+
+TEST(EpochTimeline, StraddlingTransferSplitsBusyTicks)
+{
+    // Busy time is apportioned: the transfer occupies the last half of
+    // epoch 0, all of epoch 1 and the first half of epoch 2.
+    EpochTimeline tl(epochLen);
+    tl.record(transfer(epochLen / 2, 2 * epochLen, 65536));
+    tl.finish(3 * epochLen);
+
+    EXPECT_EQ(tl.epoch(0).h2d_busy, epochLen / 2);
+    EXPECT_EQ(tl.epoch(1).h2d_busy, epochLen);
+    EXPECT_EQ(tl.epoch(2).h2d_busy, epochLen / 2);
+    EXPECT_EQ(tl.epoch(0).d2h_busy, 0u);
+}
+
+TEST(EpochTimeline, DirectionsAreIndependent)
+{
+    EpochTimeline tl(epochLen);
+    tl.record(transfer(0, epochLen / 4, 4096, true));
+    tl.record(transfer(0, epochLen / 2, 8192, false));
+    tl.finish(epochLen);
+
+    ASSERT_EQ(tl.size(), 1u);
+    EXPECT_EQ(tl.epoch(0).migrated_bytes, 4096u);
+    EXPECT_EQ(tl.epoch(0).writeback_bytes, 8192u);
+    EXPECT_EQ(tl.epoch(0).h2d_busy, epochLen / 4);
+    EXPECT_EQ(tl.epoch(0).d2h_busy, epochLen / 2);
+}
+
+TEST(EpochTimeline, EmptyInteriorEpochsAreMaterialized)
+{
+    EpochTimeline tl(epochLen);
+    tl.record(instant(Kind::faultRaised, 0));
+    tl.record(instant(Kind::faultRaised, 4 * epochLen));
+    tl.finish(5 * epochLen);
+
+    ASSERT_EQ(tl.size(), 5u);
+    for (std::uint64_t e = 1; e <= 3; ++e) {
+        EXPECT_EQ(tl.epoch(e).faults, 0u) << e;
+        EXPECT_EQ(tl.epoch(e).migrated_bytes, 0u) << e;
+    }
+}
+
+TEST(EpochTimeline, FinishMaterializesTrailingEpochs)
+{
+    EpochTimeline tl(epochLen);
+    tl.record(instant(Kind::faultRaised, 0));
+    tl.finish(10 * epochLen);
+    EXPECT_EQ(tl.size(), 10u);
+}
+
+TEST(EpochTimeline, ResidencyTracksArrivalsAndEvictions)
+{
+    EpochTimeline tl(epochLen);
+    tl.record(instant(Kind::migrationArrived, 0, 64));
+    tl.record(instant(Kind::migrationArrived, 1, 32));
+    tl.record(instant(Kind::evictionDrain, epochLen, 16));
+    tl.finish(2 * epochLen);
+
+    EXPECT_EQ(tl.epoch(0).migrated_pages, 96u);
+    EXPECT_EQ(tl.epoch(0).resident_pages, 96u);
+    EXPECT_TRUE(tl.epoch(0).resident_seen);
+    EXPECT_EQ(tl.epoch(1).evicted_pages, 16u);
+    EXPECT_EQ(tl.epoch(1).resident_pages, 80u);
+}
+
+TEST(EpochTimeline, CsvCarriesResidencyThroughQuietEpochs)
+{
+    EpochTimeline tl(epochLen);
+    tl.record(instant(Kind::migrationArrived, 0, 100));
+    tl.record(instant(Kind::evictionDrain, 3 * epochLen, 40));
+    tl.finish(4 * epochLen);
+
+    auto lines = csvLines(tl);
+    ASSERT_EQ(lines.size(), 5u); // header + 4 epochs
+    EXPECT_EQ(lines[0],
+              "epoch,start_us,faults,merged_faults,fault_services,"
+              "migrated_pages,migrated_bytes,h2d_gbps,h2d_busy_frac,"
+              "evicted_pages,writeback_bytes,d2h_gbps,resident_pages");
+    // Quiet epochs 1 and 2 inherit epoch 0's footprint of 100 pages.
+    EXPECT_EQ(lines[2].substr(lines[2].rfind(',') + 1), "100");
+    EXPECT_EQ(lines[3].substr(lines[3].rfind(',') + 1), "100");
+    EXPECT_EQ(lines[4].substr(lines[4].rfind(',') + 1), "60");
+}
+
+TEST(EpochTimeline, CsvRowValues)
+{
+    EpochTimeline tl(epochLen);
+    tl.record(instant(Kind::faultRaised, 5));
+    // Completes at 10us epoch boundary minus nothing: start 0, len 1
+    // epoch -> completes exactly at epochLen => credited to epoch 1.
+    tl.record(transfer(0, epochLen, 1u << 20));
+    tl.finish(2 * epochLen);
+
+    auto lines = csvLines(tl);
+    ASSERT_EQ(lines.size(), 3u);
+    // Epoch 0: one fault, fully busy h2d channel, no bytes yet.
+    EXPECT_EQ(lines[1],
+              "0,0.000,1,0,0,0,0,0.000000,1.000000,0,0,0.000000,0");
+    // Epoch 1: the megabyte lands; 2^20 B / 10us = 104.8576 GB/s.
+    EXPECT_EQ(lines[2],
+              "1,10.000,0,0,0,0,1048576,104.857600,0.000000,0,0,"
+              "0.000000,0");
+}
+
+TEST(EpochTimeline, RingCapacityDropsOldestEpochs)
+{
+    EpochTimeline tl(epochLen, 3);
+    for (Tick e = 0; e < 10; ++e)
+        tl.record(instant(Kind::faultRaised, e * epochLen));
+    tl.finish(10 * epochLen);
+
+    EXPECT_EQ(tl.size(), 3u);
+    EXPECT_EQ(tl.firstEpoch(), 7u);
+    EXPECT_EQ(tl.droppedEpochs(), 7u);
+    EXPECT_EQ(tl.epoch(9).faults, 1u);
+    EXPECT_DEATH(tl.epoch(0), "out of range");
+
+    // The CSV keeps absolute epoch indices after the ring wraps.
+    auto lines = csvLines(tl);
+    ASSERT_EQ(lines.size(), 4u);
+    EXPECT_EQ(lines[1].substr(0, 2), "7,");
+}
+
+TEST(EpochTimeline, LateEventForDroppedEpochIsIgnored)
+{
+    EpochTimeline tl(epochLen, 2);
+    tl.record(instant(Kind::faultRaised, 9 * epochLen));
+    // Epoch 0 fell off the ring; this event must not crash or corrupt.
+    tl.record(instant(Kind::faultRaised, 0));
+    tl.finish(10 * epochLen);
+    EXPECT_EQ(tl.firstEpoch(), 8u);
+    EXPECT_EQ(tl.epoch(9).faults, 1u);
+}
+
+TEST(EpochTimeline, SumOfEpochBytesMatchesTotals)
+{
+    // The acceptance invariant in miniature: arbitrary overlapping
+    // transfers; per-epoch bytes must sum to the injected totals.
+    EpochTimeline tl(epochLen);
+    std::uint64_t total_h2d = 0, total_d2h = 0;
+    for (int i = 0; i < 50; ++i) {
+        const Tick start = static_cast<Tick>(i) * (epochLen / 3);
+        const std::uint64_t bytes = 4096u * static_cast<unsigned>(1 + i % 7);
+        const bool h2d = i % 3 != 0;
+        tl.record(transfer(start, epochLen / 2 + i, bytes, h2d));
+        (h2d ? total_h2d : total_d2h) += bytes;
+    }
+    tl.finish(20 * epochLen);
+
+    std::uint64_t sum_h2d = 0, sum_d2h = 0;
+    for (std::uint64_t e = tl.firstEpoch();
+         e < tl.firstEpoch() + tl.size(); ++e) {
+        sum_h2d += tl.epoch(e).migrated_bytes;
+        sum_d2h += tl.epoch(e).writeback_bytes;
+    }
+    EXPECT_EQ(sum_h2d, total_h2d);
+    EXPECT_EQ(sum_d2h, total_d2h);
+}
+
+} // namespace uvmsim::analysis

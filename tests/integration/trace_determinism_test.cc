@@ -1,0 +1,249 @@
+/**
+ * @file
+ * End-to-end tests of the tracing layer: the epoch time-series must
+ * reconcile exactly with the run's aggregate PCI-e counters, tracing
+ * must not perturb simulation results, and the artifacts written by a
+ * parallel batch must be byte-identical to a serial one.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/timeline.hh"
+#include "api/run_executor.hh"
+#include "api/simulator.hh"
+#include "sim/trace.hh"
+
+namespace uvmsim
+{
+
+namespace
+{
+
+/** The paper's stress configuration: 110% over-subscription, so the
+ *  fault, prefetch, eviction and write-back paths all run. */
+SimConfig
+oversubConfig()
+{
+    SimConfig cfg;
+    cfg.gpu.num_sms = 4;
+    cfg.oversubscription_percent = 110.0;
+    cfg.prefetcher_before = PrefetcherKind::treeBasedNeighborhood;
+    // A block policy with whole-unit write-back, so evictions are
+    // guaranteed to produce d2h traffic for the tests to reconcile.
+    cfg.eviction = EvictionKind::treeBasedNeighborhood;
+    return cfg;
+}
+
+WorkloadParams
+smallParams()
+{
+    WorkloadParams params;
+    params.size_scale = 0.25;
+    return params;
+}
+
+std::string
+tempPath(const std::string &leaf)
+{
+    return ::testing::TempDir() + leaf;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return oss.str();
+}
+
+/** Split a CSV line into cells. */
+std::vector<std::string>
+cells(const std::string &line)
+{
+    std::vector<std::string> out;
+    std::string cell;
+    std::istringstream in(line);
+    while (std::getline(in, cell, ','))
+        out.push_back(cell);
+    return out;
+}
+
+} // namespace
+
+TEST(TraceIntegration, EpochBytesSumToFinalPcieCounters)
+{
+    // The acceptance invariant: summing the per-epoch migrated and
+    // written-back bytes over the whole timeline reproduces the run's
+    // final pcie.h2d.bytes / pcie.d2h.bytes counters exactly.
+    analysis::EpochTimeline timeline(microseconds(50));
+    SimConfig cfg = oversubConfig();
+    cfg.trace_spec = "all";
+
+    Simulator sim(cfg);
+    sim.addTraceSink(&timeline);
+    auto workload = makeWorkload("backprop", smallParams());
+    RunResult result = sim.run(*workload);
+
+    ASSERT_GT(timeline.size(), 0u);
+    std::uint64_t h2d = 0, d2h = 0, faults = 0;
+    for (std::uint64_t e = timeline.firstEpoch();
+         e < timeline.firstEpoch() + timeline.size(); ++e) {
+        h2d += timeline.epoch(e).migrated_bytes;
+        d2h += timeline.epoch(e).writeback_bytes;
+        faults += timeline.epoch(e).faults;
+    }
+    EXPECT_EQ(static_cast<double>(h2d), result.stat("pcie.h2d.bytes"));
+    EXPECT_EQ(static_cast<double>(d2h), result.stat("pcie.d2h.bytes"));
+    // Every primary fault is serviced exactly once: either it starts
+    // a service (far_faults) or the page already landed (skipped).
+    EXPECT_EQ(static_cast<double>(faults),
+              result.farFaults() + result.stat("gmmu.skipped_services"));
+    // Over-subscribed: evictions and write-backs must have happened,
+    // so the reconciliation above was not vacuous.
+    EXPECT_GT(d2h, 0u);
+}
+
+TEST(TraceIntegration, TracingDoesNotPerturbResults)
+{
+    // Identical config with and without tracing: every stat must be
+    // bit-identical (tracing is pure observation).
+    SimConfig plain = oversubConfig();
+    SimConfig traced = oversubConfig();
+    traced.trace_spec = "all";
+
+    RunResult a = runBenchmark("backprop", plain, smallParams());
+    RunResult b = runBenchmark("backprop", traced, smallParams());
+
+    EXPECT_EQ(a.kernel_time, b.kernel_time);
+    EXPECT_EQ(a.final_time, b.final_time);
+    ASSERT_EQ(a.stats.size(), b.stats.size());
+    for (const auto &[name, value] : a.stats)
+        EXPECT_DOUBLE_EQ(value, b.stats.at(name)) << name;
+}
+
+TEST(TraceIntegration, ArtifactsAreWrittenAndReconcile)
+{
+    const std::string base = tempPath("uvmsim_trace_artifacts");
+    SimConfig cfg = oversubConfig();
+    cfg.trace_spec = "all";
+    cfg.trace_out = base;
+    cfg.epoch_ticks = microseconds(50);
+
+    RunResult result = runBenchmark("backprop", cfg, smallParams());
+
+    // The Chrome trace: non-trivial, structurally sound JSON.
+    const std::string json = slurp(base + ".trace.json");
+    ASSERT_FALSE(json.empty());
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"simEndUs\""), std::string::npos);
+    EXPECT_EQ(json[json.find_last_not_of('\n')], '}');
+
+    // The epoch CSV: header plus rows whose migrated_bytes column
+    // sums to the final h2d byte counter.
+    std::ifstream csv(base + ".epochs.csv");
+    ASSERT_TRUE(csv.good());
+    std::string line;
+    ASSERT_TRUE(std::getline(csv, line));
+    const std::vector<std::string> header = cells(line);
+    ASSERT_GE(header.size(), 13u);
+    EXPECT_EQ(header[0], "epoch");
+    EXPECT_EQ(header[6], "migrated_bytes");
+    EXPECT_EQ(header[10], "writeback_bytes");
+
+    std::uint64_t rows = 0, h2d = 0, d2h = 0;
+    while (std::getline(csv, line)) {
+        const std::vector<std::string> row = cells(line);
+        ASSERT_EQ(row.size(), header.size()) << line;
+        h2d += std::stoull(row[6]);
+        d2h += std::stoull(row[10]);
+        ++rows;
+    }
+    EXPECT_GT(rows, 1u);
+    EXPECT_EQ(static_cast<double>(h2d), result.stat("pcie.h2d.bytes"));
+    EXPECT_EQ(static_cast<double>(d2h), result.stat("pcie.d2h.bytes"));
+
+    std::remove((base + ".trace.json").c_str());
+    std::remove((base + ".epochs.csv").c_str());
+}
+
+TEST(TraceIntegration, ParallelBatchWritesIdenticalArtifacts)
+{
+    // Two traced jobs through jobs=1 and jobs=4 executors: each job
+    // writes to its own path, and the bytes must match exactly --
+    // tracing must not reintroduce scheduling nondeterminism.
+    const std::vector<std::string> workloads = {"backprop", "hotspot"};
+    auto makeJobs = [&](const std::string &suffix) {
+        std::vector<RunJob> jobs;
+        for (const std::string &workload : workloads) {
+            RunJob job;
+            job.workload = workload;
+            job.config = oversubConfig();
+            job.config.trace_spec = "all";
+            job.config.trace_out =
+                tempPath("uvmsim_det_" + workload + suffix);
+            job.config.epoch_ticks = microseconds(50);
+            job.params = smallParams();
+            jobs.push_back(std::move(job));
+        }
+        return jobs;
+    };
+
+    RunExecutor serial(1);
+    RunExecutor parallel(4);
+    serial.runBatch(makeJobs("_s"));
+    parallel.runBatch(makeJobs("_p"));
+
+    for (const std::string &workload : workloads) {
+        for (const char *ext : {".trace.json", ".epochs.csv"}) {
+            const std::string s_path =
+                tempPath("uvmsim_det_" + workload + "_s") + ext;
+            const std::string p_path =
+                tempPath("uvmsim_det_" + workload + "_p") + ext;
+            const std::string s = slurp(s_path);
+            const std::string p = slurp(p_path);
+            EXPECT_FALSE(s.empty()) << s_path;
+            EXPECT_EQ(s, p) << workload << ext;
+            std::remove(s_path.c_str());
+            std::remove(p_path.c_str());
+        }
+    }
+}
+
+TEST(TraceIntegration, MaskLimitsWhatSinksSee)
+{
+    // A pcie-only trace sees transfers but no fault events.
+    struct Capture : trace::TraceSink
+    {
+        std::uint64_t pcie = 0, other = 0;
+        void
+        record(const trace::Event &event) override
+        {
+            if (event.category == trace::Category::pcie)
+                ++pcie;
+            else
+                ++other;
+        }
+    } capture;
+
+    SimConfig cfg = oversubConfig();
+    cfg.trace_spec = "pcie";
+    Simulator sim(cfg);
+    sim.addTraceSink(&capture);
+    auto workload = makeWorkload("backprop", smallParams());
+    sim.run(*workload);
+
+    EXPECT_GT(capture.pcie, 0u);
+    EXPECT_EQ(capture.other, 0u);
+}
+
+} // namespace uvmsim

@@ -132,4 +132,97 @@ TEST_F(LinkFixture, StatsRegistered)
     EXPECT_GT(reg.at("pcie.h2d.avg_bandwidth_gbps").value(), 0.0);
 }
 
+TEST_F(LinkFixture, WritebackSizesGetTheirOwnHistogram)
+{
+    // Regression: d2h write-backs used to go unhistogrammed, hiding
+    // the eviction-granularity distribution (paper Fig. 10 analysis).
+    stats::StatRegistry reg;
+    link.registerStats(reg);
+    link.transfer(PcieDir::deviceToHost, kib(64), nullptr);
+    link.transfer(PcieDir::deviceToHost, kib(4), nullptr);
+    link.transfer(PcieDir::hostToDevice, kib(64), nullptr);
+    eq.run();
+
+    auto *d2h = dynamic_cast<stats::Histogram *>(
+        reg.find("pcie.d2h.transfer_size"));
+    ASSERT_NE(d2h, nullptr);
+    EXPECT_EQ(d2h->samples(), 2u);
+    EXPECT_EQ(d2h->bucketCount(0), 1u); // 4KB
+    EXPECT_EQ(d2h->bucketCount(1), 1u); // 64KB at the first seam
+    EXPECT_EQ(d2h->overflows(), 0u);
+
+    auto *h2d = dynamic_cast<stats::Histogram *>(
+        reg.find("pcie.h2d.transfer_size"));
+    ASSERT_NE(h2d, nullptr);
+    EXPECT_EQ(h2d->samples(), 1u);
+}
+
+TEST_F(LinkFixture, MaxSizeTransferIsNotOverflow)
+{
+    // A whole 2MB large page is a legal transfer; the histogram's
+    // inclusive top edge must count it in the last bucket.
+    stats::StatRegistry reg;
+    link.registerStats(reg);
+    link.transfer(PcieDir::hostToDevice, mib(2), nullptr);
+    link.transfer(PcieDir::deviceToHost, mib(2), nullptr);
+    eq.run();
+    for (const char *name :
+         {"pcie.h2d.transfer_size", "pcie.d2h.transfer_size"}) {
+        auto *hist = dynamic_cast<stats::Histogram *>(reg.find(name));
+        ASSERT_NE(hist, nullptr) << name;
+        EXPECT_EQ(hist->overflows(), 0u) << name;
+        EXPECT_EQ(hist->bucketCount(hist->numBuckets() - 1), 1u) << name;
+    }
+}
+
+TEST_F(LinkFixture, OutstandingTransfersTrackQueueDepth)
+{
+    EXPECT_EQ(link.outstandingTransfers(PcieDir::hostToDevice), 0u);
+    link.transfer(PcieDir::hostToDevice, kib(64), nullptr);
+    link.transfer(PcieDir::hostToDevice, kib(64), nullptr);
+    link.transfer(PcieDir::deviceToHost, kib(4), nullptr);
+    EXPECT_EQ(link.outstandingTransfers(PcieDir::hostToDevice), 2u);
+    EXPECT_EQ(link.outstandingTransfers(PcieDir::deviceToHost), 1u);
+    eq.run();
+    EXPECT_EQ(link.outstandingTransfers(PcieDir::hostToDevice), 0u);
+    EXPECT_EQ(link.outstandingTransfers(PcieDir::deviceToHost), 0u);
+}
+
+TEST_F(LinkFixture, TransfersEmitTraceEventsWithQueueDepth)
+{
+    struct Capture : trace::TraceSink
+    {
+        std::vector<trace::Event> events;
+        void record(const trace::Event &ev) override
+        {
+            events.push_back(ev);
+        }
+    } capture;
+
+    trace::Tracer tracer(trace::allCategories);
+    tracer.addSink(&capture);
+    link.setTracer(&tracer);
+
+    link.transfer(PcieDir::hostToDevice, kib(64), nullptr);
+    link.transfer(PcieDir::hostToDevice, kib(4), nullptr);
+    link.transfer(PcieDir::deviceToHost, kib(16), nullptr);
+    eq.run();
+
+    ASSERT_EQ(capture.events.size(), 3u);
+    const trace::Event &first = capture.events[0];
+    EXPECT_EQ(first.kind, trace::Kind::pcieTransfer);
+    EXPECT_EQ(first.bytes, kib(64));
+    EXPECT_EQ(first.value, 0u); // empty channel when scheduled
+    EXPECT_EQ(first.aux, 0u);   // h2d
+    EXPECT_GT(first.duration, 0u);
+
+    const trace::Event &second = capture.events[1];
+    EXPECT_EQ(second.value, 1u); // queued behind the first
+    EXPECT_EQ(second.start, first.start + first.duration);
+
+    const trace::Event &third = capture.events[2];
+    EXPECT_EQ(third.aux, 1u);  // d2h
+    EXPECT_EQ(third.value, 0u); // own channel was idle
+}
+
 } // namespace uvmsim

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
 
 #include "sim/stats.hh"
 
@@ -26,6 +27,12 @@ TEST(Scalar, SetAndReset)
     Scalar s("s", "a scalar");
     s.set(3.25);
     EXPECT_DOUBLE_EQ(s.value(), 3.25);
+    // Scalars hold configured values (ratios, latched timestamps);
+    // reset() restores the last set() instead of zeroing it away.
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 3.25);
+    s.clear();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
     s.reset();
     EXPECT_DOUBLE_EQ(s.value(), 0.0);
 }
@@ -60,18 +67,46 @@ TEST(Histogram, BucketsAndBounds)
     h.sample(9.99);  // bucket 0
     h.sample(10.0);  // bucket 1
     h.sample(49.0);  // bucket 4
-    h.sample(50.0);  // overflow
+    h.sample(50.0);  // top edge: bucket 4, not overflow
     h.sample(500.0); // overflow
 
     EXPECT_EQ(h.samples(), 7u);
     EXPECT_EQ(h.underflows(), 1u);
-    EXPECT_EQ(h.overflows(), 2u);
+    EXPECT_EQ(h.overflows(), 1u);
     EXPECT_EQ(h.bucketCount(0), 2u);
     EXPECT_EQ(h.bucketCount(1), 1u);
     EXPECT_EQ(h.bucketCount(2), 0u);
-    EXPECT_EQ(h.bucketCount(4), 1u);
+    EXPECT_EQ(h.bucketCount(4), 2u);
     EXPECT_DOUBLE_EQ(h.minSample(), -1.0);
     EXPECT_DOUBLE_EQ(h.maxSample(), 500.0);
+}
+
+TEST(Histogram, BoundaryEdges)
+{
+    // The pcie.h2d.transfer_size shape: 32 buckets of 64KB cover
+    // 0..2MB, inclusive of the top edge -- a maximum-size 2MB
+    // transfer is a legal size and must not read as overflow.
+    const double kb64 = 64.0 * 1024.0;
+    Histogram h("h", "transfer sizes", 0.0, kb64, 32);
+
+    h.sample(0.0); // exactly lo_: first bucket
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.underflows(), 0u);
+
+    h.sample(kb64); // first bucket seam: belongs to bucket 1
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+
+    h.sample(31.0 * kb64); // last interior seam
+    EXPECT_EQ(h.bucketCount(31), 1u);
+
+    h.sample(32.0 * kb64); // the 2MB top edge: last bucket
+    EXPECT_EQ(h.bucketCount(31), 2u);
+    EXPECT_EQ(h.overflows(), 0u);
+
+    h.sample(32.0 * kb64 + 1.0); // strictly above: overflow
+    EXPECT_EQ(h.overflows(), 1u);
+    EXPECT_EQ(h.bucketCount(31), 2u);
 }
 
 TEST(Histogram, MeanAndReset)
@@ -139,7 +174,9 @@ TEST(StatRegistry, ResetAll)
     s.set(5.0);
     reg.resetAll();
     EXPECT_EQ(c.count(), 0u);
-    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+    // Regression: resetAll() between kernels/epochs must not wipe a
+    // configured scalar (e.g. a configured ratio) back to zero.
+    EXPECT_DOUBLE_EQ(s.value(), 5.0);
 }
 
 TEST(StatRegistry, TextDumpContainsNamesValuesDescriptions)
@@ -165,6 +202,36 @@ TEST(StatRegistry, CsvDump)
     std::ostringstream oss;
     reg.dumpCsv(oss);
     EXPECT_EQ(oss.str(), "stat,value\na.b,3\n");
+}
+
+TEST(StatRegistry, CsvDumpFullPrecision)
+{
+    // Regression: the default ostream precision (6 significant
+    // digits) used to truncate large byte/tick counters in the CSV,
+    // e.g. 12345678901 -> 1.23457e+10.  Values must round-trip.
+    StatRegistry reg;
+    Counter big("pcie.h2d.bytes", "");
+    big += 12345678901ull;
+    Scalar frac("gmmu.ratio", "");
+    frac.set(0.1);
+    reg.add(&big);
+    reg.add(&frac);
+
+    std::ostringstream oss;
+    reg.dumpCsv(oss);
+    const std::string csv = oss.str();
+    EXPECT_NE(csv.find("pcie.h2d.bytes,12345678901\n"),
+              std::string::npos)
+        << csv;
+
+    // The fractional value must parse back to exactly the double.
+    const std::string key = "gmmu.ratio,";
+    auto pos = csv.find(key);
+    ASSERT_NE(pos, std::string::npos) << csv;
+    auto end = csv.find('\n', pos);
+    const std::string rendered =
+        csv.substr(pos + key.size(), end - pos - key.size());
+    EXPECT_DOUBLE_EQ(std::stod(rendered), 0.1) << rendered;
 }
 
 TEST(StatRegistry, DuplicateNameDies)

@@ -1,0 +1,360 @@
+/** @file Unit tests for the event-tracing substrate. */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/ticks.hh"
+#include "sim/trace.hh"
+
+namespace uvmsim::trace
+{
+
+namespace
+{
+
+/** Sink that captures every routed event for inspection. */
+struct CaptureSink : TraceSink
+{
+    std::vector<Event> events;
+    Tick end = 0;
+    int finishes = 0;
+
+    void record(const Event &event) override { events.push_back(event); }
+
+    void
+    finish(Tick end_tick) override
+    {
+        end = end_tick;
+        ++finishes;
+    }
+};
+
+std::string
+tempPath(const std::string &leaf)
+{
+    return ::testing::TempDir() + leaf;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path;
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return oss.str();
+}
+
+/**
+ * Minimal JSON syntax checker: consumes one value and returns the
+ * position just past it, or npos on a syntax error.  Enough to prove
+ * the streamed trace file is well-formed without a JSON library.
+ */
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &text)
+        : text_(text)
+    {}
+
+    /** True when the whole text is exactly one JSON value. */
+    bool
+    valid()
+    {
+        pos_ = 0;
+        if (!value())
+            return false;
+        skipSpace();
+        return pos_ == text_.size();
+    }
+
+  private:
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        std::size_t len = std::string(word).size();
+        if (text_.compare(pos_, len, word) != 0)
+            return false;
+        pos_ += len;
+        return true;
+    }
+
+    bool
+    string()
+    {
+        if (text_[pos_] != '"')
+            return false;
+        ++pos_;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            if (text_[pos_] == '\\')
+                ++pos_;
+            ++pos_;
+        }
+        if (pos_ >= text_.size())
+            return false;
+        ++pos_; // closing quote
+        return true;
+    }
+
+    bool
+    number()
+    {
+        std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        return pos_ > start;
+    }
+
+    bool
+    container(char open, char close, bool keyed)
+    {
+        if (text_[pos_] != open)
+            return false;
+        ++pos_;
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == close) {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipSpace();
+            if (keyed) {
+                if (!string())
+                    return false;
+                skipSpace();
+                if (pos_ >= text_.size() || text_[pos_] != ':')
+                    return false;
+                ++pos_;
+            }
+            if (!value())
+                return false;
+            skipSpace();
+            if (pos_ >= text_.size())
+                return false;
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == close) {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    value()
+    {
+        skipSpace();
+        if (pos_ >= text_.size())
+            return false;
+        switch (text_[pos_]) {
+          case '{':
+            return container('{', '}', true);
+          case '[':
+            return container('[', ']', false);
+          case '"':
+            return string();
+          case 't':
+            return literal("true");
+          case 'f':
+            return literal("false");
+          case 'n':
+            return literal("null");
+          default:
+            return number();
+        }
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+Event
+pcieEvent(Tick start, Tick duration, std::uint64_t bytes)
+{
+    return Event{Kind::pcieTransfer, Category::pcie, "pcie.h2d", start,
+                 duration, bytes / 4096, bytes, 0, 0};
+}
+
+} // namespace
+
+TEST(ParseSpec, AllAndEmpty)
+{
+    EXPECT_EQ(parseSpec("all"), allCategories);
+    EXPECT_EQ(parseSpec(""), 0u);
+}
+
+TEST(ParseSpec, IndividualNamesCombine)
+{
+    unsigned mask = parseSpec("fault,pcie");
+    EXPECT_EQ(mask, static_cast<unsigned>(Category::fault) |
+                        static_cast<unsigned>(Category::pcie));
+    EXPECT_EQ(parseSpec("prefetch"),
+              static_cast<unsigned>(Category::prefetch));
+    EXPECT_EQ(parseSpec("migration,eviction,kernel"),
+              static_cast<unsigned>(Category::migration) |
+                  static_cast<unsigned>(Category::eviction) |
+                  static_cast<unsigned>(Category::kernel));
+}
+
+TEST(ParseSpec, ToleratesStrayCommas)
+{
+    EXPECT_EQ(parseSpec(",fault,,pcie,"),
+              static_cast<unsigned>(Category::fault) |
+                  static_cast<unsigned>(Category::pcie));
+}
+
+TEST(ParseSpec, UnknownNameDies)
+{
+    EXPECT_DEATH(parseSpec("faults"), "unknown trace category");
+    EXPECT_DEATH(parseSpec("fault,bogus"), "unknown trace category");
+}
+
+TEST(CategoryNames, RoundTripThroughParseSpec)
+{
+    for (Category c : {Category::fault, Category::prefetch,
+                       Category::migration, Category::eviction,
+                       Category::pcie, Category::kernel}) {
+        EXPECT_EQ(parseSpec(categoryName(c)), static_cast<unsigned>(c));
+    }
+}
+
+TEST(TracerTest, MaskFiltersCategories)
+{
+    Tracer tracer(static_cast<unsigned>(Category::fault));
+    CaptureSink sink;
+    tracer.addSink(&sink);
+
+    EXPECT_TRUE(tracer.wants(Category::fault));
+    EXPECT_FALSE(tracer.wants(Category::pcie));
+
+    tracer.record(Event{Kind::faultRaised, Category::fault, "fault", 10});
+    tracer.record(pcieEvent(20, 5, 4096)); // masked out
+    ASSERT_EQ(sink.events.size(), 1u);
+    EXPECT_EQ(sink.events[0].kind, Kind::faultRaised);
+    EXPECT_EQ(sink.events[0].start, 10u);
+}
+
+TEST(TracerTest, FanOutAndFinishReachEverySink)
+{
+    Tracer tracer(allCategories);
+    CaptureSink a, b;
+    tracer.addSink(&a);
+    tracer.addSink(&b);
+
+    tracer.record(pcieEvent(0, 100, 65536));
+    tracer.finish(12345);
+
+    EXPECT_EQ(a.events.size(), 1u);
+    EXPECT_EQ(b.events.size(), 1u);
+    EXPECT_EQ(a.end, 12345u);
+    EXPECT_EQ(b.end, 12345u);
+    EXPECT_EQ(a.finishes, 1);
+}
+
+TEST(TracerTest, NullSinkDies)
+{
+    Tracer tracer(allCategories);
+    EXPECT_DEATH(tracer.addSink(nullptr), "addSink");
+}
+
+TEST(ChromeTrace, EmptyTraceIsValidJson)
+{
+    const std::string path = tempPath("uvmsim_chrome_empty.json");
+    {
+        ChromeTraceSink sink(path);
+        sink.finish(oneMicrosecond);
+    }
+    const std::string text = slurp(path);
+    EXPECT_TRUE(JsonChecker(text).valid()) << text;
+    std::remove(path.c_str());
+}
+
+TEST(ChromeTrace, EventsProduceValidJsonWithExpectedFields)
+{
+    const std::string path = tempPath("uvmsim_chrome_events.json");
+    {
+        ChromeTraceSink sink(path);
+        // A complete event (duration > 0) and an instant.
+        sink.record(pcieEvent(oneMicrosecond, oneMicrosecond / 2, 65536));
+        sink.record(Event{Kind::faultRaised, Category::fault, "fault",
+                          3 * oneMicrosecond, 0, 1, 0, 42});
+        EXPECT_EQ(sink.eventsWritten(), 2u);
+        sink.finish(4 * oneMicrosecond);
+    }
+    const std::string text = slurp(path);
+    EXPECT_TRUE(JsonChecker(text).valid()) << text;
+
+    // The complete event renders as "X" with microsecond ts/dur.
+    EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(text.find("\"ts\":1.000000"), std::string::npos);
+    EXPECT_NE(text.find("\"dur\":0.500000"), std::string::npos);
+    // The instant renders as "i" with process scope.
+    EXPECT_NE(text.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(text.find("\"s\":\"p\""), std::string::npos);
+    // Per-category lanes are labelled via metadata events.
+    EXPECT_NE(text.find("\"thread_name\""), std::string::npos);
+    EXPECT_NE(text.find("\"cat\":\"pcie\""), std::string::npos);
+    // Payload args survive.
+    EXPECT_NE(text.find("\"bytes\":65536"), std::string::npos);
+    EXPECT_NE(text.find("\"value\":42"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(ChromeTrace, DestructorWithoutFinishStillLeavesValidJson)
+{
+    const std::string path = tempPath("uvmsim_chrome_abandoned.json");
+    {
+        ChromeTraceSink sink(path);
+        sink.record(pcieEvent(0, 100, 4096));
+        // No finish(): the destructor must close the JSON.
+    }
+    const std::string text = slurp(path);
+    EXPECT_TRUE(JsonChecker(text).valid()) << text;
+    std::remove(path.c_str());
+}
+
+TEST(ChromeTrace, SubMicrosecondTicksKeepFullResolution)
+{
+    const std::string path = tempPath("uvmsim_chrome_resolution.json");
+    {
+        ChromeTraceSink sink(path);
+        // 1234567 ps = 1.234567 us; must not round to integer us.
+        sink.record(pcieEvent(1234567, 7, 4096));
+        sink.finish(2000000);
+    }
+    const std::string text = slurp(path);
+    EXPECT_NE(text.find("\"ts\":1.234567"), std::string::npos) << text;
+    EXPECT_NE(text.find("\"dur\":0.000007"), std::string::npos) << text;
+    std::remove(path.c_str());
+}
+
+TEST(ChromeTrace, UnwritablePathDies)
+{
+    EXPECT_DEATH(ChromeTraceSink("/nonexistent-dir/trace.json"),
+                 "cannot open trace output");
+}
+
+} // namespace uvmsim::trace

@@ -26,6 +26,7 @@
 #include "api/run_executor.hh"
 #include "api/simulator.hh"
 #include "sim/options.hh"
+#include "sim/stats.hh"
 #include "workloads/trace_file.hh"
 
 using namespace uvmsim;
@@ -44,8 +45,8 @@ usage()
         "enumerate)\n"
         "  --jobs=N                 concurrent runs for a workload "
         "list (default: hardware concurrency)\n"
-        "  --trace=PATH             replay a trace file instead (see "
-        "src/workloads/trace_file.hh)\n"
+        "  --replay=PATH            replay a memory trace file instead "
+        "(see src/workloads/trace_file.hh)\n"
         "  --scale=F                problem size multiplier "
         "(default 1.0)\n"
         "  --iterations=N           override iteration count\n"
@@ -65,6 +66,12 @@ usage()
         "  --seed=N                 policy RNG seed\n"
         "  --audit                  verify cross-subsystem state after "
         "every fault/eviction (slow; see docs)\n"
+        "  --trace=SPEC             event tracing: all, or a comma "
+        "list of fault,prefetch,migration,eviction,pcie,kernel\n"
+        "  --trace-out=PATH         artifact base path (default "
+        "uvmsim): writes PATH.trace.json + PATH.epochs.csv\n"
+        "  --epoch-ticks=N          time-series epoch length in ticks "
+        "(1 tick = 1 ps; default 100us)\n"
         "  --stats / --stats-csv    dump the full statistics table\n"
         "  --analyze                print the access-pattern analysis\n"
         "  --list                   list available workloads\n");
@@ -95,14 +102,18 @@ printResult(const SimConfig &cfg, const RunResult &r,
         std::printf("access pattern  : %s\n",
                     analyzer->report().c_str());
 
+    // Full-precision rendering: %g's 6 significant digits would
+    // truncate byte/tick counters (e.g. 4456448 -> 4.45645e+06).
     if (opts.getBool("stats-csv")) {
         std::printf("\nstat,value\n");
         for (const auto &[stat, value] : r.stats)
-            std::printf("%s,%g\n", stat.c_str(), value);
+            std::printf("%s,%s\n", stat.c_str(),
+                        stats::renderValue(value).c_str());
     } else if (opts.getBool("stats")) {
         std::printf("\n");
         for (const auto &[stat, value] : r.stats)
-            std::printf("%-36s %g\n", stat.c_str(), value);
+            std::printf("%-36s %s\n", stat.c_str(),
+                        stats::renderValue(value).c_str());
     }
 }
 
@@ -143,6 +154,14 @@ main(int argc, char **argv)
     cfg.user_prefetch_footprint = opts.getBool("user-prefetch");
     cfg.seed = opts.getUint("seed", 1);
     cfg.audit = opts.getBool("audit");
+    cfg.trace_spec = opts.get("trace", "");
+    if (!cfg.trace_spec.empty()) {
+        cfg.trace_out = opts.get("trace-out", "uvmsim");
+        cfg.epoch_ticks = opts.getUint("epoch-ticks", cfg.epoch_ticks);
+    } else if (opts.has("trace-out") || opts.has("epoch-ticks")) {
+        fatal("--trace-out/--epoch-ticks need --trace=<spec> "
+              "(did you mean --replay=PATH?)");
+    }
     if (opts.has("sms"))
         cfg.gpu.num_sms =
             static_cast<std::uint32_t>(opts.getUint("sms", 28));
@@ -162,13 +181,20 @@ main(int argc, char **argv)
 
     // A workload list: fan the runs out over the executor and print
     // one result block per workload, in list order.
-    if (!opts.has("trace") && workload_names.size() > 1) {
+    if (!opts.has("replay") && workload_names.size() > 1) {
         if (analyze)
             fatal("--analyze supports a single workload, got %zu",
                   workload_names.size());
         std::vector<RunJob> jobs;
-        for (const std::string &name : workload_names)
-            jobs.push_back(RunJob{name, cfg, params});
+        for (std::size_t i = 0; i < workload_names.size(); ++i) {
+            RunJob job{workload_names[i], cfg, params};
+            // Concurrent traced runs each need their own artifacts.
+            if (!cfg.trace_out.empty())
+                job.config.trace_out = cfg.trace_out + "-" +
+                                       workload_names[i] + "-" +
+                                       std::to_string(i);
+            jobs.push_back(std::move(job));
+        }
         RunExecutor executor(
             static_cast<std::size_t>(opts.getUint("jobs", 0)));
         std::vector<RunResult> results = executor.runBatch(jobs);
@@ -181,9 +207,9 @@ main(int argc, char **argv)
     }
 
     std::unique_ptr<Workload> workload;
-    if (opts.has("trace")) {
+    if (opts.has("replay")) {
         workload =
-            makeTraceWorkloadFromFile(opts.get("trace"), params);
+            makeTraceWorkloadFromFile(opts.get("replay"), params);
     } else {
         workload = makeWorkload(workload_names.front(), params);
     }

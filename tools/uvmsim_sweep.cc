@@ -44,6 +44,11 @@ baseConfig(const Options &opts)
     cfg.lru_reserve_percent = opts.getDouble("reserve", 0.0);
     cfg.free_buffer_percent = opts.getDouble("buffer", 0.0);
     cfg.seed = opts.getUint("seed", 1);
+    cfg.trace_spec = opts.get("trace", "");
+    if (!cfg.trace_spec.empty()) {
+        cfg.trace_out = opts.get("trace-out", "uvmsim_sweep");
+        cfg.epoch_ticks = opts.getUint("epoch-ticks", cfg.epoch_ticks);
+    }
     return cfg;
 }
 
@@ -152,6 +157,9 @@ main(int argc, char **argv)
         for (const std::string &value : values) {
             SimConfig cfg = baseConfig(opts);
             applyAxis(cfg, axis, value);
+            // Each traced sweep cell writes its own artifact pair.
+            if (!cfg.trace_out.empty())
+                cfg.trace_out += "-" + bench + "-" + value;
             jobs.push_back(RunJob{bench, cfg, params});
         }
     }
