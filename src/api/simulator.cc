@@ -53,6 +53,12 @@ Simulator::setKernelObserver(KernelObserver observer)
 }
 
 void
+Simulator::setSnapshotObserver(SnapshotObserver observer)
+{
+    snapshot_observer_ = std::move(observer);
+}
+
+void
 Simulator::addTraceSink(trace::TraceSink *sink)
 {
     if (!sink)
@@ -198,6 +204,17 @@ Simulator::run(Workload &workload)
 
     if (gpu.busy())
         panic("event queue drained while a kernel was still running");
+
+    if (snapshot_observer_) {
+        SystemSnapshot snap;
+        snap.resident_cold_to_hot =
+            gmmu.residency().coldPages(gmmu.residency().size());
+        snap.trees = space.treeValidSizes();
+        snap.oversubscribed = gmmu.oversubscribed();
+        snap.total_frames = frames.totalFrames();
+        snap.free_frames = frames.freeFrames();
+        snapshot_observer_(snap);
+    }
 
     if (tracer) {
         tracer->finish(eq.curTick());

@@ -196,6 +196,28 @@ struct RunResult
     }
 };
 
+/**
+ * End-of-run system state, captured after the event queue drains and
+ * before the system is torn down.  This is the surface the
+ * differential fuzz harness (src/testing/) diffs against its
+ * FunctionalOracle: the exact resident set in LRU order, every tree's
+ * to-be-valid size, and the memory-pressure flags.
+ */
+struct SystemSnapshot
+{
+    /** Resident pages, coldest (next victim candidate) first. */
+    std::vector<PageNum> resident_cold_to_hot;
+
+    /** Every allocation's trees in address order. */
+    std::vector<TreeValidSize> trees;
+
+    /** Whether the run ever hit the oversubscription latch. */
+    bool oversubscribed = false;
+
+    std::uint64_t total_frames = 0;
+    std::uint64_t free_frames = 0;
+};
+
 /** Builds and runs complete simulations. */
 class Simulator
 {
@@ -203,6 +225,9 @@ class Simulator
     /** Per-kernel boundary observer: (index, name, start, end). */
     using KernelObserver = std::function<void(
         std::uint64_t, const std::string &, Tick, Tick)>;
+
+    /** End-of-run state observer (see SystemSnapshot). */
+    using SnapshotObserver = std::function<void(const SystemSnapshot &)>;
 
     explicit Simulator(SimConfig config = SimConfig{});
 
@@ -214,6 +239,9 @@ class Simulator
 
     /** Observe kernel launch boundaries. */
     void setKernelObserver(KernelObserver observer);
+
+    /** Observe the end-of-run state of every subsequent run(). */
+    void setSnapshotObserver(SnapshotObserver observer);
 
     /**
      * Attach an extra trace sink (e.g. a test capture or an in-memory
@@ -233,6 +261,7 @@ class Simulator
     SimConfig config_;
     Gmmu::AccessObserver access_observer_;
     KernelObserver kernel_observer_;
+    SnapshotObserver snapshot_observer_;
     std::vector<trace::TraceSink *> extra_sinks_;
 };
 

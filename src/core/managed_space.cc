@@ -91,6 +91,18 @@ ManagedSpace::allocate(std::uint64_t bytes, std::string name)
     return ref;
 }
 
+std::vector<TreeValidSize>
+ManagedSpace::treeValidSizes() const
+{
+    std::vector<TreeValidSize> out;
+    for (const auto &alloc : allocations_)
+        for (const auto &tree : alloc->trees())
+            out.push_back(TreeValidSize{tree->baseAddr(),
+                                        tree->capacityBytes(),
+                                        tree->totalMarkedBytes()});
+    return out;
+}
+
 ManagedAllocation *
 ManagedSpace::allocationFor(PageNum page) const
 {

@@ -87,6 +87,14 @@ class ManagedAllocation
     std::vector<std::unique_ptr<LargePageTree>> trees_;
 };
 
+/** A tree's identity and to-be-valid size, for state snapshots. */
+struct TreeValidSize
+{
+    Addr base = 0;
+    std::uint64_t capacity_bytes = 0;
+    std::uint64_t marked_bytes = 0;
+};
+
 /** The unified virtual address space and its allocations. */
 class ManagedSpace
 {
@@ -115,6 +123,14 @@ class ManagedSpace
     {
         return allocations_;
     }
+
+    /**
+     * Every tree's base, capacity and current to-be-valid (marked)
+     * bytes, in address order across all allocations.  The
+     * differential fuzz harness diffs this against the
+     * FunctionalOracle's independently built trees.
+     */
+    std::vector<TreeValidSize> treeValidSizes() const;
 
     /** Sum of user-requested sizes. */
     std::uint64_t totalUserBytes() const { return total_user_bytes_; }

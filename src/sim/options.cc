@@ -1,5 +1,6 @@
 #include "options.hh"
 
+#include <cerrno>
 #include <cstdlib>
 
 #include "sim/logging.hh"
@@ -17,11 +18,16 @@ Options::Options(int argc, const char *const *argv)
         }
         std::string body = arg.substr(2);
         std::size_t eq = body.find('=');
-        if (eq == std::string::npos) {
-            values_[body] = "true";
-        } else {
-            values_[body.substr(0, eq)] = body.substr(eq + 1);
-        }
+        std::string name =
+            eq == std::string::npos ? body : body.substr(0, eq);
+        if (name.empty())
+            fatal("malformed option '%s'", arg.c_str());
+        // Duplicates are almost always a typo in a long command line;
+        // silently keeping the last one hides it.
+        if (values_.count(name))
+            fatal("option --%s given more than once", name.c_str());
+        values_[name] =
+            eq == std::string::npos ? "true" : body.substr(eq + 1);
     }
 }
 
@@ -44,11 +50,18 @@ Options::getUint(const std::string &name, std::uint64_t def) const
     auto it = values_.find(name);
     if (it == values_.end())
         return def;
-    char *end = nullptr;
-    std::uint64_t v = std::strtoull(it->second.c_str(), &end, 0);
-    if (!end || *end != '\0')
+    const std::string &text = it->second;
+    // strtoull happily wraps "-5" to a huge value and saturates on
+    // overflow; both must be rejected, as must an empty value.
+    if (text.empty() || text[0] == '-' || text[0] == '+')
         fatal("option --%s expects an unsigned integer, got '%s'",
-              name.c_str(), it->second.c_str());
+              name.c_str(), text.c_str());
+    char *end = nullptr;
+    errno = 0;
+    std::uint64_t v = std::strtoull(text.c_str(), &end, 0);
+    if (!end || end == text.c_str() || *end != '\0' || errno == ERANGE)
+        fatal("option --%s expects an unsigned integer, got '%s'",
+              name.c_str(), text.c_str());
     return v;
 }
 
@@ -58,11 +71,13 @@ Options::getDouble(const std::string &name, double def) const
     auto it = values_.find(name);
     if (it == values_.end())
         return def;
+    const std::string &text = it->second;
     char *end = nullptr;
-    double v = std::strtod(it->second.c_str(), &end);
-    if (!end || *end != '\0')
+    errno = 0;
+    double v = std::strtod(text.c_str(), &end);
+    if (!end || end == text.c_str() || *end != '\0' || errno == ERANGE)
         fatal("option --%s expects a number, got '%s'", name.c_str(),
-              it->second.c_str());
+              text.c_str());
     return v;
 }
 

@@ -1,0 +1,190 @@
+#include "differential.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "api/simulator.hh"
+
+namespace uvmsim
+{
+namespace fuzzing
+{
+
+namespace
+{
+
+std::string
+pageListPreview(const std::vector<PageNum> &pages, std::size_t limit = 8)
+{
+    std::ostringstream out;
+    out << "[";
+    for (std::size_t i = 0; i < pages.size() && i < limit; ++i) {
+        if (i)
+            out << ",";
+        out << pages[i];
+    }
+    if (pages.size() > limit)
+        out << ",... +" << pages.size() - limit;
+    out << "] (" << pages.size() << " pages)";
+    return out.str();
+}
+
+struct Differ
+{
+    DiffResult &result;
+
+    void
+    add(const std::string &field, const std::string &expected,
+        const std::string &actual)
+    {
+        result.mismatch = true;
+        result.mismatches.push_back(Mismatch{field, expected, actual});
+    }
+
+    void
+    counter(const std::string &field, std::uint64_t expected,
+            double actual)
+    {
+        if (static_cast<double>(expected) == actual)
+            return;
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.0f", actual);
+        add(field, std::to_string(expected), buf);
+    }
+
+    void
+    flag(const std::string &field, bool expected, bool actual)
+    {
+        if (expected != actual)
+            return add(field, expected ? "true" : "false",
+                       actual ? "true" : "false");
+    }
+};
+
+} // namespace
+
+DiffResult
+runDifferential(const FuzzSpec &spec, OracleMutation mutation)
+{
+    DiffResult result;
+    result.spec = spec;
+
+    // Real side: event-driven simulator, audit on, snapshot at drain.
+    Simulator sim(simConfigFor(spec));
+    SystemSnapshot snap;
+    bool have_snapshot = false;
+    sim.setSnapshotObserver([&](const SystemSnapshot &s) {
+        snap = s;
+        have_snapshot = true;
+    });
+    std::unique_ptr<Workload> workload = buildWorkload(spec);
+    RunResult run = sim.run(*workload);
+    if (!have_snapshot)
+        panic("differential run produced no end-state snapshot");
+
+    // Oracle side: timing-free prediction over the same stream.
+    FunctionalOracle oracle(mutation);
+    OracleResult predicted = oracle.run(spec);
+
+    Differ diff{result};
+
+    diff.counter("device_memory_bytes", predicted.device_bytes,
+                 static_cast<double>(run.device_memory_bytes));
+    diff.flag("oversubscribed", predicted.oversubscribed,
+              snap.oversubscribed);
+    diff.counter("total_frames", predicted.total_frames,
+                 static_cast<double>(snap.total_frames));
+    diff.counter("free_frames", predicted.free_frames,
+                 static_cast<double>(snap.free_frames));
+
+    diff.counter("gmmu.far_faults", predicted.far_faults,
+                 run.stat("gmmu.far_faults"));
+    diff.counter("gmmu.fault_services", predicted.fault_services,
+                 run.stat("gmmu.fault_services"));
+    diff.counter("gmmu.skipped_services", predicted.skipped_services,
+                 run.stat("gmmu.skipped_services"));
+    diff.counter("gmmu.prefetches_trimmed", predicted.prefetches_trimmed,
+                 run.stat("gmmu.prefetches_trimmed"));
+    diff.counter("gmmu.pages_migrated", predicted.pages_migrated,
+                 run.stat("gmmu.pages_migrated"));
+    diff.counter("gmmu.pages_prefetched", predicted.pages_prefetched,
+                 run.stat("gmmu.pages_prefetched"));
+    diff.counter("gmmu.pages_evicted", predicted.pages_evicted,
+                 run.stat("gmmu.pages_evicted"));
+    diff.counter("gmmu.pages_written_back", predicted.pages_written_back,
+                 run.stat("gmmu.pages_written_back"));
+    diff.counter("gmmu.pages_thrashed", predicted.pages_thrashed,
+                 run.stat("gmmu.pages_thrashed"));
+    diff.counter("gmmu.user_prefetched_pages",
+                 predicted.user_prefetched_pages,
+                 run.stat("gmmu.user_prefetched_pages"));
+
+    // Resident set, in LRU cold-to-hot order: both the membership and
+    // the recency ordering must agree page for page.
+    if (predicted.resident_cold_to_hot != snap.resident_cold_to_hot) {
+        const auto &want = predicted.resident_cold_to_hot;
+        const auto &got = snap.resident_cold_to_hot;
+        if (want.size() != got.size()) {
+            diff.add("resident.count", std::to_string(want.size()),
+                     std::to_string(got.size()));
+        }
+        std::size_t limit = std::min(want.size(), got.size());
+        std::size_t reported = 0;
+        for (std::size_t i = 0; i < limit && reported < 4; ++i) {
+            if (want[i] == got[i])
+                continue;
+            diff.add("resident[" + std::to_string(i) + "]",
+                     std::to_string(want[i]), std::to_string(got[i]));
+            ++reported;
+        }
+        if (result.mismatches.empty()) {
+            // Same size, same prefix window -- summarize.
+            diff.add("resident", pageListPreview(want),
+                     pageListPreview(got));
+        }
+    }
+
+    // Per-tree to-be-valid sizes, in address order.
+    if (predicted.trees.size() != snap.trees.size()) {
+        diff.add("trees.count", std::to_string(predicted.trees.size()),
+                 std::to_string(snap.trees.size()));
+    } else {
+        for (std::size_t i = 0; i < predicted.trees.size(); ++i) {
+            const TreeValidSize &want = predicted.trees[i];
+            const TreeValidSize &got = snap.trees[i];
+            std::string tag = "tree[" + std::to_string(i) + "]";
+            if (want.base != got.base) {
+                diff.add(tag + ".base", std::to_string(want.base),
+                         std::to_string(got.base));
+                continue;
+            }
+            if (want.capacity_bytes != got.capacity_bytes) {
+                diff.add(tag + ".capacity",
+                         std::to_string(want.capacity_bytes),
+                         std::to_string(got.capacity_bytes));
+            }
+            if (want.marked_bytes != got.marked_bytes) {
+                diff.add(tag + ".valid_bytes",
+                         std::to_string(want.marked_bytes),
+                         std::to_string(got.marked_bytes));
+            }
+        }
+    }
+
+    if (result.mismatch) {
+        std::ostringstream report;
+        report << "DIFFERENTIAL MISMATCH\n"
+               << "  spec: " << toSpecString(spec) << "\n";
+        if (mutation != OracleMutation::none)
+            report << "  oracle mutation: " << toString(mutation) << "\n";
+        for (const Mismatch &m : result.mismatches) {
+            report << "  " << m.field << ": oracle=" << m.expected
+                   << " simulator=" << m.actual << "\n";
+        }
+        result.report = report.str();
+    }
+    return result;
+}
+
+} // namespace fuzzing
+} // namespace uvmsim

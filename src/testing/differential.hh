@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Differential runner: real event-driven simulator vs functional
+ * oracle over the same FuzzSpec.
+ *
+ * runDifferential() materializes the spec as a serialized workload,
+ * runs the production Simulator with the state auditor enabled and a
+ * snapshot observer attached, runs the FunctionalOracle over the same
+ * canonical access stream, and diffs the two end states field by
+ * field: the resident set in LRU cold-to-hot order, every tree's
+ * to-be-valid size, the oversubscription latch, frame accounting, and
+ * the full gmmu.* counter set.  Any disagreement produces a
+ * structured, human-readable report plus the spec string that
+ * reproduces it.
+ */
+
+#ifndef UVMSIM_TESTING_DIFFERENTIAL_HH
+#define UVMSIM_TESTING_DIFFERENTIAL_HH
+
+#include <string>
+#include <vector>
+
+#include "testing/functional_oracle.hh"
+#include "testing/workload_gen.hh"
+
+namespace uvmsim
+{
+namespace fuzzing
+{
+
+/** One field-level disagreement between simulator and oracle. */
+struct Mismatch
+{
+    std::string field;    //!< e.g. "gmmu.pages_evicted", "resident[12]"
+    std::string expected; //!< Oracle's prediction.
+    std::string actual;   //!< Real simulator's end state.
+};
+
+/** Outcome of one differential run. */
+struct DiffResult
+{
+    FuzzSpec spec;
+    bool mismatch = false;
+    std::vector<Mismatch> mismatches;
+
+    /** Multi-line report: spec string, then one line per mismatch.
+     *  Empty when the run matched. */
+    std::string report;
+};
+
+/** Run `spec` through both sides and diff the end states.  The
+ *  mutation (default none) is injected into the oracle only, so a
+ *  non-none mutation *should* produce a mismatch -- that is the
+ *  harness's self-test. */
+DiffResult runDifferential(const FuzzSpec &spec,
+                           OracleMutation mutation = OracleMutation::none);
+
+} // namespace fuzzing
+} // namespace uvmsim
+
+#endif // UVMSIM_TESTING_DIFFERENTIAL_HH

@@ -1,0 +1,1016 @@
+#include "functional_oracle.hh"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace uvmsim
+{
+namespace fuzzing
+{
+
+std::string
+toString(OracleMutation mutation)
+{
+    switch (mutation) {
+      case OracleMutation::none:
+        return "none";
+      case OracleMutation::tbneBalanceAtHalf:
+        return "tbne-at-half";
+      case OracleMutation::tbnpBalanceAtHalf:
+        return "tbnp-at-half";
+      case OracleMutation::evictKeepsTreeMark:
+        return "evict-keeps-mark";
+    }
+    panic("unknown OracleMutation");
+}
+
+OracleMutation
+mutationFromString(const std::string &name)
+{
+    if (name == "none")
+        return OracleMutation::none;
+    if (name == "tbne-at-half")
+        return OracleMutation::tbneBalanceAtHalf;
+    if (name == "tbnp-at-half")
+        return OracleMutation::tbnpBalanceAtHalf;
+    if (name == "evict-keeps-mark")
+        return OracleMutation::evictKeepsTreeMark;
+    fatal("unknown oracle mutation '%s' (want none|tbne-at-half|"
+          "tbnp-at-half|evict-keeps-mark)", name.c_str());
+}
+
+namespace
+{
+
+/**
+ * The oracle's own full binary tree over 64KB leaves.  Counts are kept
+ * in 4KB pages rather than bytes, and aggregates are summed on demand
+ * from per-leaf popcounts -- structurally different from the
+ * production LargePageTree on purpose.
+ */
+class OracleTree
+{
+  public:
+    OracleTree(Addr base, std::uint64_t capacity_bytes,
+               OracleMutation mutation)
+        : base_(base),
+          num_leaves_(static_cast<std::uint32_t>(capacity_bytes /
+                                                 basicBlockSize)),
+          mutation_(mutation)
+    {
+        if (num_leaves_ == 0 || !std::has_single_bit(num_leaves_))
+            panic("oracle tree leaf count %u not a power of two",
+                  num_leaves_);
+        height_ =
+            static_cast<std::uint32_t>(std::bit_width(num_leaves_)) - 1;
+        bits_.assign(num_leaves_, 0);
+    }
+
+    Addr base() const { return base_; }
+    std::uint64_t
+    capacityBytes() const
+    {
+        return static_cast<std::uint64_t>(num_leaves_) * basicBlockSize;
+    }
+    Addr end() const { return base_ + capacityBytes(); }
+
+    bool
+    covers(PageNum page) const
+    {
+        Addr a = pageBase(page);
+        return a >= base_ && a < end();
+    }
+
+    std::uint32_t
+    leafOf(PageNum page) const
+    {
+        return static_cast<std::uint32_t>((pageBase(page) - base_) >>
+                                          basicBlockShift);
+    }
+
+    PageNum
+    leafFirstPage(std::uint32_t leaf) const
+    {
+        return pageOf(base_ + static_cast<Addr>(leaf) * basicBlockSize);
+    }
+
+    bool
+    marked(PageNum page) const
+    {
+        std::uint32_t leaf = leafOf(page);
+        return (bits_[leaf] >> (page - leafFirstPage(leaf))) & 1u;
+    }
+
+    void
+    mark(PageNum page)
+    {
+        std::uint32_t leaf = leafOf(page);
+        bits_[leaf] |= static_cast<std::uint16_t>(
+            1u << (page - leafFirstPage(leaf)));
+    }
+
+    void
+    unmark(PageNum page)
+    {
+        std::uint32_t leaf = leafOf(page);
+        bits_[leaf] &= static_cast<std::uint16_t>(
+            ~(1u << (page - leafFirstPage(leaf))));
+    }
+
+    std::uint64_t
+    markedPagesTotal() const
+    {
+        return markedPagesUnder(height_, 0);
+    }
+
+    /** TBNp: fill the faulted leaf, then balance ancestors whose
+     *  to-be-valid size strictly exceeds half their capacity. */
+    std::vector<PageNum>
+    faultFill(PageNum faulty_page)
+    {
+        std::uint32_t leaf = leafOf(faulty_page);
+        std::vector<PageNum> out;
+        PageNum first = leafFirstPage(leaf);
+        for (std::uint32_t p = 0; p < pagesPerBasicBlock; ++p) {
+            if (!((bits_[leaf] >> p) & 1u)) {
+                bits_[leaf] |= static_cast<std::uint16_t>(1u << p);
+                out.push_back(first + p);
+            }
+        }
+        for (std::uint32_t h = 1; h <= height_; ++h) {
+            std::uint32_t node = leaf >> h;
+            std::uint64_t marked_pages = markedPagesUnder(h, node);
+            std::uint64_t cap_pages = capacityPagesAt(h);
+            bool balance = mutation_ == OracleMutation::tbnpBalanceAtHalf
+                               ? marked_pages * 2 >= cap_pages
+                               : marked_pages * 2 > cap_pages;
+            if (!balance)
+                continue;
+            std::uint64_t lm = markedPagesUnder(h - 1, 2 * node);
+            std::uint64_t rm = markedPagesUnder(h - 1, 2 * node + 1);
+            if (lm == rm)
+                continue;
+            if (lm < rm)
+                fillInto(h - 1, 2 * node, rm - lm, out);
+            else
+                fillInto(h - 1, 2 * node + 1, lm - rm, out);
+        }
+        std::sort(out.begin(), out.end());
+        return out;
+    }
+
+    /** TBNe: drain the victim leaf, then balance ancestors whose
+     *  valid size falls strictly below half their capacity. */
+    std::vector<PageNum>
+    evictDrain(std::uint32_t victim_leaf)
+    {
+        std::vector<PageNum> out;
+        PageNum first = leafFirstPage(victim_leaf);
+        for (std::uint32_t p = 0; p < pagesPerBasicBlock; ++p) {
+            if ((bits_[victim_leaf] >> p) & 1u) {
+                bits_[victim_leaf] &=
+                    static_cast<std::uint16_t>(~(1u << p));
+                out.push_back(first + p);
+            }
+        }
+        for (std::uint32_t h = 1; h <= height_; ++h) {
+            std::uint32_t node = victim_leaf >> h;
+            std::uint64_t marked_pages = markedPagesUnder(h, node);
+            std::uint64_t cap_pages = capacityPagesAt(h);
+            bool balance = mutation_ == OracleMutation::tbneBalanceAtHalf
+                               ? marked_pages * 2 <= cap_pages
+                               : marked_pages * 2 < cap_pages;
+            if (!balance)
+                continue;
+            std::uint64_t lm = markedPagesUnder(h - 1, 2 * node);
+            std::uint64_t rm = markedPagesUnder(h - 1, 2 * node + 1);
+            if (lm == rm)
+                continue;
+            if (lm > rm)
+                drainFrom(h - 1, 2 * node, lm - rm, out);
+            else
+                drainFrom(h - 1, 2 * node + 1, rm - lm, out);
+        }
+        std::sort(out.begin(), out.end());
+        return out;
+    }
+
+  private:
+    std::uint64_t
+    capacityPagesAt(std::uint32_t height) const
+    {
+        return pagesPerBasicBlock << height;
+    }
+
+    std::uint64_t
+    markedPagesUnder(std::uint32_t height, std::uint32_t index) const
+    {
+        std::uint32_t first = index << height;
+        std::uint64_t pages = 0;
+        for (std::uint32_t l = first; l < first + (1u << height); ++l)
+            pages += std::popcount(bits_[l]);
+        return pages;
+    }
+
+    void
+    fillInto(std::uint32_t height, std::uint32_t index,
+             std::uint64_t pages, std::vector<PageNum> &out)
+    {
+        for (std::uint64_t filled = 0; filled < pages; ++filled) {
+            std::uint32_t h = height, i = index;
+            while (h > 0) {
+                std::uint64_t cap_child = capacityPagesAt(h - 1);
+                std::uint64_t lm = markedPagesUnder(h - 1, 2 * i);
+                std::uint64_t rm = markedPagesUnder(h - 1, 2 * i + 1);
+                bool left_room = lm < cap_child;
+                bool right_room = rm < cap_child;
+                if (!left_room && !right_room)
+                    return;
+                i = (left_room && (!right_room || lm <= rm)) ? 2 * i
+                                                             : 2 * i + 1;
+                --h;
+            }
+            if (bits_[i] == 0xffff)
+                return;
+            std::uint32_t bit = std::countr_one(bits_[i]);
+            bits_[i] |= static_cast<std::uint16_t>(1u << bit);
+            out.push_back(leafFirstPage(i) + bit);
+        }
+    }
+
+    void
+    drainFrom(std::uint32_t height, std::uint32_t index,
+              std::uint64_t pages, std::vector<PageNum> &out)
+    {
+        for (std::uint64_t drained = 0; drained < pages; ++drained) {
+            std::uint32_t h = height, i = index;
+            while (h > 0) {
+                std::uint64_t lm = markedPagesUnder(h - 1, 2 * i);
+                std::uint64_t rm = markedPagesUnder(h - 1, 2 * i + 1);
+                if (lm == 0 && rm == 0)
+                    return;
+                i = (lm > 0 && (rm == 0 || lm >= rm)) ? 2 * i : 2 * i + 1;
+                --h;
+            }
+            if (bits_[i] == 0)
+                return;
+            std::uint32_t bit =
+                static_cast<std::uint32_t>(
+                    std::bit_width(static_cast<unsigned>(bits_[i]))) - 1;
+            bits_[i] &= static_cast<std::uint16_t>(~(1u << bit));
+            out.push_back(leafFirstPage(i) + bit);
+        }
+    }
+
+    Addr base_;
+    std::uint32_t num_leaves_;
+    std::uint32_t height_ = 0;
+    OracleMutation mutation_;
+    std::vector<std::uint16_t> bits_;
+};
+
+/**
+ * The oracle's LRU: a monotonic stamp per page / per 64KB block / per
+ * 2MB chunk, updated on every touch and kept until the unit empties
+ * (removals deliberately do NOT refresh a unit's recency, matching the
+ * production tracker's list semantics).  Cold-to-hot is ascending
+ * stamp order.  The random pool is the exact vector-plus-swap-remove
+ * construction, so Re's index draws land on the same pages.
+ */
+class OracleLru
+{
+  public:
+    bool tracked(PageNum page) const { return page_stamp_.count(page); }
+    std::uint64_t size() const { return page_stamp_.size(); }
+
+    void
+    insert(PageNum page)
+    {
+        if (tracked(page))
+            panic("oracle LRU: page %llu already resident",
+                  static_cast<unsigned long long>(page));
+        stampPage(page);
+        touchHierarchy(page);
+        std::uint64_t block = basicBlockOf(pageBase(page));
+        ChunkInfo &chunk = chunks_.at(largePageOf(pageBase(page)));
+        ++chunk.blocks.at(block).pages;
+        ++chunk.pages;
+        random_pos_[page] = random_pool_.size();
+        random_pool_.push_back(page);
+    }
+
+    void
+    touch(PageNum page)
+    {
+        if (!tracked(page))
+            return; // mirrors the tracker's tolerated race no-op
+        stampPage(page);
+        touchHierarchy(page);
+    }
+
+    void
+    evict(PageNum page)
+    {
+        auto it = page_stamp_.find(page);
+        if (it == page_stamp_.end())
+            panic("oracle LRU: evicting non-resident page %llu",
+                  static_cast<unsigned long long>(page));
+        pages_by_stamp_.erase(it->second);
+        page_stamp_.erase(it);
+
+        std::uint64_t block = basicBlockOf(pageBase(page));
+        std::uint64_t slot = largePageOf(pageBase(page));
+        ChunkInfo &chunk = chunks_.at(slot);
+        BlockInfo &binfo = chunk.blocks.at(block);
+        --binfo.pages;
+        --chunk.pages;
+        if (binfo.pages == 0) {
+            chunk.blocks_by_stamp.erase(binfo.stamp);
+            chunk.blocks.erase(block);
+        }
+        if (chunk.pages == 0) {
+            chunks_by_stamp_.erase(chunk.stamp);
+            chunks_.erase(slot);
+        }
+
+        std::size_t idx = random_pos_.at(page);
+        PageNum last = random_pool_.back();
+        random_pool_[idx] = last;
+        random_pos_[last] = idx;
+        random_pool_.pop_back();
+        random_pos_.erase(page);
+    }
+
+    std::vector<PageNum>
+    coldToHot() const
+    {
+        std::vector<PageNum> out;
+        out.reserve(pages_by_stamp_.size());
+        for (const auto &[stamp, page] : pages_by_stamp_)
+            out.push_back(page);
+        return out;
+    }
+
+    std::optional<PageNum>
+    lruVictim(std::uint64_t skip_pages) const
+    {
+        if (skip_pages >= pages_by_stamp_.size())
+            return std::nullopt;
+        auto it = pages_by_stamp_.begin();
+        std::advance(it, static_cast<long>(skip_pages));
+        return it->second;
+    }
+
+    std::optional<PageNum>
+    mruVictim() const
+    {
+        if (pages_by_stamp_.empty())
+            return std::nullopt;
+        return pages_by_stamp_.rbegin()->second;
+    }
+
+    std::optional<PageNum>
+    randomVictim(Rng &rng) const
+    {
+        if (random_pool_.empty())
+            return std::nullopt;
+        return random_pool_[rng.below(random_pool_.size())];
+    }
+
+    std::optional<std::uint64_t>
+    lruBlockVictim(std::uint64_t skip_pages) const
+    {
+        std::uint64_t to_skip = skip_pages;
+        for (const auto &[cstamp, slot] : chunks_by_stamp_) {
+            const ChunkInfo &chunk = chunks_.at(slot);
+            for (const auto &[bstamp, block] : chunk.blocks_by_stamp) {
+                std::uint64_t pages = chunk.blocks.at(block).pages;
+                if (to_skip >= pages) {
+                    to_skip -= pages;
+                    continue;
+                }
+                return block;
+            }
+        }
+        return std::nullopt;
+    }
+
+    std::optional<std::uint64_t>
+    lruChunkVictim(std::uint64_t skip_pages) const
+    {
+        std::uint64_t to_skip = skip_pages;
+        for (const auto &[cstamp, slot] : chunks_by_stamp_) {
+            std::uint64_t pages = chunks_.at(slot).pages;
+            if (to_skip >= pages) {
+                to_skip -= pages;
+                continue;
+            }
+            return slot;
+        }
+        return std::nullopt;
+    }
+
+    std::vector<PageNum>
+    pagesInBlock(std::uint64_t block) const
+    {
+        std::vector<PageNum> out;
+        PageNum first = pageOf(basicBlockBase(block));
+        for (std::uint64_t p = 0; p < pagesPerBasicBlock; ++p)
+            if (tracked(first + p))
+                out.push_back(first + p);
+        return out;
+    }
+
+    std::vector<PageNum>
+    pagesInChunk(std::uint64_t slot) const
+    {
+        std::vector<PageNum> out;
+        PageNum first = pageOf(static_cast<Addr>(slot) << largePageShift);
+        for (std::uint64_t p = 0; p < pagesPerLargePage; ++p)
+            if (tracked(first + p))
+                out.push_back(first + p);
+        return out;
+    }
+
+    std::vector<std::pair<std::uint64_t, std::uint64_t>>
+    blocksColdToHot() const
+    {
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+        for (const auto &[cstamp, slot] : chunks_by_stamp_) {
+            const ChunkInfo &chunk = chunks_.at(slot);
+            for (const auto &[bstamp, block] : chunk.blocks_by_stamp)
+                out.emplace_back(block, chunk.blocks.at(block).pages);
+        }
+        return out;
+    }
+
+    std::vector<std::pair<std::uint64_t, std::uint64_t>>
+    chunksColdToHot() const
+    {
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+        for (const auto &[cstamp, slot] : chunks_by_stamp_)
+            out.emplace_back(slot, chunks_.at(slot).pages);
+        return out;
+    }
+
+  private:
+    struct BlockInfo
+    {
+        std::uint64_t stamp = 0;
+        std::uint64_t pages = 0;
+    };
+
+    struct ChunkInfo
+    {
+        std::uint64_t stamp = 0;
+        std::uint64_t pages = 0;
+        /** Blocks of this chunk, ascending stamp = cold to hot. */
+        std::map<std::uint64_t, std::uint64_t> blocks_by_stamp;
+        std::unordered_map<std::uint64_t, BlockInfo> blocks;
+    };
+
+    void
+    stampPage(PageNum page)
+    {
+        auto it = page_stamp_.find(page);
+        if (it != page_stamp_.end())
+            pages_by_stamp_.erase(it->second);
+        std::uint64_t stamp = ++next_stamp_;
+        page_stamp_[page] = stamp;
+        pages_by_stamp_[stamp] = page;
+    }
+
+    void
+    touchHierarchy(PageNum page)
+    {
+        std::uint64_t block = basicBlockOf(pageBase(page));
+        std::uint64_t slot = largePageOf(pageBase(page));
+
+        auto [cit, chunk_new] = chunks_.try_emplace(slot);
+        ChunkInfo &chunk = cit->second;
+        if (!chunk_new)
+            chunks_by_stamp_.erase(chunk.stamp);
+        chunk.stamp = ++next_stamp_;
+        chunks_by_stamp_[chunk.stamp] = slot;
+
+        auto [bit, block_new] = chunk.blocks.try_emplace(block);
+        BlockInfo &binfo = bit->second;
+        if (!block_new)
+            chunk.blocks_by_stamp.erase(binfo.stamp);
+        binfo.stamp = ++next_stamp_;
+        chunk.blocks_by_stamp[binfo.stamp] = block;
+    }
+
+    std::uint64_t next_stamp_ = 0;
+    std::map<std::uint64_t, PageNum> pages_by_stamp_;
+    std::unordered_map<PageNum, std::uint64_t> page_stamp_;
+    std::map<std::uint64_t, std::uint64_t> chunks_by_stamp_;
+    std::unordered_map<std::uint64_t, ChunkInfo> chunks_;
+    std::vector<PageNum> random_pool_;
+    std::unordered_map<PageNum, std::size_t> random_pos_;
+};
+
+/** One oracle run's working state and step functions. */
+struct OracleMachine
+{
+    const FuzzSpec &spec;
+    OracleMutation mutation;
+    const FunctionalOracle::EvictionObserver &observer;
+
+    std::vector<OracleTree> trees;
+    std::unordered_map<std::uint64_t, std::size_t> slot_to_tree;
+    OracleLru lru;
+    Rng rng;
+    std::unordered_set<PageNum> dirty;
+    std::unordered_set<PageNum> ever_evicted;
+    std::unordered_set<PageNum> in_flight;
+
+    std::uint64_t total_frames = 0;
+    std::uint64_t free_frames = 0;
+    std::uint64_t buffer_pages = 0;
+    double reserve_fraction = 0.0;
+    bool oversubscribed = false;
+
+    OracleResult res;
+
+    OracleMachine(const FuzzSpec &s, OracleMutation m,
+                  const FunctionalOracle::EvictionObserver &obs)
+        : spec(s), mutation(m), observer(obs), rng(s.seed)
+    {
+        std::uint64_t padded = 0;
+        for (const AllocLayout &alloc : layoutAllocations(spec)) {
+            padded += alloc.padded_bytes;
+            for (const TreeLayout &t : alloc.trees) {
+                std::size_t index = trees.size();
+                trees.emplace_back(t.base, t.capacity_bytes, mutation);
+                for (Addr a = t.base; a < t.base + t.capacity_bytes;
+                     a += largePageSize)
+                    slot_to_tree[largePageOf(a)] = index;
+                // A sub-2MB remainder tree still owns its whole slot.
+                slot_to_tree[largePageOf(t.base)] = index;
+            }
+        }
+
+        std::uint64_t device = 0;
+        if (spec.oversubscription_percent > 100.0) {
+            device = static_cast<std::uint64_t>(
+                static_cast<double>(padded) * 100.0 /
+                spec.oversubscription_percent);
+        } else {
+            device = padded + largePageSize;
+        }
+        device = roundUpToPages(device);
+
+        res.device_bytes = device;
+        total_frames = device / pageSize;
+        free_frames = total_frames;
+        buffer_pages = static_cast<std::uint64_t>(
+            spec.free_buffer_percent / 100.0 *
+            static_cast<double>(total_frames));
+        reserve_fraction = spec.lru_reserve_percent / 100.0;
+    }
+
+    OracleTree *
+    treeFor(PageNum page)
+    {
+        auto it = slot_to_tree.find(largePageOf(pageBase(page)));
+        if (it == slot_to_tree.end())
+            return nullptr;
+        OracleTree &tree = trees[it->second];
+        return tree.covers(page) ? &tree : nullptr;
+    }
+
+    void
+    latch()
+    {
+        oversubscribed = true;
+    }
+
+    /** One victim selection; TBNe mutates its tree here, like the
+     *  production policy. */
+    std::vector<PageNum>
+    selectVictims(std::uint64_t reserve,
+                  std::optional<std::uint64_t> &chosen_block,
+                  std::optional<std::uint64_t> &chosen_chunk)
+    {
+        switch (spec.eviction) {
+          case EvictionKind::lru4k: {
+            auto victim = lru.lruVictim(reserve);
+            if (!victim)
+                return {};
+            return {*victim};
+          }
+          case EvictionKind::random4k: {
+            auto victim = lru.randomVictim(rng);
+            if (!victim)
+                return {};
+            return {*victim};
+          }
+          case EvictionKind::sequentialLocal: {
+            auto block = lru.lruBlockVictim(reserve);
+            if (!block)
+                return {};
+            chosen_block = block;
+            return lru.pagesInBlock(*block);
+          }
+          case EvictionKind::treeBasedNeighborhood: {
+            auto block = lru.lruBlockVictim(reserve);
+            if (!block)
+                return {};
+            chosen_block = block;
+            PageNum first_page = pageOf(basicBlockBase(*block));
+            OracleTree *tree = treeFor(first_page);
+            if (!tree)
+                panic("oracle: TBNe victim block has no tree");
+            return tree->evictDrain(tree->leafOf(first_page));
+          }
+          case EvictionKind::lru2mb: {
+            auto slot = lru.lruChunkVictim(reserve);
+            if (!slot)
+                return {};
+            chosen_chunk = slot;
+            return lru.pagesInChunk(*slot);
+          }
+          case EvictionKind::mru4k: {
+            auto victim = lru.mruVictim();
+            if (!victim)
+                return {};
+            return {*victim};
+          }
+        }
+        panic("unknown EvictionKind");
+    }
+
+    std::uint64_t
+    applyEviction(const std::vector<PageNum> &victims)
+    {
+        struct Victim
+        {
+            PageNum page;
+            bool dirty;
+        };
+        std::vector<Victim> evicted;
+        for (PageNum p : victims) {
+            if (!lru.tracked(p)) {
+                // TBNe's drain can pick pages whose migration is in
+                // flight; their marks are restored and they survive.
+                if (in_flight.count(p)) {
+                    if (OracleTree *tree = treeFor(p)) {
+                        if (!tree->marked(p))
+                            tree->mark(p);
+                    }
+                }
+                continue;
+            }
+            bool was_dirty = dirty.erase(p) > 0;
+            lru.evict(p);
+            if (OracleTree *tree = treeFor(p)) {
+                if (mutation != OracleMutation::evictKeepsTreeMark)
+                    tree->unmark(p);
+            }
+            ever_evicted.insert(p);
+            ++res.pages_evicted;
+            evicted.push_back(Victim{p, was_dirty});
+        }
+        if (evicted.empty())
+            return 0;
+
+        bool whole_unit =
+            spec.eviction == EvictionKind::sequentialLocal ||
+            spec.eviction == EvictionKind::treeBasedNeighborhood ||
+            spec.eviction == EvictionKind::lru2mb;
+        if (whole_unit) {
+            // Whole contiguous runs go back over PCI-e, dirty or not;
+            // their frames free once the (instantaneous, here)
+            // write-back completes.
+            std::size_t i = 0;
+            while (i < evicted.size()) {
+                std::size_t j = i + 1;
+                while (j < evicted.size() &&
+                       evicted[j].page == evicted[j - 1].page + 1)
+                    ++j;
+                res.pages_written_back += j - i;
+                free_frames += j - i;
+                i = j;
+            }
+        } else {
+            for (const Victim &v : evicted) {
+                if (v.dirty)
+                    ++res.pages_written_back;
+                ++free_frames;
+            }
+        }
+        return evicted.size();
+    }
+
+    bool
+    evictUntil(std::uint64_t target_frames)
+    {
+        while (free_frames < target_frames) {
+            std::uint64_t reserve = static_cast<std::uint64_t>(
+                reserve_fraction * static_cast<double>(lru.size()));
+            std::optional<std::uint64_t> chosen_block, chosen_chunk;
+
+            FunctionalOracle::EvictionEvent event;
+            if (observer) {
+                event.kind = spec.eviction;
+                event.pages_cold_to_hot = lru.coldToHot();
+                event.blocks_cold_to_hot = lru.blocksColdToHot();
+                event.chunks_cold_to_hot = lru.chunksColdToHot();
+            }
+
+            std::vector<PageNum> victims =
+                selectVictims(reserve, chosen_block, chosen_chunk);
+            bool fallback = false;
+            if (victims.empty() && reserve > 0) {
+                fallback = true;
+                victims = selectVictims(0, chosen_block, chosen_chunk);
+            }
+            if (victims.empty())
+                return false;
+
+            if (observer) {
+                event.reserve_pages = fallback ? 0 : reserve;
+                event.used_fallback = fallback;
+                event.victims = victims;
+                event.chosen_block = chosen_block;
+                event.chosen_chunk = chosen_chunk;
+                observer(event);
+            }
+
+            if (applyEviction(victims) == 0)
+                return false;
+        }
+        return true;
+    }
+
+    void
+    maintainFreeBuffer()
+    {
+        if (buffer_pages == 0)
+            return;
+        if (free_frames >= buffer_pages)
+            return;
+        std::uint64_t used = total_frames - free_frames;
+        if (!oversubscribed && used + buffer_pages >= total_frames)
+            latch();
+        if (oversubscribed)
+            evictUntil(buffer_pages);
+    }
+
+    /**
+     * One migration, end to end: accounting, frame acquisition
+     * (evicting as needed), free-buffer upkeep, and the arrival -- the
+     * fault page lands first and is immediately touched by its MSHR
+     * waiter, then the prefetched pages land in ascending order.
+     */
+    void
+    migrate(const std::vector<PageNum> &pages,
+            std::optional<PageNum> faulty, bool fault_is_write)
+    {
+        res.pages_migrated += pages.size();
+        res.pages_prefetched += pages.size() - (faulty ? 1 : 0);
+        for (PageNum p : pages) {
+            if (ever_evicted.count(p))
+                ++res.pages_thrashed;
+            in_flight.insert(p);
+        }
+
+        if (pages.size() > total_frames)
+            panic("oracle: migration of %zu pages exceeds device",
+                  pages.size());
+        if (free_frames < pages.size()) {
+            if (!oversubscribed)
+                latch();
+            if (!evictUntil(pages.size()))
+                panic("oracle: device exhausted and nothing evictable");
+        }
+        free_frames -= pages.size();
+        maintainFreeBuffer();
+
+        if (faulty) {
+            lru.insert(*faulty);
+            if (fault_is_write)
+                dirty.insert(*faulty);
+            lru.touch(*faulty);
+        }
+        for (PageNum p : pages) {
+            if (faulty && p == *faulty)
+                continue;
+            lru.insert(p);
+        }
+        in_flight.clear();
+    }
+
+    void
+    fault(PageNum page, bool is_write)
+    {
+        // The paper's trigger: the latch flips *before* the migration
+        // decision once free frames dip to the buffer threshold.
+        if (!oversubscribed && free_frames <= buffer_pages)
+            latch();
+
+        OracleTree *tree = treeFor(page);
+        if (!tree)
+            panic("oracle: fault on unmanaged page %llu",
+                  static_cast<unsigned long long>(page));
+        if (tree->marked(page)) {
+            // Marked but not resident: the real GMMU skips the service
+            // (a migration is presumed in flight).  Serialized
+            // workloads make this unreachable for a correct model, so
+            // with no mutation it is a harness bug; under a seeded
+            // mutation (e.g. evictKeepsTreeMark) it is the very
+            // divergence the differential run must surface, so mirror
+            // the real accounting and carry on.
+            if (mutation == OracleMutation::none)
+                panic("oracle: fault on in-flight page %llu -- the "
+                      "workload is not serialized",
+                      static_cast<unsigned long long>(page));
+            ++res.skipped_services;
+            return;
+        }
+
+        ++res.far_faults;
+        ++res.fault_services;
+
+        PrefetcherKind active = oversubscribed ? spec.prefetcher_after
+                                               : spec.prefetcher_before;
+        std::vector<PageNum> pages = selectPrefetch(active, page, *tree);
+
+        const std::uint64_t limit =
+            std::max<std::uint64_t>(1, total_frames / 2);
+        if (pages.size() > limit) {
+            std::stable_sort(pages.begin(), pages.end(),
+                             [page](PageNum a, PageNum b) {
+                                 auto da = a > page ? a - page : page - a;
+                                 auto db = b > page ? b - page : page - b;
+                                 return da < db;
+                             });
+            for (std::size_t i = limit; i < pages.size(); ++i)
+                tree->unmark(pages[i]);
+            pages.resize(limit);
+            std::sort(pages.begin(), pages.end());
+            ++res.prefetches_trimmed;
+        }
+
+        migrate(pages, page, is_write);
+    }
+
+    std::vector<PageNum>
+    selectPrefetch(PrefetcherKind kind, PageNum fault, OracleTree &tree)
+    {
+        switch (kind) {
+          case PrefetcherKind::none: {
+            tree.mark(fault);
+            return {fault};
+          }
+          case PrefetcherKind::random: {
+            tree.mark(fault);
+            std::uint64_t total = tree.capacityBytes() / pageSize;
+            std::uint64_t invalid = total - tree.markedPagesTotal();
+            if (invalid == 0)
+                return {fault};
+            std::uint64_t k = rng.below(invalid);
+            PageNum first = pageOf(tree.base());
+            for (PageNum p = first; p < first + total; ++p) {
+                if (tree.marked(p))
+                    continue;
+                if (k == 0) {
+                    tree.mark(p);
+                    std::vector<PageNum> out{fault, p};
+                    std::sort(out.begin(), out.end());
+                    return out;
+                }
+                --k;
+            }
+            panic("oracle: Rp candidate scan fell through");
+          }
+          case PrefetcherKind::sequentialLocal: {
+            std::uint32_t leaf = tree.leafOf(fault);
+            PageNum first = tree.leafFirstPage(leaf);
+            std::vector<PageNum> out;
+            for (std::uint64_t p = 0; p < pagesPerBasicBlock; ++p) {
+                if (!tree.marked(first + p)) {
+                    tree.mark(first + p);
+                    out.push_back(first + p);
+                }
+            }
+            return out;
+          }
+          case PrefetcherKind::treeBasedNeighborhood:
+            return tree.faultFill(fault);
+          case PrefetcherKind::sequentialGlobal: {
+            tree.mark(fault);
+            std::vector<PageNum> out{fault};
+            PageNum first = pageOf(tree.base());
+            PageNum end = pageOf(tree.end() - 1) + 1;
+            std::uint64_t taken = 0;
+            for (PageNum p = first;
+                 p < end && taken < pagesPerBasicBlock; ++p) {
+                if (tree.marked(p))
+                    continue;
+                tree.mark(p);
+                out.push_back(p);
+                ++taken;
+            }
+            std::sort(out.begin(), out.end());
+            return out;
+          }
+          case PrefetcherKind::zhengLocality: {
+            std::vector<PageNum> out;
+            PageNum end = pageOf(tree.end() - 1) + 1;
+            for (PageNum p = fault; p < end && p < fault + 128; ++p) {
+                if (tree.marked(p))
+                    continue;
+                tree.mark(p);
+                out.push_back(p);
+            }
+            return out;
+          }
+        }
+        panic("unknown PrefetcherKind");
+    }
+
+    void
+    userPrefetch()
+    {
+        const std::uint64_t max_batch = std::max<std::uint64_t>(
+            pagesPerBasicBlock,
+            std::min<std::uint64_t>(pagesPerLargePage,
+                                    total_frames / 4));
+        for (const AllocLayout &alloc : layoutAllocations(spec)) {
+            PageNum first = pageOf(alloc.base);
+            PageNum last =
+                pageOf(alloc.base + alloc.padded_bytes - 1);
+            std::vector<PageNum> batch;
+            auto flush = [&]() {
+                if (batch.empty())
+                    return;
+                res.user_prefetched_pages += batch.size();
+                migrate(batch, std::nullopt, false);
+                batch.clear();
+            };
+            for (PageNum p = first; p <= last; ++p) {
+                OracleTree *tree = treeFor(p);
+                if (!tree || tree->marked(p) || lru.tracked(p))
+                    continue;
+                if (!batch.empty() &&
+                    (batch.size() >= max_batch ||
+                     largePageOf(pageBase(p)) !=
+                         largePageOf(pageBase(batch.back()))))
+                    flush();
+                tree->mark(p);
+                batch.push_back(p);
+            }
+            flush();
+        }
+    }
+
+    OracleResult
+    finish()
+    {
+        res.resident_cold_to_hot = lru.coldToHot();
+        for (const OracleTree &tree : trees)
+            res.trees.push_back(
+                TreeValidSize{tree.base(), tree.capacityBytes(),
+                              tree.markedPagesTotal() * pageSize});
+        res.oversubscribed = oversubscribed;
+        res.total_frames = total_frames;
+        res.free_frames = free_frames;
+        return std::move(res);
+    }
+};
+
+} // namespace
+
+OracleResult
+FunctionalOracle::run(const FuzzSpec &spec)
+{
+    validateSpec(spec);
+    OracleMachine machine(spec, mutation_, observer_);
+
+    if (spec.user_prefetch)
+        machine.userPrefetch();
+
+    for (const FuzzAccess &access : accessStream(spec)) {
+        PageNum page = pageOf(access.addr);
+        if (machine.lru.tracked(page)) {
+            if (access.is_write)
+                machine.dirty.insert(page);
+            machine.lru.touch(page);
+            continue;
+        }
+        machine.fault(page, access.is_write);
+    }
+
+    return machine.finish();
+}
+
+} // namespace fuzzing
+} // namespace uvmsim

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Timing-free functional oracle of the UVM migration semantics.
+ *
+ * The oracle consumes a FuzzSpec's canonical access stream (see
+ * workload_gen.hh) and predicts the end state the real, event-driven
+ * simulator must reach: the exact resident set in LRU order, every
+ * tree's to-be-valid size, and the migration/eviction counters.  It is
+ * a deliberate *reimplementation* -- its own binary tree, its own
+ * stamp-based LRU, its own frame arithmetic -- sharing no code with
+ * the GMMU, the policies, the residency tracker or the PCI-e model, so
+ * a semantic bug on either side surfaces as a differential mismatch
+ * rather than cancelling out.
+ *
+ * Why a timing-free oracle can be exact: the generated workloads are
+ * serialized (one access at a time, long drain gap in between -- see
+ * workload_gen.hh), so every fault's full pipeline -- prefetcher
+ * selection, trim, eviction, grant, transfer, arrival, MSHR wake-up --
+ * completes before the next access issues.  Under that guarantee the
+ * only event ordering that matters is the one *within* one fault's
+ * synchronous processing, which the oracle replays step for step:
+ *
+ *   fault -> oversubscription latch (free <= buffer) -> prefetcher
+ *   marks tree -> trim to totalFrames/2 nearest the fault -> eviction
+ *   loop (reserve recomputed per round, retry once at reserve 0, TBNe
+ *   re-marks in-flight picks) -> frame grant -> free-buffer upkeep ->
+ *   arrival (fault page inserted then touched by its waiter, prefetch
+ *   pages inserted in ascending order).
+ *
+ * Stochastic policies (Rp, Re) are replicated by drawing from an
+ * identical xorshift64* generator at exactly the GMMU's draw sites, in
+ * the same order.
+ *
+ * OracleMutation deliberately mis-implements one rule so the
+ * differential harness can prove it catches semantic bugs (the
+ * "seeded bug" acceptance test, and uvmsim_fuzz --mutate).
+ */
+
+#ifndef UVMSIM_TESTING_FUNCTIONAL_ORACLE_HH
+#define UVMSIM_TESTING_FUNCTIONAL_ORACLE_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/managed_space.hh" // TreeValidSize (reporting POD only)
+#include "testing/workload_gen.hh"
+
+namespace uvmsim
+{
+namespace fuzzing
+{
+
+/** Deliberately seeded semantic bugs, for harness self-tests. */
+enum class OracleMutation
+{
+    none,
+    /** TBNe balances ancestors at <= 50% instead of strictly < 50%. */
+    tbneBalanceAtHalf,
+    /** TBNp balances ancestors at >= 50% instead of strictly > 50%. */
+    tbnpBalanceAtHalf,
+    /** Eviction forgets to unmark victims in the tree. */
+    evictKeepsTreeMark,
+};
+
+/** Short names: "none", "tbne-at-half", "tbnp-at-half",
+ *  "evict-keeps-mark". */
+std::string toString(OracleMutation mutation);
+
+/** Parse a mutation name; fatal() on unknown names. */
+OracleMutation mutationFromString(const std::string &name);
+
+/** Everything the oracle predicts about the end of a run. */
+struct OracleResult
+{
+    /** Predicted resident pages, coldest first. */
+    std::vector<PageNum> resident_cold_to_hot;
+
+    /** Predicted per-tree to-be-valid sizes, in address order. */
+    std::vector<TreeValidSize> trees;
+
+    bool oversubscribed = false;
+    std::uint64_t device_bytes = 0;
+    std::uint64_t total_frames = 0;
+    std::uint64_t free_frames = 0;
+
+    // Predicted counters (the gmmu.* stats of the real run).
+    std::uint64_t far_faults = 0;
+    std::uint64_t fault_services = 0;
+    std::uint64_t skipped_services = 0;
+    std::uint64_t prefetches_trimmed = 0;
+    std::uint64_t pages_migrated = 0;
+    std::uint64_t pages_prefetched = 0;
+    std::uint64_t pages_evicted = 0;
+    std::uint64_t pages_written_back = 0;
+    std::uint64_t pages_thrashed = 0;
+    std::uint64_t user_prefetched_pages = 0;
+};
+
+/** The timing-free reference model. */
+class FunctionalOracle
+{
+  public:
+    /**
+     * One victim-selection round, reported to the eviction observer.
+     * Everything is captured *at selection time*, before the eviction
+     * is applied, so property tests (e.g. the Fig. 14 LRU-reservation
+     * test) can check the selection against the exact LRU state it
+     * was made from.
+     */
+    struct EvictionEvent
+    {
+        EvictionKind kind = EvictionKind::lru4k;
+
+        /** Reserved cold pages requested for this selection. */
+        std::uint64_t reserve_pages = 0;
+
+        /** True when an empty first selection retried at reserve 0. */
+        bool used_fallback = false;
+
+        /** The selected victims (TBNe: the drained set). */
+        std::vector<PageNum> victims;
+
+        /** The unit the hierarchical traversal chose, if any. */
+        std::optional<std::uint64_t> chosen_block;
+        std::optional<std::uint64_t> chosen_chunk;
+
+        /** Flat LRU at selection time, coldest first. */
+        std::vector<PageNum> pages_cold_to_hot;
+
+        /** 64KB blocks coldest first, with resident-page counts. */
+        std::vector<std::pair<std::uint64_t, std::uint64_t>>
+            blocks_cold_to_hot;
+
+        /** 2MB chunks coldest first, with resident-page counts. */
+        std::vector<std::pair<std::uint64_t, std::uint64_t>>
+            chunks_cold_to_hot;
+    };
+
+    using EvictionObserver = std::function<void(const EvictionEvent &)>;
+
+    explicit FunctionalOracle(
+        OracleMutation mutation = OracleMutation::none)
+        : mutation_(mutation)
+    {}
+
+    /** Observe every victim selection of subsequent run() calls. */
+    void
+    setEvictionObserver(EvictionObserver observer)
+    {
+        observer_ = std::move(observer);
+    }
+
+    /** Predict the end state of `spec` (validateSpec()-checked). */
+    OracleResult run(const FuzzSpec &spec);
+
+  private:
+    OracleMutation mutation_ = OracleMutation::none;
+    EvictionObserver observer_;
+};
+
+} // namespace fuzzing
+} // namespace uvmsim
+
+#endif // UVMSIM_TESTING_FUNCTIONAL_ORACLE_HH

@@ -1,0 +1,237 @@
+#include "minimizer.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace uvmsim
+{
+namespace fuzzing
+{
+
+namespace
+{
+
+struct Shrinker
+{
+    OracleMutation mutation;
+    const MinimizeProgress &progress;
+    FuzzSpec champion;
+    DiffResult champion_diff;
+    std::uint64_t probes = 0;
+    std::uint64_t accepted = 0;
+
+    /** Evaluate a candidate; adopt it as champion if it is valid and
+     *  still mismatches. */
+    bool
+    tryCandidate(const FuzzSpec &candidate)
+    {
+        if (!specProblem(candidate).empty())
+            return false;
+        ++probes;
+        DiffResult diff = runDifferential(candidate, mutation);
+        if (!diff.mismatch)
+            return false;
+        champion = candidate;
+        champion_diff = std::move(diff);
+        ++accepted;
+        if (progress)
+            progress(champion);
+        return true;
+    }
+
+    /** Drop one kernel at a time (coarsest cut first). */
+    bool
+    dropKernels()
+    {
+        bool any = false;
+        for (std::size_t i = 0; i < champion.kernels.size() &&
+                                champion.kernels.size() > 1;) {
+            FuzzSpec candidate = champion;
+            candidate.kernels.erase(candidate.kernels.begin() +
+                                    static_cast<long>(i));
+            if (tryCandidate(candidate))
+                any = true; // champion shrank; retry same index
+            else
+                ++i;
+        }
+        return any;
+    }
+
+    /** Drop one allocation, discarding its kernels and remapping the
+     *  survivors' indices. */
+    bool
+    dropAllocs()
+    {
+        bool any = false;
+        for (std::size_t i = 0; i < champion.allocs.size() &&
+                                champion.allocs.size() > 1;) {
+            FuzzSpec candidate = champion;
+            candidate.allocs.erase(candidate.allocs.begin() +
+                                   static_cast<long>(i));
+            std::vector<KernelSpec> kept;
+            for (KernelSpec k : candidate.kernels) {
+                if (k.alloc_index == i)
+                    continue;
+                if (k.alloc_index > i)
+                    --k.alloc_index;
+                kept.push_back(k);
+            }
+            if (kept.empty()) {
+                ++i; // a spec needs at least one kernel
+                continue;
+            }
+            candidate.kernels = std::move(kept);
+            if (tryCandidate(candidate))
+                any = true;
+            else
+                ++i;
+        }
+        return any;
+    }
+
+    bool
+    shrinkAccesses()
+    {
+        bool any = false;
+        for (std::size_t i = 0; i < champion.kernels.size(); ++i) {
+            // Halve to fixed point, then single-step.
+            while (champion.kernels[i].accesses > 1) {
+                FuzzSpec candidate = champion;
+                candidate.kernels[i].accesses =
+                    std::max(1u, candidate.kernels[i].accesses / 2);
+                if (!tryCandidate(candidate))
+                    break;
+                any = true;
+            }
+            while (champion.kernels[i].accesses > 1) {
+                FuzzSpec candidate = champion;
+                --candidate.kernels[i].accesses;
+                if (!tryCandidate(candidate))
+                    break;
+                any = true;
+            }
+        }
+        return any;
+    }
+
+    bool
+    shrinkAllocs()
+    {
+        bool any = false;
+        for (std::size_t i = 0; i < champion.allocs.size(); ++i) {
+            // Jump straight to one basic block, then binary-search up
+            // via halving from the original size.
+            if (champion.allocs[i].bytes > basicBlockSize) {
+                FuzzSpec candidate = champion;
+                candidate.allocs[i].bytes = basicBlockSize;
+                if (tryCandidate(candidate)) {
+                    any = true;
+                    continue;
+                }
+            }
+            while (champion.allocs[i].bytes > basicBlockSize) {
+                FuzzSpec candidate = champion;
+                std::uint64_t halved = candidate.allocs[i].bytes / 2;
+                candidate.allocs[i].bytes =
+                    std::max<std::uint64_t>(basicBlockSize,
+                                            roundUpToPages(halved));
+                if (candidate.allocs[i].bytes == champion.allocs[i].bytes)
+                    break;
+                if (!tryCandidate(candidate))
+                    break;
+                any = true;
+            }
+        }
+        return any;
+    }
+
+    bool
+    simplifyKernels()
+    {
+        bool any = false;
+        for (std::size_t i = 0; i < champion.kernels.size(); ++i) {
+            KernelSpec &k = champion.kernels[i];
+            if (k.pattern != AccessPattern::streaming) {
+                FuzzSpec candidate = champion;
+                candidate.kernels[i].pattern = AccessPattern::streaming;
+                candidate.kernels[i].stride_pages = 1;
+                any |= tryCandidate(candidate);
+            }
+            if (k.stride_pages != 1) {
+                FuzzSpec candidate = champion;
+                candidate.kernels[i].stride_pages = 1;
+                any |= tryCandidate(candidate);
+            }
+            if (k.write_fraction != 0.0) {
+                FuzzSpec candidate = champion;
+                candidate.kernels[i].write_fraction = 0.0;
+                any |= tryCandidate(candidate);
+            }
+        }
+        return any;
+    }
+
+    bool
+    simplifyKnobs()
+    {
+        bool any = false;
+        if (champion.user_prefetch) {
+            FuzzSpec candidate = champion;
+            candidate.user_prefetch = false;
+            any |= tryCandidate(candidate);
+        }
+        if (champion.lru_reserve_percent != 0.0) {
+            FuzzSpec candidate = champion;
+            candidate.lru_reserve_percent = 0.0;
+            any |= tryCandidate(candidate);
+        }
+        if (champion.free_buffer_percent != 0.0) {
+            FuzzSpec candidate = champion;
+            candidate.free_buffer_percent = 0.0;
+            any |= tryCandidate(candidate);
+        }
+        if (champion.oversubscription_percent != 0.0) {
+            FuzzSpec candidate = champion;
+            candidate.oversubscription_percent = 0.0;
+            any |= tryCandidate(candidate);
+        }
+        return any;
+    }
+};
+
+} // namespace
+
+MinimizeResult
+minimize(const FuzzSpec &spec, OracleMutation mutation,
+         const MinimizeProgress &progress)
+{
+    validateSpec(spec);
+    DiffResult base = runDifferential(spec, mutation);
+    if (!base.mismatch)
+        fatal("minimize: spec '%s' does not mismatch -- nothing to "
+              "minimize", toSpecString(spec).c_str());
+
+    Shrinker shrinker{mutation, progress, spec, std::move(base)};
+    // Greedy fixed point: repeat full passes until nothing shrinks.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        changed |= shrinker.dropKernels();
+        changed |= shrinker.dropAllocs();
+        changed |= shrinker.shrinkAccesses();
+        changed |= shrinker.shrinkAllocs();
+        changed |= shrinker.simplifyKernels();
+        changed |= shrinker.simplifyKnobs();
+    }
+
+    MinimizeResult result;
+    result.spec = shrinker.champion;
+    result.diff = std::move(shrinker.champion_diff);
+    result.probes = shrinker.probes;
+    result.accepted = shrinker.accepted;
+    return result;
+}
+
+} // namespace fuzzing
+} // namespace uvmsim

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Greedy spec minimizer for differential mismatches.
+ *
+ * Given a FuzzSpec whose differential run mismatches, minimize() runs
+ * a greedy fixed-point shrink: drop whole kernels, drop whole
+ * allocations (remapping surviving kernels), halve and decrement
+ * access counts, shrink allocation sizes toward one basic block,
+ * simplify access patterns toward plain streaming, zero write
+ * fractions and strides, and drop pressure knobs.  A candidate is
+ * kept only if (a) specProblem() accepts it and (b) the differential
+ * run still mismatches.  The result is the smallest spec this
+ * procedure can reach that still reproduces the disagreement --
+ * typically a couple of allocations and a few dozen accesses, small
+ * enough to step through by hand.
+ */
+
+#ifndef UVMSIM_TESTING_MINIMIZER_HH
+#define UVMSIM_TESTING_MINIMIZER_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "testing/differential.hh"
+
+namespace uvmsim
+{
+namespace fuzzing
+{
+
+/** Outcome of a minimization. */
+struct MinimizeResult
+{
+    FuzzSpec spec;            //!< The smallest still-failing spec.
+    DiffResult diff;          //!< Its differential result (mismatch).
+    std::uint64_t probes = 0; //!< Candidate specs evaluated.
+    std::uint64_t accepted = 0; //!< Shrink steps that kept the failure.
+};
+
+/** Optional progress callback: called after every accepted shrink
+ *  with the new champion spec. */
+using MinimizeProgress = std::function<void(const FuzzSpec &)>;
+
+/**
+ * Greedily shrink `spec` while runDifferential(spec, mutation) keeps
+ * mismatching.  `spec` itself must mismatch (fatal() otherwise --
+ * minimizing a passing spec is a caller bug).
+ */
+MinimizeResult minimize(const FuzzSpec &spec,
+                        OracleMutation mutation = OracleMutation::none,
+                        const MinimizeProgress &progress = {});
+
+} // namespace fuzzing
+} // namespace uvmsim
+
+#endif // UVMSIM_TESTING_MINIMIZER_HH

@@ -1,0 +1,604 @@
+#include "workload_gen.hh"
+
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace uvmsim
+{
+namespace fuzzing
+{
+
+namespace
+{
+
+/** Mirror of ManagedSpace's base placement (kept independent on
+ *  purpose; see the header). */
+constexpr Addr specVaBase = 0x100000000ull;
+
+/** Mirror of the driver's remainder rounding: next 2^i * 64KB. */
+std::uint64_t
+roundedRemainder(std::uint64_t remainder_bytes)
+{
+    if (remainder_bytes == 0)
+        return 0;
+    std::uint64_t blocks =
+        (remainder_bytes + basicBlockSize - 1) / basicBlockSize;
+    return std::bit_ceil(blocks) * basicBlockSize;
+}
+
+std::string
+formatDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%g", v);
+    return buf;
+}
+
+std::uint64_t
+parseUintField(const std::string &spec, const std::string &field,
+               const std::string &value)
+{
+    char *end = nullptr;
+    std::uint64_t v = std::strtoull(value.c_str(), &end, 10);
+    if (value.empty() || value[0] == '-' || !end || *end != '\0')
+        fatal("fuzz spec '%s': field %s expects an unsigned integer, "
+              "got '%s'", spec.c_str(), field.c_str(), value.c_str());
+    return v;
+}
+
+double
+parseDoubleField(const std::string &spec, const std::string &field,
+                 const std::string &value)
+{
+    char *end = nullptr;
+    double v = std::strtod(value.c_str(), &end);
+    if (value.empty() || !end || *end != '\0')
+        fatal("fuzz spec '%s': field %s expects a number, got '%s'",
+              spec.c_str(), field.c_str(), value.c_str());
+    return v;
+}
+
+std::vector<std::string>
+splitOn(const std::string &text, char sep)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        std::size_t pos = text.find(sep, start);
+        if (pos == std::string::npos)
+            pos = text.size();
+        out.push_back(text.substr(start, pos - start));
+        start = pos + 1;
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+toString(AccessPattern pattern)
+{
+    switch (pattern) {
+      case AccessPattern::streaming:
+        return "stream";
+      case AccessPattern::strided:
+        return "stride";
+      case AccessPattern::random:
+        return "rand";
+      case AccessPattern::hotspot:
+        return "hot";
+    }
+    panic("unknown AccessPattern");
+}
+
+AccessPattern
+accessPatternFromString(const std::string &name)
+{
+    if (name == "stream")
+        return AccessPattern::streaming;
+    if (name == "stride")
+        return AccessPattern::strided;
+    if (name == "rand")
+        return AccessPattern::random;
+    if (name == "hot")
+        return AccessPattern::hotspot;
+    fatal("unknown access pattern '%s' (want stream|stride|rand|hot)",
+          name.c_str());
+}
+
+std::string
+toSpecString(const FuzzSpec &spec)
+{
+    std::string out;
+    out += "seed=" + std::to_string(spec.seed);
+    out += "/pf=" + toString(spec.prefetcher_before);
+    out += "/pfa=" + toString(spec.prefetcher_after);
+    out += "/ev=" + toString(spec.eviction);
+    out += "/os=" + formatDouble(spec.oversubscription_percent);
+    out += "/rsv=" + formatDouble(spec.lru_reserve_percent);
+    out += "/buf=" + formatDouble(spec.free_buffer_percent);
+    out += std::string("/up=") + (spec.user_prefetch ? "1" : "0");
+    out += "/gap=" + std::to_string(spec.drain_gap_us);
+    out += "/a=";
+    for (std::size_t i = 0; i < spec.allocs.size(); ++i) {
+        if (i > 0)
+            out += ",";
+        out += std::to_string(spec.allocs[i].bytes);
+    }
+    for (const KernelSpec &k : spec.kernels) {
+        out += "/k=" + toString(k.pattern) + ":" +
+               std::to_string(k.alloc_index) + ":" +
+               std::to_string(k.accesses) + ":" +
+               std::to_string(k.stride_pages) + ":" +
+               formatDouble(k.write_fraction);
+    }
+    return out;
+}
+
+FuzzSpec
+specFromString(const std::string &text)
+{
+    FuzzSpec spec;
+    spec.allocs.clear();
+    spec.kernels.clear();
+    if (text.empty())
+        fatal("empty fuzz spec");
+
+    for (const std::string &field : splitOn(text, '/')) {
+        std::size_t eq = field.find('=');
+        if (eq == std::string::npos || eq == 0)
+            fatal("fuzz spec '%s': field '%s' is not key=value",
+                  text.c_str(), field.c_str());
+        std::string key = field.substr(0, eq);
+        std::string value = field.substr(eq + 1);
+
+        if (key == "seed") {
+            spec.seed = parseUintField(text, key, value);
+        } else if (key == "pf") {
+            spec.prefetcher_before = prefetcherFromString(value);
+        } else if (key == "pfa") {
+            spec.prefetcher_after = prefetcherFromString(value);
+        } else if (key == "ev") {
+            spec.eviction = evictionFromString(value);
+        } else if (key == "os") {
+            spec.oversubscription_percent =
+                parseDoubleField(text, key, value);
+        } else if (key == "rsv") {
+            spec.lru_reserve_percent = parseDoubleField(text, key, value);
+        } else if (key == "buf") {
+            spec.free_buffer_percent = parseDoubleField(text, key, value);
+        } else if (key == "up") {
+            spec.user_prefetch = parseUintField(text, key, value) != 0;
+        } else if (key == "gap") {
+            spec.drain_gap_us = static_cast<std::uint32_t>(
+                parseUintField(text, key, value));
+        } else if (key == "a") {
+            for (const std::string &item : splitOn(value, ','))
+                spec.allocs.push_back(
+                    AllocSpec{parseUintField(text, key, item)});
+        } else if (key == "k") {
+            std::vector<std::string> parts = splitOn(value, ':');
+            if (parts.size() != 5)
+                fatal("fuzz spec '%s': kernel '%s' wants "
+                      "pattern:alloc:accesses:stride:write_fraction",
+                      text.c_str(), value.c_str());
+            KernelSpec k;
+            k.pattern = accessPatternFromString(parts[0]);
+            k.alloc_index = static_cast<std::uint32_t>(
+                parseUintField(text, "k.alloc", parts[1]));
+            k.accesses = static_cast<std::uint32_t>(
+                parseUintField(text, "k.accesses", parts[2]));
+            k.stride_pages = static_cast<std::uint32_t>(
+                parseUintField(text, "k.stride", parts[3]));
+            k.write_fraction =
+                parseDoubleField(text, "k.write_fraction", parts[4]);
+            spec.kernels.push_back(k);
+        } else {
+            fatal("fuzz spec '%s': unknown field '%s'", text.c_str(),
+                  key.c_str());
+        }
+    }
+
+    validateSpec(spec);
+    return spec;
+}
+
+std::string
+specProblem(const FuzzSpec &spec)
+{
+    auto format = [](const char *fmt, auto... args) {
+        char buf[256];
+        std::snprintf(buf, sizeof(buf), fmt, args...);
+        return std::string(buf);
+    };
+
+    if (spec.allocs.empty() || spec.allocs.size() > 8)
+        return format("needs 1..8 allocations, got %zu",
+                      spec.allocs.size());
+    std::uint64_t total_padded = 0;
+    for (const AllocSpec &a : spec.allocs) {
+        if (a.bytes == 0)
+            return "allocation of zero bytes";
+        if (a.bytes > 32 * sizeMiB)
+            return format("allocation of %llu bytes exceeds the 32MB "
+                          "fuzzing cap",
+                          static_cast<unsigned long long>(a.bytes));
+        std::uint64_t whole = (a.bytes / largePageSize) * largePageSize;
+        total_padded += whole + roundedRemainder(a.bytes - whole);
+    }
+    if (total_padded > 64 * sizeMiB)
+        return format("footprint of %llu bytes exceeds the 64MB "
+                      "fuzzing cap",
+                      static_cast<unsigned long long>(total_padded));
+
+    double os = spec.oversubscription_percent;
+    if (os != 0.0 && (os < 50.0 || os > 400.0))
+        return format("oversubscription %.3f%% outside 0 or [50, 400]",
+                      os);
+    if (os > 100.0) {
+        // The simulator refuses device memories under 16 basic blocks.
+        std::uint64_t device = static_cast<std::uint64_t>(
+            static_cast<double>(total_padded) * 100.0 / os);
+        if (roundUpToPages(device) < 16 * basicBlockSize)
+            return format("device memory %llu bytes under the 1MB floor "
+                          "(footprint too small for %.0f%% "
+                          "oversubscription)",
+                          static_cast<unsigned long long>(device), os);
+    }
+    if (spec.lru_reserve_percent < 0.0 || spec.lru_reserve_percent > 90.0)
+        return format("LRU reserve %.3f%% outside [0, 90]",
+                      spec.lru_reserve_percent);
+    if (spec.free_buffer_percent < 0.0 || spec.free_buffer_percent > 50.0)
+        return format("free buffer %.3f%% outside [0, 50]",
+                      spec.free_buffer_percent);
+    if (spec.user_prefetch && (os > 100.0 ||
+                               spec.free_buffer_percent > 0.0)) {
+        // A user prefetch under memory pressure evicts pages out of
+        // its own forming batches; end state then depends on transfer
+        // timing, which the timing-free oracle deliberately excludes.
+        return "user_prefetch requires a fitting footprint "
+               "(oversubscription <= 100, no free buffer)";
+    }
+    if (spec.drain_gap_us < 1000)
+        return format("drain gap %u us under the 1ms serialization "
+                      "floor", spec.drain_gap_us);
+    if (spec.kernels.empty() || spec.kernels.size() > 16)
+        return format("needs 1..16 kernels, got %zu",
+                      spec.kernels.size());
+    for (const KernelSpec &k : spec.kernels) {
+        if (k.alloc_index >= spec.allocs.size())
+            return format("kernel targets allocation %u of %zu",
+                          k.alloc_index, spec.allocs.size());
+        if (k.accesses == 0 || k.accesses > 100000)
+            return format("kernel accesses %u outside [1, 100000]",
+                          k.accesses);
+        if (k.stride_pages == 0)
+            return "kernel stride of zero pages";
+        if (k.write_fraction < 0.0 || k.write_fraction > 1.0)
+            return format("write fraction %.3f outside [0, 1]",
+                          k.write_fraction);
+    }
+    return "";
+}
+
+void
+validateSpec(const FuzzSpec &spec)
+{
+    std::string problem = specProblem(spec);
+    if (!problem.empty())
+        fatal("fuzz spec: %s", problem.c_str());
+}
+
+FuzzSpec
+generateSpec(std::uint64_t seed)
+{
+    Rng rng(seed ^ 0xf1e2d3c4b5a69788ull);
+    FuzzSpec spec;
+    spec.seed = seed;
+    spec.allocs.clear();
+    spec.kernels.clear();
+
+    // Allocation mix: single-leaf and 16-leaf tree extremes, exact
+    // large pages, and non-power-of-two tails that exercise the
+    // 2^i * 64KB rounding (all sizes capped so a whole fuzz batch
+    // stays fast).
+    std::size_t num_allocs = 1 + rng.below(4);
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < num_allocs; ++i) {
+        std::uint64_t bytes = 0;
+        switch (rng.below(6)) {
+          case 0:
+            bytes = basicBlockSize; // 64KB: single-leaf tree
+            break;
+          case 1:
+            bytes = kib(64 + 64 * rng.below(16)); // 64KB..1MB tails
+            break;
+          case 2:
+            bytes = mib(1); // 1MB: 16-leaf tree
+            break;
+          case 3:
+            bytes = mib(2); // exactly one large page
+            break;
+          case 4:
+            bytes = mib(2) + kib(64 + 64 * rng.below(15));
+            break;
+          default:
+            // Sizes that are not even 64KB multiples (192KB+8KB..).
+            bytes = kib(192) + kib(8) * rng.below(16);
+            break;
+        }
+        if (total + bytes > 16 * sizeMiB)
+            break;
+        total += bytes;
+        spec.allocs.push_back(AllocSpec{bytes});
+    }
+    if (spec.allocs.empty())
+        spec.allocs.push_back(AllocSpec{mib(1)});
+
+    static constexpr double oversub_menu[] = {0.0,   75.0,  90.0, 100.0,
+                                              110.0, 125.0, 150.0};
+    spec.oversubscription_percent = oversub_menu[rng.below(7)];
+    std::uint64_t padded = 0;
+    for (const AllocSpec &a : spec.allocs) {
+        std::uint64_t whole = (a.bytes / largePageSize) * largePageSize;
+        padded += whole + roundedRemainder(a.bytes - whole);
+    }
+    if (spec.oversubscription_percent > 100.0 &&
+        static_cast<double>(padded) * 100.0 /
+                spec.oversubscription_percent <
+            static_cast<double>(16 * basicBlockSize)) {
+        // Footprint too small to model the shrunken device; fall back
+        // to a fitting run rather than rejecting the seed.
+        spec.oversubscription_percent = 0.0;
+    }
+    if (spec.oversubscription_percent > 100.0) {
+        static constexpr double reserve_menu[] = {0.0, 0.0, 10.0, 25.0};
+        static constexpr double buffer_menu[] = {0.0, 0.0, 5.0, 12.5};
+        spec.lru_reserve_percent = reserve_menu[rng.below(4)];
+        spec.free_buffer_percent = buffer_menu[rng.below(4)];
+    } else if (rng.chance(0.3)) {
+        spec.user_prefetch = true;
+    }
+
+    std::size_t num_kernels = 1 + rng.below(4);
+    for (std::size_t i = 0; i < num_kernels; ++i) {
+        KernelSpec k;
+        k.pattern = static_cast<AccessPattern>(rng.below(4));
+        k.alloc_index =
+            static_cast<std::uint32_t>(rng.below(spec.allocs.size()));
+        k.accesses = static_cast<std::uint32_t>(40 + rng.below(260));
+        k.stride_pages = static_cast<std::uint32_t>(1 + rng.below(37));
+        static constexpr double write_menu[] = {0.0, 0.2, 0.5, 1.0};
+        k.write_fraction = write_menu[rng.below(4)];
+        spec.kernels.push_back(k);
+    }
+
+    validateSpec(spec);
+    return spec;
+}
+
+std::vector<AllocLayout>
+layoutAllocations(const FuzzSpec &spec)
+{
+    std::vector<AllocLayout> out;
+    Addr next_base = specVaBase;
+    for (const AllocSpec &a : spec.allocs) {
+        AllocLayout layout;
+        layout.base = next_base;
+        layout.user_bytes = a.bytes;
+
+        Addr cursor = next_base;
+        std::uint64_t full = a.bytes / largePageSize;
+        for (std::uint64_t i = 0; i < full; ++i) {
+            layout.trees.push_back(TreeLayout{cursor, largePageSize});
+            cursor += largePageSize;
+        }
+        std::uint64_t tail = roundedRemainder(a.bytes % largePageSize);
+        if (tail > 0) {
+            layout.trees.push_back(TreeLayout{cursor, tail});
+            cursor += tail;
+        }
+        layout.padded_bytes = cursor - next_base;
+
+        next_base = (cursor + largePageSize - 1) & ~(largePageSize - 1);
+        out.push_back(std::move(layout));
+    }
+    return out;
+}
+
+std::vector<FuzzAccess>
+accessStream(const FuzzSpec &spec)
+{
+    std::vector<AllocLayout> layout = layoutAllocations(spec);
+    std::vector<FuzzAccess> out;
+
+    for (std::size_t ki = 0; ki < spec.kernels.size(); ++ki) {
+        const KernelSpec &k = spec.kernels[ki];
+        const AllocLayout &alloc = layout[k.alloc_index];
+        std::uint64_t pages = alloc.padded_bytes / pageSize;
+
+        // Per-kernel derivation keeps every kernel's draws independent
+        // of the other kernels' access counts.
+        Rng rng(spec.seed * 1000003ull + ki * 7919ull + 0x5bd1e995ull);
+
+        std::uint64_t start = rng.below(pages);
+        std::uint64_t hot_len = std::max<std::uint64_t>(1, pages / 8);
+        std::uint64_t hot_start = rng.below(pages);
+
+        for (std::uint32_t i = 0; i < k.accesses; ++i) {
+            std::uint64_t page_index = 0;
+            switch (k.pattern) {
+              case AccessPattern::streaming:
+                page_index = (start + i) % pages;
+                break;
+              case AccessPattern::strided:
+                page_index = (start +
+                              static_cast<std::uint64_t>(i) *
+                                  k.stride_pages) % pages;
+                break;
+              case AccessPattern::random:
+                page_index = rng.below(pages);
+                break;
+              case AccessPattern::hotspot:
+                if (rng.chance(0.8))
+                    page_index = (hot_start + rng.below(hot_len)) % pages;
+                else
+                    page_index = rng.below(pages);
+                break;
+            }
+            FuzzAccess access;
+            access.addr = alloc.base + page_index * pageSize +
+                          rng.below(pageSize / 128) * 128;
+            access.is_write = rng.chance(k.write_fraction);
+            access.kernel = static_cast<std::uint32_t>(ki);
+            out.push_back(access);
+        }
+    }
+    return out;
+}
+
+namespace
+{
+
+/** The Workload wrapper of one FuzzSpec (see the header). */
+class FuzzWorkload : public Workload
+{
+  public:
+    explicit FuzzWorkload(FuzzSpec spec)
+        : spec_(std::move(spec)), stream_(accessStream(spec_))
+    {}
+
+    std::string name() const override
+    {
+        return "fuzz-s" + std::to_string(spec_.seed);
+    }
+
+    void
+    setup(ManagedSpace &space) override
+    {
+        for (std::size_t i = 0; i < spec_.allocs.size(); ++i)
+            space.allocate(spec_.allocs[i].bytes,
+                           "fuzz" + std::to_string(i));
+    }
+
+    Kernel *
+    nextKernel() override
+    {
+        if (next_kernel_ >= spec_.kernels.size())
+            return nullptr;
+        std::size_t ki = next_kernel_++;
+
+        // A generous cycle count per microsecond (the core runs at
+        // 1481 MHz) keeps the drain guarantee even if the clock is
+        // nudged upward.
+        Cycles gap = static_cast<Cycles>(spec_.drain_gap_us) * 1600;
+
+        std::vector<WarpOp> ops;
+        for (const FuzzAccess &access : stream_) {
+            if (access.kernel != ki)
+                continue;
+            WarpOp op;
+            op.compute_cycles = gap;
+            op.accesses.push_back(
+                TraceAccess{access.addr, 128, access.is_write});
+            ops.push_back(std::move(op));
+        }
+
+        current_ = std::make_unique<GridKernel>(
+            "fuzz_k" + std::to_string(ki), 1,
+            [ops = std::move(ops)](std::uint64_t) {
+                std::vector<std::unique_ptr<WarpTrace>> warps;
+                warps.push_back(std::make_unique<VectorTrace>(ops));
+                return warps;
+            });
+        return current_.get();
+    }
+
+    std::uint64_t totalKernels() const override
+    {
+        return spec_.kernels.size();
+    }
+
+  private:
+    FuzzSpec spec_;
+    std::vector<FuzzAccess> stream_;
+    std::size_t next_kernel_ = 0;
+    std::unique_ptr<GridKernel> current_;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+buildWorkload(const FuzzSpec &spec)
+{
+    validateSpec(spec);
+    return std::make_unique<FuzzWorkload>(spec);
+}
+
+SimConfig
+simConfigFor(const FuzzSpec &spec)
+{
+    SimConfig cfg;
+    cfg.gpu.num_sms = 1;
+    cfg.prefetcher_before = spec.prefetcher_before;
+    cfg.prefetcher_after = spec.prefetcher_after;
+    cfg.eviction = spec.eviction;
+    cfg.oversubscription_percent = spec.oversubscription_percent;
+    cfg.lru_reserve_percent = spec.lru_reserve_percent;
+    cfg.free_buffer_percent = spec.free_buffer_percent;
+    cfg.user_prefetch_footprint = spec.user_prefetch;
+    cfg.seed = spec.seed;
+    cfg.fault_latency_jitter = 0.0;
+    cfg.audit = true;
+    return cfg;
+}
+
+std::string
+toString(const PolicyCombo &combo)
+{
+    return toString(combo.prefetcher) + ":" + toString(combo.eviction);
+}
+
+PolicyCombo
+comboFromString(const std::string &name)
+{
+    std::size_t colon = name.find(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= name.size())
+        fatal("policy combo '%s' wants <prefetcher>:<eviction>",
+              name.c_str());
+    PolicyCombo combo;
+    combo.prefetcher = prefetcherFromString(name.substr(0, colon));
+    combo.eviction = evictionFromString(name.substr(colon + 1));
+    return combo;
+}
+
+std::vector<PolicyCombo>
+canonicalCombos()
+{
+    return {
+        {PrefetcherKind::none, EvictionKind::lru4k},
+        {PrefetcherKind::random, EvictionKind::random4k},
+        {PrefetcherKind::sequentialLocal, EvictionKind::sequentialLocal},
+        {PrefetcherKind::treeBasedNeighborhood,
+         EvictionKind::treeBasedNeighborhood},
+        {PrefetcherKind::sequentialGlobal, EvictionKind::lru2mb},
+        {PrefetcherKind::zhengLocality, EvictionKind::mru4k},
+    };
+}
+
+FuzzSpec
+withCombo(FuzzSpec spec, const PolicyCombo &combo)
+{
+    spec.prefetcher_before = combo.prefetcher;
+    spec.prefetcher_after = combo.prefetcher;
+    spec.eviction = combo.eviction;
+    return spec;
+}
+
+} // namespace fuzzing
+} // namespace uvmsim

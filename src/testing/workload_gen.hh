@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Seeded random workload generation for differential fuzzing.
+ *
+ * A FuzzSpec is a small, fully serializable description of a synthetic
+ * UVM workload: a list of managed allocations (mixed sizes, including
+ * non-2MB remainders that exercise the 2^i * 64KB rounding path), a
+ * list of kernels each replaying one access pattern over one
+ * allocation, the policy pair under test, and the memory-pressure
+ * knobs (oversubscription ratio, LRU reservation, free-page buffer,
+ * optional user-directed prefetch).  generateSpec() draws a spec
+ * deterministically from a seed; toSpecString()/specFromString() give
+ * a one-token round-trippable encoding so any failure reproduces with
+ * `uvmsim_fuzz --repro=<spec>`.
+ *
+ * The generated workloads are *serialized*: one thread block, one
+ * warp, one coalesced access per warp op, with a long pure-compute
+ * drain gap before every access.  The gap (default 10ms, versus a
+ * 45us fault service plus sub-millisecond PCI-e transfers at our
+ * footprints) guarantees that each access's entire migration pipeline
+ * -- fault service, prefetch transfers, write-backs -- has drained
+ * before the next access issues.  That makes the end state of the
+ * real, event-driven simulator exactly predictable by the timing-free
+ * FunctionalOracle (see functional_oracle.hh), page-for-page and
+ * LRU-position-for-LRU-position.
+ */
+
+#ifndef UVMSIM_TESTING_WORKLOAD_GEN_HH
+#define UVMSIM_TESTING_WORKLOAD_GEN_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/simulator.hh"
+#include "core/policies.hh"
+#include "mem/types.hh"
+#include "workloads/workload.hh"
+
+namespace uvmsim
+{
+namespace fuzzing
+{
+
+/** One managed allocation of the synthetic workload. */
+struct AllocSpec
+{
+    std::uint64_t bytes = basicBlockSize;
+};
+
+/** Per-kernel page visit order. */
+enum class AccessPattern
+{
+    streaming, //!< Consecutive pages from a random start, wrapping.
+    strided,   //!< Fixed page stride from a random start, wrapping.
+    random,    //!< Uniformly random pages.
+    hotspot,   //!< 80% in a small hot region, 20% uniform.
+};
+
+/** Short name ("stream", "stride", "rand", "hot"). */
+std::string toString(AccessPattern pattern);
+
+/** Parse an access-pattern name; fatal() on unknown names. */
+AccessPattern accessPatternFromString(const std::string &name);
+
+/** One kernel: a pattern replayed over one allocation. */
+struct KernelSpec
+{
+    AccessPattern pattern = AccessPattern::streaming;
+    std::uint32_t alloc_index = 0;
+    std::uint32_t accesses = 64;
+    std::uint32_t stride_pages = 1; //!< Used by the strided pattern.
+    double write_fraction = 0.0;
+};
+
+/** A complete randomized-but-deterministic synthetic workload. */
+struct FuzzSpec
+{
+    /** Seed for both the access-stream draws and the policy RNG. */
+    std::uint64_t seed = 1;
+
+    PrefetcherKind prefetcher_before =
+        PrefetcherKind::treeBasedNeighborhood;
+    PrefetcherKind prefetcher_after =
+        PrefetcherKind::treeBasedNeighborhood;
+    EvictionKind eviction = EvictionKind::treeBasedNeighborhood;
+
+    /** 0 or <=100 fits; >100 forces eviction (paper setup: 110). */
+    double oversubscription_percent = 0.0;
+
+    /** LRU cold-end reservation percentage (Fig. 14). */
+    double lru_reserve_percent = 0.0;
+
+    /** Free-page buffer percentage (Figs. 6/7). */
+    double free_buffer_percent = 0.0;
+
+    /** cudaMemPrefetchAsync the footprint before the first kernel.
+     *  Only legal when the footprint fits (oversubscription <= 100 and
+     *  no free buffer) -- see validateSpec(). */
+    bool user_prefetch = false;
+
+    /** Pure-compute gap before every access, in microseconds. */
+    std::uint32_t drain_gap_us = 10000;
+
+    std::vector<AllocSpec> allocs;
+    std::vector<KernelSpec> kernels;
+};
+
+/**
+ * Encode a spec as one shell-safe token, e.g.
+ *   "seed=7/pf=TBNp/pfa=TBNp/ev=TBNe/os=110/rsv=0/buf=0/up=0/
+ *    gap=10000/a=2293760,65536/k=stream:0:200:1:0.25"
+ * ('/' separates fields; a= takes a comma list; each k= adds one
+ * kernel as pattern:alloc:accesses:stride:write_fraction).
+ */
+std::string toSpecString(const FuzzSpec &spec);
+
+/** Parse toSpecString() output; fatal() with a clear message on any
+ *  malformed field.  The result is validateSpec()-checked. */
+FuzzSpec specFromString(const std::string &text);
+
+/** Range-check a spec; empty when valid, otherwise a description of
+ *  the offending field (used by the minimizer to reject candidate
+ *  shrinks without dying). */
+std::string specProblem(const FuzzSpec &spec);
+
+/** Range-check a spec; fatal() with the offending field on failure. */
+void validateSpec(const FuzzSpec &spec);
+
+/** Draw a randomized workload spec deterministically from a seed.
+ *  Policies are left at their defaults -- the fuzz harness overlays
+ *  the combo under test (see canonicalCombos()). */
+FuzzSpec generateSpec(std::uint64_t seed);
+
+/**
+ * The virtual-address layout the driver will give the spec's
+ * allocations, mirrored independently of ManagedSpace: bases bump from
+ * 0x100000000 in 2MB-aligned steps; each allocation splits into whole
+ * 2MB trees plus one 2^i * 64KB rounded remainder tree.  The
+ * FunctionalOracle builds its own trees from this, so a rounding or
+ * placement bug in the production ManagedSpace surfaces as a
+ * tree-set mismatch in the differential run.
+ */
+struct TreeLayout
+{
+    Addr base = 0;
+    std::uint64_t capacity_bytes = 0;
+};
+
+struct AllocLayout
+{
+    Addr base = 0;
+    std::uint64_t user_bytes = 0;
+    std::uint64_t padded_bytes = 0;
+    std::vector<TreeLayout> trees;
+};
+
+std::vector<AllocLayout> layoutAllocations(const FuzzSpec &spec);
+
+/** One access of the canonical stream. */
+struct FuzzAccess
+{
+    Addr addr = 0;
+    bool is_write = false;
+    std::uint32_t kernel = 0;
+};
+
+/**
+ * The canonical access stream of a spec: every kernel's accesses in
+ * launch order.  Both buildWorkload() (which wraps it in warp traces
+ * for the real simulator) and the FunctionalOracle (which consumes it
+ * directly) derive from this one function, so the two sides see
+ * byte-identical traffic.
+ */
+std::vector<FuzzAccess> accessStream(const FuzzSpec &spec);
+
+/** Materialize the spec as a Workload for Simulator::run():
+ *  one kernel per KernelSpec, single thread block, single warp, one
+ *  access per op behind a drain_gap_us compute gap. */
+std::unique_ptr<Workload> buildWorkload(const FuzzSpec &spec);
+
+/** The SimConfig a differential run uses for this spec: the spec's
+ *  policies and pressure knobs, audit on, 1 SM, no latency jitter. */
+SimConfig simConfigFor(const FuzzSpec &spec);
+
+/** One prefetcher/eviction pairing of the fuzz matrix. */
+struct PolicyCombo
+{
+    PrefetcherKind prefetcher;
+    EvictionKind eviction;
+};
+
+/** Display name, e.g. "TBNp:TBNe". */
+std::string toString(const PolicyCombo &combo);
+
+/** Parse "TBNp:TBNe"; fatal() on malformed input. */
+PolicyCombo comboFromString(const std::string &name);
+
+/**
+ * The six canonical prefetcher x eviction pairings the fuzz harness
+ * sweeps: together they cover all six prefetchers and all six
+ * eviction policies, including the fully stochastic Rp:Re pair.
+ */
+std::vector<PolicyCombo> canonicalCombos();
+
+/** Copy of `spec` with the combo's policies applied (the after-
+ *  capacity prefetcher follows the before-capacity one). */
+FuzzSpec withCombo(FuzzSpec spec, const PolicyCombo &combo);
+
+} // namespace fuzzing
+} // namespace uvmsim
+
+#endif // UVMSIM_TESTING_WORKLOAD_GEN_HH

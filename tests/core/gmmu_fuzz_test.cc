@@ -1,8 +1,14 @@
 /**
  * @file
- * Randomized stress tests of the GMMU: drive random read/write traffic
- * through every policy combination on a tiny device memory and check
- * the global invariants that must hold when the event queue drains.
+ * Randomized stress tests of the GMMU, driven by the fuzzing
+ * subsystem's workload generator (src/testing/workload_gen.hh): the
+ * generated allocation mixes cover single-leaf 64KB trees, 16-leaf 1MB
+ * trees, exact 2MB large pages, and non-power-of-two tails that
+ * exercise the 2^i * 64KB remainder rounding.  Traffic is the spec's
+ * canonical access stream, replayed in concurrent bursts (harsher than
+ * the serialized differential runs) through every policy combination
+ * on a tiny device memory, then the global cross-subsystem invariants
+ * are checked once the event queue drains.
  */
 
 #include <gtest/gtest.h>
@@ -13,6 +19,7 @@
 
 #include "core/gmmu.hh"
 #include "interconnect/pcie_link.hh"
+#include "testing/workload_gen.hh"
 
 namespace uvmsim
 {
@@ -27,67 +34,152 @@ class GmmuFuzz : public ::testing::TestWithParam<FuzzParam>
 {
 };
 
-} // namespace
-
-TEST_P(GmmuFuzz, InvariantsHoldAfterRandomTraffic)
+/** A generated spec's allocations, materialized in a ManagedSpace.
+ *  The generator mirrors the driver's VA layout, so the spec-relative
+ *  access addresses hit the real allocations unmodified. */
+void
+materializeAllocs(const fuzzing::FuzzSpec &spec, ManagedSpace &space)
 {
-    const auto [prefetcher, eviction, seed] = GetParam();
+    const auto layouts = fuzzing::layoutAllocations(spec);
+    for (std::size_t i = 0; i < spec.allocs.size(); ++i) {
+        auto &alloc = space.allocate(spec.allocs[i].bytes,
+                                     "fuzz" + std::to_string(i));
+        ASSERT_EQ(alloc.base(), layouts[i].base)
+            << "generator VA layout diverged from ManagedSpace";
+    }
+}
 
+/** Replay a spec's access stream in concurrent bursts and check the
+ *  end-state invariants. */
+void
+stressWithSpec(const fuzzing::FuzzSpec &spec, std::uint64_t frames_total)
+{
     EventQueue eq;
     PcieLink pcie(eq, PcieBandwidthModel{});
-    FrameAllocator frames(96); // tiny: forces constant eviction
+    FrameAllocator frames(frames_total);
     PageTable pt;
     ManagedSpace space;
     GmmuConfig cfg;
-    cfg.prefetcher_before = prefetcher;
-    cfg.prefetcher_after = prefetcher;
-    cfg.eviction = eviction;
-    cfg.seed = seed;
+    cfg.prefetcher_before = spec.prefetcher_before;
+    cfg.prefetcher_after = spec.prefetcher_after;
+    cfg.eviction = spec.eviction;
+    cfg.seed = spec.seed;
     Gmmu gmmu(eq, pcie, frames, pt, space, cfg);
 
-    auto &alloc = space.allocate(mib(2) + kib(192), "fuzz");
-    const std::uint64_t pages = alloc.paddedBytes() / pageSize;
+    materializeAllocs(spec, space);
 
-    Rng rng(seed * 77 + 1);
+    Rng rng(spec.seed * 77 + 1);
     std::uint64_t completions = 0;
     std::uint64_t issued = 0;
-
-    for (int burst = 0; burst < 20; ++burst) {
-        // Issue a burst of concurrent accesses, then drain.
-        int burst_size = 1 + static_cast<int>(rng.below(24));
-        for (int i = 0; i < burst_size; ++i) {
-            MemAccess m;
-            m.addr = alloc.base() + rng.below(pages) * pageSize +
-                     rng.below(pageSize / 128) * 128;
-            m.size = 128;
-            m.is_write = rng.chance(0.4);
-            ++issued;
-            gmmu.translate(m, [&completions] { ++completions; });
+    int in_burst = 0;
+    int burst_size = 1 + static_cast<int>(rng.below(24));
+    for (const fuzzing::FuzzAccess &access :
+         fuzzing::accessStream(spec)) {
+        MemAccess m;
+        m.addr = access.addr;
+        m.size = 128;
+        m.is_write = access.is_write;
+        ++issued;
+        gmmu.translate(m, [&completions] { ++completions; });
+        if (++in_burst >= burst_size) {
+            eq.run();
+            in_burst = 0;
+            burst_size = 1 + static_cast<int>(rng.below(24));
         }
-        eq.run();
     }
+    eq.run();
 
     // 1. Every access eventually completed.
     EXPECT_EQ(completions, issued);
 
     // 2. Device frame accounting matches the page table exactly.
     EXPECT_EQ(pt.validPages(), frames.usedFrames());
-    EXPECT_LE(pt.validPages(), 96u);
+    EXPECT_LE(pt.validPages(), frames_total);
 
     // 3. The residency tracker agrees with the page table.
     EXPECT_EQ(gmmu.residency().size(), pt.validPages());
     EXPECT_TRUE(gmmu.residency().checkConsistent());
 
     // 4. With the queue drained, tree marks equal valid pages (no
-    //    in-flight migrations remain).
+    //    in-flight migrations remain), across every allocation.
     std::uint64_t marked = 0;
-    for (const auto &tree : alloc.trees())
-        marked += tree->totalMarkedBytes() / pageSize;
+    for (const auto &alloc : space.allocations())
+        for (const auto &tree : alloc->trees())
+            marked += tree->totalMarkedBytes() / pageSize;
     EXPECT_EQ(marked, pt.validPages());
 
     // 5. Nothing is left pending in the MSHRs.
     EXPECT_EQ(gmmu.mshr().pendingPages(), 0u);
     EXPECT_EQ(gmmu.mshr().pendingWaiters(), 0u);
+}
+
+} // namespace
+
+TEST_P(GmmuFuzz, InvariantsHoldAfterGeneratedTraffic)
+{
+    const auto [prefetcher, eviction, seed] = GetParam();
+
+    // The generated mix varies allocation count, sizes (including
+    // tails that are not 64KB multiples) and access patterns with the
+    // seed; the policy pair under test is overlaid on top.
+    fuzzing::FuzzSpec spec = fuzzing::generateSpec(seed);
+    spec.prefetcher_before = prefetcher;
+    spec.prefetcher_after = prefetcher;
+    spec.eviction = eviction;
+
+    stressWithSpec(spec, 96); // tiny device: forces constant eviction
+}
+
+TEST_P(GmmuFuzz, SingleLeafTreeExtreme)
+{
+    const auto [prefetcher, eviction, seed] = GetParam();
+
+    // 64KB allocations produce single-leaf trees: the hierarchical
+    // policies (TBNp fill, TBNe drain) degenerate to leaf-only
+    // operation and must still balance their books.
+    fuzzing::FuzzSpec spec;
+    spec.seed = seed;
+    spec.prefetcher_before = prefetcher;
+    spec.prefetcher_after = prefetcher;
+    spec.eviction = eviction;
+    spec.allocs = {fuzzing::AllocSpec{basicBlockSize},
+                   fuzzing::AllocSpec{basicBlockSize},
+                   fuzzing::AllocSpec{basicBlockSize}};
+    spec.kernels = {
+        fuzzing::KernelSpec{fuzzing::AccessPattern::random, 0, 120, 1,
+                            0.5},
+        fuzzing::KernelSpec{fuzzing::AccessPattern::streaming, 1, 80, 1,
+                            0.0},
+        fuzzing::KernelSpec{fuzzing::AccessPattern::hotspot, 2, 120, 1,
+                            1.0},
+    };
+
+    stressWithSpec(spec, 24); // < one tree's 48 pages: heavy eviction
+}
+
+TEST_P(GmmuFuzz, SixteenLeafTreeExtreme)
+{
+    const auto [prefetcher, eviction, seed] = GetParam();
+
+    // A 1MB allocation is the largest sub-2MB remainder tree (16
+    // leaves); a 1MB + 8KB one rounds up to a 2MB-capacity tree that
+    // is only half-backed.  Both are the upper extremes of the
+    // remainder-rounding path.
+    fuzzing::FuzzSpec spec;
+    spec.seed = seed;
+    spec.prefetcher_before = prefetcher;
+    spec.prefetcher_after = prefetcher;
+    spec.eviction = eviction;
+    spec.allocs = {fuzzing::AllocSpec{mib(1)},
+                   fuzzing::AllocSpec{mib(1) + kib(8)}};
+    spec.kernels = {
+        fuzzing::KernelSpec{fuzzing::AccessPattern::strided, 0, 150, 7,
+                            0.3},
+        fuzzing::KernelSpec{fuzzing::AccessPattern::random, 1, 150, 1,
+                            0.3},
+    };
+
+    stressWithSpec(spec, 96);
 }
 
 TEST_P(GmmuFuzz, DeterministicUnderSameSeed)
@@ -106,15 +198,22 @@ TEST_P(GmmuFuzz, DeterministicUnderSameSeed)
         cfg.eviction = eviction;
         cfg.seed = seed;
         Gmmu gmmu(eq, pcie, frames, pt, space, cfg);
-        auto &alloc = space.allocate(mib(1), "d");
-        Rng rng(seed);
-        for (int i = 0; i < 200; ++i) {
+
+        fuzzing::FuzzSpec spec = fuzzing::generateSpec(seed);
+        spec.prefetcher_before = prefetcher;
+        spec.prefetcher_after = prefetcher;
+        spec.eviction = eviction;
+        materializeAllocs(spec, space);
+
+        int i = 0;
+        for (const fuzzing::FuzzAccess &access :
+             fuzzing::accessStream(spec)) {
             MemAccess m;
-            m.addr = alloc.base() + rng.below(256) * pageSize;
+            m.addr = access.addr;
             m.size = 128;
-            m.is_write = rng.chance(0.3);
+            m.is_write = access.is_write;
             gmmu.translate(m, [] {});
-            if (i % 16 == 15)
+            if (++i % 16 == 0)
                 eq.run();
         }
         eq.run();

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Negative-path tests for command-line parsing and configuration
+ * validation: every malformed input must die through fatal() -- a
+ * clean diagnostic and exit(1) -- never through an abort, a silent
+ * wrong value, or undefined behavior.
+ *
+ * Found and fixed by these tests:
+ *   - duplicate flags (--seed=1 --seed=2) silently kept the last one;
+ *   - --count=-5 wrapped through strtoull to 18446744073709551611;
+ *   - values past 2^64 saturated to UINT64_MAX (ERANGE ignored);
+ *   - --count= (empty value) silently parsed as 0, as did --ratio=.
+ */
+
+#include <gtest/gtest.h>
+
+#include <initializer_list>
+#include <vector>
+
+#include "api/simulator.hh"
+#include "sim/options.hh"
+#include "sim/trace.hh"
+
+namespace uvmsim
+{
+
+namespace
+{
+
+Options
+makeOptions(std::initializer_list<const char *> args)
+{
+    std::vector<const char *> argv{"prog"};
+    argv.insert(argv.end(), args.begin(), args.end());
+    return Options(static_cast<int>(argv.size()), argv.data());
+}
+
+const auto fatalExit = ::testing::ExitedWithCode(1);
+
+} // namespace
+
+using OptionsNegativeDeathTest = ::testing::Test;
+
+TEST(OptionsNegativeDeathTest, DuplicateValueFlagDies)
+{
+    EXPECT_EXIT(makeOptions({"--seed=1", "--seed=2"}), fatalExit,
+                "option --seed given more than once");
+}
+
+TEST(OptionsNegativeDeathTest, DuplicateBareFlagDies)
+{
+    EXPECT_EXIT(makeOptions({"--audit", "--audit"}), fatalExit,
+                "given more than once");
+}
+
+TEST(OptionsNegativeDeathTest, DuplicateMixedFormDies)
+{
+    // Bare flag and =value form of the same name still collide.
+    EXPECT_EXIT(makeOptions({"--stats", "--stats=false"}), fatalExit,
+                "given more than once");
+}
+
+TEST(OptionsNegativeDeathTest, EmptyOptionNameDies)
+{
+    EXPECT_EXIT(makeOptions({"--=5"}), fatalExit, "malformed option");
+    EXPECT_EXIT(makeOptions({"--"}), fatalExit, "malformed option");
+}
+
+TEST(OptionsNegativeDeathTest, NegativeUintDies)
+{
+    Options o = makeOptions({"--count=-5"});
+    EXPECT_EXIT(o.getUint("count", 0), fatalExit,
+                "expects an unsigned integer");
+}
+
+TEST(OptionsNegativeDeathTest, ExplicitPlusSignUintDies)
+{
+    Options o = makeOptions({"--count=+5"});
+    EXPECT_EXIT(o.getUint("count", 0), fatalExit,
+                "expects an unsigned integer");
+}
+
+TEST(OptionsNegativeDeathTest, EmptyUintValueDies)
+{
+    Options o = makeOptions({"--count="});
+    EXPECT_EXIT(o.getUint("count", 0), fatalExit,
+                "expects an unsigned integer");
+}
+
+TEST(OptionsNegativeDeathTest, TrailingJunkUintDies)
+{
+    Options o = makeOptions({"--count=12abc"});
+    EXPECT_EXIT(o.getUint("count", 0), fatalExit,
+                "expects an unsigned integer");
+}
+
+TEST(OptionsNegativeDeathTest, OverflowingUintDies)
+{
+    Options o = makeOptions({"--count=99999999999999999999999"});
+    EXPECT_EXIT(o.getUint("count", 0), fatalExit,
+                "expects an unsigned integer");
+}
+
+TEST(OptionsNegativeDeathTest, UintOfBareFlagDies)
+{
+    Options o = makeOptions({"--count"});
+    EXPECT_EXIT(o.getUint("count", 0), fatalExit,
+                "expects an unsigned integer");
+}
+
+TEST(OptionsNegativeDeathTest, EmptyDoubleValueDies)
+{
+    Options o = makeOptions({"--ratio="});
+    EXPECT_EXIT(o.getDouble("ratio", 0.0), fatalExit,
+                "expects a number");
+}
+
+TEST(OptionsNegativeDeathTest, NonNumericDoubleDies)
+{
+    Options o = makeOptions({"--ratio=fast"});
+    EXPECT_EXIT(o.getDouble("ratio", 0.0), fatalExit,
+                "expects a number");
+}
+
+TEST(OptionsNegativeDeathTest, OverflowingDoubleDies)
+{
+    Options o = makeOptions({"--ratio=1e999"});
+    EXPECT_EXIT(o.getDouble("ratio", 0.0), fatalExit,
+                "expects a number");
+}
+
+TEST(OptionsNegativeDeathTest, MalformedBoolDies)
+{
+    Options o = makeOptions({"--flag=maybe"});
+    EXPECT_EXIT(o.getBool("flag"), fatalExit, "expects a boolean");
+}
+
+TEST(OptionsNegativeDeathTest, MalformedTraceSpecDies)
+{
+    EXPECT_EXIT(trace::parseSpec("faults,bogus"), fatalExit,
+                "unknown trace category 'faults'");
+}
+
+TEST(OptionsNegativeDeathTest, NegativeOversubscriptionDies)
+{
+    SimConfig cfg;
+    cfg.oversubscription_percent = -10.0;
+    EXPECT_EXIT(Simulator{cfg}, fatalExit,
+                "negative oversubscription");
+}
+
+TEST(OptionsNegativeDeathTest, FreeBufferOutOfRangeDies)
+{
+    SimConfig cfg;
+    cfg.free_buffer_percent = 100.0;
+    EXPECT_EXIT(Simulator{cfg}, fatalExit, "free-page buffer");
+}
+
+TEST(OptionsNegativeDeathTest, LruReserveOutOfRangeDies)
+{
+    SimConfig cfg;
+    cfg.lru_reserve_percent = 120.0;
+    EXPECT_EXIT(Simulator{cfg}, fatalExit, "LRU reservation");
+}
+
+// Well-formed equivalents still parse, so the rejections above are not
+// over-broad.
+TEST(OptionsNegative, WellFormedInputsStillParse)
+{
+    Options o = makeOptions(
+        {"--count=42", "--hex=0x2a", "--ratio=-1.5", "--flag=off"});
+    EXPECT_EQ(o.getUint("count", 0), 42u);
+    EXPECT_EQ(o.getUint("hex", 0), 42u);
+    EXPECT_DOUBLE_EQ(o.getDouble("ratio", 0.0), -1.5);
+    EXPECT_FALSE(o.getBool("flag"));
+    EXPECT_EQ(trace::parseSpec("fault,pcie"),
+              static_cast<unsigned>(trace::Category::fault) |
+                  static_cast<unsigned>(trace::Category::pcie));
+}
+
+} // namespace uvmsim

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * End-to-end tests of the differential harness: the real simulator and
+ * the functional oracle must agree on every canonical combo for
+ * generated workloads; a mutated (deliberately buggy) oracle must be
+ * caught; and the minimizer must shrink the catch to a hand-checkable
+ * spec while preserving the mismatch.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/ticks.hh"
+#include "testing/differential.hh"
+#include "testing/minimizer.hh"
+
+namespace uvmsim
+{
+namespace fuzzing
+{
+
+namespace
+{
+
+class DifferentialCombos
+    : public ::testing::TestWithParam<std::uint64_t /*seed*/>
+{
+};
+
+} // namespace
+
+TEST_P(DifferentialCombos, SimulatorMatchesOracleOnEveryCombo)
+{
+    FuzzSpec base = generateSpec(GetParam());
+    for (const PolicyCombo &combo : canonicalCombos()) {
+        DiffResult diff = runDifferential(withCombo(base, combo));
+        EXPECT_FALSE(diff.mismatch)
+            << fuzzing::toString(combo) << "\n"
+            << diff.report;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialCombos,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u),
+                         [](const auto &info) {
+                             return "s" + std::to_string(info.param);
+                         });
+
+TEST(DifferentialPressure, OversubscribedSpecsMatchEverywhere)
+{
+    // A hand-built spec that definitely evicts: 150% oversubscription
+    // with reservation and a free buffer, streaming + random traffic.
+    FuzzSpec spec = specFromString(
+        "seed=42/pf=TBNp/pfa=TBNp/ev=TBNe/os=150/rsv=10/buf=5/up=0/"
+        "gap=10000/a=2097152,1245184/"
+        "k=stream:0:300:1:0.5/k=rand:1:200:1:0.2");
+    for (const PolicyCombo &combo : canonicalCombos()) {
+        DiffResult diff = runDifferential(withCombo(spec, combo));
+        EXPECT_FALSE(diff.mismatch)
+            << fuzzing::toString(combo) << "\n"
+            << diff.report;
+    }
+}
+
+TEST(DifferentialPressure, UserPrefetchSpecsMatch)
+{
+    FuzzSpec spec = specFromString(
+        "seed=9/pf=SGp/pfa=SGp/ev=LRU2MB/os=100/rsv=0/buf=0/up=1/"
+        "gap=10000/a=1114112/k=hot:0:150:1:0.4");
+    DiffResult diff = runDifferential(spec);
+    EXPECT_FALSE(diff.mismatch) << diff.report;
+}
+
+TEST(DifferentialMutation, SeededTbneBugIsCaught)
+{
+    // The acceptance self-test: an oracle that balances TBNe at <= 50%
+    // instead of strictly < 50% must disagree with the real simulator
+    // on at least one generated eviction-heavy workload...
+    bool caught = false;
+    FuzzSpec failing;
+    for (std::uint64_t seed = 1; seed <= 16 && !caught; ++seed) {
+        FuzzSpec spec = generateSpec(seed);
+        spec.oversubscription_percent = 125.0; // force eviction
+        spec.user_prefetch = false;
+        if (!specProblem(spec).empty())
+            continue;
+        spec = withCombo(spec, PolicyCombo{
+                                   PrefetcherKind::treeBasedNeighborhood,
+                                   EvictionKind::treeBasedNeighborhood});
+        DiffResult diff =
+            runDifferential(spec, OracleMutation::tbneBalanceAtHalf);
+        if (diff.mismatch) {
+            caught = true;
+            failing = spec;
+        }
+    }
+    ASSERT_TRUE(caught)
+        << "the tbne-at-half mutation was never detected";
+
+    // ...and the minimizer must shrink the repro to something tiny
+    // without losing the mismatch.
+    MinimizeResult min =
+        minimize(failing, OracleMutation::tbneBalanceAtHalf);
+    EXPECT_TRUE(min.diff.mismatch);
+    EXPECT_LE(min.spec.allocs.size(), 3u);
+    EXPECT_LE(min.spec.kernels.size(), 2u);
+    EXPECT_TRUE(specProblem(min.spec).empty());
+    // The minimized spec string round-trips and still reproduces.
+    FuzzSpec reparsed = specFromString(toSpecString(min.spec));
+    DiffResult again =
+        runDifferential(reparsed, OracleMutation::tbneBalanceAtHalf);
+    EXPECT_TRUE(again.mismatch);
+}
+
+TEST(DifferentialMutation, EvictKeepsMarkBugIsCaught)
+{
+    bool caught = false;
+    for (std::uint64_t seed = 1; seed <= 12 && !caught; ++seed) {
+        FuzzSpec spec = generateSpec(seed);
+        spec.oversubscription_percent = 125.0;
+        spec.user_prefetch = false;
+        if (!specProblem(spec).empty())
+            continue;
+        spec = withCombo(spec,
+                         PolicyCombo{PrefetcherKind::sequentialLocal,
+                                     EvictionKind::lru4k});
+        DiffResult diff =
+            runDifferential(spec, OracleMutation::evictKeepsTreeMark);
+        caught = diff.mismatch;
+    }
+    EXPECT_TRUE(caught)
+        << "the evict-keeps-mark mutation was never detected";
+}
+
+TEST(DifferentialReport, NamesTheDivergedFields)
+{
+    FuzzSpec spec = specFromString(
+        "seed=7/pf=TBNp/pfa=TBNp/ev=TBNe/os=150/rsv=0/buf=0/up=0/"
+        "gap=10000/a=1474560/k=rand:0:22:1:0");
+    DiffResult diff =
+        runDifferential(spec, OracleMutation::tbneBalanceAtHalf);
+    ASSERT_TRUE(diff.mismatch);
+    EXPECT_FALSE(diff.mismatches.empty());
+    // The report carries the repro spec and each field-level diff.
+    EXPECT_NE(diff.report.find(toSpecString(spec)), std::string::npos);
+    for (const Mismatch &m : diff.mismatches) {
+        EXPECT_FALSE(m.field.empty());
+        EXPECT_NE(diff.report.find(m.field), std::string::npos);
+    }
+}
+
+} // namespace fuzzing
+} // namespace uvmsim

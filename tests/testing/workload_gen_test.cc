@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Unit tests for the fuzzing workload generator: spec string
+ * round-trips, validation, VA layout mirroring, access-stream
+ * determinism, and the canonical policy matrix.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/managed_space.hh"
+#include "sim/ticks.hh"
+#include "testing/workload_gen.hh"
+
+namespace uvmsim
+{
+namespace fuzzing
+{
+
+TEST(FuzzSpecString, RoundTripsGeneratedSpecs)
+{
+    for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+        FuzzSpec spec = generateSpec(seed);
+        FuzzSpec parsed = specFromString(toSpecString(spec));
+        EXPECT_EQ(toSpecString(parsed), toSpecString(spec))
+            << "seed " << seed;
+        EXPECT_EQ(parsed.seed, spec.seed);
+        EXPECT_EQ(parsed.allocs.size(), spec.allocs.size());
+        EXPECT_EQ(parsed.kernels.size(), spec.kernels.size());
+        // The canonical stream must be identical through the encoding.
+        const auto a = accessStream(spec);
+        const auto b = accessStream(parsed);
+        ASSERT_EQ(a.size(), b.size());
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            EXPECT_EQ(a[i].addr, b[i].addr);
+            EXPECT_EQ(a[i].is_write, b[i].is_write);
+        }
+    }
+}
+
+TEST(FuzzSpecString, RoundTripsExplicitCombos)
+{
+    FuzzSpec spec = generateSpec(5);
+    for (const PolicyCombo &combo : canonicalCombos()) {
+        FuzzSpec with = withCombo(spec, combo);
+        FuzzSpec parsed = specFromString(toSpecString(with));
+        EXPECT_EQ(parsed.prefetcher_before, combo.prefetcher);
+        EXPECT_EQ(parsed.prefetcher_after, combo.prefetcher);
+        EXPECT_EQ(parsed.eviction, combo.eviction);
+    }
+}
+
+TEST(FuzzSpecProblem, RejectsOutOfRangeSpecs)
+{
+    FuzzSpec ok = generateSpec(1);
+    EXPECT_TRUE(specProblem(ok).empty());
+
+    FuzzSpec bad = ok;
+    bad.allocs.clear();
+    EXPECT_FALSE(specProblem(bad).empty());
+
+    bad = ok;
+    bad.allocs[0].bytes = 0;
+    EXPECT_FALSE(specProblem(bad).empty());
+
+    bad = ok;
+    bad.allocs[0].bytes = 33 * sizeMiB;
+    EXPECT_FALSE(specProblem(bad).empty());
+
+    bad = ok;
+    bad.oversubscription_percent = 20.0; // under the 50% floor
+    EXPECT_FALSE(specProblem(bad).empty());
+
+    bad = ok;
+    bad.kernels[0].alloc_index =
+        static_cast<std::uint32_t>(ok.allocs.size());
+    EXPECT_FALSE(specProblem(bad).empty());
+
+    bad = ok;
+    bad.kernels[0].accesses = 0;
+    EXPECT_FALSE(specProblem(bad).empty());
+
+    bad = ok;
+    bad.drain_gap_us = 10; // under the serialization floor
+    EXPECT_FALSE(specProblem(bad).empty());
+
+    bad = ok;
+    bad.oversubscription_percent = 110.0;
+    bad.user_prefetch = true; // pressure + user prefetch
+    EXPECT_FALSE(specProblem(bad).empty());
+}
+
+TEST(FuzzLayout, MirrorsManagedSpace)
+{
+    // Sizes chosen to hit every rounding case: single leaf, 2^i
+    // remainders, an exact large page, and a non-64KB-multiple tail.
+    FuzzSpec spec;
+    spec.allocs = {AllocSpec{basicBlockSize}, AllocSpec{kib(192)},
+                   AllocSpec{mib(2)}, AllocSpec{mib(2) + kib(200)},
+                   AllocSpec{mib(1)}};
+    spec.kernels = {KernelSpec{AccessPattern::streaming, 0, 1, 1, 0.0}};
+
+    const auto layouts = layoutAllocations(spec);
+    ASSERT_EQ(layouts.size(), spec.allocs.size());
+
+    ManagedSpace space;
+    for (std::size_t i = 0; i < spec.allocs.size(); ++i) {
+        const auto &alloc = space.allocate(spec.allocs[i].bytes,
+                                           "a" + std::to_string(i));
+        EXPECT_EQ(alloc.base(), layouts[i].base) << "alloc " << i;
+        EXPECT_EQ(alloc.paddedBytes(), layouts[i].padded_bytes)
+            << "alloc " << i;
+        ASSERT_EQ(alloc.trees().size(), layouts[i].trees.size())
+            << "alloc " << i;
+        for (std::size_t t = 0; t < layouts[i].trees.size(); ++t) {
+            EXPECT_EQ(alloc.trees()[t]->baseAddr(),
+                      layouts[i].trees[t].base);
+            EXPECT_EQ(alloc.trees()[t]->capacityBytes(),
+                      layouts[i].trees[t].capacity_bytes);
+        }
+    }
+
+    // 192KB rounds to a 256KB tree; 200KB tail rounds to 256KB too.
+    EXPECT_EQ(layouts[1].trees.size(), 1u);
+    EXPECT_EQ(layouts[1].trees[0].capacity_bytes, kib(256));
+    ASSERT_EQ(layouts[3].trees.size(), 2u);
+    EXPECT_EQ(layouts[3].trees[0].capacity_bytes, mib(2));
+    EXPECT_EQ(layouts[3].trees[1].capacity_bytes, kib(256));
+}
+
+TEST(FuzzAccessStream, DeterministicAndInBounds)
+{
+    for (std::uint64_t seed : {2u, 9u, 23u}) {
+        FuzzSpec spec = generateSpec(seed);
+        const auto first = accessStream(spec);
+        const auto second = accessStream(spec);
+        ASSERT_EQ(first.size(), second.size());
+        std::uint64_t expected = 0;
+        for (const KernelSpec &k : spec.kernels)
+            expected += k.accesses;
+        EXPECT_EQ(first.size(), expected);
+
+        const auto layouts = layoutAllocations(spec);
+        for (std::size_t i = 0; i < first.size(); ++i) {
+            EXPECT_EQ(first[i].addr, second[i].addr);
+            EXPECT_EQ(first[i].is_write, second[i].is_write);
+            ASSERT_LT(first[i].kernel, spec.kernels.size());
+            const AllocLayout &alloc =
+                layouts[spec.kernels[first[i].kernel].alloc_index];
+            // Accesses stay inside their target allocation's padded
+            // range (padding pages are managed and faultable too).
+            EXPECT_GE(first[i].addr, alloc.base);
+            EXPECT_LT(first[i].addr, alloc.base + alloc.padded_bytes);
+        }
+    }
+}
+
+TEST(FuzzCombos, CanonicalMatrixCoversEveryPolicy)
+{
+    const auto combos = canonicalCombos();
+    ASSERT_EQ(combos.size(), 6u);
+    std::set<PrefetcherKind> prefetchers;
+    std::set<EvictionKind> evictions;
+    for (const PolicyCombo &combo : combos) {
+        prefetchers.insert(combo.prefetcher);
+        evictions.insert(combo.eviction);
+        // Names round-trip.
+        PolicyCombo parsed = comboFromString(toString(combo));
+        EXPECT_EQ(parsed.prefetcher, combo.prefetcher);
+        EXPECT_EQ(parsed.eviction, combo.eviction);
+    }
+    EXPECT_EQ(prefetchers.size(), 6u);
+    EXPECT_EQ(evictions.size(), 6u);
+}
+
+TEST(FuzzWorkloadBuild, MaterializesEveryKernelAndAccess)
+{
+    FuzzSpec spec = generateSpec(7);
+    auto workload = buildWorkload(spec);
+    ManagedSpace space;
+    workload->setup(space);
+    ASSERT_EQ(space.allocations().size(), spec.allocs.size());
+
+    std::size_t kernels = 0;
+    while (workload->nextKernel())
+        ++kernels;
+    EXPECT_EQ(kernels, spec.kernels.size());
+}
+
+} // namespace fuzzing
+} // namespace uvmsim

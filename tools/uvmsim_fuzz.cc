@@ -1,0 +1,281 @@
+/**
+ * @file
+ * uvmsim_fuzz -- differential fuzzing front end.
+ *
+ * Default mode draws --seeds random workload specs, sweeps each across
+ * the canonical prefetcher x eviction matrix (or an explicit --combos
+ * list), and runs every (spec, combo) cell through the differential
+ * harness: the real event-driven simulator (state auditor on) against
+ * the timing-free functional oracle.  Cells run concurrently on a
+ * RunExecutor pool (--jobs).  Any mismatch prints a structured report
+ * with the reproducing spec string; the first mismatch is then
+ * greedily minimized (disable with --no-minimize).
+ *
+ * --repro=SPEC re-runs one exact spec string (as printed by a failing
+ * run) and --minimize shrinks it; --mutate=NAME injects a deliberate
+ * semantic bug into the oracle so the harness can prove it catches
+ * and shrinks real disagreements (the nightly self-test).
+ *
+ * Examples:
+ *   uvmsim_fuzz --seeds=256 --jobs=8
+ *   uvmsim_fuzz --seeds=64 --combos=TBNp:TBNe,Rp:Re
+ *   uvmsim_fuzz --repro='seed=7/pf=TBNp/.../k=stream:0:200:1:0.25'
+ *   uvmsim_fuzz --seeds=8 --mutate=tbne-at-half   # must mismatch
+ *
+ * Exit status: 0 when every cell agreed (or, under --mutate, when the
+ * seeded bug was caught), 1 on any unexpected outcome.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "api/run_executor.hh"
+#include "sim/options.hh"
+#include "testing/differential.hh"
+#include "testing/minimizer.hh"
+#include "testing/workload_gen.hh"
+
+using namespace uvmsim;
+using namespace uvmsim::fuzzing;
+
+namespace
+{
+
+void
+usage()
+{
+    std::printf(
+        "uvmsim_fuzz -- differential fuzzing: random workloads, real "
+        "simulator vs functional oracle\n\n"
+        "options:\n"
+        "  --seeds=N          number of random workload specs "
+        "(default 64)\n"
+        "  --seed-base=N      first seed (default 1)\n"
+        "  --jobs=K           concurrent differential runs (default "
+        "hardware concurrency)\n"
+        "  --combos=LIST      comma list of PF:EV pairs (default: the "
+        "six canonical combos)\n"
+        "  --repro=SPEC       re-run one exact spec string instead of "
+        "fuzzing\n"
+        "  --minimize         greedily shrink the failing spec "
+        "(default for fuzz mode; opt-in for --repro)\n"
+        "  --no-minimize      never run the minimizer\n"
+        "  --mutate=NAME      seed a deliberate oracle bug: "
+        "tbne-at-half|tbnp-at-half|evict-keeps-mark\n"
+        "  --out=PATH         write the minimized repro spec string "
+        "to PATH\n"
+        "  --verbose          print every cell, not just mismatches\n");
+}
+
+struct CellOutcome
+{
+    std::string label;
+    DiffResult diff;
+    bool panicked = false;
+    std::string panic_what;
+};
+
+void
+writeRepro(const std::string &path, const FuzzSpec &spec,
+           const std::string &report)
+{
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "cannot open --out file '%s'\n",
+                     path.c_str());
+        return;
+    }
+    out << toSpecString(spec) << "\n\n" << report;
+}
+
+/** Minimize and report; returns the minimized spec string. */
+std::string
+minimizeAndReport(const FuzzSpec &spec, OracleMutation mutation)
+{
+    std::printf("minimizing...\n");
+    MinimizeResult min = minimize(spec, mutation, [](const FuzzSpec &s) {
+        std::printf("  shrunk to: %s\n", toSpecString(s).c_str());
+    });
+    std::printf("minimized after %llu probes (%llu accepted):\n%s",
+                static_cast<unsigned long long>(min.probes),
+                static_cast<unsigned long long>(min.accepted),
+                min.diff.report.c_str());
+    std::printf("repro: uvmsim_fuzz --repro='%s'%s%s\n",
+                toSpecString(min.spec).c_str(),
+                mutation != OracleMutation::none ? " --mutate=" : "",
+                mutation != OracleMutation::none
+                    ? toString(mutation).c_str()
+                    : "");
+    return toSpecString(min.spec);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts(argc, argv);
+    if (opts.getBool("help")) {
+        usage();
+        return 0;
+    }
+
+    OracleMutation mutation = OracleMutation::none;
+    if (opts.has("mutate"))
+        mutation = mutationFromString(opts.get("mutate"));
+
+    bool want_minimize = !opts.getBool("no-minimize");
+    const std::string out_path = opts.get("out");
+
+    // --repro: one exact spec, optional minimization.
+    if (opts.has("repro")) {
+        FuzzSpec spec = specFromString(opts.get("repro"));
+        DiffResult diff = runDifferential(spec, mutation);
+        if (!diff.mismatch) {
+            std::printf("repro OK: simulator and oracle agree on %s\n",
+                        toSpecString(spec).c_str());
+            return mutation == OracleMutation::none ? 0 : 1;
+        }
+        std::printf("%s", diff.report.c_str());
+        if (want_minimize && opts.getBool("minimize")) {
+            std::string min_spec = minimizeAndReport(spec, mutation);
+            if (!out_path.empty())
+                writeRepro(out_path, specFromString(min_spec),
+                           diff.report);
+        } else if (!out_path.empty()) {
+            writeRepro(out_path, spec, diff.report);
+        }
+        return mutation == OracleMutation::none ? 1 : 0;
+    }
+
+    // Fuzz mode: seeds x combos.
+    const std::uint64_t num_seeds = opts.getUint("seeds", 64);
+    const std::uint64_t seed_base = opts.getUint("seed-base", 1);
+    const std::size_t jobs =
+        static_cast<std::size_t>(opts.getUint("jobs", 0));
+    const bool verbose = opts.getBool("verbose");
+
+    std::vector<PolicyCombo> combos;
+    if (opts.has("combos")) {
+        for (const std::string &name : opts.getList("combos", {}))
+            combos.push_back(comboFromString(name));
+    } else {
+        combos = canonicalCombos();
+    }
+    if (combos.empty())
+        fatal("empty --combos list");
+
+    struct Cell
+    {
+        FuzzSpec spec;
+        std::string label;
+    };
+    std::vector<Cell> cells;
+    for (std::uint64_t i = 0; i < num_seeds; ++i) {
+        FuzzSpec base = generateSpec(seed_base + i);
+        for (const PolicyCombo &combo : combos) {
+            Cell cell;
+            cell.spec = withCombo(base, combo);
+            cell.label = "seed " + std::to_string(seed_base + i) + " " +
+                         fuzzing::toString(combo);
+            cells.push_back(std::move(cell));
+        }
+    }
+
+    std::printf("fuzzing %llu seeds x %zu combos = %zu differential "
+                "runs\n",
+                static_cast<unsigned long long>(num_seeds),
+                combos.size(), cells.size());
+
+    // Fan the cells out on the pool; results land by index.  fatal()
+    // and panic() terminate the whole process -- that is itself a
+    // reportable fuzz outcome, and the cell label printed below
+    // narrows it to a seed.
+    std::vector<CellOutcome> outcomes(cells.size());
+    RunExecutor executor(jobs);
+    std::vector<RunExecutor::Task> tasks;
+    tasks.reserve(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        tasks.push_back([&cells, &outcomes, i, mutation]() {
+            outcomes[i].label = cells[i].label;
+            outcomes[i].diff = runDifferential(cells[i].spec, mutation);
+            return RunResult{};
+        });
+    }
+    std::vector<RunExecutor::Outcome> task_outcomes =
+        executor.runTasks(tasks);
+    for (std::size_t i = 0; i < task_outcomes.size(); ++i) {
+        if (task_outcomes[i].ok())
+            continue;
+        outcomes[i].panicked = true;
+        try {
+            std::rethrow_exception(task_outcomes[i].error);
+        } catch (const std::exception &e) {
+            outcomes[i].panic_what = e.what();
+        } catch (...) {
+            outcomes[i].panic_what = "unknown exception";
+        }
+    }
+
+    std::size_t mismatched = 0;
+    const CellOutcome *first_failure = nullptr;
+    for (const CellOutcome &outcome : outcomes) {
+        bool failed = outcome.panicked || outcome.diff.mismatch;
+        if (failed) {
+            ++mismatched;
+            if (!first_failure)
+                first_failure = &outcome;
+            std::printf("[FAIL] %s\n", outcome.label.c_str());
+            if (outcome.panicked)
+                std::printf("  exception: %s\n",
+                            outcome.panic_what.c_str());
+            else
+                std::printf("%s", outcome.diff.report.c_str());
+        } else if (verbose) {
+            std::printf("[ ok ] %s\n", outcome.label.c_str());
+        }
+    }
+
+    std::printf("%zu/%zu cells %s\n", cells.size() - mismatched,
+                cells.size(),
+                mutation == OracleMutation::none
+                    ? "matched"
+                    : "matched (mutated oracle: expected mismatches)");
+
+    if (mutation != OracleMutation::none) {
+        // Self-test: the seeded bug must be caught somewhere...
+        if (mismatched == 0) {
+            std::printf("mutation '%s' was NOT caught -- the harness "
+                        "is blind to it\n",
+                        fuzzing::toString(mutation).c_str());
+            return 1;
+        }
+        // ...and the minimizer must shrink the catch.
+        if (want_minimize && first_failure && !first_failure->panicked) {
+            std::string min_spec = minimizeAndReport(
+                first_failure->diff.spec, mutation);
+            if (!out_path.empty())
+                writeRepro(out_path, specFromString(min_spec),
+                           first_failure->diff.report);
+        }
+        return 0;
+    }
+
+    if (mismatched > 0) {
+        if (want_minimize && first_failure && !first_failure->panicked) {
+            std::string min_spec = minimizeAndReport(
+                first_failure->diff.spec, mutation);
+            if (!out_path.empty())
+                writeRepro(out_path, specFromString(min_spec),
+                           first_failure->diff.report);
+        } else if (!out_path.empty() && first_failure &&
+                   !first_failure->panicked) {
+            writeRepro(out_path, first_failure->diff.spec,
+                       first_failure->diff.report);
+        }
+        return 1;
+    }
+    return 0;
+}
