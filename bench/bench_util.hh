@@ -14,8 +14,7 @@
  * bit-identical for every --jobs value; only wall-clock time changes.
  */
 
-#ifndef UVMSIM_BENCH_BENCH_UTIL_HH
-#define UVMSIM_BENCH_BENCH_UTIL_HH
+#pragma once
 
 #include <cstddef>
 #include <string>
@@ -138,5 +137,3 @@ class Batch
 };
 
 } // namespace uvmsim::bench
-
-#endif // UVMSIM_BENCH_BENCH_UTIL_HH

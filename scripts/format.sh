@@ -1,0 +1,64 @@
+#!/usr/bin/env sh
+# Format C++ sources with the repo's .clang-format.
+#
+#   scripts/format.sh            # format files changed vs HEAD
+#   scripts/format.sh --all      # format the whole tree
+#   scripts/format.sh --check    # diff-only (CI-friendly), no writes
+#
+# Policy: run it on the files a change touches.  Do NOT wholesale
+# reformat the tree in an unrelated change -- that destroys blame and
+# review signal for zero behavior gain.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
+    echo "format.sh: $CLANG_FORMAT not found; install clang-format or set CLANG_FORMAT" >&2
+    exit 1
+fi
+
+mode="changed"
+case "${1:-}" in
+    --all) mode="all" ;;
+    --check) mode="check" ;;
+    "") ;;
+    *)
+        echo "usage: scripts/format.sh [--all|--check]" >&2
+        exit 2
+        ;;
+esac
+
+list_all() {
+    git ls-files 'src/*' 'tools/*' 'bench/*' 'examples/*' 'tests/*' |
+        grep -E '\.(cc|hh|cpp|h|hpp)$' || true
+}
+
+list_changed() {
+    {
+        git diff --name-only HEAD
+        git diff --name-only --cached
+    } | sort -u | grep -E '^(src|tools|bench|examples|tests)/.*\.(cc|hh|cpp|h|hpp)$' || true
+}
+
+case "$mode" in
+    all) files=$(list_all) ;;
+    changed) files=$(list_changed) ;;
+    check) files=$(list_all) ;;
+esac
+
+[ -n "$files" ] || { echo "format.sh: nothing to format"; exit 0; }
+
+if [ "$mode" = "check" ]; then
+    status=0
+    for f in $files; do
+        if ! "$CLANG_FORMAT" --dry-run --Werror "$f" >/dev/null 2>&1; then
+            echo "needs formatting: $f"
+            status=1
+        fi
+    done
+    exit $status
+fi
+
+echo "$files" | xargs "$CLANG_FORMAT" -i
+echo "format.sh: formatted $(echo "$files" | wc -l | tr -d ' ') file(s)"

@@ -15,8 +15,7 @@
  * examples/pattern_analysis.cpp), or feed it events directly.
  */
 
-#ifndef UVMSIM_ANALYSIS_ACCESS_PATTERN_HH
-#define UVMSIM_ANALYSIS_ACCESS_PATTERN_HH
+#pragma once
 
 #include <cstdint>
 #include <map>
@@ -129,5 +128,3 @@ class AccessPatternAnalyzer
 };
 
 } // namespace uvmsim
-
-#endif // UVMSIM_ANALYSIS_ACCESS_PATTERN_HH

@@ -27,8 +27,7 @@
  * time advances), bounding memory on very long runs.
  */
 
-#ifndef UVMSIM_ANALYSIS_TIMELINE_HH
-#define UVMSIM_ANALYSIS_TIMELINE_HH
+#pragma once
 
 #include <cstdint>
 #include <deque>
@@ -128,5 +127,3 @@ class EpochTimeline : public trace::TraceSink
 };
 
 } // namespace uvmsim::analysis
-
-#endif // UVMSIM_ANALYSIS_TIMELINE_HH

@@ -26,8 +26,7 @@
  *   std::vector<RunResult> results = exec.runBatch(batch);
  */
 
-#ifndef UVMSIM_API_RUN_EXECUTOR_HH
-#define UVMSIM_API_RUN_EXECUTOR_HH
+#pragma once
 
 #include <condition_variable>
 #include <cstddef>
@@ -149,5 +148,3 @@ class RunExecutor
 };
 
 } // namespace uvmsim
-
-#endif // UVMSIM_API_RUN_EXECUTOR_HH

@@ -21,8 +21,7 @@
  *   std::cout << r.kernelTimeUs() << "\n";
  */
 
-#ifndef UVMSIM_API_SIMULATOR_HH
-#define UVMSIM_API_SIMULATOR_HH
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -310,5 +309,3 @@ SeedSweepResult runBenchmarkSeeds(const std::string &workload_name,
                                   std::size_t jobs = 1);
 
 } // namespace uvmsim
-
-#endif // UVMSIM_API_SIMULATOR_HH

@@ -39,8 +39,7 @@
  * CMake option (the debug CI configuration).
  */
 
-#ifndef UVMSIM_CORE_AUDITOR_HH
-#define UVMSIM_CORE_AUDITOR_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -127,5 +126,3 @@ class SimAuditor
 };
 
 } // namespace uvmsim
-
-#endif // UVMSIM_CORE_AUDITOR_HH

@@ -13,8 +13,7 @@
  * down TLBs, scheduling write-backs -- is the GMMU's job.
  */
 
-#ifndef UVMSIM_CORE_EVICTION_HH
-#define UVMSIM_CORE_EVICTION_HH
+#pragma once
 
 #include <memory>
 #include <string>
@@ -152,5 +151,3 @@ class Mru4kEviction : public EvictionPolicy
 std::unique_ptr<EvictionPolicy> makeEvictionPolicy(EvictionKind kind);
 
 } // namespace uvmsim
-
-#endif // UVMSIM_CORE_EVICTION_HH

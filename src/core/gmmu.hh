@@ -19,8 +19,7 @@
  * maintained by threshold pre-eviction.
  */
 
-#ifndef UVMSIM_CORE_GMMU_HH
-#define UVMSIM_CORE_GMMU_HH
+#pragma once
 
 #include <cstdint>
 #include <deque>
@@ -315,5 +314,3 @@ class Gmmu
 };
 
 } // namespace uvmsim
-
-#endif // UVMSIM_CORE_GMMU_HH

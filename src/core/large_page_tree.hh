@@ -25,8 +25,7 @@
  *    exactly reproduces the paper's Figure 8 example.
  */
 
-#ifndef UVMSIM_CORE_LARGE_PAGE_TREE_HH
-#define UVMSIM_CORE_LARGE_PAGE_TREE_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -183,5 +182,3 @@ class LargePageTree
 };
 
 } // namespace uvmsim
-
-#endif // UVMSIM_CORE_LARGE_PAGE_TREE_HH

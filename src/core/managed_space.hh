@@ -12,8 +12,7 @@
  * when the GMMU resolves far-faults, exactly as in the paper.
  */
 
-#ifndef UVMSIM_CORE_MANAGED_SPACE_HH
-#define UVMSIM_CORE_MANAGED_SPACE_HH
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -154,5 +153,3 @@ class ManagedSpace
 };
 
 } // namespace uvmsim
-
-#endif // UVMSIM_CORE_MANAGED_SPACE_HH

@@ -4,8 +4,7 @@
  * studies, plus string conversions used by harness command lines.
  */
 
-#ifndef UVMSIM_CORE_POLICIES_HH
-#define UVMSIM_CORE_POLICIES_HH
+#pragma once
 
 #include <string>
 
@@ -57,5 +56,3 @@ PrefetcherKind prefetcherFromString(const std::string &name);
 EvictionKind evictionFromString(const std::string &name);
 
 } // namespace uvmsim
-
-#endif // UVMSIM_CORE_POLICIES_HH

@@ -9,8 +9,7 @@
  * concurrent fault decisions see each other.
  */
 
-#ifndef UVMSIM_CORE_PREFETCHER_HH
-#define UVMSIM_CORE_PREFETCHER_HH
+#pragma once
 
 #include <memory>
 #include <string>
@@ -174,5 +173,3 @@ class ZhengLocalityPrefetcher : public Prefetcher
 std::unique_ptr<Prefetcher> makePrefetcher(PrefetcherKind kind);
 
 } // namespace uvmsim
-
-#endif // UVMSIM_CORE_PREFETCHER_HH

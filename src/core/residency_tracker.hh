@@ -17,8 +17,7 @@
  * the Re policy).
  */
 
-#ifndef UVMSIM_CORE_RESIDENCY_TRACKER_HH
-#define UVMSIM_CORE_RESIDENCY_TRACKER_HH
+#pragma once
 
 #include <cstdint>
 #include <list>
@@ -138,5 +137,3 @@ class ResidencyTracker
 };
 
 } // namespace uvmsim
-
-#endif // UVMSIM_CORE_RESIDENCY_TRACKER_HH

@@ -10,8 +10,7 @@
  * that level of detail).
  */
 
-#ifndef UVMSIM_GPU_DRAM_HH
-#define UVMSIM_GPU_DRAM_HH
+#pragma once
 
 #include <algorithm>
 #include <cstdint>
@@ -82,5 +81,3 @@ class DramModel
 };
 
 } // namespace uvmsim
-
-#endif // UVMSIM_GPU_DRAM_HH

@@ -9,8 +9,7 @@
  * re-filling as blocks drain.
  */
 
-#ifndef UVMSIM_GPU_GPU_HH
-#define UVMSIM_GPU_GPU_HH
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -104,5 +103,3 @@ class Gpu
 };
 
 } // namespace uvmsim
-
-#endif // UVMSIM_GPU_GPU_HH

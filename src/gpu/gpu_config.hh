@@ -7,8 +7,7 @@
  * constants for the parts the paper holds fixed (L2, GDDR5).
  */
 
-#ifndef UVMSIM_GPU_GPU_CONFIG_HH
-#define UVMSIM_GPU_GPU_CONFIG_HH
+#pragma once
 
 #include <cstdint>
 
@@ -77,5 +76,3 @@ struct GpuConfig
 };
 
 } // namespace uvmsim
-
-#endif // UVMSIM_GPU_GPU_CONFIG_HH

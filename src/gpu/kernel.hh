@@ -7,8 +7,7 @@
  * ThreadBlock carries the warp traces that execute it.
  */
 
-#ifndef UVMSIM_GPU_KERNEL_HH
-#define UVMSIM_GPU_KERNEL_HH
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -86,5 +85,3 @@ class GridKernel : public Kernel
 };
 
 } // namespace uvmsim
-
-#endif // UVMSIM_GPU_KERNEL_HH

@@ -10,8 +10,7 @@
  * DRAM channel occupancy.
  */
 
-#ifndef UVMSIM_GPU_L2_CACHE_HH
-#define UVMSIM_GPU_L2_CACHE_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -87,5 +86,3 @@ class L2Cache
 };
 
 } // namespace uvmsim
-
-#endif // UVMSIM_GPU_L2_CACHE_HH

@@ -12,8 +12,7 @@
  * behaviour the paper leans on.
  */
 
-#ifndef UVMSIM_GPU_SM_HH
-#define UVMSIM_GPU_SM_HH
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -137,5 +136,3 @@ class Sm
 };
 
 } // namespace uvmsim
-
-#endif // UVMSIM_GPU_SM_HH

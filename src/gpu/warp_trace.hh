@@ -9,8 +9,7 @@
  * these lazily, so multi-gigabyte traces never materialize.
  */
 
-#ifndef UVMSIM_GPU_WARP_TRACE_HH
-#define UVMSIM_GPU_WARP_TRACE_HH
+#pragma once
 
 #include <cstdint>
 #include <utility>
@@ -75,5 +74,3 @@ class VectorTrace : public WarpTrace
 };
 
 } // namespace uvmsim
-
-#endif // UVMSIM_GPU_WARP_TRACE_HH

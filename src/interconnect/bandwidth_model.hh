@@ -15,8 +15,7 @@
  *    as an ablation of the fitting choice.
  */
 
-#ifndef UVMSIM_INTERCONNECT_BANDWIDTH_MODEL_HH
-#define UVMSIM_INTERCONNECT_BANDWIDTH_MODEL_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -89,5 +88,3 @@ class PcieBandwidthModel
 };
 
 } // namespace uvmsim
-
-#endif // UVMSIM_INTERCONNECT_BANDWIDTH_MODEL_HH

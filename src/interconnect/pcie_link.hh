@@ -9,8 +9,7 @@
  * amortize activation overhead exactly as the paper's Table 1 shows.
  */
 
-#ifndef UVMSIM_INTERCONNECT_PCIE_LINK_HH
-#define UVMSIM_INTERCONNECT_PCIE_LINK_HH
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -116,5 +115,3 @@ class PcieLink
 };
 
 } // namespace uvmsim
-
-#endif // UVMSIM_INTERCONNECT_PCIE_LINK_HH

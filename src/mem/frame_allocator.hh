@@ -8,8 +8,7 @@
  * policy must produce victims before a migration can complete.
  */
 
-#ifndef UVMSIM_MEM_FRAME_ALLOCATOR_HH
-#define UVMSIM_MEM_FRAME_ALLOCATOR_HH
+#pragma once
 
 #include <cstdint>
 #include <optional>
@@ -75,5 +74,3 @@ class FrameAllocator
 };
 
 } // namespace uvmsim
-
-#endif // UVMSIM_MEM_FRAME_ALLOCATOR_HH

@@ -9,8 +9,7 @@
  * MSHR is consulted to replay every waiting access (step 6).
  */
 
-#ifndef UVMSIM_MEM_MSHR_HH
-#define UVMSIM_MEM_MSHR_HH
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -88,5 +87,3 @@ class FarFaultMshr
 };
 
 } // namespace uvmsim
-
-#endif // UVMSIM_MEM_MSHR_HH

@@ -8,8 +8,7 @@
  * walk latency separately (100 core cycles, Table 2) in the GMMU.
  */
 
-#ifndef UVMSIM_MEM_PAGE_TABLE_HH
-#define UVMSIM_MEM_PAGE_TABLE_HH
+#pragma once
 
 #include <cstdint>
 #include <optional>
@@ -94,5 +93,3 @@ class PageTable
 };
 
 } // namespace uvmsim
-
-#endif // UVMSIM_MEM_PAGE_TABLE_HH

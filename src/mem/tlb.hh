@@ -8,8 +8,7 @@
  * GMMU, which walks the page table.
  */
 
-#ifndef UVMSIM_MEM_TLB_HH
-#define UVMSIM_MEM_TLB_HH
+#pragma once
 
 #include <cstdint>
 #include <list>
@@ -74,5 +73,3 @@ class Tlb
 };
 
 } // namespace uvmsim
-
-#endif // UVMSIM_MEM_TLB_HH

@@ -7,8 +7,7 @@
  * / tree root granule is 2MB (512 pages, 32 basic blocks).
  */
 
-#ifndef UVMSIM_MEM_TYPES_HH
-#define UVMSIM_MEM_TYPES_HH
+#pragma once
 
 #include <cstdint>
 
@@ -126,5 +125,3 @@ struct MemAccess
 };
 
 } // namespace uvmsim
-
-#endif // UVMSIM_MEM_TYPES_HH

@@ -7,8 +7,7 @@
  * picosecond ticks used by the EventQueue.
  */
 
-#ifndef UVMSIM_SIM_CLOCK_HH
-#define UVMSIM_SIM_CLOCK_HH
+#pragma once
 
 #include "sim/logging.hh"
 #include "sim/ticks.hh"
@@ -69,5 +68,3 @@ class Clock
 };
 
 } // namespace uvmsim
-
-#endif // UVMSIM_SIM_CLOCK_HH

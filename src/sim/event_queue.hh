@@ -10,8 +10,7 @@
  * fully deterministic.
  */
 
-#ifndef UVMSIM_SIM_EVENT_QUEUE_HH
-#define UVMSIM_SIM_EVENT_QUEUE_HH
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -147,5 +146,3 @@ class EventQueue
 };
 
 } // namespace uvmsim
-
-#endif // UVMSIM_SIM_EVENT_QUEUE_HH

@@ -17,8 +17,7 @@
  * (comma-separated list of flags, or "All").
  */
 
-#ifndef UVMSIM_SIM_LOGGING_HH
-#define UVMSIM_SIM_LOGGING_HH
+#pragma once
 
 #include <mutex>
 #include <string>
@@ -82,5 +81,3 @@ void tracePrintf(const std::string &flag, const char *fmt, ...)
     } while (0)
 
 } // namespace uvmsim
-
-#endif // UVMSIM_SIM_LOGGING_HH

@@ -9,8 +9,7 @@
  * only the names they understand.
  */
 
-#ifndef UVMSIM_SIM_OPTIONS_HH
-#define UVMSIM_SIM_OPTIONS_HH
+#pragma once
 
 #include <cstdint>
 #include <map>
@@ -62,5 +61,3 @@ class Options
 };
 
 } // namespace uvmsim
-
-#endif // UVMSIM_SIM_OPTIONS_HH

@@ -9,8 +9,7 @@
  * passes the statistical tests that matter at simulation scale.
  */
 
-#ifndef UVMSIM_SIM_RNG_HH
-#define UVMSIM_SIM_RNG_HH
+#pragma once
 
 #include <cstdint>
 
@@ -91,5 +90,3 @@ class Rng
 };
 
 } // namespace uvmsim
-
-#endif // UVMSIM_SIM_RNG_HH

@@ -13,8 +13,7 @@
  * non-owning pointers and therefore must not outlive the components.
  */
 
-#ifndef UVMSIM_SIM_STATS_HH
-#define UVMSIM_SIM_STATS_HH
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -284,5 +283,3 @@ class StatRegistry
 };
 
 } // namespace uvmsim::stats
-
-#endif // UVMSIM_SIM_STATS_HH

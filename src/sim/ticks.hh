@@ -8,8 +8,7 @@
  * latencies) compose without accumulating rounding error.
  */
 
-#ifndef UVMSIM_SIM_TICKS_HH
-#define UVMSIM_SIM_TICKS_HH
+#pragma once
 
 #include <cstdint>
 #include <limits>
@@ -117,5 +116,3 @@ mib(std::uint64_t n)
 }
 
 } // namespace uvmsim
-
-#endif // UVMSIM_SIM_TICKS_HH

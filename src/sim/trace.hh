@@ -27,8 +27,7 @@
  * per site and nothing else.
  */
 
-#ifndef UVMSIM_SIM_TRACE_HH
-#define UVMSIM_SIM_TRACE_HH
+#pragma once
 
 #include <cstdint>
 #include <fstream>
@@ -197,5 +196,3 @@ class ChromeTraceSink : public TraceSink
 };
 
 } // namespace uvmsim::trace
-
-#endif // UVMSIM_SIM_TRACE_HH

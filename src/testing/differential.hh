@@ -14,8 +14,7 @@
  * reproduces it.
  */
 
-#ifndef UVMSIM_TESTING_DIFFERENTIAL_HH
-#define UVMSIM_TESTING_DIFFERENTIAL_HH
+#pragma once
 
 #include <string>
 #include <vector>
@@ -57,5 +56,3 @@ DiffResult runDifferential(const FuzzSpec &spec,
 
 } // namespace fuzzing
 } // namespace uvmsim
-
-#endif // UVMSIM_TESTING_DIFFERENTIAL_HH

@@ -36,8 +36,7 @@
  * "seeded bug" acceptance test, and uvmsim_fuzz --mutate).
  */
 
-#ifndef UVMSIM_TESTING_FUNCTIONAL_ORACLE_HH
-#define UVMSIM_TESTING_FUNCTIONAL_ORACLE_HH
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -163,5 +162,3 @@ class FunctionalOracle
 
 } // namespace fuzzing
 } // namespace uvmsim
-
-#endif // UVMSIM_TESTING_FUNCTIONAL_ORACLE_HH

@@ -15,8 +15,7 @@
  * enough to step through by hand.
  */
 
-#ifndef UVMSIM_TESTING_MINIMIZER_HH
-#define UVMSIM_TESTING_MINIMIZER_HH
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -53,5 +52,3 @@ MinimizeResult minimize(const FuzzSpec &spec,
 
 } // namespace fuzzing
 } // namespace uvmsim
-
-#endif // UVMSIM_TESTING_MINIMIZER_HH

@@ -25,8 +25,7 @@
  * LRU-position-for-LRU-position.
  */
 
-#ifndef UVMSIM_TESTING_WORKLOAD_GEN_HH
-#define UVMSIM_TESTING_WORKLOAD_GEN_HH
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -210,5 +209,3 @@ FuzzSpec withCombo(FuzzSpec spec, const PolicyCombo &combo);
 
 } // namespace fuzzing
 } // namespace uvmsim
-
-#endif // UVMSIM_TESTING_WORKLOAD_GEN_HH

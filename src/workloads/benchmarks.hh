@@ -6,8 +6,7 @@
  * simulation's ManagedSpace before pulling kernels.
  */
 
-#ifndef UVMSIM_WORKLOADS_BENCHMARKS_HH
-#define UVMSIM_WORKLOADS_BENCHMARKS_HH
+#pragma once
 
 #include <memory>
 
@@ -44,5 +43,3 @@ std::unique_ptr<Workload> makeAtax(const WorkloadParams &params);
 std::unique_ptr<Workload> makeKmeans(const WorkloadParams &params);
 
 } // namespace uvmsim
-
-#endif // UVMSIM_WORKLOADS_BENCHMARKS_HH

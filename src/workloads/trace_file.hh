@@ -21,8 +21,7 @@
  * the configured warps per block.
  */
 
-#ifndef UVMSIM_WORKLOADS_TRACE_FILE_HH
-#define UVMSIM_WORKLOADS_TRACE_FILE_HH
+#pragma once
 
 #include <istream>
 #include <memory>
@@ -51,5 +50,3 @@ makeTraceWorkloadFromFile(const std::string &path,
                           const WorkloadParams &params);
 
 } // namespace uvmsim
-
-#endif // UVMSIM_WORKLOADS_TRACE_FILE_HH

@@ -8,8 +8,7 @@
  * distributing a thread block's ops across its warps.
  */
 
-#ifndef UVMSIM_WORKLOADS_TRACE_UTIL_HH
-#define UVMSIM_WORKLOADS_TRACE_UTIL_HH
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -54,5 +53,3 @@ std::vector<std::unique_ptr<WarpTrace>>
 splitAmongWarps(std::vector<WarpOp> ops, std::uint32_t warps);
 
 } // namespace uvmsim::traceutil
-
-#endif // UVMSIM_WORKLOADS_TRACE_UTIL_HH

@@ -12,8 +12,7 @@
  * (nw), and dense tiled reuse (gemm).
  */
 
-#ifndef UVMSIM_WORKLOADS_WORKLOAD_HH
-#define UVMSIM_WORKLOADS_WORKLOAD_HH
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -76,5 +75,3 @@ std::vector<std::string> allWorkloadNames();
 std::vector<std::string> extraWorkloadNames();
 
 } // namespace uvmsim
-
-#endif // UVMSIM_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,408 @@
+/**
+ * @file
+ * Fixture-tree tests for the uvmsim_lint checks.  Each test seeds one
+ * violation class into a throwaway tree and asserts the check reports
+ * it -- and nothing else -- then the self-test runs every check over
+ * the real source tree and requires zero findings.
+ *
+ * Banned-construct fixture content is assembled from adjacent string
+ * fragments so this file itself lints clean under its own rules.
+ */
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint.hh"
+
+namespace fs = std::filesystem;
+
+namespace uvmsim::lint
+{
+namespace
+{
+
+class LintFixture : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        const ::testing::TestInfo *info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
+        root_ = fs::path(::testing::TempDir()) /
+                (std::string("uvmsim_lint_") + info->name());
+        fs::remove_all(root_);
+        fs::create_directories(root_);
+    }
+
+    void TearDown() override { fs::remove_all(root_); }
+
+    void
+    write(const std::string &rel, const std::string &text)
+    {
+        fs::path path = root_ / rel;
+        fs::create_directories(path.parent_path());
+        std::ofstream out(path, std::ios::binary);
+        ASSERT_TRUE(out) << "cannot write fixture " << path;
+        out << text;
+    }
+
+    std::string
+    read(const std::string &rel) const
+    {
+        std::ifstream in(root_ / rel, std::ios::binary);
+        std::ostringstream out;
+        out << in.rdbuf();
+        return out.str();
+    }
+
+    std::string rootStr() const { return root_.string(); }
+
+    fs::path root_;
+};
+
+/** Findings whose message contains the needle. */
+std::size_t
+countMessages(const std::vector<Finding> &findings,
+              const std::string &needle)
+{
+    std::size_t n = 0;
+    for (const Finding &f : findings)
+        if (f.message.find(needle) != std::string::npos)
+            ++n;
+    return n;
+}
+
+std::string
+render(const std::vector<Finding> &findings)
+{
+    std::ostringstream out;
+    for (const Finding &f : findings)
+        out << f.file << ":" << f.line << " [" << f.check << "] "
+            << f.message << "\n";
+    return out.str();
+}
+
+TEST(LintChecks, CheckNamesAreStable)
+{
+    const std::vector<std::string> expected = {
+        "flags", "stats", "trace", "determinism", "headers"};
+    EXPECT_EQ(allCheckNames(), expected);
+}
+
+// ------------------------------------------------------------- flags
+
+TEST_F(LintFixture, FlagsChecksAllFourDirections)
+{
+    write("tools/mytool.cc",
+          "// usage: --alpha --gamma\n"
+          "int main() {\n"
+          "    opts.get(\"alpha\");\n"
+          "    opts.getBool(\"beta\");\n"
+          "}\n");
+    write("README.md", "Use `--alpha` to do the thing.\n");
+    write("CMakeLists.txt",
+          "add_test(NAME t COMMAND mytool --alpha)\n");
+
+    std::vector<Finding> f = checkFlags(rootStr());
+    EXPECT_EQ(countMessages(f, "--beta is consumed but missing"), 1u)
+        << render(f);
+    EXPECT_EQ(countMessages(f, "--beta is not documented"), 1u);
+    EXPECT_EQ(countMessages(f, "--beta is not referenced by any test"),
+              1u);
+    EXPECT_EQ(countMessages(f, "--gamma appears in usage"), 1u);
+    EXPECT_EQ(countMessages(f, "--alpha"), 0u);
+    EXPECT_EQ(f.size(), 4u) << render(f);
+}
+
+TEST_F(LintFixture, FlagsStaleDocExample)
+{
+    write("tools/mytool.cc",
+          "// reads --alpha\n"
+          "int main() { opts.get(\"alpha\"); }\n");
+    write("README.md",
+          "Run it like:\n\n    uvmsim_run --alpha --vanished\n");
+    write("CMakeLists.txt",
+          "add_test(NAME t COMMAND mytool --alpha)\n");
+
+    std::vector<Finding> f = checkFlags(rootStr());
+    EXPECT_EQ(countMessages(f, "--vanished is not consumed"), 1u)
+        << render(f);
+    EXPECT_EQ(f.size(), 1u) << render(f);
+}
+
+TEST_F(LintFixture, FlagsBenchHarnessNeedsDocsOnly)
+{
+    write("bench/mybench.cc",
+          "int main() { opts.getUint(\"samples\"); }\n");
+
+    std::vector<Finding> f = checkFlags(rootStr());
+    EXPECT_EQ(countMessages(f, "--samples is not documented"), 1u)
+        << render(f);
+    EXPECT_EQ(f.size(), 1u) << render(f);
+}
+
+// ------------------------------------------------------------- stats
+
+TEST_F(LintFixture, StatsDiffsBothDirections)
+{
+    write("docs/STATS.md",
+          "# stats\n"
+          "| `a.b` | documented and registered |\n"
+          "| `x.y` | documented but gone |\n"
+          "| `p.q.r/s` | slash shorthand |\n"
+          "| `gmmu.*` | wildcard section header |\n");
+    const std::set<std::string> registered = {"a.b", "c.d", "p.q.r",
+                                              "p.q.s"};
+
+    std::vector<Finding> f = checkStats(rootStr(), registered);
+    EXPECT_EQ(countMessages(f, "'c.d' is not documented"), 1u)
+        << render(f);
+    EXPECT_EQ(countMessages(f, "'x.y' is not registered"), 1u);
+    EXPECT_EQ(f.size(), 2u) << render(f);
+}
+
+TEST_F(LintFixture, StatsMissingDocIsOneFinding)
+{
+    std::vector<Finding> f = checkStats(rootStr(), {"a.b"});
+    ASSERT_EQ(f.size(), 1u);
+    EXPECT_NE(f[0].message.find("missing or empty"),
+              std::string::npos);
+}
+
+// ------------------------------------------------------------- trace
+
+TEST_F(LintFixture, TraceFindsEveryDriftKind)
+{
+    write("src/sim/trace.hh",
+          "enum class Category : unsigned {\n"
+          "    fault = 1u << 0,\n"
+          "    prefetch = 1u << 1,\n"
+          "};\n"
+          "constexpr unsigned allCategories = 0x1;\n");
+    write("src/sim/trace.cc",
+          "static const Entry categoryTable[] = {\n"
+          "    {\"fault\", Category::fault},\n"
+          "    {\"evict\", Category::eviction},\n"
+          "};\n");
+    write("README.md", "trace categories: fault\n");
+
+    std::vector<Finding> f = checkTrace(rootStr());
+    EXPECT_EQ(countMessages(f, "Category::prefetch is not handled"),
+              1u)
+        << render(f);
+    EXPECT_EQ(countMessages(f, "\"evict\" which is not a Category"),
+              1u);
+    EXPECT_EQ(countMessages(f, "allCategories is 0x1"), 1u);
+    EXPECT_EQ(countMessages(f, "'prefetch' is not mentioned"), 1u);
+    EXPECT_EQ(f.size(), 4u) << render(f);
+}
+
+TEST_F(LintFixture, TraceTableNameMismatch)
+{
+    write("src/sim/trace.hh",
+          "enum class Category : unsigned {\n"
+          "    fault = 1u << 0,\n"
+          "};\n"
+          "constexpr unsigned allCategories = 0x1;\n");
+    write("src/sim/trace.cc",
+          "static const Entry categoryTable[] = {\n"
+          "    {\"fault\", Category::kernel},\n"
+          "};\n");
+    write("README.md", "trace categories: fault\n");
+
+    std::vector<Finding> f = checkTrace(rootStr());
+    EXPECT_EQ(countMessages(f, "name mismatch"), 1u) << render(f);
+    EXPECT_EQ(f.size(), 1u) << render(f);
+}
+
+TEST_F(LintFixture, TraceCleanFixturePasses)
+{
+    write("src/sim/trace.hh",
+          "enum class Category : unsigned {\n"
+          "    fault = 1u << 0,\n"
+          "    prefetch = 1u << 1,\n"
+          "};\n"
+          "constexpr unsigned allCategories = 0x3;\n");
+    write("src/sim/trace.cc",
+          "static const Entry categoryTable[] = {\n"
+          "    {\"fault\", Category::fault},\n"
+          "    {\"prefetch\", Category::prefetch},\n"
+          "};\n");
+    write("README.md", "trace categories: fault, prefetch\n");
+
+    std::vector<Finding> f = checkTrace(rootStr());
+    EXPECT_TRUE(f.empty()) << render(f);
+}
+
+// ------------------------------------------------------- determinism
+
+TEST_F(LintFixture, DeterminismBansWaiversAndAllowlist)
+{
+    // Assembled from fragments so this test file lints clean.
+    const std::string rand_call = std::string("ra") + "nd(42);";
+    const std::string engine = std::string("std::mt19") + "937 gen;";
+    const std::string device =
+        std::string("std::random") + "_device rd;";
+    const std::string wall = std::string("ti") + "me(NULL);";
+    const std::string tod = std::string("gettimeo") + "fday(&tv, 0);";
+    const std::string cpu = std::string("clo") + "ck();";
+    const std::string chrono =
+        std::string("std::chrono::steady") + "_clock::now();";
+
+    write("src/foo.cc", "int a = " + rand_call + "\n" + engine + "\n" +
+                            device + "\n" + "long t = " + wall + "\n" +
+                            tod + "\n" + "long c = " + cpu + "\n" +
+                            "auto n = " + chrono + "\n");
+    write("tools/waived.cc", "int w = " + rand_call +
+                                 " // lint:allow(determinism)\n" +
+                                 "// lint:allow(determinism)\n" +
+                                 "int v = " + rand_call + "\n");
+    // The RNG implementation is the sanctioned home of randomness.
+    write("src/sim/rng.hh",
+          "#pragma once\nint seed = " + rand_call + "\n");
+
+    std::vector<Finding> f = checkDeterminism(rootStr());
+    EXPECT_EQ(f.size(), 7u) << render(f);
+    for (const Finding &finding : f)
+        EXPECT_EQ(finding.file, "src/foo.cc");
+    EXPECT_EQ(countMessages(f, "uvmsim::Rng"), 3u) << render(f);
+}
+
+TEST_F(LintFixture, DeterminismIgnoresLookalikes)
+{
+    write("src/ok.cc", "int lifetime(int strand);\n"
+                       "auto t = sim.time();\n"
+                       "double uptime = lifetime(2);\n"
+                       "int clock_domains = 3;\n");
+    std::vector<Finding> f = checkDeterminism(rootStr());
+    EXPECT_TRUE(f.empty()) << render(f);
+}
+
+// ----------------------------------------------------------- headers
+
+TEST_F(LintFixture, HeadersFlagsGuardsAndUsing)
+{
+    write("src/legacy.hh", "#ifndef LEGACY_HH\n"
+                           "#define LEGACY_HH\n"
+                           "int f();\n"
+                           "#endif // LEGACY_HH\n");
+    write("src/naked.hh", "int g();\n");
+    write("src/using.hh", "#pragma once\n"
+                          "using namespace std;\n");
+    write("src/clean.hh", "#pragma once\n"
+                          "int h();\n");
+
+    std::vector<Finding> f = checkHeaders(rootStr(), false);
+    EXPECT_EQ(countMessages(f, "legacy #ifndef"), 1u) << render(f);
+    EXPECT_EQ(countMessages(f, "no include guard"), 1u);
+    EXPECT_EQ(countMessages(f, "using-namespace"), 1u);
+    EXPECT_EQ(f.size(), 3u) << render(f);
+}
+
+TEST_F(LintFixture, HeadersFixConvertsLegacyGuard)
+{
+    write("src/legacy.hh", "/** doc */\n"
+                           "#ifndef LEGACY_HH\n"
+                           "#define LEGACY_HH\n"
+                           "\n"
+                           "int f();\n"
+                           "\n"
+                           "#endif // LEGACY_HH\n");
+
+    std::vector<Finding> f = checkHeaders(rootStr(), true);
+    EXPECT_TRUE(f.empty()) << render(f);
+
+    const std::string text = read("src/legacy.hh");
+    EXPECT_NE(text.find("#pragma once"), std::string::npos) << text;
+    EXPECT_EQ(text.find("#ifndef"), std::string::npos) << text;
+    EXPECT_EQ(text.find("#endif"), std::string::npos) << text;
+    EXPECT_NE(text.find("/** doc */"), std::string::npos) << text;
+    EXPECT_NE(text.find("int f();"), std::string::npos) << text;
+
+    // Idempotent: the converted header is clean.
+    EXPECT_TRUE(checkHeaders(rootStr(), false).empty());
+}
+
+TEST_F(LintFixture, HeadersFixLeavesConditionalIfndefAlone)
+{
+    // An #ifndef that is not an include guard (no matching #define
+    // next) must not be rewritten.
+    write("src/cond.hh", "#ifndef NDEBUG\n"
+                         "void check();\n"
+                         "#endif\n");
+
+    std::vector<Finding> f = checkHeaders(rootStr(), true);
+    EXPECT_EQ(f.size(), 1u) << render(f);
+    EXPECT_NE(read("src/cond.hh").find("#ifndef NDEBUG"),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------- CLI/JSON
+
+TEST_F(LintFixture, CliExitCodes)
+{
+    write("src/naked.hh", "int g();\n");
+    EXPECT_EQ(runCli({"--root=" + rootStr(), "--checks=headers"}), 1);
+    EXPECT_EQ(runCli({"--root=" + rootStr(), "--checks=bogus"}), 2);
+
+    write("src/naked.hh", "#pragma once\nint g();\n");
+    EXPECT_EQ(runCli({"--root=" + rootStr(), "--checks=headers"}), 0);
+    EXPECT_EQ(runCli({"--root=" + rootStr(),
+                      "--checks=headers,determinism"}),
+              0);
+}
+
+TEST_F(LintFixture, CliFixRewritesTree)
+{
+    write("src/legacy.hh", "#ifndef LEGACY_HH\n"
+                           "#define LEGACY_HH\n"
+                           "int f();\n"
+                           "#endif\n");
+    EXPECT_EQ(runCli({"--root=" + rootStr(), "--checks=headers",
+                      "--fix"}),
+              0);
+    EXPECT_NE(read("src/legacy.hh").find("#pragma once"),
+              std::string::npos);
+}
+
+TEST(LintJson, ShapeAndEscapes)
+{
+    EXPECT_EQ(toJson({}), "[]\n");
+
+    std::vector<Finding> findings = {
+        {"headers", "a \"b\".hh", 3, "line1\nline2", "tab\there"}};
+    const std::string json = toJson(findings);
+    EXPECT_NE(json.find("\"check\": \"headers\""), std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\\\"b\\\""), std::string::npos) << json;
+    EXPECT_NE(json.find("\"line\": 3"), std::string::npos) << json;
+    EXPECT_NE(json.find("line1\\nline2"), std::string::npos) << json;
+    EXPECT_NE(json.find("tab\\there"), std::string::npos) << json;
+}
+
+// ---------------------------------------------------------- self-test
+
+#ifdef UVMSIM_SOURCE_DIR
+/**
+ * The permanent gate: the real source tree must be clean under every
+ * check.  A failure here means code, docs and tests drifted apart --
+ * run build/tools/uvmsim_lint/uvmsim_lint for the same report.
+ */
+TEST(LintSelfTest, RepoLintsClean)
+{
+    Config config;
+    config.root = UVMSIM_SOURCE_DIR;
+    std::vector<Finding> findings = runChecks(config);
+    EXPECT_TRUE(findings.empty()) << render(findings);
+}
+#endif
+
+} // namespace
+} // namespace uvmsim::lint

@@ -66,7 +66,8 @@ usage()
         "tbne-at-half|tbnp-at-half|evict-keeps-mark\n"
         "  --out=PATH         write the minimized repro spec string "
         "to PATH\n"
-        "  --verbose          print every cell, not just mismatches\n");
+        "  --verbose          print every cell, not just mismatches\n"
+        "  --help             print this text\n");
 }
 
 struct CellOutcome

@@ -1,0 +1,948 @@
+#include "lint.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <map>
+#include <regex>
+#include <sstream>
+
+#include "api/simulator.hh"
+#include "sim/logging.hh"
+#include "sim/options.hh"
+
+namespace fs = std::filesystem;
+
+namespace uvmsim::lint
+{
+
+namespace
+{
+
+// ---------------------------------------------------------------- utilities
+
+/** Read a whole file; empty string when unreadable. */
+std::string
+slurp(const fs::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return {};
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+std::vector<std::string>
+splitLines(const std::string &text)
+{
+    std::vector<std::string> lines;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        std::size_t nl = text.find('\n', start);
+        if (nl == std::string::npos) {
+            if (start < text.size())
+                lines.push_back(text.substr(start));
+            break;
+        }
+        lines.push_back(text.substr(start, nl - start));
+        start = nl + 1;
+    }
+    return lines;
+}
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = s.find_first_not_of(" \t\r");
+    if (b == std::string::npos)
+        return {};
+    std::size_t e = s.find_last_not_of(" \t\r");
+    return s.substr(b, e - b + 1);
+}
+
+/** Directories never worth walking: build trees, VCS state. */
+bool
+skippedDir(const std::string &name)
+{
+    return name == ".git" || name.rfind("build", 0) == 0 ||
+           name == "bench-build" || name == ".cache";
+}
+
+/** All regular files under root/sub with one of the extensions. */
+std::vector<fs::path>
+filesUnder(const fs::path &root, const std::string &sub,
+           const std::vector<std::string> &exts)
+{
+    std::vector<fs::path> out;
+    fs::path dir = root / sub;
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec))
+        return out;
+    for (auto it = fs::recursive_directory_iterator(dir, ec);
+         it != fs::recursive_directory_iterator(); it.increment(ec)) {
+        if (ec)
+            break;
+        if (it->is_directory() &&
+            skippedDir(it->path().filename().string())) {
+            it.disable_recursion_pending();
+            continue;
+        }
+        if (!it->is_regular_file())
+            continue;
+        std::string ext = it->path().extension().string();
+        if (exts.empty() ||
+            std::find(exts.begin(), exts.end(), ext) != exts.end())
+            out.push_back(it->path());
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::string
+relPath(const fs::path &root, const fs::path &path)
+{
+    std::error_code ec;
+    fs::path rel = fs::relative(path, root, ec);
+    return ec ? path.string() : rel.generic_string();
+}
+
+/** Every dash-dash flag token (a letter must follow the dashes). */
+std::set<std::string>
+flagTokens(const std::string &text)
+{
+    static const std::regex pattern(R"re(--([a-z][a-z0-9-]*))re");
+    std::set<std::string> out;
+    for (std::sregex_iterator it(text.begin(), text.end(), pattern), end;
+         it != end; ++it)
+        out.insert((*it)[1].str());
+    return out;
+}
+
+// ------------------------------------------------------------- flags check
+
+/** Option names a source file reads through the Options accessors. */
+std::map<std::string, std::size_t>
+consumedFlags(const std::string &text)
+{
+    static const std::regex pattern(
+        R"re((?:opts|options)\s*\.\s*)re"
+        R"re((?:has|getUint|getDouble|getBool|getList|get)\s*\(\s*)re"
+        R"re("([a-z][a-z0-9-]*)")re");
+    std::map<std::string, std::size_t> out;
+    std::size_t line = 1;
+    auto begin = text.begin();
+    for (std::sregex_iterator it(text.begin(), text.end(), pattern), end;
+         it != end; ++it) {
+        line += static_cast<std::size_t>(
+            std::count(begin, text.begin() + it->position(0), '\n'));
+        begin = text.begin() + it->position(0);
+        out.emplace((*it)[1].str(), line);
+    }
+    return out;
+}
+
+/**
+ * Flag tokens appearing on documented command lines of our own
+ * tools: any (backslash-joined) line that invokes a uvmsim_* CLI
+ * binary.  Third-party command examples (ctest, cmake, ...) and the
+ * gtest runner are deliberately out of scope.
+ */
+std::set<std::string>
+toolExampleFlags(const std::string &text)
+{
+    static const char *const clis[] = {"uvmsim_run", "uvmsim_sweep",
+                                       "uvmsim_fuzz", "uvmsim_lint"};
+    std::set<std::string> out;
+    std::vector<std::string> lines = splitLines(text);
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        std::string joined = lines[i];
+        while (!joined.empty() && joined.back() == '\\' &&
+               i + 1 < lines.size())
+            joined = joined.substr(0, joined.size() - 1) + lines[++i];
+        for (const char *cli : clis) {
+            if (joined.find(cli) == std::string::npos)
+                continue;
+            for (const std::string &flag : flagTokens(joined))
+                out.insert(flag);
+            break;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+allCheckNames()
+{
+    static const std::vector<std::string> names = {
+        "flags", "stats", "trace", "determinism", "headers"};
+    return names;
+}
+
+std::vector<Finding>
+checkFlags(const std::string &root_str)
+{
+    const fs::path root(root_str);
+    std::vector<Finding> findings;
+
+    // Where flags count as documented.
+    std::string docs_text;
+    for (const char *name : {"README.md", "EXPERIMENTS.md"})
+        docs_text += slurp(root / name);
+    for (const fs::path &doc : filesUnder(root, "docs", {".md"}))
+        docs_text += slurp(doc);
+    const std::set<std::string> documented = flagTokens(docs_text);
+
+    // Where flags count as tested: test sources, add_test command
+    // lines in any CMakeLists.txt, and the CI workflows.
+    std::string tests_text;
+    for (const fs::path &test : filesUnder(root, "tests", {}))
+        tests_text += slurp(test);
+    for (const fs::path &p : filesUnder(root, "", {".txt"}))
+        if (p.filename() == "CMakeLists.txt")
+            tests_text += slurp(p);
+    for (const fs::path &wf : filesUnder(root, ".github", {}))
+        tests_text += slurp(wf);
+    const std::set<std::string> tested = flagTokens(tests_text);
+
+    // Flags any file consumes, for the stale-docs direction.
+    std::set<std::string> consumed_anywhere;
+
+    struct ToolFile
+    {
+        fs::path path;
+        std::string text;
+        bool is_tool; // tools/ (full rules) vs bench/ (docs rule only)
+    };
+    std::vector<ToolFile> sources;
+    for (const fs::path &p : filesUnder(root, "tools", {".cc"}))
+        sources.push_back({p, slurp(p), true});
+    for (const fs::path &p :
+         filesUnder(root, "bench", {".cc", ".hh"}))
+        sources.push_back({p, slurp(p), false});
+
+    for (const ToolFile &src : sources) {
+        const std::map<std::string, std::size_t> consumed =
+            consumedFlags(src.text);
+        if (consumed.empty())
+            continue;
+        const std::string rel = relPath(root, src.path);
+        const std::set<std::string> mentioned = flagTokens(src.text);
+
+        for (const auto &[flag, line] : consumed) {
+            consumed_anywhere.insert(flag);
+            if (src.is_tool && !mentioned.count(flag)) {
+                findings.push_back(
+                    {"flags", rel, line,
+                     "flag --" + flag +
+                         " is consumed but missing from this tool's "
+                         "usage/help text",
+                     "add --" + flag + " to the usage() block"});
+            }
+            if (!documented.count(flag)) {
+                findings.push_back(
+                    {"flags", rel, line,
+                     "flag --" + flag +
+                         " is not documented in README.md, "
+                         "EXPERIMENTS.md or docs/",
+                     "document --" + flag + " where the tool is "
+                                            "described"});
+            }
+            if (src.is_tool && !tested.count(flag)) {
+                findings.push_back(
+                    {"flags", rel, line,
+                     "flag --" + flag +
+                         " is not referenced by any test (tests/, "
+                         "add_test, or CI workflow)",
+                     "add a smoke test exercising --" + flag});
+            }
+        }
+
+        // Stale usage text: a tool mentioning a flag it never reads
+        // either lost the flag or has a typo in the accessor.
+        if (src.is_tool) {
+            for (const std::string &flag : mentioned) {
+                if (!consumed.count(flag))
+                    findings.push_back(
+                        {"flags", rel, 0,
+                         "flag --" + flag +
+                             " appears in usage/comment text but is "
+                             "never consumed",
+                         "drop the stale reference or read the "
+                         "option"});
+            }
+        }
+    }
+
+    // Stale docs: uvmsim_* example command lines must only use flags
+    // some binary actually reads.
+    struct DocFile
+    {
+        std::string name;
+        std::string text;
+    };
+    std::vector<DocFile> doc_files = {
+        {"README.md", slurp(root / "README.md")},
+        {"EXPERIMENTS.md", slurp(root / "EXPERIMENTS.md")},
+    };
+    for (const fs::path &doc : filesUnder(root, "docs", {".md"}))
+        doc_files.push_back({relPath(root, doc), slurp(doc)});
+    for (const DocFile &doc : doc_files) {
+        for (const std::string &flag : toolExampleFlags(doc.text)) {
+            if (!consumed_anywhere.count(flag))
+                findings.push_back(
+                    {"flags", doc.name, 0,
+                     "documented flag --" + flag +
+                         " is not consumed by any tool or bench "
+                         "harness",
+                     "fix or delete the stale example"});
+        }
+    }
+
+    return findings;
+}
+
+// ------------------------------------------------------------- stats check
+
+namespace
+{
+
+/** `code` spans in a markdown text, with backticks stripped. */
+std::vector<std::string>
+codeSpans(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (true) {
+        std::size_t open = text.find('`', pos);
+        if (open == std::string::npos)
+            break;
+        std::size_t close = text.find('`', open + 1);
+        if (close == std::string::npos)
+            break;
+        out.push_back(text.substr(open + 1, close - open - 1));
+        pos = close + 1;
+    }
+    return out;
+}
+
+bool
+isStatName(const std::string &token)
+{
+    static const std::regex pattern(
+        R"re([A-Za-z_][A-Za-z0-9_]*(\.[A-Za-z0-9_]+)+)re");
+    return std::regex_match(token, pattern);
+}
+
+/**
+ * Expand the docs' slash shorthand: "smN.tlb.hits/misses/evictions"
+ * means smN.tlb.hits, smN.tlb.misses and smN.tlb.evictions.
+ */
+std::vector<std::string>
+expandSlashes(const std::string &span)
+{
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    while (start <= span.size()) {
+        std::size_t slash = span.find('/', start);
+        if (slash == std::string::npos)
+            slash = span.size();
+        parts.push_back(span.substr(start, slash - start));
+        start = slash + 1;
+    }
+    std::vector<std::string> out;
+    if (parts.empty())
+        return out;
+    out.push_back(parts[0]);
+    std::size_t last_dot = parts[0].rfind('.');
+    std::string prefix = last_dot == std::string::npos
+                             ? std::string()
+                             : parts[0].substr(0, last_dot + 1);
+    for (std::size_t i = 1; i < parts.size(); ++i) {
+        const std::string &p = parts[i];
+        out.push_back(p.find('.') != std::string::npos ? p : prefix + p);
+    }
+    return out;
+}
+
+/** sm<digits>.foo -> smN.foo, the docs' per-SM convention. */
+std::string
+normalizeSmName(const std::string &name)
+{
+    static const std::regex pattern(R"re(^sm\d+\.)re");
+    return std::regex_replace(name, pattern, "smN.");
+}
+
+} // namespace
+
+std::set<std::string>
+enumerateRegisteredStats()
+{
+    SimConfig cfg;
+    cfg.gpu.num_sms = 1;
+    WorkloadParams params;
+    params.size_scale = 0.05;
+    RunResult result = runBenchmark("backprop", cfg, params);
+    std::set<std::string> out;
+    for (const auto &[name, value] : result.stats) {
+        (void)value;
+        out.insert(normalizeSmName(name));
+    }
+    return out;
+}
+
+std::vector<Finding>
+checkStats(const std::string &root_str,
+           const std::set<std::string> &registered)
+{
+    const fs::path root(root_str);
+    std::vector<Finding> findings;
+    const std::string doc_rel = "docs/STATS.md";
+    const std::string doc = slurp(root / doc_rel);
+    if (doc.empty()) {
+        findings.push_back({"stats", doc_rel, 0,
+                            "docs/STATS.md is missing or empty",
+                            "document every registered stat there"});
+        return findings;
+    }
+
+    std::set<std::string> documented;
+    for (const std::string &span : codeSpans(doc)) {
+        if (span.find('*') != std::string::npos)
+            continue; // wildcard section headers like `gmmu.*`
+        for (const std::string &name : expandSlashes(span))
+            if (isStatName(name))
+                documented.insert(name);
+    }
+
+    for (const std::string &name : registered) {
+        if (!documented.count(name))
+            findings.push_back(
+                {"stats", doc_rel, 0,
+                 "registered stat '" + name +
+                     "' is not documented in docs/STATS.md",
+                 "add a table row describing it"});
+    }
+    for (const std::string &name : documented) {
+        if (!registered.count(name))
+            findings.push_back(
+                {"stats", doc_rel, 0,
+                 "documented stat '" + name +
+                     "' is not registered by the simulator",
+                 "remove the stale row or restore the stat"});
+    }
+    return findings;
+}
+
+// ------------------------------------------------------------- trace check
+
+std::vector<Finding>
+checkTrace(const std::string &root_str)
+{
+    const fs::path root(root_str);
+    std::vector<Finding> findings;
+    const std::string hh_rel = "src/sim/trace.hh";
+    const std::string cc_rel = "src/sim/trace.cc";
+    const std::string hh = slurp(root / hh_rel);
+    const std::string cc = slurp(root / cc_rel);
+    if (hh.empty() || cc.empty()) {
+        findings.push_back({"trace", hh.empty() ? hh_rel : cc_rel, 0,
+                            "trace source not found", ""});
+        return findings;
+    }
+
+    // Enum entries: `name = 1u << k` inside `enum class Category`.
+    std::map<std::string, unsigned> enum_bits;
+    std::size_t enum_pos = hh.find("enum class Category");
+    std::size_t enum_end =
+        enum_pos == std::string::npos ? std::string::npos
+                                      : hh.find("};", enum_pos);
+    if (enum_end == std::string::npos) {
+        findings.push_back({"trace", hh_rel, 0,
+                            "could not locate enum class Category", ""});
+        return findings;
+    }
+    const std::string enum_body =
+        hh.substr(enum_pos, enum_end - enum_pos);
+    static const std::regex entry_pattern(
+        R"re(([a-z][A-Za-z0-9_]*)\s*=\s*1u\s*<<\s*(\d+))re");
+    for (std::sregex_iterator
+             it(enum_body.begin(), enum_body.end(), entry_pattern),
+         end;
+         it != end; ++it)
+        enum_bits[(*it)[1].str()] =
+            1u << std::stoul((*it)[2].str());
+
+    // parseSpec's table: {"name", Category::name} pairs.
+    std::map<std::string, std::string> table;
+    static const std::regex table_pattern(
+        R"re(\{\s*"([a-z]+)"\s*,\s*Category::([A-Za-z0-9_]+)\s*\})re");
+    for (std::sregex_iterator it(cc.begin(), cc.end(), table_pattern),
+         end;
+         it != end; ++it)
+        table[(*it)[1].str()] = (*it)[2].str();
+
+    for (const auto &[name, bit] : enum_bits) {
+        (void)bit;
+        auto it = table.find(name);
+        if (it == table.end())
+            findings.push_back(
+                {"trace", cc_rel, 0,
+                 "Category::" + name +
+                     " is not handled by parseSpec's category table",
+                 "add {\"" + name + "\", Category::" + name +
+                     "} to categoryTable"});
+        else if (it->second != name)
+            findings.push_back(
+                {"trace", cc_rel, 0,
+                 "categoryTable maps \"" + name + "\" to Category::" +
+                     it->second + " (name mismatch)",
+                 "make the string and enumerator agree"});
+    }
+    for (const auto &[name, target] : table) {
+        (void)target;
+        if (!enum_bits.count(name))
+            findings.push_back(
+                {"trace", cc_rel, 0,
+                 "parseSpec accepts \"" + name +
+                     "\" which is not a Category enumerator",
+                 "drop the stale table entry"});
+    }
+
+    // allCategories must cover exactly the declared bits.
+    unsigned all_bits = 0;
+    for (const auto &[name, bit] : enum_bits) {
+        (void)name;
+        all_bits |= bit;
+    }
+    static const std::regex all_pattern(
+        R"re(allCategories\s*=\s*(0[xX][0-9a-fA-F]+|\d+))re");
+    std::smatch all_match;
+    if (!std::regex_search(hh, all_match, all_pattern)) {
+        findings.push_back({"trace", hh_rel, 0,
+                            "allCategories constant not found", ""});
+    } else {
+        unsigned declared = static_cast<unsigned>(
+            std::stoul(all_match[1].str(), nullptr, 0));
+        if (declared != all_bits) {
+            char buf[96];
+            std::snprintf(buf, sizeof(buf),
+                          "allCategories is 0x%x but the enum covers "
+                          "0x%x",
+                          declared, all_bits);
+            findings.push_back({"trace", hh_rel, 0, buf,
+                                "update the constant to match the "
+                                "enum"});
+        }
+    }
+
+    // Every category must be documented.
+    std::string docs_text;
+    for (const char *name : {"README.md", "EXPERIMENTS.md"})
+        docs_text += slurp(root / name);
+    for (const fs::path &doc : filesUnder(root, "docs", {".md"}))
+        docs_text += slurp(doc);
+    for (const auto &[name, bit] : enum_bits) {
+        (void)bit;
+        if (docs_text.find(name) == std::string::npos)
+            findings.push_back(
+                {"trace", hh_rel, 0,
+                 "trace category '" + name +
+                     "' is not mentioned in README.md, "
+                     "EXPERIMENTS.md or docs/",
+                 "document it where the trace spec is described"});
+    }
+
+    return findings;
+}
+
+// ------------------------------------------------------- determinism check
+
+namespace
+{
+
+struct BanRule
+{
+    std::regex pattern;
+    const char *what;
+};
+
+/**
+ * The banned constructs.  Literal names are spelled as adjacent
+ * string fragments so this file never contains a contiguous banned
+ * token and can be linted by its own rules.
+ */
+const std::vector<BanRule> &
+banRules()
+{
+    static const std::vector<BanRule> rules = [] {
+        std::vector<BanRule> r;
+        auto add = [&r](const std::string &pattern, const char *what) {
+            r.push_back({std::regex(pattern), what});
+        };
+        add(R"re((^|[^A-Za-z0-9_])s?rand\s*\()re",
+            "libc rand/srand breaks run determinism; draw from "
+            "uvmsim::Rng");
+        add(std::string(R"re(random)re") + R"re(_device)re",
+            "std::random_" "device is nondeterministic; seed an "
+            "uvmsim::Rng instead");
+        add(std::string(R"re(\b(mt19)re") + R"re(937|minstd_)re" +
+                R"re(rand|default_random_)re" + R"re(engine)\b)re",
+            "std library engines bypass the seeded uvmsim::Rng");
+        add(R"re((^|[^A-Za-z0-9_.:>])time\s*\(\s*(NULL|nullptr|0)?\s*\))re",
+            "wall-clock time reads break run determinism");
+        add(std::string(R"re(gettimeo)re") + R"re(fday|clock_)re" +
+                R"re(gettime)re",
+            "wall-clock reads break run determinism");
+        add(R"re((^|[^A-Za-z0-9_.:>])clock\s*\(\s*\))re",
+            "libc clock reads host time; use simulation Ticks");
+        add(std::string(R"re((system|steady|high_resolution))re") +
+                R"re(_clock)re",
+            "std::chrono clock reads break run determinism; use "
+            "simulation Ticks (bench wall-timing lives in "
+            "scripts/bench_timing.sh)");
+        return r;
+    }();
+    return rules;
+}
+
+bool
+waived(const std::vector<std::string> &lines, std::size_t index)
+{
+    static const std::string token = "lint:allow(determinism)";
+    if (lines[index].find(token) != std::string::npos)
+        return true;
+    return index > 0 &&
+           lines[index - 1].find(token) != std::string::npos;
+}
+
+} // namespace
+
+std::vector<Finding>
+checkDeterminism(const std::string &root_str)
+{
+    const fs::path root(root_str);
+    std::vector<Finding> findings;
+    const std::vector<std::string> exts = {".cc", ".hh", ".cpp", ".h"};
+    // The RNG implementation itself is the one sanctioned home of
+    // randomness.
+    const std::set<std::string> allow = {"src/sim/rng.hh"};
+
+    for (const char *sub :
+         {"src", "tools", "tests", "bench", "examples"}) {
+        for (const fs::path &path : filesUnder(root, sub, exts)) {
+            const std::string rel = relPath(root, path);
+            if (allow.count(rel))
+                continue;
+            const std::vector<std::string> lines =
+                splitLines(slurp(path));
+            for (std::size_t i = 0; i < lines.size(); ++i) {
+                for (const BanRule &rule : banRules()) {
+                    if (!std::regex_search(lines[i], rule.pattern))
+                        continue;
+                    if (waived(lines, i))
+                        continue;
+                    findings.push_back(
+                        {"determinism", rel, i + 1, rule.what,
+                         "use uvmsim::Rng / simulation Ticks, or "
+                         "waive with lint:allow(determinism)"});
+                }
+            }
+        }
+    }
+    return findings;
+}
+
+// ----------------------------------------------------------- headers check
+
+namespace
+{
+
+/**
+ * Rewrite a legacy #ifndef/#define/#endif include guard to
+ * #pragma once.  Returns true when the file was changed.
+ */
+bool
+fixGuard(const fs::path &path, const std::string &text)
+{
+    std::vector<std::string> lines = splitLines(text);
+    static const std::regex ifndef_pattern(
+        R"re(^\s*#\s*ifndef\s+([A-Za-z_][A-Za-z0-9_]*)\s*$)re");
+    std::smatch m;
+    std::size_t guard_line = lines.size();
+    std::string macro;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        if (std::regex_match(lines[i], m, ifndef_pattern)) {
+            guard_line = i;
+            macro = m[1].str();
+            break;
+        }
+    }
+    if (guard_line == lines.size())
+        return false;
+    // The matching #define must be the next preprocessor line.
+    std::size_t define_line = lines.size();
+    for (std::size_t i = guard_line + 1; i < lines.size(); ++i) {
+        if (trim(lines[i]).empty())
+            continue;
+        if (trim(lines[i]) == "#define " + macro)
+            define_line = i;
+        break;
+    }
+    if (define_line == lines.size())
+        return false;
+    // The guard's #endif is the last one in the file.
+    std::size_t endif_line = lines.size();
+    for (std::size_t i = lines.size(); i-- > 0;) {
+        if (trim(lines[i]).rfind("#endif", 0) == 0) {
+            endif_line = i;
+            break;
+        }
+    }
+    if (endif_line == lines.size() || endif_line <= define_line)
+        return false;
+
+    std::vector<std::string> out;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        if (i == define_line || i == endif_line)
+            continue;
+        if (i == guard_line)
+            out.push_back("#pragma once");
+        else
+            out.push_back(lines[i]);
+    }
+    // Drop the blank line(s) the removed #endif leaves at the end.
+    while (!out.empty() && trim(out.back()).empty())
+        out.pop_back();
+
+    std::ofstream file(path, std::ios::binary | std::ios::trunc);
+    if (!file)
+        return false;
+    for (const std::string &line : out)
+        file << line << '\n';
+    return true;
+}
+
+} // namespace
+
+std::vector<Finding>
+checkHeaders(const std::string &root_str, bool fix)
+{
+    const fs::path root(root_str);
+    std::vector<Finding> findings;
+    const std::vector<std::string> exts = {".hh", ".h", ".hpp"};
+
+    for (const char *sub : {"src", "tools", "bench"}) {
+        for (const fs::path &path : filesUnder(root, sub, exts)) {
+            const std::string rel = relPath(root, path);
+            std::string text = slurp(path);
+
+            bool has_pragma = false;
+            for (const std::string &line : splitLines(text))
+                if (trim(line) == "#pragma once") {
+                    has_pragma = true;
+                    break;
+                }
+            if (!has_pragma) {
+                bool fixed = fix && fixGuard(path, text);
+                if (fixed) {
+                    text = slurp(path);
+                } else {
+                    const bool legacy =
+                        text.find("#ifndef") != std::string::npos;
+                    findings.push_back(
+                        {"headers", rel, 1,
+                         legacy ? "header uses a legacy #ifndef "
+                                  "include guard"
+                                : "header has no include guard",
+                         legacy ? "run uvmsim_lint --fix to convert "
+                                  "it to #pragma once"
+                                : "add #pragma once"});
+                }
+            }
+
+            const std::vector<std::string> lines = splitLines(text);
+            for (std::size_t i = 0; i < lines.size(); ++i) {
+                if (trim(lines[i]).rfind("using namespace", 0) == 0)
+                    findings.push_back(
+                        {"headers", rel, i + 1,
+                         "using-namespace at file scope in a header "
+                         "leaks into every includer",
+                         "qualify the names instead"});
+            }
+        }
+    }
+    return findings;
+}
+
+// ------------------------------------------------------------ entry points
+
+std::vector<Finding>
+runChecks(const Config &config)
+{
+    std::set<std::string> selected(config.checks.begin(),
+                                   config.checks.end());
+    for (const std::string &name : selected)
+        if (std::find(allCheckNames().begin(), allCheckNames().end(),
+                      name) == allCheckNames().end())
+            fatal("unknown lint check '%s'", name.c_str());
+    auto wants = [&selected](const char *name) {
+        return selected.empty() || selected.count(name) > 0;
+    };
+
+    std::vector<Finding> findings;
+    auto append = [&findings](std::vector<Finding> more) {
+        findings.insert(findings.end(),
+                        std::make_move_iterator(more.begin()),
+                        std::make_move_iterator(more.end()));
+    };
+    if (wants("flags"))
+        append(checkFlags(config.root));
+    if (wants("stats"))
+        append(checkStats(config.root, enumerateRegisteredStats()));
+    if (wants("trace"))
+        append(checkTrace(config.root));
+    if (wants("determinism"))
+        append(checkDeterminism(config.root));
+    if (wants("headers"))
+        append(checkHeaders(config.root, config.fix));
+    return findings;
+}
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+toJson(const std::vector<Finding> &findings)
+{
+    std::ostringstream out;
+    out << "[";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+        const Finding &f = findings[i];
+        out << (i ? ",\n " : "\n ") << "{\"check\": \""
+            << jsonEscape(f.check) << "\", \"file\": \""
+            << jsonEscape(f.file) << "\", \"line\": " << f.line
+            << ", \"message\": \"" << jsonEscape(f.message)
+            << "\", \"suggestion\": \"" << jsonEscape(f.suggestion)
+            << "\"}";
+    }
+    out << (findings.empty() ? "]" : "\n]") << "\n";
+    return out.str();
+}
+
+namespace
+{
+
+void
+usage()
+{
+    std::printf(
+        "uvmsim_lint -- domain-aware static analysis for the uvmsim "
+        "tree\n\n"
+        "options:\n"
+        "  --root=PATH       repo root to lint (default: the source "
+        "tree this binary was built from)\n"
+        "  --checks=LIST     comma list of checks to run (default: "
+        "all; see --list-checks)\n"
+        "  --fix             apply mechanical fixes (headers: convert "
+        "#ifndef guards to #pragma once)\n"
+        "  --json            emit findings as a JSON array instead of "
+        "text\n"
+        "  --list-checks     print the available check names and "
+        "exit\n"
+        "  --help            this text\n");
+}
+
+} // namespace
+
+int
+runCli(const std::vector<std::string> &args)
+{
+    std::vector<const char *> argv = {"uvmsim_lint"};
+    for (const std::string &arg : args)
+        argv.push_back(arg.c_str());
+    Options opts(static_cast<int>(argv.size()), argv.data());
+
+    if (opts.getBool("help")) {
+        usage();
+        return 0;
+    }
+    if (opts.getBool("list-checks")) {
+        for (const std::string &name : allCheckNames())
+            std::printf("%s\n", name.c_str());
+        return 0;
+    }
+
+    Config config;
+#ifdef UVMSIM_SOURCE_DIR
+    config.root = opts.get("root", UVMSIM_SOURCE_DIR);
+#else
+    config.root = opts.get("root", ".");
+#endif
+    config.checks = opts.getList("checks", {});
+    config.fix = opts.getBool("fix");
+    for (const std::string &name : config.checks) {
+        if (std::find(allCheckNames().begin(), allCheckNames().end(),
+                      name) == allCheckNames().end()) {
+            std::fprintf(stderr,
+                         "uvmsim_lint: unknown check '%s' (see "
+                         "--list-checks)\n",
+                         name.c_str());
+            return 2;
+        }
+    }
+
+    const std::vector<Finding> findings = runChecks(config);
+    if (opts.getBool("json")) {
+        std::printf("%s", toJson(findings).c_str());
+    } else {
+        for (const Finding &f : findings) {
+            if (f.line)
+                std::printf("%s:%zu: [%s] %s", f.file.c_str(), f.line,
+                            f.check.c_str(), f.message.c_str());
+            else if (!f.file.empty())
+                std::printf("%s: [%s] %s", f.file.c_str(),
+                            f.check.c_str(), f.message.c_str());
+            else
+                std::printf("[%s] %s", f.check.c_str(),
+                            f.message.c_str());
+            if (!f.suggestion.empty())
+                std::printf("  (%s)", f.suggestion.c_str());
+            std::printf("\n");
+        }
+        std::printf("uvmsim_lint: %zu finding%s\n", findings.size(),
+                    findings.size() == 1 ? "" : "s");
+    }
+    return findings.empty() ? 0 : 1;
+}
+
+} // namespace uvmsim::lint

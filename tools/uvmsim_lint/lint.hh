@@ -1,0 +1,142 @@
+/**
+ * @file
+ * uvmsim_lint -- domain-aware static analysis over the repo's own
+ * sources and docs.
+ *
+ * Generic linters cannot know that every CLI flag a tool consumes must
+ * be documented and exercised by a test, that docs/STATS.md must match
+ * the StatRegistry exactly, or that a stray randomness or wall-clock
+ * read silently breaks run determinism.  This library encodes those repo-specific rules as five
+ * checks, each unit-testable against fixture trees (see
+ * tests/tools/lint_test.cc) and runnable against the real repo by the
+ * uvmsim_lint binary:
+ *
+ *   flags        -- every option a tool consumes appears in its own
+ *                   usage text, in README/EXPERIMENTS/docs, and in at
+ *                   least one test; no stale flag references survive.
+ *                   Bench harness flags (bench/) need docs only.
+ *   stats        -- the names the live StatRegistry registers and the
+ *                   docs/STATS.md tables agree exactly, both ways.
+ *   trace        -- every trace::Category is parseable by parseSpec,
+ *                   named consistently, covered by allCategories, and
+ *                   documented.
+ *   determinism  -- libc rand/srand, the std random engines and
+ *                   device entropy, and wall-clock reads (libc
+ *                   time, clock, get-time-of-day, the std::chrono
+ *                   clocks) are banned outside
+ *                   src/sim/rng.hh; waive a line with
+ *                   "lint:allow(determinism)" on it or the line above.
+ *   headers      -- headers use "#pragma once" (convertible from
+ *                   #ifndef guards with --fix) and never say
+ *                   "using namespace" at file scope.
+ *
+ * The binary exits 0 when the tree is clean, 1 when any finding
+ * remains, and 2 on usage errors; --json emits machine-readable
+ * findings for CI tooling.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace uvmsim::lint
+{
+
+/** One rule violation, pointing as precisely as the rule allows. */
+struct Finding
+{
+    /** Which check produced this ("flags", "stats", ...). */
+    std::string check;
+
+    /** Repo-relative path; empty for repo-level findings. */
+    std::string file;
+
+    /** 1-based line number; 0 when the finding is file- or repo-wide. */
+    std::size_t line = 0;
+
+    /** Human-readable description of the violation. */
+    std::string message;
+
+    /** Mechanical remedy, when one exists (empty otherwise). */
+    std::string suggestion;
+};
+
+/** What to lint and how. */
+struct Config
+{
+    /** Repo root to analyze. */
+    std::string root = ".";
+
+    /** Subset of checks to run; empty runs every check. */
+    std::vector<std::string> checks;
+
+    /** Apply mechanical fixes (currently: header guard conversion). */
+    bool fix = false;
+};
+
+/** Names of every available check, in execution order. */
+const std::vector<std::string> &allCheckNames();
+
+/**
+ * Flag registry consistency.  Scans tools/ sources for Options
+ * accessor calls (opts.get("name"), getUint, getBool, ...), diffs the
+ * consumed set against the flags the same file mentions as "--name"
+ * (usage text and examples), and requires each consumed flag to appear
+ * in README.md, EXPERIMENTS.md or docs/ and in at least one test
+ * (tests/, an add_test in any CMakeLists.txt, or a CI workflow).
+ * bench/ harness flags are held to the documentation rule only.
+ */
+std::vector<Finding> checkFlags(const std::string &root);
+
+/**
+ * Stats registry vs docs/STATS.md, both directions.  `registered` is
+ * the ground-truth stat-name set -- pass enumerateRegisteredStats()
+ * for the real simulator, or a synthetic set in tests.  Per-SM names
+ * are normalized (sm0.tlb.hits -> smN.tlb.hits) to match the docs
+ * convention.
+ */
+std::vector<Finding> checkStats(const std::string &root,
+                                const std::set<std::string> &registered);
+
+/**
+ * Trace-category coverage: the trace.hh Category enum, the trace.cc
+ * parseSpec table, the allCategories constant and the docs must all
+ * agree on the exact category set.
+ */
+std::vector<Finding> checkTrace(const std::string &root);
+
+/** Determinism bans (see file comment) over src/tools/tests/bench/
+ *  examples sources. */
+std::vector<Finding> checkDeterminism(const std::string &root);
+
+/**
+ * Header hygiene over src/tools/bench headers: #pragma once guards
+ * (with `fix` the legacy #ifndef/#define/#endif guards are rewritten
+ * in place) and no file-scope "using namespace".
+ */
+std::vector<Finding> checkHeaders(const std::string &root, bool fix);
+
+/**
+ * Every stat name the real simulator registers, normalized, obtained
+ * by building and running a miniature simulation (backprop at 5% scale
+ * on one SM) and reading back RunResult::stats.
+ */
+std::set<std::string> enumerateRegisteredStats();
+
+/** Run the configured checks against config.root. */
+std::vector<Finding> runChecks(const Config &config);
+
+/** Render findings as a JSON array (stable field order). */
+std::string toJson(const std::vector<Finding> &findings);
+
+/**
+ * The uvmsim_lint command-line entry point (argv without argv[0]);
+ * returns the process exit status.  Kept in the library so tests can
+ * drive the real CLI surface.
+ */
+int runCli(const std::vector<std::string> &args);
+
+} // namespace uvmsim::lint

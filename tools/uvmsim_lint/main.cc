@@ -1,0 +1,25 @@
+/**
+ * @file
+ * uvmsim_lint -- the repo's domain-aware static checker (see lint.hh
+ * for the rules).  Runs clean on a healthy tree; every finding is a
+ * drift between code, docs and tests that a generic linter cannot see.
+ *
+ * Examples:
+ *   uvmsim_lint                          # lint the source tree
+ *   uvmsim_lint --root=/path/to/repo
+ *   uvmsim_lint --checks=headers --fix   # convert legacy guards
+ *   uvmsim_lint --json                   # machine-readable findings
+ *   uvmsim_lint --list-checks
+ */
+
+#include <string>
+#include <vector>
+
+#include "lint.hh"
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    return uvmsim::lint::runCli(args);
+}

@@ -50,6 +50,8 @@ usage()
         "  --scale=F                problem size multiplier "
         "(default 1.0)\n"
         "  --iterations=N           override iteration count\n"
+        "  --workload-seed=N        workload-generation seed "
+        "(default 42)\n"
         "  --oversubscription=PCT   working set as %% of device memory "
         "(0 = fits)\n"
         "  --device-mb=N            device memory override in MiB\n"
@@ -74,7 +76,8 @@ usage()
         "(1 tick = 1 ps; default 100us)\n"
         "  --stats / --stats-csv    dump the full statistics table\n"
         "  --analyze                print the access-pattern analysis\n"
-        "  --list                   list available workloads\n");
+        "  --list                   list available workloads\n"
+        "  --help                   print this text\n");
 }
 
 void

@@ -30,6 +30,47 @@ using namespace uvmsim;
 namespace
 {
 
+void
+usage()
+{
+    std::printf(
+        "uvmsim_sweep -- one-dimensional parameter sweeps over the "
+        "workload suite\n\n"
+        "options:\n"
+        "  --axis=NAME              swept axis: oversubscription|"
+        "eviction|prefetcher|reserve|buffer|fault-us|fault-batch|"
+        "warps|walkers\n"
+        "  --values=V[,V..]         axis values (default "
+        "105,110,125,150)\n"
+        "  --benchmarks=N[,N..]     workloads to sweep (default: the "
+        "paper suite)\n"
+        "  --metric=NAME            kernel_ms|far_faults|pages_migrated"
+        "|pages_evicted|pages_thrashed|read_bw_gbps, or any raw stat "
+        "name\n"
+        "  --scale=F                problem size multiplier "
+        "(default 1.0)\n"
+        "  --workload-seed=N        workload-generation seed "
+        "(default 42)\n"
+        "  --oversubscription=PCT   base config when not the axis "
+        "(default 110)\n"
+        "  --prefetcher=P           base prefetcher (default TBNp)\n"
+        "  --prefetcher-after=P     base post-capacity prefetcher\n"
+        "  --eviction=E             base eviction policy (default "
+        "TBNe)\n"
+        "  --reserve=PCT            base LRU reservation %%\n"
+        "  --buffer=PCT             base free-page buffer %%\n"
+        "  --seed=N                 policy RNG seed (default 1)\n"
+        "  --trace=SPEC             event tracing per cell (see "
+        "uvmsim_run)\n"
+        "  --trace-out=PATH         artifact base path per traced "
+        "cell\n"
+        "  --epoch-ticks=N          time-series epoch length in "
+        "ticks\n"
+        "  --jobs=N                 concurrent cells (default: "
+        "hardware concurrency)\n"
+        "  --help                   print this text\n");
+}
+
 SimConfig
 baseConfig(const Options &opts)
 {
@@ -141,6 +182,10 @@ int
 main(int argc, char **argv)
 {
     Options opts(argc, argv);
+    if (opts.getBool("help")) {
+        usage();
+        return 0;
+    }
     std::string axis = opts.get("axis", "oversubscription");
     auto values = opts.getList("values", {"105", "110", "125", "150"});
     auto benchmarks = opts.getList("benchmarks", allWorkloadNames());
