@@ -1,0 +1,133 @@
+#!/bin/sh
+# Macro-benchmark of the simulator core: time the standard six-policy
+# eviction matrix (7 workloads x 6 policies = 42 full simulations) and
+# record machine-readable throughput in BENCH_simcore.json, so every
+# PR can report its before/after sims/sec on the same machine.
+#
+# Usage: scripts/bench_simcore.sh [build-dir] [--quick]
+#
+#   --quick       Run at scale 0.25 (CI smoke; seconds instead of
+#                 minutes on slow runners).
+#
+# Environment:
+#   REPS          Timed repetitions per binary; best wall time wins
+#                 (default 3).
+#   BASELINE_BIN  Optional path to an older uvmsim_sweep binary.  When
+#                 set it is timed with identical arguments and the
+#                 JSON gains baseline_* fields plus the speedup, and
+#                 the two outputs are compared cell for cell.
+#   OUT           Output JSON path (default BENCH_simcore.json).
+set -e
+BUILD=build
+QUICK=false
+for arg in "$@"; do
+    case "$arg" in
+        --quick) QUICK=true ;;
+        *) BUILD=$arg ;;
+    esac
+done
+SWEEP="$BUILD/tools/uvmsim_sweep"
+if [ ! -x "$SWEEP" ]; then
+    echo "error: $SWEEP not built (run cmake --build $BUILD first)" >&2
+    exit 1
+fi
+REPS=${REPS:-3}
+OUT=${OUT:-BENCH_simcore.json}
+
+SCALE=1
+[ "$QUICK" = true ] && SCALE=0.25
+# The standard matrix: every eviction policy of the paper at 110%
+# oversubscription, serial, so the number measures the simulator core
+# and not the run executor.
+ARGS="--axis=eviction --values=LRU4K,Re,SLe,TBNe,LRU2MB,MRU4K \
+      --oversubscription=110 --scale=$SCALE --metric=kernel_ms --jobs=1"
+
+now_s() { date +%s.%N; }
+elapsed() { awk -v a="$1" -v b="$2" 'BEGIN { printf "%.3f", b - a }'; }
+
+# time_best <binary> <output-file>: echoes best-of-$REPS wall seconds.
+time_best() {
+    best=""
+    i=0
+    while [ "$i" -lt "$REPS" ]; do
+        START=$(now_s)
+        # shellcheck disable=SC2086
+        "$1" $ARGS >"$2" 2>/dev/null
+        WALL=$(elapsed "$START" "$(now_s)")
+        if [ -z "$best" ] || awk -v w="$WALL" -v b="$best" \
+            'BEGIN { exit !(w < b) }'; then
+            best=$WALL
+        fi
+        i=$((i + 1))
+    done
+    echo "$best"
+}
+
+# Data cells and total simulated kernel-ms from a sweep table (skips
+# the header lines).
+count_cells() {
+    awk '!/^sweep:/ && !/^benchmark/ && NF > 1 { n += NF - 1 } \
+         END { print n + 0 }' "$1"
+}
+sum_kernel_ms() {
+    awk '!/^sweep:/ && !/^benchmark/ && NF > 1 \
+         { for (i = 2; i <= NF; ++i) s += $i } \
+         END { printf "%.3f", s }' "$1"
+}
+
+WALL=$(time_best "$SWEEP" BENCH_simcore_out.txt)
+CELLS=$(count_cells BENCH_simcore_out.txt)
+SIM_MS=$(sum_kernel_ms BENCH_simcore_out.txt)
+SIMS_PER_SEC=$(awk -v c="$CELLS" -v w="$WALL" \
+    'BEGIN { printf "%.3f", c / w }')
+SIM_MS_PER_S=$(awk -v m="$SIM_MS" -v w="$WALL" \
+    'BEGIN { printf "%.1f", m / w }')
+
+BASELINE_FIELDS=""
+if [ -n "$BASELINE_BIN" ]; then
+    if [ ! -x "$BASELINE_BIN" ]; then
+        echo "error: BASELINE_BIN=$BASELINE_BIN is not executable" >&2
+        exit 1
+    fi
+    BASE_WALL=$(time_best "$BASELINE_BIN" BENCH_simcore_base.txt)
+    BASE_SIMS=$(awk -v c="$(count_cells BENCH_simcore_base.txt)" \
+        -v w="$BASE_WALL" 'BEGIN { printf "%.3f", c / w }')
+    SPEEDUP=$(awk -v b="$BASE_WALL" -v w="$WALL" \
+        'BEGIN { printf "%.2f", b / w }')
+    if cmp -s BENCH_simcore_out.txt BENCH_simcore_base.txt; then
+        SAME=true
+    else
+        SAME=false
+    fi
+    rm -f BENCH_simcore_base.txt
+    BASELINE_FIELDS=$(cat <<EOF
+  "baseline_wall_s": $BASE_WALL,
+  "baseline_sims_per_sec": $BASE_SIMS,
+  "speedup_vs_baseline": $SPEEDUP,
+  "baseline_output_identical": $SAME,
+EOF
+)
+fi
+rm -f BENCH_simcore_out.txt
+
+HOST=$(hostname 2>/dev/null || echo unknown)
+CORES=$(nproc 2>/dev/null || echo 1)
+CPU=$(awk -F': ' '/model name/ { print $2; exit }' /proc/cpuinfo \
+    2>/dev/null || echo unknown)
+
+cat >"$OUT" <<EOF
+{
+  "matrix": "eviction x {LRU4K,Re,SLe,TBNe,LRU2MB,MRU4K}, 7 workloads, 110% oversubscription, scale $SCALE, jobs 1",
+  "cells": $CELLS,
+  "reps": $REPS,
+  "wall_s": $WALL,
+  "sims_per_sec": $SIMS_PER_SEC,
+  "simulated_kernel_ms": $SIM_MS,
+  "simulated_ms_per_wall_s": $SIM_MS_PER_S,
+${BASELINE_FIELDS}
+  "host": "$HOST",
+  "cores": $CORES,
+  "cpu": "$CPU"
+}
+EOF
+cat "$OUT"

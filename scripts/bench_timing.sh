@@ -32,17 +32,23 @@ PARALLEL=$(elapsed "$START" "$(now_s)")
 
 if cmp -s BENCH_parallel_serial.txt BENCH_parallel_parallel.txt; then
     IDENTICAL=true
+    rm -f BENCH_parallel_serial.txt BENCH_parallel_parallel.txt
 else
     IDENTICAL=false
 fi
-rm -f BENCH_parallel_serial.txt BENCH_parallel_parallel.txt
 
 SPEEDUP=$(awk -v s="$SERIAL" -v p="$PARALLEL" \
     'BEGIN { printf "%.3f", s / p }')
 
+HOST=$(hostname 2>/dev/null || echo unknown)
+CPU=$(awk -F': ' '/model name/ { print $2; exit }' /proc/cpuinfo \
+    2>/dev/null || echo unknown)
+
 cat >BENCH_parallel.json <<EOF
 {
   "sweep": "oversubscription x 8 values, 3 workloads, scale 0.25",
+  "host": "$HOST",
+  "cpu": "$CPU",
   "cores": $JOBS,
   "serial_jobs": 1,
   "serial_wall_s": $SERIAL,
@@ -53,3 +59,10 @@ cat >BENCH_parallel.json <<EOF
 }
 EOF
 cat BENCH_parallel.json
+
+if [ "$IDENTICAL" != true ]; then
+    echo "error: jobs=1 and jobs=$JOBS sweep outputs diverge" >&2
+    echo "       (kept BENCH_parallel_serial.txt and" >&2
+    echo "        BENCH_parallel_parallel.txt for diffing)" >&2
+    exit 1
+fi

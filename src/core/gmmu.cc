@@ -122,10 +122,39 @@ Gmmu::translate(const MemAccess &access, AccessDone done)
             ticksToNanoseconds(start - eq_.curTick()));
     }
 
-    eq_.schedule(start + config_.page_walk_latency,
-                 [this, access, done = std::move(done)]() mutable {
-                     walkDone(access, std::move(done));
-                 });
+    eq_.scheduleCall(start + config_.page_walk_latency,
+                     &Gmmu::walkDoneThunk, this,
+                     allocWalk(access, std::move(done)));
+}
+
+std::uint32_t
+Gmmu::allocWalk(const MemAccess &access, AccessDone done)
+{
+    std::uint32_t slot;
+    if (walk_free_ != ~std::uint32_t{0}) {
+        slot = walk_free_;
+        walk_free_ = walks_[slot].next;
+    } else {
+        walks_.emplace_back();
+        slot = static_cast<std::uint32_t>(walks_.size() - 1);
+    }
+    walks_[slot].access = access;
+    walks_[slot].done = std::move(done);
+    return slot;
+}
+
+void
+Gmmu::walkDoneThunk(void *gmmu, std::uint64_t slot64)
+{
+    auto *self = static_cast<Gmmu *>(gmmu);
+    auto slot = static_cast<std::uint32_t>(slot64);
+    // Move out and recycle first: walkDone may start new walks and
+    // reallocate the pool.
+    MemAccess access = self->walks_[slot].access;
+    AccessDone done = std::move(self->walks_[slot].done);
+    self->walks_[slot].next = self->walk_free_;
+    self->walk_free_ = slot;
+    self->walkDone(access, std::move(done));
 }
 
 void
@@ -151,11 +180,9 @@ Gmmu::raiseFault(const MemAccess &access, AccessDone done)
     if (config_.mshr_entries > 0 && !mshr_.isPending(page) &&
         mshr_.pendingPages() >= config_.mshr_entries) {
         ++mshr_stalls_;
-        eq_.scheduleAfter(config_.mshr_retry_latency,
-                          [this, access,
-                           done = std::move(done)]() mutable {
-                              walkDone(access, std::move(done));
-                          });
+        eq_.scheduleCallAfter(config_.mshr_retry_latency,
+                              &Gmmu::walkDoneThunk, this,
+                              allocWalk(access, std::move(done)));
         return;
     }
 

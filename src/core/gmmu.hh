@@ -205,6 +205,24 @@ class Gmmu
     /** After the page walk: complete or fault. */
     void walkDone(const MemAccess &access, AccessDone done);
 
+    /**
+     * One in-flight page-table walk (or MSHR-full retry), pooled so
+     * the walk-completion event is a POD (fn, this, slot) record --
+     * the access + done closure would otherwise overflow any inline
+     * callback storage and heap-allocate on every TLB miss.
+     */
+    struct WalkRequest
+    {
+        MemAccess access;
+        AccessDone done;
+        std::uint32_t next = 0; //!< Free-list link.
+    };
+
+    std::uint32_t allocWalk(const MemAccess &access, AccessDone done);
+
+    /** POD event thunk: pops the slot and runs walkDone. */
+    static void walkDoneThunk(void *gmmu, std::uint64_t slot);
+
     /** Register a far-fault and wake the fault engine. */
     void raiseFault(const MemAccess &access, AccessDone done);
 
@@ -282,6 +300,9 @@ class Gmmu
 
     std::deque<PageNum> fault_queue_;
     bool engine_busy_ = false;
+
+    std::vector<WalkRequest> walks_;
+    std::uint32_t walk_free_ = ~std::uint32_t{0};
 
     /** Earliest-free tick of each page-table walker thread. */
     std::vector<Tick> walker_free_;

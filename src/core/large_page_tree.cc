@@ -20,7 +20,22 @@ LargePageTree::LargePageTree(Addr base_addr, std::uint32_t num_leaves)
               "[1, 32]", num_leaves_);
     }
     height_ = static_cast<std::uint32_t>(std::bit_width(num_leaves_) - 1);
-    leaf_bits_.assign(num_leaves_, 0);
+}
+
+void
+LargePageTree::setBit(std::uint32_t leaf, std::uint32_t bit)
+{
+    leaf_bits_[leaf] |= static_cast<std::uint16_t>(1u << bit);
+    for (std::uint32_t n = num_leaves_ + leaf; n >= 1; n >>= 1)
+        ++node_pages_[n];
+}
+
+void
+LargePageTree::clearBit(std::uint32_t leaf, std::uint32_t bit)
+{
+    leaf_bits_[leaf] &= static_cast<std::uint16_t>(~(1u << bit));
+    for (std::uint32_t n = num_leaves_ + leaf; n >= 1; n >>= 1)
+        --node_pages_[n];
 }
 
 bool
@@ -53,7 +68,8 @@ LargePageTree::markPage(PageNum page)
     std::uint32_t leaf = leafOf(page);
     std::uint32_t bit =
         static_cast<std::uint32_t>(page - leafFirstPage(leaf));
-    leaf_bits_[leaf] |= static_cast<std::uint16_t>(1u << bit);
+    if (!((leaf_bits_[leaf] >> bit) & 1u))
+        setBit(leaf, bit);
 }
 
 void
@@ -62,7 +78,8 @@ LargePageTree::unmarkPage(PageNum page)
     std::uint32_t leaf = leafOf(page);
     std::uint32_t bit =
         static_cast<std::uint32_t>(page - leafFirstPage(leaf));
-    leaf_bits_[leaf] &= static_cast<std::uint16_t>(~(1u << bit));
+    if ((leaf_bits_[leaf] >> bit) & 1u)
+        clearBit(leaf, bit);
 }
 
 bool
@@ -80,17 +97,6 @@ LargePageTree::leafMarkedPages(std::uint32_t leaf) const
     if (leaf >= num_leaves_)
         panic("leaf index %u out of range", leaf);
     return static_cast<std::uint32_t>(std::popcount(leaf_bits_[leaf]));
-}
-
-std::uint64_t
-LargePageTree::markedUnder(std::uint32_t height, std::uint32_t index) const
-{
-    std::uint32_t first = firstLeafUnder(height, index);
-    std::uint32_t count = leavesUnder(height);
-    std::uint64_t pages = 0;
-    for (std::uint32_t l = first; l < first + count; ++l)
-        pages += std::popcount(leaf_bits_[l]);
-    return pages * pageSize;
 }
 
 std::uint64_t
@@ -153,7 +159,7 @@ LargePageTree::fillPages(std::uint32_t height, std::uint32_t index,
         if (bits == 0xffff)
             return filled; // leaf full (whole subtree was this leaf)
         std::uint32_t bit = std::countr_one(bits);
-        leaf_bits_[i] |= static_cast<std::uint16_t>(1u << bit);
+        setBit(i, bit);
         out.push_back(leafFirstPage(i) + bit);
         ++filled;
     }
@@ -190,7 +196,7 @@ LargePageTree::drainPages(std::uint32_t height, std::uint32_t index,
         std::uint32_t bit =
             static_cast<std::uint32_t>(
                 std::bit_width(static_cast<unsigned>(bits))) - 1;
-        leaf_bits_[i] &= static_cast<std::uint16_t>(~(1u << bit));
+        clearBit(i, bit);
         out.push_back(leafFirstPage(i) + bit);
         ++drained;
     }
@@ -208,7 +214,7 @@ LargePageTree::faultFill(PageNum faulty_page)
     PageNum first = leafFirstPage(leaf);
     for (std::uint32_t p = 0; p < pagesPerBasicBlock; ++p) {
         if (!((leaf_bits_[leaf] >> p) & 1u)) {
-            leaf_bits_[leaf] |= static_cast<std::uint16_t>(1u << p);
+            setBit(leaf, p);
             out.push_back(first + p);
         }
     }
@@ -249,7 +255,7 @@ LargePageTree::evictDrain(std::uint32_t victim_leaf)
     PageNum first = leafFirstPage(victim_leaf);
     for (std::uint32_t p = 0; p < pagesPerBasicBlock; ++p) {
         if ((leaf_bits_[victim_leaf] >> p) & 1u) {
-            leaf_bits_[victim_leaf] &= static_cast<std::uint16_t>(~(1u << p));
+            clearBit(victim_leaf, p);
             out.push_back(first + p);
         }
     }
@@ -282,7 +288,14 @@ LargePageTree::evictDrain(std::uint32_t victim_leaf)
 bool
 LargePageTree::checkConsistent() const
 {
-    // Aggregates must equal the sum of their children at every level.
+    // Leaf counters must match the bitmaps...
+    for (std::uint32_t l = 0; l < num_leaves_; ++l) {
+        if (node_pages_[num_leaves_ + l] !=
+            std::popcount(leaf_bits_[l]))
+            return false;
+    }
+    // ...and aggregates must equal the sum of their children at every
+    // level.
     for (std::uint32_t h = 1; h <= height_; ++h) {
         for (std::uint32_t i = 0; i < (num_leaves_ >> h); ++i) {
             std::uint64_t whole = markedUnder(h, i);

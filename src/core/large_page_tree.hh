@@ -23,10 +23,19 @@
  *    whose valid size falls strictly below 50% of its capacity has its
  *    fuller child drained down to the emptier child's size.  This
  *    exactly reproduces the paper's Figure 8 example.
+ *
+ * Storage is two small fixed arrays inside the object -- per-leaf
+ * 16-bit page bitmaps plus packed per-node marked-page counters in
+ * implicit binary-heap layout (node (h, i) lives at heap index
+ * (num_leaves >> h) + i, children of heap node n at 2n and 2n+1).
+ * Every tree fits in under 200 contiguous bytes, balancing walks are
+ * cache-linear, and a node's marked size is a single array read
+ * instead of a leaf scan.
  */
 
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -149,9 +158,28 @@ class LargePageTree
         return 1u << height;
     }
 
-    /** Marked bytes in the leaf range of node (h, i). */
-    std::uint64_t markedUnder(std::uint32_t height,
-                              std::uint32_t index) const;
+    /** Heap index of node (h, i); root is 1, leaves start at
+     *  num_leaves. */
+    std::uint32_t
+    heapIndex(std::uint32_t height, std::uint32_t index) const
+    {
+        return (num_leaves_ >> height) + index;
+    }
+
+    /** Marked bytes in the leaf range of node (h, i): one array read. */
+    std::uint64_t
+    markedUnder(std::uint32_t height, std::uint32_t index) const
+    {
+        return static_cast<std::uint64_t>(
+                   node_pages_[heapIndex(height, index)]) *
+               pageSize;
+    }
+
+    /** Mark page `bit` of `leaf`; updates every ancestor counter. */
+    void setBit(std::uint32_t leaf, std::uint32_t bit);
+
+    /** Unmark page `bit` of `leaf`; updates every ancestor counter. */
+    void clearBit(std::uint32_t leaf, std::uint32_t bit);
 
     /**
      * Fill `pages` unmarked pages under node (h, i), descending into
@@ -178,7 +206,14 @@ class LargePageTree
     std::uint32_t height_;
 
     /** Per-leaf bitmap of marked 4KB pages (bit p = page p of leaf). */
-    std::vector<std::uint16_t> leaf_bits_;
+    std::array<std::uint16_t, blocksPerLargePage> leaf_bits_{};
+
+    /**
+     * Marked-page counts for every node, implicit heap layout (index 0
+     * unused).  Max count is 512 pages (a full 2MB root), so uint16
+     * suffices; the whole array is 128 bytes.
+     */
+    std::array<std::uint16_t, 2 * blocksPerLargePage> node_pages_{};
 };
 
 } // namespace uvmsim

@@ -79,9 +79,14 @@ ManagedSpace::allocate(std::uint64_t bytes, std::string name)
     next_base_ = (end + largePageSize - 1) & ~(largePageSize - 1);
 
     for (const auto &tree : ref.trees()) {
-        std::uint64_t slot = tree->baseAddr() / largePageSize;
-        slot_to_tree_[slot] = tree.get();
-        slot_to_alloc_[slot] = &ref;
+        std::uint64_t idx =
+            tree->baseAddr() / largePageSize - vaBase / largePageSize;
+        if (idx >= tree_by_slot_.size()) {
+            tree_by_slot_.resize(idx + 1, nullptr);
+            alloc_by_slot_.resize(idx + 1, nullptr);
+        }
+        tree_by_slot_[idx] = tree.get();
+        alloc_by_slot_[idx] = &ref;
     }
 
     total_user_bytes_ += ref.userBytes();
@@ -106,19 +111,24 @@ ManagedSpace::treeValidSizes() const
 ManagedAllocation *
 ManagedSpace::allocationFor(PageNum page) const
 {
-    auto it = slot_to_alloc_.find(pageBase(page) / largePageSize);
-    if (it == slot_to_alloc_.end())
+    Addr a = pageBase(page);
+    std::uint64_t slot = a / largePageSize;
+    constexpr std::uint64_t first = vaBase / largePageSize;
+    if (slot < first || slot - first >= alloc_by_slot_.size())
         return nullptr;
-    return it->second->contains(pageBase(page)) ? it->second : nullptr;
+    ManagedAllocation *alloc = alloc_by_slot_[slot - first];
+    return alloc && alloc->contains(a) ? alloc : nullptr;
 }
 
 LargePageTree *
 ManagedSpace::treeFor(PageNum page) const
 {
-    auto it = slot_to_tree_.find(pageBase(page) / largePageSize);
-    if (it == slot_to_tree_.end())
+    std::uint64_t slot = pageBase(page) / largePageSize;
+    constexpr std::uint64_t first = vaBase / largePageSize;
+    if (slot < first || slot - first >= tree_by_slot_.size())
         return nullptr;
-    return it->second->covers(page) ? it->second : nullptr;
+    LargePageTree *tree = tree_by_slot_[slot - first];
+    return tree && tree->covers(page) ? tree : nullptr;
 }
 
 } // namespace uvmsim

@@ -17,7 +17,6 @@
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "core/large_page_tree.hh"
@@ -144,9 +143,14 @@ class ManagedSpace
     Addr next_base_;
     std::vector<std::unique_ptr<ManagedAllocation>> allocations_;
 
-    /** 2MB-slot index -> tree, for O(1) page-to-tree lookup. */
-    std::unordered_map<std::uint64_t, LargePageTree *> slot_to_tree_;
-    std::unordered_map<std::uint64_t, ManagedAllocation *> slot_to_alloc_;
+    /**
+     * Per-2MB-slot lookup tables, indexed by (slot - vaBase slot).
+     * Allocations bump upward from vaBase, so slots are dense: a
+     * page-to-tree lookup is one bounds check plus one array read --
+     * this sits on the fault-service, eviction and prefetch loops.
+     */
+    std::vector<LargePageTree *> tree_by_slot_;
+    std::vector<ManagedAllocation *> alloc_by_slot_;
 
     std::uint64_t total_user_bytes_ = 0;
     std::uint64_t total_padded_bytes_ = 0;

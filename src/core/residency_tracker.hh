@@ -15,12 +15,20 @@
  * The tracker also maintains a flat page-granular LRU (for the
  * traditional LRU-4KB policy) and an O(1) uniform random sampler (for
  * the Re policy).
+ *
+ * All three recency orders are intrusive doubly-linked lists threaded
+ * through flat record arenas by 32-bit index links -- no std::list
+ * nodes, no per-page heap allocation, and exactly one hash lookup per
+ * tracker operation (a page's record caches its owning chunk's arena
+ * slot, so the hierarchical touch needs no chunk hash at all).  Blocks
+ * live in a fixed 32-entry array inside their chunk record with a
+ * 16-bit resident-page bitmap each, making block membership queries
+ * pure bit tests.
  */
 
 #pragma once
 
 #include <cstdint>
-#include <list>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -50,7 +58,7 @@ class ResidencyTracker
     bool isTracked(PageNum page) const;
 
     /** Number of resident pages tracked. */
-    std::uint64_t size() const { return page_pos_.size(); }
+    std::uint64_t size() const { return slot_of_.size(); }
 
     /**
      * Flat 4KB LRU victim: the oldest page after skipping `skip_pages`
@@ -105,35 +113,78 @@ class ResidencyTracker
     bool checkConsistent() const;
 
   private:
-    // ---- flat page LRU (MRU at front) ----
-    std::list<PageNum> page_order_;
-    std::unordered_map<PageNum, std::list<PageNum>::iterator> page_pos_;
+    /** Sentinel for "no record" in 32-bit index links. */
+    static constexpr std::uint32_t npos = ~std::uint32_t{0};
 
-    // ---- hierarchical structures ----
-    struct ChunkEntry
+    /** Sentinel for "no block" in the per-chunk 8-bit links. */
+    static constexpr std::uint8_t bnil = 0xff;
+
+    /** One tracked page: flat-LRU links plus cached hierarchy slots. */
+    struct PageRec
     {
-        /** Blocks of this chunk, MRU at front. */
-        std::list<std::uint64_t> block_order;
-        std::unordered_map<std::uint64_t,
-                           std::list<std::uint64_t>::iterator> block_pos;
-        /** Resident pages per block of this chunk. */
-        std::unordered_map<std::uint64_t, std::uint64_t> block_pages;
-        /** Total resident pages in the chunk. */
-        std::uint64_t pages = 0;
-        /** Position in chunk_order_. */
-        std::list<std::uint64_t>::iterator self;
+        PageNum page = 0;
+        std::uint32_t prev = npos;  //!< Flat LRU toward MRU.
+        std::uint32_t next = npos;  //!< Flat LRU toward LRU / free link.
+        std::uint32_t chunk = npos; //!< Owning chunk's arena slot.
+        std::uint32_t rand_idx = 0; //!< Position in random_pool_.
     };
 
-    /** 2MB chunks, MRU at front. */
-    std::list<std::uint64_t> chunk_order_;
-    std::unordered_map<std::uint64_t, ChunkEntry> chunks_;
+    /** One 64KB basic block inside its chunk's fixed array. */
+    struct BlockRec
+    {
+        std::uint16_t pages = 0;     //!< Resident pages (0..16).
+        std::uint16_t page_bits = 0; //!< Bit p: page p resident.
+        std::uint8_t prev = bnil;    //!< Block LRU toward MRU.
+        std::uint8_t next = bnil;    //!< Block LRU toward LRU.
+    };
 
-    // ---- O(1) random sampling ----
-    std::vector<PageNum> random_pool_;
-    std::unordered_map<PageNum, std::size_t> random_pos_;
+    /** One 2MB chunk: chunk-LRU links plus its 32 blocks. */
+    struct ChunkRec
+    {
+        std::uint64_t slot_id = 0; //!< Global 2MB slot index.
+        std::uint64_t pages = 0;   //!< Resident pages in the chunk.
+        std::uint32_t prev = npos; //!< Chunk LRU toward MRU.
+        std::uint32_t next = npos; //!< Chunk LRU toward LRU / free link.
+        std::uint8_t block_head = bnil; //!< MRU block.
+        std::uint8_t block_tail = bnil; //!< LRU block.
+        BlockRec blocks[blocksPerLargePage];
+    };
 
-    void touchHierarchy(PageNum page);
-    void removeFromHierarchy(PageNum page);
+    std::uint32_t allocPage();
+    void freePage(std::uint32_t slot);
+    std::uint32_t allocChunk();
+    void freeChunk(std::uint32_t slot);
+
+    /** Unlink a page from the flat LRU list (links left dangling). */
+    void unlinkPage(std::uint32_t slot);
+    /** Link a page at the MRU (head) end of the flat LRU list. */
+    void linkPageFront(std::uint32_t slot);
+
+    void unlinkChunk(std::uint32_t slot);
+    void linkChunkFront(std::uint32_t slot);
+
+    void unlinkBlock(ChunkRec &chunk, std::uint8_t b);
+    void linkBlockFront(ChunkRec &chunk, std::uint8_t b);
+
+    /** Move the page's chunk and block to their MRU ends. */
+    void touchHierarchy(const PageRec &rec, std::uint8_t b);
+
+    // ---- flat page LRU (MRU at head) ----
+    std::vector<PageRec> page_recs_;
+    std::uint32_t page_free_ = npos;
+    std::uint32_t page_head_ = npos;
+    std::uint32_t page_tail_ = npos;
+    std::unordered_map<PageNum, std::uint32_t> slot_of_;
+
+    // ---- hierarchical structures (chunk MRU at head) ----
+    std::vector<ChunkRec> chunk_recs_;
+    std::uint32_t chunk_free_ = npos;
+    std::uint32_t chunk_head_ = npos;
+    std::uint32_t chunk_tail_ = npos;
+    std::unordered_map<std::uint64_t, std::uint32_t> chunk_of_;
+
+    // ---- O(1) random sampling (stores page arena slots) ----
+    std::vector<std::uint32_t> random_pool_;
 };
 
 } // namespace uvmsim

@@ -54,9 +54,13 @@ class DramModel
     {
         Tick now = eq_.curTick();
         Tick start = std::max(now, busy_until_);
-        Tick occupy = static_cast<Tick>(
-            ticks_per_byte_ * static_cast<double>(bytes) + 0.5);
-        busy_until_ = start + occupy;
+        // Line size is constant in practice; memoize the float math.
+        if (bytes != memo_bytes_) {
+            memo_bytes_ = bytes;
+            memo_occupy_ = static_cast<Tick>(
+                ticks_per_byte_ * static_cast<double>(bytes) + 0.5);
+        }
+        busy_until_ = start + memo_occupy_;
         ++accesses_;
         bytes_ += bytes;
         return busy_until_ + latency_;
@@ -75,6 +79,8 @@ class DramModel
     Tick latency_;
     double ticks_per_byte_;
     Tick busy_until_ = 0;
+    std::uint32_t memo_bytes_ = 0;
+    Tick memo_occupy_ = 0;
 
     stats::Counter accesses_;
     stats::Counter bytes_;

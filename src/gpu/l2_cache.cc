@@ -1,6 +1,11 @@
 #include "l2_cache.hh"
 
+#include <algorithm>
 #include <bit>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
 
 #include "sim/logging.hh"
 
@@ -24,49 +29,121 @@ L2Cache::L2Cache(std::uint64_t capacity_bytes, std::uint32_t assoc,
     if (capacity_bytes == 0 || capacity_bytes % set_bytes != 0)
         panic("L2Cache: capacity not divisible by set size");
     num_sets_ = capacity_bytes / set_bytes;
-    lines_.assign(num_sets_ * assoc_, Line{});
-}
-
-std::uint64_t
-L2Cache::setIndex(Addr addr) const
-{
-    return (addr / line_bytes_) % num_sets_;
-}
-
-Addr
-L2Cache::tagOf(Addr addr) const
-{
-    return addr / line_bytes_;
+    line_shift_ = static_cast<std::uint32_t>(
+        std::bit_width(line_bytes_) - 1);
+    sets_pow2_ = std::has_single_bit(num_sets_);
+    set_mask_ = num_sets_ - 1;
+    if (num_sets_ > 0xffffffffull)
+        panic("L2Cache: more than 2^32 sets unsupported");
+    mod_magic_ = ~std::uint64_t{0} / num_sets_ + 1;
+    if (assoc_ > 0xff)
+        panic("L2Cache: associativity above 255 unsupported");
+    tags_.assign(num_sets_ * assoc_, invalidTag);
+    rank_.resize(num_sets_ * assoc_);
+    for (std::uint64_t s = 0; s < num_sets_; ++s)
+        for (std::uint32_t w = 0; w < assoc_; ++w)
+            rank_[s * assoc_ + w] = static_cast<std::uint8_t>(w);
+    dirty_.assign(num_sets_ * assoc_, 0);
+    page_lines_.assign(filterBuckets, 0);
 }
 
 bool
 L2Cache::access(Addr addr, bool is_write)
 {
-    std::uint64_t set = setIndex(addr);
-    Addr tag = tagOf(addr);
-    Line *base = &lines_[set * assoc_];
+    if ((addr >> line_shift_) >= invalidTag)
+        panic("L2Cache: address %llx beyond the 32-bit tag range",
+              static_cast<unsigned long long>(addr));
+    std::uint64_t base = setIndex(addr) * assoc_;
+    std::uint32_t tag = tagOf(addr);
+    std::uint32_t *tags = &tags_[base];
 
-    Line *victim = base;
-    for (std::uint32_t w = 0; w < assoc_; ++w) {
-        Line &line = base[w];
-        if (line.valid && line.tag == tag) {
-            line.lru = ++tick_;
-            line.dirty = line.dirty || is_write;
-            ++hits_;
-            return true;
+    // One branch-free pass over the set's (single cache line of) tags:
+    // a tag is present in at most one way, so a full last-match scan
+    // finds the hit way, and the same pass records the last invalid
+    // way -- the fill target the per-way scan picked.  The UVM
+    // workloads are overwhelmingly miss-dominated, so full vectorized
+    // scans beat early-exit probing.
+    std::uint32_t hit_way = invalidTag;
+    std::uint32_t inv_way = invalidTag;
+#if defined(__SSE2__)
+    if (assoc_ % 4 == 0) {
+        // GCC cannot auto-vectorize a last-match-index scan, so build
+        // the match masks explicitly; at most one tag matches, so the
+        // lowest hit bit is the hit and the highest invalid bit is the
+        // scalar loop's last-invalid way.
+        const __m128i vtag = _mm_set1_epi32(static_cast<int>(tag));
+        const __m128i vinv = _mm_set1_epi32(-1);
+        std::uint32_t hm = 0;
+        std::uint32_t im = 0;
+        for (std::uint32_t w = 0; w < assoc_; w += 4) {
+            __m128i v = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(tags + w));
+            hm |= static_cast<std::uint32_t>(_mm_movemask_ps(
+                      _mm_castsi128_ps(_mm_cmpeq_epi32(v, vtag))))
+                  << w;
+            im |= static_cast<std::uint32_t>(_mm_movemask_ps(
+                      _mm_castsi128_ps(_mm_cmpeq_epi32(v, vinv))))
+                  << w;
         }
-        if (!line.valid) {
-            victim = &line;
-        } else if (victim->valid && line.lru < victim->lru) {
-            victim = &line;
+        if (hm != 0)
+            hit_way = static_cast<std::uint32_t>(std::countr_zero(hm));
+        if (im != 0)
+            inv_way = static_cast<std::uint32_t>(std::bit_width(im)) - 1;
+    } else
+#endif
+    {
+        for (std::uint32_t w = 0; w < assoc_; ++w) {
+            if (tags[w] == tag)
+                hit_way = w;
+            if (tags[w] == invalidTag)
+                inv_way = w;
         }
     }
+    if (hit_way != invalidTag) {
+        touchRank(base, hit_way);
+        dirty_[base + hit_way] |= is_write;
+        ++hits_;
+        return true;
+    }
 
-    // Miss: fill into the invalid way or the LRU way.
-    victim->valid = true;
-    victim->tag = tag;
-    victim->dirty = is_write;
-    victim->lru = ++tick_;
+    // Miss: fill into the (last) invalid way, else the rank-0 way --
+    // ranks are a permutation ordering valid ways exactly as recency
+    // timestamps would, so rank 0 is the victim the timestamped tag
+    // store chose.
+    std::uint32_t victim = inv_way;
+    if (victim == invalidTag) {
+        const std::uint8_t *ranks = &rank_[base];
+        victim = 0;
+#if defined(__SSE2__)
+        if (assoc_ % 16 == 0) {
+            for (std::uint32_t w = 0; w < assoc_; w += 16) {
+                __m128i v = _mm_loadu_si128(
+                    reinterpret_cast<const __m128i *>(ranks + w));
+                std::uint32_t m = static_cast<std::uint32_t>(
+                    _mm_movemask_epi8(
+                        _mm_cmpeq_epi8(v, _mm_setzero_si128())));
+                if (m != 0) {
+                    victim = w + static_cast<std::uint32_t>(
+                                     std::countr_zero(m));
+                    break;
+                }
+            }
+        } else
+#endif
+        {
+            for (std::uint32_t w = 0; w < assoc_; ++w) {
+                if (ranks[w] == 0)
+                    victim = w;
+            }
+        }
+        Addr old_page =
+            static_cast<Addr>(tags[victim]) >> (pageShift - line_shift_);
+        --page_lines_[old_page & (filterBuckets - 1)];
+    }
+    ++page_lines_[(addr >> pageShift) & (filterBuckets - 1)];
+    tags[victim] = tag;
+    dirty_[base + victim] = is_write;
+    touchRank(base, victim);
     ++misses_;
     return false;
 }
@@ -74,11 +151,10 @@ L2Cache::access(Addr addr, bool is_write)
 bool
 L2Cache::contains(Addr addr) const
 {
-    std::uint64_t set = setIndex(addr);
-    Addr tag = tagOf(addr);
-    const Line *base = &lines_[set * assoc_];
+    std::uint64_t base = setIndex(addr) * assoc_;
+    std::uint32_t tag = tagOf(addr);
     for (std::uint32_t w = 0; w < assoc_; ++w) {
-        if (base[w].valid && base[w].tag == tag)
+        if (tags_[base + w] == tag)
             return true;
     }
     return false;
@@ -87,15 +163,17 @@ L2Cache::contains(Addr addr) const
 void
 L2Cache::invalidatePage(PageNum page)
 {
+    if (page_lines_[page & (filterBuckets - 1)] == 0)
+        return; // no line of any page in this bucket is cached
     Addr lo = pageBase(page);
     for (Addr a = lo; a < lo + pageSize; a += line_bytes_) {
-        std::uint64_t set = setIndex(a);
-        Addr tag = tagOf(a);
-        Line *base = &lines_[set * assoc_];
+        std::uint64_t base = setIndex(a) * assoc_;
+        std::uint32_t tag = tagOf(a);
         for (std::uint32_t w = 0; w < assoc_; ++w) {
-            if (base[w].valid && base[w].tag == tag) {
-                base[w].valid = false;
-                base[w].dirty = false;
+            if (tags_[base + w] == tag) {
+                tags_[base + w] = invalidTag;
+                dirty_[base + w] = 0;
+                --page_lines_[page & (filterBuckets - 1)];
                 ++invalidations_;
             }
         }
@@ -105,10 +183,9 @@ L2Cache::invalidatePage(PageNum page)
 void
 L2Cache::flushAll()
 {
-    for (Line &line : lines_) {
-        line.valid = false;
-        line.dirty = false;
-    }
+    std::fill(tags_.begin(), tags_.end(), invalidTag);
+    std::fill(dirty_.begin(), dirty_.end(), 0);
+    std::fill(page_lines_.begin(), page_lines_.end(), 0);
 }
 
 void

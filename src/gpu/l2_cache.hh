@@ -63,22 +63,84 @@ class L2Cache
     void registerStats(stats::StatRegistry &registry);
 
   private:
-    struct Line
-    {
-        Addr tag = 0;
-        bool valid = false;
-        bool dirty = false;
-        std::uint64_t lru = 0; //!< Higher = more recent.
-    };
+    /** Tag value that never matches a real line (addr >> shift). */
+    static constexpr std::uint32_t invalidTag = ~std::uint32_t{0};
 
-    std::uint64_t setIndex(Addr addr) const;
-    Addr tagOf(Addr addr) const;
+    /** Counting-filter buckets for the page-presence pre-check. */
+    static constexpr std::uint64_t filterBuckets = 4096;
+
+    /**
+     * Line index of an address: a shift (line size is power of two).
+     * Tags are stored in 32 bits; the constructor-checked geometry and
+     * the access-path guard keep real addresses below the sentinel.
+     */
+    std::uint32_t
+    tagOf(Addr addr) const
+    {
+        return static_cast<std::uint32_t>(addr >> line_shift_);
+    }
+
+    /**
+     * Set of an address: mask when the set count is a power of two,
+     * else Lemire's multiply-shift fastmod -- exact for 32-bit line
+     * numbers and 32-bit set counts, which the tag-range guard and the
+     * constructor enforce.  Replaces a hardware divide on the hottest
+     * path for non-power-of-two geometries (e.g. the 48-set L1).
+     */
+    std::uint64_t
+    setIndex(Addr addr) const
+    {
+        std::uint64_t line = addr >> line_shift_;
+        if (sets_pow2_)
+            return line & set_mask_;
+        std::uint64_t lowbits = mod_magic_ * line;
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(lowbits) * num_sets_) >> 64);
+    }
+
+    /** Move a way to the top (most recent) of its set's rank order. */
+    void
+    touchRank(std::uint64_t base, std::uint32_t way)
+    {
+        std::uint8_t *ranks = &rank_[base];
+        std::uint8_t r = ranks[way];
+        for (std::uint32_t w = 0; w < assoc_; ++w)
+            ranks[w] -= ranks[w] > r;
+        ranks[way] = static_cast<std::uint8_t>(assoc_ - 1);
+    }
 
     std::uint32_t assoc_;
     std::uint32_t line_bytes_;
+    std::uint32_t line_shift_ = 0;
     std::uint64_t num_sets_;
-    std::uint64_t tick_ = 0;
-    std::vector<Line> lines_; //!< num_sets_ * assoc_, set-major.
+    std::uint64_t set_mask_ = 0;
+    std::uint64_t mod_magic_ = 0; //!< ~0/num_sets + 1 (fastmod).
+    bool sets_pow2_ = false;
+
+    /**
+     * Tag store as structure-of-arrays (set-major): the hit probe is
+     * a linear scan of `assoc_` contiguous 32-bit tags with validity
+     * folded into the tag via a sentinel, and recency is a per-set
+     * rank permutation (one byte per way, move-to-top on touch) so a
+     * whole set's LRU state is a single 16-byte read -- the same
+     * victim order as per-line timestamps at a quarter of the
+     * footprint.
+     */
+    std::vector<std::uint32_t> tags_; //!< invalidTag = empty way.
+    std::vector<std::uint8_t> rank_;  //!< 0 = LRU .. assoc-1 = MRU.
+    std::vector<std::uint8_t> dirty_;
+
+    /**
+     * Counting filter over pages with cached lines: bucket
+     * page & (filterBuckets-1) counts this cache's valid lines of all
+     * pages hashing there.  Maintained on fill/replace (a masked
+     * increment/decrement, no hashing), it lets invalidatePage() skip
+     * the 32-set tag sweep entirely when the evicted page provably has
+     * no lines here -- the common case, since eviction targets cold
+     * pages.  Collisions only cause a redundant sweep, never a missed
+     * invalidation.
+     */
+    std::vector<std::uint16_t> page_lines_;
 
     stats::Counter hits_;
     stats::Counter misses_;

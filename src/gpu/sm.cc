@@ -1,6 +1,7 @@
 #include "sm.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "sim/logging.hh"
 
@@ -20,6 +21,8 @@ Sm::Sm(std::uint32_t id, const GpuConfig &config, EventQueue &eq,
       core_period_(config.corePeriod()),
       l1_hit_latency_(config.l1_hit_cycles * config.corePeriod()),
       l2_hit_latency_(config.l2_hit_cycles * config.corePeriod()),
+      line_shift_(static_cast<std::uint32_t>(
+          std::bit_width(config.l2_line_bytes) - 1)),
       warps_retired_("sm" + std::to_string(id) + ".warps_retired",
                      "warps that completed their trace"),
       ops_executed_("sm" + std::to_string(id) + ".ops_executed",
@@ -94,8 +97,38 @@ Sm::stepWarp(WarpCtx *warp)
     if (ready == eq_.curTick()) {
         issueOp(warp);
     } else {
-        eq_.schedule(ready, [this, warp]() { issueOp(warp); });
+        eq_.scheduleCall(ready, &Sm::issueOpThunk, this,
+                         reinterpret_cast<std::uint64_t>(warp));
     }
+}
+
+void
+Sm::issueOpThunk(void *sm, std::uint64_t warp)
+{
+    static_cast<Sm *>(sm)->issueOp(reinterpret_cast<WarpCtx *>(warp));
+}
+
+void
+Sm::accessDoneThunk(void *sm, std::uint64_t warp)
+{
+    static_cast<Sm *>(sm)->accessDone(
+        reinterpret_cast<WarpCtx *>(warp));
+}
+
+std::uint32_t
+Sm::allocPending(const MemAccess &access, WarpCtx *warp)
+{
+    std::uint32_t slot;
+    if (pending_free_ != ~std::uint32_t{0}) {
+        slot = pending_free_;
+        pending_free_ = pending_[slot].next;
+    } else {
+        pending_.emplace_back();
+        slot = static_cast<std::uint32_t>(pending_.size() - 1);
+    }
+    pending_[slot].access = access;
+    pending_[slot].warp = warp;
+    return slot;
 }
 
 void
@@ -131,27 +164,32 @@ Sm::performAccess(WarpCtx *warp, const TraceAccess &access)
     PageNum page = pageOf(m.addr);
     if (tlb_.lookup(page)) {
         gmmu_.recordAccess(m);
-        memoryStage(m, [this, warp]() { accessDone(warp); });
+        memoryStage(m, warp);
     } else {
-        gmmu_.translate(m, [this, warp, m]() {
-            tlb_.insert(pageOf(m.addr));
-            memoryStage(m, [this, warp]() { accessDone(warp); });
+        std::uint32_t slot = allocPending(m, warp);
+        gmmu_.translate(m, [this, slot]() {
+            // Copy out before freeing: memoryStage may grow pending_.
+            MemAccess done = pending_[slot].access;
+            WarpCtx *w = pending_[slot].warp;
+            pending_[slot].next = pending_free_;
+            pending_free_ = slot;
+            tlb_.insert(pageOf(done.addr));
+            memoryStage(done, w);
         });
     }
 }
 
 void
-Sm::memoryStage(const MemAccess &access, std::function<void()> done)
+Sm::memoryStage(const MemAccess &access, WarpCtx *warp)
 {
     // Touch every line the access covers; the completion time is the
     // slowest line's.  Reads probe the write-through L1 first; writes
     // go straight to the L2 (no-write-allocate L1, GPU style).
-    Addr first_line = access.addr / config_.l2_line_bytes;
-    Addr last_line =
-        (access.addr + access.size - 1) / config_.l2_line_bytes;
+    Addr first_line = access.addr >> line_shift_;
+    Addr last_line = (access.addr + access.size - 1) >> line_shift_;
     Tick completion = eq_.curTick() + l1_hit_latency_;
     for (Addr line = first_line; line <= last_line; ++line) {
-        Addr line_addr = line * config_.l2_line_bytes;
+        Addr line_addr = line << line_shift_;
         if (l1_ && !access.is_write) {
             if (l1_->access(line_addr, false))
                 continue; // L1 hit: the base latency covers it
@@ -165,7 +203,8 @@ Sm::memoryStage(const MemAccess &access, std::function<void()> done)
             completion = std::max(completion, fill + l2_hit_latency_);
         }
     }
-    eq_.schedule(completion, std::move(done));
+    eq_.scheduleCall(completion, &Sm::accessDoneThunk, this,
+                     reinterpret_cast<std::uint64_t>(warp));
 }
 
 void

@@ -18,6 +18,7 @@
 #include <functional>
 #include <list>
 #include <memory>
+#include <vector>
 
 #include "core/gmmu.hh"
 #include "gpu/dram.hh"
@@ -100,12 +101,31 @@ class Sm
     /** Route one coalesced access through TLB / GMMU / memory. */
     void performAccess(WarpCtx *warp, const TraceAccess &access);
 
-    /** Charge L2/DRAM time for a translated access. */
-    void memoryStage(const MemAccess &access,
-                     std::function<void()> done);
+    /** Charge L2/DRAM time for a translated access; completion wakes
+     *  the warp via the POD event path. */
+    void memoryStage(const MemAccess &access, WarpCtx *warp);
 
     /** One access of the current op finished. */
     void accessDone(WarpCtx *warp);
+
+    /** POD event thunks (EventQueue fast path; arg = WarpCtx*). */
+    static void issueOpThunk(void *sm, std::uint64_t warp);
+    static void accessDoneThunk(void *sm, std::uint64_t warp);
+
+    /**
+     * One TLB-missing access parked in the GMMU: kept in a free-list
+     * pool so the translate-done closure captures only (this, slot)
+     * and fits std::function's small-buffer storage -- no heap
+     * allocation per miss.
+     */
+    struct PendingAccess
+    {
+        MemAccess access;
+        WarpCtx *warp = nullptr;
+        std::uint32_t next = 0; //!< Free-list link.
+    };
+
+    std::uint32_t allocPending(const MemAccess &access, WarpCtx *warp);
 
     /** The warp's trace is exhausted. */
     void retireWarp(WarpCtx *warp);
@@ -123,12 +143,16 @@ class Sm
     Tick core_period_;
     Tick l1_hit_latency_;
     Tick l2_hit_latency_;
+    std::uint32_t line_shift_; //!< log2(l2_line_bytes), for div-free math.
     /** Next tick with a free issue port (0-width = unthrottled). */
     Tick next_issue_free_ = 0;
 
     std::list<BlockCtx> blocks_;
     std::list<WarpCtx> warps_;
     std::uint32_t live_warps_ = 0;
+
+    std::vector<PendingAccess> pending_;
+    std::uint32_t pending_free_ = ~std::uint32_t{0};
 
     stats::Counter warps_retired_;
     stats::Counter ops_executed_;

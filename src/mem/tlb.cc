@@ -1,5 +1,8 @@
 #include "tlb.hh"
 
+#include <algorithm>
+#include <bit>
+
 #include "sim/logging.hh"
 
 namespace uvmsim
@@ -14,18 +17,99 @@ Tlb::Tlb(std::string name, std::size_t entries)
 {
     if (capacity_ == 0)
         panic("Tlb %s constructed with zero capacity", name_.c_str());
+    entries_.resize(capacity_);
+    for (std::size_t i = 0; i < capacity_; ++i)
+        entries_[i].next =
+            i + 1 < capacity_ ? static_cast<std::uint32_t>(i + 1) : npos;
+    free_ = 0;
+    table_.assign(std::bit_ceil(capacity_ * 4), npos);
+    table_mask_ = static_cast<std::uint32_t>(table_.size() - 1);
+}
+
+std::uint32_t
+Tlb::findPos(PageNum page) const
+{
+    std::uint32_t pos = hashOf(page);
+    while (table_[pos] != npos) {
+        if (entries_[table_[pos]].page == page)
+            return pos;
+        pos = (pos + 1) & table_mask_;
+    }
+    return npos;
+}
+
+void
+Tlb::tableInsert(PageNum page, std::uint32_t slot)
+{
+    std::uint32_t pos = hashOf(page);
+    while (table_[pos] != npos)
+        pos = (pos + 1) & table_mask_;
+    table_[pos] = slot;
+    ++count_;
+}
+
+void
+Tlb::tableErase(std::uint32_t pos)
+{
+    table_[pos] = npos;
+    std::uint32_t hole = pos;
+    for (std::uint32_t i = (pos + 1) & table_mask_; table_[i] != npos;
+         i = (i + 1) & table_mask_) {
+        std::uint32_t home = hashOf(entries_[table_[i]].page);
+        // Move the entry back iff its home does not lie cyclically
+        // within (hole, i] -- the standard backward-shift rule.
+        bool reachable = ((i - home) & table_mask_) <
+                         ((i - hole) & table_mask_);
+        if (!reachable) {
+            table_[hole] = table_[i];
+            table_[i] = npos;
+            hole = i;
+        }
+    }
+    --count_;
+}
+
+void
+Tlb::unlink(std::uint32_t slot)
+{
+    Entry &e = entries_[slot];
+    if (e.prev != npos)
+        entries_[e.prev].next = e.next;
+    else
+        head_ = e.next;
+    if (e.next != npos)
+        entries_[e.next].prev = e.prev;
+    else
+        tail_ = e.prev;
+}
+
+void
+Tlb::linkFront(std::uint32_t slot)
+{
+    Entry &e = entries_[slot];
+    e.prev = npos;
+    e.next = head_;
+    if (head_ != npos)
+        entries_[head_].prev = slot;
+    head_ = slot;
+    if (tail_ == npos)
+        tail_ = slot;
 }
 
 bool
 Tlb::lookup(PageNum page)
 {
-    auto it = map_.find(page);
-    if (it == map_.end()) {
+    std::uint32_t pos = findPos(page);
+    if (pos == npos) {
         ++misses_;
         return false;
     }
     // Move to MRU position.
-    order_.splice(order_.begin(), order_, it->second);
+    std::uint32_t slot = table_[pos];
+    if (head_ != slot) {
+        unlink(slot);
+        linkFront(slot);
+    }
     ++hits_;
     return true;
 }
@@ -33,42 +117,60 @@ Tlb::lookup(PageNum page)
 bool
 Tlb::contains(PageNum page) const
 {
-    return map_.count(page) > 0;
+    return findPos(page) != npos;
 }
 
 void
 Tlb::insert(PageNum page)
 {
-    auto it = map_.find(page);
-    if (it != map_.end()) {
-        order_.splice(order_.begin(), order_, it->second);
+    std::uint32_t pos = findPos(page);
+    if (pos != npos) {
+        std::uint32_t hit = table_[pos];
+        if (head_ != hit) {
+            unlink(hit);
+            linkFront(hit);
+        }
         return;
     }
-    if (map_.size() >= capacity_) {
-        PageNum victim = order_.back();
-        order_.pop_back();
-        map_.erase(victim);
+    std::uint32_t slot;
+    if (free_ != npos) {
+        slot = free_;
+        free_ = entries_[slot].next;
+    } else {
+        slot = tail_;
+        tableErase(findPos(entries_[slot].page));
+        unlink(slot);
         ++evictions_;
     }
-    order_.push_front(page);
-    map_[page] = order_.begin();
+    entries_[slot].page = page;
+    linkFront(slot);
+    tableInsert(page, slot);
 }
 
 void
 Tlb::invalidate(PageNum page)
 {
-    auto it = map_.find(page);
-    if (it == map_.end())
+    std::uint32_t pos = findPos(page);
+    if (pos == npos)
         return;
-    order_.erase(it->second);
-    map_.erase(it);
+    std::uint32_t slot = table_[pos];
+    unlink(slot);
+    entries_[slot].next = free_;
+    free_ = slot;
+    tableErase(pos);
 }
 
 void
 Tlb::flushAll()
 {
-    order_.clear();
-    map_.clear();
+    std::fill(table_.begin(), table_.end(), npos);
+    count_ = 0;
+    head_ = tail_ = npos;
+    for (std::size_t i = 0; i < entries_.size(); ++i)
+        entries_[i].next =
+            i + 1 < entries_.size() ? static_cast<std::uint32_t>(i + 1)
+                                    : npos;
+    free_ = entries_.empty() ? npos : 0;
 }
 
 void

@@ -11,9 +11,8 @@
 #pragma once
 
 #include <cstdint>
-#include <list>
 #include <string>
-#include <unordered_map>
+#include <vector>
 
 #include "mem/types.hh"
 #include "sim/stats.hh"
@@ -50,7 +49,7 @@ class Tlb
     void flushAll();
 
     /** Current number of cached translations. */
-    std::size_t size() const { return map_.size(); }
+    std::size_t size() const { return count_; }
 
     /** Capacity in translations. */
     std::size_t capacity() const { return capacity_; }
@@ -59,13 +58,57 @@ class Tlb
     void registerStats(stats::StatRegistry &registry);
 
   private:
-    /** Most-recent at front. */
-    using LruOrder = std::list<PageNum>;
+    /** Sentinel index for "no entry". */
+    static constexpr std::uint32_t npos = ~std::uint32_t{0};
+
+    /** One cached translation, threaded on an intrusive LRU list. */
+    struct Entry
+    {
+        PageNum page = 0;
+        std::uint32_t prev = npos; //!< Toward MRU.
+        std::uint32_t next = npos; //!< Toward LRU / free link.
+    };
+
+    /** Unlink a slot from the LRU list (links left dangling). */
+    void unlink(std::uint32_t slot);
+    /** Link a slot at the MRU (head) end. */
+    void linkFront(std::uint32_t slot);
+
+    /** Hash-table position of a page's entry, or npos. */
+    std::uint32_t findPos(PageNum page) const;
+    /** Insert an arena slot for `page` into the hash table. */
+    void tableInsert(PageNum page, std::uint32_t slot);
+    /** Remove the entry at hash-table position `pos` (backward-shift
+     *  deletion, so lookups never probe over tombstones). */
+    void tableErase(std::uint32_t pos);
+
+    std::uint32_t
+    hashOf(PageNum page) const
+    {
+        return static_cast<std::uint32_t>(
+                   (page * 0x9e3779b97f4a7c15ull) >> 32) &
+               table_mask_;
+    }
 
     std::string name_;
     std::size_t capacity_;
-    LruOrder order_;
-    std::unordered_map<PageNum, LruOrder::iterator> map_;
+
+    /** Entry arena, sized to capacity up front; free list through
+     *  `next`. */
+    std::vector<Entry> entries_;
+    std::uint32_t free_ = npos;
+    std::uint32_t head_ = npos; //!< MRU end.
+    std::uint32_t tail_ = npos; //!< LRU end.
+
+    /**
+     * Open-addressing page -> arena-slot index, linear probing at a
+     * load factor of at most 1/4 -- small enough to live in a couple
+     * of cache lines for typical TLB sizes, with no per-node
+     * allocation or pointer chase.
+     */
+    std::vector<std::uint32_t> table_;
+    std::uint32_t table_mask_ = 0;
+    std::size_t count_ = 0;
 
     stats::Counter hits_;
     stats::Counter misses_;

@@ -1,9 +1,62 @@
 #include "event_queue.hh"
 
+#include <algorithm>
+#include <bit>
+
 #include "sim/logging.hh"
 
 namespace uvmsim
 {
+
+namespace
+{
+
+/** Initial calendar geometry: 64 buckets of 1024 ticks (~1ns). */
+constexpr std::size_t initialBuckets = 64;
+constexpr unsigned initialLog2Width = 10;
+
+/** Widest bucket considered: 2^44 ticks (~17.6 simulated seconds). */
+constexpr unsigned maxLog2Width = 44;
+
+} // namespace
+
+EventQueue::EventQueue()
+{
+    buckets_.assign(initialBuckets, npos);
+}
+
+std::uint32_t
+EventQueue::allocRec()
+{
+    if (free_head_ != npos) {
+        std::uint32_t slot = free_head_;
+        free_head_ = arena_[slot].next;
+        return slot;
+    }
+    arena_.emplace_back();
+    return static_cast<std::uint32_t>(arena_.size() - 1);
+}
+
+void
+EventQueue::freeRec(std::uint32_t slot)
+{
+    Rec &rec = arena_[slot];
+    rec.cb.reset();
+    rec.live = false;
+    ++rec.gen; // stale EventIds must stop resolving
+    rec.next = free_head_;
+    free_head_ = slot;
+}
+
+void
+EventQueue::linkIntoBucket(std::uint32_t slot)
+{
+    std::uint32_t *link = &buckets_[bucketOf(arena_[slot].when)];
+    while (*link != npos && firesBefore(arena_[*link], arena_[slot]))
+        link = &arena_[*link].next;
+    arena_[slot].next = *link;
+    *link = slot;
+}
 
 EventQueue::EventId
 EventQueue::schedule(Tick when, int priority, Callback cb)
@@ -16,68 +69,214 @@ EventQueue::schedule(Tick when, int priority, Callback cb)
     if (!cb)
         panic("event scheduled with empty callback");
 
-    EventId id = next_id_++;
-    heap_.push(Entry{when, priority, id});
-    callbacks_.emplace(id, std::move(cb));
+    std::uint32_t slot = allocRec();
+    Rec &rec = arena_[slot];
+    rec.when = when;
+    rec.seq = next_seq_++;
+    rec.cb = std::move(cb);
+    rec.priority = priority;
+    rec.live = true;
+    linkIntoBucket(slot);
+    ++live_;
+
+    EventId id = (static_cast<EventId>(slot) + 1) << 32 | arena_[slot].gen;
+    maybeResize();
+    return id;
+}
+
+EventQueue::EventId
+EventQueue::scheduleCall(Tick when, EventCallback::PodFn fn, void *ctx,
+                         std::uint64_t arg)
+{
+    if (when < cur_tick_) {
+        panic("event scheduled in the past (when=%llu cur=%llu)",
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(cur_tick_));
+    }
+
+    std::uint32_t slot = allocRec();
+    Rec &rec = arena_[slot];
+    rec.when = when;
+    rec.seq = next_seq_++;
+    rec.cb.emplacePod(fn, ctx, arg);
+    rec.priority = defaultPriority;
+    rec.live = true;
+    linkIntoBucket(slot);
+    ++live_;
+
+    EventId id = (static_cast<EventId>(slot) + 1) << 32 | arena_[slot].gen;
+    maybeResize();
     return id;
 }
 
 bool
 EventQueue::deschedule(EventId id)
 {
-    // Lazy deletion: the heap entry stays behind and is skipped when it
-    // reaches the top.
-    return callbacks_.erase(id) > 0;
+    if (id == invalidEventId)
+        return false;
+    std::uint64_t slot64 = (id >> 32) - 1;
+    std::uint32_t gen = static_cast<std::uint32_t>(id);
+    if (slot64 >= arena_.size())
+        return false;
+    std::uint32_t slot = static_cast<std::uint32_t>(slot64);
+    Rec &rec = arena_[slot];
+    if (!rec.live || rec.gen != gen)
+        return false;
+
+    // Unlink from the (short) bucket chain.
+    std::uint32_t *link = &buckets_[bucketOf(rec.when)];
+    while (*link != slot)
+        link = &arena_[*link].next;
+    *link = rec.next;
+
+    freeRec(slot);
+    --live_;
+    return true;
+}
+
+std::uint32_t
+EventQueue::findNext(std::uint32_t *prev_out, std::size_t *bucket_out) const
+{
+    if (live_ == 0)
+        return npos;
+
+    // Lap scan: walk buckets forward from the current epoch; the first
+    // bucket whose head falls inside its current-lap window holds the
+    // earliest event (heads are bucket minima, one epoch maps to
+    // exactly one bucket).
+    const std::size_t nbuckets = buckets_.size();
+    const std::uint64_t cur_epoch = cur_tick_ >> log2_width_;
+    for (std::size_t k = 0; k < nbuckets; ++k) {
+        const std::uint64_t epoch = cur_epoch + k;
+        const std::size_t b =
+            static_cast<std::size_t>(epoch) & (nbuckets - 1);
+        const std::uint32_t head = buckets_[b];
+        if (head != npos && (arena_[head].when >> log2_width_) == epoch) {
+            *prev_out = npos;
+            *bucket_out = b;
+            return head;
+        }
+    }
+
+    // Everything lies at least a full lap ahead: take the minimum over
+    // all bucket heads directly.
+    std::uint32_t best = npos;
+    std::size_t best_bucket = 0;
+    for (std::size_t b = 0; b < nbuckets; ++b) {
+        const std::uint32_t head = buckets_[b];
+        if (head == npos)
+            continue;
+        if (best == npos || firesBefore(arena_[head], arena_[best])) {
+            best = head;
+            best_bucket = b;
+        }
+    }
+    *prev_out = npos;
+    *bucket_out = best_bucket;
+    return best;
+}
+
+void
+EventQueue::fire(std::uint32_t slot, std::uint32_t prev, std::size_t bucket)
+{
+    // Unlink; located records are always chain heads today, but accept
+    // any predecessor so fire() stays correct if that changes.
+    if (prev == npos)
+        buckets_[bucket] = arena_[slot].next;
+    else
+        arena_[prev].next = arena_[slot].next;
+
+    const Tick when = arena_[slot].when;
+    Callback cb = std::move(arena_[slot].cb);
+    freeRec(slot);
+    --live_;
+
+    cur_tick_ = when;
+    ++executed_;
+    // The callback may schedule new events and reallocate the arena;
+    // no references into it may be held across this call.
+    cb();
 }
 
 bool
 EventQueue::runOne()
 {
-    while (!heap_.empty()) {
-        Entry top = heap_.top();
-        auto it = callbacks_.find(top.id);
-        if (it == callbacks_.end()) {
-            // Cancelled event; discard the stale heap entry.
-            heap_.pop();
-            continue;
-        }
-        Callback cb = std::move(it->second);
-        callbacks_.erase(it);
-        heap_.pop();
-        cur_tick_ = top.when;
-        ++executed_;
-        cb();
-        return true;
-    }
-    return false;
+    std::uint32_t prev = npos;
+    std::size_t bucket = 0;
+    std::uint32_t slot = findNext(&prev, &bucket);
+    if (slot == npos)
+        return false;
+    fire(slot, prev, bucket);
+    return true;
 }
 
 std::uint64_t
 EventQueue::run(Tick limit)
 {
     std::uint64_t count = 0;
-    while (!heap_.empty()) {
-        // Skip stale entries without advancing time.
-        Entry top = heap_.top();
-        if (callbacks_.find(top.id) == callbacks_.end()) {
-            heap_.pop();
-            continue;
-        }
-        if (top.when > limit)
+    for (;;) {
+        std::uint32_t prev = npos;
+        std::size_t bucket = 0;
+        std::uint32_t slot = findNext(&prev, &bucket);
+        if (slot == npos || arena_[slot].when > limit)
             break;
-        runOne();
+        fire(slot, prev, bucket);
         ++count;
     }
     return count;
 }
 
 void
+EventQueue::maybeResize()
+{
+    const std::size_t nbuckets = buckets_.size();
+    if (live_ > nbuckets * 2)
+        rebuild(nbuckets * 2);
+    else if (nbuckets > initialBuckets && live_ < nbuckets / 8)
+        rebuild(nbuckets / 2);
+}
+
+void
+EventQueue::rebuild(std::size_t nbuckets)
+{
+    // Re-derive the bucket width from the live span so that the
+    // average occupancy stays O(1): width = span / count, rounded to a
+    // power of two.  Deterministic -- a function of queue contents
+    // only.
+    Tick min_when = maxTick;
+    Tick max_when = 0;
+    for (const Rec &rec : arena_) {
+        if (!rec.live)
+            continue;
+        min_when = std::min(min_when, rec.when);
+        max_when = std::max(max_when, rec.when);
+    }
+    if (live_ > 0) {
+        const Tick span = max_when - min_when;
+        const Tick per_bucket = span / live_ + 1;
+        log2_width_ = std::min(
+            maxLog2Width,
+            static_cast<unsigned>(std::bit_width(per_bucket) - 1));
+    }
+
+    buckets_.assign(nbuckets, npos);
+    for (std::uint32_t slot = 0;
+         slot < static_cast<std::uint32_t>(arena_.size()); ++slot) {
+        if (arena_[slot].live)
+            linkIntoBucket(slot);
+    }
+}
+
+void
 EventQueue::reset()
 {
-    heap_ = decltype(heap_)();
-    callbacks_.clear();
+    arena_.clear();
+    free_head_ = npos;
+    buckets_.assign(initialBuckets, npos);
+    log2_width_ = initialLog2Width;
+    live_ = 0;
     cur_tick_ = 0;
-    next_id_ = 1;
+    next_seq_ = 1;
     executed_ = 0;
 }
 

@@ -1,0 +1,758 @@
+/**
+ * @file
+ * Differential tests pinning the flat-array data structures to the
+ * node-based implementations they replaced.
+ *
+ * The intrusive index-linked ResidencyTracker and the implicit-heap
+ * LargePageTree promise *bit-identical* observable behaviour to the
+ * std::list/std::unordered_map versions: every victim query, every
+ * fill/drain page list, in the same order.  The original
+ * implementations are embedded here as reference models and both are
+ * driven with identical operation streams -- random ones, and page
+ * streams derived from the real workload generators across all six
+ * eviction policies of the paper's matrix.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <list>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/large_page_tree.hh"
+#include "core/managed_space.hh"
+#include "core/residency_tracker.hh"
+#include "gpu/kernel.hh"
+#include "sim/rng.hh"
+#include "workloads/workload.hh"
+
+namespace uvmsim
+{
+
+namespace
+{
+
+/**
+ * The pre-flattening ResidencyTracker: flat page LRU as std::list,
+ * hierarchy as per-chunk lists and hash maps.  Kept verbatim (minus
+ * panics) as the executable specification of recency ordering.
+ */
+class RefResidencyTracker
+{
+  public:
+    void
+    onResident(PageNum page)
+    {
+        ASSERT_FALSE(page_pos_.count(page));
+        page_order_.push_front(page);
+        page_pos_[page] = page_order_.begin();
+
+        std::uint64_t block = basicBlockOf(pageBase(page));
+        std::uint64_t slot = largePageOf(pageBase(page));
+        touchHierarchy(page);
+        ChunkEntry &chunk = chunks_.at(slot);
+        ++chunk.block_pages[block];
+        ++chunk.pages;
+
+        random_pos_[page] = random_pool_.size();
+        random_pool_.push_back(page);
+    }
+
+    void
+    onAccess(PageNum page)
+    {
+        auto it = page_pos_.find(page);
+        if (it == page_pos_.end())
+            return;
+        page_order_.splice(page_order_.begin(), page_order_, it->second);
+        touchHierarchy(page);
+    }
+
+    void
+    onEvicted(PageNum page)
+    {
+        auto it = page_pos_.find(page);
+        ASSERT_TRUE(it != page_pos_.end());
+        page_order_.erase(it->second);
+        page_pos_.erase(it);
+
+        removeFromHierarchy(page);
+
+        auto rit = random_pos_.find(page);
+        std::size_t idx = rit->second;
+        PageNum last = random_pool_.back();
+        random_pool_[idx] = last;
+        random_pos_[last] = idx;
+        random_pool_.pop_back();
+        random_pos_.erase(rit);
+    }
+
+    bool isTracked(PageNum page) const { return page_pos_.count(page); }
+
+    std::uint64_t size() const { return page_pos_.size(); }
+
+    std::optional<PageNum>
+    lruPageVictim(std::uint64_t skip_pages) const
+    {
+        if (skip_pages >= page_order_.size())
+            return std::nullopt;
+        auto it = page_order_.rbegin();
+        std::advance(it, static_cast<long>(skip_pages));
+        return *it;
+    }
+
+    std::optional<PageNum>
+    randomPageVictim(Rng &rng) const
+    {
+        if (random_pool_.empty())
+            return std::nullopt;
+        return random_pool_[rng.below(random_pool_.size())];
+    }
+
+    std::optional<PageNum>
+    mruPageVictim() const
+    {
+        if (page_order_.empty())
+            return std::nullopt;
+        return page_order_.front();
+    }
+
+    std::optional<std::uint64_t>
+    lruBlockVictim(std::uint64_t skip_pages) const
+    {
+        std::uint64_t to_skip = skip_pages;
+        for (auto cit = chunk_order_.rbegin(); cit != chunk_order_.rend();
+             ++cit) {
+            const ChunkEntry &chunk = chunks_.at(*cit);
+            for (auto bit = chunk.block_order.rbegin();
+                 bit != chunk.block_order.rend(); ++bit) {
+                std::uint64_t pages = chunk.block_pages.at(*bit);
+                if (to_skip >= pages) {
+                    to_skip -= pages;
+                    continue;
+                }
+                return *bit;
+            }
+        }
+        return std::nullopt;
+    }
+
+    std::optional<std::uint64_t>
+    lruLargePageVictim(std::uint64_t skip_pages) const
+    {
+        std::uint64_t to_skip = skip_pages;
+        for (auto cit = chunk_order_.rbegin(); cit != chunk_order_.rend();
+             ++cit) {
+            const ChunkEntry &chunk = chunks_.at(*cit);
+            if (to_skip >= chunk.pages) {
+                to_skip -= chunk.pages;
+                continue;
+            }
+            return *cit;
+        }
+        return std::nullopt;
+    }
+
+    std::vector<PageNum>
+    pagesInBlock(std::uint64_t block) const
+    {
+        std::vector<PageNum> out;
+        PageNum first = pageOf(basicBlockBase(block));
+        for (std::uint64_t p = 0; p < pagesPerBasicBlock; ++p) {
+            if (isTracked(first + p))
+                out.push_back(first + p);
+        }
+        return out;
+    }
+
+    std::vector<PageNum>
+    pagesInLargePage(std::uint64_t slot) const
+    {
+        std::vector<PageNum> out;
+        PageNum first = pageOf(slot << largePageShift);
+        for (std::uint64_t p = 0; p < pagesPerLargePage; ++p) {
+            if (isTracked(first + p))
+                out.push_back(first + p);
+        }
+        return out;
+    }
+
+    std::uint64_t
+    blockResidentPages(std::uint64_t block) const
+    {
+        std::uint64_t slot = block / (largePageSize / basicBlockSize);
+        auto cit = chunks_.find(slot);
+        if (cit == chunks_.end())
+            return 0;
+        auto bit = cit->second.block_pages.find(block);
+        return bit == cit->second.block_pages.end() ? 0 : bit->second;
+    }
+
+    std::vector<PageNum>
+    coldPages(std::uint64_t n) const
+    {
+        std::vector<PageNum> out;
+        for (auto it = page_order_.rbegin();
+             it != page_order_.rend() && out.size() < n; ++it)
+            out.push_back(*it);
+        return out;
+    }
+
+  private:
+    struct ChunkEntry
+    {
+        std::list<std::uint64_t> block_order;
+        std::unordered_map<std::uint64_t,
+                           std::list<std::uint64_t>::iterator> block_pos;
+        std::unordered_map<std::uint64_t, std::uint64_t> block_pages;
+        std::uint64_t pages = 0;
+        std::list<std::uint64_t>::iterator self;
+    };
+
+    void
+    touchHierarchy(PageNum page)
+    {
+        std::uint64_t block = basicBlockOf(pageBase(page));
+        std::uint64_t slot = largePageOf(pageBase(page));
+
+        auto [cit, chunk_new] = chunks_.try_emplace(slot);
+        ChunkEntry &chunk = cit->second;
+        if (chunk_new) {
+            chunk_order_.push_front(slot);
+            chunk.self = chunk_order_.begin();
+        } else {
+            chunk_order_.splice(chunk_order_.begin(), chunk_order_,
+                                chunk.self);
+        }
+
+        auto bit = chunk.block_pos.find(block);
+        if (bit == chunk.block_pos.end()) {
+            chunk.block_order.push_front(block);
+            chunk.block_pos[block] = chunk.block_order.begin();
+        } else {
+            chunk.block_order.splice(chunk.block_order.begin(),
+                                     chunk.block_order, bit->second);
+        }
+    }
+
+    void
+    removeFromHierarchy(PageNum page)
+    {
+        std::uint64_t block = basicBlockOf(pageBase(page));
+        std::uint64_t slot = largePageOf(pageBase(page));
+
+        auto cit = chunks_.find(slot);
+        ChunkEntry &chunk = cit->second;
+        auto pit = chunk.block_pages.find(block);
+        --pit->second;
+        --chunk.pages;
+        if (pit->second == 0) {
+            chunk.block_pages.erase(pit);
+            auto bit = chunk.block_pos.find(block);
+            chunk.block_order.erase(bit->second);
+            chunk.block_pos.erase(bit);
+        }
+        if (chunk.pages == 0) {
+            chunk_order_.erase(chunk.self);
+            chunks_.erase(cit);
+        }
+    }
+
+    std::list<PageNum> page_order_;
+    std::unordered_map<PageNum, std::list<PageNum>::iterator> page_pos_;
+    std::list<std::uint64_t> chunk_order_;
+    std::unordered_map<std::uint64_t, ChunkEntry> chunks_;
+    std::vector<PageNum> random_pool_;
+    std::unordered_map<PageNum, std::size_t> random_pos_;
+};
+
+/**
+ * The pre-flattening LargePageTree: per-leaf bitmaps only, every node
+ * size recomputed by a leaf scan.  The balancing walks are verbatim.
+ */
+class RefLargePageTree
+{
+  public:
+    RefLargePageTree(Addr base_addr, std::uint32_t num_leaves)
+        : base_(base_addr), num_leaves_(num_leaves)
+    {
+        height_ =
+            static_cast<std::uint32_t>(std::bit_width(num_leaves_) - 1);
+        leaf_bits_.assign(num_leaves_, 0);
+    }
+
+    PageNum
+    leafFirstPage(std::uint32_t leaf) const
+    {
+        return pageOf(base_ + static_cast<Addr>(leaf) * basicBlockSize);
+    }
+
+    std::uint32_t
+    leafOf(PageNum page) const
+    {
+        return static_cast<std::uint32_t>((pageBase(page) - base_) >>
+                                          basicBlockShift);
+    }
+
+    bool
+    pageMarked(PageNum page) const
+    {
+        std::uint32_t leaf = leafOf(page);
+        std::uint32_t bit =
+            static_cast<std::uint32_t>(page - leafFirstPage(leaf));
+        return (leaf_bits_[leaf] >> bit) & 1u;
+    }
+
+    void
+    markPage(PageNum page)
+    {
+        std::uint32_t leaf = leafOf(page);
+        std::uint32_t bit =
+            static_cast<std::uint32_t>(page - leafFirstPage(leaf));
+        leaf_bits_[leaf] |= static_cast<std::uint16_t>(1u << bit);
+    }
+
+    void
+    unmarkPage(PageNum page)
+    {
+        std::uint32_t leaf = leafOf(page);
+        std::uint32_t bit =
+            static_cast<std::uint32_t>(page - leafFirstPage(leaf));
+        leaf_bits_[leaf] &= static_cast<std::uint16_t>(~(1u << bit));
+    }
+
+    std::uint64_t
+    markedUnder(std::uint32_t height, std::uint32_t index) const
+    {
+        std::uint32_t first = index << height;
+        std::uint32_t count = 1u << height;
+        std::uint64_t pages = 0;
+        for (std::uint32_t l = first; l < first + count; ++l)
+            pages += std::popcount(leaf_bits_[l]);
+        return pages * pageSize;
+    }
+
+    std::uint64_t
+    nodeCapacityBytes(std::uint32_t height) const
+    {
+        return basicBlockSize << height;
+    }
+
+    std::vector<PageNum>
+    faultFill(PageNum faulty_page)
+    {
+        std::uint32_t leaf = leafOf(faulty_page);
+        std::vector<PageNum> out;
+
+        PageNum first = leafFirstPage(leaf);
+        for (std::uint32_t p = 0; p < pagesPerBasicBlock; ++p) {
+            if (!((leaf_bits_[leaf] >> p) & 1u)) {
+                leaf_bits_[leaf] |= static_cast<std::uint16_t>(1u << p);
+                out.push_back(first + p);
+            }
+        }
+
+        for (std::uint32_t h = 1; h <= height_; ++h) {
+            std::uint32_t node = leaf >> h;
+            std::uint64_t marked = markedUnder(h, node);
+            std::uint64_t cap = nodeCapacityBytes(h);
+            if (marked * 2 <= cap)
+                continue;
+            std::uint32_t left = 2 * node;
+            std::uint32_t right = 2 * node + 1;
+            std::uint64_t lm = markedUnder(h - 1, left);
+            std::uint64_t rm = markedUnder(h - 1, right);
+            if (lm == rm)
+                continue;
+            if (lm < rm)
+                fillPages(h - 1, left, (rm - lm) / pageSize, out);
+            else
+                fillPages(h - 1, right, (lm - rm) / pageSize, out);
+        }
+
+        std::sort(out.begin(), out.end());
+        return out;
+    }
+
+    std::vector<PageNum>
+    evictDrain(std::uint32_t victim_leaf)
+    {
+        std::vector<PageNum> out;
+
+        PageNum first = leafFirstPage(victim_leaf);
+        for (std::uint32_t p = 0; p < pagesPerBasicBlock; ++p) {
+            if ((leaf_bits_[victim_leaf] >> p) & 1u) {
+                leaf_bits_[victim_leaf] &=
+                    static_cast<std::uint16_t>(~(1u << p));
+                out.push_back(first + p);
+            }
+        }
+
+        for (std::uint32_t h = 1; h <= height_; ++h) {
+            std::uint32_t node = victim_leaf >> h;
+            std::uint64_t marked = markedUnder(h, node);
+            std::uint64_t cap = nodeCapacityBytes(h);
+            if (marked * 2 >= cap)
+                continue;
+            std::uint32_t left = 2 * node;
+            std::uint32_t right = 2 * node + 1;
+            std::uint64_t lm = markedUnder(h - 1, left);
+            std::uint64_t rm = markedUnder(h - 1, right);
+            if (lm == rm)
+                continue;
+            if (lm > rm)
+                drainPages(h - 1, left, (lm - rm) / pageSize, out);
+            else
+                drainPages(h - 1, right, (rm - lm) / pageSize, out);
+        }
+
+        std::sort(out.begin(), out.end());
+        return out;
+    }
+
+  private:
+    std::uint64_t
+    fillPages(std::uint32_t height, std::uint32_t index,
+              std::uint64_t pages, std::vector<PageNum> &out)
+    {
+        std::uint64_t filled = 0;
+        while (filled < pages) {
+            std::uint32_t h = height;
+            std::uint32_t i = index;
+            while (h > 0) {
+                std::uint32_t left = 2 * i;
+                std::uint32_t right = 2 * i + 1;
+                std::uint64_t cap_child = nodeCapacityBytes(h - 1);
+                std::uint64_t lm = markedUnder(h - 1, left);
+                std::uint64_t rm = markedUnder(h - 1, right);
+                bool left_has_room = lm < cap_child;
+                bool right_has_room = rm < cap_child;
+                if (!left_has_room && !right_has_room)
+                    return filled;
+                if (left_has_room && (!right_has_room || lm <= rm))
+                    i = left;
+                else
+                    i = right;
+                --h;
+            }
+            std::uint16_t bits = leaf_bits_[i];
+            if (bits == 0xffff)
+                return filled;
+            std::uint32_t bit = std::countr_one(bits);
+            leaf_bits_[i] |= static_cast<std::uint16_t>(1u << bit);
+            out.push_back(leafFirstPage(i) + bit);
+            ++filled;
+        }
+        return filled;
+    }
+
+    std::uint64_t
+    drainPages(std::uint32_t height, std::uint32_t index,
+               std::uint64_t pages, std::vector<PageNum> &out)
+    {
+        std::uint64_t drained = 0;
+        while (drained < pages) {
+            std::uint32_t h = height;
+            std::uint32_t i = index;
+            while (h > 0) {
+                std::uint32_t left = 2 * i;
+                std::uint32_t right = 2 * i + 1;
+                std::uint64_t lm = markedUnder(h - 1, left);
+                std::uint64_t rm = markedUnder(h - 1, right);
+                if (lm == 0 && rm == 0)
+                    return drained;
+                if (lm > 0 && (rm == 0 || lm >= rm))
+                    i = left;
+                else
+                    i = right;
+                --h;
+            }
+            std::uint16_t bits = leaf_bits_[i];
+            if (bits == 0)
+                return drained;
+            std::uint32_t bit =
+                static_cast<std::uint32_t>(
+                    std::bit_width(static_cast<unsigned>(bits))) - 1;
+            leaf_bits_[i] &= static_cast<std::uint16_t>(~(1u << bit));
+            out.push_back(leafFirstPage(i) + bit);
+            ++drained;
+        }
+        return drained;
+    }
+
+    Addr base_;
+    std::uint32_t num_leaves_;
+    std::uint32_t height_;
+    std::vector<std::uint16_t> leaf_bits_;
+};
+
+constexpr Addr regionBase = 0x100000000ull;
+
+/** Compare every observable query of the two trackers. */
+void
+expectTrackersEqual(const ResidencyTracker &got,
+                    const RefResidencyTracker &want, std::uint64_t seed)
+{
+    ASSERT_EQ(got.size(), want.size());
+    for (std::uint64_t skip : {0ull, 1ull, 3ull, 16ull, 100ull}) {
+        EXPECT_EQ(got.lruPageVictim(skip), want.lruPageVictim(skip));
+        EXPECT_EQ(got.lruBlockVictim(skip), want.lruBlockVictim(skip));
+        EXPECT_EQ(got.lruLargePageVictim(skip),
+                  want.lruLargePageVictim(skip));
+    }
+    EXPECT_EQ(got.mruPageVictim(), want.mruPageVictim());
+    Rng rng_a(seed);
+    Rng rng_b(seed);
+    EXPECT_EQ(got.randomPageVictim(rng_a), want.randomPageVictim(rng_b));
+    EXPECT_EQ(got.coldPages(64), want.coldPages(64));
+}
+
+/** The six eviction policies of the paper's standard matrix. */
+enum class Policy { LRU4K, Re, SLe, TBNe, LRU2MB, MRU4K };
+
+const char *
+policyName(Policy p)
+{
+    switch (p) {
+      case Policy::LRU4K: return "LRU4K";
+      case Policy::Re: return "Re";
+      case Policy::SLe: return "SLe";
+      case Policy::TBNe: return "TBNe";
+      case Policy::LRU2MB: return "LRU2MB";
+      case Policy::MRU4K: return "MRU4K";
+    }
+    return "?";
+}
+
+/**
+ * Run one page stream through both trackers, evicting with the given
+ * policy whenever residency exceeds `capacity_pages`, and return the
+ * victim sequence of the unit under test (asserting it matches the
+ * reference at every step).
+ */
+std::vector<PageNum>
+driveVictimSequence(const std::vector<PageNum> &stream, Policy policy,
+                    std::uint64_t capacity_pages, std::uint64_t seed)
+{
+    ResidencyTracker got;
+    RefResidencyTracker want;
+    Rng rng_got(seed);
+    Rng rng_want(seed);
+    std::vector<PageNum> victims;
+
+    auto evictOne = [&]() {
+        std::vector<PageNum> evict_got;
+        std::vector<PageNum> evict_want;
+        switch (policy) {
+          case Policy::LRU4K:
+            evict_got.push_back(*got.lruPageVictim(0));
+            evict_want.push_back(*want.lruPageVictim(0));
+            break;
+          case Policy::MRU4K:
+            evict_got.push_back(*got.mruPageVictim());
+            evict_want.push_back(*want.mruPageVictim());
+            break;
+          case Policy::Re:
+            evict_got.push_back(*got.randomPageVictim(rng_got));
+            evict_want.push_back(*want.randomPageVictim(rng_want));
+            break;
+          case Policy::SLe:
+          case Policy::TBNe: {
+            std::uint64_t block_got = *got.lruBlockVictim(0);
+            std::uint64_t block_want = *want.lruBlockVictim(0);
+            ASSERT_EQ(block_got, block_want);
+            evict_got = got.pagesInBlock(block_got);
+            evict_want = want.pagesInBlock(block_want);
+            break;
+          }
+          case Policy::LRU2MB: {
+            std::uint64_t slot_got = *got.lruLargePageVictim(0);
+            std::uint64_t slot_want = *want.lruLargePageVictim(0);
+            ASSERT_EQ(slot_got, slot_want);
+            evict_got = got.pagesInLargePage(slot_got);
+            evict_want = want.pagesInLargePage(slot_want);
+            break;
+          }
+        }
+        ASSERT_EQ(evict_got, evict_want)
+            << "policy " << policyName(policy);
+        ASSERT_FALSE(evict_got.empty());
+        for (PageNum v : evict_got) {
+            got.onEvicted(v);
+            want.onEvicted(v);
+            victims.push_back(v);
+        }
+    };
+
+    for (PageNum page : stream) {
+        if (got.isTracked(page)) {
+            got.onAccess(page);
+            want.onAccess(page);
+        } else {
+            while (got.size() >= capacity_pages)
+                evictOne();
+            got.onResident(page);
+            want.onResident(page);
+        }
+    }
+    expectTrackersEqual(got, want, seed ^ 0xabcdef);
+    EXPECT_TRUE(got.checkConsistent());
+    return victims;
+}
+
+/** Page stream of a real workload's first accesses (bounded). */
+std::vector<PageNum>
+workloadPageStream(const std::string &name, std::size_t limit)
+{
+    WorkloadParams params;
+    params.size_scale = 0.05;
+    params.seed = 7;
+    auto wl = makeWorkload(name, params);
+    ManagedSpace space;
+    wl->setup(space);
+
+    std::vector<PageNum> pages;
+    while (Kernel *kernel = wl->nextKernel()) {
+        while (auto tb = kernel->nextThreadBlock()) {
+            for (auto &warp : tb->warps) {
+                WarpOp op;
+                while (warp->next(op)) {
+                    for (const TraceAccess &a : op.accesses)
+                        pages.push_back(pageOf(a.addr));
+                }
+            }
+            if (pages.size() >= limit)
+                return pages;
+        }
+    }
+    return pages;
+}
+
+} // namespace
+
+TEST(RefModelEquivalence, TrackerRandomOps)
+{
+    for (std::uint64_t seed : {1ull, 2ull, 99ull}) {
+        ResidencyTracker got;
+        RefResidencyTracker want;
+        Rng rng(seed);
+
+        // Pages spread over 8 large pages => 256 blocks.
+        const std::uint64_t span_pages = 8 * pagesPerLargePage;
+        for (int step = 0; step < 4000; ++step) {
+            PageNum page =
+                pageOf(regionBase) + rng.below(span_pages);
+            switch (rng.below(3)) {
+              case 0:
+                if (!got.isTracked(page)) {
+                    got.onResident(page);
+                    want.onResident(page);
+                }
+                break;
+              case 1:
+                got.onAccess(page);
+                want.onAccess(page);
+                break;
+              case 2:
+                if (got.isTracked(page)) {
+                    got.onEvicted(page);
+                    want.onEvicted(page);
+                }
+                break;
+            }
+            if (step % 97 == 0)
+                expectTrackersEqual(got, want, seed + step);
+        }
+        expectTrackersEqual(got, want, seed);
+        EXPECT_TRUE(got.checkConsistent());
+
+        // Spot-check the per-block/per-chunk enumerations.
+        for (std::uint64_t b = 0; b < 8 * blocksPerLargePage; b += 7) {
+            std::uint64_t block =
+                basicBlockOf(regionBase) + b;
+            EXPECT_EQ(got.pagesInBlock(block), want.pagesInBlock(block));
+            EXPECT_EQ(got.blockResidentPages(block),
+                      want.blockResidentPages(block));
+        }
+        for (std::uint64_t s = 0; s < 8; ++s) {
+            std::uint64_t slot = largePageOf(regionBase) + s;
+            EXPECT_EQ(got.pagesInLargePage(slot),
+                      want.pagesInLargePage(slot));
+        }
+    }
+}
+
+TEST(RefModelEquivalence, TrackerVictimSequencesAcrossPolicyMatrix)
+{
+    // Workload-generator page streams through every eviction policy of
+    // the standard six-combo matrix; the victim sequences must be
+    // byte-identical between the flat and the reference tracker.
+    for (const char *wl : {"hotspot", "nw"}) {
+        std::vector<PageNum> stream = workloadPageStream(wl, 20000);
+        ASSERT_FALSE(stream.empty());
+        for (Policy policy :
+             {Policy::LRU4K, Policy::Re, Policy::SLe, Policy::TBNe,
+              Policy::LRU2MB, Policy::MRU4K}) {
+            std::vector<PageNum> victims =
+                driveVictimSequence(stream, policy, 48, 0x5eed);
+            EXPECT_FALSE(victims.empty())
+                << wl << "/" << policyName(policy);
+        }
+    }
+}
+
+TEST(RefModelEquivalence, TreeRandomInterleavings)
+{
+    for (std::uint32_t leaves : {1u, 4u, 32u}) {
+        for (std::uint64_t seed : {3ull, 17ull}) {
+            LargePageTree got(regionBase, leaves);
+            RefLargePageTree want(regionBase, leaves);
+            Rng rng(seed);
+            const std::uint64_t span =
+                static_cast<std::uint64_t>(leaves) * pagesPerBasicBlock;
+
+            for (int step = 0; step < 600; ++step) {
+                PageNum page = pageOf(regionBase) + rng.below(span);
+                switch (rng.below(4)) {
+                  case 0:
+                    if (!got.pageMarked(page)) {
+                        EXPECT_EQ(got.faultFill(page),
+                                  want.faultFill(page));
+                    }
+                    break;
+                  case 1: {
+                    std::uint32_t leaf = got.leafOf(page);
+                    EXPECT_EQ(got.evictDrain(leaf),
+                              want.evictDrain(leaf));
+                    break;
+                  }
+                  case 2:
+                    got.markPage(page);
+                    want.markPage(page);
+                    break;
+                  case 3:
+                    got.unmarkPage(page);
+                    want.unmarkPage(page);
+                    break;
+                }
+                EXPECT_EQ(got.pageMarked(page), want.pageMarked(page));
+            }
+
+            // Every node's aggregate must agree with the leaf scan.
+            for (std::uint32_t h = 0; h <= got.rootHeight(); ++h) {
+                for (std::uint32_t i = 0; i < (leaves >> h); ++i) {
+                    EXPECT_EQ(got.nodeMarkedBytes(h, i),
+                              want.markedUnder(h, i))
+                        << "node (" << h << ", " << i << ")";
+                }
+            }
+            EXPECT_TRUE(got.checkConsistent());
+        }
+    }
+}
+
+} // namespace uvmsim

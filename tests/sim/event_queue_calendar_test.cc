@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Calendar-queue specific tests for the EventQueue.
+ *
+ * The classic binary-heap queue was replaced by a calendar queue over
+ * a pooled record arena; these tests pin the properties the rewrite
+ * must preserve: total (tick, priority, seq) firing order across
+ * bucket growth/shrink and width rebuilds, determinism of identically
+ * fed queues, deschedule semantics against stale handles, and
+ * equivalence of the POD scheduleCall() fast path with the lambda
+ * schedule() path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+
+namespace uvmsim
+{
+
+namespace
+{
+
+using Key = std::tuple<Tick, int, std::uint64_t>;
+
+/** Record (tick, priority, insertion index) at every firing. */
+struct FiringLog
+{
+    std::vector<Key> fired;
+};
+
+void
+podRecord(void *ctx, std::uint64_t arg)
+{
+    static_cast<FiringLog *>(ctx)->fired.emplace_back(0, 0, arg);
+}
+
+} // namespace
+
+TEST(EventQueueCalendar, TotalOrderAcrossBucketResizes)
+{
+    EventQueue eq;
+    FiringLog log;
+    Rng rng(0xca1e12ull);
+
+    // Far more events than the 64 initial buckets, with ticks spanning
+    // several decades so insertion forces both bucket growth and a
+    // width rebuild; random priorities exercise the tie-break.
+    const int n = 5000;
+    std::vector<Key> expect;
+    for (int i = 0; i < n; ++i) {
+        Tick when = rng.below(1u << 20);
+        int priority = static_cast<int>(rng.below(5)) - 2;
+        expect.emplace_back(when, priority, i);
+        eq.schedule(when, priority, [&log, when, priority, i] {
+            log.fired.emplace_back(when, priority, i);
+        });
+    }
+    EXPECT_GT(eq.numBuckets(), 64u);
+
+    std::sort(expect.begin(), expect.end());
+    eq.run();
+    EXPECT_EQ(log.fired, expect);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueueCalendar, DeterministicAcrossIdenticalFeeds)
+{
+    auto drive = [](std::uint64_t seed) {
+        EventQueue eq;
+        std::vector<Key> fired;
+        Rng rng(seed);
+        std::vector<EventQueue::EventId> ids;
+        for (int i = 0; i < 2000; ++i) {
+            Tick when = rng.below(1u << 16);
+            ids.push_back(eq.schedule(when, [&fired, when, i] {
+                fired.emplace_back(when, 0, i);
+            }));
+        }
+        // Deschedule a deterministic subset.
+        for (std::size_t i = 0; i < ids.size(); i += 7)
+            EXPECT_TRUE(eq.deschedule(ids[i]));
+        eq.run();
+        return fired;
+    };
+    EXPECT_EQ(drive(42), drive(42));
+}
+
+TEST(EventQueueCalendar, StaleHandlesAndSlotReuse)
+{
+    EventQueue eq;
+    int fired = 0;
+    EventQueue::EventId a = eq.schedule(10, [&] { ++fired; });
+    EXPECT_TRUE(eq.deschedule(a));
+    EXPECT_FALSE(eq.deschedule(a)); // second cancel is a no-op
+
+    // The freed arena slot is reused; the old handle must stay dead.
+    EventQueue::EventId b = eq.schedule(20, [&] { ++fired; });
+    EXPECT_FALSE(eq.deschedule(a));
+    EXPECT_NE(a, b);
+    eq.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_FALSE(eq.deschedule(b)); // already executed
+}
+
+TEST(EventQueueCalendar, PodPathMatchesLambdaPath)
+{
+    // Interleave scheduleCall() and schedule() at equal ticks: the POD
+    // fast path must obey exactly the same (tick, seq) ordering as the
+    // generic path.
+    EventQueue eq;
+    FiringLog log;
+    std::vector<std::uint64_t> expect;
+    for (std::uint64_t i = 0; i < 64; ++i) {
+        Tick when = 100 + (i % 4);
+        if (i % 2 == 0)
+            eq.scheduleCall(when, &podRecord, &log, i);
+        else
+            eq.schedule(when, [&log, i] {
+                log.fired.emplace_back(0, 0, i);
+            });
+    }
+    // Expected order: by tick, then insertion sequence.
+    std::vector<std::pair<Tick, std::uint64_t>> keys;
+    for (std::uint64_t i = 0; i < 64; ++i)
+        keys.emplace_back(100 + (i % 4), i);
+    std::stable_sort(keys.begin(), keys.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first < b.first;
+                     });
+    for (const auto &k : keys)
+        expect.push_back(k.second);
+
+    eq.run();
+    ASSERT_EQ(log.fired.size(), expect.size());
+    for (std::size_t i = 0; i < expect.size(); ++i)
+        EXPECT_EQ(std::get<2>(log.fired[i]), expect[i]);
+}
+
+TEST(EventQueueCalendar, ShrinksAfterDrain)
+{
+    EventQueue eq;
+    int fired = 0;
+    for (int i = 0; i < 1000; ++i)
+        eq.schedule(i, [&] { ++fired; });
+    std::size_t grown = eq.numBuckets();
+    EXPECT_GT(grown, 64u);
+    eq.run();
+    EXPECT_EQ(fired, 1000);
+
+    // New scheduling activity after the drain triggers the shrink.
+    for (int i = 0; i < 8; ++i) {
+        eq.schedule(eq.curTick() + 1 + i, [&] { ++fired; });
+        eq.run();
+    }
+    EXPECT_LT(eq.numBuckets(), grown);
+    EXPECT_EQ(fired, 1008);
+}
+
+TEST(EventQueueCalendar, FarFutureEventsSurviveRebuild)
+{
+    // A sparse far-future population makes the calendar's lap scan
+    // skip many empty buckets and forces a wide bucket width on
+    // rebuild; order must still hold.
+    EventQueue eq;
+    std::vector<Tick> fired;
+    const Tick spread[] = {5, 1ull << 30, 1ull << 40, (1ull << 40) + 1,
+                           1ull << 42};
+    for (Tick t : spread)
+        eq.schedule(t, [&fired, t] { fired.push_back(t); });
+    eq.run();
+    ASSERT_EQ(fired.size(), 5u);
+    EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+    EXPECT_EQ(eq.curTick(), 1ull << 42);
+}
+
+} // namespace uvmsim
