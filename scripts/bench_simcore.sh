@@ -1,8 +1,10 @@
 #!/bin/sh
 # Macro-benchmark of the simulator core: time the standard six-policy
-# eviction matrix (7 workloads x 6 policies = 42 full simulations) and
-# record machine-readable throughput in BENCH_simcore.json, so every
-# PR can report its before/after sims/sec on the same machine.
+# eviction matrix (7 workloads x 6 policies = 42 full simulations)
+# plus a 2-tenant sharing cell (the three cross-tenant arbitration
+# policies at 110% oversubscription) and record machine-readable
+# throughput in BENCH_simcore.json, so every PR can report its
+# before/after sims/sec on the same machine.
 #
 # Usage: scripts/bench_simcore.sh [build-dir] [--quick]
 #
@@ -65,12 +67,16 @@ time_best() {
 
 # Data cells and total simulated kernel-ms from a sweep table (skips
 # the header lines).
+# Both stop at the per-tenant breakdown section multi-tenant sweeps
+# append below the metric table.
 count_cells() {
-    awk '!/^sweep:/ && !/^benchmark/ && NF > 1 { n += NF - 1 } \
+    awk '/^per-tenant:/ { exit } \
+         !/^sweep:/ && !/^benchmark/ && NF > 1 { n += NF - 1 } \
          END { print n + 0 }' "$1"
 }
 sum_kernel_ms() {
-    awk '!/^sweep:/ && !/^benchmark/ && NF > 1 \
+    awk '/^per-tenant:/ { exit } \
+         !/^sweep:/ && !/^benchmark/ && NF > 1 \
          { for (i = 2; i <= NF; ++i) s += $i } \
          END { printf "%.3f", s }' "$1"
 }
@@ -78,6 +84,27 @@ sum_kernel_ms() {
 WALL=$(time_best "$SWEEP" BENCH_simcore_out.txt)
 CELLS=$(count_cells BENCH_simcore_out.txt)
 SIM_MS=$(sum_kernel_ms BENCH_simcore_out.txt)
+
+# The 2-tenant cell: two tenants sharing the device under each
+# cross-tenant arbitration policy.  Timed separately so the headline
+# number stays comparable with pre-tenancy records (baseline binaries
+# do not know --tenants and skip this cell).
+T2_CELLS=0
+T2_WALL=0
+T2_SIMS=0
+if "$SWEEP" --help | grep -q -- --tenants; then
+    MAIN_ARGS=$ARGS
+    ARGS="--axis=tenant-eviction \
+          --values=globalLru,staticQuota,proportionalShare --tenants=2 \
+          --oversubscription=110 --scale=$SCALE --metric=kernel_ms \
+          --jobs=1"
+    T2_WALL=$(time_best "$SWEEP" BENCH_simcore_t2.txt)
+    T2_CELLS=$(count_cells BENCH_simcore_t2.txt)
+    T2_SIMS=$(awk -v c="$T2_CELLS" -v w="$T2_WALL" \
+        'BEGIN { printf "%.3f", c / w }')
+    rm -f BENCH_simcore_t2.txt
+    ARGS=$MAIN_ARGS
+fi
 SIMS_PER_SEC=$(awk -v c="$CELLS" -v w="$WALL" \
     'BEGIN { printf "%.3f", c / w }')
 SIM_MS_PER_S=$(awk -v m="$SIM_MS" -v w="$WALL" \
@@ -124,6 +151,10 @@ cat >"$OUT" <<EOF
   "sims_per_sec": $SIMS_PER_SEC,
   "simulated_kernel_ms": $SIM_MS,
   "simulated_ms_per_wall_s": $SIM_MS_PER_S,
+  "tenant2_matrix": "tenant-eviction x {globalLru,staticQuota,proportionalShare}, 2 tenants, 7 workloads, 110% oversubscription, scale $SCALE, jobs 1",
+  "tenant2_cells": $T2_CELLS,
+  "tenant2_wall_s": $T2_WALL,
+  "tenant2_sims_per_sec": $T2_SIMS,
 ${BASELINE_FIELDS}
   "host": "$HOST",
   "cores": $CORES,

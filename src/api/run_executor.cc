@@ -61,6 +61,7 @@ runJobKey(const RunJob &job)
     appendUint(key, g.dram_latency_ns);
     appendDouble(key, g.dram_bandwidth_gbps);
     appendUint(key, g.kernel_launch_overhead);
+    appendUint(key, g.max_concurrent_kernels);
     appendUint(key, g.issue_ports_per_sm);
     key += '|';
 
@@ -81,6 +82,9 @@ runJobKey(const RunJob &job)
     appendUint(key, c.page_walk_cycles);
     appendUint(key, c.page_walkers);
     appendUint(key, c.mshr_entries);
+    appendUint(key, c.tenants);
+    appendUint(key, static_cast<std::uint64_t>(c.tenant_eviction));
+    appendUint(key, c.serialize_kernel_streams ? 1 : 0);
     appendUint(key, c.seed);
     appendUint(key, c.audit ? 1 : 0);
     // Tracing never changes simulation results, but jobs with

@@ -38,6 +38,19 @@ Simulator::Simulator(SimConfig config)
     if (config_.lru_reserve_percent < 0.0 ||
         config_.lru_reserve_percent >= 100.0)
         fatal("LRU reservation percentage outside [0, 100)");
+    if (config_.tenants == 0)
+        fatal("tenant count must be at least 1");
+    // The GPU cache models pack line addresses into 32-bit tags, so
+    // every tenant partition must sit below 2^39.
+    if (ManagedSpace::defaultVaBase +
+            static_cast<Addr>(config_.tenants) * tenantVaStride >
+        (1ull << 39))
+        fatal("tenant count %u exceeds the addressable VA budget "
+              "(max %llu)",
+              config_.tenants,
+              static_cast<unsigned long long>(
+                  ((1ull << 39) - ManagedSpace::defaultVaBase) /
+                  tenantVaStride));
 }
 
 void
@@ -69,15 +82,36 @@ Simulator::addTraceSink(trace::TraceSink *sink)
 RunResult
 Simulator::run(Workload &workload)
 {
+    if (config_.tenants != 1)
+        fatal("Simulator::run(Workload&) is single-tenant; pass one "
+              "workload per tenant for tenants=%u", config_.tenants);
+    return run(std::vector<Workload *>{&workload});
+}
+
+RunResult
+Simulator::run(const std::vector<Workload *> &workloads)
+{
+    if (workloads.size() != config_.tenants)
+        fatal("run() got %zu workloads for %u tenants",
+              workloads.size(), config_.tenants);
+    for (Workload *workload : workloads) {
+        if (!workload)
+            fatal("run() got a null workload");
+    }
+
     EventQueue eq;
     stats::StatRegistry registry;
 
-    // 1. Let the workload make its managed allocations.
-    ManagedSpace space;
-    workload.setup(space);
-    std::uint64_t footprint = space.totalPaddedBytes();
-    if (footprint == 0)
-        fatal("workload '%s' allocated nothing", workload.name().c_str());
+    // 1. Let each tenant's workload make its managed allocations in
+    //    its own VA-partitioned space.
+    TenantSet tenants(config_.tenants);
+    for (std::uint32_t t = 0; t < config_.tenants; ++t) {
+        workloads[t]->setup(tenants.space(t));
+        if (tenants.space(t).totalPaddedBytes() == 0)
+            fatal("workload '%s' allocated nothing",
+                  workloads[t]->name().c_str());
+    }
+    std::uint64_t footprint = tenants.totalPaddedBytes();
 
     // 2. Size the device memory.
     std::uint64_t device_bytes = config_.device_memory_bytes;
@@ -117,11 +151,18 @@ Simulator::run(Workload &workload)
         static_cast<double>(frames.totalFrames()));
     gcfg.lru_reserve_fraction = config_.lru_reserve_percent / 100.0;
     gcfg.whole_unit_writeback = config_.whole_unit_writeback;
+    gcfg.tenant_eviction = config_.tenant_eviction;
     gcfg.seed = config_.seed;
     gcfg.audit = config_.audit;
 
-    Gmmu gmmu(eq, pcie, frames, page_table, space, gcfg);
-    Gpu gpu(eq, config_.gpu, gmmu);
+    Gmmu gmmu(eq, pcie, frames, page_table, tenants, gcfg);
+
+    // Concurrent tenant streams need one launch slot per tenant.
+    GpuConfig gpu_cfg = config_.gpu;
+    if (config_.tenants > 1 && !config_.serialize_kernel_streams)
+        gpu_cfg.max_concurrent_kernels = std::max<std::uint32_t>(
+            gpu_cfg.max_concurrent_kernels, config_.tenants);
+    Gpu gpu(eq, gpu_cfg, gmmu);
 
     // Opt-in observability: route component events into the Chrome
     // trace exporter and the epoch time-series aggregator.  With an
@@ -158,48 +199,100 @@ Simulator::run(Workload &workload)
     gmmu.registerStats(registry);
     gpu.registerStats(registry);
 
-    // 4. Chain the workload's kernels launch-by-launch.
+    // 4. Chain each tenant's kernels launch-by-launch.  Concurrent
+    //    mode keeps every tenant's next kernel in flight at once;
+    //    serialized mode round-robins one kernel at a time across the
+    //    tenants (the functional oracle's exact interleaving).
     struct Driver
     {
-        Workload &wl;
+        const std::vector<Workload *> &wls;
         Gpu &gpu;
         EventQueue &eq;
         KernelObserver &observer;
         trace::Tracer *tracer;
+        bool serialize;
         std::uint64_t index = 0;
+        std::size_t rr = 0;
+        std::vector<char> exhausted;
 
         void
-        launchNext()
+        start()
         {
-            Kernel *kernel = wl.nextKernel();
+            exhausted.assign(wls.size(), 0);
+            if (serialize && wls.size() > 1) {
+                launchNextSerialized();
+            } else {
+                for (std::size_t t = 0; t < wls.size(); ++t)
+                    launchNext(t);
+            }
+        }
+
+        void
+        launchNext(std::size_t tenant)
+        {
+            Kernel *kernel = wls[tenant]->nextKernel();
             if (!kernel)
                 return;
             Tick start = eq.curTick();
             std::string name = kernel->name();
-            gpu.launch(*kernel, [this, start, name]() {
-                if (observer)
-                    observer(index, name, start, eq.curTick());
-                if (tracer) {
-                    tracer->record(trace::Event{
-                        trace::Kind::kernelRun, trace::Category::kernel,
-                        "kernel", start, eq.curTick() - start, 0, 0,
-                        index});
-                }
-                ++index;
-                launchNext();
+            gpu.launch(*kernel, [this, tenant, start, name]() {
+                record(start, name, tenant);
+                launchNext(tenant);
             });
+        }
+
+        void
+        launchNextSerialized()
+        {
+            std::size_t n = wls.size();
+            for (std::size_t i = 0; i < n; ++i) {
+                std::size_t t = (rr + i) % n;
+                if (exhausted[t])
+                    continue;
+                Kernel *kernel = wls[t]->nextKernel();
+                if (!kernel) {
+                    exhausted[t] = 1;
+                    continue;
+                }
+                rr = (t + 1) % n;
+                Tick start = eq.curTick();
+                std::string name = kernel->name();
+                gpu.launch(*kernel, [this, t, start, name]() {
+                    record(start, name, t);
+                    launchNextSerialized();
+                });
+                return;
+            }
+        }
+
+        void
+        record(Tick start, const std::string &name, std::size_t tenant)
+        {
+            if (observer)
+                observer(index, name, start, eq.curTick());
+            if (tracer) {
+                trace::Event run{
+                    trace::Kind::kernelRun, trace::Category::kernel,
+                    "kernel", start, eq.curTick() - start, 0, 0,
+                    index};
+                run.tenant = static_cast<std::uint32_t>(tenant);
+                tracer->record(run);
+            }
+            ++index;
         }
     };
 
     if (config_.user_prefetch_footprint) {
         // cudaMemPrefetchAsync over every allocation; the transfers
         // overlap with kernel execution exactly as on real hardware.
-        for (const auto &alloc : space.allocations())
-            gmmu.prefetchRange(alloc->base(), alloc->paddedBytes());
+        for (std::uint32_t t = 0; t < tenants.numTenants(); ++t)
+            for (const auto &alloc : tenants.space(t).allocations())
+                gmmu.prefetchRange(alloc->base(), alloc->paddedBytes());
     }
 
-    Driver driver{workload, gpu, eq, kernel_observer_, tracer.get()};
-    driver.launchNext();
+    Driver driver{workloads, gpu, eq, kernel_observer_, tracer.get(),
+                  config_.serialize_kernel_streams, 0, 0, {}};
+    driver.start();
     eq.run();
 
     if (gpu.busy())
@@ -207,9 +300,8 @@ Simulator::run(Workload &workload)
 
     if (snapshot_observer_) {
         SystemSnapshot snap;
-        snap.resident_cold_to_hot =
-            gmmu.residency().coldPages(gmmu.residency().size());
-        snap.trees = space.treeValidSizes();
+        snap.resident_cold_to_hot = gmmu.residentColdToHot();
+        snap.trees = tenants.treeValidSizes();
         snap.oversubscribed = gmmu.oversubscribed();
         snap.total_frames = frames.totalFrames();
         snap.free_frames = frames.freeFrames();
@@ -235,7 +327,7 @@ Simulator::run(Workload &workload)
 
     // 5. Collect the results.
     RunResult result;
-    result.workload = workload.name();
+    result.workload = workloads.front()->name();
     result.kernel_time = gpu.totalKernelTime();
     result.final_time = eq.curTick();
     result.device_memory_bytes = device_bytes;
@@ -249,9 +341,23 @@ RunResult
 runBenchmark(const std::string &workload_name, const SimConfig &config,
              const WorkloadParams &params)
 {
-    auto workload = makeWorkload(workload_name, params);
     Simulator sim(config);
-    return sim.run(*workload);
+    if (config.tenants <= 1) {
+        auto workload = makeWorkload(workload_name, params);
+        return sim.run(*workload);
+    }
+
+    // One generator instance per tenant; offsetting the seed keeps the
+    // tenants' irregular workloads (graphs, random access) distinct.
+    std::vector<std::unique_ptr<Workload>> owned;
+    std::vector<Workload *> per_tenant;
+    for (std::uint32_t t = 0; t < config.tenants; ++t) {
+        WorkloadParams p = params;
+        p.seed = params.seed + t;
+        owned.push_back(makeWorkload(workload_name, p));
+        per_tenant.push_back(owned.back().get());
+    }
+    return sim.run(per_tenant);
 }
 
 SeedSweepResult

@@ -106,6 +106,25 @@ struct SimConfig
     /** Far-fault MSHR capacity in distinct pages (0 = unlimited). */
     std::uint32_t mshr_entries = 0;
 
+    /**
+     * Number of tenants sharing the device.  Each tenant gets its own
+     * ManagedSpace (VA-partitioned at a 32GB stride, see
+     * core/tenant.hh) and an independent kernel stream; 1 reproduces
+     * the single-tenant model exactly, bit for bit.
+     */
+    std::uint32_t tenants = 1;
+
+    /** Cross-tenant victim arbitration (see core/tenant.hh). */
+    TenantEvictionKind tenant_eviction = TenantEvictionKind::globalLru;
+
+    /**
+     * Launch tenant kernel streams one kernel at a time, round-robin
+     * across tenants, instead of concurrently (MPS-style).  Serialized
+     * streams keep the functional oracle exact; concurrent launches
+     * are the realistic sharing model.  Ignored with one tenant.
+     */
+    bool serialize_kernel_streams = false;
+
     /** Seed for all policy randomness. */
     std::uint64_t seed = 1;
 
@@ -252,9 +271,19 @@ class Simulator
     /**
      * Run a workload to completion on a freshly built system.
      * The workload must be freshly constructed (kernel streams are
-     * consumed).
+     * consumed).  Requires config().tenants == 1.
      */
     RunResult run(Workload &workload);
+
+    /**
+     * Run one workload per tenant to completion on a freshly built
+     * system.  `workloads` must hold exactly config().tenants entries,
+     * each freshly constructed; tenant t's allocations land in its own
+     * VA-partitioned ManagedSpace and its kernels launch concurrently
+     * with the other tenants' (or round-robin serialized when
+     * config().serialize_kernel_streams is set).
+     */
+    RunResult run(const std::vector<Workload *> &workloads);
 
   private:
     SimConfig config_;

@@ -36,12 +36,52 @@ SimAuditor::SimAuditor(const ManagedSpace &space,
                        const PageTable &page_table,
                        const FrameAllocator &frames,
                        const FarFaultMshr &mshr)
-    : space_(space),
-      residency_(residency),
+    : spaces_{&space},
+      trackers_{&residency},
       page_table_(page_table),
       frames_(frames),
       mshr_(mshr)
 {
+}
+
+SimAuditor::SimAuditor(const TenantSet &tenants,
+                       const std::vector<ResidencyTracker> &trackers,
+                       const PageTable &page_table,
+                       const FrameAllocator &frames,
+                       const FarFaultMshr &mshr)
+    : page_table_(page_table), frames_(frames), mshr_(mshr)
+{
+    for (TenantId t = 0; t < tenants.numTenants(); ++t)
+        spaces_.push_back(&tenants.space(t));
+    for (const ResidencyTracker &tracker : trackers)
+        trackers_.push_back(&tracker);
+}
+
+const ResidencyTracker &
+SimAuditor::trackerFor(PageNum page) const
+{
+    if (trackers_.size() == 1)
+        return *trackers_.front();
+    TenantId t = tenantOfPage(page);
+    return *trackers_[t < trackers_.size() ? t : 0];
+}
+
+const ManagedSpace &
+SimAuditor::spaceFor(PageNum page) const
+{
+    if (spaces_.size() == 1)
+        return *spaces_.front();
+    TenantId t = tenantOfPage(page);
+    return *spaces_[t < spaces_.size() ? t : 0];
+}
+
+std::uint64_t
+SimAuditor::residencySize() const
+{
+    std::uint64_t total = 0;
+    for (const ResidencyTracker *tracker : trackers_)
+        total += tracker->size();
+    return total;
 }
 
 std::string
@@ -65,13 +105,14 @@ SimAuditor::pageState(PageNum page) const
         appendf(out, "  page table : no entry\n");
     }
 
-    appendf(out, "  residency  : tracked=%s (size %llu)\n",
-            residency_.isTracked(page) ? "yes" : "no",
-            static_cast<unsigned long long>(residency_.size()));
+    appendf(out, "  residency  : tracked=%s (size %llu of %llu)\n",
+            trackerFor(page).isTracked(page) ? "yes" : "no",
+            static_cast<unsigned long long>(trackerFor(page).size()),
+            static_cast<unsigned long long>(residencySize()));
     appendf(out, "  mshr       : in-flight=%s (pending pages %zu)\n",
             mshr_.isPending(page) ? "yes" : "no", mshr_.pendingPages());
 
-    LargePageTree *tree = space_.treeFor(page);
+    LargePageTree *tree = spaceFor(page).treeFor(page);
     if (tree) {
         std::uint32_t leaf = tree->leafOf(page);
         appendf(out,
@@ -108,7 +149,7 @@ SimAuditor::globalState(const Transients &transients) const
             "frames{free=%llu used=%llu total=%llu} in_transit=%llu "
             "pending_free=%llu\n",
             static_cast<unsigned long long>(page_table_.validPages()),
-            static_cast<unsigned long long>(residency_.size()),
+            static_cast<unsigned long long>(residencySize()),
             mshr_.pendingPages(),
             static_cast<unsigned long long>(frames_.freeFrames()),
             static_cast<unsigned long long>(frames_.usedFrames()),
@@ -117,15 +158,21 @@ SimAuditor::globalState(const Transients &transients) const
             static_cast<unsigned long long>(
                 transients.pending_free_frames));
 
-    std::vector<PageNum> cold = residency_.coldPages(16);
-    appendf(out, "  lru cold   :");
-    for (PageNum p : cold)
-        appendf(out, " %llu", static_cast<unsigned long long>(p));
-    if (residency_.size() > cold.size())
-        appendf(out, " ... (%llu more)",
-                static_cast<unsigned long long>(residency_.size() -
-                                                cold.size()));
-    appendf(out, "\n");
+    for (std::size_t ti = 0; ti < trackers_.size(); ++ti) {
+        const ResidencyTracker &tracker = *trackers_[ti];
+        std::vector<PageNum> cold = tracker.coldPages(16);
+        if (trackers_.size() == 1)
+            appendf(out, "  lru cold   :");
+        else
+            appendf(out, "  lru cold %zu :", ti);
+        for (PageNum p : cold)
+            appendf(out, " %llu", static_cast<unsigned long long>(p));
+        if (tracker.size() > cold.size())
+            appendf(out, " ... (%llu more)",
+                    static_cast<unsigned long long>(tracker.size() -
+                                                    cold.size()));
+        appendf(out, "\n");
+    }
     return out;
 }
 
@@ -153,13 +200,16 @@ SimAuditor::checkAll(const char *context, const Transients &transients)
     ++checks_;
 
     // 1. Each subsystem's own internal bookkeeping.
-    if (!residency_.checkConsistent())
-        fail(context, "ResidencyTracker::checkConsistent failed",
-             globalState(transients));
+    for (const ResidencyTracker *tracker : trackers_) {
+        if (!tracker->checkConsistent())
+            fail(context, "ResidencyTracker::checkConsistent failed",
+                 globalState(transients));
+    }
 
     // 2. Every tree-marked page is valid XOR in-flight, and every
     //    valid page is tracked.
-    for (const auto &alloc : space_.allocations()) {
+    for (const ManagedSpace *space : spaces_)
+    for (const auto &alloc : space->allocations()) {
         for (const auto &tree : alloc->trees()) {
             if (!tree->checkConsistent()) {
                 std::string detail;
@@ -184,7 +234,7 @@ SimAuditor::checkAll(const char *context, const Transients &transients)
                          "tree-marked page neither valid nor in-flight",
                          pageState(page) + globalState(transients));
                 }
-                if (valid && !residency_.isTracked(page)) {
+                if (valid && !trackerFor(page).isTracked(page)) {
                     fail(context, "valid page missing from residency LRU",
                          pageState(page) + globalState(transients));
                 }
@@ -195,12 +245,20 @@ SimAuditor::checkAll(const char *context, const Transients &transients)
     // 3. Every tracked page is valid, marked, and holds a distinct
     //    allocated frame.
     std::unordered_map<FrameNum, PageNum> frame_owner;
-    for (PageNum page : residency_.coldPages(residency_.size())) {
+    for (std::size_t ti = 0; ti < trackers_.size(); ++ti) {
+    for (PageNum page : trackers_[ti]->coldPages(trackers_[ti]->size())) {
+        if (trackers_.size() > 1 && tenantOfPage(page) != ti) {
+            // Per-tenant frame accounting: a page's recency state must
+            // live in its owning tenant's tracker, or quota arbitration
+            // charges the wrong tenant.
+            fail(context, "resident page tracked under the wrong tenant",
+                 pageState(page) + globalState(transients));
+        }
         if (!page_table_.isValid(page)) {
             fail(context, "residency-tracked page not valid in page table",
                  pageState(page) + globalState(transients));
         }
-        LargePageTree *tree = space_.treeFor(page);
+        LargePageTree *tree = spaceFor(page).treeFor(page);
         if (!tree) {
             fail(context, "residency-tracked page is unmanaged",
                  pageState(page) + globalState(transients));
@@ -229,9 +287,11 @@ SimAuditor::checkAll(const char *context, const Transients &transients)
             fail(context, "frame mapped by two valid pages", detail);
         }
     }
+    }
 
-    // 4. Aggregate counts agree across the subsystems.
-    if (page_table_.validPages() != residency_.size()) {
+    // 4. Aggregate counts agree across the subsystems (per-tenant
+    //    resident counts must sum to the page table's valid count).
+    if (page_table_.validPages() != residencySize()) {
         fail(context, "page-table valid count != residency size",
              globalState(transients));
     }
@@ -242,7 +302,7 @@ SimAuditor::checkAll(const char *context, const Transients &transients)
             fail(context, "MSHR-pending page already valid",
                  pageState(page) + globalState(transients));
         }
-        if (!space_.treeFor(page)) {
+        if (!spaceFor(page).treeFor(page)) {
             fail(context, "MSHR-pending page is unmanaged",
                  pageState(page) + globalState(transients));
         }
@@ -262,9 +322,12 @@ SimAuditor::checkAll(const char *context, const Transients &transients)
 void
 SimAuditor::checkVictims(const char *context, EvictionKind kind,
                          const std::vector<PageNum> &victims,
-                         std::uint64_t reserve_pages)
+                         std::uint64_t reserve_pages,
+                         std::uint32_t tracker)
 {
     ++victim_checks_;
+    const ResidencyTracker &selector =
+        *trackers_[tracker < trackers_.size() ? tracker : 0];
 
     auto describe = [&](PageNum offender) {
         std::string detail;
@@ -289,7 +352,7 @@ SimAuditor::checkVictims(const char *context, EvictionKind kind,
         if (i > 0 && v < victims[i - 1])
             fail(context, "eviction victims not ascending", describe(v));
 
-        if (!residency_.isTracked(v)) {
+        if (!selector.isTracked(v)) {
             // TBNe's drain may legitimately select in-flight pages;
             // the GMMU filters them and restores their marks.
             bool inflight_ok =
@@ -306,7 +369,7 @@ SimAuditor::checkVictims(const char *context, EvictionKind kind,
     // Re/MRU ignore the reservation by design.)
     if (kind == EvictionKind::lru4k && reserve_pages > 0) {
         std::vector<PageNum> protected_pages =
-            residency_.coldPages(reserve_pages);
+            selector.coldPages(reserve_pages);
         for (PageNum v : victims) {
             if (std::find(protected_pages.begin(), protected_pages.end(),
                           v) != protected_pages.end())

@@ -48,6 +48,7 @@
 #include "core/managed_space.hh"
 #include "core/policies.hh"
 #include "core/residency_tracker.hh"
+#include "core/tenant.hh"
 #include "mem/frame_allocator.hh"
 #include "mem/mshr.hh"
 #include "mem/page_table.hh"
@@ -78,6 +79,19 @@ class SimAuditor
                const FarFaultMshr &mshr);
 
     /**
+     * Multi-tenant constructor: audits every tenant space and each
+     * recency tracker (one, or one per tenant under quota policies),
+     * adding the cross-tenant invariants -- a page may only be
+     * tracked by its owning tenant's tracker, and per-tenant resident
+     * counts must sum to the page table's valid count.  The tracker
+     * vector must not reallocate after construction.
+     */
+    SimAuditor(const TenantSet &tenants,
+               const std::vector<ResidencyTracker> &trackers,
+               const PageTable &page_table, const FrameAllocator &frames,
+               const FarFaultMshr &mshr);
+
+    /**
      * Sweep every subsystem; on the first violated invariant dump a
      * structured state diff to stderr and panic.
      *
@@ -93,10 +107,14 @@ class SimAuditor
      * @param victims       Selected pages (policy contract: ascending).
      * @param reserve_pages Cold-end reservation in force during the
      *                      selection.
+     * @param tracker       Index of the tracker the selection came
+     *                      from (the victim tenant, under per-tenant
+     *                      tracking).
      */
     void checkVictims(const char *context, EvictionKind kind,
                       const std::vector<PageNum> &victims,
-                      std::uint64_t reserve_pages);
+                      std::uint64_t reserve_pages,
+                      std::uint32_t tracker = 0);
 
     /** Full sweeps performed so far. */
     std::uint64_t checksPerformed() const { return checks_; }
@@ -115,8 +133,19 @@ class SimAuditor
     /** Global counters line (valid pages, frames, MSHR, LRU head). */
     std::string globalState(const Transients &transients) const;
 
-    const ManagedSpace &space_;
-    const ResidencyTracker &residency_;
+    /** The tracker responsible for one page's recency state. */
+    const ResidencyTracker &trackerFor(PageNum page) const;
+
+    /** The space owning one page (tenant-routed). */
+    const ManagedSpace &spaceFor(PageNum page) const;
+
+    /** Resident pages across every tracker. */
+    std::uint64_t residencySize() const;
+
+    /** One space per tenant (a single entry for legacy callers). */
+    std::vector<const ManagedSpace *> spaces_;
+    /** One tracker, or one per tenant under quota policies. */
+    std::vector<const ResidencyTracker *> trackers_;
     const PageTable &page_table_;
     const FrameAllocator &frames_;
     const FarFaultMshr &mshr_;

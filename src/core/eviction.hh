@@ -19,9 +19,9 @@
 #include <string>
 #include <vector>
 
-#include "core/managed_space.hh"
 #include "core/policies.hh"
 #include "core/residency_tracker.hh"
+#include "core/tenant.hh"
 #include "mem/types.hh"
 #include "sim/rng.hh"
 
@@ -31,8 +31,14 @@ namespace uvmsim
 /** Everything a policy may consult when choosing victims. */
 struct EvictionContext
 {
+    /**
+     * The recency order to pick from.  Under per-tenant tracking the
+     * GMMU's cross-tenant arbiter has already chosen the victim
+     * tenant; this is that tenant's tracker.
+     */
     ResidencyTracker &residency;
-    ManagedSpace &space;
+    /** Page-to-tree lookup across every tenant (TBNe's drain). */
+    TenantSet &space;
     Rng &rng;
     /** Pages at the cold end of the LRU protected from eviction. */
     std::uint64_t reserve_pages = 0;

@@ -9,12 +9,12 @@ namespace uvmsim
 {
 
 Gmmu::Gmmu(EventQueue &eq, PcieLink &pcie, FrameAllocator &frames,
-           PageTable &page_table, ManagedSpace &space, GmmuConfig config)
+           PageTable &page_table, TenantSet &tenants, GmmuConfig config)
     : eq_(eq),
       pcie_(pcie),
       frames_(frames),
       page_table_(page_table),
-      space_(space),
+      tenants_(tenants),
       config_(config),
       rng_(config.seed),
       prefetcher_before_(makePrefetcher(config.prefetcher_before)),
@@ -49,6 +49,24 @@ Gmmu::Gmmu(EventQueue &eq, PcieLink &pcie, FrameAllocator &frames,
       audit_checks_("gmmu.audit_checks",
                     "SimAuditor full-state sweeps performed")
 {
+    // Per-tenant state: quota-style cross-tenant eviction needs one
+    // recency tracker per tenant; globalLru (and every single-tenant
+    // run) keeps the one shared order.  Fault queues and
+    // over-subscription latches are always per tenant.
+    const std::uint32_t num_tenants = tenants_.numTenants();
+    bool per_tenant_tracking =
+        num_tenants > 1 &&
+        config_.tenant_eviction != TenantEvictionKind::globalLru;
+    residency_.resize(per_tenant_tracking ? num_tenants : 1);
+    fault_queues_.resize(num_tenants);
+    tenant_oversub_.assign(num_tenants, 0);
+    tenant_mshr_pending_.assign(num_tenants, 0);
+    if (num_tenants > 1) {
+        tenant_stats_.reserve(num_tenants);
+        for (TenantId t = 0; t < num_tenants; ++t)
+            tenant_stats_.push_back(std::make_unique<TenantStats>(t));
+    }
+
     // The UVMSIM_AUDIT build config forces the auditor on for every
     // run (the debug CI job); otherwise it is per-run opt-in.
 #ifdef UVMSIM_AUDIT
@@ -57,7 +75,7 @@ Gmmu::Gmmu(EventQueue &eq, PcieLink &pcie, FrameAllocator &frames,
     constexpr bool audit_forced = false;
 #endif
     if (config_.audit || audit_forced) {
-        auditor_ = std::make_unique<SimAuditor>(space_, residency_,
+        auditor_ = std::make_unique<SimAuditor>(tenants_, residency_,
                                                 page_table_, frames_,
                                                 mshr_);
     }
@@ -70,10 +88,69 @@ Gmmu::Gmmu(EventQueue &eq, PcieLink &pcie, FrameAllocator &frames,
         walker_free_.assign(config_.page_walkers, 0);
 }
 
-Prefetcher &
-Gmmu::activePrefetcher()
+Gmmu::Gmmu(EventQueue &eq, PcieLink &pcie, FrameAllocator &frames,
+           PageTable &page_table, ManagedSpace &space, GmmuConfig config)
+    : Gmmu(eq, pcie, frames, page_table, *new TenantSet(space), config)
 {
-    return oversubscribed_ ? *prefetcher_after_ : *prefetcher_before_;
+    // The delegated constructor bound tenants_ to the fresh view; take
+    // ownership of it now that owned_view_ is constructed.
+    owned_view_.reset(&tenants_);
+}
+
+Gmmu::TenantStats::TenantStats(TenantId t)
+    : far_faults("tenant" + std::to_string(t) + ".far_faults",
+                 "far-faults raised by this tenant"),
+      pages_migrated("tenant" + std::to_string(t) + ".pages_migrated",
+                     "4KB pages migrated for this tenant"),
+      pages_evicted("tenant" + std::to_string(t) + ".pages_evicted",
+                    "this tenant's 4KB pages evicted"),
+      pages_evicted_cross(
+          "tenant" + std::to_string(t) + ".pages_evicted_cross",
+          "this tenant's pages evicted to satisfy another tenant"),
+      mshr_pending_peak(
+          "tenant" + std::to_string(t) + ".mshr_pending_peak",
+          "peak concurrent MSHR-pending pages owned by this tenant"),
+      oversubscribed_at_us(
+          "tenant" + std::to_string(t) + ".oversubscribed_at_us",
+          "sim time this tenant's over-subscription latch tripped")
+{
+}
+
+Prefetcher &
+Gmmu::activePrefetcher(TenantId tenant)
+{
+    return tenant_oversub_[tenant] ? *prefetcher_after_
+                                   : *prefetcher_before_;
+}
+
+std::vector<PageNum>
+Gmmu::residentColdToHot() const
+{
+    std::vector<PageNum> out;
+    for (const ResidencyTracker &tracker : residency_) {
+        std::vector<PageNum> one = tracker.coldPages(tracker.size());
+        out.insert(out.end(), one.begin(), one.end());
+    }
+    return out;
+}
+
+void
+Gmmu::mshrEnter(PageNum page)
+{
+    if (tenant_stats_.empty())
+        return;
+    TenantId t = tenants_.tenantOf(page);
+    ++tenant_mshr_pending_[t];
+    tenant_stats_[t]->mshr_pending_peak.sample(
+        static_cast<double>(tenant_mshr_pending_[t]));
+}
+
+void
+Gmmu::mshrExit(PageNum page)
+{
+    if (tenant_stats_.empty())
+        return;
+    --tenant_mshr_pending_[tenants_.tenantOf(page)];
 }
 
 void
@@ -95,7 +172,7 @@ Gmmu::accountAccess(const MemAccess &access)
         page_table_.markDirty(page);
     else
         page_table_.markAccessed(page);
-    residency_.onAccess(page);
+    trackerFor(page).onAccess(page);
     if (observer_)
         observer_(eq_.curTick(), page, access.is_write);
 }
@@ -198,9 +275,11 @@ Gmmu::raiseFault(const MemAccess &access, AccessDone done)
                               : trace::Kind::faultMerged,
                       trace::Category::fault,
                       primary ? "fault" : "fault_merged", eq_.curTick(),
-                      0, 1, 0, page});
+                      0, 1, 0, page},
+         page);
     if (primary) {
-        fault_queue_.push_back(page);
+        mshrEnter(page);
+        fault_queues_[tenants_.tenantOf(page)].push_back(page);
         kickFaultEngine();
     }
 }
@@ -213,24 +292,37 @@ Gmmu::kickFaultEngine()
 
     // Fault-buffer entries whose page is already in flight (another
     // fault's prefetch covered them) are discarded for free -- the
-    // driver processes them in the same buffer sweep.
-    while (!fault_queue_.empty()) {
-        LargePageTree *tree = space_.treeFor(fault_queue_.front());
-        if (!tree || !tree->pageMarked(fault_queue_.front()))
-            break;
-        fault_queue_.pop_front();
-        ++skipped_services_;
+    // driver processes them in the same buffer sweep.  Tenant fault
+    // buffers are swept round-robin so one tenant's burst cannot
+    // starve another, and a service batch never mixes tenants.
+    const std::uint32_t num_queues =
+        static_cast<std::uint32_t>(fault_queues_.size());
+    std::deque<PageNum> *queue = nullptr;
+    for (std::uint32_t k = 0; k < num_queues && !queue; ++k) {
+        std::deque<PageNum> &q =
+            fault_queues_[(fault_rr_ + k) % num_queues];
+        while (!q.empty()) {
+            LargePageTree *tree = tenants_.treeFor(q.front());
+            if (!tree || !tree->pageMarked(q.front()))
+                break;
+            q.pop_front();
+            ++skipped_services_;
+        }
+        if (!q.empty()) {
+            queue = &q;
+            fault_rr_ = ((fault_rr_ + k) % num_queues + 1) % num_queues;
+        }
     }
-    if (fault_queue_.empty())
+    if (!queue)
         return;
 
     engine_busy_ = true;
     std::vector<PageNum> batch;
     std::uint32_t batch_size = std::max<std::uint32_t>(
         1, config_.fault_batch_size);
-    while (!fault_queue_.empty() && batch.size() < batch_size) {
-        batch.push_back(fault_queue_.front());
-        fault_queue_.pop_front();
+    while (!queue->empty() && batch.size() < batch_size) {
+        batch.push_back(queue->front());
+        queue->pop_front();
     }
 
     Tick latency = config_.fault_handling_latency;
@@ -242,7 +334,8 @@ Gmmu::kickFaultEngine()
     }
     emit(trace::Event{trace::Kind::faultService, trace::Category::fault,
                       "fault_service", eq_.curTick(), latency,
-                      batch.size(), 0, batch.front()});
+                      batch.size(), 0, batch.front()},
+         batch.front());
     eq_.scheduleAfter(latency, [this, batch = std::move(batch)]() {
         serviceBatch(batch);
     });
@@ -262,14 +355,20 @@ Gmmu::serviceBatch(const std::vector<PageNum> &batch)
 void
 Gmmu::serviceFault(PageNum page)
 {
+    TenantId tenant = tenants_.tenantOf(page);
+    last_tenant_ = tenant;
+
     // The paper's over-subscription trigger: once occupancy reaches
     // capacity (minus any free-page buffer), the aggressive
     // prefetcher is replaced *before* the next migration decision.
-    if (!oversubscribed_ &&
+    // Each tenant evaluates the latch at its own fault service, so a
+    // tenant arriving after another filled the device switches on its
+    // own observation of the pressure, not on the first tenant's.
+    if (!tenant_oversub_[tenant] &&
         frames_.freeFrames() <= config_.free_buffer_pages)
-        enterOversubscription();
+        enterOversubscription(tenant);
 
-    LargePageTree *tree = space_.treeFor(page);
+    LargePageTree *tree = tenants_.treeFor(page);
     if (!tree)
         panic("far-fault on unmanaged page %llu",
               static_cast<unsigned long long>(page));
@@ -280,8 +379,10 @@ Gmmu::serviceFault(PageNum page)
         ++skipped_services_;
     } else {
         ++far_faults_;
+        if (!tenant_stats_.empty())
+            ++tenant_stats_[tenant]->far_faults;
         std::vector<PageNum> pages =
-            activePrefetcher().selectPages(page, *tree, rng_);
+            activePrefetcher(tenant).selectPages(page, *tree, rng_);
 
         // A single migration may never exceed half the device memory:
         // an aggressive prefetch decision is trimmed to the pages
@@ -306,7 +407,8 @@ Gmmu::serviceFault(PageNum page)
         emit(trace::Event{trace::Kind::prefetchDecision,
                           trace::Category::prefetch, "prefetch_decision",
                           eq_.curTick(), 0, pages.size(),
-                          pages.size() * pageSize, page});
+                          pages.size() * pageSize, page},
+             page);
         scheduleMigration(std::move(pages), page);
     }
 }
@@ -327,7 +429,8 @@ Gmmu::prefetchRange(Addr base, std::uint64_t bytes)
         emit(trace::Event{trace::Kind::userPrefetch,
                           trace::Category::migration, "user_prefetch",
                           eq_.curTick(), 0, batch.size(),
-                          batch.size() * pageSize, batch.front()});
+                          batch.size() * pageSize, batch.front()},
+             batch.front());
         scheduleMigration(std::move(batch), std::nullopt);
         batch.clear();
     };
@@ -341,8 +444,9 @@ Gmmu::prefetchRange(Addr base, std::uint64_t bytes)
         std::min<std::uint64_t>(pagesPerLargePage,
                                 frames_.totalFrames() / 4));
 
+    last_tenant_ = tenants_.tenantOf(first);
     for (PageNum p = first; p <= last; ++p) {
-        LargePageTree *tree = space_.treeFor(p);
+        LargePageTree *tree = tenants_.treeFor(p);
         if (!tree || tree->pageMarked(p) || page_table_.isValid(p))
             continue;
         if (!batch.empty() &&
@@ -369,21 +473,28 @@ Gmmu::scheduleMigration(std::vector<PageNum> pages,
     emit(trace::Event{trace::Kind::migrationStart,
                       trace::Category::migration, "migration_start",
                       eq_.curTick(), 0, pages.size(),
-                      pages.size() * pageSize, faulty ? *faulty : 0});
+                      pages.size() * pageSize, faulty ? *faulty : 0},
+         pages.front());
     pages_migrated_ += pages.size();
     pages_prefetched_ += pages.size() - (faulty ? 1 : 0);
+    TenantId tenant = tenants_.tenantOf(pages.front());
+    if (!tenant_stats_.empty())
+        tenant_stats_[tenant]->pages_migrated += pages.size();
     for (PageNum p : pages) {
-        if (ever_evicted_.count(p))
+        ManagedAllocation *alloc = tenants_.allocationFor(p);
+        if (alloc && alloc->everEvicted(p))
             ++pages_thrashed_;
         // Every in-flight page gets an MSHR entry (the faulting page
         // already has one): later faults merge and eviction can tell
         // the page is in flight.
-        if (!mshr_.isPending(p))
+        if (!mshr_.isPending(p)) {
             mshr_.registerPrefetch(p);
+            mshrEnter(p);
+        }
     }
 
     const std::uint64_t num_pages = pages.size();
-    ensureFrames(num_pages,
+    ensureFrames(num_pages, tenant,
                  [this, pages = std::move(pages), faulty]
                  (std::vector<FrameNum> granted) {
         // Pair page[i] with granted[i], then cut the ascending page
@@ -420,7 +531,7 @@ Gmmu::scheduleMigration(std::vector<PageNum> pages,
             auto arrive = [this, run = std::move(run)]() {
                 for (std::size_t i = 0; i < run.pages.size(); ++i) {
                     page_table_.mapPage(run.pages[i], run.frames[i]);
-                    residency_.onResident(run.pages[i]);
+                    trackerFor(run.pages[i]).onResident(run.pages[i]);
                 }
                 frames_in_transit_ -= run.pages.size();
                 migrationArrived(run.pages);
@@ -445,8 +556,10 @@ Gmmu::migrationArrived(const std::vector<PageNum> &pages)
     emit(trace::Event{trace::Kind::migrationArrived,
                       trace::Category::migration, "migration_arrived",
                       eq_.curTick(), 0, pages.size(),
-                      pages.size() * pageSize, pages.front()});
+                      pages.size() * pageSize, pages.front()},
+         pages.front());
     for (PageNum p : pages) {
+        mshrExit(p);
         auto waiters = mshr_.complete(p);
         for (auto &w : waiters)
             w();
@@ -454,7 +567,7 @@ Gmmu::migrationArrived(const std::vector<PageNum> &pages)
 }
 
 void
-Gmmu::ensureFrames(std::uint64_t pages,
+Gmmu::ensureFrames(std::uint64_t pages, TenantId tenant,
                    std::function<void(std::vector<FrameNum>)> grant)
 {
     if (pages > frames_.totalFrames()) {
@@ -463,7 +576,8 @@ Gmmu::ensureFrames(std::uint64_t pages,
               static_cast<unsigned long long>(pages),
               static_cast<unsigned long long>(frames_.totalFrames()));
     }
-    frame_requests_.push_back(FrameRequest{pages, std::move(grant)});
+    frame_requests_.push_back(FrameRequest{pages, tenant,
+                                           std::move(grant)});
     pumpFrameQueue();
 }
 
@@ -472,6 +586,7 @@ Gmmu::pumpFrameQueue()
 {
     while (!frame_requests_.empty()) {
         FrameRequest &req = frame_requests_.front();
+        last_tenant_ = req.tenant;
         if (frames_.freeFrames() >= req.pages) {
             std::vector<FrameNum> granted;
             granted.reserve(req.pages);
@@ -482,11 +597,13 @@ Gmmu::pumpFrameQueue()
             grant(std::move(granted));
             continue;
         }
-        // Short on frames: this is the over-subscription moment.
-        if (!oversubscribed_)
-            enterOversubscription();
+        // Short on frames: this is the over-subscription moment for
+        // the requesting tenant.
+        if (!tenant_oversub_[req.tenant])
+            enterOversubscription(req.tenant);
         if (frames_.freeFrames() + pending_free_frames_ < req.pages) {
-            if (!evictUntil(req.pages) && pending_free_frames_ == 0 &&
+            if (!evictUntil(req.pages, req.tenant) &&
+                pending_free_frames_ == 0 &&
                 frames_in_transit_ == 0) {
                 fatal("device memory exhausted and nothing evictable "
                       "(need %llu frames)",
@@ -504,15 +621,26 @@ Gmmu::pumpFrameQueue()
 }
 
 void
-Gmmu::enterOversubscription()
+Gmmu::enterOversubscription(TenantId tenant)
 {
-    oversubscribed_ = true;
-    oversubscribed_at_us_.set(ticksToMicroseconds(eq_.curTick()));
-    emit(trace::Event{trace::Kind::oversubscribed,
-                      trace::Category::eviction, "oversubscribed",
-                      eq_.curTick(), 0, 0, 0, 0});
-    DTRACE("GMMU", "over-subscription latched at %.1f us",
-           ticksToMicroseconds(eq_.curTick()));
+    if (tenant_oversub_[tenant])
+        return;
+    tenant_oversub_[tenant] = 1;
+    if (!tenant_stats_.empty()) {
+        tenant_stats_[tenant]->oversubscribed_at_us.set(
+            ticksToMicroseconds(eq_.curTick()));
+    }
+    if (!oversubscribed_) {
+        oversubscribed_ = true;
+        oversubscribed_at_us_.set(ticksToMicroseconds(eq_.curTick()));
+    }
+    trace::Event latched{trace::Kind::oversubscribed,
+                         trace::Category::eviction, "oversubscribed",
+                         eq_.curTick(), 0, 0, 0, tenant};
+    latched.tenant = tenant;
+    emit(latched);
+    DTRACE("GMMU", "over-subscription latched for tenant %u at %.1f us",
+           tenant, ticksToMicroseconds(eq_.curTick()));
 }
 
 void
@@ -526,46 +654,119 @@ Gmmu::maintainFreeBuffer()
     // The buffer cannot be maintained without eviction: the threshold
     // pre-eviction latch also disables the aggressive prefetcher
     // (paper Sec. 4.2).
-    if (!oversubscribed_ && frames_.usedFrames() + pending_free_frames_ +
-                                    config_.free_buffer_pages >=
-                                frames_.totalFrames()) {
-        enterOversubscription();
+    if (!tenant_oversub_[last_tenant_] &&
+        frames_.usedFrames() + pending_free_frames_ +
+                config_.free_buffer_pages >=
+            frames_.totalFrames()) {
+        enterOversubscription(last_tenant_);
     }
     if (oversubscribed_)
-        evictUntil(config_.free_buffer_pages);
+        evictUntil(config_.free_buffer_pages, last_tenant_);
+}
+
+TenantId
+Gmmu::pickVictimTenant(TenantId requester) const
+{
+    // Work-conserving quota arbitration: the tenant furthest above its
+    // frame entitlement pays.  Entitlements are an even split for
+    // staticQuota and footprint-proportional for proportionalShare
+    // (recomputed per reclaim; footprints are stable by then and the
+    // tenant count is small).
+    const std::uint32_t n = static_cast<std::uint32_t>(residency_.size());
+    std::uint64_t total = frames_.totalFrames();
+    std::uint64_t total_padded = tenants_.totalPaddedBytes();
+
+    TenantId best = requester;
+    bool have_best = false;
+    std::int64_t best_over = 0;
+    TenantId largest = requester;
+    std::uint64_t largest_size = 0;
+
+    for (TenantId t = 0; t < n; ++t) {
+        std::uint64_t resident = residency_[t].size();
+        if (resident == 0)
+            continue;
+        std::uint64_t entitlement;
+        if (config_.tenant_eviction ==
+                TenantEvictionKind::proportionalShare &&
+            total_padded > 0) {
+            entitlement = static_cast<std::uint64_t>(
+                static_cast<unsigned __int128>(total) *
+                tenants_.space(t).totalPaddedBytes() / total_padded);
+        } else {
+            entitlement = total / n + (t < total % n ? 1 : 0);
+        }
+        std::int64_t over = static_cast<std::int64_t>(resident) -
+                            static_cast<std::int64_t>(entitlement);
+        if (!have_best || over > best_over) {
+            best = t;
+            best_over = over;
+            have_best = true;
+        }
+        if (resident > largest_size) {
+            largest = t;
+            largest_size = resident;
+        }
+    }
+    if (have_best && best_over > 0)
+        return best;
+    // Nobody over entitlement: the requester reclaims from itself when
+    // it can, otherwise from the largest resident set.
+    if (requester < n && residency_[requester].size() > 0)
+        return requester;
+    return largest;
 }
 
 bool
-Gmmu::evictUntil(std::uint64_t target_frames)
+Gmmu::evictUntil(std::uint64_t target_frames, TenantId requester)
 {
+    const std::uint32_t trackers =
+        static_cast<std::uint32_t>(residency_.size());
     while (frames_.freeFrames() + pending_free_frames_ < target_frames) {
-        std::uint64_t reserve = static_cast<std::uint64_t>(
-            config_.lru_reserve_fraction *
-            static_cast<double>(residency_.size()));
-        EvictionContext ctx{residency_, space_, rng_, reserve};
-        std::vector<PageNum> victims = eviction_->selectVictims(ctx);
-        if (victims.empty() && reserve > 0) {
-            ctx.reserve_pages = 0;
+        // The arbiter's pick goes first; the remaining trackers serve
+        // as deterministic fallbacks so reclaim cannot stall on one
+        // empty (or unevictable) tenant while others hold frames.
+        std::uint32_t primary =
+            trackers > 1 ? pickVictimTenant(requester) : 0;
+        std::vector<PageNum> victims;
+        std::uint64_t reserve = 0;
+        std::uint32_t chosen = primary;
+        for (std::uint32_t k = 0; k < trackers && victims.empty(); ++k) {
+            std::uint32_t ti = (primary + k) % trackers;
+            ResidencyTracker &tracker = residency_[ti];
+            reserve = static_cast<std::uint64_t>(
+                config_.lru_reserve_fraction *
+                static_cast<double>(tracker.size()));
+            EvictionContext ctx{tracker, tenants_, rng_, reserve};
             victims = eviction_->selectVictims(ctx);
+            if (victims.empty() && reserve > 0) {
+                ctx.reserve_pages = 0;
+                reserve = 0;
+                victims = eviction_->selectVictims(ctx);
+            }
+            if (!victims.empty())
+                chosen = ti;
         }
         if (victims.empty())
             return false;
         emit(trace::Event{trace::Kind::evictionSelect,
                           trace::Category::eviction, "victim_select",
                           eq_.curTick(), 0, victims.size(), 0,
-                          victims.front()});
+                          victims.front()},
+             victims.front());
         if (auditor_) {
             auditor_->checkVictims("victim-selection", eviction_->kind(),
-                                   victims, ctx.reserve_pages);
+                                   victims, reserve, chosen);
         }
-        if (applyEviction(victims) == 0)
+        if (applyEviction(victims, requester) == 0)
             return false; // no progress; avoid spinning
     }
     return true;
 }
 
 std::uint64_t
-Gmmu::applyEviction(const std::vector<PageNum> &victims)
+Gmmu::applyEviction(const std::vector<PageNum> &victims,
+                    TenantId requester)
 {
     struct Victim
     {
@@ -582,7 +783,7 @@ Gmmu::applyEviction(const std::vector<PageNum> &victims)
             // still in flight; restore their to-be-valid marks and
             // leave them alone.
             if (mshr_.isPending(p)) {
-                if (LargePageTree *tree = space_.treeFor(p)) {
+                if (LargePageTree *tree = tenants_.treeFor(p)) {
                     if (!tree->pageMarked(p))
                         tree->markPage(p);
                 }
@@ -593,11 +794,18 @@ Gmmu::applyEviction(const std::vector<PageNum> &victims)
         FrameNum frame = page_table_.invalidatePage(p);
         if (tlb_shootdown_)
             tlb_shootdown_(p);
-        residency_.onEvicted(p);
-        if (LargePageTree *tree = space_.treeFor(p))
+        trackerFor(p).onEvicted(p);
+        if (LargePageTree *tree = tenants_.treeFor(p))
             tree->unmarkPage(p);
-        ever_evicted_.insert(p);
+        if (ManagedAllocation *alloc = tenants_.allocationFor(p))
+            alloc->noteEvicted(p);
         ++pages_evicted_;
+        if (!tenant_stats_.empty()) {
+            TenantId owner = tenants_.tenantOf(p);
+            ++tenant_stats_[owner]->pages_evicted;
+            if (owner != requester)
+                ++tenant_stats_[owner]->pages_evicted_cross;
+        }
         DTRACE("Evict", "evicting page %llu (%s)",
                static_cast<unsigned long long>(p),
                dirty ? "dirty" : "clean");
@@ -610,7 +818,8 @@ Gmmu::applyEviction(const std::vector<PageNum> &victims)
     emit(trace::Event{trace::Kind::evictionDrain,
                       trace::Category::eviction, "eviction_drain",
                       eq_.curTick(), 0, evicted.size(),
-                      evicted.size() * pageSize, evicted.front().page});
+                      evicted.size() * pageSize, evicted.front().page},
+         evicted.front().page);
 
     auto writeBack = [this](std::vector<FrameNum> frames,
                             std::uint64_t num_pages) {
@@ -674,6 +883,14 @@ Gmmu::registerStats(stats::StatRegistry &registry)
     registry.add(&user_prefetched_pages_);
     registry.add(&oversubscribed_at_us_);
     registry.add(&audit_checks_);
+    for (auto &ts : tenant_stats_) {
+        registry.add(&ts->far_faults);
+        registry.add(&ts->pages_migrated);
+        registry.add(&ts->pages_evicted);
+        registry.add(&ts->pages_evicted_cross);
+        registry.add(&ts->mshr_pending_peak);
+        registry.add(&ts->oversubscribed_at_us);
+    }
     mshr_.registerStats(registry);
 }
 

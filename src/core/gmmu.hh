@@ -26,12 +26,12 @@
 #include <functional>
 #include <memory>
 #include <optional>
-#include <unordered_set>
 #include <vector>
 
 #include "core/auditor.hh"
 #include "core/eviction.hh"
 #include "core/managed_space.hh"
+#include "core/tenant.hh"
 #include "core/policies.hh"
 #include "core/prefetcher.hh"
 #include "core/residency_tracker.hh"
@@ -108,6 +108,14 @@ struct GmmuConfig
     std::uint64_t seed = 1;
 
     /**
+     * Cross-tenant eviction arbitration (multi-tenant runs only).
+     * globalLru keeps the single shared recency order; staticQuota and
+     * proportionalShare track residency per tenant and reclaim from
+     * the most over-entitled tenant under pressure (core/tenant.hh).
+     */
+    TenantEvictionKind tenant_eviction = TenantEvictionKind::globalLru;
+
+    /**
      * Run the SimAuditor's cross-subsystem sweep after every fault
      * service, migration arrival and eviction drain (see
      * core/auditor.hh).  O(resident pages) per check -- keep off for
@@ -128,6 +136,16 @@ class Gmmu
     /** Observer of completed page accesses (used for Fig. 12 traces). */
     using AccessObserver = std::function<void(Tick, PageNum, bool)>;
 
+    /**
+     * Multi-tenant constructor: the GMMU serves every space in the
+     * set, keeping per-tenant fault queues, MSHR accounting and
+     * over-subscription latches keyed by the tenant bits of each
+     * address.
+     */
+    Gmmu(EventQueue &eq, PcieLink &pcie, FrameAllocator &frames,
+         PageTable &page_table, TenantSet &tenants, GmmuConfig config);
+
+    /** Single-space convenience constructor (wraps a TenantSet). */
     Gmmu(EventQueue &eq, PcieLink &pcie, FrameAllocator &frames,
          PageTable &page_table, ManagedSpace &space, GmmuConfig config);
 
@@ -162,11 +180,42 @@ class Gmmu
      */
     void prefetchRange(Addr base, std::uint64_t bytes);
 
-    /** Whether the over-subscription latch has tripped. */
+    /** Whether any tenant's over-subscription latch has tripped. */
     bool oversubscribed() const { return oversubscribed_; }
 
+    /**
+     * Whether one tenant's latch has tripped.  The before/after
+     * prefetcher switch is evaluated per tenant: a tenant arriving
+     * after another filled the device still runs its aggressive
+     * prefetcher until its own first fault observes the pressure.
+     */
+    bool
+    oversubscribedTenant(TenantId t) const
+    {
+        return tenant_oversub_[t] != 0;
+    }
+
     /** The recency tracker (exposed for tests and policies). */
-    ResidencyTracker &residency() { return residency_; }
+    ResidencyTracker &residency() { return residency_.front(); }
+
+    /** Recency trackers in use: 1, or one per tenant under quotas. */
+    std::uint32_t
+    numTrackers() const
+    {
+        return static_cast<std::uint32_t>(residency_.size());
+    }
+
+    /** One recency tracker (per-tenant under quota policies). */
+    ResidencyTracker &tracker(std::uint32_t i) { return residency_[i]; }
+
+    /** The tenant set this GMMU serves. */
+    TenantSet &tenants() { return tenants_; }
+
+    /**
+     * Every resident page, coldest first; per-tenant trackers
+     * concatenate in tenant order.  Snapshot/observability helper.
+     */
+    std::vector<PageNum> residentColdToHot() const;
 
     /** The MSHRs (exposed for tests). */
     FarFaultMshr &mshr() { return mshr_; }
@@ -195,10 +244,21 @@ class Gmmu
             tracer_->record(event);
     }
 
+    /** Emit with the event attributed to `owner`'s tenant. */
+    void
+    emit(trace::Event event, PageNum owner)
+    {
+        if (tracer_) {
+            event.tenant = tenants_.tenantOf(owner);
+            tracer_->record(event);
+        }
+    }
+
     /** One queued request for device frames. */
     struct FrameRequest
     {
         std::uint64_t pages;
+        TenantId tenant;
         std::function<void(std::vector<FrameNum>)> grant;
     };
 
@@ -247,8 +307,8 @@ class Gmmu
     /** A migration transfer landed: validate PTEs and replay. */
     void migrationArrived(const std::vector<PageNum> &pages);
 
-    /** Queue a frame reservation and pump the queue. */
-    void ensureFrames(std::uint64_t pages,
+    /** Queue a frame reservation for one tenant and pump the queue. */
+    void ensureFrames(std::uint64_t pages, TenantId tenant,
                       std::function<void(std::vector<FrameNum>)> grant);
 
     /** Satisfy queued frame requests; evict when short. */
@@ -256,21 +316,32 @@ class Gmmu
 
     /**
      * Run eviction selections until free + in-flight frees reach
-     * `target_frames`.  @return false when nothing more is evictable.
+     * `target_frames`, charging `requester` as the tenant whose demand
+     * forces the reclaim.  @return false when nothing more is
+     * evictable.
      */
-    bool evictUntil(std::uint64_t target_frames);
+    bool evictUntil(std::uint64_t target_frames, TenantId requester);
 
     /** Apply one selected victim set; schedules write-backs. */
-    std::uint64_t applyEviction(const std::vector<PageNum> &victims);
+    std::uint64_t applyEviction(const std::vector<PageNum> &victims,
+                                TenantId requester);
 
-    /** Latch over-subscription and switch prefetchers. */
-    void enterOversubscription();
+    /**
+     * The tenant that pays for the next reclaim under per-tenant
+     * tracking: the one furthest above its frame entitlement (static
+     * quota or footprint-proportional share), falling back to the
+     * requester itself, then to the largest resident set.
+     */
+    TenantId pickVictimTenant(TenantId requester) const;
+
+    /** Latch one tenant's over-subscription and switch its prefetcher. */
+    void enterOversubscription(TenantId tenant);
 
     /** Threshold pre-eviction to keep the free-page buffer full. */
     void maintainFreeBuffer();
 
-    /** The prefetcher active right now. */
-    Prefetcher &activePrefetcher();
+    /** The prefetcher active right now for one tenant's faults. */
+    Prefetcher &activePrefetcher(TenantId tenant);
 
     /** Run the auditor's full sweep, when enabled. */
     void audit(const char *context);
@@ -278,15 +349,33 @@ class Gmmu
     /** Common post-translation accounting. */
     void accountAccess(const MemAccess &access);
 
+    /** Whether residency is tracked per tenant (quota policies). */
+    bool perTenantTracking() const { return residency_.size() > 1; }
+
+    /** The tracker holding one page's recency state. */
+    ResidencyTracker &
+    trackerFor(PageNum page)
+    {
+        return perTenantTracking() ? residency_[tenants_.tenantOf(page)]
+                                   : residency_.front();
+    }
+
+    /** Per-tenant MSHR occupancy bookkeeping. */
+    void mshrEnter(PageNum page);
+    void mshrExit(PageNum page);
+
     EventQueue &eq_;
     PcieLink &pcie_;
     FrameAllocator &frames_;
     PageTable &page_table_;
-    ManagedSpace &space_;
+    TenantSet &tenants_;
+    /** Backing store for the single-space convenience constructor. */
+    std::unique_ptr<TenantSet> owned_view_;
     GmmuConfig config_;
 
     FarFaultMshr mshr_;
-    ResidencyTracker residency_;
+    /** One tracker, or one per tenant under quota policies. */
+    std::vector<ResidencyTracker> residency_;
     Rng rng_;
     std::unique_ptr<SimAuditor> auditor_;
 
@@ -298,7 +387,14 @@ class Gmmu
     AccessObserver observer_;
     trace::Tracer *tracer_ = nullptr;
 
-    std::deque<PageNum> fault_queue_;
+    /**
+     * Per-tenant fault queues: one tenant's fault burst cannot starve
+     * another's, and a service batch never mixes tenants (the driver
+     * handles each context's fault buffer separately).  Round-robin
+     * across non-empty queues.
+     */
+    std::vector<std::deque<PageNum>> fault_queues_;
+    TenantId fault_rr_ = 0;
     bool engine_busy_ = false;
 
     std::vector<WalkRequest> walks_;
@@ -313,9 +409,14 @@ class Gmmu
      *  yet; these become evictable once mapped, so a frame shortage
      *  with transit outstanding waits instead of failing. */
     std::uint64_t frames_in_transit_ = 0;
+    /** Any-tenant latch (drives the snapshot/global stat). */
     bool oversubscribed_ = false;
-
-    std::unordered_set<PageNum> ever_evicted_;
+    /** Per-tenant over-subscription latches. */
+    std::vector<char> tenant_oversub_;
+    /** Tenant whose activity the frame pump is currently serving. */
+    TenantId last_tenant_ = 0;
+    /** Per-tenant count of MSHR-pending pages. */
+    std::vector<std::uint64_t> tenant_mshr_pending_;
 
     stats::Counter far_faults_;
     stats::Counter fault_services_;
@@ -332,6 +433,19 @@ class Gmmu
     stats::Counter user_prefetched_pages_;
     stats::Scalar oversubscribed_at_us_;
     stats::Counter audit_checks_;
+
+    /** Per-tenant counters, created only for multi-tenant runs. */
+    struct TenantStats
+    {
+        TenantStats(TenantId t);
+        stats::Counter far_faults;
+        stats::Counter pages_migrated;
+        stats::Counter pages_evicted;
+        stats::Counter pages_evicted_cross;
+        stats::Maximum mshr_pending_peak;
+        stats::Scalar oversubscribed_at_us;
+    };
+    std::vector<std::unique_ptr<TenantStats>> tenant_stats_;
 };
 
 } // namespace uvmsim

@@ -44,6 +44,7 @@ ManagedAllocation::ManagedAllocation(std::string name, Addr base,
         cursor += padded_remainder;
     }
     padded_bytes_ = cursor - base_;
+    evicted_bits_.assign((padded_bytes_ / pageSize + 63) / 64, 0);
 }
 
 LargePageTree *
@@ -62,8 +63,16 @@ ManagedAllocation::treeFor(PageNum page) const
 }
 
 ManagedSpace::ManagedSpace()
-    : next_base_(vaBase)
+    : ManagedSpace(defaultVaBase)
 {
+}
+
+ManagedSpace::ManagedSpace(Addr base)
+    : base_(base), next_base_(base)
+{
+    if (base_ % largePageSize != 0)
+        panic("managed space base %llx not 2MB aligned",
+              static_cast<unsigned long long>(base_));
 }
 
 ManagedAllocation &
@@ -80,7 +89,7 @@ ManagedSpace::allocate(std::uint64_t bytes, std::string name)
 
     for (const auto &tree : ref.trees()) {
         std::uint64_t idx =
-            tree->baseAddr() / largePageSize - vaBase / largePageSize;
+            tree->baseAddr() / largePageSize - base_ / largePageSize;
         if (idx >= tree_by_slot_.size()) {
             tree_by_slot_.resize(idx + 1, nullptr);
             alloc_by_slot_.resize(idx + 1, nullptr);
@@ -113,7 +122,7 @@ ManagedSpace::allocationFor(PageNum page) const
 {
     Addr a = pageBase(page);
     std::uint64_t slot = a / largePageSize;
-    constexpr std::uint64_t first = vaBase / largePageSize;
+    const std::uint64_t first = base_ / largePageSize;
     if (slot < first || slot - first >= alloc_by_slot_.size())
         return nullptr;
     ManagedAllocation *alloc = alloc_by_slot_[slot - first];
@@ -124,7 +133,7 @@ LargePageTree *
 ManagedSpace::treeFor(PageNum page) const
 {
     std::uint64_t slot = pageBase(page) / largePageSize;
-    constexpr std::uint64_t first = vaBase / largePageSize;
+    const std::uint64_t first = base_ / largePageSize;
     if (slot < first || slot - first >= tree_by_slot_.size())
         return nullptr;
     LargePageTree *tree = tree_by_slot_[slot - first];

@@ -77,12 +77,48 @@ class ManagedAllocation
      */
     static std::uint64_t roundUpRemainder(std::uint64_t remainder_bytes);
 
+    /** Whether the page was ever evicted during this run. */
+    bool
+    everEvicted(PageNum page) const
+    {
+        std::uint64_t idx = evictedBitIndex(page);
+        return (evicted_bits_[idx >> 6] >> (idx & 63)) & 1u;
+    }
+
+    /** Record that the page was evicted (thrashing detection). */
+    void
+    noteEvicted(PageNum page)
+    {
+        std::uint64_t idx = evictedBitIndex(page);
+        evicted_bits_[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+    }
+
+    /**
+     * Fixed byte size of the ever-evicted bitmap: one bit per padded
+     * page, sized at construction.  Exposed so tests can assert the
+     * thrash-tracking state stays bounded on eviction-churn workloads
+     * (it used to be an unordered_set growing with every eviction).
+     */
+    std::uint64_t
+    evictedBitmapBytes() const
+    {
+        return evicted_bits_.size() * sizeof(std::uint64_t);
+    }
+
   private:
+    std::uint64_t
+    evictedBitIndex(PageNum page) const
+    {
+        return (pageBase(page) - base_) / pageSize;
+    }
+
     std::string name_;
     Addr base_;
     std::uint64_t user_bytes_;
     std::uint64_t padded_bytes_;
     std::vector<std::unique_ptr<LargePageTree>> trees_;
+    /** One "was ever evicted" bit per padded page. */
+    std::vector<std::uint64_t> evicted_bits_;
 };
 
 /** A tree's identity and to-be-valid size, for state snapshots. */
@@ -97,7 +133,20 @@ struct TreeValidSize
 class ManagedSpace
 {
   public:
+    /** Where the first allocation lands when no base is given. */
+    static constexpr Addr defaultVaBase = 0x100000000ull;
+
     ManagedSpace();
+
+    /**
+     * Place the space at an explicit 2MB-aligned base.  Multi-tenant
+     * runs stagger one space per tenant at tenantVaStride intervals so
+     * the owning tenant of any page is its high address bits.
+     */
+    explicit ManagedSpace(Addr base);
+
+    /** The base virtual address allocations bump from. */
+    Addr baseAddr() const { return base_; }
 
     /**
      * Allocate a managed region.
@@ -137,17 +186,17 @@ class ManagedSpace
     std::uint64_t totalPaddedBytes() const { return total_padded_bytes_; }
 
   private:
-    /** Virtual addresses start well away from zero to catch bugs. */
-    static constexpr Addr vaBase = 0x100000000ull;
-
+    /** Base virtual address (well away from zero to catch bugs). */
+    Addr base_;
     Addr next_base_;
     std::vector<std::unique_ptr<ManagedAllocation>> allocations_;
 
     /**
-     * Per-2MB-slot lookup tables, indexed by (slot - vaBase slot).
-     * Allocations bump upward from vaBase, so slots are dense: a
-     * page-to-tree lookup is one bounds check plus one array read --
-     * this sits on the fault-service, eviction and prefetch loops.
+     * Per-2MB-slot lookup tables, indexed by (slot - base slot).
+     * Allocations bump upward from the space's base, so slots are
+     * dense: a page-to-tree lookup is one bounds check plus one array
+     * read -- this sits on the fault-service, eviction and prefetch
+     * loops.
      */
     std::vector<LargePageTree *> tree_by_slot_;
     std::vector<ManagedAllocation *> alloc_by_slot_;

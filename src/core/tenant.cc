@@ -1,0 +1,95 @@
+#include "tenant.hh"
+
+#include "sim/logging.hh"
+
+namespace uvmsim
+{
+
+std::string
+toString(TenantEvictionKind kind)
+{
+    switch (kind) {
+      case TenantEvictionKind::globalLru:
+        return "globalLru";
+      case TenantEvictionKind::staticQuota:
+        return "staticQuota";
+      case TenantEvictionKind::proportionalShare:
+        return "proportionalShare";
+    }
+    panic("unknown TenantEvictionKind");
+}
+
+TenantEvictionKind
+tenantEvictionFromString(const std::string &name)
+{
+    for (TenantEvictionKind kind : allTenantEvictionKinds())
+        if (name == toString(kind))
+            return kind;
+    fatal("unknown tenant eviction policy '%s' "
+          "(want globalLru|staticQuota|proportionalShare)",
+          name.c_str());
+}
+
+std::vector<TenantEvictionKind>
+allTenantEvictionKinds()
+{
+    return {TenantEvictionKind::globalLru, TenantEvictionKind::staticQuota,
+            TenantEvictionKind::proportionalShare};
+}
+
+TenantSet::TenantSet(std::uint32_t num_tenants)
+{
+    if (num_tenants == 0)
+        fatal("a TenantSet needs at least one tenant");
+    owned_.reserve(num_tenants);
+    spaces_.reserve(num_tenants);
+    for (std::uint32_t t = 0; t < num_tenants; ++t) {
+        owned_.push_back(std::make_unique<ManagedSpace>(
+            ManagedSpace::defaultVaBase +
+            static_cast<Addr>(t) * tenantVaStride));
+        spaces_.push_back(owned_.back().get());
+    }
+}
+
+TenantSet::TenantSet(ManagedSpace &space)
+{
+    spaces_.push_back(&space);
+}
+
+ManagedSpace &
+TenantSet::space(TenantId t)
+{
+    if (t >= spaces_.size())
+        panic("tenant %u out of range (%zu tenants)", t, spaces_.size());
+    return *spaces_[t];
+}
+
+const ManagedSpace &
+TenantSet::space(TenantId t) const
+{
+    if (t >= spaces_.size())
+        panic("tenant %u out of range (%zu tenants)", t, spaces_.size());
+    return *spaces_[t];
+}
+
+std::vector<TreeValidSize>
+TenantSet::treeValidSizes() const
+{
+    std::vector<TreeValidSize> out;
+    for (const ManagedSpace *space : spaces_) {
+        std::vector<TreeValidSize> one = space->treeValidSizes();
+        out.insert(out.end(), one.begin(), one.end());
+    }
+    return out;
+}
+
+std::uint64_t
+TenantSet::totalPaddedBytes() const
+{
+    std::uint64_t total = 0;
+    for (const ManagedSpace *space : spaces_)
+        total += space->totalPaddedBytes();
+    return total;
+}
+
+} // namespace uvmsim

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tenants -- multiple managed address spaces sharing one GPU.
+ *
+ * The paper models a single kernel stream owning the whole device, but
+ * the deployments the ROADMAP targets (inference servers, MPS/MIG,
+ * cloud GPUs) run many concurrent contexts whose working sets compete
+ * for device memory.  A TenantSet holds one ManagedSpace per tenant,
+ * placed at a fixed 32GB virtual-address stride so a PageNum remains
+ * globally unique and its owning tenant is recoverable from the high
+ * address bits -- the (tenant, va) key is the address itself.
+ *
+ * Cross-tenant eviction is arbitrated by TenantEvictionKind:
+ *  - globalLru:          one shared recency order; the victim is the
+ *                        globally coldest unit regardless of owner
+ *                        (exactly the single-tenant behavior).
+ *  - staticQuota:        device frames split evenly; under pressure the
+ *                        tenant furthest above its quota pays.
+ *  - proportionalShare:  entitlements proportional to each tenant's
+ *                        padded footprint; the most over-entitled
+ *                        tenant pays.
+ * Quota enforcement is work-conserving: a tenant may exceed its
+ * entitlement while memory is plentiful and is only reclaimed from
+ * when the device is actually short of frames.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/managed_space.hh"
+#include "mem/types.hh"
+
+namespace uvmsim
+{
+
+/** Dense tenant identifier (index into the TenantSet). */
+using TenantId = std::uint32_t;
+
+/**
+ * Virtual-address stride between tenant spaces (32GB).  Tenant t's
+ * ManagedSpace bumps from defaultVaBase + t * tenantVaStride, so the
+ * stride dwarfs any modeled footprint yet keeps every address inside
+ * the GPU cache models' packed 32-bit line tags (addr < 2^39), and the
+ * owning tenant of any managed address is its high bits.
+ */
+constexpr Addr tenantVaStride = 1ull << 35;
+
+/** The tenant owning a managed virtual address. */
+inline TenantId
+tenantOfAddr(Addr a)
+{
+    return static_cast<TenantId>(a / tenantVaStride);
+}
+
+/** The tenant owning a managed page. */
+inline TenantId
+tenantOfPage(PageNum page)
+{
+    return tenantOfAddr(pageBase(page));
+}
+
+/** Cross-tenant eviction arbitration policy. */
+enum class TenantEvictionKind
+{
+    globalLru,
+    staticQuota,
+    proportionalShare,
+};
+
+/** Display/CLI name ("globalLru", "staticQuota", "proportionalShare"). */
+std::string toString(TenantEvictionKind kind);
+
+/** Parse a TenantEvictionKind name; fatal() on unknown names. */
+TenantEvictionKind tenantEvictionFromString(const std::string &name);
+
+/** All parseable TenantEvictionKind values, in declaration order. */
+std::vector<TenantEvictionKind> allTenantEvictionKinds();
+
+/**
+ * The set of managed address spaces sharing one simulated GPU.
+ *
+ * Owns one ManagedSpace per tenant (multi-tenant constructor) or wraps
+ * an externally owned single space (the single-tenant compatibility
+ * view used by components that predate tenancy).  Page-keyed lookups
+ * route by the tenant bits of the address, so they stay one bounds
+ * check away from the single-space fast path.
+ */
+class TenantSet
+{
+  public:
+    /** Create `num_tenants` spaces at tenantVaStride-strided bases. */
+    explicit TenantSet(std::uint32_t num_tenants);
+
+    /** Wrap one externally owned space as a single-tenant set. */
+    explicit TenantSet(ManagedSpace &space);
+
+    TenantSet(const TenantSet &) = delete;
+    TenantSet &operator=(const TenantSet &) = delete;
+
+    /** Number of tenants (>= 1). */
+    std::uint32_t
+    numTenants() const
+    {
+        return static_cast<std::uint32_t>(spaces_.size());
+    }
+
+    /** A tenant's address space. */
+    ManagedSpace &space(TenantId t);
+    const ManagedSpace &space(TenantId t) const;
+
+    /** The tenant owning a page (always 0 for a single-tenant set). */
+    TenantId
+    tenantOf(PageNum page) const
+    {
+        if (spaces_.size() == 1)
+            return 0;
+        TenantId t = tenantOfPage(page);
+        return t < spaces_.size() ? t : 0;
+    }
+
+    /** The tree containing a page; nullptr when unmanaged. */
+    LargePageTree *
+    treeFor(PageNum page) const
+    {
+        return space(tenantOf(page)).treeFor(page);
+    }
+
+    /** The allocation containing a page; nullptr when unmanaged. */
+    ManagedAllocation *
+    allocationFor(PageNum page) const
+    {
+        return space(tenantOf(page)).allocationFor(page);
+    }
+
+    /** Every tree's identity and marked bytes, in tenant order. */
+    std::vector<TreeValidSize> treeValidSizes() const;
+
+    /** Sum of padded footprints across all tenants. */
+    std::uint64_t totalPaddedBytes() const;
+
+  private:
+    std::vector<std::unique_ptr<ManagedSpace>> owned_;
+    std::vector<ManagedSpace *> spaces_;
+};
+
+} // namespace uvmsim

@@ -1,5 +1,7 @@
 #include "gpu.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace uvmsim
@@ -23,53 +25,88 @@ Gpu::Gpu(EventQueue &eq, const GpuConfig &config, Gmmu &gmmu)
 {
     if (config_.num_sms == 0)
         fatal("GPU needs at least one SM");
+    if (config_.max_concurrent_kernels == 0)
+        fatal("GPU needs max_concurrent_kernels >= 1");
     sms_.reserve(config_.num_sms);
     for (std::uint32_t i = 0; i < config_.num_sms; ++i) {
         sms_.push_back(std::make_unique<Sm>(
             i, config_, eq_, gmmu_, l2_, dram_,
-            [this]() { onBlockDone(); }));
+            [this](std::uint64_t seq) { onBlockDone(seq); }));
     }
     gmmu_.setTlbShootdown([this](PageNum page) { invalidatePage(page); });
+}
+
+Gpu::Launch *
+Gpu::findLaunch(std::uint64_t launch_seq)
+{
+    for (auto &launch : launches_) {
+        if (launch->seq == launch_seq)
+            return launch.get();
+    }
+    return nullptr;
 }
 
 void
 Gpu::launch(Kernel &kernel, std::function<void()> on_done)
 {
-    if (current_)
-        panic("kernel '%s' launched while '%s' is running",
-              kernel.name().c_str(), current_->name().c_str());
+    if (launches_.size() >= config_.max_concurrent_kernels)
+        panic("kernel '%s' launched while %zu of %u launch slots are "
+              "busy", kernel.name().c_str(), launches_.size(),
+              config_.max_concurrent_kernels);
 
     DTRACE("GPU", "launching kernel '%s'", kernel.name().c_str());
-    current_ = &kernel;
-    stream_exhausted_ = false;
-    on_done_ = std::move(on_done);
-    kernel_start_ = eq_.curTick();
+    auto launch = std::make_unique<Launch>();
+    launch->kernel = &kernel;
+    launch->seq = next_launch_seq_++;
+    launch->on_done = std::move(on_done);
+    launch->start = eq_.curTick();
+    std::uint64_t seq = launch->seq;
+    launches_.push_back(std::move(launch));
 
-    eq_.scheduleAfter(config_.kernel_launch_overhead, [this]() {
+    eq_.scheduleAfter(config_.kernel_launch_overhead, [this, seq]() {
+        if (Launch *ln = findLaunch(seq))
+            ln->started = true;
         dispatch();
-        checkKernelDone();
+        checkLaunchDone(seq);
     });
 }
 
 void
 Gpu::dispatch()
 {
-    if (!current_)
+    if (launches_.empty())
         return;
 
-    while (true) {
+    // Round-robin over the live launches so concurrent tenants share
+    // SM capacity fairly.  Stop once a full pass over the launches
+    // placed nothing (`stalled` counts consecutive launches with no
+    // dispatchable block) or the SMs fill up.
+    std::size_t stalled = 0;
+    while (stalled < launches_.size()) {
+        if (launch_rr_ >= launches_.size())
+            launch_rr_ = 0;
+        Launch &ln = *launches_[launch_rr_];
+
+        if (!ln.started) {
+            ++launch_rr_;
+            ++stalled;
+            continue;
+        }
+
         // Pull the next block (or use the one parked when no SM had
         // room on the previous round).
-        if (!pending_block_ && !stream_exhausted_) {
-            pending_block_ = current_->nextThreadBlock();
-            if (!pending_block_)
-                stream_exhausted_ = true;
+        if (!ln.pending && !ln.exhausted) {
+            ln.pending = ln.kernel->nextThreadBlock();
+            if (!ln.pending)
+                ln.exhausted = true;
         }
-        if (!pending_block_)
-            return;
+        if (!ln.pending) {
+            ++launch_rr_;
+            ++stalled;
+            continue;
+        }
 
-        auto warps =
-            static_cast<std::uint32_t>(pending_block_->warps.size());
+        auto warps = static_cast<std::uint32_t>(ln.pending->warps.size());
         if (warps > config_.max_warps_per_sm)
             fatal("thread block with %u warps exceeds the %u-warp SM "
                   "limit", warps, config_.max_warps_per_sm);
@@ -87,39 +124,53 @@ Gpu::dispatch()
         if (!target)
             return; // everything full; a draining block re-dispatches
 
+        ln.pending->launch_seq = ln.seq;
         std::uint64_t first_id = next_warp_id_;
         next_warp_id_ += warps;
         ++blocks_dispatched_;
-        target->acceptBlock(std::move(pending_block_), first_id);
+        ++ln.live_blocks;
+        target->acceptBlock(std::move(ln.pending), first_id);
+        ++launch_rr_;
+        stalled = 0;
     }
 }
 
 void
-Gpu::checkKernelDone()
+Gpu::checkLaunchDone(std::uint64_t launch_seq)
 {
-    if (!current_ || !stream_exhausted_ || pending_block_)
+    auto it = std::find_if(launches_.begin(), launches_.end(),
+                           [launch_seq](const auto &launch) {
+                               return launch->seq == launch_seq;
+                           });
+    if (it == launches_.end())
         return;
-    for (const auto &sm : sms_) {
-        if (!sm->idle())
-            return;
-    }
+    Launch &ln = **it;
+    if (!ln.started || !ln.exhausted || ln.pending || ln.live_blocks > 0)
+        return;
 
     DTRACE("GPU", "kernel complete after %.1f us",
-           ticksToMicroseconds(eq_.curTick() - kernel_start_));
-    total_kernel_ticks_ += eq_.curTick() - kernel_start_;
+           ticksToMicroseconds(eq_.curTick() - ln.start));
+    total_kernel_ticks_ += eq_.curTick() - ln.start;
     ++kernels_;
-    current_ = nullptr;
-    auto done = std::move(on_done_);
-    on_done_ = nullptr;
+    auto done = std::move(ln.on_done);
+    launches_.erase(it);
+    if (launch_rr_ >= launches_.size())
+        launch_rr_ = 0;
     if (done)
         done();
 }
 
 void
-Gpu::onBlockDone()
+Gpu::onBlockDone(std::uint64_t launch_seq)
 {
+    if (Launch *ln = findLaunch(launch_seq)) {
+        if (ln->live_blocks == 0)
+            panic("block retired for launch %llu with none in flight",
+                  static_cast<unsigned long long>(launch_seq));
+        --ln->live_blocks;
+    }
     dispatch();
-    checkKernelDone();
+    checkLaunchDone(launch_seq);
 }
 
 void

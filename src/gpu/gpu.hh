@@ -3,10 +3,13 @@
  * The whole GPU: SMs, L2, DRAM, the thread-block dispatcher, and the
  * kernel-launch interface.
  *
- * Kernels execute one at a time (the benchmarks synchronize between
- * launches, as the paper's iterative workloads do); the dispatcher
- * pulls thread blocks from the kernel stream into any SM with room,
- * re-filling as blocks drain.
+ * Up to `max_concurrent_kernels` launches may be resident at once
+ * (MPS-style sharing for multi-tenant runs).  The dispatcher
+ * round-robins across the live launches, pulling thread blocks from
+ * each stream into any SM with room and re-filling as blocks drain.
+ * With the default limit of 1 this degenerates to the paper's
+ * one-kernel-at-a-time model (the benchmarks synchronize between
+ * launches, as the paper's iterative workloads do).
  */
 
 #pragma once
@@ -38,13 +41,17 @@ class Gpu
     Gpu &operator=(const Gpu &) = delete;
 
     /**
-     * Launch a kernel.  Only one kernel runs at a time; `on_done`
-     * fires when every thread block has completed.
+     * Launch a kernel.  At most `max_concurrent_kernels` may be in
+     * flight; `on_done` fires when every thread block of this launch
+     * has completed.
      */
     void launch(Kernel &kernel, std::function<void()> on_done);
 
-    /** Whether a kernel is currently executing. */
-    bool busy() const { return current_ != nullptr; }
+    /** Whether any kernel is currently executing. */
+    bool busy() const { return !launches_.empty(); }
+
+    /** Number of launches currently in flight. */
+    std::size_t launchesInFlight() const { return launches_.size(); }
 
     /**
      * Page shootdown hook for the GMMU: drops the page's translations
@@ -52,7 +59,12 @@ class Gpu
      */
     void invalidatePage(PageNum page);
 
-    /** Accumulated kernel execution time (the paper's main metric). */
+    /**
+     * Accumulated kernel execution time (the paper's main metric).
+     * Each launch contributes its own launch-to-completion interval,
+     * so concurrent launches overlap and the sum can exceed wall
+     * clock.
+     */
     Tick totalKernelTime() const { return total_kernel_ticks_; }
 
     /** Number of kernels completed. */
@@ -71,14 +83,34 @@ class Gpu
     void registerStats(stats::StatRegistry &registry);
 
   private:
-    /** Fill SMs from the current kernel's block stream. */
+    /** One in-flight kernel launch. */
+    struct Launch
+    {
+        Kernel *kernel = nullptr;
+        /** Dispatch tag; ties retired blocks back to their launch. */
+        std::uint64_t seq = 0;
+        /** Block parked when no SM had room on the previous round. */
+        std::unique_ptr<ThreadBlock> pending;
+        bool exhausted = false;
+        /** Whether the launch overhead has elapsed. */
+        bool started = false;
+        /** Blocks dispatched to SMs and not yet retired. */
+        std::uint64_t live_blocks = 0;
+        std::function<void()> on_done;
+        Tick start = 0;
+    };
+
+    /** Fill SMs from the live launches' block streams. */
     void dispatch();
 
     /** A block finished somewhere; refill and check for completion. */
-    void onBlockDone();
+    void onBlockDone(std::uint64_t launch_seq);
 
-    /** Finish the kernel when the stream drained and all SMs idle. */
-    void checkKernelDone();
+    /** Finish a launch when its stream drained and blocks retired. */
+    void checkLaunchDone(std::uint64_t launch_seq);
+
+    /** The in-flight launch with the given tag, or nullptr. */
+    Launch *findLaunch(std::uint64_t launch_seq);
 
     EventQueue &eq_;
     GpuConfig config_;
@@ -88,11 +120,10 @@ class Gpu
     DramModel dram_;
     std::vector<std::unique_ptr<Sm>> sms_;
 
-    Kernel *current_ = nullptr;
-    std::unique_ptr<ThreadBlock> pending_block_;
-    bool stream_exhausted_ = false;
-    std::function<void()> on_done_;
-    Tick kernel_start_ = 0;
+    std::vector<std::unique_ptr<Launch>> launches_;
+    std::uint64_t next_launch_seq_ = 0;
+    /** Round-robin cursor over launches_ (clamped after erases). */
+    std::size_t launch_rr_ = 0;
     Tick total_kernel_ticks_ = 0;
     std::uint64_t next_warp_id_ = 0;
     std::uint32_t rr_cursor_ = 0;

@@ -65,6 +65,15 @@ struct GpuConfig
     Tick kernel_launch_overhead = microseconds(8);
 
     /**
+     * Concurrently resident kernel launches (MPS-style sharing).  The
+     * default 1 keeps the paper's one-kernel-at-a-time model; the
+     * multi-tenant driver raises it so every tenant's stream executes
+     * simultaneously, with the dispatcher round-robining thread
+     * blocks across the live launches.
+     */
+    std::uint32_t max_concurrent_kernels = 1;
+
+    /**
      * Warp ops an SM can begin per core cycle (its issue ports for
      * memory instructions).  Creates back-pressure when many resident
      * warps are compute-light; 0 disables the throttle.

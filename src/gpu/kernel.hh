@@ -25,6 +25,8 @@ namespace uvmsim
 struct ThreadBlock
 {
     std::uint64_t id = 0;
+    /** Which launch the block belongs to (set by the dispatcher). */
+    std::uint64_t launch_seq = 0;
     std::vector<std::unique_ptr<WarpTrace>> warps;
 };
 

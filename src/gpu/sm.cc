@@ -55,7 +55,8 @@ Sm::acceptBlock(std::unique_ptr<ThreadBlock> block,
               static_cast<unsigned long long>(block->id));
 
     blocks_.push_back(BlockCtx{
-        block->id, static_cast<std::uint32_t>(block->warps.size())});
+        block->id, block->launch_seq,
+        static_cast<std::uint32_t>(block->warps.size())});
     BlockCtx *ctx = &blocks_.back();
 
     std::uint64_t warp_id = first_warp_id;
@@ -229,15 +230,16 @@ Sm::retireWarp(WarpCtx *warp)
 
     BlockCtx *block = warp->block;
     if (--block->live_warps == 0) {
-        // Reap the block and its warp contexts.
-        std::uint64_t block_id = block->id;
+        // Reap the block and its warp contexts.  Reap by identity:
+        // block ids are only unique within one kernel, and concurrent
+        // launches can have same-id blocks resident on one SM.
+        std::uint64_t launch_seq = block->launch_seq;
         warps_.remove_if([block](const WarpCtx &w) {
             return w.block == block && w.retired;
         });
-        blocks_.remove_if([block_id](const BlockCtx &b) {
-            return b.id == block_id;
-        });
-        block_done_();
+        blocks_.remove_if(
+            [block](const BlockCtx &b) { return &b == block; });
+        block_done_(launch_seq);
     }
 }
 

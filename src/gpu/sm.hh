@@ -35,8 +35,9 @@ namespace uvmsim
 class Sm
 {
   public:
-    /** Invoked whenever a resident thread block completes. */
-    using BlockDoneFn = std::function<void()>;
+    /** Invoked whenever a resident thread block completes, with the
+     *  launch_seq of the launch the block belonged to. */
+    using BlockDoneFn = std::function<void(std::uint64_t)>;
 
     Sm(std::uint32_t id, const GpuConfig &config, EventQueue &eq,
        Gmmu &gmmu, L2Cache &l2, DramModel &dram, BlockDoneFn block_done);
@@ -79,6 +80,7 @@ class Sm
     struct BlockCtx
     {
         std::uint64_t id;
+        std::uint64_t launch_seq;
         std::uint32_t live_warps;
     };
 

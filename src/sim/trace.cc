@@ -160,6 +160,8 @@ ChromeTraceSink::record(const Event &event)
     line += std::to_string(event.value);
     line += ",\"aux\":";
     line += std::to_string(event.aux);
+    line += ",\"tenant\":";
+    line += std::to_string(event.tenant);
     line += "}}";
     out_ << line;
     ++events_;

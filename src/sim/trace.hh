@@ -105,6 +105,14 @@ struct Event
     std::uint64_t value = 0;
     /** Secondary detail (pcieTransfer: 0 = h2d, 1 = d2h). */
     std::uint64_t aux = 0;
+    /**
+     * Tenant the event is attributed to: the subject page's owner for
+     * fault/prefetch/migration/eviction events, the launching stream
+     * for kernelRun, the latching tenant for oversubscribed.  Always
+     * 0 on single-tenant runs and for pcieTransfer (the link is
+     * shared).
+     */
+    std::uint32_t tenant = 0;
 };
 
 /** Where events go.  Implementations must not outlive their writers. */

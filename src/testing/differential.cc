@@ -77,8 +77,12 @@ runDifferential(const FuzzSpec &spec, OracleMutation mutation)
         snap = s;
         have_snapshot = true;
     });
-    std::unique_ptr<Workload> workload = buildWorkload(spec);
-    RunResult run = sim.run(*workload);
+    std::vector<std::unique_ptr<Workload>> workloads =
+        buildTenantWorkloads(spec);
+    std::vector<Workload *> ptrs;
+    for (auto &w : workloads)
+        ptrs.push_back(w.get());
+    RunResult run = sim.run(ptrs);
     if (!have_snapshot)
         panic("differential run produced no end-state snapshot");
 
@@ -118,6 +122,25 @@ runDifferential(const FuzzSpec &spec, OracleMutation mutation)
     diff.counter("gmmu.user_prefetched_pages",
                  predicted.user_prefetched_pages,
                  run.stat("gmmu.user_prefetched_pages"));
+
+    // Per-tenant attribution (only registered with >1 tenant).
+    if (spec.tenants > 1) {
+        for (std::uint32_t t = 0; t < spec.tenants; ++t) {
+            const std::string pre = "tenant" + std::to_string(t);
+            diff.counter(pre + ".far_faults",
+                         predicted.tenant_far_faults[t],
+                         run.stat(pre + ".far_faults"));
+            diff.counter(pre + ".pages_migrated",
+                         predicted.tenant_pages_migrated[t],
+                         run.stat(pre + ".pages_migrated"));
+            diff.counter(pre + ".pages_evicted",
+                         predicted.tenant_pages_evicted[t],
+                         run.stat(pre + ".pages_evicted"));
+            diff.counter(pre + ".pages_evicted_cross",
+                         predicted.tenant_pages_evicted_cross[t],
+                         run.stat(pre + ".pages_evicted_cross"));
+        }
+    }
 
     // Resident set, in LRU cold-to-hot order: both the membership and
     // the recency ordering must agree page for page.

@@ -525,7 +525,9 @@ struct OracleMachine
 
     std::vector<OracleTree> trees;
     std::unordered_map<std::uint64_t, std::size_t> slot_to_tree;
-    OracleLru lru;
+    /** One tracker mirror per tenant under quota arbitration, one
+     *  shared otherwise -- exactly the GMMU's residency_ shape. */
+    std::vector<OracleLru> lrus;
     Rng rng;
     std::unordered_set<PageNum> dirty;
     std::unordered_set<PageNum> ever_evicted;
@@ -536,6 +538,10 @@ struct OracleMachine
     std::uint64_t buffer_pages = 0;
     double reserve_fraction = 0.0;
     bool oversubscribed = false;
+    std::vector<char> tenant_oversub;
+    std::uint32_t last_tenant = 0;
+    std::uint64_t padded_per_tenant = 0;
+    std::uint64_t padded_total = 0;
 
     OracleResult res;
 
@@ -543,19 +549,39 @@ struct OracleMachine
                   const FunctionalOracle::EvictionObserver &obs)
         : spec(s), mutation(m), observer(obs), rng(s.seed)
     {
+        // Every tenant replays the alloc list in its own VA partition.
         std::uint64_t padded = 0;
-        for (const AllocLayout &alloc : layoutAllocations(spec)) {
-            padded += alloc.padded_bytes;
-            for (const TreeLayout &t : alloc.trees) {
-                std::size_t index = trees.size();
-                trees.emplace_back(t.base, t.capacity_bytes, mutation);
-                for (Addr a = t.base; a < t.base + t.capacity_bytes;
-                     a += largePageSize)
-                    slot_to_tree[largePageOf(a)] = index;
-                // A sub-2MB remainder tree still owns its whole slot.
-                slot_to_tree[largePageOf(t.base)] = index;
+        for (std::uint32_t tn = 0; tn < spec.tenants; ++tn) {
+            const Addr off = static_cast<Addr>(tn) * tenantVaStride;
+            for (const AllocLayout &alloc : layoutAllocations(spec)) {
+                if (tn == 0)
+                    padded += alloc.padded_bytes;
+                for (const TreeLayout &t : alloc.trees) {
+                    std::size_t index = trees.size();
+                    trees.emplace_back(off + t.base, t.capacity_bytes,
+                                       mutation);
+                    for (Addr a = off + t.base;
+                         a < off + t.base + t.capacity_bytes;
+                         a += largePageSize)
+                        slot_to_tree[largePageOf(a)] = index;
+                    // A sub-2MB remainder tree still owns its slot.
+                    slot_to_tree[largePageOf(off + t.base)] = index;
+                }
             }
         }
+        padded_per_tenant = padded;
+        padded_total = padded * spec.tenants;
+        padded = padded_total;
+
+        bool per_tenant_tracking =
+            spec.tenants > 1 &&
+            spec.tenant_eviction != TenantEvictionKind::globalLru;
+        lrus.resize(per_tenant_tracking ? spec.tenants : 1);
+        tenant_oversub.assign(spec.tenants, 0);
+        res.tenant_far_faults.assign(spec.tenants, 0);
+        res.tenant_pages_migrated.assign(spec.tenants, 0);
+        res.tenant_pages_evicted.assign(spec.tenants, 0);
+        res.tenant_pages_evicted_cross.assign(spec.tenants, 0);
 
         std::uint64_t device = 0;
         if (spec.oversubscription_percent > 100.0) {
@@ -586,16 +612,37 @@ struct OracleMachine
         return tree.covers(page) ? &tree : nullptr;
     }
 
-    void
-    latch()
+    /** Owning tenant of a page (mirror of TenantSet::tenantOf). */
+    std::uint32_t
+    tenantOf(PageNum page) const
     {
+        if (spec.tenants == 1)
+            return 0;
+        std::uint32_t t =
+            static_cast<std::uint32_t>(tenantOfPage(page));
+        return t < spec.tenants ? t : 0;
+    }
+
+    /** The tracker mirror a page lives in (GMMU trackerFor). */
+    OracleLru &
+    lruFor(PageNum page)
+    {
+        return lrus.size() > 1 ? lrus[tenantOf(page)] : lrus.front();
+    }
+
+    void
+    latch(std::uint32_t tenant)
+    {
+        if (tenant_oversub[tenant])
+            return;
+        tenant_oversub[tenant] = 1;
         oversubscribed = true;
     }
 
-    /** One victim selection; TBNe mutates its tree here, like the
-     *  production policy. */
+    /** One victim selection from one tracker mirror; TBNe mutates
+     *  its tree here, like the production policy. */
     std::vector<PageNum>
-    selectVictims(std::uint64_t reserve,
+    selectVictims(OracleLru &lru, std::uint64_t reserve,
                   std::optional<std::uint64_t> &chosen_block,
                   std::optional<std::uint64_t> &chosen_chunk)
     {
@@ -648,7 +695,8 @@ struct OracleMachine
     }
 
     std::uint64_t
-    applyEviction(const std::vector<PageNum> &victims)
+    applyEviction(const std::vector<PageNum> &victims,
+                  std::uint32_t requester)
     {
         struct Victim
         {
@@ -657,6 +705,7 @@ struct OracleMachine
         };
         std::vector<Victim> evicted;
         for (PageNum p : victims) {
+            OracleLru &lru = lruFor(p);
             if (!lru.tracked(p)) {
                 // TBNe's drain can pick pages whose migration is in
                 // flight; their marks are restored and they survive.
@@ -676,6 +725,10 @@ struct OracleMachine
             }
             ever_evicted.insert(p);
             ++res.pages_evicted;
+            std::uint32_t owner = tenantOf(p);
+            ++res.tenant_pages_evicted[owner];
+            if (owner != requester)
+                ++res.tenant_pages_evicted_cross[owner];
             evicted.push_back(Victim{p, was_dirty});
         }
         if (evicted.empty())
@@ -709,33 +762,100 @@ struct OracleMachine
         return evicted.size();
     }
 
-    bool
-    evictUntil(std::uint64_t target_frames)
+    /** Mirror of Gmmu::pickVictimTenant: the tenant furthest above
+     *  its frame entitlement pays; ties and under-entitlement resolve
+     *  to the requester, then the largest resident set. */
+    std::uint32_t
+    pickVictimTenant(std::uint32_t requester) const
     {
-        while (free_frames < target_frames) {
-            std::uint64_t reserve = static_cast<std::uint64_t>(
-                reserve_fraction * static_cast<double>(lru.size()));
-            std::optional<std::uint64_t> chosen_block, chosen_chunk;
+        const std::uint32_t n =
+            static_cast<std::uint32_t>(lrus.size());
+        std::uint64_t total = total_frames;
 
-            FunctionalOracle::EvictionEvent event;
-            if (observer) {
-                event.kind = spec.eviction;
-                event.pages_cold_to_hot = lru.coldToHot();
-                event.blocks_cold_to_hot = lru.blocksColdToHot();
-                event.chunks_cold_to_hot = lru.chunksColdToHot();
+        std::uint32_t best = requester;
+        bool have_best = false;
+        std::int64_t best_over = 0;
+        std::uint32_t largest = requester;
+        std::uint64_t largest_size = 0;
+
+        for (std::uint32_t t = 0; t < n; ++t) {
+            std::uint64_t resident = lrus[t].size();
+            if (resident == 0)
+                continue;
+            std::uint64_t entitlement;
+            if (spec.tenant_eviction ==
+                    TenantEvictionKind::proportionalShare &&
+                padded_total > 0) {
+                entitlement = static_cast<std::uint64_t>(
+                    static_cast<unsigned __int128>(total) *
+                    padded_per_tenant / padded_total);
+            } else {
+                entitlement = total / n + (t < total % n ? 1 : 0);
             }
+            std::int64_t over = static_cast<std::int64_t>(resident) -
+                                static_cast<std::int64_t>(entitlement);
+            if (!have_best || over > best_over) {
+                best = t;
+                best_over = over;
+                have_best = true;
+            }
+            if (resident > largest_size) {
+                largest = t;
+                largest_size = resident;
+            }
+        }
+        if (have_best && best_over > 0)
+            return best;
+        if (requester < n && lrus[requester].size() > 0)
+            return requester;
+        return largest;
+    }
 
-            std::vector<PageNum> victims =
-                selectVictims(reserve, chosen_block, chosen_chunk);
+    bool
+    evictUntil(std::uint64_t target_frames, std::uint32_t requester)
+    {
+        const std::uint32_t trackers =
+            static_cast<std::uint32_t>(lrus.size());
+        while (free_frames < target_frames) {
+            // The arbiter's pick goes first; the remaining trackers
+            // are deterministic fallbacks, exactly like the GMMU.
+            std::uint32_t primary =
+                trackers > 1 ? pickVictimTenant(requester) : 0;
+            std::vector<PageNum> victims;
+            std::uint64_t reserve = 0;
+            std::uint32_t chosen = primary;
+            std::optional<std::uint64_t> chosen_block, chosen_chunk;
             bool fallback = false;
-            if (victims.empty() && reserve > 0) {
-                fallback = true;
-                victims = selectVictims(0, chosen_block, chosen_chunk);
+            for (std::uint32_t k = 0; k < trackers && victims.empty();
+                 ++k) {
+                std::uint32_t ti = (primary + k) % trackers;
+                OracleLru &lru = lrus[ti];
+                reserve = static_cast<std::uint64_t>(
+                    reserve_fraction *
+                    static_cast<double>(lru.size()));
+                chosen_block.reset();
+                chosen_chunk.reset();
+                fallback = false;
+                victims = selectVictims(lru, reserve, chosen_block,
+                                        chosen_chunk);
+                if (victims.empty() && reserve > 0) {
+                    fallback = true;
+                    victims = selectVictims(lru, 0, chosen_block,
+                                            chosen_chunk);
+                }
+                if (!victims.empty())
+                    chosen = ti;
             }
             if (victims.empty())
                 return false;
 
             if (observer) {
+                OracleLru &lru = lrus[chosen];
+                FunctionalOracle::EvictionEvent event;
+                event.kind = spec.eviction;
+                event.pages_cold_to_hot = lru.coldToHot();
+                event.blocks_cold_to_hot = lru.blocksColdToHot();
+                event.chunks_cold_to_hot = lru.chunksColdToHot();
                 event.reserve_pages = fallback ? 0 : reserve;
                 event.used_fallback = fallback;
                 event.victims = victims;
@@ -744,7 +864,7 @@ struct OracleMachine
                 observer(event);
             }
 
-            if (applyEviction(victims) == 0)
+            if (applyEviction(victims, requester) == 0)
                 return false;
         }
         return true;
@@ -758,10 +878,10 @@ struct OracleMachine
         if (free_frames >= buffer_pages)
             return;
         std::uint64_t used = total_frames - free_frames;
-        if (!oversubscribed && used + buffer_pages >= total_frames)
-            latch();
+        if (used + buffer_pages >= total_frames)
+            latch(last_tenant);
         if (oversubscribed)
-            evictUntil(buffer_pages);
+            evictUntil(buffer_pages, last_tenant);
     }
 
     /**
@@ -775,6 +895,8 @@ struct OracleMachine
             std::optional<PageNum> faulty, bool fault_is_write)
     {
         res.pages_migrated += pages.size();
+        res.tenant_pages_migrated[tenantOf(pages.front())] +=
+            pages.size();
         res.pages_prefetched += pages.size() - (faulty ? 1 : 0);
         for (PageNum p : pages) {
             if (ever_evicted.count(p))
@@ -785,25 +907,26 @@ struct OracleMachine
         if (pages.size() > total_frames)
             panic("oracle: migration of %zu pages exceeds device",
                   pages.size());
+        std::uint32_t requester = tenantOf(pages.front());
+        last_tenant = requester;
         if (free_frames < pages.size()) {
-            if (!oversubscribed)
-                latch();
-            if (!evictUntil(pages.size()))
+            latch(requester);
+            if (!evictUntil(pages.size(), requester))
                 panic("oracle: device exhausted and nothing evictable");
         }
         free_frames -= pages.size();
         maintainFreeBuffer();
 
         if (faulty) {
-            lru.insert(*faulty);
+            lruFor(*faulty).insert(*faulty);
             if (fault_is_write)
                 dirty.insert(*faulty);
-            lru.touch(*faulty);
+            lruFor(*faulty).touch(*faulty);
         }
         for (PageNum p : pages) {
             if (faulty && p == *faulty)
                 continue;
-            lru.insert(p);
+            lruFor(p).insert(p);
         }
         in_flight.clear();
     }
@@ -812,9 +935,12 @@ struct OracleMachine
     fault(PageNum page, bool is_write)
     {
         // The paper's trigger: the latch flips *before* the migration
-        // decision once free frames dip to the buffer threshold.
-        if (!oversubscribed && free_frames <= buffer_pages)
-            latch();
+        // decision once free frames dip to the buffer threshold.  The
+        // latch (and the service that set it) is per tenant.
+        std::uint32_t tenant = tenantOf(page);
+        last_tenant = tenant;
+        if (free_frames <= buffer_pages)
+            latch(tenant);
 
         OracleTree *tree = treeFor(page);
         if (!tree)
@@ -838,9 +964,11 @@ struct OracleMachine
 
         ++res.far_faults;
         ++res.fault_services;
+        ++res.tenant_far_faults[tenant];
 
-        PrefetcherKind active = oversubscribed ? spec.prefetcher_after
-                                               : spec.prefetcher_before;
+        PrefetcherKind active = tenant_oversub[tenant]
+                                    ? spec.prefetcher_after
+                                    : spec.prefetcher_before;
         std::vector<PageNum> pages = selectPrefetch(active, page, *tree);
 
         const std::uint64_t limit =
@@ -944,38 +1072,53 @@ struct OracleMachine
             pagesPerBasicBlock,
             std::min<std::uint64_t>(pagesPerLargePage,
                                     total_frames / 4));
-        for (const AllocLayout &alloc : layoutAllocations(spec)) {
-            PageNum first = pageOf(alloc.base);
-            PageNum last =
-                pageOf(alloc.base + alloc.padded_bytes - 1);
-            std::vector<PageNum> batch;
-            auto flush = [&]() {
-                if (batch.empty())
-                    return;
-                res.user_prefetched_pages += batch.size();
-                migrate(batch, std::nullopt, false);
-                batch.clear();
-            };
-            for (PageNum p = first; p <= last; ++p) {
-                OracleTree *tree = treeFor(p);
-                if (!tree || tree->marked(p) || lru.tracked(p))
-                    continue;
-                if (!batch.empty() &&
-                    (batch.size() >= max_batch ||
-                     largePageOf(pageBase(p)) !=
-                         largePageOf(pageBase(batch.back()))))
-                    flush();
-                tree->mark(p);
-                batch.push_back(p);
+        // Tenant-major, allocation-minor: the driver's order.
+        for (std::uint32_t tn = 0; tn < spec.tenants; ++tn) {
+            const Addr off = static_cast<Addr>(tn) * tenantVaStride;
+            for (const AllocLayout &alloc : layoutAllocations(spec)) {
+                PageNum first = pageOf(off + alloc.base);
+                PageNum last =
+                    pageOf(off + alloc.base + alloc.padded_bytes - 1);
+                std::vector<PageNum> batch;
+                auto flush = [&]() {
+                    if (batch.empty())
+                        return;
+                    res.user_prefetched_pages += batch.size();
+                    migrate(batch, std::nullopt, false);
+                    batch.clear();
+                };
+                for (PageNum p = first; p <= last; ++p) {
+                    OracleTree *tree = treeFor(p);
+                    if (!tree || tree->marked(p) ||
+                        lruFor(p).tracked(p))
+                        continue;
+                    if (!batch.empty() &&
+                        (batch.size() >= max_batch ||
+                         largePageOf(pageBase(p)) !=
+                             largePageOf(pageBase(batch.back()))))
+                        flush();
+                    tree->mark(p);
+                    batch.push_back(p);
+                }
+                flush();
             }
-            flush();
         }
     }
 
     OracleResult
     finish()
     {
-        res.resident_cold_to_hot = lru.coldToHot();
+        // Trackers concatenate in index order, like the GMMU's
+        // snapshot of residency_.
+        for (OracleLru &lru : lrus) {
+            std::vector<PageNum> cold = lru.coldToHot();
+            res.resident_cold_to_hot.insert(
+                res.resident_cold_to_hot.end(), cold.begin(),
+                cold.end());
+        }
+        for (std::uint32_t t = 0; t < spec.tenants; ++t)
+            res.tenant_oversubscribed.push_back(
+                tenant_oversub[t] != 0);
         for (const OracleTree &tree : trees)
             res.trees.push_back(
                 TreeValidSize{tree.base(), tree.capacityBytes(),
@@ -1000,10 +1143,10 @@ FunctionalOracle::run(const FuzzSpec &spec)
 
     for (const FuzzAccess &access : accessStream(spec)) {
         PageNum page = pageOf(access.addr);
-        if (machine.lru.tracked(page)) {
+        if (machine.lruFor(page).tracked(page)) {
             if (access.is_write)
                 machine.dirty.insert(page);
-            machine.lru.touch(page);
+            machine.lruFor(page).touch(page);
             continue;
         }
         machine.fault(page, access.is_write);

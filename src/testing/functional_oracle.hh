@@ -96,6 +96,14 @@ struct OracleResult
     std::uint64_t pages_written_back = 0;
     std::uint64_t pages_thrashed = 0;
     std::uint64_t user_prefetched_pages = 0;
+
+    // Per-tenant predictions (size = spec.tenants; index = TenantId).
+    // With one tenant the single entries mirror the global counters.
+    std::vector<std::uint64_t> tenant_far_faults;
+    std::vector<std::uint64_t> tenant_pages_migrated;
+    std::vector<std::uint64_t> tenant_pages_evicted;
+    std::vector<std::uint64_t> tenant_pages_evicted_cross;
+    std::vector<bool> tenant_oversubscribed;
 };
 
 /** The timing-free reference model. */

@@ -196,6 +196,19 @@ struct Shrinker
             candidate.oversubscription_percent = 0.0;
             any |= tryCandidate(candidate);
         }
+        // Fewer tenants first, then the trivial arbitration policy.
+        while (champion.tenants > 1) {
+            FuzzSpec candidate = champion;
+            candidate.tenants -= 1;
+            if (!tryCandidate(candidate))
+                break;
+            any = true;
+        }
+        if (champion.tenant_eviction != TenantEvictionKind::globalLru) {
+            FuzzSpec candidate = champion;
+            candidate.tenant_eviction = TenantEvictionKind::globalLru;
+            any |= tryCandidate(candidate);
+        }
         return any;
     }
 };

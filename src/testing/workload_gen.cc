@@ -123,6 +123,13 @@ toSpecString(const FuzzSpec &spec)
     out += "/buf=" + formatDouble(spec.free_buffer_percent);
     out += std::string("/up=") + (spec.user_prefetch ? "1" : "0");
     out += "/gap=" + std::to_string(spec.drain_gap_us);
+    // Tenant fields only appear for multi-tenant specs, so every
+    // pre-existing single-tenant spec string round-trips unchanged.
+    if (spec.tenants != 1 ||
+        spec.tenant_eviction != TenantEvictionKind::globalLru) {
+        out += "/tn=" + std::to_string(spec.tenants);
+        out += "/tev=" + toString(spec.tenant_eviction);
+    }
     out += "/a=";
     for (std::size_t i = 0; i < spec.allocs.size(); ++i) {
         if (i > 0)
@@ -176,6 +183,11 @@ specFromString(const std::string &text)
         } else if (key == "gap") {
             spec.drain_gap_us = static_cast<std::uint32_t>(
                 parseUintField(text, key, value));
+        } else if (key == "tn") {
+            spec.tenants = static_cast<std::uint32_t>(
+                parseUintField(text, key, value));
+        } else if (key == "tev") {
+            spec.tenant_eviction = tenantEvictionFromString(value);
         } else if (key == "a") {
             for (const std::string &item : splitOn(value, ','))
                 spec.allocs.push_back(
@@ -216,6 +228,8 @@ specProblem(const FuzzSpec &spec)
         return std::string(buf);
     };
 
+    if (spec.tenants == 0 || spec.tenants > 4)
+        return format("needs 1..4 tenants, got %u", spec.tenants);
     if (spec.allocs.empty() || spec.allocs.size() > 8)
         return format("needs 1..8 allocations, got %zu",
                       spec.allocs.size());
@@ -230,6 +244,9 @@ specProblem(const FuzzSpec &spec)
         std::uint64_t whole = (a.bytes / largePageSize) * largePageSize;
         total_padded += whole + roundedRemainder(a.bytes - whole);
     }
+    // Every tenant replays the alloc list, so the device is sized
+    // from the replicated footprint.
+    total_padded *= spec.tenants;
     if (total_padded > 64 * sizeMiB)
         return format("footprint of %llu bytes exceeds the 64MB "
                       "fuzzing cap",
@@ -377,6 +394,24 @@ generateSpec(std::uint64_t seed)
         spec.kernels.push_back(k);
     }
 
+    // Multi-tenant cells: about a third of the corpus replays the
+    // workload from 2..4 tenants under a drawn arbitration policy.
+    // Seeds whose replicated footprint would bust the spec limits
+    // stay single-tenant (the draw order keeps all earlier fields of
+    // existing seeds unchanged).
+    if (rng.chance(0.35)) {
+        static constexpr TenantEvictionKind tev_menu[] = {
+            TenantEvictionKind::globalLru,
+            TenantEvictionKind::staticQuota,
+            TenantEvictionKind::proportionalShare};
+        spec.tenants = static_cast<std::uint32_t>(2 + rng.below(3));
+        spec.tenant_eviction = tev_menu[rng.below(3)];
+        if (!specProblem(spec).empty()) {
+            spec.tenants = 1;
+            spec.tenant_eviction = TenantEvictionKind::globalLru;
+        }
+    }
+
     validateSpec(spec);
     return spec;
 }
@@ -416,46 +451,60 @@ accessStream(const FuzzSpec &spec)
     std::vector<AllocLayout> layout = layoutAllocations(spec);
     std::vector<FuzzAccess> out;
 
+    // Kernel-major, tenant-minor: exactly the round-robin order the
+    // serialized multi-tenant driver launches (t0.k0, t1.k0, ...,
+    // t0.k1, ...).  With one tenant this is the plain kernel order.
     for (std::size_t ki = 0; ki < spec.kernels.size(); ++ki) {
         const KernelSpec &k = spec.kernels[ki];
         const AllocLayout &alloc = layout[k.alloc_index];
         std::uint64_t pages = alloc.padded_bytes / pageSize;
 
-        // Per-kernel derivation keeps every kernel's draws independent
-        // of the other kernels' access counts.
-        Rng rng(spec.seed * 1000003ull + ki * 7919ull + 0x5bd1e995ull);
+        for (std::uint32_t t = 0; t < spec.tenants; ++t) {
+            const Addr tenant_off =
+                static_cast<Addr>(t) * tenantVaStride;
 
-        std::uint64_t start = rng.below(pages);
-        std::uint64_t hot_len = std::max<std::uint64_t>(1, pages / 8);
-        std::uint64_t hot_start = rng.below(pages);
+            // Per-(tenant, kernel) derivation keeps every kernel's
+            // draws independent of the other kernels' access counts
+            // and gives each tenant a distinct stream.
+            Rng rng((spec.seed + t) * 1000003ull + ki * 7919ull +
+                    0x5bd1e995ull);
 
-        for (std::uint32_t i = 0; i < k.accesses; ++i) {
-            std::uint64_t page_index = 0;
-            switch (k.pattern) {
-              case AccessPattern::streaming:
-                page_index = (start + i) % pages;
-                break;
-              case AccessPattern::strided:
-                page_index = (start +
-                              static_cast<std::uint64_t>(i) *
-                                  k.stride_pages) % pages;
-                break;
-              case AccessPattern::random:
-                page_index = rng.below(pages);
-                break;
-              case AccessPattern::hotspot:
-                if (rng.chance(0.8))
-                    page_index = (hot_start + rng.below(hot_len)) % pages;
-                else
+            std::uint64_t start = rng.below(pages);
+            std::uint64_t hot_len =
+                std::max<std::uint64_t>(1, pages / 8);
+            std::uint64_t hot_start = rng.below(pages);
+
+            for (std::uint32_t i = 0; i < k.accesses; ++i) {
+                std::uint64_t page_index = 0;
+                switch (k.pattern) {
+                  case AccessPattern::streaming:
+                    page_index = (start + i) % pages;
+                    break;
+                  case AccessPattern::strided:
+                    page_index = (start +
+                                  static_cast<std::uint64_t>(i) *
+                                      k.stride_pages) % pages;
+                    break;
+                  case AccessPattern::random:
                     page_index = rng.below(pages);
-                break;
+                    break;
+                  case AccessPattern::hotspot:
+                    if (rng.chance(0.8))
+                        page_index =
+                            (hot_start + rng.below(hot_len)) % pages;
+                    else
+                        page_index = rng.below(pages);
+                    break;
+                }
+                FuzzAccess access;
+                access.addr = tenant_off + alloc.base +
+                              page_index * pageSize +
+                              rng.below(pageSize / 128) * 128;
+                access.is_write = rng.chance(k.write_fraction);
+                access.kernel = static_cast<std::uint32_t>(ki);
+                access.tenant = t;
+                out.push_back(access);
             }
-            FuzzAccess access;
-            access.addr = alloc.base + page_index * pageSize +
-                          rng.below(pageSize / 128) * 128;
-            access.is_write = rng.chance(k.write_fraction);
-            access.kernel = static_cast<std::uint32_t>(ki);
-            out.push_back(access);
         }
     }
     return out;
@@ -464,17 +513,22 @@ accessStream(const FuzzSpec &spec)
 namespace
 {
 
-/** The Workload wrapper of one FuzzSpec (see the header). */
+/** The Workload wrapper of one tenant's slice of a FuzzSpec. */
 class FuzzWorkload : public Workload
 {
   public:
-    explicit FuzzWorkload(FuzzSpec spec)
-        : spec_(std::move(spec)), stream_(accessStream(spec_))
+    FuzzWorkload(FuzzSpec spec, std::uint32_t tenant)
+        : spec_(std::move(spec)),
+          tenant_(tenant),
+          stream_(accessStream(spec_))
     {}
 
     std::string name() const override
     {
-        return "fuzz-s" + std::to_string(spec_.seed);
+        std::string n = "fuzz-s" + std::to_string(spec_.seed);
+        if (spec_.tenants > 1)
+            n += "-t" + std::to_string(tenant_);
+        return n;
     }
 
     void
@@ -499,7 +553,7 @@ class FuzzWorkload : public Workload
 
         std::vector<WarpOp> ops;
         for (const FuzzAccess &access : stream_) {
-            if (access.kernel != ki)
+            if (access.kernel != ki || access.tenant != tenant_)
                 continue;
             WarpOp op;
             op.compute_cycles = gap;
@@ -525,6 +579,7 @@ class FuzzWorkload : public Workload
 
   private:
     FuzzSpec spec_;
+    std::uint32_t tenant_;
     std::vector<FuzzAccess> stream_;
     std::size_t next_kernel_ = 0;
     std::unique_ptr<GridKernel> current_;
@@ -536,7 +591,21 @@ std::unique_ptr<Workload>
 buildWorkload(const FuzzSpec &spec)
 {
     validateSpec(spec);
-    return std::make_unique<FuzzWorkload>(spec);
+    if (spec.tenants != 1)
+        fatal("buildWorkload: spec has %u tenants; use "
+              "buildTenantWorkloads", spec.tenants);
+    return std::make_unique<FuzzWorkload>(spec, 0);
+}
+
+std::vector<std::unique_ptr<Workload>>
+buildTenantWorkloads(const FuzzSpec &spec)
+{
+    validateSpec(spec);
+    std::vector<std::unique_ptr<Workload>> out;
+    out.reserve(spec.tenants);
+    for (std::uint32_t t = 0; t < spec.tenants; ++t)
+        out.push_back(std::make_unique<FuzzWorkload>(spec, t));
+    return out;
 }
 
 SimConfig
@@ -551,6 +620,11 @@ simConfigFor(const FuzzSpec &spec)
     cfg.lru_reserve_percent = spec.lru_reserve_percent;
     cfg.free_buffer_percent = spec.free_buffer_percent;
     cfg.user_prefetch_footprint = spec.user_prefetch;
+    cfg.tenants = spec.tenants;
+    cfg.tenant_eviction = spec.tenant_eviction;
+    // Serialized streams are what makes the timing-free oracle exact;
+    // with one tenant the flag is a no-op.
+    cfg.serialize_kernel_streams = true;
     cfg.seed = spec.seed;
     cfg.fault_latency_jitter = 0.0;
     cfg.audit = true;

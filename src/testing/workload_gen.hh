@@ -34,6 +34,7 @@
 
 #include "api/simulator.hh"
 #include "core/policies.hh"
+#include "core/tenant.hh"
 #include "mem/types.hh"
 #include "workloads/workload.hh"
 
@@ -102,6 +103,18 @@ struct FuzzSpec
     /** Pure-compute gap before every access, in microseconds. */
     std::uint32_t drain_gap_us = 10000;
 
+    /**
+     * Tenants sharing the device.  Each tenant replays the same alloc
+     * and kernel lists in its own VA-partitioned space, with per-tenant
+     * seed offsets so the irregular patterns differ; kernel streams are
+     * serialized round-robin across tenants (t0.k0, t1.k0, ...,
+     * t0.k1, ...) so the oracle stays exact.
+     */
+    std::uint32_t tenants = 1;
+
+    /** Cross-tenant victim arbitration under memory pressure. */
+    TenantEvictionKind tenant_eviction = TenantEvictionKind::globalLru;
+
     std::vector<AllocSpec> allocs;
     std::vector<KernelSpec> kernels;
 };
@@ -163,6 +176,7 @@ struct FuzzAccess
     Addr addr = 0;
     bool is_write = false;
     std::uint32_t kernel = 0;
+    std::uint32_t tenant = 0;
 };
 
 /**
@@ -176,8 +190,14 @@ std::vector<FuzzAccess> accessStream(const FuzzSpec &spec);
 
 /** Materialize the spec as a Workload for Simulator::run():
  *  one kernel per KernelSpec, single thread block, single warp, one
- *  access per op behind a drain_gap_us compute gap. */
+ *  access per op behind a drain_gap_us compute gap.  Requires
+ *  spec.tenants == 1 (use buildTenantWorkloads() otherwise). */
 std::unique_ptr<Workload> buildWorkload(const FuzzSpec &spec);
+
+/** One Workload per tenant for Simulator::run(vector): tenant t
+ *  replays its slice of the canonical stream in its own space. */
+std::vector<std::unique_ptr<Workload>>
+buildTenantWorkloads(const FuzzSpec &spec);
 
 /** The SimConfig a differential run uses for this spec: the spec's
  *  policies and pressure knobs, audit on, 1 SM, no latency jitter. */

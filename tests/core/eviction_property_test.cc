@@ -40,6 +40,7 @@ class EvictionPropertyTest
 {
   protected:
     ManagedSpace space;
+    TenantSet tenants{space};
     ResidencyTracker residency;
     Rng policy_rng{7};
     Rng driver_rng{1234};
@@ -64,7 +65,7 @@ class EvictionPropertyTest
     EvictionContext
     ctx(std::uint64_t reserve)
     {
-        return EvictionContext{residency, space, policy_rng, reserve};
+        return EvictionContext{residency, tenants, policy_rng, reserve};
     }
 
     void

@@ -17,13 +17,14 @@ namespace
 struct EvictionFixture : public ::testing::Test
 {
     ManagedSpace space;
+    TenantSet tenants{space};
     ResidencyTracker residency;
     Rng rng{11};
 
     EvictionContext
     ctx(std::uint64_t reserve = 0)
     {
-        return EvictionContext{residency, space, rng, reserve};
+        return EvictionContext{residency, tenants, rng, reserve};
     }
 
     /** Make `pages` pages of an allocation resident, in page order. */

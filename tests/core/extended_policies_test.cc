@@ -106,6 +106,7 @@ TEST(ExtendedPolicies, ZlpSkipsValidPagesInRun)
 TEST(ExtendedPolicies, MruEvictsTheHottestPage)
 {
     ManagedSpace space;
+    TenantSet tenants{space};
     auto &alloc = space.allocate(mib(2), "a");
     ResidencyTracker residency;
     Rng rng(1);
@@ -117,7 +118,7 @@ TEST(ExtendedPolicies, MruEvictsTheHottestPage)
     residency.onAccess(pageOf(alloc.base()) + 3);
 
     Mru4kEviction policy;
-    EvictionContext ctx{residency, space, rng, 0};
+    EvictionContext ctx{residency, tenants, rng, 0};
     auto victims = policy.selectVictims(ctx);
     ASSERT_EQ(victims.size(), 1u);
     EXPECT_EQ(victims[0], pageOf(alloc.base()) + 3);

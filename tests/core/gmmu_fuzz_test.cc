@@ -126,6 +126,9 @@ TEST_P(GmmuFuzz, InvariantsHoldAfterGeneratedTraffic)
     spec.prefetcher_before = prefetcher;
     spec.prefetcher_after = prefetcher;
     spec.eviction = eviction;
+    // This harness drives a single-space GMMU; multi-tenant draws are
+    // covered by the differential fuzzer.
+    spec.tenants = 1;
 
     stressWithSpec(spec, 96); // tiny device: forces constant eviction
 }
@@ -203,6 +206,7 @@ TEST_P(GmmuFuzz, DeterministicUnderSameSeed)
         spec.prefetcher_before = prefetcher;
         spec.prefetcher_after = prefetcher;
         spec.eviction = eviction;
+        spec.tenants = 1;
         materializeAllocs(spec, space);
 
         int i = 0;

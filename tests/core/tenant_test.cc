@@ -1,0 +1,222 @@
+/**
+ * @file
+ * TenantSet tests: VA-partitioned tenant keying, page-to-tenant
+ * routing, the multi-tenant SimAuditor's cross-tenant frame-ownership
+ * invariants (seeded corruptions must fire with a structured diff),
+ * and the bounded-memory guarantee of the per-allocation ever-evicted
+ * bitmap.
+ */
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <vector>
+
+#include "core/auditor.hh"
+#include "core/tenant.hh"
+#include "sim/ticks.hh"
+
+namespace uvmsim
+{
+
+// ---------------------------------------------------------------------
+// VA partitioning: the (tenant, va) key is the address itself.
+// ---------------------------------------------------------------------
+
+TEST(TenantSet, SpacesAreStridedAndRoutable)
+{
+    TenantSet tenants(3);
+    ASSERT_EQ(tenants.numTenants(), 3u);
+
+    std::vector<ManagedAllocation *> allocs;
+    for (TenantId t = 0; t < 3; ++t)
+        allocs.push_back(&tenants.space(t).allocate(mib(2), "a"));
+
+    for (TenantId t = 0; t < 3; ++t) {
+        // Each space bumps from its own 32GB-strided base...
+        EXPECT_EQ(allocs[t]->base(),
+                  ManagedSpace::defaultVaBase + t * tenantVaStride);
+        // ...so ownership is recoverable from the address alone.
+        PageNum first = pageOf(allocs[t]->base());
+        PageNum last = pageOf(allocs[t]->endAddr() - 1);
+        EXPECT_EQ(tenantOfPage(first), t);
+        EXPECT_EQ(tenants.tenantOf(first), t);
+        EXPECT_EQ(tenants.tenantOf(last), t);
+        // Page-keyed lookups route into the owning tenant's space.
+        EXPECT_EQ(tenants.allocationFor(first), allocs[t]);
+        EXPECT_EQ(tenants.treeFor(first),
+                  tenants.space(t).treeFor(first));
+        EXPECT_NE(tenants.treeFor(first), nullptr);
+    }
+
+    // Aggregate footprint sums every tenant.
+    EXPECT_EQ(tenants.totalPaddedBytes(), 3 * allocs[0]->paddedBytes());
+
+    // treeValidSizes enumerates in tenant order (the snapshot/oracle
+    // contract).
+    auto sizes = tenants.treeValidSizes();
+    ASSERT_FALSE(sizes.empty());
+    for (std::size_t i = 1; i < sizes.size(); ++i)
+        EXPECT_LT(sizes[i - 1].base, sizes[i].base);
+}
+
+TEST(TenantSet, SingleTenantViewOwnsNothing)
+{
+    ManagedSpace space;
+    auto &alloc = space.allocate(mib(1), "solo");
+    TenantSet tenants(space);
+    EXPECT_EQ(tenants.numTenants(), 1u);
+    // The compatibility view maps every page to tenant 0, even
+    // addresses that would decode to a higher tenant id.
+    EXPECT_EQ(tenants.tenantOf(pageOf(alloc.base())), 0u);
+    EXPECT_EQ(tenants.tenantOf(pageOf(alloc.base() + tenantVaStride)),
+              0u);
+    EXPECT_EQ(&tenants.space(0), &space);
+}
+
+TEST(TenantEviction, NameRoundTrip)
+{
+    for (TenantEvictionKind kind : allTenantEvictionKinds())
+        EXPECT_EQ(tenantEvictionFromString(toString(kind)), kind);
+    EXPECT_EQ(toString(TenantEvictionKind::globalLru), "globalLru");
+    EXPECT_EQ(toString(TenantEvictionKind::staticQuota), "staticQuota");
+    EXPECT_EQ(toString(TenantEvictionKind::proportionalShare),
+              "proportionalShare");
+}
+
+// ---------------------------------------------------------------------
+// Multi-tenant auditor: seeded cross-tenant ownership corruption must
+// fire; a healthy two-tenant system must not.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/**
+ * Two tenants with per-tenant trackers, brought up GMMU-style, so the
+ * cross-tenant invariants (a page's recency state lives in its owning
+ * tenant's tracker; frames are owned by exactly one page) can each be
+ * broken in isolation.
+ */
+struct TenantAuditFixture : public ::testing::Test
+{
+    TenantSet tenants{2};
+    std::vector<ResidencyTracker> trackers{2};
+    PageTable pt;
+    FrameAllocator frames{64};
+    FarFaultMshr mshr;
+    SimAuditor auditor{tenants, trackers, pt, frames, mshr};
+    SimAuditor::Transients none{};
+
+    ManagedAllocation *alloc0 = nullptr;
+    ManagedAllocation *alloc1 = nullptr;
+
+    void
+    SetUp() override
+    {
+        alloc0 = &tenants.space(0).allocate(mib(2), "t0");
+        alloc1 = &tenants.space(1).allocate(mib(2), "t1");
+    }
+
+    PageNum
+    page(TenantId t, std::uint64_t index) const
+    {
+        return pageOf((t == 0 ? alloc0 : alloc1)->base()) + index;
+    }
+
+    /** Full resident bring-up of one page under its owning tenant. */
+    void
+    makeResident(PageNum p)
+    {
+        tenants.treeFor(p)->markPage(p);
+        pt.mapPage(p, *frames.allocate());
+        trackers[tenants.tenantOf(p)].onResident(p);
+    }
+};
+
+} // namespace
+
+TEST_F(TenantAuditFixture, HealthyTwoTenantSystemPasses)
+{
+    auditor.checkAll("empty", none);
+    for (std::uint64_t i = 0; i < 12; ++i) {
+        makeResident(page(0, i));
+        makeResident(page(1, i));
+    }
+    auditor.checkAll("resident", none);
+    EXPECT_EQ(auditor.checksPerformed(), 2u);
+}
+
+TEST_F(TenantAuditFixture, PageTrackedUnderForeignTenantFires)
+{
+    makeResident(page(0, 0));
+    makeResident(page(1, 0));
+    // Corrupt: tenant 1's resident page also enters tenant 0's
+    // recency order -- quota arbitration would charge the wrong
+    // tenant for it.
+    trackers[0].onResident(page(1, 0));
+    ASSERT_EXIT(auditor.checkAll("seeded", none),
+                ::testing::KilledBySignal(SIGABRT),
+                "resident page tracked under the wrong tenant");
+}
+
+TEST_F(TenantAuditFixture, FrameSharedAcrossTenantsFires)
+{
+    // Corrupt: one device frame backing a page of each tenant.  Both
+    // bring-ups are individually well-formed, so only the global
+    // frame-ownership scan can catch the aliasing.
+    FrameNum shared = *frames.allocate();
+    frames.allocate(); // keep aggregate counts closed
+    for (PageNum p : {page(0, 3), page(1, 3)}) {
+        tenants.treeFor(p)->markPage(p);
+        pt.mapPage(p, shared);
+        trackers[tenants.tenantOf(p)].onResident(p);
+    }
+    ASSERT_EXIT(auditor.checkAll("seeded", none),
+                ::testing::KilledBySignal(SIGABRT),
+                "frame mapped by two valid pages(.|\n)*also mapped by");
+}
+
+TEST_F(TenantAuditFixture, EvictionVictimFromForeignTrackerFires)
+{
+    makeResident(page(0, 0));
+    makeResident(page(1, 0));
+    // A selection charged to tenant 0's tracker must not contain
+    // tenant 1's page (cross-tenant eviction routes victims through
+    // the owning tenant's tracker).
+    ASSERT_EXIT(auditor.checkVictims("seeded", EvictionKind::lru4k,
+                                     {page(1, 0)}, 0, 0),
+                ::testing::KilledBySignal(SIGABRT),
+                "non-resident eviction victim");
+}
+
+// ---------------------------------------------------------------------
+// Thrash-tracking memory stays bounded (regression: ever-evicted used
+// to be an unordered_set growing with every eviction).
+// ---------------------------------------------------------------------
+
+TEST(EverEvictedBitmap, StaysBoundedUnderEvictionChurn)
+{
+    ManagedSpace space;
+    auto &alloc = space.allocate(mib(2), "churn");
+    const std::uint64_t pages = alloc.paddedBytes() / pageSize;
+
+    // One bit per padded page, rounded up to whole 64-bit words,
+    // sized once at construction.
+    const std::uint64_t expected = ((pages + 63) / 64) * 8;
+    EXPECT_EQ(alloc.evictedBitmapBytes(), expected);
+
+    // Churn every page through eviction many times over: the bitmap
+    // must not grow with eviction count, only answer membership.
+    PageNum base = pageOf(alloc.base());
+    for (int round = 0; round < 32; ++round) {
+        for (std::uint64_t i = 0; i < pages; ++i)
+            alloc.noteEvicted(base + i);
+        ASSERT_EQ(alloc.evictedBitmapBytes(), expected)
+            << "bitmap grew on round " << round;
+    }
+    for (std::uint64_t i = 0; i < pages; ++i)
+        EXPECT_TRUE(alloc.everEvicted(base + i));
+}
+
+} // namespace uvmsim

@@ -10,6 +10,7 @@
 #include <set>
 
 #include "core/managed_space.hh"
+#include "core/tenant.hh"
 #include "sim/ticks.hh"
 #include "testing/workload_gen.hh"
 
@@ -133,6 +134,9 @@ TEST(FuzzAccessStream, DeterministicAndInBounds)
 {
     for (std::uint64_t seed : {2u, 9u, 23u}) {
         FuzzSpec spec = generateSpec(seed);
+        // This test checks the single-space layout contract; the
+        // tenant-replicated stream is covered below.
+        spec.tenants = 1;
         const auto first = accessStream(spec);
         const auto second = accessStream(spec);
         ASSERT_EQ(first.size(), second.size());
@@ -156,6 +160,23 @@ TEST(FuzzAccessStream, DeterministicAndInBounds)
     }
 }
 
+TEST(FuzzAccessStream, TenantsReplicateAtTheVaStride)
+{
+    FuzzSpec spec = generateSpec(2);
+    spec.tenants = 1;
+    const auto solo = accessStream(spec);
+
+    spec.tenants = 3;
+    const auto shared = accessStream(spec);
+    // Every tenant runs the same kernels against its own strided
+    // copy of the allocations.
+    ASSERT_EQ(shared.size(), 3 * solo.size());
+    std::set<TenantId> seen;
+    for (const FuzzAccess &a : shared)
+        seen.insert(tenantOfAddr(a.addr));
+    EXPECT_EQ(seen, (std::set<TenantId>{0, 1, 2}));
+}
+
 TEST(FuzzCombos, CanonicalMatrixCoversEveryPolicy)
 {
     const auto combos = canonicalCombos();
@@ -177,6 +198,9 @@ TEST(FuzzCombos, CanonicalMatrixCoversEveryPolicy)
 TEST(FuzzWorkloadBuild, MaterializesEveryKernelAndAccess)
 {
     FuzzSpec spec = generateSpec(7);
+    // buildWorkload() materializes one tenant's stream (use
+    // buildTenantWorkloads() otherwise).
+    spec.tenants = 1;
     auto workload = buildWorkload(spec);
     ManagedSpace space;
     workload->setup(space);

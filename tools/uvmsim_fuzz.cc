@@ -64,6 +64,10 @@ usage()
         "  --no-minimize      never run the minimizer\n"
         "  --mutate=NAME      seed a deliberate oracle bug: "
         "tbne-at-half|tbnp-at-half|evict-keeps-mark\n"
+        "  --tenants=N        force every generated spec to N tenants "
+        "(default: the generator draws 1..4)\n"
+        "  --tenant-eviction=P force the cross-tenant policy: "
+        "globalLru|staticQuota|proportionalShare\n"
         "  --out=PATH         write the minimized repro spec string "
         "to PATH\n"
         "  --verbose          print every cell, not just mismatches\n"
@@ -174,8 +178,30 @@ main(int argc, char **argv)
         std::string label;
     };
     std::vector<Cell> cells;
+    std::size_t multi_tenant_cells = 0;
     for (std::uint64_t i = 0; i < num_seeds; ++i) {
         FuzzSpec base = generateSpec(seed_base + i);
+        if (opts.has("tenants")) {
+            base.tenants = static_cast<std::uint32_t>(
+                opts.getUint("tenants", 1));
+        }
+        if (opts.has("tenant-eviction")) {
+            base.tenant_eviction =
+                tenantEvictionFromString(opts.get("tenant-eviction"));
+        }
+        std::string problem = specProblem(base);
+        if (!problem.empty()) {
+            // Forced tenant counts can bust the footprint limits of
+            // individual seeds; drop those cells rather than dying.
+            if (verbose)
+                std::printf("[skip] seed %llu: %s\n",
+                            static_cast<unsigned long long>(
+                                seed_base + i),
+                            problem.c_str());
+            continue;
+        }
+        if (base.tenants > 1)
+            ++multi_tenant_cells;
         for (const PolicyCombo &combo : combos) {
             Cell cell;
             cell.spec = withCombo(base, combo);
@@ -186,9 +212,9 @@ main(int argc, char **argv)
     }
 
     std::printf("fuzzing %llu seeds x %zu combos = %zu differential "
-                "runs\n",
+                "runs (%zu multi-tenant seeds)\n",
                 static_cast<unsigned long long>(num_seeds),
-                combos.size(), cells.size());
+                combos.size(), cells.size(), multi_tenant_cells);
 
     // Fan the cells out on the pool; results land by index.  fatal()
     // and panic() terminate the whole process -- that is itself a

@@ -369,12 +369,15 @@ expandSlashes(const std::string &span)
     return out;
 }
 
-/** sm<digits>.foo -> smN.foo, the docs' per-SM convention. */
+/** sm<digits>.foo -> smN.foo and tenant<digits>.foo -> tenantN.foo,
+ *  the docs' per-instance conventions. */
 std::string
-normalizeSmName(const std::string &name)
+normalizeStatName(const std::string &name)
 {
-    static const std::regex pattern(R"re(^sm\d+\.)re");
-    return std::regex_replace(name, pattern, "smN.");
+    static const std::regex sm_pattern(R"re(^sm\d+\.)re");
+    static const std::regex tenant_pattern(R"re(^tenant\d+\.)re");
+    std::string out = std::regex_replace(name, sm_pattern, "smN.");
+    return std::regex_replace(out, tenant_pattern, "tenantN.");
 }
 
 } // namespace
@@ -386,11 +389,19 @@ enumerateRegisteredStats()
     cfg.gpu.num_sms = 1;
     WorkloadParams params;
     params.size_scale = 0.05;
-    RunResult result = runBenchmark("backprop", cfg, params);
     std::set<std::string> out;
+    RunResult result = runBenchmark("backprop", cfg, params);
     for (const auto &[name, value] : result.stats) {
         (void)value;
-        out.insert(normalizeSmName(name));
+        out.insert(normalizeStatName(name));
+    }
+    // Per-tenant counters only register on multi-tenant runs.
+    cfg.tenants = 2;
+    cfg.serialize_kernel_streams = true;
+    RunResult tenant_result = runBenchmark("backprop", cfg, params);
+    for (const auto &[name, value] : tenant_result.stats) {
+        (void)value;
+        out.insert(normalizeStatName(name));
     }
     return out;
 }

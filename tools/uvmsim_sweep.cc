@@ -39,7 +39,7 @@ usage()
         "options:\n"
         "  --axis=NAME              swept axis: oversubscription|"
         "eviction|prefetcher|reserve|buffer|fault-us|fault-batch|"
-        "warps|walkers\n"
+        "warps|walkers|tenants|tenant-eviction\n"
         "  --values=V[,V..]         axis values (default "
         "105,110,125,150)\n"
         "  --benchmarks=N[,N..]     workloads to sweep (default: the "
@@ -60,6 +60,14 @@ usage()
         "  --reserve=PCT            base LRU reservation %%\n"
         "  --buffer=PCT             base free-page buffer %%\n"
         "  --seed=N                 policy RNG seed (default 1)\n"
+        "  --tenants=N              tenants sharing the device when "
+        "not the axis (default 1)\n"
+        "  --tenant-eviction=P      cross-tenant victim arbitration: "
+        "globalLru|staticQuota|proportionalShare\n"
+        "  --serialize-streams      serialize tenant kernel streams "
+        "round-robin (default: concurrent)\n"
+        "  --audit                  run every cell with the state "
+        "auditor on\n"
         "  --trace=SPEC             event tracing per cell (see "
         "uvmsim_run)\n"
         "  --trace-out=PATH         artifact base path per traced "
@@ -85,6 +93,12 @@ baseConfig(const Options &opts)
     cfg.lru_reserve_percent = opts.getDouble("reserve", 0.0);
     cfg.free_buffer_percent = opts.getDouble("buffer", 0.0);
     cfg.seed = opts.getUint("seed", 1);
+    cfg.tenants =
+        static_cast<std::uint32_t>(opts.getUint("tenants", 1));
+    cfg.tenant_eviction = tenantEvictionFromString(
+        opts.get("tenant-eviction", "globalLru"));
+    cfg.serialize_kernel_streams = opts.getBool("serialize-streams");
+    cfg.audit = opts.getBool("audit");
     cfg.trace_spec = opts.get("trace", "");
     if (!cfg.trace_spec.empty()) {
         cfg.trace_out = opts.get("trace-out", "uvmsim_sweep");
@@ -149,10 +163,14 @@ applyAxis(SimConfig &cfg, const std::string &axis,
     } else if (axis == "walkers") {
         cfg.page_walkers =
             static_cast<std::uint32_t>(axisUint(axis, value));
+    } else if (axis == "tenants") {
+        cfg.tenants = static_cast<std::uint32_t>(axisUint(axis, value));
+    } else if (axis == "tenant-eviction") {
+        cfg.tenant_eviction = tenantEvictionFromString(value);
     } else {
         fatal("unknown sweep axis '%s' (oversubscription|eviction|"
               "prefetcher|reserve|buffer|fault-us|fault-batch|warps|"
-              "walkers)",
+              "walkers|tenants|tenant-eviction)",
               axis.c_str());
     }
 }
@@ -229,6 +247,38 @@ main(int argc, char **argv)
             std::fflush(stdout);
         }
         std::printf("\n");
+    }
+
+    // Multi-tenant cells carry per-tenant attribution; break it out
+    // under the main table so fairness across tenants is visible.
+    bool any_tenant_stats = false;
+    for (const RunResult &r : results)
+        any_tenant_stats |= r.stats.count("tenant0.far_faults") > 0;
+    if (any_tenant_stats) {
+        std::printf("\nper-tenant: faults/migrated/evicted/"
+                    "evicted_cross\n");
+        cell = 0;
+        for (const std::string &bench : benchmarks) {
+            for (const std::string &value : values) {
+                const RunResult &r = results[cell++];
+                if (!r.stats.count("tenant0.far_faults"))
+                    continue;
+                std::printf("%-12s %-8s", bench.c_str(), value.c_str());
+                for (std::uint32_t t = 0;; ++t) {
+                    const std::string pre =
+                        "tenant" + std::to_string(t);
+                    if (!r.stats.count(pre + ".far_faults"))
+                        break;
+                    std::printf(
+                        "  t%u %.0f/%.0f/%.0f/%.0f", t,
+                        r.stat(pre + ".far_faults"),
+                        r.stat(pre + ".pages_migrated"),
+                        r.stat(pre + ".pages_evicted"),
+                        r.stat(pre + ".pages_evicted_cross"));
+                }
+                std::printf("\n");
+            }
+        }
     }
     return 0;
 }
