@@ -4,7 +4,10 @@
 #include <cmath>
 #include <cstdio>
 #include <mutex>
+#include <optional>
 #include <sstream>
+
+#include "api/result_store.hh"
 
 namespace uvmsim::bench
 {
@@ -136,7 +139,18 @@ runAll(const std::vector<RunJob> &jobs, const Options &opts)
         }
     }
 
+    // --store: share cells with other harnesses/runs through the
+    // persistent store (declared before the executor so it outlives
+    // the pool that reads through it).
+    std::optional<ResultStore> store;
+    if (opts.has("store"))
+        store.emplace(opts.get("store"));
     RunExecutor executor(jobCount(opts));
+    if (store)
+        executor.attachStore(&*store);
+    if (opts.has("cache-bytes"))
+        executor.setCacheCapacity(opts.getUint(
+            "cache-bytes", RunExecutor::default_cache_bytes));
     std::atomic<std::size_t> started{0};
     const std::size_t total = batch.size();
     auto progress = [&started, total](const RunJob &job, std::size_t) {

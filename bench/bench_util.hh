@@ -78,7 +78,10 @@ RunResult run(const std::string &benchmark, const SimConfig &config,
 /**
  * Run a whole batch of jobs on a RunExecutor pool sized by --jobs,
  * echoing one progress line per simulated job.  Results come back in
- * submission order; duplicate sweep points are simulated once.
+ * submission order; duplicate sweep points are simulated once.  With
+ * --store=DIR, cells are read through / written back to a persistent
+ * result store shared with uvmsim_sweep and other harness runs;
+ * --cache-bytes=N bounds the in-process result cache.
  */
 std::vector<RunResult> runAll(const std::vector<RunJob> &jobs,
                               const Options &opts);

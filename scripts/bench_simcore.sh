@@ -142,7 +142,10 @@ CORES=$(nproc 2>/dev/null || echo 1)
 CPU=$(awk -F': ' '/model name/ { print $2; exit }' /proc/cpuinfo \
     2>/dev/null || echo unknown)
 
-cat >"$OUT" <<EOF
+# Publish atomically (temp + rename): an interrupted run must not
+# leave a truncated JSON for downstream tooling to parse.
+OUT_TMP="$OUT.tmp.$$"
+cat >"$OUT_TMP" <<EOF
 {
   "matrix": "eviction x {LRU4K,Re,SLe,TBNe,LRU2MB,MRU4K}, 7 workloads, 110% oversubscription, scale $SCALE, jobs 1",
   "cells": $CELLS,
@@ -161,4 +164,5 @@ ${BASELINE_FIELDS}
   "cpu": "$CPU"
 }
 EOF
+mv -f "$OUT_TMP" "$OUT"
 cat "$OUT"

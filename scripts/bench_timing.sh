@@ -44,7 +44,9 @@ HOST=$(hostname 2>/dev/null || echo unknown)
 CPU=$(awk -F': ' '/model name/ { print $2; exit }' /proc/cpuinfo \
     2>/dev/null || echo unknown)
 
-cat >BENCH_parallel.json <<EOF
+# Publish atomically (temp + rename) so an interrupted run never
+# leaves a truncated JSON behind.
+cat >"BENCH_parallel.json.tmp.$$" <<EOF
 {
   "sweep": "oversubscription x 8 values, 3 workloads, scale 0.25",
   "host": "$HOST",
@@ -58,6 +60,7 @@ cat >BENCH_parallel.json <<EOF
   "output_identical": $IDENTICAL
 }
 EOF
+mv -f "BENCH_parallel.json.tmp.$$" BENCH_parallel.json
 cat BENCH_parallel.json
 
 if [ "$IDENTICAL" != true ]; then

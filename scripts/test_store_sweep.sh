@@ -1,0 +1,95 @@
+#!/bin/sh
+# End-to-end test of the persistent result store and the multi-process
+# sweep orchestrator:
+#
+#   1. A reference sweep without --store sets the expected CSV.
+#   2. A cold sweep against a fresh store computes and stores every
+#      cell; its CSV must be byte-identical to the reference.
+#   3. A warm repeat of the same sweep must finish with >= 95% store
+#      hits and zero misses, again byte-identical.
+#   4. A fresh-store --workers=4 run has worker 0 SIGKILL itself right
+#      after claiming its first cell (--worker-kill-after=1), leaving a
+#      stale claim and an uncomputed cell; the parent must self-heal
+#      and still emit the identical CSV.
+#   5. Resuming the killed run (--workers=4 on the now-warm store,
+#      --claim-ttl-s=0 so the stale claim is broken immediately)
+#      must complete on store hits alone, byte-identical.
+#
+# Usage: scripts/test_store_sweep.sh [build-dir] [work-dir]
+set -e
+BUILD=${1:-build}
+WORK=${2:-"$BUILD/store_sweep_test"}
+SWEEP="$BUILD/tools/uvmsim_sweep"
+if [ ! -x "$SWEEP" ]; then
+    echo "error: $SWEEP not built (run cmake --build $BUILD first)" >&2
+    exit 1
+fi
+rm -rf "$WORK"
+mkdir -p "$WORK"
+
+# The standard smoke matrix: 2 policies x 2 workloads = 4 cells.
+ARGS="--axis=eviction --values=LRU4K,TBNe \
+      --benchmarks=backprop,pathfinder --scale=0.1 \
+      --metric=pages_evicted --jobs=2"
+
+# store_stat <counter> <stderr-file>: extracts one counter from the
+# "store: hits=... misses=... quarantined=... stores=..." line.
+store_stat() {
+    sed -n "s/.*store: .*$1=\([0-9]*\).*/\1/p" "$2" | tail -n 1
+}
+
+fail() {
+    echo "FAIL: $1" >&2
+    exit 1
+}
+
+# 1. Reference run: no store, CSV only.
+# shellcheck disable=SC2086
+"$SWEEP" $ARGS --csv="$WORK/ref.csv" >/dev/null 2>"$WORK/ref.err"
+grep -q "store:" "$WORK/ref.err" \
+    && fail "store counters printed without --store"
+[ -s "$WORK/ref.csv" ] || fail "reference CSV missing"
+
+# 2. Cold store run.
+# shellcheck disable=SC2086
+"$SWEEP" $ARGS --store="$WORK/store" --csv="$WORK/cold.csv" \
+    >/dev/null 2>"$WORK/cold.err"
+cmp "$WORK/ref.csv" "$WORK/cold.csv" \
+    || fail "cold-store CSV differs from reference"
+[ "$(store_stat stores "$WORK/cold.err")" = 4 ] \
+    || fail "cold run did not store all 4 cells"
+
+# 3. Warm repeat: >= 95% hits means all 4 of 4 here.
+# shellcheck disable=SC2086
+"$SWEEP" $ARGS --store="$WORK/store" --csv="$WORK/warm.csv" \
+    >/dev/null 2>"$WORK/warm.err"
+cmp "$WORK/ref.csv" "$WORK/warm.csv" \
+    || fail "warm-store CSV differs from reference"
+HITS=$(store_stat hits "$WORK/warm.err")
+MISSES=$(store_stat misses "$WORK/warm.err")
+[ "$HITS" = 4 ] && [ "$MISSES" = 0 ] \
+    || fail "warm run not served from the store (hits=$HITS misses=$MISSES)"
+
+# 4. Kill a worker mid-run; the parent must self-heal.
+rm -rf "$WORK/store"
+# shellcheck disable=SC2086
+"$SWEEP" $ARGS --store="$WORK/store" --csv="$WORK/killed.csv" \
+    --workers=4 --worker-kill-after=1 \
+    >/dev/null 2>"$WORK/killed.err"
+cmp "$WORK/ref.csv" "$WORK/killed.csv" \
+    || fail "kill-a-worker CSV differs from reference"
+
+# 5. Resume on the survivors' store; the stale claim must not block.
+# shellcheck disable=SC2086
+"$SWEEP" $ARGS --store="$WORK/store" --csv="$WORK/resume.csv" \
+    --workers=4 --claim-ttl-s=0 >/dev/null 2>"$WORK/resume.err"
+cmp "$WORK/ref.csv" "$WORK/resume.csv" \
+    || fail "resumed CSV differs from reference"
+HITS=$(store_stat hits "$WORK/resume.err")
+MISSES=$(store_stat misses "$WORK/resume.err")
+[ "$HITS" = 4 ] && [ "$MISSES" = 0 ] \
+    || fail "resume recomputed cells (hits=$HITS misses=$MISSES)"
+find "$WORK/store" -name '*.claim' | grep -q . \
+    && fail "stale claim files survived the resume"
+
+echo "store sweep test: all 5 stages passed"

@@ -1,0 +1,490 @@
+#include "result_store.hh"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "sim/atomic_file.hh"
+#include "sim/logging.hh"
+
+namespace fs = std::filesystem;
+
+namespace uvmsim
+{
+
+namespace
+{
+
+/*
+ * Entry layout (all integers little-endian, written byte-by-byte so the
+ * format is host-independent):
+ *
+ *   magic      8 bytes  "uvmstor1"
+ *   version    u32      store format version (also salts the hash)
+ *   key_len    u64
+ *   key        key_len bytes   full canonical key, verified on load
+ *   payload_len u64
+ *   payload    payload_len bytes
+ *   footer     u64 prefix_len  byte count of everything above
+ *              u64 checksum    FNV-1a 64 over everything above
+ *
+ * A truncated write fails the size/footer check; a bit flip anywhere
+ * fails the checksum; both quarantine the file and report a miss.
+ */
+constexpr char entry_magic[8] = {'u', 'v', 'm', 's', 't', 'o', 'r', '1'};
+constexpr std::size_t footer_bytes = 16;
+
+std::uint64_t
+fnv1a64(const char *data, std::size_t len, std::uint64_t hash)
+{
+    for (std::size_t i = 0; i < len; i++) {
+        hash ^= static_cast<unsigned char>(data[i]);
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+void
+appendU32(std::string &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; i++)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+appendU64(std::string &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; i++)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+std::uint32_t
+readU32(const char *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; i++)
+        v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]))
+             << (8 * i);
+    return v;
+}
+
+std::uint64_t
+readU64(const char *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; i++)
+        v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i]))
+             << (8 * i);
+    return v;
+}
+
+std::string
+serializeEntry(const std::string &key, const std::string &payload,
+               std::uint32_t version)
+{
+    std::string out;
+    out.reserve(sizeof(entry_magic) + 4 + 8 + key.size() + 8 +
+                payload.size() + footer_bytes);
+    out.append(entry_magic, sizeof(entry_magic));
+    appendU32(out, version);
+    appendU64(out, key.size());
+    out.append(key);
+    appendU64(out, payload.size());
+    out.append(payload);
+    std::uint64_t prefix_len = out.size();
+    std::uint64_t checksum =
+        fnv1a64(out.data(), out.size(), 0xcbf29ce484222325ull);
+    appendU64(out, prefix_len);
+    appendU64(out, checksum);
+    return out;
+}
+
+/**
+ * Parse an entry file's bytes.  On success fills key/payload and
+ * returns true; any structural problem (truncation, bad magic, bad
+ * checksum) returns false.
+ */
+bool
+parseEntry(const std::string &raw, std::uint32_t &version,
+           std::string &key, std::string &payload)
+{
+    constexpr std::size_t min_size =
+        sizeof(entry_magic) + 4 + 8 + 8 + footer_bytes;
+    if (raw.size() < min_size)
+        return false;
+    if (std::memcmp(raw.data(), entry_magic, sizeof(entry_magic)) != 0)
+        return false;
+    version = readU32(raw.data() + sizeof(entry_magic));
+
+    std::uint64_t prefix_len = readU64(raw.data() + raw.size() - 16);
+    std::uint64_t checksum = readU64(raw.data() + raw.size() - 8);
+    if (prefix_len != raw.size() - footer_bytes)
+        return false;
+    if (fnv1a64(raw.data(), prefix_len, 0xcbf29ce484222325ull) != checksum)
+        return false;
+
+    std::size_t pos = sizeof(entry_magic) + 4;
+    std::uint64_t key_len = readU64(raw.data() + pos);
+    pos += 8;
+    if (key_len > prefix_len - pos - 8)
+        return false;
+    key.assign(raw.data() + pos, key_len);
+    pos += key_len;
+    std::uint64_t payload_len = readU64(raw.data() + pos);
+    pos += 8;
+    if (payload_len != prefix_len - pos)
+        return false;
+    payload.assign(raw.data() + pos, payload_len);
+    return true;
+}
+
+/** Read a whole file; false when it cannot be opened or read. */
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    if (in.bad())
+        return false;
+    out = buf.str();
+    return true;
+}
+
+} // namespace
+
+ResultStore::ResultStore(std::string dir, std::uint32_t version)
+    : dir_(std::move(dir)), version_(version)
+{
+    std::error_code ec;
+    fs::create_directories(fs::path(dir_) / "objects", ec);
+    if (ec)
+        fatal("result store: cannot create '%s/objects': %s", dir_.c_str(),
+              ec.message().c_str());
+}
+
+std::string
+ResultStore::hashKey(const std::string &key, std::uint32_t version)
+{
+    // Two independent FNV streams (different offset bases, version
+    // salt folded in first) give a 128-bit content address -- more
+    // than enough that an accidental collision across a sweep's few
+    // thousand keys is never the failure mode.  The embedded key is
+    // still verified on load, so even a collision is only a miss.
+    std::string salt;
+    appendU32(salt, version);
+    std::uint64_t h1 = fnv1a64(salt.data(), salt.size(),
+                               0xcbf29ce484222325ull);
+    std::uint64_t h2 = fnv1a64(salt.data(), salt.size(),
+                               0x9ae16a3b2f90404full);
+    h1 = fnv1a64(key.data(), key.size(), h1);
+    h2 = fnv1a64(key.data(), key.size(), h2);
+    char buf[33];
+    std::snprintf(buf, sizeof(buf), "%016" PRIx64 "%016" PRIx64, h1, h2);
+    return std::string(buf, 32);
+}
+
+std::string
+ResultStore::entryPath(const std::string &key) const
+{
+    std::string hash = hashKey(key, version_);
+    return dir_ + "/objects/" + hash.substr(0, 2) + "/" + hash.substr(2, 2) +
+           "/" + hash;
+}
+
+std::string
+ResultStore::claimPath(const std::string &key) const
+{
+    return entryPath(key) + ".claim";
+}
+
+void
+ResultStore::quarantine(const std::string &path)
+{
+    quarantined_.fetch_add(1, std::memory_order_relaxed);
+    std::error_code ec;
+    fs::create_directories(fs::path(dir_) / "quarantine", ec);
+    std::string dest = dir_ + "/quarantine/" +
+                       fs::path(path).filename().string() + "." +
+                       std::to_string(::getpid());
+    fs::rename(path, dest, ec);
+    if (ec) {
+        // Another process may have quarantined it first; just make
+        // sure the bad entry cannot be read again.
+        fs::remove(path, ec);
+    }
+    warn("result store: quarantined corrupt entry '%s'", path.c_str());
+}
+
+std::optional<std::string>
+ResultStore::load(const std::string &key)
+{
+    const std::string path = entryPath(key);
+    std::string raw;
+    if (!readFile(path, raw)) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return std::nullopt;
+    }
+
+    std::uint32_t stored_version = 0;
+    std::string stored_key, payload;
+    if (!parseEntry(raw, stored_version, stored_key, payload)) {
+        quarantine(path);
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return std::nullopt;
+    }
+    if (stored_version != version_ || stored_key != key) {
+        // A valid entry that is not ours (hash collision; cannot
+        // normally happen for the version, which salts the hash).
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return std::nullopt;
+    }
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return payload;
+}
+
+void
+ResultStore::publish(const std::string &key, const std::string &payload)
+{
+    const std::string path = entryPath(key);
+    std::error_code ec;
+    fs::create_directories(fs::path(path).parent_path(), ec);
+    if (ec)
+        fatal("result store: cannot create shard dir for '%s': %s",
+              path.c_str(), ec.message().c_str());
+    publishFile(path, serializeEntry(key, payload, version_));
+    stores_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool
+ResultStore::tryClaim(const std::string &key, const std::string &owner)
+{
+    const std::string path = claimPath(key);
+    std::error_code ec;
+    fs::create_directories(fs::path(path).parent_path(), ec);
+    if (ec)
+        fatal("result store: cannot create shard dir for '%s': %s",
+              path.c_str(), ec.message().c_str());
+    int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+    if (fd < 0) {
+        if (errno == EEXIST)
+            return false;
+        fatal("result store: cannot create claim '%s': %s", path.c_str(),
+              std::strerror(errno));
+    }
+    // Owner id is advisory (post-mortem only); a short write is fine.
+    ssize_t n = ::write(fd, owner.data(), owner.size());
+    (void)n;
+    ::close(fd);
+    return true;
+}
+
+void
+ResultStore::releaseClaim(const std::string &key)
+{
+    std::error_code ec;
+    fs::remove(claimPath(key), ec);
+}
+
+bool
+ResultStore::breakClaimIfStale(const std::string &key,
+                               std::uint64_t ttl_seconds)
+{
+    const std::string path = claimPath(key);
+    std::error_code ec;
+    // fs::file_time_type is the filesystem's own clock: this compares
+    // two mtimes, not wall-clock inside the simulation, so determinism
+    // is unaffected.
+    auto mtime = fs::last_write_time(path, ec);
+    if (ec)
+        return false; // no claim (or already broken by someone else)
+    auto age = fs::file_time_type::clock::now() - mtime;
+    if (age < std::chrono::seconds(ttl_seconds))
+        return false;
+    bool removed = fs::remove(path, ec);
+    return removed && !ec;
+}
+
+ResultStore::Counters
+ResultStore::counters() const
+{
+    Counters c;
+    c.hits = hits_.load(std::memory_order_relaxed);
+    c.misses = misses_.load(std::memory_order_relaxed);
+    c.quarantined = quarantined_.load(std::memory_order_relaxed);
+    c.stores = stores_.load(std::memory_order_relaxed);
+    return c;
+}
+
+namespace
+{
+
+void
+appendHexDouble(std::string &out, double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%a", v);
+    out += buf;
+}
+
+bool
+parseHexDouble(const std::string &text, double &out)
+{
+    if (text.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    double v = std::strtod(text.c_str(), &end);
+    if (errno != 0 || end != text.c_str() + text.size())
+        return false;
+    out = v;
+    return true;
+}
+
+/** "len:bytes" so names may contain any character, '\n' included. */
+void
+appendLenString(std::string &out, const std::string &s)
+{
+    out += std::to_string(s.size());
+    out += ':';
+    out += s;
+}
+
+bool
+parseLenString(const std::string &in, std::size_t &pos, std::string &out)
+{
+    std::size_t colon = in.find(':', pos);
+    if (colon == std::string::npos || colon == pos)
+        return false;
+    std::size_t len = 0;
+    for (std::size_t i = pos; i < colon; i++) {
+        if (in[i] < '0' || in[i] > '9')
+            return false;
+        len = len * 10 + static_cast<std::size_t>(in[i] - '0');
+        if (len > in.size())
+            return false;
+    }
+    pos = colon + 1;
+    if (len > in.size() - pos)
+        return false;
+    out.assign(in, pos, len);
+    pos += len;
+    return true;
+}
+
+bool
+expect(const std::string &in, std::size_t &pos, char c)
+{
+    if (pos >= in.size() || in[pos] != c)
+        return false;
+    pos++;
+    return true;
+}
+
+bool
+parseU64Until(const std::string &in, std::size_t &pos, char delim,
+              std::uint64_t &out)
+{
+    std::size_t end = in.find(delim, pos);
+    if (end == std::string::npos || end == pos)
+        return false;
+    std::uint64_t v = 0;
+    for (std::size_t i = pos; i < end; i++) {
+        if (in[i] < '0' || in[i] > '9')
+            return false;
+        v = v * 10 + static_cast<std::uint64_t>(in[i] - '0');
+    }
+    out = v;
+    pos = end + 1;
+    return true;
+}
+
+} // namespace
+
+std::string
+encodeRunResult(const RunResult &result)
+{
+    std::string out = "runresult1\n";
+    appendLenString(out, result.workload);
+    out += '\n';
+    out += std::to_string(result.kernel_time);
+    out += '\n';
+    out += std::to_string(result.final_time);
+    out += '\n';
+    out += std::to_string(result.device_memory_bytes);
+    out += '\n';
+    out += std::to_string(result.footprint_bytes);
+    out += '\n';
+    out += std::to_string(result.stats.size());
+    out += '\n';
+    for (const auto &[name, value] : result.stats) {
+        appendLenString(out, name);
+        out += '=';
+        appendHexDouble(out, value);
+        out += '\n';
+    }
+    return out;
+}
+
+bool
+decodeRunResult(const std::string &payload, RunResult &out)
+{
+    constexpr char header[] = "runresult1\n";
+    constexpr std::size_t header_len = sizeof(header) - 1;
+    if (payload.compare(0, header_len, header) != 0)
+        return false;
+    std::size_t pos = header_len;
+
+    RunResult r;
+    if (!parseLenString(payload, pos, r.workload))
+        return false;
+    if (!expect(payload, pos, '\n'))
+        return false;
+    std::uint64_t v = 0;
+    if (!parseU64Until(payload, pos, '\n', v))
+        return false;
+    r.kernel_time = v;
+    if (!parseU64Until(payload, pos, '\n', v))
+        return false;
+    r.final_time = v;
+    if (!parseU64Until(payload, pos, '\n', r.device_memory_bytes))
+        return false;
+    if (!parseU64Until(payload, pos, '\n', r.footprint_bytes))
+        return false;
+    std::uint64_t nstats = 0;
+    if (!parseU64Until(payload, pos, '\n', nstats))
+        return false;
+    if (nstats > payload.size()) // each stat line is >= 1 byte
+        return false;
+    for (std::uint64_t i = 0; i < nstats; i++) {
+        std::string name;
+        if (!parseLenString(payload, pos, name))
+            return false;
+        if (!expect(payload, pos, '='))
+            return false;
+        std::size_t end = payload.find('\n', pos);
+        if (end == std::string::npos)
+            return false;
+        double value = 0;
+        if (!parseHexDouble(payload.substr(pos, end - pos), value))
+            return false;
+        pos = end + 1;
+        r.stats.emplace(std::move(name), value);
+    }
+    if (pos != payload.size())
+        return false;
+    out = std::move(r);
+    return true;
+}
+
+} // namespace uvmsim

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Persistent, content-addressed result store shared across processes.
+ *
+ * The RunExecutor's in-process cache dies with the process, so every
+ * sweep/fuzz/bench invocation used to recompute the full
+ * policy x workload x tenant matrix from scratch.  The ResultStore
+ * promotes that cache to a durable on-disk tier that any number of
+ * concurrent processes can share safely:
+ *
+ *   - Entries are keyed by a 128-bit hash of the caller's canonical
+ *     key (runJobKey for simulations) salted with the store format
+ *     version, laid out in two-level sharded directories
+ *     (<dir>/objects/aa/bb/<hash>) so no single directory grows
+ *     unboundedly.
+ *   - Every entry embeds the full key and ends in a length + checksum
+ *     footer.  A publish goes write-to-temp + fsync + atomic rename,
+ *     so readers never observe a partial entry; concurrent writers of
+ *     the same key each publish a complete file and the last rename
+ *     wins.
+ *   - A corrupt or truncated entry (bad magic, short file, checksum
+ *     mismatch) is treated as a miss and moved aside into
+ *     <dir>/quarantine/ for post-mortem -- never a fatal error, and
+ *     never re-read.
+ *   - Claim files (<entry>.claim, created with O_CREAT|O_EXCL) let
+ *     cooperating worker processes partition a sweep without a
+ *     coordinator: claim-or-skip is work stealing.  A claim left by a
+ *     crashed worker expires by file age.
+ *
+ * The store knows nothing about simulation semantics: keys are opaque
+ * strings and payloads are opaque bytes.  encodeRunResult /
+ * decodeRunResult (below) give RunResult a canonical, exactly
+ * round-tripping payload encoding.  Bump formatVersion whenever either
+ * the entry layout or the payload encoding changes: old entries are
+ * then simply never found (the version salts the hash).
+ */
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "api/simulator.hh"
+
+namespace uvmsim
+{
+
+/** Durable sharded key/payload store with crash-safe publishes. */
+class ResultStore
+{
+  public:
+    /** Bump when the entry layout or payload encoding changes. */
+    static constexpr std::uint32_t formatVersion = 1;
+
+    /** Monotonic counters; readable while other threads operate. */
+    struct Counters
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t quarantined = 0;
+        std::uint64_t stores = 0;
+    };
+
+    /**
+     * Open (creating as needed) a store rooted at `dir`.  `version`
+     * defaults to the current format; tests override it to prove a
+     * version bump invalidates old entries.
+     */
+    explicit ResultStore(std::string dir,
+                         std::uint32_t version = formatVersion);
+
+    const std::string &dir() const { return dir_; }
+
+    /**
+     * Look up `key`.  Returns the payload on a valid hit; nullopt on
+     * a miss.  Corruption is counted, quarantined and reported as a
+     * miss.  Thread- and process-safe.
+     */
+    std::optional<std::string> load(const std::string &key);
+
+    /**
+     * Durably publish `payload` under `key` (temp + fsync + rename).
+     * Concurrent publishes of the same key are safe: every writer
+     * produces a complete entry and the last rename wins.
+     */
+    void publish(const std::string &key, const std::string &payload);
+
+    /**
+     * Try to take the claim file for `key` (O_CREAT|O_EXCL).  `owner`
+     * is recorded in the file for post-mortem.  Returns false when
+     * another worker already holds the claim.
+     */
+    bool tryClaim(const std::string &key, const std::string &owner);
+
+    /** Drop this key's claim file (idempotent). */
+    void releaseClaim(const std::string &key);
+
+    /**
+     * Break the claim on `key` if it is older than `ttl_seconds`
+     * (0 breaks any existing claim).  Returns true when a claim was
+     * removed -- the caller should then tryClaim() again; the racing
+     * loser simply fails that create and moves on.
+     */
+    bool breakClaimIfStale(const std::string &key,
+                           std::uint64_t ttl_seconds);
+
+    Counters counters() const;
+
+    /** On-disk entry path for `key` (exposed for tests/tooling). */
+    std::string entryPath(const std::string &key) const;
+
+    /** 32-hex-digit content address of `key` under `version`. */
+    static std::string hashKey(const std::string &key,
+                               std::uint32_t version);
+
+  private:
+    std::string claimPath(const std::string &key) const;
+    void quarantine(const std::string &path);
+
+    std::string dir_;
+    std::uint32_t version_;
+    mutable std::atomic<std::uint64_t> hits_{0};
+    mutable std::atomic<std::uint64_t> misses_{0};
+    mutable std::atomic<std::uint64_t> quarantined_{0};
+    mutable std::atomic<std::uint64_t> stores_{0};
+};
+
+/**
+ * Canonical payload encoding of a RunResult: text lines with
+ * length-prefixed strings and %a-formatted doubles, so every field --
+ * including the full stats map -- round-trips bit-exactly.
+ */
+std::string encodeRunResult(const RunResult &result);
+
+/**
+ * Parse a payload produced by encodeRunResult.  Returns false (and
+ * leaves `out` unspecified) on any structural mismatch; callers treat
+ * that as a store miss.
+ */
+bool decodeRunResult(const std::string &payload, RunResult &out);
+
+} // namespace uvmsim

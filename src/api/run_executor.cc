@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <utility>
 
+#include "api/result_store.hh"
 #include "sim/logging.hh"
 
 namespace uvmsim
@@ -198,22 +199,51 @@ RunExecutor::runBatch(const std::vector<RunJob> &jobs,
     if (n == 0)
         return results;
 
-    // Resolve cache hits and collapse duplicate keys: one task per
-    // distinct uncached key, in first-appearance (= submission) order.
+    // Resolve in-process cache hits and collapse duplicate keys: one
+    // pending group per distinct uncached key, in first-appearance
+    // (= submission) order.  Hit results are copied out immediately so
+    // the final answer never depends on an entry surviving eviction.
     std::vector<std::string> keys(n);
+    std::unordered_map<std::string, std::vector<std::size_t>> pending;
     std::vector<std::size_t> task_jobs;
     {
         std::lock_guard<std::mutex> lock(cache_mutex_);
-        std::unordered_map<std::string, std::size_t> scheduled;
         for (std::size_t i = 0; i < n; ++i) {
             keys[i] = runJobKey(jobs[i]);
-            if (cache_.count(keys[i]) > 0) {
+            if (cacheLookupLocked(keys[i], results[i])) {
                 ++cache_hits_;
                 continue;
             }
-            if (scheduled.emplace(keys[i], i).second)
+            auto [it, fresh] = pending.try_emplace(keys[i]);
+            it->second.push_back(i);
+            if (fresh)
                 task_jobs.push_back(i);
         }
+    }
+
+    // Read through to the persistent store (process-safe; no executor
+    // lock held across the file I/O).  A store hit fills every pending
+    // job with that key and warms the in-process cache.
+    if (store_ != nullptr && !task_jobs.empty()) {
+        std::vector<std::size_t> uncached;
+        uncached.reserve(task_jobs.size());
+        for (std::size_t job_index : task_jobs) {
+            const std::string &key = keys[job_index];
+            std::optional<std::string> payload = store_->load(key);
+            RunResult from_store;
+            if (payload && decodeRunResult(*payload, from_store)) {
+                for (std::size_t i : pending[key])
+                    results[i] = from_store;
+                std::lock_guard<std::mutex> lock(cache_mutex_);
+                cacheInsertLocked(key, std::move(from_store));
+                continue;
+            }
+            // Undecodable payloads (encoder drift without a version
+            // bump) fall through to recompute; the publish below then
+            // replaces the entry.
+            uncached.push_back(job_index);
+        }
+        task_jobs = std::move(uncached);
     }
 
     std::vector<Task> tasks;
@@ -229,31 +259,175 @@ RunExecutor::runBatch(const std::vector<RunJob> &jobs,
 
     std::vector<Outcome> outcomes = runTasks(tasks);
 
-    // Cache everything that completed, then surface the first failure.
+    // Fill results from the outcomes directly (never back through the
+    // cache: a bounded cache may already have evicted them), write
+    // back to the store, cache in-process, then surface the first
+    // failure.
     std::exception_ptr first_error;
-    {
-        std::lock_guard<std::mutex> lock(cache_mutex_);
-        for (std::size_t t = 0; t < outcomes.size(); ++t) {
-            if (outcomes[t].ok()) {
-                cache_[keys[task_jobs[t]]] = std::move(outcomes[t].result);
-            } else if (!first_error) {
+    for (std::size_t t = 0; t < outcomes.size(); ++t) {
+        if (!outcomes[t].ok()) {
+            if (!first_error)
                 first_error = outcomes[t].error;
-            }
+            continue;
         }
+        const std::string &key = keys[task_jobs[t]];
+        for (std::size_t i : pending[key])
+            results[i] = outcomes[t].result;
+        if (store_ != nullptr)
+            store_->publish(key, encodeRunResult(outcomes[t].result));
+        std::lock_guard<std::mutex> lock(cache_mutex_);
+        cacheInsertLocked(key, std::move(outcomes[t].result));
     }
     if (first_error)
         std::rethrow_exception(first_error);
-
-    {
-        std::lock_guard<std::mutex> lock(cache_mutex_);
-        for (std::size_t i = 0; i < n; ++i) {
-            auto it = cache_.find(keys[i]);
-            if (it == cache_.end())
-                panic("RunExecutor: batch result missing for job %zu", i);
-            results[i] = it->second;
-        }
-    }
     return results;
+}
+
+bool
+RunExecutor::cacheLookupLocked(const std::string &key, RunResult &out)
+{
+    auto it = cache_index_.find(key);
+    if (it == cache_index_.end())
+        return false;
+    std::uint32_t idx = it->second;
+    out = nodes_[idx].result;
+    cacheDetachLocked(idx);
+    cachePushFrontLocked(idx);
+    return true;
+}
+
+namespace
+{
+
+/**
+ * Accounted heap footprint of one cached entry: node record, key and
+ * workload strings, and the stats map (per-element tree node overhead
+ * plus the name string).  An estimate -- the bound is about keeping a
+ * 10k-cell sweep from holding gigabytes, not exact malloc accounting.
+ */
+std::uint64_t
+entryFootprint(const std::string &key, const RunResult &result)
+{
+    std::uint64_t bytes = 96 + key.size() + result.workload.size();
+    for (const auto &[name, value] : result.stats) {
+        (void)value;
+        bytes += 64 + name.size();
+    }
+    return bytes;
+}
+
+} // namespace
+
+void
+RunExecutor::cacheInsertLocked(const std::string &key, RunResult result)
+{
+    std::uint64_t bytes = entryFootprint(key, result);
+    if (cache_capacity_ != 0 && bytes > cache_capacity_)
+        return; // larger than the whole cache: not worth keeping
+
+    auto it = cache_index_.find(key);
+    if (it != cache_index_.end()) {
+        std::uint32_t idx = it->second;
+        cache_bytes_ -= nodes_[idx].bytes;
+        nodes_[idx].result = std::move(result);
+        nodes_[idx].bytes = bytes;
+        cache_bytes_ += bytes;
+        cacheDetachLocked(idx);
+        cachePushFrontLocked(idx);
+        cacheEvictToCapacityLocked();
+        return;
+    }
+
+    std::uint32_t idx;
+    if (!free_nodes_.empty()) {
+        idx = free_nodes_.back();
+        free_nodes_.pop_back();
+    } else {
+        idx = static_cast<std::uint32_t>(nodes_.size());
+        nodes_.emplace_back();
+    }
+    nodes_[idx].key = key;
+    nodes_[idx].result = std::move(result);
+    nodes_[idx].bytes = bytes;
+    cache_bytes_ += bytes;
+    cache_index_.emplace(key, idx);
+    cachePushFrontLocked(idx);
+    cacheEvictToCapacityLocked();
+}
+
+void
+RunExecutor::cacheDetachLocked(std::uint32_t idx)
+{
+    CacheNode &node = nodes_[idx];
+    if (node.prev != npos)
+        nodes_[node.prev].next = node.next;
+    else
+        lru_head_ = node.next;
+    if (node.next != npos)
+        nodes_[node.next].prev = node.prev;
+    else
+        lru_tail_ = node.prev;
+    node.prev = npos;
+    node.next = npos;
+}
+
+void
+RunExecutor::cachePushFrontLocked(std::uint32_t idx)
+{
+    CacheNode &node = nodes_[idx];
+    node.prev = npos;
+    node.next = lru_head_;
+    if (lru_head_ != npos)
+        nodes_[lru_head_].prev = idx;
+    lru_head_ = idx;
+    if (lru_tail_ == npos)
+        lru_tail_ = idx;
+}
+
+void
+RunExecutor::cacheEvictToCapacityLocked()
+{
+    if (cache_capacity_ == 0)
+        return;
+    while (cache_bytes_ > cache_capacity_ && lru_tail_ != npos) {
+        std::uint32_t idx = lru_tail_;
+        CacheNode &node = nodes_[idx];
+        cache_bytes_ -= node.bytes;
+        cache_index_.erase(node.key);
+        cacheDetachLocked(idx);
+        node.key.clear();
+        node.result = RunResult();
+        node.bytes = 0;
+        free_nodes_.push_back(idx);
+    }
+}
+
+void
+RunExecutor::attachStore(ResultStore *store)
+{
+    store_ = store;
+}
+
+void
+RunExecutor::setCacheCapacity(std::uint64_t bytes)
+{
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    cache_capacity_ = bytes;
+    cacheEvictToCapacityLocked();
+}
+
+std::uint64_t
+RunExecutor::cacheCapacity() const
+{
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    return cache_capacity_;
+}
+
+std::uint64_t
+RunExecutor::cacheBytes() const
+{
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    return cache_bytes_;
 }
 
 std::size_t
@@ -267,14 +441,19 @@ std::size_t
 RunExecutor::cacheSize() const
 {
     std::lock_guard<std::mutex> lock(cache_mutex_);
-    return cache_.size();
+    return cache_index_.size();
 }
 
 void
 RunExecutor::clearCache()
 {
     std::lock_guard<std::mutex> lock(cache_mutex_);
-    cache_.clear();
+    cache_index_.clear();
+    nodes_.clear();
+    free_nodes_.clear();
+    lru_head_ = npos;
+    lru_tail_ = npos;
+    cache_bytes_ = 0;
 }
 
 } // namespace uvmsim

@@ -12,10 +12,16 @@
  * submission order.  Results are bit-identical to serial execution by
  * construction; only wall-clock time changes.
  *
- * Repeated sweep points are computed once: the executor keeps an
- * in-process cache keyed by a canonical serialization of the job
- * (runJobKey), so e.g. the shared 110% baseline across figures, or
- * duplicate cells inside one batch, cost a single simulation.
+ * Repeated sweep points are computed once, through two cache tiers:
+ *
+ *   1. An in-process cache keyed by a canonical serialization of the
+ *      job (runJobKey), byte-accounted and LRU-bounded (default 256
+ *      MiB, setCacheCapacity to change, 0 = unbounded) so a 10k-cell
+ *      sweep cannot hold every RunResult forever.
+ *   2. Optionally, a persistent on-disk ResultStore attached with
+ *      attachStore(): in-process misses read through to it, computed
+ *      results are written back, and a repeated sweep in a fresh
+ *      process completes on store hits alone.
  *
  * Typical use:
  *
@@ -30,6 +36,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -43,6 +50,8 @@
 
 namespace uvmsim
 {
+
+class ResultStore;
 
 /** One unit of work: run this workload under this configuration. */
 struct RunJob
@@ -60,6 +69,8 @@ struct RunJob
  *
  * NOTE: when adding a field to SimConfig, GpuConfig or WorkloadParams,
  * extend this serialization or the cache will alias distinct configs.
+ * The `jobkey` uvmsim_lint check enforces this: every field declared
+ * in those structs must be referenced in run_executor.cc.
  */
 std::string runJobKey(const RunJob &job);
 
@@ -67,6 +78,9 @@ std::string runJobKey(const RunJob &job);
 class RunExecutor
 {
   public:
+    /** In-process result cache bound when none is configured. */
+    static constexpr std::uint64_t default_cache_bytes = 256ull << 20;
+
     /** A task the pool can run directly (used by runBatch and tests). */
     using Task = std::function<RunResult()>;
 
@@ -81,9 +95,9 @@ class RunExecutor
 
     /**
      * Called on a worker thread just before a job starts executing
-     * (cache hits never invoke it).  `index` is the job's position in
-     * the submitted batch.  Must be thread-safe; serialize any output
-     * through outputMutex().
+     * (cache and store hits never invoke it).  `index` is the job's
+     * position in the submitted batch.  Must be thread-safe; serialize
+     * any output through outputMutex().
      */
     using Progress =
         std::function<void(const RunJob &job, std::size_t index)>;
@@ -123,18 +137,62 @@ class RunExecutor
      */
     std::vector<Outcome> runTasks(const std::vector<Task> &tasks);
 
-    /** Batch results served from the cache so far. */
+    /**
+     * Attach (or detach, with nullptr) a persistent result store as a
+     * read-through/write-back tier under the in-process cache.  Not
+     * owned; must outlive the executor or be detached first.  Hits
+     * and misses are accounted on the store's own counters.
+     */
+    void attachStore(ResultStore *store);
+
+    /** The attached persistent store, or nullptr. */
+    ResultStore *store() const { return store_; }
+
+    /**
+     * Bound the in-process cache to `bytes` of accounted result
+     * footprint (0 = unbounded), evicting least-recently-used entries
+     * immediately if already over.  A single result larger than the
+     * bound is simply not cached.
+     */
+    void setCacheCapacity(std::uint64_t bytes);
+
+    /** Configured in-process cache bound in bytes (0 = unbounded). */
+    std::uint64_t cacheCapacity() const;
+
+    /** Accounted bytes currently held by the in-process cache. */
+    std::uint64_t cacheBytes() const;
+
+    /** Batch results served from the in-process cache so far. */
     std::size_t cacheHits() const;
 
-    /** Distinct results currently cached. */
+    /** Distinct results currently cached in-process. */
     std::size_t cacheSize() const;
 
-    /** Drop every cached result. */
+    /** Drop every in-process cached result. */
     void clearCache();
 
   private:
+    /** Intrusive LRU node: index-linked, lives in nodes_. */
+    struct CacheNode
+    {
+        std::string key;
+        RunResult result;
+        std::uint64_t bytes = 0;
+        std::uint32_t prev = npos;
+        std::uint32_t next = npos;
+    };
+
+    static constexpr std::uint32_t npos = 0xffffffffu;
+
     void workerLoop();
     void enqueue(std::function<void()> work);
+
+    // LRU internals; all require cache_mutex_ to be held.
+    bool cacheLookupLocked(const std::string &key, RunResult &out);
+    void cacheInsertLocked(const std::string &key, RunResult result);
+    void cacheDetachLocked(std::uint32_t idx);
+    void cachePushFrontLocked(std::uint32_t idx);
+    void cacheEvictToCapacityLocked();
 
     mutable std::mutex queue_mutex_;
     std::condition_variable queue_cv_;
@@ -143,8 +201,15 @@ class RunExecutor
     std::vector<std::thread> workers_;
 
     mutable std::mutex cache_mutex_;
-    std::unordered_map<std::string, RunResult> cache_;
+    std::unordered_map<std::string, std::uint32_t> cache_index_;
+    std::vector<CacheNode> nodes_;
+    std::vector<std::uint32_t> free_nodes_;
+    std::uint32_t lru_head_ = npos; ///< most recently used
+    std::uint32_t lru_tail_ = npos; ///< least recently used
+    std::uint64_t cache_bytes_ = 0;
+    std::uint64_t cache_capacity_ = default_cache_bytes;
     std::size_t cache_hits_ = 0;
+    ResultStore *store_ = nullptr;
 };
 
 } // namespace uvmsim

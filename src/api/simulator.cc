@@ -1,8 +1,8 @@
 #include "simulator.hh"
 
 #include <algorithm>
-#include <fstream>
 #include <memory>
+#include <sstream>
 #include <vector>
 
 #include "analysis/timeline.hh"
@@ -11,6 +11,7 @@
 #include "interconnect/pcie_link.hh"
 #include "mem/frame_allocator.hh"
 #include "mem/page_table.hh"
+#include "sim/atomic_file.hh"
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
 #include "sim/stats.hh"
@@ -311,17 +312,13 @@ Simulator::run(const std::vector<Workload *> &workloads)
     if (tracer) {
         tracer->finish(eq.curTick());
         if (timeline && !config_.trace_out.empty()) {
+            // Atomic publish: render in memory, then temp + rename,
+            // so an interrupted run never leaves a truncated CSV.
             const std::string csv_path =
                 config_.trace_out + ".epochs.csv";
-            std::ofstream csv(csv_path);
-            if (!csv)
-                fatal("cannot open epoch CSV output file '%s'",
-                      csv_path.c_str());
+            std::ostringstream csv;
             timeline->dumpCsv(csv);
-            csv.close();
-            if (!csv)
-                fatal("error writing epoch CSV output file '%s'",
-                      csv_path.c_str());
+            publishFile(csv_path, csv.str());
         }
     }
 

@@ -1,0 +1,103 @@
+#include "atomic_file.hh"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "sim/logging.hh"
+
+namespace uvmsim
+{
+
+namespace
+{
+
+/** Per-process publish sequence; makes temp names thread-unique. */
+std::atomic<std::uint64_t> temp_sequence{0};
+
+/** The directory part of `path` ("." when it has none). */
+std::string
+parentDir(const std::string &path)
+{
+    std::size_t slash = path.find_last_of('/');
+    if (slash == std::string::npos)
+        return ".";
+    if (slash == 0)
+        return "/";
+    return path.substr(0, slash);
+}
+
+} // namespace
+
+std::string
+atomicTempPath(const std::string &path)
+{
+    return path + ".tmp." + std::to_string(::getpid()) + "." +
+           std::to_string(temp_sequence.fetch_add(1));
+}
+
+void
+publishTempFile(const std::string &tmp, const std::string &path)
+{
+    // Flush the temp file's data to stable storage before the rename
+    // makes it visible; otherwise a power cut could expose an empty
+    // published file -- exactly the torn artifact this path exists to
+    // prevent.
+    int fd = ::open(tmp.c_str(), O_RDONLY);
+    if (fd < 0)
+        fatal("publish: cannot reopen temp file '%s': %s", tmp.c_str(),
+              std::strerror(errno));
+    if (::fsync(fd) != 0) {
+        int err = errno;
+        ::close(fd);
+        fatal("publish: fsync '%s' failed: %s", tmp.c_str(),
+              std::strerror(err));
+    }
+    ::close(fd);
+
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        fatal("publish: rename '%s' -> '%s' failed: %s", tmp.c_str(),
+              path.c_str(), std::strerror(errno));
+
+    // Persist the directory entry too.  Failure here is not fatal:
+    // the file content is already safe and visible; only crash
+    // durability of the rename itself would be at risk.
+    int dfd = ::open(parentDir(path).c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd >= 0) {
+        ::fsync(dfd);
+        ::close(dfd);
+    }
+}
+
+void
+publishFile(const std::string &path, const std::string &content)
+{
+    const std::string tmp = atomicTempPath(path);
+    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        fatal("publish: cannot create temp file '%s': %s", tmp.c_str(),
+              std::strerror(errno));
+    std::size_t written = 0;
+    while (written < content.size()) {
+        ssize_t n = ::write(fd, content.data() + written,
+                            content.size() - written);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            int err = errno;
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            fatal("publish: write to '%s' failed: %s", tmp.c_str(),
+                  std::strerror(err));
+        }
+        written += static_cast<std::size_t>(n);
+    }
+    ::close(fd);
+    publishTempFile(tmp, path);
+}
+
+} // namespace uvmsim

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Crash-safe artifact publishing: write-to-temp + fsync + rename.
+ *
+ * Every file artifact this repo produces -- result-store entries,
+ * sweep CSVs, Chrome trace JSON, epoch time-series -- is either fully
+ * present or absent.  An interrupted run must never leave a truncated
+ * file behind for downstream scripts to parse as valid.  The helpers
+ * here are the single publish path enforcing that:
+ *
+ *   publishFile(path, content)    one-shot: temp, write, fsync, rename
+ *   atomicTempPath(path)          a pid/sequence-unique sibling path
+ *                                 for incremental writers (open it,
+ *                                 stream into it, then...)
+ *   publishTempFile(tmp, path)    ...fsync it and rename into place
+ *
+ * rename(2) within one directory is atomic on POSIX, so a concurrent
+ * reader sees either the old file, no file, or the complete new file.
+ * The containing directory is fsync'd after the rename so the publish
+ * survives a power cut, not just a process kill.
+ */
+
+#pragma once
+
+#include <string>
+
+namespace uvmsim
+{
+
+/**
+ * A temp sibling of `path` ("<path>.tmp.<pid>.<seq>"), unique across
+ * processes (pid) and within one (atomic sequence counter), always in
+ * the same directory as `path` so the final rename cannot cross
+ * filesystems.
+ */
+std::string atomicTempPath(const std::string &path);
+
+/**
+ * fsync `tmp`, atomically rename it onto `path`, then fsync the
+ * containing directory.  fatal()s on any error (an artifact the user
+ * asked for could not be produced).
+ */
+void publishTempFile(const std::string &tmp, const std::string &path);
+
+/**
+ * Atomically publish `content` as `path`: write it to a temp sibling,
+ * fsync, rename.  Readers never observe a partial file.
+ */
+void publishFile(const std::string &path, const std::string &content);
+
+} // namespace uvmsim

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "sim/atomic_file.hh"
 #include "sim/logging.hh"
 
 namespace uvmsim::trace
@@ -98,10 +99,13 @@ Tracer::finish(Tick end)
 }
 
 ChromeTraceSink::ChromeTraceSink(const std::string &path)
-    : out_(path, std::ios::out | std::ios::trunc), path_(path)
+    : path_(path), tmp_path_(atomicTempPath(path))
 {
+    // Stream into a temp sibling; finish() renames it onto path_, so
+    // an interrupted run never leaves a truncated trace behind.
+    out_.open(tmp_path_, std::ios::out | std::ios::trunc);
     if (!out_)
-        fatal("cannot open trace output file '%s'", path.c_str());
+        fatal("cannot open trace output file '%s'", tmp_path_.c_str());
     out_ << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
     writeThreadNames();
 }
@@ -179,7 +183,8 @@ ChromeTraceSink::finish(Tick end)
     out_ << tail << "\"}}\n";
     out_.close();
     if (!out_)
-        fatal("error writing trace output file '%s'", path_.c_str());
+        fatal("error writing trace output file '%s'", tmp_path_.c_str());
+    publishTempFile(tmp_path_, path_);
 }
 
 } // namespace uvmsim::trace

@@ -183,7 +183,12 @@ class Tracer
 class ChromeTraceSink : public TraceSink
 {
   public:
-    /** Opens `path` for writing; fatal()s if that fails. */
+    /**
+     * Streams into a temp sibling of `path`; finish() (or the
+     * destructor) atomically renames it into place, so `path` is only
+     * ever a complete, loadable JSON document.  fatal()s if the temp
+     * file cannot be opened.
+     */
     explicit ChromeTraceSink(const std::string &path);
 
     ~ChromeTraceSink() override;
@@ -199,6 +204,7 @@ class ChromeTraceSink : public TraceSink
 
     std::ofstream out_;
     std::string path_;
+    std::string tmp_path_;
     std::uint64_t events_ = 0;
     bool finished_ = false;
 };

@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Unit tests for the persistent ResultStore: entry round-trips,
+ * corruption quarantine (bit flips, truncation, empty files), version
+ * invalidation, concurrent writers, the claim protocol, and the
+ * RunResult payload codec.  RunExecutor integration (read-through /
+ * write-back) lives in tests/api/run_executor_test.cc.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/result_store.hh"
+
+namespace uvmsim
+{
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+/** Fresh store directory under the test temp dir. */
+std::string
+storeDir(const std::string &leaf)
+{
+    fs::path dir = fs::path(::testing::TempDir()) / ("uvmsim_" + leaf);
+    fs::remove_all(dir);
+    return dir.string();
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+}
+
+void
+spew(const std::string &path, const std::string &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+std::size_t
+quarantineCount(const ResultStore &store)
+{
+    fs::path dir = fs::path(store.dir()) / "quarantine";
+    std::error_code ec;
+    std::size_t n = 0;
+    for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
+         it.increment(ec))
+        ++n;
+    return n;
+}
+
+} // namespace
+
+TEST(ResultStore, PublishThenLoadRoundTrips)
+{
+    ResultStore store(storeDir("roundtrip"));
+    const std::string key = "job|backprop|seed=1";
+    using namespace std::string_literals;
+    const std::string payload = "payload with \0 binary\n bytes"s;
+
+    EXPECT_FALSE(store.load(key).has_value());
+    store.publish(key, payload);
+    auto hit = store.load(key);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, payload);
+
+    auto c = store.counters();
+    EXPECT_EQ(c.misses, 1u);
+    EXPECT_EQ(c.hits, 1u);
+    EXPECT_EQ(c.stores, 1u);
+    EXPECT_EQ(c.quarantined, 0u);
+}
+
+TEST(ResultStore, HashKeyIsStableAndShardsThePath)
+{
+    const std::string h = ResultStore::hashKey("k", 1);
+    EXPECT_EQ(h.size(), 32u);
+    EXPECT_EQ(h, ResultStore::hashKey("k", 1));
+    EXPECT_NE(h, ResultStore::hashKey("K", 1));
+    EXPECT_NE(h, ResultStore::hashKey("k", 2));
+
+    ResultStore store(storeDir("shard"));
+    fs::path entry = store.entryPath("k");
+    // <dir>/objects/aa/bb/<hash>: two shard levels under objects/.
+    EXPECT_EQ(entry.filename().string(), ResultStore::hashKey("k", 1));
+    EXPECT_EQ(entry.parent_path().filename().string(), h.substr(2, 2));
+    EXPECT_EQ(
+        entry.parent_path().parent_path().filename().string(),
+        h.substr(0, 2));
+    EXPECT_EQ(entry.parent_path()
+                  .parent_path()
+                  .parent_path()
+                  .filename()
+                  .string(),
+              "objects");
+}
+
+TEST(ResultStore, BitFlippedPayloadIsQuarantinedAsMiss)
+{
+    ResultStore store(storeDir("bitflip"));
+    const std::string key = "corrupt-me";
+    store.publish(key, "the quick brown fox");
+
+    std::string raw = slurp(store.entryPath(key));
+    ASSERT_FALSE(raw.empty());
+    raw[raw.size() / 2] ^= 0x20; // flip one payload bit
+    spew(store.entryPath(key), raw);
+
+    EXPECT_FALSE(store.load(key).has_value());
+    EXPECT_EQ(store.counters().quarantined, 1u);
+    EXPECT_EQ(store.counters().misses, 1u);
+    // The bad entry is moved aside, not deleted and not re-read.
+    EXPECT_FALSE(fs::exists(store.entryPath(key)));
+    EXPECT_EQ(quarantineCount(store), 1u);
+    EXPECT_FALSE(store.load(key).has_value());
+    EXPECT_EQ(store.counters().quarantined, 1u);
+}
+
+TEST(ResultStore, TruncatedFooterIsQuarantinedAsMiss)
+{
+    ResultStore store(storeDir("truncate"));
+    const std::string key = "short-file";
+    store.publish(key, std::string(256, 'x'));
+
+    std::string raw = slurp(store.entryPath(key));
+    ASSERT_GT(raw.size(), 8u);
+    spew(store.entryPath(key), raw.substr(0, raw.size() - 5));
+
+    EXPECT_FALSE(store.load(key).has_value());
+    EXPECT_EQ(store.counters().quarantined, 1u);
+    EXPECT_FALSE(fs::exists(store.entryPath(key)));
+}
+
+TEST(ResultStore, ZeroLengthEntryIsQuarantinedAsMiss)
+{
+    ResultStore store(storeDir("zerolen"));
+    const std::string key = "empty-file";
+    store.publish(key, "soon to vanish");
+    spew(store.entryPath(key), "");
+
+    EXPECT_FALSE(store.load(key).has_value());
+    EXPECT_EQ(store.counters().quarantined, 1u);
+    EXPECT_EQ(quarantineCount(store), 1u);
+}
+
+TEST(ResultStore, VersionBumpInvalidatesOldEntries)
+{
+    const std::string dir = storeDir("version");
+    const std::string key = "stable-key";
+    {
+        ResultStore v1(dir, 1);
+        v1.publish(key, "v1 payload");
+        EXPECT_TRUE(v1.load(key).has_value());
+    }
+    ResultStore v2(dir, 2);
+    // The version salts the hash, so the old entry is a clean miss
+    // (not corruption -- nothing to quarantine).
+    EXPECT_FALSE(v2.load(key).has_value());
+    EXPECT_EQ(v2.counters().quarantined, 0u);
+    EXPECT_EQ(v2.counters().misses, 1u);
+
+    // Each version keeps its own entry under the same root.
+    v2.publish(key, "v2 payload");
+    ResultStore v1_again(dir, 1);
+    auto old_hit = v1_again.load(key);
+    ASSERT_TRUE(old_hit.has_value());
+    EXPECT_EQ(*old_hit, "v1 payload");
+}
+
+TEST(ResultStore, EntryWithWrongEmbeddedKeyIsAMiss)
+{
+    ResultStore store(storeDir("keyswap"));
+    store.publish("key-a", "payload-a");
+    store.publish("key-b", "payload-b");
+    // Simulate a (vanishingly unlikely) hash collision: key-b's valid
+    // entry sitting at key-a's path.  The embedded key catches it.
+    fs::copy_file(store.entryPath("key-b"), store.entryPath("key-a"),
+                  fs::copy_options::overwrite_existing);
+    EXPECT_FALSE(store.load("key-a").has_value());
+    // A structurally valid entry is never quarantined.
+    EXPECT_EQ(store.counters().quarantined, 0u);
+}
+
+TEST(ResultStore, ConcurrentWritersConvergeToOneValidEntry)
+{
+    ResultStore store(storeDir("racers"));
+    const std::string key = "contended";
+    const std::string payload(4096, 'p');
+
+    std::vector<std::thread> writers;
+    for (int i = 0; i < 8; ++i)
+        writers.emplace_back(
+            [&] { store.publish(key, payload); });
+    for (auto &w : writers)
+        w.join();
+
+    auto hit = store.load(key);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, payload);
+    EXPECT_EQ(store.counters().stores, 8u);
+    EXPECT_EQ(store.counters().quarantined, 0u);
+    // No temp files left behind next to the entry.
+    std::size_t files = 0;
+    for (const auto &e : fs::recursive_directory_iterator(
+             fs::path(store.dir()) / "objects"))
+        files += e.is_regular_file() ? 1 : 0;
+    EXPECT_EQ(files, 1u);
+}
+
+TEST(ResultStore, ClaimLifecycle)
+{
+    ResultStore store(storeDir("claims"));
+    const std::string key = "cell-0";
+
+    EXPECT_TRUE(store.tryClaim(key, "worker-1"));
+    EXPECT_FALSE(store.tryClaim(key, "worker-2"));
+
+    // A fresh claim survives a generous TTL...
+    EXPECT_FALSE(store.breakClaimIfStale(key, 3600));
+    EXPECT_FALSE(store.tryClaim(key, "worker-2"));
+
+    // ...but ttl 0 treats any claim as stale (crash recovery).
+    EXPECT_TRUE(store.breakClaimIfStale(key, 0));
+    EXPECT_FALSE(store.breakClaimIfStale(key, 0)); // already gone
+    EXPECT_TRUE(store.tryClaim(key, "worker-2"));
+
+    store.releaseClaim(key);
+    store.releaseClaim(key); // idempotent
+    EXPECT_TRUE(store.tryClaim(key, "worker-3"));
+}
+
+TEST(ResultStore, RunResultPayloadRoundTripsBitExactly)
+{
+    RunResult r;
+    r.workload = "backprop with spaces\nand a newline";
+    r.kernel_time = 123456789;
+    r.final_time = 987654321;
+    r.device_memory_bytes = 7ull << 30;
+    r.footprint_bytes = 3ull << 31;
+    r.stats["pages_evicted"] = 1234.0;
+    r.stats["odd=name with spaces"] = -0.1;
+    r.stats["tiny"] = 4.9406564584124654e-324; // denormal min
+    r.stats["third"] = 1.0 / 3.0;
+
+    const std::string payload = encodeRunResult(r);
+    RunResult back;
+    ASSERT_TRUE(decodeRunResult(payload, back));
+    EXPECT_EQ(back.workload, r.workload);
+    EXPECT_EQ(back.kernel_time, r.kernel_time);
+    EXPECT_EQ(back.final_time, r.final_time);
+    EXPECT_EQ(back.device_memory_bytes, r.device_memory_bytes);
+    EXPECT_EQ(back.footprint_bytes, r.footprint_bytes);
+    ASSERT_EQ(back.stats.size(), r.stats.size());
+    for (const auto &[name, value] : r.stats)
+        EXPECT_EQ(back.stats.at(name), value) << name;
+}
+
+TEST(ResultStore, DecodeRejectsMalformedPayloads)
+{
+    RunResult r;
+    r.workload = "w";
+    r.stats["s"] = 1.5;
+    const std::string good = encodeRunResult(r);
+
+    RunResult out;
+    EXPECT_TRUE(decodeRunResult(good, out));
+    EXPECT_FALSE(decodeRunResult("", out));
+    EXPECT_FALSE(decodeRunResult("not a runresult", out));
+    // Truncation anywhere is a structural mismatch.
+    for (std::size_t len = 0; len < good.size(); ++len)
+        EXPECT_FALSE(decodeRunResult(good.substr(0, len), out))
+            << "accepted truncation at " << len;
+    // So are trailing bytes.
+    EXPECT_FALSE(decodeRunResult(good + "x", out));
+}
+
+} // namespace uvmsim

@@ -10,9 +10,11 @@
 
 #include <atomic>
 #include <chrono>
+#include <filesystem>
 #include <stdexcept>
 #include <thread>
 
+#include "api/result_store.hh"
 #include "api/run_executor.hh"
 
 namespace uvmsim
@@ -162,6 +164,96 @@ TEST(RunExecutor, KeyDistinguishesEveryJobComponent)
     EXPECT_NE(key, runJobKey(other_seed));
     EXPECT_NE(key, runJobKey(other_scale));
     EXPECT_NE(key, runJobKey(other_gpu));
+}
+
+TEST(RunExecutor, CacheStaysUnderByteBound)
+{
+    RunExecutor exec(4);
+    EXPECT_EQ(exec.cacheCapacity(), RunExecutor::default_cache_bytes);
+    EXPECT_EQ(exec.cacheBytes(), 0u);
+
+    // Tight bound: roughly two entries' worth of footprint, so a
+    // six-job batch must evict in LRU order rather than grow.
+    std::vector<RunJob> batch;
+    for (std::uint64_t seed = 1; seed <= 6; ++seed)
+        batch.push_back(tinyJob("backprop", EvictionKind::lru4k, seed));
+    auto probe = exec.runBatch({batch[0]});
+    ASSERT_EQ(probe.size(), 1u);
+    const std::uint64_t one_entry = exec.cacheBytes();
+    ASSERT_GT(one_entry, 0u);
+
+    exec.clearCache();
+    exec.setCacheCapacity(2 * one_entry);
+    auto results = exec.runBatch(batch);
+    ASSERT_EQ(results.size(), 6u);
+    EXPECT_LE(exec.cacheBytes(), exec.cacheCapacity());
+    EXPECT_LE(exec.cacheSize(), 2u);
+    EXPECT_GE(exec.cacheSize(), 1u);
+
+    // Every result is still correct and complete despite eviction.
+    for (const auto &r : results)
+        EXPECT_FALSE(r.stats.empty());
+
+    // An entry larger than the whole bound is simply not cached.
+    exec.setCacheCapacity(1);
+    EXPECT_EQ(exec.cacheBytes(), 0u);
+    EXPECT_EQ(exec.cacheSize(), 0u);
+    exec.runBatch({batch[0]});
+    EXPECT_EQ(exec.cacheSize(), 0u);
+
+    // 0 = unbounded.
+    exec.setCacheCapacity(0);
+    exec.clearCache();
+    exec.runBatch(batch);
+    EXPECT_EQ(exec.cacheSize(), 6u);
+}
+
+TEST(RunExecutor, StoreReadThroughAndWriteBack)
+{
+    namespace fs = std::filesystem;
+    const fs::path dir =
+        fs::path(::testing::TempDir()) / "uvmsim_exec_store";
+    fs::remove_all(dir);
+
+    RunJob job = tinyJob("backprop", EvictionKind::lru4k);
+    RunResult computed;
+    {
+        ResultStore store(dir.string());
+        RunExecutor exec(2);
+        exec.attachStore(&store);
+        EXPECT_EQ(exec.store(), &store);
+        computed = exec.runBatch({job})[0];
+        EXPECT_EQ(store.counters().misses, 1u);
+        EXPECT_EQ(store.counters().stores, 1u);
+    }
+    {
+        // A fresh process (modelled by a fresh executor) completes the
+        // same job on store hits alone, bit-identically, without
+        // simulating: a progress callback would fire on a real run.
+        ResultStore store(dir.string());
+        RunExecutor exec(2);
+        exec.attachStore(&store);
+        std::atomic<int> progress_calls{0};
+        auto replayed = exec.runBatch(
+            {job}, [&](const RunJob &, std::size_t) {
+                ++progress_calls;
+            });
+        EXPECT_EQ(store.counters().hits, 1u);
+        EXPECT_EQ(store.counters().misses, 0u);
+        EXPECT_EQ(progress_calls.load(), 0);
+        EXPECT_EQ(replayed[0].workload, computed.workload);
+        EXPECT_EQ(replayed[0].kernel_time, computed.kernel_time);
+        EXPECT_EQ(replayed[0].final_time, computed.final_time);
+        EXPECT_EQ(replayed[0].stats, computed.stats);
+
+        // A store hit also warms the in-process cache.
+        exec.runBatch({job});
+        EXPECT_EQ(exec.cacheHits(), 1u);
+        EXPECT_EQ(store.counters().hits, 1u);
+
+        exec.attachStore(nullptr);
+        EXPECT_EQ(exec.store(), nullptr);
+    }
 }
 
 } // namespace uvmsim

@@ -92,7 +92,7 @@ render(const std::vector<Finding> &findings)
 TEST(LintChecks, CheckNamesAreStable)
 {
     const std::vector<std::string> expected = {
-        "flags", "stats", "trace", "determinism", "headers"};
+        "flags", "stats", "trace", "determinism", "headers", "jobkey"};
     EXPECT_EQ(allCheckNames(), expected);
 }
 
@@ -342,6 +342,83 @@ TEST_F(LintFixture, HeadersFixLeavesConditionalIfndefAlone)
     EXPECT_EQ(f.size(), 1u) << render(f);
     EXPECT_NE(read("src/cond.hh").find("#ifndef NDEBUG"),
               std::string::npos);
+}
+
+// ------------------------------------------------------------- jobkey
+
+TEST_F(LintFixture, JobKeyFlagsUnserializedField)
+{
+    write("src/api/simulator.hh",
+          "#pragma once\n"
+          "struct SimConfig\n{\n"
+          "    GpuConfig gpu;\n"
+          "    double oversubscription_percent = 0.0; // swept\n"
+          "    bool audit = false;\n"
+          "};\n");
+    write("src/gpu/gpu_config.hh",
+          "#pragma once\n"
+          "struct GpuConfig\n{\n"
+          "    std::uint32_t num_sms = 28;\n"
+          "    Tick corePeriod() const { return period(core_mhz); }\n"
+          "};\n");
+    write("src/workloads/workload.hh",
+          "#pragma once\n"
+          "struct WorkloadParams\n{\n"
+          "    double size_scale = 1.0;\n"
+          "};\n");
+    // The key serializes everything except SimConfig::audit.
+    write("src/api/run_executor.cc",
+          "std::string runJobKey(const RunJob &job) {\n"
+          "    const GpuConfig &g = job.config.gpu;\n"
+          "    appendUint(key, g.num_sms);\n"
+          "    appendDouble(key, c.oversubscription_percent);\n"
+          "    appendDouble(key, p.size_scale);\n"
+          "    return key;\n"
+          "}\n");
+
+    std::vector<Finding> f = checkJobKey(rootStr());
+    EXPECT_EQ(countMessages(f, "SimConfig::audit"), 1u) << render(f);
+    EXPECT_EQ(f.size(), 1u) << render(f);
+}
+
+TEST_F(LintFixture, JobKeyCleanFixturePasses)
+{
+    write("src/api/simulator.hh",
+          "#pragma once\n"
+          "struct SimConfig\n{\n"
+          "    GpuConfig gpu;\n"
+          "    /* block comment field_in_comment; */\n"
+          "    bool audit = false;\n"
+          "};\n");
+    write("src/gpu/gpu_config.hh",
+          "#pragma once\nstruct GpuConfig\n{\n"
+          "    std::uint32_t num_sms = 28;\n};\n");
+    write("src/workloads/workload.hh",
+          "#pragma once\nstruct WorkloadParams\n{\n"
+          "    std::uint64_t seed = 42;\n};\n");
+    write("src/api/run_executor.cc",
+          "std::string runJobKey(const RunJob &job) {\n"
+          "    key += job.config.gpu.num_sms;\n"
+          "    key += c.audit ? 1 : 0;\n"
+          "    key += p.seed;\n"
+          "    return key;\n"
+          "}\n");
+
+    std::vector<Finding> f = checkJobKey(rootStr());
+    EXPECT_TRUE(f.empty()) << render(f);
+}
+
+TEST_F(LintFixture, JobKeyMissingSourcesAreFindings)
+{
+    // An empty tree: the key implementation itself is unreadable.
+    std::vector<Finding> f = checkJobKey(rootStr());
+    EXPECT_EQ(countMessages(f, "cannot read the runJobKey"), 1u)
+        << render(f);
+
+    // With a key but no struct headers, each struct is reported.
+    write("src/api/run_executor.cc", "std::string runJobKey();\n");
+    f = checkJobKey(rootStr());
+    EXPECT_EQ(countMessages(f, "cannot find struct"), 3u) << render(f);
 }
 
 // ---------------------------------------------------------- CLI/JSON

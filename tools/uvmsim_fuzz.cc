@@ -27,11 +27,13 @@
  */
 
 #include <cstdio>
-#include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "api/result_store.hh"
 #include "api/run_executor.hh"
+#include "sim/atomic_file.hh"
 #include "sim/options.hh"
 #include "testing/differential.hh"
 #include "testing/minimizer.hh"
@@ -70,6 +72,9 @@ usage()
         "globalLru|staticQuota|proportionalShare\n"
         "  --out=PATH         write the minimized repro spec string "
         "to PATH\n"
+        "  --store=DIR        persistent result store: cells that "
+        "already agreed in an earlier campaign are skipped (failing "
+        "cells always re-run)\n"
         "  --verbose          print every cell, not just mismatches\n"
         "  --help             print this text\n");
 }
@@ -86,13 +91,9 @@ void
 writeRepro(const std::string &path, const FuzzSpec &spec,
            const std::string &report)
 {
-    std::ofstream out(path);
-    if (!out) {
-        std::fprintf(stderr, "cannot open --out file '%s'\n",
-                     path.c_str());
-        return;
-    }
-    out << toSpecString(spec) << "\n\n" << report;
+    // Atomic publish: a repro artifact is either complete or absent,
+    // never a truncated spec a later --repro run would misparse.
+    publishFile(path, toSpecString(spec) + "\n\n" + report);
 }
 
 /** Minimize and report; returns the minimized spec string. */
@@ -216,34 +217,69 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(num_seeds),
                 combos.size(), cells.size(), multi_tenant_cells);
 
+    // Agreed cells from earlier campaigns are skipped via the store;
+    // a failing cell is never cached, so regressions always re-run.
+    // The key covers the full spec string and the mutation, so a
+    // mutated-oracle campaign cannot alias a clean one.
+    std::optional<ResultStore> store;
+    if (opts.has("store"))
+        store.emplace(opts.get("store"));
+    auto cellKey = [mutation](const Cell &cell) {
+        return "fuzz|" + toSpecString(cell.spec) +
+               "|mut=" + fuzzing::toString(mutation);
+    };
+
     // Fan the cells out on the pool; results land by index.  fatal()
     // and panic() terminate the whole process -- that is itself a
     // reportable fuzz outcome, and the cell label printed below
     // narrows it to a seed.
     std::vector<CellOutcome> outcomes(cells.size());
+    std::vector<bool> from_store(cells.size(), false);
     RunExecutor executor(jobs);
     std::vector<RunExecutor::Task> tasks;
+    std::vector<std::size_t> task_cells;
     tasks.reserve(cells.size());
     for (std::size_t i = 0; i < cells.size(); ++i) {
+        outcomes[i].label = cells[i].label;
+        if (store && store->load(cellKey(cells[i]))) {
+            from_store[i] = true; // agreed before; counts as matched
+            continue;
+        }
+        task_cells.push_back(i);
         tasks.push_back([&cells, &outcomes, i, mutation]() {
-            outcomes[i].label = cells[i].label;
             outcomes[i].diff = runDifferential(cells[i].spec, mutation);
             return RunResult{};
         });
     }
     std::vector<RunExecutor::Outcome> task_outcomes =
         executor.runTasks(tasks);
-    for (std::size_t i = 0; i < task_outcomes.size(); ++i) {
-        if (task_outcomes[i].ok())
+    for (std::size_t t = 0; t < task_outcomes.size(); ++t) {
+        const std::size_t i = task_cells[t];
+        if (task_outcomes[t].ok())
             continue;
         outcomes[i].panicked = true;
         try {
-            std::rethrow_exception(task_outcomes[i].error);
+            std::rethrow_exception(task_outcomes[t].error);
         } catch (const std::exception &e) {
             outcomes[i].panic_what = e.what();
         } catch (...) {
             outcomes[i].panic_what = "unknown exception";
         }
+    }
+    if (store) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (!from_store[i] && !outcomes[i].panicked &&
+                !outcomes[i].diff.mismatch)
+                store->publish(cellKey(cells[i]), "agree");
+        }
+        ResultStore::Counters c = store->counters();
+        std::fprintf(stderr,
+                     "store: hits=%llu misses=%llu quarantined=%llu "
+                     "stores=%llu\n",
+                     static_cast<unsigned long long>(c.hits),
+                     static_cast<unsigned long long>(c.misses),
+                     static_cast<unsigned long long>(c.quarantined),
+                     static_cast<unsigned long long>(c.stores));
     }
 
     std::size_t mismatched = 0;

@@ -179,7 +179,7 @@ const std::vector<std::string> &
 allCheckNames()
 {
     static const std::vector<std::string> names = {
-        "flags", "stats", "trace", "determinism", "headers"};
+        "flags", "stats", "trace", "determinism", "headers", "jobkey"};
     return names;
 }
 
@@ -790,6 +790,161 @@ checkHeaders(const std::string &root_str, bool fix)
     return findings;
 }
 
+// ------------------------------------------------------------- jobkey check
+
+namespace
+{
+
+/** Remove // line comments and C-style block comments. */
+std::string
+stripComments(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (std::size_t i = 0; i < text.size();) {
+        if (text[i] == '/' && i + 1 < text.size() && text[i + 1] == '/') {
+            while (i < text.size() && text[i] != '\n')
+                ++i;
+        } else if (text[i] == '/' && i + 1 < text.size() &&
+                   text[i + 1] == '*') {
+            i += 2;
+            while (i + 1 < text.size() &&
+                   !(text[i] == '*' && text[i + 1] == '/'))
+                ++i;
+            i = std::min(text.size(), i + 2);
+        } else {
+            out += text[i++];
+        }
+    }
+    return out;
+}
+
+/** The brace-delimited body of `struct name { ... }` in text. */
+std::string
+structBody(const std::string &text, const std::string &name)
+{
+    std::size_t pos = text.find("struct " + name);
+    if (pos == std::string::npos)
+        return "";
+    pos = text.find('{', pos);
+    if (pos == std::string::npos)
+        return "";
+    int depth = 0;
+    const std::size_t start = pos + 1;
+    for (std::size_t i = pos; i < text.size(); ++i) {
+        if (text[i] == '{') {
+            ++depth;
+        } else if (text[i] == '}') {
+            depth -= 1; // (not prefix -- that reads as a flag token)
+            if (depth == 0)
+                return text.substr(start, i - start);
+        }
+    }
+    return "";
+}
+
+/**
+ * Data-member names declared at the top level of a struct body
+ * (comments already stripped).  Member functions are recognized by a
+ * '(' before any '=' and skipped; nested braces (inline function
+ * bodies) are skipped wholesale.
+ */
+std::vector<std::string>
+memberFields(const std::string &body)
+{
+    static const std::regex name_pattern(
+        R"re(([A-Za-z_][A-Za-z0-9_]*)\s*$)re");
+    std::vector<std::string> out;
+    int depth = 0;
+    std::string stmt;
+    for (char c : body) {
+        if (c == '{') {
+            ++depth;
+            continue;
+        }
+        if (c == '}') {
+            depth -= 1;
+            stmt.clear();
+            continue;
+        }
+        if (depth > 0)
+            continue;
+        if (c != ';') {
+            stmt += c;
+            continue;
+        }
+        const std::size_t eq = stmt.find('=');
+        const std::string decl = trim(
+            eq == std::string::npos ? stmt : stmt.substr(0, eq));
+        stmt.clear();
+        if (decl.find('(') != std::string::npos)
+            continue; // a member function declaration
+        std::smatch m;
+        if (!std::regex_search(decl, m, name_pattern))
+            continue;
+        // Require a preceding type token so lone keywords don't match.
+        if (m[1].str().size() < decl.size())
+            out.push_back(m[1].str());
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<Finding>
+checkJobKey(const std::string &root_str)
+{
+    const fs::path root(root_str);
+    std::vector<Finding> findings;
+
+    struct StructSpec
+    {
+        const char *file;
+        const char *name;
+    };
+    static const StructSpec specs[] = {
+        {"src/api/simulator.hh", "SimConfig"},
+        {"src/gpu/gpu_config.hh", "GpuConfig"},
+        {"src/workloads/workload.hh", "WorkloadParams"},
+    };
+    const char *key_file = "src/api/run_executor.cc";
+
+    const std::string key_text = stripComments(slurp(root / key_file));
+    if (key_text.empty()) {
+        findings.push_back({"jobkey", key_file, 0,
+                            "cannot read the runJobKey implementation",
+                            "check out " + std::string(key_file)});
+        return findings;
+    }
+
+    for (const StructSpec &spec : specs) {
+        const std::string text = stripComments(slurp(root / spec.file));
+        const std::string body = structBody(text, spec.name);
+        if (body.empty()) {
+            findings.push_back(
+                {"jobkey", spec.file, 0,
+                 "cannot find struct " + std::string(spec.name),
+                 "update the jobkey check's struct registry"});
+            continue;
+        }
+        for (const std::string &field : memberFields(body)) {
+            // A serialized field is read as ".field" somewhere in the
+            // key's translation unit (field names are identifiers, so
+            // splicing them into the regex is safe).
+            const std::regex use("[.]\\s*" + field + "\\b");
+            if (std::regex_search(key_text, use))
+                continue;
+            findings.push_back(
+                {"jobkey", spec.file, 0,
+                 "field " + std::string(spec.name) + "::" + field +
+                     " is never read by runJobKey -- distinct configs "
+                     "would alias one result cache entry",
+                 "serialize the field in " + std::string(key_file)});
+        }
+    }
+    return findings;
+}
+
 // ------------------------------------------------------------ entry points
 
 std::vector<Finding>
@@ -821,6 +976,8 @@ runChecks(const Config &config)
         append(checkDeterminism(config.root));
     if (wants("headers"))
         append(checkHeaders(config.root, config.fix));
+    if (wants("jobkey"))
+        append(checkJobKey(config.root));
     return findings;
 }
 

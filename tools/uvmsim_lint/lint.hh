@@ -6,8 +6,9 @@
  * Generic linters cannot know that every CLI flag a tool consumes must
  * be documented and exercised by a test, that docs/STATS.md must match
  * the StatRegistry exactly, or that a stray randomness or wall-clock
- * read silently breaks run determinism.  This library encodes those repo-specific rules as five
- * checks, each unit-testable against fixture trees (see
+ * read silently breaks run determinism.  This library encodes those
+ * repo-specific rules as six checks, each unit-testable against
+ * fixture trees (see
  * tests/tools/lint_test.cc) and runnable against the real repo by the
  * uvmsim_lint binary:
  *
@@ -29,6 +30,10 @@
  *   headers      -- headers use "#pragma once" (convertible from
  *                   #ifndef guards with --fix) and never say
  *                   "using namespace" at file scope.
+ *   jobkey       -- every field of SimConfig, GpuConfig and
+ *                   WorkloadParams is serialized by runJobKey, so a
+ *                   newly added field can never silently alias result
+ *                   cache/store entries.
  *
  * The binary exits 0 when the tree is clean, 1 when any finding
  * remains, and 2 on usage errors; --json emits machine-readable
@@ -118,6 +123,16 @@ std::vector<Finding> checkDeterminism(const std::string &root);
  * in place) and no file-scope "using namespace".
  */
 std::vector<Finding> checkHeaders(const std::string &root, bool fix);
+
+/**
+ * Result-key completeness: parses the field declarations of
+ * SimConfig (src/api/simulator.hh), GpuConfig (src/gpu/gpu_config.hh)
+ * and WorkloadParams (src/workloads/workload.hh) and requires every
+ * field to be read (".field") inside src/api/run_executor.cc, where
+ * runJobKey serializes the job.  A field missing from the key would
+ * let two distinct configurations alias the same cache/store entry.
+ */
+std::vector<Finding> checkJobKey(const std::string &root);
 
 /**
  * Every stat name the real simulator registers, normalized, obtained

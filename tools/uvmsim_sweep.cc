@@ -9,6 +9,14 @@
  * (default: hardware concurrency; --jobs=1 restores serial
  * execution).  The table is identical for every --jobs value.
  *
+ * With --store=DIR, results persist in a sharded on-disk store keyed
+ * by the canonical job key: a repeated sweep completes on store hits
+ * alone, and concurrent invocations share work.  --workers=N forks N
+ * worker processes that claim cells in the store (claim-or-skip is
+ * work stealing; a crashed worker's claim expires by age) while the
+ * parent merges every cell into the final table/CSV, recomputing any
+ * cell no worker completed.
+ *
  * Examples:
  *   uvmsim_sweep --axis=oversubscription --values=105,110,125,150 \
  *                --benchmarks=hotspot,nw --metric=kernel_ms
@@ -16,13 +24,24 @@
  *                --oversubscription=110 --metric=pages_thrashed
  *   uvmsim_sweep --axis=fault-us --values=15,30,45,90 --jobs=8
  *   uvmsim_sweep --axis=reserve --values=0,5,10,20,40
+ *   uvmsim_sweep --store=/tmp/uvmstore --workers=4 --csv=sweep.csv
  */
 
+#include <cerrno>
+#include <cinttypes>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <optional>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "api/result_store.hh"
 #include "api/run_executor.hh"
 #include "api/simulator.hh"
+#include "sim/atomic_file.hh"
 #include "sim/options.hh"
 
 using namespace uvmsim;
@@ -76,6 +95,22 @@ usage()
         "ticks\n"
         "  --jobs=N                 concurrent cells (default: "
         "hardware concurrency)\n"
+        "  --store=DIR              persistent result store: cells "
+        "already in the store are not recomputed, new results are "
+        "published for later runs\n"
+        "  --workers=N              fork N worker processes that "
+        "claim cells in the store (requires --store); the parent "
+        "merges and completes the table\n"
+        "  --claim-ttl-s=N          age in seconds after which "
+        "another worker may break a cell claim left by a crashed "
+        "worker (default 300)\n"
+        "  --csv=PATH               also publish the result grid as "
+        "CSV (written atomically: temp + rename)\n"
+        "  --cache-bytes=N          in-process result cache bound in "
+        "bytes (0 = unbounded)\n"
+        "  --worker-kill-after=N    test hook: worker 0 kills itself "
+        "(SIGKILL) after claiming its Nth cell, leaving a stale "
+        "claim\n"
         "  --help                   print this text\n");
 }
 
@@ -175,6 +210,65 @@ applyAxis(SimConfig &cfg, const std::string &axis,
     }
 }
 
+/**
+ * One forked worker: walk the cell ring starting at this worker's
+ * stagger offset, claim-or-skip each cell, compute claimed cells
+ * through a store-attached executor (which publishes the result).
+ * Everything a worker produces lives in the store; the parent never
+ * reads worker memory, so a SIGKILLed worker costs only its
+ * incomplete cell.
+ */
+int
+workerMain(const std::vector<RunJob> &jobs, std::size_t worker_index,
+           std::size_t num_workers, const std::string &store_dir,
+           std::size_t exec_threads, std::uint64_t claim_ttl_s,
+           std::uint64_t kill_after)
+{
+    ResultStore store(store_dir);
+    RunExecutor executor(exec_threads);
+    executor.attachStore(&store);
+    const std::string owner = "worker" + std::to_string(worker_index) +
+                              ":pid" + std::to_string(::getpid());
+
+    const std::size_t n = jobs.size();
+    const std::size_t start = n == 0 ? 0 : worker_index * n / num_workers;
+    std::uint64_t claimed = 0;
+    for (std::size_t k = 0; k < n; ++k) {
+        const std::size_t idx = (start + k) % n;
+        const std::string key = runJobKey(jobs[idx]);
+        if (store.load(key)) {
+            // Already computed (this run or a previous one).  A claim
+            // outliving its TTL here is leftover from a crashed
+            // worker whose cell someone else finished: sweep it up.
+            store.breakClaimIfStale(key, claim_ttl_s);
+            continue;
+        }
+        if (!store.tryClaim(key, owner)) {
+            // Held by a live worker -- skip -- unless it outlived the
+            // TTL (crashed holder), in which case break it and race
+            // for the re-claim.
+            if (!store.breakClaimIfStale(key, claim_ttl_s))
+                continue;
+            if (!store.tryClaim(key, owner))
+                continue;
+        }
+        ++claimed;
+        if (kill_after != 0 && worker_index == 0 && claimed == kill_after) {
+            // Test hook: die like a crashed worker, claim still held.
+            ::raise(SIGKILL);
+        }
+        if (store.load(key)) {
+            // Raced with another worker's publish between our load
+            // and claim; nothing to do.
+            store.releaseClaim(key);
+            continue;
+        }
+        executor.runBatch({jobs[idx]});
+        store.releaseClaim(key);
+    }
+    return 0;
+}
+
 double
 metric(const RunResult &r, const std::string &name)
 {
@@ -227,8 +321,57 @@ main(int argc, char **argv)
         }
     }
 
-    RunExecutor executor(
-        static_cast<std::size_t>(opts.getUint("jobs", 0)));
+    const std::string store_dir = opts.get("store", "");
+    const std::size_t num_workers =
+        static_cast<std::size_t>(opts.getUint("workers", 0));
+    const std::size_t exec_threads =
+        static_cast<std::size_t>(opts.getUint("jobs", 0));
+    const std::uint64_t claim_ttl_s = opts.getUint("claim-ttl-s", 300);
+    const std::uint64_t kill_after = opts.getUint("worker-kill-after", 0);
+
+    if (num_workers > 0) {
+        if (store_dir.empty())
+            fatal("--workers requires --store (claims and results "
+                  "live in the store)");
+        // Fork before any RunExecutor exists: no threads yet, so the
+        // children are clean single-threaded copies holding the same
+        // enumerated job grid.
+        std::fflush(stdout);
+        std::fflush(stderr);
+        std::vector<pid_t> pids;
+        for (std::size_t w = 0; w < num_workers; ++w) {
+            pid_t pid = ::fork();
+            if (pid < 0)
+                fatal("fork failed: %s", std::strerror(errno));
+            if (pid == 0) {
+                int rc = workerMain(jobs, w, num_workers, store_dir,
+                                    exec_threads, claim_ttl_s,
+                                    kill_after);
+                std::_Exit(rc);
+            }
+            pids.push_back(pid);
+        }
+        // Crashed workers are expected (that is the point of the
+        // store): collect them all, then self-heal below.
+        for (pid_t pid : pids) {
+            int status = 0;
+            ::waitpid(pid, &status, 0);
+        }
+    }
+
+    // Merge pass (also the whole story when --workers is off): read
+    // every cell through the store when one is attached, computing
+    // whatever is missing -- including cells a crashed worker claimed
+    // but never finished.
+    RunExecutor executor(exec_threads);
+    std::optional<ResultStore> store;
+    if (!store_dir.empty()) {
+        store.emplace(store_dir);
+        executor.attachStore(&*store);
+    }
+    if (opts.has("cache-bytes"))
+        executor.setCacheCapacity(
+            opts.getUint("cache-bytes", RunExecutor::default_cache_bytes));
     std::vector<RunResult> results = executor.runBatch(jobs);
 
     // Phase 2: print the table exactly as the serial sweep did.
@@ -247,6 +390,32 @@ main(int argc, char **argv)
             std::fflush(stdout);
         }
         std::printf("\n");
+    }
+
+    // Publish the grid as CSV (atomically: a crashed or interrupted
+    // run never leaves a truncated file for downstream parsers).
+    const std::string csv_path = opts.get("csv", "");
+    if (!csv_path.empty()) {
+        std::string csv = "benchmark,value," + metric_name + "\n";
+        cell = 0;
+        for (const std::string &bench : benchmarks) {
+            for (const std::string &value : values) {
+                char buf[64];
+                std::snprintf(buf, sizeof(buf), "%.17g",
+                              metric(results[cell++], metric_name));
+                csv += bench + "," + value + "," + buf + "\n";
+            }
+        }
+        publishFile(csv_path, csv);
+    }
+
+    // Machine-parseable store effectiveness line (CI gates on it).
+    if (store) {
+        ResultStore::Counters c = store->counters();
+        std::fprintf(stderr,
+                     "store: hits=%" PRIu64 " misses=%" PRIu64
+                     " quarantined=%" PRIu64 " stores=%" PRIu64 "\n",
+                     c.hits, c.misses, c.quarantined, c.stores);
     }
 
     // Multi-tenant cells carry per-tenant attribution; break it out
