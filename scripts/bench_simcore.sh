@@ -2,9 +2,11 @@
 # Macro-benchmark of the simulator core: time the standard six-policy
 # eviction matrix (7 workloads x 6 policies = 42 full simulations)
 # plus a 2-tenant sharing cell (the three cross-tenant arbitration
-# policies at 110% oversubscription) and record machine-readable
-# throughput in BENCH_simcore.json, so every PR can report its
-# before/after sims/sec on the same machine.
+# policies at 110% oversubscription) and a large-trace cell (a
+# recorded dbbuffer .uvmt streamed back through the same six-policy
+# matrix) and record machine-readable throughput in
+# BENCH_simcore.json, so every PR can report its before/after
+# sims/sec on the same machine.
 #
 # Usage: scripts/bench_simcore.sh [build-dir] [--quick]
 #
@@ -105,6 +107,33 @@ if "$SWEEP" --help | grep -q -- --tenants; then
     rm -f BENCH_simcore_t2.txt
     ARGS=$MAIN_ARGS
 fi
+# The large-trace cell: record the dbbuffer server workload to a
+# binary .uvmt trace once, then time the streaming replay of that
+# trace through the six-policy matrix.  This measures the trace
+# decode + replay path (varint decoding, lazy thread-block
+# materialization) rather than the synthetic generators.  Baseline
+# binaries without uvmsim_trace / --replay skip this cell.
+TRACE_CELLS=0
+TRACE_WALL=0
+TRACE_SIMS=0
+TRACE_MIB=0
+TRACE_TOOL="$BUILD/tools/uvmsim_trace"
+if [ -x "$TRACE_TOOL" ] && "$SWEEP" --help | grep -q -- --replay; then
+    "$TRACE_TOOL" record --workload=dbbuffer --scale="$SCALE" \
+        --out=BENCH_simcore_db.uvmt >/dev/null
+    TRACE_MIB=$(awk -v b="$(wc -c <BENCH_simcore_db.uvmt)" \
+        'BEGIN { printf "%.1f", b / 1048576 }')
+    MAIN_ARGS=$ARGS
+    ARGS="--axis=eviction --values=LRU4K,Re,SLe,TBNe,LRU2MB,MRU4K \
+          --replay=BENCH_simcore_db.uvmt --oversubscription=110 \
+          --metric=kernel_ms --jobs=1"
+    TRACE_WALL=$(time_best "$SWEEP" BENCH_simcore_trace.txt)
+    TRACE_CELLS=$(count_cells BENCH_simcore_trace.txt)
+    TRACE_SIMS=$(awk -v c="$TRACE_CELLS" -v w="$TRACE_WALL" \
+        'BEGIN { printf "%.3f", c / w }')
+    rm -f BENCH_simcore_trace.txt BENCH_simcore_db.uvmt
+    ARGS=$MAIN_ARGS
+fi
 SIMS_PER_SEC=$(awk -v c="$CELLS" -v w="$WALL" \
     'BEGIN { printf "%.3f", c / w }')
 SIM_MS_PER_S=$(awk -v m="$SIM_MS" -v w="$WALL" \
@@ -158,6 +187,11 @@ cat >"$OUT_TMP" <<EOF
   "tenant2_cells": $T2_CELLS,
   "tenant2_wall_s": $T2_WALL,
   "tenant2_sims_per_sec": $T2_SIMS,
+  "trace_matrix": "recorded dbbuffer .uvmt x eviction {LRU4K,Re,SLe,TBNe,LRU2MB,MRU4K}, 110% oversubscription, scale $SCALE, jobs 1",
+  "trace_file_mib": $TRACE_MIB,
+  "trace_cells": $TRACE_CELLS,
+  "trace_wall_s": $TRACE_WALL,
+  "trace_sims_per_sec": $TRACE_SIMS,
 ${BASELINE_FIELDS}
   "host": "$HOST",
   "cores": $CORES,

@@ -1,0 +1,84 @@
+#!/bin/sh
+# End-to-end test of the trace toolbox and the binary .uvmt format:
+#
+#   1. Fixture round trip: the checked-in vecadd text trace converts
+#      to .uvmt, back to text, and to .uvmt again; the two binaries
+#      must be byte-identical (the canonical encoding is a fixpoint).
+#   2. Replay equivalence: simulating the text trace and the binary
+#      trace must produce byte-identical stats CSVs.
+#   3. Record -> replay: recording the kmeans generator (fused ops,
+#      multiple kernels) to .uvmt and replaying it must reproduce the
+#      exact stats of running the generator directly.
+#   4. Server-class record -> replay: the same property for the
+#      dbbuffer workload (Zipfian point lookups + scans), recorded to
+#      the *text* format to cover the other encoder.
+#
+# Usage: scripts/test_trace_roundtrip.sh [build-dir] [work-dir]
+set -e
+BUILD=${1:-build}
+WORK=${2:-"$BUILD/trace_roundtrip_test"}
+TRACE="$BUILD/tools/uvmsim_trace"
+RUN="$BUILD/tools/uvmsim_run"
+SRC=$(dirname "$0")/..
+if [ ! -x "$TRACE" ] || [ ! -x "$RUN" ]; then
+    echo "error: tools not built in $BUILD (run cmake --build first)" >&2
+    exit 1
+fi
+rm -rf "$WORK"
+mkdir -p "$WORK"
+
+fail() {
+    echo "FAIL: $1" >&2
+    exit 1
+}
+
+# stats_csv <out-file> <uvmsim_run args...>: keep only the
+# machine-readable "stat,value" section (the headline block above it
+# repeats the trace path, which legitimately differs between runs).
+stats_csv() {
+    out=$1
+    shift
+    "$RUN" "$@" --stats-csv | sed -n '/^stat,value/,$p' > "$out"
+    [ -s "$out" ] || fail "no stats section from: $*"
+}
+
+# 1. Fixture round trip: text -> uvmt -> text -> uvmt is a fixpoint.
+FIX="$SRC/examples/traces/vecadd.trace"
+"$TRACE" convert --in="$FIX" --out="$WORK/a.uvmt" --to=uvmt >/dev/null
+"$TRACE" validate --in="$WORK/a.uvmt" >/dev/null
+"$TRACE" convert --in="$WORK/a.uvmt" --out="$WORK/a.trace" --to=text \
+    >/dev/null
+"$TRACE" convert --in="$WORK/a.trace" --out="$WORK/b.uvmt" --to=uvmt \
+    >/dev/null
+cmp "$WORK/a.uvmt" "$WORK/b.uvmt" \
+    || fail "text->uvmt->text->uvmt is not a fixpoint"
+
+# 2. Replay equivalence: text and binary paths simulate identically.
+stats_csv "$WORK/replay_text.csv" --replay="$FIX"
+stats_csv "$WORK/replay_uvmt.csv" --replay="$WORK/a.uvmt"
+cmp "$WORK/replay_text.csv" "$WORK/replay_uvmt.csv" \
+    || fail "binary replay stats differ from text replay"
+
+# 3. Record the kmeans generator and replay it bit-exactly.
+KM="--scale=0.1 --iterations=2 --workload-seed=5 --warps=4"
+# shellcheck disable=SC2086
+"$TRACE" record --workload=kmeans $KM --out="$WORK/kmeans.uvmt" \
+    >/dev/null
+# shellcheck disable=SC2086
+stats_csv "$WORK/km_direct.csv" --workload=kmeans $KM
+stats_csv "$WORK/km_replay.csv" --replay="$WORK/kmeans.uvmt" --warps=4
+cmp "$WORK/km_direct.csv" "$WORK/km_replay.csv" \
+    || fail "kmeans record->replay stats differ from the direct run"
+
+# 4. Same property for dbbuffer, through the text encoder.
+DB="--scale=0.05 --iterations=3 --workload-seed=9 --warps=4"
+# shellcheck disable=SC2086
+"$TRACE" record --workload=dbbuffer $DB --out="$WORK/db.trace" \
+    --to=text >/dev/null
+# shellcheck disable=SC2086
+stats_csv "$WORK/db_direct.csv" --workload=dbbuffer $DB
+stats_csv "$WORK/db_replay.csv" --replay="$WORK/db.trace" --warps=4
+cmp "$WORK/db_direct.csv" "$WORK/db_replay.csv" \
+    || fail "dbbuffer record->replay stats differ from the direct run"
+
+echo "trace roundtrip test: all 4 stages passed"

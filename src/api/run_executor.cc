@@ -101,6 +101,7 @@ runJobKey(const RunJob &job)
     appendUint(key, p.iterations);
     appendUint(key, p.seed);
     appendUint(key, p.warps_per_tb);
+    appendString(key, p.trace_path);
     return key;
 }
 

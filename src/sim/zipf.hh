@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Deterministic Zipfian sampler.
+ *
+ * The standard Gray et al. ("Quickly Generating Billion-Record
+ * Synthetic Databases") rejection-free construction: O(n) setup to
+ * compute the harmonic normalizer, O(1) per draw.  Used by the
+ * database buffer-pool workload class and the fuzz generator's
+ * skewed access pattern, with all randomness drawn from the
+ * simulator's Rng so runs stay reproducible from their seed.
+ */
+
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace uvmsim
+{
+
+/** Draws ranks in [0, n) with P(rank) proportional to 1/(rank+1)^theta. */
+class Zipfian
+{
+  public:
+    /**
+     * @param n     Number of items; must be > 0.
+     * @param theta Skew in [0, 1); 0.99 is the YCSB default, ~0.86
+     *              matches TPC-C's customer skew.
+     */
+    explicit Zipfian(std::uint64_t n, double theta = 0.99)
+        : n_(n),
+          theta_(theta)
+    {
+        if (n == 0)
+            panic("Zipfian over zero items");
+        zetan_ = zeta(n, theta);
+        const double zeta2 = zeta(n < 2 ? n : 2, theta);
+        alpha_ = 1.0 / (1.0 - theta);
+        eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n),
+                               1.0 - theta)) /
+               (1.0 - zeta2 / zetan_);
+    }
+
+    /** Sample one rank; 0 is the hottest item. */
+    std::uint64_t
+    draw(Rng &rng) const
+    {
+        if (n_ == 1)
+            return 0;
+        const double u = rng.real();
+        const double uz = u * zetan_;
+        if (uz < 1.0)
+            return 0;
+        if (uz < 1.0 + std::pow(0.5, theta_))
+            return 1;
+        const auto rank = static_cast<std::uint64_t>(
+            static_cast<double>(n_) *
+            std::pow(eta_ * u - eta_ + 1.0, alpha_));
+        return rank >= n_ ? n_ - 1 : rank;
+    }
+
+    std::uint64_t items() const { return n_; }
+
+  private:
+    static double
+    zeta(std::uint64_t n, double theta)
+    {
+        double sum = 0.0;
+        for (std::uint64_t i = 1; i <= n; ++i)
+            sum += 1.0 / std::pow(static_cast<double>(i), theta);
+        return sum;
+    }
+
+    std::uint64_t n_;
+    double theta_;
+    double zetan_;
+    double alpha_;
+    double eta_;
+};
+
+} // namespace uvmsim

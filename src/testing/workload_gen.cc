@@ -6,6 +6,7 @@
 
 #include "sim/logging.hh"
 #include "sim/rng.hh"
+#include "sim/zipf.hh"
 
 namespace uvmsim
 {
@@ -91,6 +92,10 @@ toString(AccessPattern pattern)
         return "rand";
       case AccessPattern::hotspot:
         return "hot";
+      case AccessPattern::zipfian:
+        return "zipf";
+      case AccessPattern::kvGrowth:
+        return "kvgrow";
     }
     panic("unknown AccessPattern");
 }
@@ -106,7 +111,12 @@ accessPatternFromString(const std::string &name)
         return AccessPattern::random;
     if (name == "hot")
         return AccessPattern::hotspot;
-    fatal("unknown access pattern '%s' (want stream|stride|rand|hot)",
+    if (name == "zipf")
+        return AccessPattern::zipfian;
+    if (name == "kvgrow")
+        return AccessPattern::kvGrowth;
+    fatal("unknown access pattern '%s' "
+          "(want stream|stride|rand|hot|zipf|kvgrow)",
           name.c_str());
 }
 
@@ -384,7 +394,7 @@ generateSpec(std::uint64_t seed)
     std::size_t num_kernels = 1 + rng.below(4);
     for (std::size_t i = 0; i < num_kernels; ++i) {
         KernelSpec k;
-        k.pattern = static_cast<AccessPattern>(rng.below(4));
+        k.pattern = static_cast<AccessPattern>(rng.below(6));
         k.alloc_index =
             static_cast<std::uint32_t>(rng.below(spec.allocs.size()));
         k.accesses = static_cast<std::uint32_t>(40 + rng.below(260));
@@ -473,6 +483,9 @@ accessStream(const FuzzSpec &spec)
             std::uint64_t hot_len =
                 std::max<std::uint64_t>(1, pages / 8);
             std::uint64_t hot_start = rng.below(pages);
+            // TPC-C-like skew for the zipfian pattern, rotated by
+            // hot_start so tenants hammer different hot pages.
+            const Zipfian zipf(pages, 0.86);
 
             for (std::uint32_t i = 0; i < k.accesses; ++i) {
                 std::uint64_t page_index = 0;
@@ -495,6 +508,22 @@ accessStream(const FuzzSpec &spec)
                     else
                         page_index = rng.below(pages);
                     break;
+                  case AccessPattern::zipfian:
+                    page_index =
+                        (hot_start + zipf.draw(rng)) % pages;
+                    break;
+                  case AccessPattern::kvGrowth: {
+                    // A prefix that grows from 1 to `pages` across
+                    // the kernel: tail appends alternate with uniform
+                    // reads inside the grown region.
+                    const std::uint64_t grown =
+                        1 + static_cast<std::uint64_t>(i) *
+                                (pages - 1) /
+                                std::max<std::uint32_t>(k.accesses, 1);
+                    page_index = (i % 2) ? rng.below(grown)
+                                         : grown - 1;
+                    break;
+                  }
                 }
                 FuzzAccess access;
                 access.addr = tenant_off + alloc.base +

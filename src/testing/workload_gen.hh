@@ -56,9 +56,13 @@ enum class AccessPattern
     strided,   //!< Fixed page stride from a random start, wrapping.
     random,    //!< Uniformly random pages.
     hotspot,   //!< 80% in a small hot region, 20% uniform.
+    zipfian,   //!< Zipf-skewed ranks (the database buffer-pool mix).
+    kvGrowth,  //!< Monotonically growing prefix: tail appends
+               //!< alternating with uniform reads of the grown part
+               //!< (the LLM KV-cache shape).
 };
 
-/** Short name ("stream", "stride", "rand", "hot"). */
+/** Short name ("stream", "stride", "rand", "hot", "zipf", "kvgrow"). */
 std::string toString(AccessPattern pattern);
 
 /** Parse an access-pattern name; fatal() on unknown names. */

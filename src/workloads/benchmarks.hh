@@ -42,4 +42,12 @@ std::unique_ptr<Workload> makeAtax(const WorkloadParams &params);
 /** Rodinia kmeans (extension): repetitive linear full-footprint scan. */
 std::unique_ptr<Workload> makeKmeans(const WorkloadParams &params);
 
+/** Database buffer pool (server-class extension): Zipfian point
+ *  lookups with WAL appends, punctuated by full-table scan phases. */
+std::unique_ptr<Workload> makeDbBuffer(const WorkloadParams &params);
+
+/** LLM inference (server-class extension): full weight stream per
+ *  decode step plus a monotonically growing KV-cache prefix. */
+std::unique_ptr<Workload> makeLlmInfer(const WorkloadParams &params);
+
 } // namespace uvmsim

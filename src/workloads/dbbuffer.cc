@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Database buffer-pool workload (server-class suite extension).
+ *
+ * Models a vmcache/LeanStore-style buffer manager running a TPC-C-like
+ * mix on a managed heap 10-50x the paper's footprints: skewed Zipfian
+ * point lookups (hot B-tree inner nodes, TPC-C customer skew on the
+ * heap) with write-backs and a sequential WAL append, punctuated by
+ * periodic full-table scan phases.  The phase changes between a tiny
+ * skewed working set and a footprint-sized scan are exactly the regime
+ * where prefetcher/eviction rankings flip under heavy oversubscription
+ * (see PAPERS.md on oversubscription management).
+ */
+
+#include <algorithm>
+#include <optional>
+#include <string>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "sim/zipf.hh"
+#include "workloads/benchmarks.hh"
+#include "workloads/trace_util.hh"
+
+namespace uvmsim
+{
+
+namespace
+{
+
+class DbBufferWorkload : public Workload
+{
+  public:
+    explicit DbBufferWorkload(const WorkloadParams &params)
+        : params_(params)
+    {
+        heap_bytes_ = scaled(mib(192), mib(4));
+        index_bytes_ = scaled(mib(12), mib(1));
+        log_bytes_ = scaled(mib(16), mib(1));
+        rounds_ = params.iterations ? params.iterations : 6;
+        heap_zipf_.emplace(heap_bytes_ / pageSize, 0.86);
+        index_zipf_.emplace(index_bytes_ / pageSize, 0.99);
+    }
+
+    std::string name() const override { return "dbbuffer"; }
+
+    void
+    setup(ManagedSpace &space) override
+    {
+        heap_ = space.allocate(heap_bytes_, "db_heap").base();
+        index_ = space.allocate(index_bytes_, "db_index").base();
+        log_ = space.allocate(log_bytes_, "db_log").base();
+        ready_ = true;
+    }
+
+    std::uint64_t totalKernels() const override { return rounds_; }
+
+    Kernel *
+    nextKernel() override
+    {
+        if (!ready_)
+            panic("dbbuffer: nextKernel before setup");
+        if (next_ >= rounds_)
+            return nullptr;
+        // Every third round the query mix shifts to an analytic scan
+        // phase; the rest are transaction (point-lookup) phases.
+        if (next_ % 3 == 2)
+            current_ = makeScanKernel(next_);
+        else
+            current_ = makeLookupKernel(next_);
+        ++next_;
+        return current_.get();
+    }
+
+  private:
+    std::uint64_t
+    scaled(std::uint64_t bytes, std::uint64_t floor) const
+    {
+        const auto scaled_bytes = static_cast<std::uint64_t>(
+            static_cast<double>(bytes) * params_.size_scale);
+        return std::max(floor, roundUpToPages(scaled_bytes));
+    }
+
+    std::unique_ptr<Kernel>
+    makeLookupKernel(std::uint64_t round)
+    {
+        const std::uint64_t blocks = 32;
+        const std::uint64_t lookups_per_block =
+            std::max<std::uint64_t>(64, heap_bytes_ / pageSize / 64);
+        return std::make_unique<GridKernel>(
+            "db_lookup_" + std::to_string(round), blocks,
+            [this, round, blocks,
+             lookups_per_block](std::uint64_t tb) {
+                Rng rng(params_.seed * 0x9e3779b9ull +
+                        round * 8191 + tb * 131 + 1);
+                std::vector<WarpOp> ops;
+                // Each worker appends to its own WAL slice, wrapping
+                // around the log ring.
+                std::uint64_t log_pos =
+                    ((round * blocks + tb) * lookups_per_block * 128) %
+                    log_bytes_;
+                for (std::uint64_t i = 0; i < lookups_per_block; ++i) {
+                    // B-tree descent: one hot inner-node probe.
+                    WarpOp &probe = traceutil::beginOp(ops, 12);
+                    traceutil::appendAccess(
+                        probe,
+                        index_ + index_zipf_->draw(rng) * pageSize,
+                        256, false);
+                    // Tuple fetch on the skewed heap; an update
+                    // dirties the same page in the same op.
+                    const Addr tuple =
+                        heap_ + heap_zipf_->draw(rng) * pageSize +
+                        rng.below(pageSize - 1024);
+                    WarpOp &fetch = traceutil::beginOp(ops, 20);
+                    traceutil::appendAccess(fetch, tuple, 1024, false);
+                    if (rng.chance(0.3)) {
+                        traceutil::appendAccess(fetch, tuple, 256,
+                                                true);
+                        // The update also appends a WAL record.
+                        WarpOp &wal = traceutil::beginOp(ops, 4);
+                        if (log_pos + 128 > log_bytes_)
+                            log_pos = 0;
+                        traceutil::appendAccess(wal, log_ + log_pos,
+                                                128, true);
+                        log_pos += 128;
+                    }
+                }
+                return traceutil::splitAmongWarps(std::move(ops),
+                                                  params_.warps_per_tb);
+            });
+    }
+
+    std::unique_ptr<Kernel>
+    makeScanKernel(std::uint64_t round)
+    {
+        const std::uint64_t slice = largePageSize;
+        const std::uint64_t blocks =
+            (heap_bytes_ + slice - 1) / slice;
+        return std::make_unique<GridKernel>(
+            "db_scan_" + std::to_string(round), blocks,
+            [this, slice](std::uint64_t tb) {
+                std::vector<WarpOp> ops;
+                const std::uint64_t base = tb * slice;
+                const std::uint64_t bytes =
+                    std::min(slice, heap_bytes_ - base);
+                traceutil::appendStream(ops, heap_ + base, bytes,
+                                        4096, false, 6);
+                return traceutil::splitAmongWarps(std::move(ops),
+                                                  params_.warps_per_tb);
+            });
+    }
+
+    WorkloadParams params_;
+    std::uint64_t heap_bytes_;
+    std::uint64_t index_bytes_;
+    std::uint64_t log_bytes_;
+    std::uint64_t rounds_;
+    std::optional<Zipfian> heap_zipf_;
+    std::optional<Zipfian> index_zipf_;
+    bool ready_ = false;
+    std::uint64_t next_ = 0;
+    std::unique_ptr<Kernel> current_;
+
+    Addr heap_ = 0;
+    Addr index_ = 0;
+    Addr log_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeDbBuffer(const WorkloadParams &params)
+{
+    return std::make_unique<DbBufferWorkload>(params);
+}
+
+} // namespace uvmsim

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * LLM inference workload (server-class suite extension).
+ *
+ * Models autoregressive decoding on managed memory at 10-50x the
+ * paper's footprints: a large read-only weight allocation streamed in
+ * full on every decode step (a cyclic scan that defeats plain LRU the
+ * moment weights exceed device memory), plus a KV cache that is
+ * allocated at its maximum size but touched as a monotonically
+ * growing prefix -- each step reads attention history across the
+ * prefix and appends the new token's pages at the tail.  The phase
+ * structure (prefill burst, then steady growth) exercises eviction
+ * policies against a working set that never shrinks.
+ */
+
+#include <algorithm>
+#include <string>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "workloads/benchmarks.hh"
+#include "workloads/trace_util.hh"
+
+namespace uvmsim
+{
+
+namespace
+{
+
+class LlmInferWorkload : public Workload
+{
+  public:
+    explicit LlmInferWorkload(const WorkloadParams &params)
+        : params_(params)
+    {
+        weight_bytes_ = scaled(mib(160), mib(8));
+        kv_bytes_ = scaled(mib(64), mib(4));
+        act_bytes_ = scaled(mib(8), mib(1));
+        steps_ = params.iterations ? params.iterations : 10;
+        kv_pages_ = kv_bytes_ / pageSize;
+        // The prompt fills an eighth of the cache; decode steps grow
+        // the prefix from there to the full allocation.
+        prompt_pages_ = std::max<std::uint64_t>(1, kv_pages_ / 8);
+    }
+
+    std::string name() const override { return "llminfer"; }
+
+    void
+    setup(ManagedSpace &space) override
+    {
+        weights_ = space.allocate(weight_bytes_, "llm_weights").base();
+        kv_ = space.allocate(kv_bytes_, "llm_kv_cache").base();
+        act_ = space.allocate(act_bytes_, "llm_activations").base();
+        ready_ = true;
+    }
+
+    std::uint64_t totalKernels() const override { return steps_ + 1; }
+
+    Kernel *
+    nextKernel() override
+    {
+        if (!ready_)
+            panic("llminfer: nextKernel before setup");
+        if (next_ > steps_)
+            return nullptr;
+        current_ = next_ == 0 ? makePrefill() : makeDecode(next_);
+        ++next_;
+        return current_.get();
+    }
+
+  private:
+    std::uint64_t
+    scaled(std::uint64_t bytes, std::uint64_t floor) const
+    {
+        const auto scaled_bytes = static_cast<std::uint64_t>(
+            static_cast<double>(bytes) * params_.size_scale);
+        return std::max(floor, roundUpToPages(scaled_bytes));
+    }
+
+    /** KV prefix size (pages) after `step` decode steps. */
+    std::uint64_t
+    prefixPages(std::uint64_t step) const
+    {
+        return prompt_pages_ +
+               (kv_pages_ - prompt_pages_) * step / steps_;
+    }
+
+    std::uint64_t weightBlocks() const
+    {
+        return (weight_bytes_ + largePageSize - 1) / largePageSize;
+    }
+
+    /** Stream this block's 2MB weight slice (read-only). */
+    void
+    streamWeights(std::vector<WarpOp> &ops, std::uint64_t tb) const
+    {
+        const std::uint64_t base = tb * largePageSize;
+        const std::uint64_t bytes =
+            std::min(largePageSize, weight_bytes_ - base);
+        traceutil::appendStream(ops, weights_ + base, bytes, 8192,
+                                false, 8);
+    }
+
+    std::unique_ptr<Kernel>
+    makePrefill()
+    {
+        return std::make_unique<GridKernel>(
+            "llm_prefill", weightBlocks(), [this](std::uint64_t tb) {
+                std::vector<WarpOp> ops;
+                streamWeights(ops, tb);
+                // Each block writes its share of the prompt's KV
+                // prefix and scratches in the activation buffer.
+                const std::uint64_t blocks = weightBlocks();
+                const std::uint64_t lo =
+                    prompt_pages_ * tb / blocks;
+                const std::uint64_t hi =
+                    prompt_pages_ * (tb + 1) / blocks;
+                if (hi > lo)
+                    traceutil::appendStream(
+                        ops, kv_ + lo * pageSize,
+                        (hi - lo) * pageSize, 4096, true, 4);
+                scratch(ops, tb);
+                return traceutil::splitAmongWarps(std::move(ops),
+                                                  params_.warps_per_tb);
+            });
+    }
+
+    std::unique_ptr<Kernel>
+    makeDecode(std::uint64_t step)
+    {
+        return std::make_unique<GridKernel>(
+            "llm_decode_" + std::to_string(step), weightBlocks(),
+            [this, step](std::uint64_t tb) {
+                std::vector<WarpOp> ops;
+                streamWeights(ops, tb);
+
+                // Attention: sample the grown prefix evenly, with a
+                // deterministic per-(step, block) jitter.
+                Rng rng(params_.seed * 0x2545f491ull + step * 4099 +
+                        tb * 193 + 1);
+                const std::uint64_t prefix = prefixPages(step - 1);
+                const std::uint64_t blocks = weightBlocks();
+                const std::uint64_t reads =
+                    std::max<std::uint64_t>(
+                        4, prefix / std::max<std::uint64_t>(blocks, 1) /
+                               4);
+                for (std::uint64_t i = 0; i < reads; ++i) {
+                    const std::uint64_t slot =
+                        (tb * reads + i) * prefix / (blocks * reads);
+                    const std::uint64_t jitter =
+                        rng.below(std::max<std::uint64_t>(
+                            1, prefix / (blocks * reads) + 1));
+                    const std::uint64_t page =
+                        std::min(prefix - 1, slot + jitter);
+                    WarpOp &op = traceutil::beginOp(ops, 10);
+                    traceutil::appendAccess(
+                        op, kv_ + page * pageSize, 512, false);
+                }
+
+                // The last block appends this step's new KV pages.
+                if (tb + 1 == blocks) {
+                    const std::uint64_t lo = prefix;
+                    const std::uint64_t hi = prefixPages(step);
+                    if (hi > lo)
+                        traceutil::appendStream(
+                            ops, kv_ + lo * pageSize,
+                            (hi - lo) * pageSize, 4096, true, 4);
+                }
+                scratch(ops, tb);
+                return traceutil::splitAmongWarps(std::move(ops),
+                                                  params_.warps_per_tb);
+            });
+    }
+
+    /** A small activation-buffer write per block (scratch reuse). */
+    void
+    scratch(std::vector<WarpOp> &ops, std::uint64_t tb) const
+    {
+        const std::uint64_t slice = act_bytes_ / weightBlocks();
+        if (slice < 256)
+            return;
+        const std::uint64_t base = tb * slice;
+        WarpOp &op = traceutil::beginOp(ops, 6);
+        traceutil::appendAccess(op, act_ + base,
+                                static_cast<std::uint32_t>(
+                                    std::min<std::uint64_t>(slice, 512)),
+                                true);
+    }
+
+    WorkloadParams params_;
+    std::uint64_t weight_bytes_;
+    std::uint64_t kv_bytes_;
+    std::uint64_t act_bytes_;
+    std::uint64_t steps_;
+    std::uint64_t kv_pages_;
+    std::uint64_t prompt_pages_;
+    bool ready_ = false;
+    std::uint64_t next_ = 0;
+    std::unique_ptr<Kernel> current_;
+
+    Addr weights_ = 0;
+    Addr kv_ = 0;
+    Addr act_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeLlmInfer(const WorkloadParams &params)
+{
+    return std::make_unique<LlmInferWorkload>(params);
+}
+
+} // namespace uvmsim

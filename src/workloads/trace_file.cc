@@ -1,11 +1,13 @@
 #include "trace_file.hh"
 
+#include <algorithm>
 #include <fstream>
-#include <sstream>
+#include <utility>
 #include <vector>
 
 #include "sim/logging.hh"
 #include "workloads/trace_util.hh"
+#include "workloads/uvmt.hh"
 
 namespace uvmsim
 {
@@ -13,116 +15,41 @@ namespace uvmsim
 namespace
 {
 
-/** One parsed access record. */
-struct TraceRecord
-{
-    std::size_t alloc_index;
-    std::uint64_t offset;
-    std::uint32_t size;
-    bool is_write;
-    Cycles compute;
-};
+using tracefmt::TraceEvent;
+using tracefmt::TraceEventKind;
+using tracefmt::TraceSource;
 
-/** One parsed thread block: an ordered access list. */
-struct TraceBlock
-{
-    std::vector<TraceRecord> records;
-};
+class StreamTraceWorkload;
 
-/** One parsed kernel launch. */
-struct TraceKernelDesc
-{
-    std::string name;
-    std::vector<TraceBlock> blocks;
-};
-
-/** The fully parsed trace. */
-struct TraceProgram
-{
-    std::vector<std::pair<std::string, std::uint64_t>> allocs;
-    std::vector<TraceKernelDesc> kernels;
-};
-
-TraceProgram
-parse(std::istream &input)
-{
-    TraceProgram prog;
-    std::string line;
-    std::size_t line_no = 0;
-    bool seen_kernel = false;
-
-    while (std::getline(input, line)) {
-        ++line_no;
-        std::istringstream iss(line);
-        std::string word;
-        if (!(iss >> word) || word[0] == '#')
-            continue;
-
-        if (word == "alloc") {
-            if (seen_kernel)
-                fatal("trace line %zu: alloc after first kernel",
-                      line_no);
-            std::string name;
-            std::uint64_t bytes = 0;
-            if (!(iss >> name >> bytes) || bytes == 0)
-                fatal("trace line %zu: expected 'alloc <name> <bytes>'",
-                      line_no);
-            prog.allocs.emplace_back(name, bytes);
-        } else if (word == "kernel") {
-            std::string name;
-            if (!(iss >> name))
-                fatal("trace line %zu: expected 'kernel <name>'",
-                      line_no);
-            seen_kernel = true;
-            prog.kernels.push_back(TraceKernelDesc{name, {}});
-        } else if (word == "tb") {
-            if (prog.kernels.empty())
-                fatal("trace line %zu: 'tb' before any kernel", line_no);
-            prog.kernels.back().blocks.emplace_back();
-        } else {
-            // Access record: <alloc> <offset> <size> <r|w> [cycles]
-            if (prog.kernels.empty() ||
-                prog.kernels.back().blocks.empty())
-                fatal("trace line %zu: access before any 'tb'", line_no);
-            TraceRecord rec{};
-            std::string rw;
-            std::uint64_t cycles = 4;
-            std::istringstream rss(line);
-            if (!(rss >> rec.alloc_index >> rec.offset >> rec.size >>
-                  rw))
-                fatal("trace line %zu: expected '<alloc> <offset> "
-                      "<size> <r|w> [cycles]'",
-                      line_no);
-            rss >> cycles;
-            if (rec.alloc_index >= prog.allocs.size())
-                fatal("trace line %zu: allocation index %zu out of "
-                      "range",
-                      line_no, rec.alloc_index);
-            if (rec.size == 0)
-                fatal("trace line %zu: zero-size access", line_no);
-            if (rec.offset + rec.size >
-                prog.allocs[rec.alloc_index].second)
-                fatal("trace line %zu: access past end of allocation",
-                      line_no);
-            if (rw != "r" && rw != "w")
-                fatal("trace line %zu: access kind must be r or w",
-                      line_no);
-            rec.is_write = rw == "w";
-            rec.compute = cycles;
-            prog.kernels.back().blocks.back().records.push_back(rec);
-        }
-    }
-    if (prog.allocs.empty())
-        fatal("trace declares no allocations");
-    return prog;
-}
-
-class TraceWorkload : public Workload
+/**
+ * A kernel whose thread blocks are pulled lazily from the workload's
+ * trace source -- only one block's ops ever exist at a time.
+ */
+class StreamKernel : public Kernel
 {
   public:
-    TraceWorkload(TraceProgram prog, const WorkloadParams &params,
-                  std::string name)
-        : prog_(std::move(prog)),
+    StreamKernel(StreamTraceWorkload &wl, std::string name)
+        : wl_(wl),
+          name_(std::move(name))
+    {}
+
+    std::string name() const override { return name_; }
+
+    std::unique_ptr<ThreadBlock> nextThreadBlock() override;
+
+  private:
+    StreamTraceWorkload &wl_;
+    std::string name_;
+    std::uint64_t next_block_ = 0;
+};
+
+/** Replays a validated trace source as a workload, streaming. */
+class StreamTraceWorkload : public Workload
+{
+  public:
+    StreamTraceWorkload(OpenedTrace trace, const WorkloadParams &params,
+                        std::string name)
+        : trace_(std::move(trace)),
           params_(params),
           name_(std::move(name))
     {}
@@ -132,14 +59,14 @@ class TraceWorkload : public Workload
     void
     setup(ManagedSpace &space) override
     {
-        for (const auto &[alloc_name, bytes] : prog_.allocs)
-            bases_.push_back(space.allocate(bytes, alloc_name).base());
+        for (const tracefmt::TraceAlloc &a : trace_.source->allocs())
+            bases_.push_back(space.allocate(a.bytes, a.name).base());
         ready_ = true;
     }
 
     std::uint64_t totalKernels() const override
     {
-        return prog_.kernels.size();
+        return trace_.source->kernelCount();
     }
 
     Kernel *
@@ -147,60 +74,145 @@ class TraceWorkload : public Workload
     {
         if (!ready_)
             panic("trace workload: nextKernel before setup");
-        if (next_ >= prog_.kernels.size())
+        if (!primed_) {
+            advance();
+            primed_ = true;
+        }
+        // Skip any unconsumed remainder of the previous kernel (the
+        // dispatcher normally drains it, but nextKernel invalidates
+        // the prior kernel either way).
+        while (have_pending_ &&
+               pending_.kind != TraceEventKind::kernelBegin)
+            advance();
+        if (!have_pending_)
             return nullptr;
-
-        const TraceKernelDesc &desc = prog_.kernels[next_];
-        current_ = std::make_unique<GridKernel>(
-            desc.name, desc.blocks.size(),
-            [this, &desc](std::uint64_t tb) {
-                std::vector<WarpOp> ops;
-                for (const TraceRecord &rec :
-                     desc.blocks[tb].records) {
-                    WarpOp &op = traceutil::beginOp(ops, rec.compute);
-                    traceutil::appendAccess(
-                        op, bases_[rec.alloc_index] + rec.offset,
-                        rec.size, rec.is_write);
-                }
-                return traceutil::splitAmongWarps(std::move(ops),
-                                                  params_.warps_per_tb);
-            });
-        ++next_;
+        current_ = std::make_unique<StreamKernel>(
+            *this, pending_.kernel_name);
+        advance();
         return current_.get();
     }
 
+    /**
+     * Materialize the next thread block of the current kernel, or
+     * nullptr at the kernel's end.  Called by StreamKernel.
+     */
+    std::unique_ptr<ThreadBlock>
+    nextBlock(std::uint64_t block_id)
+    {
+        if (!have_pending_ ||
+            pending_.kind == TraceEventKind::kernelBegin)
+            return nullptr;
+        if (pending_.kind != TraceEventKind::blockBegin)
+            panic("trace replay: record outside any thread block");
+        advance();
+
+        std::vector<WarpOp> ops;
+        std::uint64_t access_count = 0;
+        while (have_pending_ &&
+               (pending_.kind == TraceEventKind::access ||
+                pending_.kind == TraceEventKind::compute)) {
+            if (pending_.kind == TraceEventKind::compute) {
+                traceutil::beginOp(ops, pending_.compute);
+            } else {
+                WarpOp &op =
+                    pending_.fused
+                        ? ops.back()
+                        : traceutil::beginOp(ops, pending_.compute);
+                traceutil::appendAccess(
+                    op, bases_[pending_.alloc_index] + pending_.offset,
+                    pending_.size, pending_.is_write);
+                ++access_count;
+            }
+            advance();
+        }
+
+        const std::uint64_t block_bytes =
+            ops.size() * sizeof(WarpOp) +
+            access_count * sizeof(TraceAccess);
+        peak_bytes_ = std::max(
+            peak_bytes_, trace_.source->bufferedBytes() + block_bytes);
+
+        auto tb = std::make_unique<ThreadBlock>();
+        tb->id = block_id;
+        tb->warps = traceutil::splitAmongWarps(std::move(ops),
+                                               params_.warps_per_tb);
+        return tb;
+    }
+
+    /** Peak decoder + block bytes seen so far (see trace_file.hh). */
+    std::uint64_t peakBytes() const { return peak_bytes_; }
+
   private:
-    TraceProgram prog_;
+    void advance() { have_pending_ = trace_.source->next(pending_); }
+
+    OpenedTrace trace_;
     WorkloadParams params_;
     std::string name_;
     std::vector<Addr> bases_;
     bool ready_ = false;
-    std::uint64_t next_ = 0;
+    bool primed_ = false;
+    bool have_pending_ = false;
+    TraceEvent pending_;
     std::unique_ptr<Kernel> current_;
+    std::uint64_t peak_bytes_ = 0;
 };
 
+std::unique_ptr<ThreadBlock>
+StreamKernel::nextThreadBlock()
+{
+    return wl_.nextBlock(next_block_++);
+}
+
+std::string
+basename(const std::string &path)
+{
+    std::size_t slash = path.find_last_of('/');
+    return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
 } // namespace
+
+OpenedTrace
+openTraceFile(const std::string &path)
+{
+    OpenedTrace trace;
+    if (tracefmt::isUvmtFile(path)) {
+        trace.source = tracefmt::openUvmtTrace(path);
+        return trace;
+    }
+    auto file = std::make_unique<std::ifstream>(path);
+    if (!*file)
+        fatal("cannot open trace file '%s'", path.c_str());
+    trace.source = tracefmt::openTextTrace(*file);
+    trace.backing = std::move(file);
+    return trace;
+}
 
 std::unique_ptr<Workload>
 makeTraceWorkload(std::istream &input, const WorkloadParams &params,
                   std::string name)
 {
-    return std::make_unique<TraceWorkload>(parse(input), params,
-                                           std::move(name));
+    OpenedTrace trace;
+    trace.source = tracefmt::openTextTrace(input);
+    return std::make_unique<StreamTraceWorkload>(std::move(trace),
+                                                 params,
+                                                 std::move(name));
 }
 
 std::unique_ptr<Workload>
 makeTraceWorkloadFromFile(const std::string &path,
                           const WorkloadParams &params)
 {
-    std::ifstream file(path);
-    if (!file)
-        fatal("cannot open trace file '%s'", path.c_str());
-    std::string name = path;
-    std::size_t slash = name.find_last_of('/');
-    if (slash != std::string::npos)
-        name = name.substr(slash + 1);
-    return makeTraceWorkload(file, params, name);
+    return std::make_unique<StreamTraceWorkload>(openTraceFile(path),
+                                                 params,
+                                                 basename(path));
+}
+
+std::uint64_t
+traceReplayPeakBytes(const Workload &wl)
+{
+    const auto *replay = dynamic_cast<const StreamTraceWorkload *>(&wl);
+    return replay == nullptr ? 0 : replay->peakBytes();
 }
 
 } // namespace uvmsim

@@ -6,19 +6,35 @@
  * *real* applications (e.g. captured with nvbit / nvprof and converted
  * to this format) instead of the synthetic generators.
  *
- * File format -- plain text, one record per line:
+ * Two encodings are accepted, distinguished by the file's first four
+ * bytes ("UVMT" selects the binary format):
  *
- *   # comment
- *   alloc <name> <bytes>
- *   kernel <name>
- *   tb
- *   <alloc_index> <offset> <size> <r|w> [compute_cycles]
+ *  - The text format -- one record per line:
  *
- * `alloc` lines (before the first kernel) declare managed allocations
- * in index order.  Each `kernel` starts a new launch; each `tb`
- * starts a new thread block inside it; access lines belong to the
- * current thread block and execute in order, split round-robin across
- * the configured warps per block.
+ *      # comment
+ *      alloc <name> <bytes>
+ *      kernel <name>
+ *      tb
+ *      <alloc_index> <offset> <size> <r|w> [compute_cycles]
+ *      + <alloc_index> <offset> <size> <r|w>
+ *      c <compute_cycles>
+ *
+ *    `alloc` lines (before the first kernel) declare managed
+ *    allocations in index order.  Each `kernel` starts a new launch;
+ *    each `tb` starts a new thread block inside it; access lines
+ *    belong to the current thread block and execute in order, split
+ *    round-robin across the configured warps per block.  A `+` line
+ *    fuses its access into the preceding op (a multi-access op); a
+ *    `c` line is a pure-compute op.
+ *
+ *  - The .uvmt binary format (see uvmt.hh and DESIGN.md section 11):
+ *    the same event stream, varint-delta encoded at a few bytes per
+ *    record.  `uvmsim_trace convert` translates between the two.
+ *
+ * Both encodings replay through a streaming reader: the trace is
+ * validated once at open time (malformed input fatal()s with a
+ * line/offset diagnostic), then thread blocks are materialized one at
+ * a time, so replay memory stays bounded however large the trace is.
  */
 
 #pragma once
@@ -27,14 +43,34 @@
 #include <memory>
 #include <string>
 
+#include "workloads/trace_stream.hh"
 #include "workloads/workload.hh"
 
 namespace uvmsim
 {
 
 /**
- * Parse a trace from a stream.  fatal()s with a line number on
- * malformed input.
+ * A trace decoder plus the stream backing it (text traces keep their
+ * file handle alive here; .uvmt readers own their own).
+ */
+struct OpenedTrace
+{
+    std::unique_ptr<std::istream> backing;
+    std::unique_ptr<tracefmt::TraceSource> source;
+};
+
+/**
+ * Open a trace file as an event source, sniffing text vs binary from
+ * the magic bytes.  fatal()s if the file cannot be opened or fails
+ * validation.
+ */
+OpenedTrace openTraceFile(const std::string &path);
+
+/**
+ * Build the replay workload for a text trace read from a stream.  The
+ * stream must be seekable and stay alive for the workload's lifetime
+ * (the trace is validated up front, then replayed lazily).  fatal()s
+ * with a line number on malformed input.
  *
  * @param input Trace text.
  * @param params Warps-per-TB and other common knobs.
@@ -44,9 +80,17 @@ std::unique_ptr<Workload> makeTraceWorkload(std::istream &input,
                                             const WorkloadParams &params,
                                             std::string name = "trace");
 
-/** Parse a trace from a file path. */
+/** Build the replay workload for a trace file (text or .uvmt). */
 std::unique_ptr<Workload>
 makeTraceWorkloadFromFile(const std::string &path,
                           const WorkloadParams &params);
+
+/**
+ * Peak bytes of trace state the replay held at once (decoder buffers
+ * plus the one thread block being materialized).  Returns 0 for
+ * workloads that are not trace replays.  Lets regression tests pin
+ * down that replay memory stays flat on huge traces.
+ */
+std::uint64_t traceReplayPeakBytes(const Workload &wl);
 
 } // namespace uvmsim

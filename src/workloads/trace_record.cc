@@ -1,0 +1,142 @@
+#include "trace_record.hh"
+
+#include <vector>
+
+#include "core/managed_space.hh"
+#include "sim/logging.hh"
+
+namespace uvmsim
+{
+
+namespace
+{
+
+using tracefmt::TraceEvent;
+using tracefmt::TraceEventKind;
+using tracefmt::TraceSink;
+
+/** Map an address into (allocation index, offset) for the record. */
+struct AllocMapper
+{
+    explicit AllocMapper(const ManagedSpace &space)
+    {
+        for (const auto &alloc : space.allocations()) {
+            Range r;
+            r.base = alloc->base();
+            r.end = alloc->base() + alloc->paddedBytes();
+            ranges.push_back(r);
+        }
+    }
+
+    void
+    map(Addr addr, std::uint32_t size, std::uint32_t &alloc_index,
+        std::uint64_t &offset) const
+    {
+        for (std::size_t i = 0; i < ranges.size(); ++i) {
+            if (addr >= ranges[i].base && addr + size <= ranges[i].end) {
+                alloc_index = static_cast<std::uint32_t>(i);
+                offset = addr - ranges[i].base;
+                return;
+            }
+        }
+        fatal("trace record: access at 0x%llx (%u bytes) lies outside "
+              "every managed allocation",
+              static_cast<unsigned long long>(addr), size);
+    }
+
+    struct Range
+    {
+        Addr base = 0;
+        Addr end = 0;
+    };
+    std::vector<Range> ranges;
+};
+
+void
+emitOp(const WarpOp &op, const AllocMapper &mapper, TraceSink &sink)
+{
+    if (op.accesses.empty()) {
+        TraceEvent ev;
+        ev.kind = TraceEventKind::compute;
+        ev.compute = op.compute_cycles;
+        sink.event(ev);
+        return;
+    }
+    bool first = true;
+    for (const TraceAccess &a : op.accesses) {
+        TraceEvent ev;
+        ev.kind = TraceEventKind::access;
+        mapper.map(a.addr, a.size, ev.alloc_index, ev.offset);
+        ev.size = a.size;
+        ev.is_write = a.is_write;
+        ev.fused = !first;
+        ev.compute = first ? op.compute_cycles : Cycles{0};
+        sink.event(ev);
+        first = false;
+    }
+}
+
+} // namespace
+
+void
+recordWorkload(Workload &wl, std::uint32_t warps_per_tb,
+               tracefmt::TraceSink &sink)
+{
+    ManagedSpace space;
+    wl.setup(space);
+
+    // Declare the padded sizes: workloads may legally touch padding
+    // pages (they are managed and faultable), and padding is a fixed
+    // point of the allocator's rounding, so replaying the recorded
+    // sizes rebuilds the exact same trees and footprint.
+    std::vector<tracefmt::TraceAlloc> allocs;
+    for (const auto &alloc : space.allocations())
+        allocs.push_back(
+            tracefmt::TraceAlloc{alloc->name(), alloc->paddedBytes()});
+    sink.begin(allocs);
+    const AllocMapper mapper(space);
+
+    while (Kernel *kernel = wl.nextKernel()) {
+        TraceEvent ev;
+        ev.kind = TraceEventKind::kernelBegin;
+        ev.kernel_name = kernel->name();
+        sink.event(ev);
+
+        while (auto tb = kernel->nextThreadBlock()) {
+            TraceEvent begin;
+            begin.kind = TraceEventKind::blockBegin;
+            sink.event(begin);
+
+            // Drain every warp, then interleave the lanes back into
+            // the block's original op order -- the exact inverse of
+            // traceutil::splitAmongWarps, so replaying with the same
+            // warps_per_tb rebuilds identical warp streams.
+            std::vector<std::vector<WarpOp>> lanes;
+            lanes.reserve(tb->warps.size());
+            for (const auto &warp : tb->warps) {
+                lanes.emplace_back();
+                WarpOp op;
+                while (warp->next(op))
+                    lanes.back().push_back(op);
+            }
+            if (lanes.size() > warps_per_tb)
+                fatal("trace record: thread block has %zu warps but "
+                      "the recording assumes at most %u",
+                      lanes.size(), warps_per_tb);
+            for (std::size_t round = 0;; ++round) {
+                bool any = false;
+                for (const auto &lane : lanes) {
+                    if (round < lane.size()) {
+                        emitOp(lane[round], mapper, sink);
+                        any = true;
+                    }
+                }
+                if (!any)
+                    break;
+            }
+        }
+    }
+    sink.end();
+}
+
+} // namespace uvmsim

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Record any workload generator as a trace.
+ *
+ * Drains a Workload -- setup, every kernel, every thread block --
+ * outside the simulator and writes the resulting event stream to a
+ * TraceSink, producing a trace whose replay is op-for-op identical to
+ * running the generator directly (given the same warps-per-TB).  This
+ * is how the `uvmsim_trace record` subcommand turns the synthetic
+ * workload classes into portable .uvmt fixtures, and how the
+ * round-trip property tests cross-check the two paths.
+ */
+
+#pragma once
+
+#include "workloads/trace_stream.hh"
+#include "workloads/workload.hh"
+
+namespace uvmsim
+{
+
+/**
+ * Drain `wl` (which must not have been set up yet) into `sink`.
+ *
+ * The workload's warps are interleaved back into each thread block's
+ * original op order (the inverse of traceutil::splitAmongWarps), so a
+ * replay that re-splits with the same warps_per_tb reproduces the
+ * exact warp streams.
+ *
+ * @param wl           The workload to record; consumed by the drain.
+ * @param warps_per_tb The warp split the workload was built with.
+ * @param sink         Receives the trace.
+ */
+void recordWorkload(Workload &wl, std::uint32_t warps_per_tb,
+                    tracefmt::TraceSink &sink);
+
+} // namespace uvmsim

@@ -1,0 +1,294 @@
+#include "trace_stream.hh"
+
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace uvmsim::tracefmt
+{
+
+namespace
+{
+
+/**
+ * The text decoder.  One validating pass runs at construction (so
+ * malformed traces die with a line diagnostic before any simulation
+ * starts), then the stream rewinds and replays lazily, one line of
+ * look-ahead at a time.
+ */
+class TextTraceSource : public TraceSource
+{
+  public:
+    explicit TextTraceSource(std::istream &input)
+        : input_(input)
+    {
+        TraceEvent ev;
+        while (next(ev)) {
+            if (ev.kind == TraceEventKind::kernelBegin)
+                ++kernel_count_;
+            else if (ev.kind != TraceEventKind::blockBegin)
+                ++record_count_;
+        }
+        if (allocs_.empty())
+            fatal("trace declares no allocations");
+        rewind();
+    }
+
+    const std::vector<TraceAlloc> &allocs() const override
+    {
+        return allocs_;
+    }
+
+    std::uint64_t kernelCount() const override { return kernel_count_; }
+    std::uint64_t recordCount() const override { return record_count_; }
+
+    bool
+    next(TraceEvent &ev) override
+    {
+        while (std::getline(input_, line_)) {
+            ++line_no_;
+            std::istringstream iss(line_);
+            std::string word;
+            if (!(iss >> word) || word[0] == '#')
+                continue;
+
+            if (word == "alloc") {
+                parseAlloc(iss);
+                continue;
+            }
+            if (word == "kernel") {
+                std::string name;
+                if (!(iss >> name))
+                    fatal("trace line %zu: expected 'kernel <name>'",
+                          line_no_);
+                seen_kernel_ = true;
+                in_block_ = false;
+                in_op_ = false;
+                ev = TraceEvent{};
+                ev.kind = TraceEventKind::kernelBegin;
+                ev.kernel_name = name;
+                return true;
+            }
+            if (word == "tb") {
+                if (!seen_kernel_)
+                    fatal("trace line %zu: 'tb' before any kernel",
+                          line_no_);
+                in_block_ = true;
+                in_op_ = false;
+                ev = TraceEvent{};
+                ev.kind = TraceEventKind::blockBegin;
+                return true;
+            }
+            if (word == "c") {
+                if (!in_block_)
+                    fatal("trace line %zu: access before any 'tb'",
+                          line_no_);
+                std::uint64_t cycles = 0;
+                if (!(iss >> cycles))
+                    fatal("trace line %zu: expected 'c <cycles>'",
+                          line_no_);
+                in_op_ = false;
+                ev = TraceEvent{};
+                ev.kind = TraceEventKind::compute;
+                ev.compute = cycles;
+                return true;
+            }
+            if (word == "+") {
+                if (!in_op_)
+                    fatal("trace line %zu: '+' continuation must "
+                          "follow an access record",
+                          line_no_);
+                parseAccess(iss, ev, /*fused=*/true);
+                return true;
+            }
+
+            // Access record: <alloc> <offset> <size> <r|w> [cycles]
+            if (!in_block_)
+                fatal("trace line %zu: access before any 'tb'",
+                      line_no_);
+            std::istringstream rss(line_);
+            parseAccess(rss, ev, /*fused=*/false);
+            in_op_ = true;
+            return true;
+        }
+        return false;
+    }
+
+    void
+    rewind() override
+    {
+        input_.clear();
+        input_.seekg(0);
+        line_no_ = 0;
+        allocs_replayed_ = 0;
+        seen_kernel_ = false;
+        in_block_ = false;
+        in_op_ = false;
+    }
+
+    std::uint64_t
+    bufferedBytes() const override
+    {
+        return line_.capacity() + sizeof(*this);
+    }
+
+  private:
+    void
+    parseAlloc(std::istream &iss)
+    {
+        if (seen_kernel_)
+            fatal("trace line %zu: alloc after first kernel", line_no_);
+        std::string name;
+        std::uint64_t bytes = 0;
+        if (!(iss >> name >> bytes) || bytes == 0)
+            fatal("trace line %zu: expected 'alloc <name> <bytes>'",
+                  line_no_);
+        // On the post-validation replay the table is already built;
+        // just step past the declaration.
+        if (allocs_replayed_ == allocs_.size())
+            allocs_.push_back(TraceAlloc{name, bytes});
+        ++allocs_replayed_;
+    }
+
+    void
+    parseAccess(std::istream &iss, TraceEvent &ev, bool fused)
+    {
+        std::size_t alloc_index = 0;
+        std::uint64_t offset = 0;
+        std::uint32_t size = 0;
+        std::string rw;
+        std::uint64_t cycles = defaultComputeCycles;
+        if (!(iss >> alloc_index >> offset >> size >> rw)) {
+            if (fused)
+                fatal("trace line %zu: expected '+ <alloc> <offset> "
+                      "<size> <r|w>'",
+                      line_no_);
+            fatal("trace line %zu: expected '<alloc> <offset> "
+                  "<size> <r|w> [cycles]'",
+                  line_no_);
+        }
+        if (!fused)
+            iss >> cycles;
+        if (alloc_index >= allocs_.size())
+            fatal("trace line %zu: allocation index %zu out of range",
+                  line_no_, alloc_index);
+        if (size == 0)
+            fatal("trace line %zu: zero-size access", line_no_);
+        if (offset + size > allocs_[alloc_index].bytes)
+            fatal("trace line %zu: access past end of allocation",
+                  line_no_);
+        if (rw != "r" && rw != "w")
+            fatal("trace line %zu: access kind must be r or w",
+                  line_no_);
+        ev = TraceEvent{};
+        ev.kind = TraceEventKind::access;
+        ev.alloc_index = static_cast<std::uint32_t>(alloc_index);
+        ev.offset = offset;
+        ev.size = size;
+        ev.is_write = rw == "w";
+        ev.fused = fused;
+        ev.compute = fused ? 0 : cycles;
+    }
+
+    std::istream &input_;
+    std::string line_;
+    std::size_t line_no_ = 0;
+    std::vector<TraceAlloc> allocs_;
+    std::size_t allocs_replayed_ = 0;
+    std::uint64_t kernel_count_ = 0;
+    std::uint64_t record_count_ = 0;
+    bool seen_kernel_ = false;
+    bool in_block_ = false;
+    bool in_op_ = false;
+};
+
+/** Replace whitespace so names stay single text tokens. */
+std::string
+tokenize(const std::string &name)
+{
+    std::string out = name.empty() ? std::string("unnamed") : name;
+    for (char &c : out)
+        if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+            c = '_';
+    return out;
+}
+
+/** The text encoder: emits the canonical one-record-per-line form. */
+class TextTraceSink : public TraceSink
+{
+  public:
+    explicit TextTraceSink(std::ostream &out)
+        : out_(out)
+    {}
+
+    void
+    begin(const std::vector<TraceAlloc> &allocs) override
+    {
+        out_ << "# uvmsim trace\n";
+        for (const TraceAlloc &a : allocs)
+            out_ << "alloc " << tokenize(a.name) << ' ' << a.bytes
+                 << '\n';
+    }
+
+    void
+    event(const TraceEvent &ev) override
+    {
+        switch (ev.kind) {
+          case TraceEventKind::kernelBegin:
+            out_ << "kernel " << tokenize(ev.kernel_name) << '\n';
+            break;
+          case TraceEventKind::blockBegin:
+            out_ << "tb\n";
+            break;
+          case TraceEventKind::compute:
+            out_ << "c " << ev.compute << '\n';
+            break;
+          case TraceEventKind::access:
+            if (ev.fused)
+                out_ << "+ ";
+            out_ << ev.alloc_index << ' ' << ev.offset << ' '
+                 << ev.size << ' ' << (ev.is_write ? 'w' : 'r');
+            if (!ev.fused && ev.compute != defaultComputeCycles)
+                out_ << ' ' << ev.compute;
+            out_ << '\n';
+            break;
+        }
+    }
+
+    void
+    end() override
+    {
+        out_.flush();
+        if (!out_)
+            fatal("trace output stream failed while writing");
+    }
+
+  private:
+    std::ostream &out_;
+};
+
+} // namespace
+
+std::unique_ptr<TraceSource>
+openTextTrace(std::istream &input)
+{
+    return std::make_unique<TextTraceSource>(input);
+}
+
+std::unique_ptr<TraceSink>
+makeTextTraceSink(std::ostream &out)
+{
+    return std::make_unique<TextTraceSink>(out);
+}
+
+void
+pumpTrace(TraceSource &src, TraceSink &sink)
+{
+    sink.begin(src.allocs());
+    TraceEvent ev;
+    while (src.next(ev))
+        sink.event(ev);
+    sink.end();
+}
+
+} // namespace uvmsim::tracefmt

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Streaming trace event model.
+ *
+ * A recorded trace -- whatever its on-disk encoding -- is a header
+ * (the managed allocations) followed by a flat event stream:
+ *
+ *   kernelBegin name            start the next kernel launch
+ *   blockBegin                  start the next thread block
+ *   access a off size w cyc     begin a warp op with one access
+ *   access (fused)              append an access to the current op
+ *   compute cyc                 a pure-compute warp op (no accesses)
+ *
+ * TraceSource pulls events one at a time so multi-gigabyte traces
+ * never materialize; TraceSink receives them one at a time so
+ * conversion and recording stream symmetrically.  The text format and
+ * the binary .uvmt format (both in DESIGN.md section 11) are just two
+ * encodings of this stream.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/ticks.hh"
+
+namespace uvmsim::tracefmt
+{
+
+/** One managed allocation declared by a trace. */
+struct TraceAlloc
+{
+    std::string name;
+    std::uint64_t bytes = 0;
+};
+
+/** What a trace event is. */
+enum class TraceEventKind
+{
+    kernelBegin,
+    blockBegin,
+    access,
+    compute,
+};
+
+/** One event of the flat trace stream. */
+struct TraceEvent
+{
+    TraceEventKind kind = TraceEventKind::access;
+
+    /** kernelBegin: the kernel's display name. */
+    std::string kernel_name;
+
+    /** access: target allocation (index into the alloc table). */
+    std::uint32_t alloc_index = 0;
+    /** access: byte offset inside the allocation. */
+    std::uint64_t offset = 0;
+    /** access: byte size (never crosses a 4KB page). */
+    std::uint32_t size = 0;
+    /** access: load or store. */
+    bool is_write = false;
+    /**
+     * access: when true the access joins the current warp op instead
+     * of beginning a new one (a multi-access op, e.g. a fused
+     * read-modify-write).
+     */
+    bool fused = false;
+
+    /** access (op-leading) / compute: compute cycles for the op. */
+    Cycles compute = 0;
+};
+
+/** The default compute burst when a text record omits cycles. */
+inline constexpr Cycles defaultComputeCycles = 4;
+
+/**
+ * A pull-based trace decoder.
+ *
+ * Constructors fully validate the trace (a streaming pre-pass that
+ * fatal()s with a line/offset diagnostic on malformed input) and then
+ * rewind, so errors surface at open time, never mid-simulation.
+ */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /** The declared allocations, in index order. */
+    virtual const std::vector<TraceAlloc> &allocs() const = 0;
+
+    /** Total kernelBegin events (known up front; validated). */
+    virtual std::uint64_t kernelCount() const = 0;
+
+    /** Total access + compute records (validated). */
+    virtual std::uint64_t recordCount() const = 0;
+
+    /**
+     * Decode the next event.
+     * @return false at end of trace (ev is unchanged).
+     */
+    virtual bool next(TraceEvent &ev) = 0;
+
+    /** Restart the stream from the first event. */
+    virtual void rewind() = 0;
+
+    /**
+     * Bytes of look-ahead state the decoder currently holds (line or
+     * chunk buffers; excludes the alloc table).  Bounded-memory tests
+     * assert this stays flat however large the trace file is.
+     */
+    virtual std::uint64_t bufferedBytes() const = 0;
+};
+
+/** A push-based trace encoder. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** Write the header.  Called exactly once, before any event. */
+    virtual void begin(const std::vector<TraceAlloc> &allocs) = 0;
+
+    /** Append one event. */
+    virtual void event(const TraceEvent &ev) = 0;
+
+    /** Finish the trace (trailer, patched counts).  Called once. */
+    virtual void end() = 0;
+};
+
+/**
+ * Open a text-format trace.  The stream must stay alive for the
+ * source's lifetime and be seekable (the constructor validates the
+ * whole trace, then rewinds).  fatal()s with a line number on
+ * malformed input.
+ */
+std::unique_ptr<TraceSource> openTextTrace(std::istream &input);
+
+/** A sink that emits the text format. */
+std::unique_ptr<TraceSink> makeTextTraceSink(std::ostream &out);
+
+/** Pump every event of `src` (from its current position) into `sink`. */
+void pumpTrace(TraceSource &src, TraceSink &sink);
+
+} // namespace uvmsim::tracefmt

@@ -1,0 +1,531 @@
+#include "uvmt.hh"
+
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace uvmsim::tracefmt
+{
+
+namespace
+{
+
+/** Longest legal varint: 10 bytes covers 64 bits. */
+constexpr int maxVarintBytes = 10;
+
+/** Sanity cap on embedded string lengths (names are short labels). */
+constexpr std::uint64_t maxNameBytes = 4096;
+
+/** Decoder chunk size: the whole look-ahead the reader ever holds. */
+constexpr std::size_t chunkBytes = 64 * 1024;
+
+std::uint64_t
+zigzagEncode(std::int64_t v)
+{
+    return (static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t
+zigzagDecode(std::uint64_t v)
+{
+    return static_cast<std::int64_t>(v >> 1) ^
+           -static_cast<std::int64_t>(v & 1);
+}
+
+void
+putVarint(std::string &out, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<char>(0x80 | (v & 0x7f)));
+        v >>= 7;
+    }
+    out.push_back(static_cast<char>(v));
+}
+
+void
+putU32le(std::string &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+putU64le(std::string &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+/** The .uvmt encoder. */
+class UvmtSink : public TraceSink
+{
+  public:
+    explicit UvmtSink(std::ostream &out)
+        : out_(out)
+    {}
+
+    void
+    begin(const std::vector<TraceAlloc> &allocs) override
+    {
+        std::string buf;
+        buf.append(uvmtMagic, sizeof(uvmtMagic));
+        putU32le(buf, uvmtVersion);
+        putU64le(buf, 0); // kernel count, patched by end()
+        putU64le(buf, 0); // record count, patched by end()
+        putVarint(buf, allocs.size());
+        for (const TraceAlloc &a : allocs) {
+            if (a.bytes == 0)
+                panic("uvmt: zero-size allocation in trace header");
+            putVarint(buf, a.name.size());
+            buf.append(a.name);
+            putVarint(buf, a.bytes);
+        }
+        out_.write(buf.data(),
+                   static_cast<std::streamsize>(buf.size()));
+        alloc_bytes_.clear();
+        for (const TraceAlloc &a : allocs)
+            alloc_bytes_.push_back(a.bytes);
+        next_offset_.assign(alloc_bytes_.size(), 0);
+    }
+
+    void
+    event(const TraceEvent &ev) override
+    {
+        std::string buf;
+        switch (ev.kind) {
+          case TraceEventKind::kernelBegin:
+            buf.push_back(static_cast<char>(UvmtOp::kernel));
+            putVarint(buf, ev.kernel_name.size());
+            buf.append(ev.kernel_name);
+            next_offset_.assign(next_offset_.size(), 0);
+            ++kernel_count_;
+            break;
+          case TraceEventKind::blockBegin:
+            buf.push_back(static_cast<char>(UvmtOp::tb));
+            break;
+          case TraceEventKind::compute:
+            buf.push_back(static_cast<char>(UvmtOp::compute));
+            putVarint(buf, ev.compute);
+            ++record_count_;
+            break;
+          case TraceEventKind::access: {
+            if (ev.alloc_index >= alloc_bytes_.size())
+                panic("uvmt: access to unknown allocation %u",
+                      ev.alloc_index);
+            if (ev.size == 0 ||
+                ev.offset + ev.size > alloc_bytes_[ev.alloc_index])
+                panic("uvmt: access outside allocation %u",
+                      ev.alloc_index);
+            std::uint8_t flags = 0;
+            if (ev.is_write)
+                flags |= uvmtFlagWrite;
+            if (ev.fused)
+                flags |= uvmtFlagFused;
+            const bool explicit_cycles =
+                !ev.fused && ev.compute != defaultComputeCycles;
+            if (explicit_cycles)
+                flags |= uvmtFlagCycles;
+            buf.push_back(static_cast<char>(UvmtOp::access));
+            buf.push_back(static_cast<char>(flags));
+            putVarint(buf, ev.alloc_index);
+            // Delta against the byte after the previous access to the
+            // same allocation: sequential streams encode as zero.
+            const std::int64_t delta = static_cast<std::int64_t>(
+                ev.offset - next_offset_[ev.alloc_index]);
+            putVarint(buf, zigzagEncode(delta));
+            putVarint(buf, ev.size);
+            if (explicit_cycles)
+                putVarint(buf, ev.compute);
+            next_offset_[ev.alloc_index] = ev.offset + ev.size;
+            ++record_count_;
+            break;
+          }
+        }
+        out_.write(buf.data(),
+                   static_cast<std::streamsize>(buf.size()));
+    }
+
+    void
+    end() override
+    {
+        const char op = static_cast<char>(UvmtOp::end);
+        out_.write(&op, 1);
+        // Patch the counts the header promised.
+        std::string counts;
+        putU64le(counts, kernel_count_);
+        putU64le(counts, record_count_);
+        out_.seekp(8);
+        out_.write(counts.data(),
+                   static_cast<std::streamsize>(counts.size()));
+        out_.seekp(0, std::ios::end);
+        out_.flush();
+        if (!out_)
+            fatal("trace output stream failed while writing");
+    }
+
+  private:
+    std::ostream &out_;
+    std::vector<std::uint64_t> alloc_bytes_;
+    /** Per allocation: the byte after the last access (delta base). */
+    std::vector<std::uint64_t> next_offset_;
+    std::uint64_t kernel_count_ = 0;
+    std::uint64_t record_count_ = 0;
+};
+
+/**
+ * The .uvmt decoder.  Reads through a fixed 64KB chunk buffer and
+ * fully validates the file at construction (then rewinds), so every
+ * structural error -- truncation, bad varints, count mismatches --
+ * dies with a byte-offset diagnostic before simulation starts.
+ */
+class UvmtReader : public TraceSource
+{
+  public:
+    explicit UvmtReader(std::string path)
+        : path_(std::move(path)),
+          input_(path_, std::ios::binary)
+    {
+        if (!input_)
+            fatal("cannot open trace file '%s'", path_.c_str());
+        buffer_.resize(chunkBytes);
+        parseHeader();
+        body_start_ = consumed_;
+        // Validating pre-pass: decode every record once, then rewind.
+        TraceEvent ev;
+        while (next(ev)) {
+        }
+        rewind();
+    }
+
+    const std::vector<TraceAlloc> &allocs() const override
+    {
+        return allocs_;
+    }
+
+    std::uint64_t kernelCount() const override { return kernel_count_; }
+    std::uint64_t recordCount() const override { return record_count_; }
+
+    bool
+    next(TraceEvent &ev) override
+    {
+        if (finished_)
+            return false;
+        const std::uint64_t at = consumed_;
+        int c = tryByte();
+        if (c < 0)
+            fatal("uvmt '%s': offset %llu: trace ends without "
+                  "end-of-trace marker",
+                  path_.c_str(),
+                  static_cast<unsigned long long>(at));
+        switch (static_cast<UvmtOp>(c)) {
+          case UvmtOp::kernel: {
+            const std::uint64_t len = varint(at);
+            if (len > maxNameBytes)
+                fatal("uvmt '%s': offset %llu: kernel name length "
+                      "%llu is implausible",
+                      path_.c_str(),
+                      static_cast<unsigned long long>(at),
+                      static_cast<unsigned long long>(len));
+            ev = TraceEvent{};
+            ev.kind = TraceEventKind::kernelBegin;
+            ev.kernel_name = readString(len, at);
+            next_offset_.assign(allocs_.size(), 0);
+            seen_kernel_ = true;
+            in_block_ = false;
+            in_op_ = false;
+            ++kernels_seen_;
+            return true;
+          }
+          case UvmtOp::tb:
+            if (!seen_kernel_)
+                fatal("uvmt '%s': offset %llu: 'tb' before any kernel",
+                      path_.c_str(),
+                      static_cast<unsigned long long>(at));
+            ev = TraceEvent{};
+            ev.kind = TraceEventKind::blockBegin;
+            in_block_ = true;
+            in_op_ = false;
+            return true;
+          case UvmtOp::compute:
+            if (!in_block_)
+                fatal("uvmt '%s': offset %llu: record before any "
+                      "thread block",
+                      path_.c_str(),
+                      static_cast<unsigned long long>(at));
+            ev = TraceEvent{};
+            ev.kind = TraceEventKind::compute;
+            ev.compute = varint(at);
+            in_op_ = false;
+            ++records_seen_;
+            return true;
+          case UvmtOp::access: {
+            if (!in_block_)
+                fatal("uvmt '%s': offset %llu: record before any "
+                      "thread block",
+                      path_.c_str(),
+                      static_cast<unsigned long long>(at));
+            const int flags = tryByte();
+            if (flags < 0)
+                fatal("uvmt '%s': offset %llu: unexpected end of "
+                      "trace",
+                      path_.c_str(),
+                      static_cast<unsigned long long>(at));
+            const bool fused = flags & uvmtFlagFused;
+            if (fused && !in_op_)
+                fatal("uvmt '%s': offset %llu: fused access before "
+                      "any op",
+                      path_.c_str(),
+                      static_cast<unsigned long long>(at));
+            const std::uint64_t alloc_index = varint(at);
+            if (alloc_index >= allocs_.size())
+                fatal("uvmt '%s': offset %llu: allocation index %llu "
+                      "out of range",
+                      path_.c_str(),
+                      static_cast<unsigned long long>(at),
+                      static_cast<unsigned long long>(alloc_index));
+            const std::int64_t delta = zigzagDecode(varint(at));
+            const std::int64_t offset =
+                static_cast<std::int64_t>(next_offset_[alloc_index]) +
+                delta;
+            if (offset < 0)
+                fatal("uvmt '%s': offset %llu: access offset "
+                      "underflows its allocation",
+                      path_.c_str(),
+                      static_cast<unsigned long long>(at));
+            const std::uint64_t size = varint(at);
+            if (size == 0)
+                fatal("uvmt '%s': offset %llu: zero-size access",
+                      path_.c_str(),
+                      static_cast<unsigned long long>(at));
+            if (static_cast<std::uint64_t>(offset) + size >
+                allocs_[alloc_index].bytes)
+                fatal("uvmt '%s': offset %llu: access past end of "
+                      "allocation",
+                      path_.c_str(),
+                      static_cast<unsigned long long>(at));
+            ev = TraceEvent{};
+            ev.kind = TraceEventKind::access;
+            ev.alloc_index = static_cast<std::uint32_t>(alloc_index);
+            ev.offset = static_cast<std::uint64_t>(offset);
+            ev.size = static_cast<std::uint32_t>(size);
+            ev.is_write = flags & uvmtFlagWrite;
+            ev.fused = fused;
+            ev.compute = fused ? Cycles{0}
+                               : (flags & uvmtFlagCycles
+                                      ? Cycles{varint(at)}
+                                      : defaultComputeCycles);
+            next_offset_[alloc_index] = ev.offset + size;
+            in_op_ = true;
+            ++records_seen_;
+            return true;
+          }
+          case UvmtOp::end: {
+            if (kernels_seen_ != kernel_count_)
+                fatal("uvmt '%s': header declares %llu kernels but "
+                      "the body contains %llu",
+                      path_.c_str(),
+                      static_cast<unsigned long long>(kernel_count_),
+                      static_cast<unsigned long long>(kernels_seen_));
+            if (records_seen_ != record_count_)
+                fatal("uvmt '%s': header declares %llu records but "
+                      "the body contains %llu",
+                      path_.c_str(),
+                      static_cast<unsigned long long>(record_count_),
+                      static_cast<unsigned long long>(records_seen_));
+            if (tryByte() >= 0)
+                fatal("uvmt '%s': offset %llu: trailing bytes after "
+                      "end-of-trace marker",
+                      path_.c_str(),
+                      static_cast<unsigned long long>(at + 1));
+            finished_ = true;
+            return false;
+          }
+        }
+        fatal("uvmt '%s': offset %llu: unknown opcode 0x%02x",
+              path_.c_str(), static_cast<unsigned long long>(at), c);
+    }
+
+    void
+    rewind() override
+    {
+        input_.clear();
+        input_.seekg(static_cast<std::streamoff>(body_start_));
+        consumed_ = body_start_;
+        filled_ = 0;
+        pos_ = 0;
+        next_offset_.assign(allocs_.size(), 0);
+        seen_kernel_ = false;
+        in_block_ = false;
+        in_op_ = false;
+        finished_ = false;
+        kernels_seen_ = 0;
+        records_seen_ = 0;
+    }
+
+    std::uint64_t
+    bufferedBytes() const override
+    {
+        return buffer_.capacity() + sizeof(*this);
+    }
+
+  private:
+    /** Next byte, or -1 at end of file. */
+    int
+    tryByte()
+    {
+        if (pos_ >= filled_) {
+            input_.read(buffer_.data(),
+                        static_cast<std::streamsize>(buffer_.size()));
+            filled_ = static_cast<std::size_t>(input_.gcount());
+            pos_ = 0;
+            if (filled_ == 0)
+                return -1;
+        }
+        ++consumed_;
+        return static_cast<unsigned char>(buffer_[pos_++]);
+    }
+
+    /** Next byte; fatal() at end of file. */
+    std::uint8_t
+    byte(std::uint64_t record_at)
+    {
+        const int c = tryByte();
+        if (c < 0)
+            fatal("uvmt '%s': offset %llu: unexpected end of trace",
+                  path_.c_str(),
+                  static_cast<unsigned long long>(record_at));
+        return static_cast<std::uint8_t>(c);
+    }
+
+    std::uint64_t
+    varint(std::uint64_t record_at)
+    {
+        std::uint64_t v = 0;
+        for (int i = 0; i < maxVarintBytes; ++i) {
+            const std::uint8_t b = byte(record_at);
+            v |= static_cast<std::uint64_t>(b & 0x7f) << (7 * i);
+            if (!(b & 0x80))
+                return v;
+        }
+        fatal("uvmt '%s': offset %llu: varint longer than %d bytes",
+              path_.c_str(),
+              static_cast<unsigned long long>(record_at),
+              maxVarintBytes);
+    }
+
+    std::string
+    readString(std::uint64_t len, std::uint64_t record_at)
+    {
+        std::string s;
+        s.reserve(len);
+        for (std::uint64_t i = 0; i < len; ++i)
+            s.push_back(static_cast<char>(byte(record_at)));
+        return s;
+    }
+
+    void
+    parseHeader()
+    {
+        char magic[4];
+        for (char &m : magic)
+            m = static_cast<char>(byte(0));
+        if (std::memcmp(magic, uvmtMagic, sizeof(uvmtMagic)) != 0)
+            fatal("'%s' is not a .uvmt trace (bad magic)",
+                  path_.c_str());
+        std::uint32_t version = 0;
+        for (int i = 0; i < 4; ++i)
+            version |= static_cast<std::uint32_t>(byte(4)) << (8 * i);
+        if (version != uvmtVersion)
+            fatal("uvmt '%s': unsupported version %u (this reader "
+                  "implements version %u)",
+                  path_.c_str(), version, uvmtVersion);
+        kernel_count_ = 0;
+        for (int i = 0; i < 8; ++i)
+            kernel_count_ |= static_cast<std::uint64_t>(byte(8))
+                             << (8 * i);
+        record_count_ = 0;
+        for (int i = 0; i < 8; ++i)
+            record_count_ |= static_cast<std::uint64_t>(byte(16))
+                             << (8 * i);
+        const std::uint64_t table_at = consumed_;
+        const std::uint64_t count = varint(table_at);
+        if (count == 0)
+            fatal("uvmt '%s': trace declares no allocations",
+                  path_.c_str());
+        if (count > (1u << 20))
+            fatal("uvmt '%s': offset %llu: allocation count %llu is "
+                  "implausible",
+                  path_.c_str(),
+                  static_cast<unsigned long long>(table_at),
+                  static_cast<unsigned long long>(count));
+        for (std::uint64_t i = 0; i < count; ++i) {
+            const std::uint64_t at = consumed_;
+            const std::uint64_t len = varint(at);
+            if (len > maxNameBytes)
+                fatal("uvmt '%s': offset %llu: allocation name "
+                      "length %llu is implausible",
+                      path_.c_str(),
+                      static_cast<unsigned long long>(at),
+                      static_cast<unsigned long long>(len));
+            TraceAlloc a;
+            a.name = readString(len, at);
+            a.bytes = varint(at);
+            if (a.bytes == 0)
+                fatal("uvmt '%s': offset %llu: zero-size allocation",
+                      path_.c_str(),
+                      static_cast<unsigned long long>(at));
+            allocs_.push_back(std::move(a));
+        }
+        next_offset_.assign(allocs_.size(), 0);
+    }
+
+    std::string path_;
+    std::ifstream input_;
+    std::vector<char> buffer_;
+    std::size_t filled_ = 0;
+    std::size_t pos_ = 0;
+    /** Absolute file offset of the next undecoded byte. */
+    std::uint64_t consumed_ = 0;
+    std::uint64_t body_start_ = 0;
+
+    std::vector<TraceAlloc> allocs_;
+    std::uint64_t kernel_count_ = 0;
+    std::uint64_t record_count_ = 0;
+    /** Per allocation: the byte after the last access (delta base). */
+    std::vector<std::uint64_t> next_offset_;
+    bool seen_kernel_ = false;
+    bool in_block_ = false;
+    bool in_op_ = false;
+    bool finished_ = false;
+    std::uint64_t kernels_seen_ = 0;
+    std::uint64_t records_seen_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<TraceSource>
+openUvmtTrace(const std::string &path)
+{
+    return std::make_unique<UvmtReader>(path);
+}
+
+std::unique_ptr<TraceSink>
+makeUvmtSink(std::ostream &out)
+{
+    return std::make_unique<UvmtSink>(out);
+}
+
+bool
+isUvmtFile(const std::string &path)
+{
+    std::ifstream file(path, std::ios::binary);
+    char magic[4] = {};
+    file.read(magic, sizeof(magic));
+    return file.gcount() == sizeof(magic) &&
+           std::memcmp(magic, uvmtMagic, sizeof(uvmtMagic)) == 0;
+}
+
+} // namespace uvmsim::tracefmt

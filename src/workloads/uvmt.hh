@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The .uvmt compact binary trace format.
+ *
+ * Multi-gigabyte-footprint traces are impractical as text (tens of
+ * bytes per record, full-file parses).  .uvmt encodes the same event
+ * stream (see trace_stream.hh) at a few bytes per record and decodes
+ * it through a fixed-size chunk buffer, so replay memory stays flat
+ * no matter how large the trace is.
+ *
+ * Layout (all integers little-endian; full details in DESIGN.md
+ * section 11):
+ *
+ *   header   "UVMT" magic, u32 version, u64 kernel_count,
+ *            u64 record_count (both patched by the writer at end())
+ *   allocs   varint count, then per alloc: varint name length, name
+ *            bytes, varint byte size
+ *   body     opcode bytes: KERNEL, TB, ACCESS, COMPUTE, END
+ *
+ * ACCESS encodes the offset as a zigzag varint delta against the
+ * previous access to the same allocation (reset at each kernel), so
+ * streaming and strided patterns cost one or two bytes per record.
+ * The END opcode is mandatory and is followed by nothing: truncation
+ * anywhere is detected, and the header counts are cross-checked
+ * against the body.  All decode errors fatal() with a byte offset.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "workloads/trace_stream.hh"
+
+namespace uvmsim::tracefmt
+{
+
+/** The four magic bytes opening every .uvmt file. */
+inline constexpr char uvmtMagic[4] = {'U', 'V', 'M', 'T'};
+
+/** The format version this reader/writer implements. */
+inline constexpr std::uint32_t uvmtVersion = 1;
+
+/** Fixed header size: magic + version + kernel/record counts. */
+inline constexpr std::uint64_t uvmtHeaderBytes = 4 + 4 + 8 + 8;
+
+/** Body opcodes. */
+enum class UvmtOp : std::uint8_t
+{
+    kernel = 0x01,  //!< varint name length, name bytes
+    tb = 0x02,      //!< no payload
+    access = 0x03,  //!< flags, varint alloc, zigzag delta, varint size
+    compute = 0x04, //!< varint cycles
+    end = 0xfe,     //!< no payload; must be the final byte
+};
+
+/** ACCESS flag bits. */
+enum UvmtAccessFlags : std::uint8_t
+{
+    uvmtFlagWrite = 1 << 0,
+    uvmtFlagFused = 1 << 1,
+    uvmtFlagCycles = 1 << 2, //!< explicit cycles varint follows
+};
+
+/**
+ * Open a .uvmt trace.  The constructor validates the entire file
+ * (streaming, bounded memory) and rewinds; any structural problem
+ * fatal()s with a byte-offset diagnostic.
+ */
+std::unique_ptr<TraceSource> openUvmtTrace(const std::string &path);
+
+/**
+ * A sink writing the .uvmt encoding.  The stream must be seekable
+ * (end() patches the header counts in place) and outlive the sink.
+ */
+std::unique_ptr<TraceSink> makeUvmtSink(std::ostream &out);
+
+/** Whether the file at `path` starts with the .uvmt magic. */
+bool isUvmtFile(const std::string &path);
+
+} // namespace uvmsim::tracefmt

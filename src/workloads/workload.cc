@@ -2,6 +2,7 @@
 
 #include "sim/logging.hh"
 #include "workloads/benchmarks.hh"
+#include "workloads/trace_file.hh"
 
 namespace uvmsim
 {
@@ -27,6 +28,16 @@ makeWorkload(const std::string &name, const WorkloadParams &params)
         return makeAtax(params);
     if (name == "kmeans")
         return makeKmeans(params);
+    if (name == "dbbuffer")
+        return makeDbBuffer(params);
+    if (name == "llminfer")
+        return makeLlmInfer(params);
+    if (name == "trace") {
+        if (params.trace_path.empty())
+            fatal("the 'trace' workload needs a trace file "
+                  "(--replay=PATH)");
+        return makeTraceWorkloadFromFile(params.trace_path, params);
+    }
     fatal("unknown workload '%s'", name.c_str());
 }
 
@@ -40,7 +51,7 @@ allWorkloadNames()
 std::vector<std::string>
 extraWorkloadNames()
 {
-    return {"atax", "kmeans"};
+    return {"atax", "dbbuffer", "kmeans", "llminfer"};
 }
 
 } // namespace uvmsim

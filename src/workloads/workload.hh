@@ -40,6 +40,9 @@ struct WorkloadParams
 
     /** Warps per thread block. */
     std::uint32_t warps_per_tb = 4;
+
+    /** Trace file (text or .uvmt) backing the "trace" workload. */
+    std::string trace_path;
 };
 
 /** A benchmark: managed allocations plus a stream of kernels. */

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
 #include <set>
 
 #include "core/managed_space.hh"
@@ -175,6 +177,60 @@ TEST(FuzzAccessStream, TenantsReplicateAtTheVaStride)
     for (const FuzzAccess &a : shared)
         seen.insert(tenantOfAddr(a.addr));
     EXPECT_EQ(seen, (std::set<TenantId>{0, 1, 2}));
+}
+
+TEST(FuzzPatterns, NamesRoundTripAndUnknownIsFatal)
+{
+    for (AccessPattern p :
+         {AccessPattern::streaming, AccessPattern::strided,
+          AccessPattern::random, AccessPattern::hotspot,
+          AccessPattern::zipfian, AccessPattern::kvGrowth})
+        EXPECT_EQ(accessPatternFromString(toString(p)), p);
+    EXPECT_EQ(toString(AccessPattern::zipfian), "zipf");
+    EXPECT_EQ(toString(AccessPattern::kvGrowth), "kvgrow");
+    EXPECT_EXIT(accessPatternFromString("bogus"),
+                ::testing::ExitedWithCode(1), "kvgrow");
+}
+
+TEST(FuzzPatterns, ZipfianConcentratesOnHotRanks)
+{
+    FuzzSpec spec;
+    spec.allocs = {AllocSpec{mib(2)}};
+    spec.kernels = {
+        KernelSpec{AccessPattern::zipfian, 0, 2000, 1, 0.0}};
+    const auto stream = accessStream(spec);
+    ASSERT_EQ(stream.size(), 2000u);
+    std::map<Addr, std::uint64_t> counts;
+    for (const FuzzAccess &a : stream)
+        ++counts[pageBase(a.addr)];
+    std::uint64_t hottest = 0;
+    for (const auto &[page, n] : counts)
+        hottest = std::max(hottest, n);
+    const double mean = 2000.0 / static_cast<double>(counts.size());
+    EXPECT_GT(static_cast<double>(hottest), 5.0 * mean);
+}
+
+TEST(FuzzPatterns, KvGrowthPrefixOnlyMovesForward)
+{
+    FuzzSpec spec;
+    spec.allocs = {AllocSpec{mib(2)}};
+    spec.kernels = {
+        KernelSpec{AccessPattern::kvGrowth, 0, 400, 1, 0.5}};
+    const auto stream = accessStream(spec);
+    ASSERT_EQ(stream.size(), 400u);
+    const Addr base = layoutAllocations(spec)[0].base;
+    // The high-water page is monotone: the pattern only ever appends
+    // at the tail or rereads the already-grown prefix.
+    Addr high = base;
+    for (const FuzzAccess &a : stream) {
+        ASSERT_GE(a.addr, base);
+        if (a.addr > high) {
+            EXPECT_LE(pageOf(a.addr), pageOf(high) + pagesPerLargePage)
+                << "tail jumped more than one growth step";
+            high = a.addr;
+        }
+    }
+    EXPECT_GT(pageOf(high), pageOf(base));
 }
 
 TEST(FuzzCombos, CanonicalMatrixCoversEveryPolicy)

@@ -100,6 +100,32 @@ TEST(TraceFile, DefaultComputeCyclesApplied)
     EXPECT_EQ(op.compute_cycles, 4u); // documented default
 }
 
+TEST(TraceFile, FusedAndComputeRecordsParse)
+{
+    // A '+' line joins the preceding op; a 'c' line is a pure-compute
+    // op with no accesses.
+    std::istringstream in("alloc a 4096\nkernel k\ntb\n"
+                          "0 0 64 r 7\n+ 0 128 32 w\nc 99\n");
+    WorkloadParams params;
+    params.warps_per_tb = 1; // keep both ops on warp 0
+    auto wl = makeTraceWorkload(in, params);
+    ManagedSpace space;
+    wl->setup(space);
+    Kernel *k = wl->nextKernel();
+    auto tb = k->nextThreadBlock();
+    WarpOp op;
+    ASSERT_TRUE(tb->warps[0]->next(op));
+    EXPECT_EQ(op.compute_cycles, 7u);
+    ASSERT_EQ(op.accesses.size(), 2u);
+    EXPECT_FALSE(op.accesses[0].is_write);
+    EXPECT_TRUE(op.accesses[1].is_write);
+    EXPECT_EQ(op.accesses[1].size, 32u);
+    ASSERT_TRUE(tb->warps[0]->next(op));
+    EXPECT_EQ(op.compute_cycles, 99u);
+    EXPECT_TRUE(op.accesses.empty());
+    EXPECT_FALSE(tb->warps[0]->next(op));
+}
+
 TEST(TraceFile, MalformedInputsAreFatal)
 {
     WorkloadParams p;
@@ -107,6 +133,32 @@ TEST(TraceFile, MalformedInputsAreFatal)
         std::istringstream in("kernel k\n");
         EXPECT_EXIT(makeTraceWorkload(in, p),
                     ::testing::ExitedWithCode(1), "no allocations");
+    }
+    {
+        std::istringstream in("alloc a 4096\ntb\n");
+        EXPECT_EXIT(makeTraceWorkload(in, p),
+                    ::testing::ExitedWithCode(1),
+                    "'tb' before any kernel");
+    }
+    {
+        std::istringstream in("alloc a 4096\nkernel k\ntb\n"
+                              "+ 0 0 64 r\n");
+        EXPECT_EXIT(makeTraceWorkload(in, p),
+                    ::testing::ExitedWithCode(1),
+                    "must follow an access record");
+    }
+    {
+        std::istringstream in("alloc a 4096\nkernel k\ntb\n"
+                              "0 0 64 r\n+ 0 64 r\n");
+        EXPECT_EXIT(makeTraceWorkload(in, p),
+                    ::testing::ExitedWithCode(1),
+                    "expected '\\+ <alloc> <offset> <size> <r\\|w>'");
+    }
+    {
+        std::istringstream in("alloc a 4096\nkernel k\ntb\nc\n");
+        EXPECT_EXIT(makeTraceWorkload(in, p),
+                    ::testing::ExitedWithCode(1),
+                    "expected 'c <cycles>'");
     }
     {
         std::istringstream in("alloc a 4096\nkernel k\n0 0 64 r\n");

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Corruption battery for the .uvmt binary reader: a damaged trace
+ * must always die with a byte-offset diagnostic at open time -- never
+ * crash, hang, or silently mis-parse.  The battery truncates a valid
+ * trace at every byte boundary, flips every bit of the fixed header,
+ * and hand-crafts the varint and opcode corruptions the bit sweep
+ * cannot reach deterministically.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "workloads/trace_stream.hh"
+#include "workloads/uvmt.hh"
+
+namespace uvmsim
+{
+
+namespace
+{
+
+/** Encode a small but feature-complete trace (two allocations, two
+ *  kernels, fused + explicit-cycle accesses, a compute record). */
+std::string
+validBytes()
+{
+    std::ostringstream out;
+    auto sink = tracefmt::makeUvmtSink(out);
+    sink->begin({tracefmt::TraceAlloc{"a", 4096},
+                 tracefmt::TraceAlloc{"b", 8192}});
+    tracefmt::TraceEvent ev;
+
+    ev.kind = tracefmt::TraceEventKind::kernelBegin;
+    ev.kernel_name = "k1";
+    sink->event(ev);
+    ev = tracefmt::TraceEvent{};
+    ev.kind = tracefmt::TraceEventKind::blockBegin;
+    sink->event(ev);
+    ev = tracefmt::TraceEvent{};
+    ev.kind = tracefmt::TraceEventKind::access;
+    ev.alloc_index = 0;
+    ev.offset = 512;
+    ev.size = 256;
+    ev.compute = 9; // explicit cycles
+    sink->event(ev);
+    ev.alloc_index = 1;
+    ev.offset = 0;
+    ev.size = 128;
+    ev.is_write = true;
+    ev.fused = true;
+    ev.compute = 0;
+    sink->event(ev);
+    ev = tracefmt::TraceEvent{};
+    ev.kind = tracefmt::TraceEventKind::compute;
+    ev.compute = 77;
+    sink->event(ev);
+
+    ev = tracefmt::TraceEvent{};
+    ev.kind = tracefmt::TraceEventKind::kernelBegin;
+    ev.kernel_name = "k2";
+    sink->event(ev);
+    ev = tracefmt::TraceEvent{};
+    ev.kind = tracefmt::TraceEventKind::blockBegin;
+    sink->event(ev);
+    ev = tracefmt::TraceEvent{};
+    ev.kind = tracefmt::TraceEventKind::access;
+    ev.alloc_index = 1;
+    ev.offset = 4096;
+    ev.size = 64;
+    ev.compute = tracefmt::defaultComputeCycles;
+    sink->event(ev);
+
+    sink->end();
+    return out.str();
+}
+
+std::string
+writeTemp(const std::string &bytes, const std::string &name)
+{
+    const std::string path =
+        ::testing::TempDir() + "uvmt_corrupt_" + name;
+    std::ofstream file(path, std::ios::binary | std::ios::trunc);
+    file.write(bytes.data(),
+               static_cast<std::streamsize>(bytes.size()));
+    return path;
+}
+
+void
+expectFatal(const std::string &bytes, const std::string &name,
+            const char *message_re)
+{
+    const std::string path = writeTemp(bytes, name);
+    EXPECT_EXIT(tracefmt::openUvmtTrace(path),
+                ::testing::ExitedWithCode(1), message_re);
+}
+
+} // namespace
+
+TEST(UvmtCorruption, FixtureIsValid)
+{
+    const std::string path = writeTemp(validBytes(), "valid");
+    auto source = tracefmt::openUvmtTrace(path);
+    EXPECT_EQ(source->kernelCount(), 2u);
+    EXPECT_EQ(source->recordCount(), 4u);
+}
+
+TEST(UvmtCorruption, TruncationAtEveryByteIsFatal)
+{
+    // A strict prefix decodes identically to the full file until it
+    // hits EOF mid-record or before the end marker: every one of the
+    // ~70 truncation points must die cleanly at open time.
+    const std::string bytes = validBytes();
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+        const std::string name =
+            "trunc" + std::to_string(len);
+        expectFatal(bytes.substr(0, len), name, "uvmt");
+    }
+}
+
+TEST(UvmtCorruption, EveryHeaderBitFlipIsFatal)
+{
+    // All 24 fixed header bytes are load-bearing: magic and version
+    // flips die in the header parse, count flips die at the end-of-
+    // trace cross-check.
+    const std::string bytes = validBytes();
+    ASSERT_GE(bytes.size(), 24u);
+    for (std::size_t byte = 0; byte < 24; ++byte) {
+        for (int bit = 0; bit < 8; ++bit) {
+            std::string flipped = bytes;
+            flipped[byte] =
+                static_cast<char>(flipped[byte] ^ (1 << bit));
+            const std::string name = "flip" + std::to_string(byte) +
+                                     "_" + std::to_string(bit);
+            expectFatal(flipped, name, "uvmt");
+        }
+    }
+}
+
+TEST(UvmtCorruption, FutureVersionIsRejected)
+{
+    std::string bytes = validBytes();
+    bytes[4] = static_cast<char>(tracefmt::uvmtVersion + 1);
+    expectFatal(bytes, "version", "unsupported version");
+}
+
+TEST(UvmtCorruption, BadMagicIsRejected)
+{
+    std::string bytes = validBytes();
+    bytes[0] = 'X';
+    expectFatal(bytes, "magic", "not a .uvmt trace");
+}
+
+TEST(UvmtCorruption, DeclaredCountMismatchIsFatal)
+{
+    std::string kernels = validBytes();
+    kernels[8] = static_cast<char>(kernels[8] + 1);
+    expectFatal(kernels, "kcount", "declares 3 kernels");
+
+    std::string records = validBytes();
+    records[16] = static_cast<char>(records[16] + 1);
+    expectFatal(records, "rcount", "declares 5 records");
+}
+
+TEST(UvmtCorruption, OverlongVarintIsFatal)
+{
+    // Replace the allocation-count varint (first byte after the fixed
+    // header) with an 11-byte continuation run.
+    std::string bytes = validBytes().substr(0, 24);
+    bytes.append(11, static_cast<char>(0x80));
+    expectFatal(bytes, "varint", "varint longer than");
+}
+
+TEST(UvmtCorruption, TrailingBytesAreFatal)
+{
+    std::string bytes = validBytes();
+    bytes.push_back('\0');
+    expectFatal(bytes, "trailing", "trailing bytes");
+}
+
+TEST(UvmtCorruption, UnknownOpcodeIsFatal)
+{
+    // The body starts right after the alloc table; its first byte is
+    // the k1 kernel opcode (0x01).  Smash it.
+    std::string bytes = validBytes();
+    const std::size_t body =
+        24 + 1 /*count*/ + (1 + 1 + 2) /*"a",4096*/ +
+        (1 + 1 + 2) /*"b",8192*/;
+    ASSERT_EQ(static_cast<unsigned char>(bytes[body]), 0x01u);
+    bytes[body] = 0x55;
+    expectFatal(bytes, "opcode", "unknown opcode 0x55");
+}
+
+TEST(UvmtCorruption, RecordBeforeKernelOrBlockIsFatal)
+{
+    // A structurally misplaced record: replace the leading kernel
+    // opcode with a 'tb', leaving a block before any kernel.
+    std::string bytes = validBytes();
+    const std::size_t body = 24 + 1 + 4 + 4;
+    bytes[body] = 0x02;
+    expectFatal(bytes, "tbfirst", "'tb' before any kernel");
+}
+
+TEST(UvmtCorruption, DiagnosticsCarryTheByteOffset)
+{
+    // Cut the trace in the middle of the second kernel's access
+    // record: the error must name the file and a byte offset.
+    const std::string bytes = validBytes();
+    expectFatal(bytes.substr(0, bytes.size() - 2), "offsetdiag",
+                "offset [0-9]+");
+}
+
+TEST(UvmtCorruption, EmptyFileIsFatal)
+{
+    expectFatal("", "empty", "unexpected end of trace");
+}
+
+TEST(UvmtCorruption, ZeroAllocationsAreFatal)
+{
+    // Keep the header, declare zero allocations.
+    std::string bytes = validBytes().substr(0, 24);
+    bytes.push_back('\0');
+    expectFatal(bytes, "noallocs", "declares no allocations");
+}
+
+} // namespace uvmsim

@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Round-trip battery for the binary .uvmt trace format: text and
+ * binary are two encodings of one event stream, so converting between
+ * them must be lossless, replaying either encoding must drive the
+ * simulator to byte-identical statistics, and recording a generated
+ * workload then replaying the recording must reproduce the original
+ * run exactly under every canonical policy combo.  Also pins down the
+ * streaming reader's bounded-memory contract on a million-record
+ * trace.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "api/simulator.hh"
+#include "sim/ticks.hh"
+#include "testing/workload_gen.hh"
+#include "workloads/trace_file.hh"
+#include "workloads/trace_record.hh"
+#include "workloads/trace_stream.hh"
+#include "workloads/uvmt.hh"
+
+namespace uvmsim
+{
+
+namespace
+{
+
+/** A fixture exercising every text record type: plain and explicit-
+ *  cycle accesses, fused '+' continuations, and pure-compute 'c'. */
+const char *kFullGrammarTrace = R"(# full-grammar fixture
+alloc input 1048576
+alloc output 65536
+kernel gather
+tb
+0 0 512 r 8
++ 1 0 256 w
+0 4096 512 r
+c 123
+tb
+0 8192 1024 r 2
+kernel reduce
+tb
+1 256 128 w
++ 1 384 128 w
++ 0 0 64 r
+)";
+
+std::string
+tempPath(const std::string &name)
+{
+    return ::testing::TempDir() + "uvmt_test_" + name;
+}
+
+/** Re-encode a text trace through pumpTrace into its canonical text
+ *  form (cycles omitted when default, whitespace normalized). */
+std::string
+canonicalText(const std::string &text)
+{
+    std::istringstream in(text);
+    std::ostringstream out;
+    auto source = tracefmt::openTextTrace(in);
+    auto sink = tracefmt::makeTextTraceSink(out);
+    tracefmt::pumpTrace(*source, *sink);
+    return out.str();
+}
+
+/** Convert a text trace to .uvmt bytes on disk; returns the path. */
+std::string
+textToUvmtFile(const std::string &text, const std::string &name)
+{
+    std::istringstream in(text);
+    const std::string path = tempPath(name);
+    std::ofstream file(path, std::ios::binary | std::ios::trunc);
+    auto source = tracefmt::openTextTrace(in);
+    auto sink = tracefmt::makeUvmtSink(file);
+    tracefmt::pumpTrace(*source, *sink);
+    return path;
+}
+
+std::string
+uvmtToText(const std::string &path)
+{
+    std::ostringstream out;
+    auto source = tracefmt::openUvmtTrace(path);
+    auto sink = tracefmt::makeTextTraceSink(out);
+    tracefmt::pumpTrace(*source, *sink);
+    return out.str();
+}
+
+std::string
+fileBytes(const std::string &path)
+{
+    std::ifstream file(path, std::ios::binary);
+    std::ostringstream out;
+    out << file.rdbuf();
+    return out.str();
+}
+
+} // namespace
+
+TEST(UvmtRoundTrip, TextToBinaryToTextIsAFixpoint)
+{
+    // One trip through the binary encoding reproduces the canonical
+    // text byte for byte...
+    const std::string canon = canonicalText(kFullGrammarTrace);
+    const std::string uvmt1 = textToUvmtFile(canon, "fix1.uvmt");
+    EXPECT_EQ(uvmtToText(uvmt1), canon);
+    // ...and a second trip reproduces the binary byte for byte.
+    const std::string uvmt2 =
+        textToUvmtFile(uvmtToText(uvmt1), "fix2.uvmt");
+    EXPECT_EQ(fileBytes(uvmt1), fileBytes(uvmt2));
+    EXPECT_TRUE(tracefmt::isUvmtFile(uvmt1));
+}
+
+TEST(UvmtRoundTrip, EventStreamsAreIdentical)
+{
+    const std::string path =
+        textToUvmtFile(kFullGrammarTrace, "events.uvmt");
+    std::istringstream text_in(kFullGrammarTrace);
+    auto text_src = tracefmt::openTextTrace(text_in);
+    auto uvmt_src = tracefmt::openUvmtTrace(path);
+
+    ASSERT_EQ(text_src->allocs().size(), uvmt_src->allocs().size());
+    for (std::size_t i = 0; i < text_src->allocs().size(); ++i) {
+        EXPECT_EQ(text_src->allocs()[i].name,
+                  uvmt_src->allocs()[i].name);
+        EXPECT_EQ(text_src->allocs()[i].bytes,
+                  uvmt_src->allocs()[i].bytes);
+    }
+    EXPECT_EQ(text_src->kernelCount(), uvmt_src->kernelCount());
+    EXPECT_EQ(text_src->recordCount(), uvmt_src->recordCount());
+
+    tracefmt::TraceEvent a, b;
+    std::uint64_t events = 0;
+    while (true) {
+        const bool more_a = text_src->next(a);
+        const bool more_b = uvmt_src->next(b);
+        ASSERT_EQ(more_a, more_b) << "streams end at different events";
+        if (!more_a)
+            break;
+        ++events;
+        ASSERT_EQ(a.kind, b.kind) << "event " << events;
+        EXPECT_EQ(a.kernel_name, b.kernel_name);
+        EXPECT_EQ(a.alloc_index, b.alloc_index);
+        EXPECT_EQ(a.offset, b.offset);
+        EXPECT_EQ(a.size, b.size);
+        EXPECT_EQ(a.is_write, b.is_write);
+        EXPECT_EQ(a.fused, b.fused);
+        EXPECT_EQ(a.compute, b.compute);
+    }
+    EXPECT_GT(events, 0u);
+}
+
+TEST(UvmtRoundTrip, BinaryReplayMatchesTextReplayStatForStat)
+{
+    const std::string path =
+        textToUvmtFile(kFullGrammarTrace, "replay.uvmt");
+    WorkloadParams params;
+    SimConfig cfg;
+    cfg.gpu.num_sms = 2;
+
+    std::istringstream text_in(kFullGrammarTrace);
+    auto text_wl = makeTraceWorkload(text_in, params);
+    Simulator text_sim(cfg);
+    RunResult text_r = text_sim.run(*text_wl);
+
+    auto uvmt_wl = makeTraceWorkloadFromFile(path, params);
+    Simulator uvmt_sim(cfg);
+    RunResult uvmt_r = uvmt_sim.run(*uvmt_wl);
+
+    EXPECT_EQ(text_r.footprint_bytes, uvmt_r.footprint_bytes);
+    EXPECT_EQ(text_r.stats, uvmt_r.stats);
+}
+
+/**
+ * The record -> replay property: recording a generated workload and
+ * replaying the recording must put the simulator in exactly the same
+ * end state as running the generator directly, under every canonical
+ * prefetcher x eviction combo.
+ */
+class UvmtRecordReplay
+    : public ::testing::TestWithParam<fuzzing::PolicyCombo>
+{
+};
+
+TEST_P(UvmtRecordReplay, RecordingReplaysBitExactly)
+{
+    fuzzing::FuzzSpec spec = fuzzing::generateSpec(3);
+    spec.tenants = 1;
+    spec = fuzzing::withCombo(spec, GetParam());
+    ASSERT_TRUE(fuzzing::specProblem(spec).empty());
+
+    // Record the generated workload (one warp per block, matching
+    // buildWorkload()'s shape) into a binary trace.
+    const std::string path =
+        tempPath("rr_" + fuzzing::toString(GetParam()) + ".uvmt");
+    {
+        auto wl = fuzzing::buildWorkload(spec);
+        std::ofstream file(path, std::ios::binary | std::ios::trunc);
+        auto sink = tracefmt::makeUvmtSink(file);
+        recordWorkload(*wl, 1, *sink);
+    }
+
+    const SimConfig cfg = fuzzing::simConfigFor(spec);
+    auto direct = fuzzing::buildWorkload(spec);
+    Simulator direct_sim(cfg);
+    RunResult direct_r = direct_sim.run(*direct);
+
+    WorkloadParams params;
+    params.warps_per_tb = 1;
+    auto replay = makeTraceWorkloadFromFile(path, params);
+    Simulator replay_sim(cfg);
+    RunResult replay_r = replay_sim.run(*replay);
+
+    EXPECT_EQ(direct_r.footprint_bytes, replay_r.footprint_bytes);
+    EXPECT_EQ(direct_r.stats, replay_r.stats)
+        << "combo " << fuzzing::toString(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Combos, UvmtRecordReplay,
+    ::testing::ValuesIn(fuzzing::canonicalCombos()),
+    [](const auto &info) {
+        std::string name = fuzzing::toString(info.param);
+        for (char &c : name)
+            if (c == ':')
+                c = '_';
+        return name;
+    });
+
+TEST(UvmtBoundedMemory, MillionRecordTraceReplaysFlat)
+{
+    // Synthesize a ~1M-record trace straight through the encoder:
+    // 4096 thread blocks of 256 sequential 4KB reads over a 64MB
+    // allocation (wrapping), with a write sprinkled in per block.
+    const std::uint64_t alloc_bytes = mib(64);
+    const std::uint64_t tbs = 4096, per_tb = 256, access = 4096;
+    const std::string path = tempPath("million.uvmt");
+    {
+        std::ofstream file(path, std::ios::binary | std::ios::trunc);
+        auto sink = tracefmt::makeUvmtSink(file);
+        sink->begin({tracefmt::TraceAlloc{"big", alloc_bytes}});
+        tracefmt::TraceEvent ev;
+        ev.kind = tracefmt::TraceEventKind::kernelBegin;
+        ev.kernel_name = "stream";
+        sink->event(ev);
+        std::uint64_t offset = 0;
+        for (std::uint64_t tb = 0; tb < tbs; ++tb) {
+            ev = tracefmt::TraceEvent{};
+            ev.kind = tracefmt::TraceEventKind::blockBegin;
+            sink->event(ev);
+            for (std::uint64_t i = 0; i < per_tb; ++i) {
+                ev = tracefmt::TraceEvent{};
+                ev.kind = tracefmt::TraceEventKind::access;
+                ev.offset = offset;
+                ev.size = access;
+                ev.is_write = (i == 0);
+                ev.compute = tracefmt::defaultComputeCycles;
+                sink->event(ev);
+                offset += access;
+                if (offset + access > alloc_bytes)
+                    offset = 0;
+            }
+        }
+        sink->end();
+    }
+    // The sequential stream delta-encodes to a few bytes per record;
+    // the same trace in text form is over 25MB.
+    const std::string bytes = fileBytes(path);
+    EXPECT_LT(bytes.size(), 8u * 1024 * 1024);
+
+    WorkloadParams params;
+    params.warps_per_tb = 4;
+    auto wl = makeTraceWorkloadFromFile(path, params);
+    ManagedSpace space;
+    wl->setup(space);
+    std::uint64_t accesses = 0;
+    while (Kernel *k = wl->nextKernel()) {
+        while (auto tb = k->nextThreadBlock()) {
+            for (auto &trace : tb->warps) {
+                WarpOp op;
+                while (trace->next(op))
+                    accesses += op.accesses.size();
+            }
+        }
+    }
+    EXPECT_EQ(accesses, tbs * per_tb);
+    // The streaming reader held one 64KB chunk plus one materialized
+    // thread block -- far below the trace (and text) size.
+    const std::uint64_t peak = traceReplayPeakBytes(*wl);
+    EXPECT_GT(peak, 0u);
+    EXPECT_LT(peak, 2u * 1024 * 1024);
+}
+
+TEST(UvmtBoundedMemory, NonTraceWorkloadsReportZero)
+{
+    WorkloadParams p;
+    p.size_scale = 0.1;
+    auto wl = makeWorkload("backprop", p);
+    EXPECT_EQ(traceReplayPeakBytes(*wl), 0u);
+}
+
+} // namespace uvmsim

@@ -138,7 +138,7 @@ TEST(WorkloadRegistry, ListsSevenBenchmarks)
 TEST(WorkloadRegistry, ExtrasAreSeparateFromThePaperSuite)
 {
     auto extras = extraWorkloadNames();
-    EXPECT_EQ(extras.size(), 2u);
+    EXPECT_EQ(extras.size(), 4u);
     auto paper = allWorkloadNames();
     for (const auto &n : extras) {
         EXPECT_EQ(std::find(paper.begin(), paper.end(), n), paper.end());

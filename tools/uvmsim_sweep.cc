@@ -63,6 +63,9 @@ usage()
         "105,110,125,150)\n"
         "  --benchmarks=N[,N..]     workloads to sweep (default: the "
         "paper suite)\n"
+        "  --replay=PATH[,PATH..]   also sweep recorded trace files "
+        "(text or .uvmt); with no --benchmarks, sweeps only the "
+        "traces\n"
         "  --metric=NAME            kernel_ms|far_faults|pages_migrated"
         "|pages_evicted|pages_thrashed|read_bw_gbps, or any raw stat "
         "name\n"
@@ -300,24 +303,52 @@ main(int argc, char **argv)
     }
     std::string axis = opts.get("axis", "oversubscription");
     auto values = opts.getList("values", {"105", "110", "125", "150"});
-    auto benchmarks = opts.getList("benchmarks", allWorkloadNames());
+    auto replays = opts.getList("replay", {});
+    auto benchmarks = opts.getList(
+        "benchmarks", replays.empty() ? allWorkloadNames()
+                                      : std::vector<std::string>{});
     std::string metric_name = opts.get("metric", "kernel_ms");
 
     WorkloadParams params;
     params.size_scale = opts.getDouble("scale", 1.0);
     params.seed = opts.getUint("workload-seed", 42);
 
-    // Phase 1: materialize the whole (benchmark x value) grid so the
+    // Each grid row is one workload: a named generator, or a recorded
+    // trace file replayed through the "trace" workload.
+    struct Row
+    {
+        std::string label;
+        std::string workload;
+        WorkloadParams params;
+    };
+    std::vector<Row> rows;
+    for (const std::string &bench : benchmarks)
+        rows.push_back({bench, bench, params});
+    for (const std::string &path : replays) {
+        WorkloadParams p = params;
+        p.trace_path = path;
+        // Label the row by file name; the directory part would only
+        // widen the table.
+        const std::size_t slash = path.find_last_of('/');
+        rows.push_back({slash == std::string::npos
+                            ? path
+                            : path.substr(slash + 1),
+                        "trace", p});
+    }
+    if (rows.empty())
+        fatal("nothing to sweep: pass --benchmarks and/or --replay");
+
+    // Phase 1: materialize the whole (row x value) grid so the
     // executor can run every cell concurrently.
     std::vector<RunJob> jobs;
-    for (const std::string &bench : benchmarks) {
+    for (const Row &row : rows) {
         for (const std::string &value : values) {
             SimConfig cfg = baseConfig(opts);
             applyAxis(cfg, axis, value);
             // Each traced sweep cell writes its own artifact pair.
             if (!cfg.trace_out.empty())
-                cfg.trace_out += "-" + bench + "-" + value;
-            jobs.push_back(RunJob{bench, cfg, params});
+                cfg.trace_out += "-" + row.label + "-" + value;
+            jobs.push_back(RunJob{row.workload, cfg, row.params});
         }
     }
 
@@ -383,8 +414,8 @@ main(int argc, char **argv)
     std::printf("\n");
 
     std::size_t cell = 0;
-    for (const std::string &bench : benchmarks) {
-        std::printf("%-12s", bench.c_str());
+    for (const Row &row : rows) {
+        std::printf("%-12s", row.label.c_str());
         for (std::size_t i = 0; i < values.size(); ++i) {
             std::printf(" %14.3f", metric(results[cell++], metric_name));
             std::fflush(stdout);
@@ -398,12 +429,12 @@ main(int argc, char **argv)
     if (!csv_path.empty()) {
         std::string csv = "benchmark,value," + metric_name + "\n";
         cell = 0;
-        for (const std::string &bench : benchmarks) {
+        for (const Row &row : rows) {
             for (const std::string &value : values) {
                 char buf[64];
                 std::snprintf(buf, sizeof(buf), "%.17g",
                               metric(results[cell++], metric_name));
-                csv += bench + "," + value + "," + buf + "\n";
+                csv += row.label + "," + value + "," + buf + "\n";
             }
         }
         publishFile(csv_path, csv);
@@ -427,12 +458,13 @@ main(int argc, char **argv)
         std::printf("\nper-tenant: faults/migrated/evicted/"
                     "evicted_cross\n");
         cell = 0;
-        for (const std::string &bench : benchmarks) {
+        for (const Row &row : rows) {
             for (const std::string &value : values) {
                 const RunResult &r = results[cell++];
                 if (!r.stats.count("tenant0.far_faults"))
                     continue;
-                std::printf("%-12s %-8s", bench.c_str(), value.c_str());
+                std::printf("%-12s %-8s", row.label.c_str(),
+                            value.c_str());
                 for (std::uint32_t t = 0;; ++t) {
                     const std::string pre =
                         "tenant" + std::to_string(t);
