@@ -308,7 +308,16 @@ ResultStore::breakClaimIfStale(const std::string &key,
     auto mtime = fs::last_write_time(path, ec);
     if (ec)
         return false; // no claim (or already broken by someone else)
+    // Claim-staleness is inherently wall-clock; the age never reaches
+    // simulation state or any emitted artifact.  lint:allow(det)
     auto age = fs::file_time_type::clock::now() - mtime;
+    // A claim stamped in the future (clock skew between store writers
+    // on a shared filesystem, a restored archive) would otherwise
+    // have a forever-negative age and never go stale -- the sweep cell
+    // it covers could never be resumed.  Tolerate skew up to the ttl;
+    // beyond that the stamp is bogus and the claim is breakable.
+    if (age < std::chrono::seconds(0))
+        age = -age;
     if (age < std::chrono::seconds(ttl_seconds))
         return false;
     bool removed = fs::remove(path, ec);

@@ -7,8 +7,32 @@
 #include <mutex>
 #include <set>
 
+#include <unistd.h>
+
 namespace uvmsim
 {
+
+namespace
+{
+
+/**
+ * The pid that loaded this library, captured before main() and thus
+ * before any fork().  fatal() compares against it so a fork()ed
+ * worker (tools/uvmsim_sweep --workers) never dies through
+ * std::exit: in a forked child, exit() re-flushes stdio buffers
+ * inherited from the parent (duplicating anything the parent had
+ * buffered at fork time) and runs atexit handlers and static
+ * destructors against state the parent still owns.
+ */
+const pid_t owning_pid = ::getpid();
+
+} // namespace
+
+bool
+inForkedChild()
+{
+    return ::getpid() != owning_pid;
+}
 
 std::mutex &
 outputMutex()
@@ -49,6 +73,10 @@ fatal(const char *fmt, ...)
     va_start(args, fmt);
     vreport("fatal", fmt, args);
     va_end(args);
+    // A forked worker must not run exit(): _Exit skips the inherited
+    // stdio buffers and the parent's atexit/static-destructor state.
+    if (inForkedChild())
+        std::_Exit(1);
     std::exit(1);
 }
 

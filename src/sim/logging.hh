@@ -34,6 +34,16 @@ namespace uvmsim
  */
 std::mutex &outputMutex();
 
+/**
+ * True when the calling process is a fork()ed child of the process
+ * that loaded this library (detected via a pid captured before
+ * main()).  fatal() uses this to die through _Exit in workers so a
+ * child never re-flushes stdio buffers inherited from its parent or
+ * runs the parent's atexit/static-destructor state; fork orchestrators
+ * (tools/uvmsim_sweep) rely on the same guarantee.
+ */
+bool inForkedChild();
+
 /** Print an error describing a simulator bug and abort. */
 [[noreturn]] void panic(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));

@@ -242,6 +242,35 @@ TEST(ResultStore, ClaimLifecycle)
     EXPECT_TRUE(store.tryClaim(key, "worker-3"));
 }
 
+TEST(ResultStore, ClaimStampedInTheFutureStillGoesStale)
+{
+    // Clock skew between store writers on a shared filesystem (or a
+    // restored archive) can stamp a claim with an mtime in the
+    // future.  Its age is then negative, and a naive `age < ttl`
+    // staleness test holds forever: the cell could never be resumed.
+    // Skew beyond the ttl must count as stale.
+    ResultStore store(storeDir("future-claims"));
+    const std::string key = "cell-skewed";
+    ASSERT_TRUE(store.tryClaim(key, "worker-on-skewed-host"));
+
+    fs::path claim;
+    for (const auto &e :
+         fs::recursive_directory_iterator(store.dir()))
+        if (e.is_regular_file() &&
+            e.path().extension() == ".claim")
+            claim = e.path();
+    ASSERT_FALSE(claim.empty());
+    // lint:allow(det): forging a skewed claim stamp needs the clock.
+    fs::last_write_time(claim, fs::file_time_type::clock::now() +
+                                   std::chrono::hours(2));
+
+    // Within the skew tolerance (ttl) the claim still holds...
+    EXPECT_FALSE(store.breakClaimIfStale(key, 3 * 3600));
+    // ...but a one-minute ttl puts a +2h stamp far out of tolerance.
+    EXPECT_TRUE(store.breakClaimIfStale(key, 60));
+    EXPECT_TRUE(store.tryClaim(key, "worker-2"));
+}
+
 TEST(ResultStore, RunResultPayloadRoundTripsBitExactly)
 {
     RunResult r;

@@ -103,6 +103,7 @@ TEST(EventQueueCalendar, StaleHandlesAndSlotReuse)
     // The freed arena slot is reused; the old handle must stay dead.
     EventQueue::EventId b = eq.schedule(20, [&] { ++fired; });
     EXPECT_FALSE(eq.deschedule(a));
+    // lint:allow(lifetime): exercising the stale handle is the test.
     EXPECT_NE(a, b);
     eq.run();
     EXPECT_EQ(fired, 1);

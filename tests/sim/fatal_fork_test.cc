@@ -1,0 +1,113 @@
+/**
+ * @file
+ * fatal() in a fork()ed child must die through _Exit, not exit():
+ * exit() in a child re-flushes stdio buffers inherited from the
+ * parent (duplicating anything the parent had buffered at fork time)
+ * and runs atexit handlers and static destructors against state the
+ * parent still owns.  The sweep orchestrator's --workers path forks
+ * workers that can hit fatal() on store or configuration errors, so
+ * this is the regression test for that path's output integrity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "sim/logging.hh"
+
+namespace uvmsim
+{
+
+namespace
+{
+
+std::string
+readAll(const std::string &path)
+{
+    std::string out;
+    FILE *in = std::fopen(path.c_str(), "rb");
+    if (!in)
+        return out;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), in)) > 0)
+        out.append(buf, n);
+    std::fclose(in);
+    return out;
+}
+
+std::size_t
+countOccurrences(const std::string &haystack, const std::string &needle)
+{
+    std::size_t count = 0;
+    for (std::size_t pos = 0;
+         (pos = haystack.find(needle, pos)) != std::string::npos;
+         pos += needle.size())
+        ++count;
+    return count;
+}
+
+} // namespace
+
+TEST(FatalForkTest, NotForkedInTheParentProcess)
+{
+    EXPECT_FALSE(inForkedChild());
+}
+
+TEST(FatalForkTest, ChildFatalDoesNotReplayParentStdioBuffers)
+{
+    const std::string path =
+        std::string(::testing::TempDir()) + "/uvmsim_fatal_fork.out";
+
+    // Point stdout at a file: file-backed stdio is fully buffered, so
+    // the marker below sits in the userspace buffer across fork().
+    ASSERT_EQ(std::fflush(stdout), 0);
+    int saved_stdout = ::dup(STDOUT_FILENO);
+    ASSERT_GE(saved_stdout, 0);
+    int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+    ASSERT_GE(fd, 0);
+    ASSERT_GE(::dup2(fd, STDOUT_FILENO), 0);
+    ::close(fd);
+    std::setvbuf(stdout, nullptr, _IOFBF, 1 << 16);
+
+    std::printf("parent-buffered-marker\n"); // stays in the buffer
+
+    std::fflush(stderr);
+    pid_t pid = ::fork();
+    if (pid == 0) {
+        // Keep the expected "fatal: ..." line out of the test log.
+        int devnull = ::open("/dev/null", O_WRONLY);
+        if (devnull >= 0)
+            ::dup2(devnull, STDERR_FILENO);
+        EXPECT_TRUE(inForkedChild());
+        fatal("simulated worker configuration error");
+        std::_Exit(97); // unreachable: fatal() never returns
+    }
+    ASSERT_GT(pid, 0);
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+
+    // Now flush the parent's copy of the buffer -- the one legitimate
+    // write of the marker -- and restore stdout.
+    std::fflush(stdout);
+    ::dup2(saved_stdout, STDOUT_FILENO);
+    ::close(saved_stdout);
+    std::setvbuf(stdout, nullptr, _IOLBF, 0);
+
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 1);
+
+    // Pre-fix, fatal()'s std::exit(1) flushed the child's inherited
+    // copy of the parent's buffer and the marker appeared twice.
+    const std::string out = readAll(path);
+    EXPECT_EQ(countOccurrences(out, "parent-buffered-marker"), 1u)
+        << "forked child re-flushed the parent's stdio buffer:\n"
+        << out;
+}
+
+} // namespace uvmsim

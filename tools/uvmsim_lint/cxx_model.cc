@@ -1,0 +1,644 @@
+#include "cxx_model.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace fs = std::filesystem;
+
+namespace uvmsim::lint::cxx
+{
+
+namespace
+{
+
+bool
+identStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+identChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Multi-character punctuators we keep whole; longest match first. */
+const char *const punctuators[] = {
+    "<<=", ">>=", "...", "->*", "::", "->", "++", "--", "+=", "-=",
+    "*=",  "/=",  "%=",  "&=",  "|=", "^=", "==", "!=", "<=", ">=",
+    "&&",  "||",  "<<",  ">>",
+};
+
+} // namespace
+
+bool
+SourceFile::waived(const std::string &tag, std::size_t line) const
+{
+    const std::string token = "lint:allow(" + tag + ")";
+    for (std::size_t l : {line, line > 0 ? line - 1 : line}) {
+        auto it = comments.find(l);
+        if (it != comments.end() &&
+            it->second.find(token) != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+SourceFile
+lexSource(const std::string &rel, const std::string &text)
+{
+    SourceFile out;
+    out.rel = rel;
+    std::size_t line = 1;
+    std::size_t i = 0;
+    const std::size_t n = text.size();
+
+    auto comment = [&out](std::size_t at, const std::string &body) {
+        out.comments[at] += body;
+    };
+
+    while (i < n) {
+        const char c = text[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        // Line comment.
+        if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+            std::size_t end = text.find('\n', i);
+            if (end == std::string::npos)
+                end = n;
+            comment(line, text.substr(i, end - i));
+            i = end;
+            continue;
+        }
+        // Block comment; record its text on every line it touches.
+        if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+            std::size_t end = text.find("*/", i + 2);
+            if (end == std::string::npos)
+                end = n;
+            else
+                end += 2;
+            std::size_t at = line;
+            std::string chunk;
+            for (std::size_t j = i; j < end; ++j) {
+                if (text[j] == '\n') {
+                    comment(at, chunk);
+                    chunk.clear();
+                    ++at;
+                    ++line;
+                } else {
+                    chunk += text[j];
+                }
+            }
+            if (!chunk.empty())
+                comment(at, chunk);
+            i = end;
+            continue;
+        }
+        // Preprocessor directive: extract #include, tokenize the rest.
+        if (c == '#') {
+            std::size_t end = i;
+            while (end < n) {
+                std::size_t nl = text.find('\n', end);
+                if (nl == std::string::npos) {
+                    end = n;
+                    break;
+                }
+                // Honor line continuations.
+                std::size_t back = nl;
+                while (back > end && (text[back - 1] == '\r'))
+                    --back;
+                if (back > end && text[back - 1] == '\\') {
+                    end = nl + 1;
+                    ++line;
+                    continue;
+                }
+                end = nl;
+                break;
+            }
+            const std::string directive = text.substr(i, end - i);
+            std::size_t kw = directive.find_first_not_of(" \t", 1);
+            if (kw != std::string::npos &&
+                directive.compare(kw, 7, "include") == 0) {
+                std::size_t open =
+                    directive.find_first_of("\"<", kw + 7);
+                if (open != std::string::npos) {
+                    const bool angled = directive[open] == '<';
+                    std::size_t close = directive.find(
+                        angled ? '>' : '"', open + 1);
+                    if (close != std::string::npos)
+                        out.includes.push_back(
+                            {line,
+                             directive.substr(open + 1,
+                                              close - open - 1),
+                             angled});
+                }
+            }
+            i = end;
+            continue;
+        }
+        // Raw string literal.
+        if (c == 'R' && i + 1 < n && text[i + 1] == '"') {
+            std::size_t paren = text.find('(', i + 2);
+            if (paren != std::string::npos) {
+                const std::string delim =
+                    ")" + text.substr(i + 2, paren - i - 2) + "\"";
+                std::size_t end = text.find(delim, paren + 1);
+                if (end == std::string::npos)
+                    end = n;
+                else
+                    end += delim.size();
+                out.toks.push_back({TokKind::String,
+                                    text.substr(i, end - i), line});
+                line += static_cast<std::size_t>(std::count(
+                    text.begin() + static_cast<std::ptrdiff_t>(i),
+                    text.begin() + static_cast<std::ptrdiff_t>(
+                                       std::min(end, n)),
+                    '\n'));
+                i = end;
+                continue;
+            }
+        }
+        // String / char literal with escapes.
+        if (c == '"' || c == '\'') {
+            std::size_t end = i + 1;
+            while (end < n && text[end] != c) {
+                if (text[end] == '\\' && end + 1 < n)
+                    ++end;
+                if (text[end] == '\n')
+                    ++line;
+                ++end;
+            }
+            end = std::min(n, end + 1);
+            out.toks.push_back(
+                {c == '"' ? TokKind::String : TokKind::CharLit,
+                 text.substr(i, end - i), line});
+            i = end;
+            continue;
+        }
+        // Number (digits, hex, separators, suffixes, float dots).
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' && i + 1 < n &&
+             std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+            std::size_t end = i;
+            while (end < n &&
+                   (identChar(text[end]) || text[end] == '.' ||
+                    text[end] == '\'' ||
+                    ((text[end] == '+' || text[end] == '-') && end > i &&
+                     (text[end - 1] == 'e' || text[end - 1] == 'E' ||
+                      text[end - 1] == 'p' || text[end - 1] == 'P'))))
+                ++end;
+            out.toks.push_back(
+                {TokKind::Number, text.substr(i, end - i), line});
+            i = end;
+            continue;
+        }
+        // Identifier / keyword.
+        if (identStart(c)) {
+            std::size_t end = i;
+            while (end < n && identChar(text[end]))
+                ++end;
+            out.toks.push_back(
+                {TokKind::Identifier, text.substr(i, end - i), line});
+            i = end;
+            continue;
+        }
+        // Punctuation, longest known sequence first.
+        std::string punct(1, c);
+        for (const char *p : punctuators) {
+            const std::size_t len = std::char_traits<char>::length(p);
+            if (text.compare(i, len, p) == 0) {
+                punct = p;
+                break;
+            }
+        }
+        out.toks.push_back({TokKind::Punct, punct, line});
+        i += punct.size();
+    }
+    return out;
+}
+
+namespace
+{
+
+const std::set<std::string> &
+controlKeywords()
+{
+    static const std::set<std::string> kws = {
+        "if",       "for",    "while",   "switch",   "return",
+        "catch",    "sizeof", "alignof", "decltype", "new",
+        "delete",   "throw",  "static_assert",       "assert",
+        "typeid",   "case",   "do",      "else",     "co_return",
+        "co_await", "defined"};
+    return kws;
+}
+
+bool
+isContainerName(const std::string &name)
+{
+    return name == "unordered_map" || name == "unordered_set" ||
+           name == "unordered_multimap" ||
+           name == "unordered_multiset" || name == "map" ||
+           name == "set" || name == "multimap" || name == "multiset";
+}
+
+/** Join template-argument tokens back into readable type text. */
+std::string
+joinType(const std::vector<Token> &toks, std::size_t begin,
+         std::size_t end)
+{
+    std::string out;
+    for (std::size_t i = begin; i < end; ++i) {
+        const std::string &t = toks[i].text;
+        if (!out.empty() && (identStart(t[0]) || t == "*" || t == "&") &&
+            identChar(out.back()))
+            out += ' ';
+        out += t;
+    }
+    return out;
+}
+
+std::string
+slurpFile(const fs::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return {};
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+bool
+skippedDir(const std::string &name)
+{
+    return name == ".git" || name.rfind("build", 0) == 0 ||
+           name == "bench-build" || name == ".cache";
+}
+
+/**
+ * Recover container declarations in one file.  Pattern:
+ *   [std::] container < args... > [&*]? name
+ * followed by a declarator terminator.
+ */
+void
+scanContainers(const SourceFile &sf, std::size_t file_index,
+               std::vector<ContainerDecl> &out)
+{
+    const std::vector<Token> &toks = sf.toks;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (toks[i].kind != TokKind::Identifier ||
+            !isContainerName(toks[i].text))
+            continue;
+        if (i + 1 >= toks.size() || toks[i + 1].text != "<")
+            continue;
+        // Balanced template argument list.
+        std::size_t depth = 0;
+        std::size_t j = i + 1;
+        std::size_t first_arg_end = 0;
+        for (; j < toks.size(); ++j) {
+            if (toks[j].text == "<") {
+                ++depth;
+            } else if (toks[j].text == ">" || toks[j].text == ">>") {
+                depth -= toks[j].text == ">>" ? 2 : 1;
+                if (depth == 0 || depth == static_cast<std::size_t>(-1))
+                    break;
+            } else if (toks[j].text == "," && depth == 1 &&
+                       first_arg_end == 0) {
+                first_arg_end = j;
+            } else if (toks[j].text == "(" || toks[j].text == ";") {
+                j = toks.size(); // not a type: comparison operator
+                break;
+            }
+        }
+        if (j >= toks.size())
+            continue;
+        if (first_arg_end == 0)
+            first_arg_end = j;
+        const std::string key_type = joinType(toks, i + 2, first_arg_end);
+        // Skip references/pointers between type and name.
+        std::size_t k = j + 1;
+        while (k < toks.size() &&
+               (toks[k].text == "&" || toks[k].text == "*"))
+            ++k;
+        if (k >= toks.size() || toks[k].kind != TokKind::Identifier)
+            continue;
+        if (k + 1 < toks.size()) {
+            const std::string &next = toks[k + 1].text;
+            if (next != ";" && next != "=" && next != "{" &&
+                next != "," && next != ")" && next != ":")
+                continue;
+        }
+        out.push_back({toks[k].text, toks[i].text, key_type, file_index,
+                       toks[k].line});
+    }
+}
+
+/**
+ * Recover function definitions in one file.  A definition is a
+ * name '(' params ')' [const|noexcept|override|final|trailing-return]
+ * '{' at non-function scope; the brace-context stack distinguishes
+ * namespace/class braces from statement braces.
+ */
+void
+scanFunctions(const SourceFile &sf, std::size_t file_index,
+              std::vector<FunctionDef> &out)
+{
+    const std::vector<Token> &toks = sf.toks;
+    enum class Scope
+    {
+        Top,  // namespace / class / enum / global
+        Body, // inside a function body
+        Other // initializer lists, control braces inside bodies
+    };
+    std::vector<Scope> stack;
+    auto inFunction = [&stack] {
+        return std::any_of(stack.begin(), stack.end(), [](Scope s) {
+            return s != Scope::Top;
+        });
+    };
+
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const std::string &t = toks[i].text;
+        if (t == "}") {
+            if (!stack.empty())
+                stack.pop_back();
+            continue;
+        }
+        if (t != "{") {
+            continue;
+        }
+        // Classify this '{' from the tokens since the last boundary.
+        std::size_t back = i;
+        std::size_t paren_close = 0;
+        bool type_scope = false;
+        while (back-- > 0) {
+            const std::string &b = toks[back].text;
+            if (b == ";" || b == "{" || b == "}")
+                break;
+            if (b == "namespace" || b == "class" || b == "struct" ||
+                b == "union" || b == "enum") {
+                type_scope = true;
+            }
+            if (paren_close == 0 && b == ")")
+                paren_close = back;
+        }
+        if (type_scope || inFunction() || paren_close == 0) {
+            stack.push_back(type_scope && !inFunction() ? Scope::Top
+                            : inFunction()              ? Scope::Other
+                                                        : Scope::Other);
+            // A classified function body never lands here; statement
+            // braces inside bodies and type scopes do.
+            if (type_scope && !inFunction())
+                stack.back() = Scope::Top;
+            continue;
+        }
+        // Walk back over the parameter list to its '('.
+        std::size_t depth = 1;
+        std::size_t open = paren_close;
+        while (open-- > 0 && depth > 0) {
+            if (toks[open].text == ")")
+                ++depth;
+            else if (toks[open].text == "(")
+                --depth;
+        }
+        if (depth != 0) {
+            stack.push_back(Scope::Other);
+            continue;
+        }
+        ++open; // index of '('
+        // Between ')' and '{' only qualifiers / trailing return.
+        bool plausible = true;
+        for (std::size_t q = paren_close + 1; q < i; ++q) {
+            const std::string &qt = toks[q].text;
+            if (qt == "const" || qt == "noexcept" || qt == "override" ||
+                qt == "final" || qt == "mutable" || qt == "->" ||
+                qt == "::" || qt == "<" || qt == ">" || qt == "*" ||
+                qt == "&" || qt == "," ||
+                toks[q].kind == TokKind::Identifier ||
+                toks[q].kind == TokKind::Number)
+                continue;
+            if (qt == "(" || qt == ")")
+                continue; // noexcept(...)
+            plausible = false;
+            break;
+        }
+        if (!plausible || open == 0 ||
+            toks[open - 1].kind != TokKind::Identifier ||
+            controlKeywords().count(toks[open - 1].text)) {
+            stack.push_back(Scope::Other);
+            continue;
+        }
+        FunctionDef fn;
+        fn.name = toks[open - 1].text;
+        fn.line = toks[open - 1].line;
+        fn.file = file_index;
+        if (open >= 3 && toks[open - 2].text == "::" &&
+            toks[open - 3].kind == TokKind::Identifier)
+            fn.qualifier = toks[open - 3].text;
+        fn.body_begin = i;
+        // Find the body extent.
+        std::size_t bdepth = 1;
+        std::size_t end = i + 1;
+        for (; end < toks.size() && bdepth > 0; ++end) {
+            if (toks[end].text == "{")
+                ++bdepth;
+            else if (toks[end].text == "}")
+                --bdepth;
+        }
+        fn.body_end = end;
+        // Callees: any non-keyword identifier directly before '('.
+        for (std::size_t b = i + 1; b + 1 < end; ++b) {
+            if (toks[b].kind == TokKind::Identifier &&
+                toks[b + 1].text == "(" &&
+                !controlKeywords().count(toks[b].text))
+                fn.callees.push_back(toks[b].text);
+        }
+        std::sort(fn.callees.begin(), fn.callees.end());
+        fn.callees.erase(
+            std::unique(fn.callees.begin(), fn.callees.end()),
+            fn.callees.end());
+        out.push_back(std::move(fn));
+        stack.push_back(Scope::Body);
+    }
+}
+
+} // namespace
+
+const ContainerDecl *
+Model::containerFor(std::size_t file, const std::string &var) const
+{
+    const ContainerDecl *same_file = nullptr;
+    const ContainerDecl *elsewhere = nullptr;
+    std::size_t elsewhere_count = 0;
+    for (const ContainerDecl &d : containers) {
+        if (d.var != var)
+            continue;
+        if (d.file == file) {
+            same_file = &d; // last decl before use would be stricter;
+                            // any same-file decl is close enough
+        } else {
+            elsewhere = &d;
+            ++elsewhere_count;
+        }
+    }
+    if (same_file)
+        return same_file;
+    return elsewhere_count == 1 ? elsewhere : nullptr;
+}
+
+const FunctionDef *
+Model::enclosingFunction(std::size_t file, std::size_t tok) const
+{
+    const FunctionDef *best = nullptr;
+    for (const FunctionDef &fn : functions) {
+        if (fn.file != file || tok < fn.body_begin || tok >= fn.body_end)
+            continue;
+        if (!best || fn.body_begin > best->body_begin)
+            best = &fn;
+    }
+    return best;
+}
+
+std::set<std::size_t>
+Model::reachableFrom(const std::set<std::size_t> &roots) const
+{
+    std::set<std::size_t> seen = roots;
+    std::vector<std::size_t> work(roots.begin(), roots.end());
+    while (!work.empty()) {
+        const std::size_t fi = work.back();
+        work.pop_back();
+        for (const std::string &callee : functions[fi].callees) {
+            auto [lo, hi] = functions_by_name.equal_range(callee);
+            for (auto it = lo; it != hi; ++it) {
+                if (seen.insert(it->second).second)
+                    work.push_back(it->second);
+            }
+        }
+    }
+    return seen;
+}
+
+std::vector<std::string>
+includeSearchDirs(const std::string &root)
+{
+    // Prefer what the real build used: any compile_commands.json in
+    // the conventional build trees (newest first so a reconfigured
+    // tree wins).
+    std::vector<fs::path> candidates;
+    std::error_code ec;
+    for (fs::directory_iterator it(root, ec), end; it != end;
+         it.increment(ec)) {
+        if (ec)
+            break;
+        if (!it->is_directory())
+            continue;
+        const std::string name = it->path().filename().string();
+        if (name.rfind("build", 0) == 0 || name == "bench-build") {
+            fs::path cc = it->path() / "compile_commands.json";
+            if (fs::exists(cc, ec))
+                candidates.push_back(cc);
+        }
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const fs::path &a, const fs::path &b) {
+                  std::error_code e;
+                  return fs::last_write_time(a, e) >
+                         fs::last_write_time(b, e);
+              });
+
+    std::vector<std::string> dirs;
+    auto add = [&dirs](const std::string &dir) {
+        if (std::find(dirs.begin(), dirs.end(), dir) == dirs.end())
+            dirs.push_back(dir);
+    };
+    for (const fs::path &cc : candidates) {
+        const std::string text = slurpFile(cc);
+        // Extract -I<dir> / -isystem <dir> arguments that point inside
+        // the repo; no full JSON parse needed for that.
+        for (std::size_t pos = 0;
+             (pos = text.find("-I", pos)) != std::string::npos;) {
+            pos += 2;
+            std::size_t end = text.find_first_of(" \"\\", pos);
+            if (end == std::string::npos)
+                break;
+            std::string dir = text.substr(pos, end - pos);
+            if (!dir.empty() &&
+                dir.rfind(fs::path(root).string(), 0) == 0)
+                add(dir);
+            pos = end;
+        }
+        if (!dirs.empty())
+            break;
+    }
+    if (dirs.empty()) {
+        // Source-layout fallback, mirroring the CMake include setup.
+        for (const char *sub : {"src", "tools/uvmsim_lint", "bench"}) {
+            fs::path dir = fs::path(root) / sub;
+            if (fs::is_directory(dir, ec))
+                add(dir.string());
+        }
+    }
+    return dirs;
+}
+
+Model
+buildModel(const std::string &root,
+           const std::vector<std::string> &subdirs)
+{
+    Model model;
+    model.include_dirs = includeSearchDirs(root);
+
+    const std::vector<std::string> exts = {".cc", ".hh", ".cpp", ".h"};
+    std::vector<fs::path> paths;
+    for (const std::string &sub : subdirs) {
+        fs::path dir = fs::path(root) / sub;
+        std::error_code ec;
+        if (!fs::is_directory(dir, ec))
+            continue;
+        for (auto it = fs::recursive_directory_iterator(dir, ec);
+             it != fs::recursive_directory_iterator();
+             it.increment(ec)) {
+            if (ec)
+                break;
+            if (it->is_directory() &&
+                skippedDir(it->path().filename().string())) {
+                it.disable_recursion_pending();
+                continue;
+            }
+            if (!it->is_regular_file())
+                continue;
+            const std::string ext = it->path().extension().string();
+            if (std::find(exts.begin(), exts.end(), ext) != exts.end())
+                paths.push_back(it->path());
+        }
+    }
+    std::sort(paths.begin(), paths.end());
+
+    for (const fs::path &path : paths) {
+        std::error_code ec;
+        fs::path rel = fs::relative(path, root, ec);
+        const std::string rel_str =
+            ec ? path.string() : rel.generic_string();
+        SourceFile sf = lexSource(rel_str, slurpFile(path));
+        const std::size_t file_index = model.files.size();
+        scanContainers(sf, file_index, model.containers);
+        scanFunctions(sf, file_index, model.functions);
+        model.files.push_back(std::move(sf));
+    }
+    for (std::size_t i = 0; i < model.functions.size(); ++i)
+        model.functions_by_name.emplace(model.functions[i].name, i);
+    return model;
+}
+
+} // namespace uvmsim::lint::cxx

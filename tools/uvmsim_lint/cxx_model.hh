@@ -1,0 +1,154 @@
+/**
+ * @file
+ * A lightweight semantic model of the repo's C++ sources, built for
+ * uvmsim_lint's analysis families (determinism, fork-safety, callback
+ * lifetime, layering).
+ *
+ * This is deliberately not a compiler front end.  The model is a real
+ * lexer (comments and string literals separated from code tokens, so
+ * a banned name inside a doc comment or a usage string can never
+ * false-positive) plus three shallow semantic layers recovered from
+ * the token stream:
+ *
+ *   - declarations: container variables (map/set families with their
+ *     key-type text) and function definitions with body extents,
+ *   - a name-based intra-repo call graph (an over-approximation:
+ *     callees are matched by name across translation units, which is
+ *     exactly the right bias for a linter -- missing an edge hides a
+ *     bug, inventing one costs a waiver),
+ *   - include edges, resolved against the include directories the
+ *     real build uses (parsed out of compile_commands.json when the
+ *     build tree has one; a source-layout fallback otherwise).
+ *
+ * Everything is plain data; the checks in lint.cc walk these vectors.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace uvmsim::lint::cxx
+{
+
+enum class TokKind
+{
+    Identifier,
+    Number,
+    String,
+    CharLit,
+    Punct,
+};
+
+/** One code token; comments and literals never mix into Identifier. */
+struct Token
+{
+    TokKind kind;
+    std::string text;
+    std::size_t line = 0; //!< 1-based source line.
+};
+
+/** One #include directive. */
+struct IncludeDirective
+{
+    std::size_t line = 0;
+    std::string target; //!< path between the quotes/brackets
+    bool angled = false;
+};
+
+/** One lexed source file. */
+struct SourceFile
+{
+    std::string rel; //!< repo-relative path
+    std::vector<Token> toks;
+    std::vector<IncludeDirective> includes;
+
+    /** Comment text per line (all comments touching that line). */
+    std::map<std::size_t, std::string> comments;
+
+    /**
+     * True when a "lint:allow(tag)" comment sits on `line` or the
+     * line above it -- the waiver convention shared by every check.
+     */
+    bool waived(const std::string &tag, std::size_t line) const;
+};
+
+/** Lex one file.  Raw strings, escapes and preprocessor lines are
+ *  handled; tokens carry line numbers. */
+SourceFile lexSource(const std::string &rel, const std::string &text);
+
+/** A function definition with a located body. */
+struct FunctionDef
+{
+    std::string name;      //!< unqualified name
+    std::string qualifier; //!< enclosing Class for out-of-line methods
+    std::size_t file = 0;  //!< index into Model::files
+    std::size_t line = 0;  //!< line of the name token
+    std::size_t body_begin = 0; //!< token index of the opening '{'
+    std::size_t body_end = 0;   //!< one past the matching '}'
+    std::vector<std::string> callees; //!< names invoked in the body
+};
+
+/** A container-typed variable or member declaration. */
+struct ContainerDecl
+{
+    std::string var;
+    std::string container; //!< "unordered_map", "map", "set", ...
+    std::string key_type;  //!< raw text of the first template argument
+    std::size_t file = 0;
+    std::size_t line = 0;
+
+    bool unordered() const
+    {
+        return container.rfind("unordered", 0) == 0;
+    }
+};
+
+/** The whole-repo model. */
+struct Model
+{
+    std::vector<SourceFile> files;
+    std::vector<FunctionDef> functions;
+    std::vector<ContainerDecl> containers;
+
+    /** Include directories the build resolves against. */
+    std::vector<std::string> include_dirs;
+
+    /** Function indexes by unqualified name. */
+    std::multimap<std::string, std::size_t> functions_by_name;
+
+    /** Container decl for `var` visible in `file`, or nullptr.  Decls
+     *  in the same file win; a unique cross-file match is accepted
+     *  (headers declare members their .cc iterates). */
+    const ContainerDecl *containerFor(std::size_t file,
+                                      const std::string &var) const;
+
+    /** The function whose body covers token index `tok` in `file`. */
+    const FunctionDef *enclosingFunction(std::size_t file,
+                                         std::size_t tok) const;
+
+    /**
+     * Forward closure over the call graph: every function reachable
+     * from the given function indexes (roots included).
+     */
+    std::set<std::size_t>
+    reachableFrom(const std::set<std::size_t> &roots) const;
+};
+
+/**
+ * Lex every C++ source under the given repo-relative subtrees and
+ * recover declarations, function bodies and the call graph.  Include
+ * search directories come from the newest compile_commands.json in a
+ * build directory under root when present, else a source-layout
+ * default.
+ */
+Model buildModel(const std::string &root,
+                 const std::vector<std::string> &subdirs);
+
+/** The include directories buildModel would use (exposed for tests). */
+std::vector<std::string> includeSearchDirs(const std::string &root);
+
+} // namespace uvmsim::lint::cxx

@@ -179,7 +179,8 @@ const std::vector<std::string> &
 allCheckNames()
 {
     static const std::vector<std::string> names = {
-        "flags", "stats", "trace", "determinism", "headers", "jobkey"};
+        "flags",  "stats",      "trace",    "determinism", "headers",
+        "jobkey", "forksafety", "lifetime", "layering"};
     return names;
 }
 
@@ -571,102 +572,9 @@ checkTrace(const std::string &root_str)
     return findings;
 }
 
-// ------------------------------------------------------- determinism check
-
-namespace
-{
-
-struct BanRule
-{
-    std::regex pattern;
-    const char *what;
-};
-
-/**
- * The banned constructs.  Literal names are spelled as adjacent
- * string fragments so this file never contains a contiguous banned
- * token and can be linted by its own rules.
- */
-const std::vector<BanRule> &
-banRules()
-{
-    static const std::vector<BanRule> rules = [] {
-        std::vector<BanRule> r;
-        auto add = [&r](const std::string &pattern, const char *what) {
-            r.push_back({std::regex(pattern), what});
-        };
-        add(R"re((^|[^A-Za-z0-9_])s?rand\s*\()re",
-            "libc rand/srand breaks run determinism; draw from "
-            "uvmsim::Rng");
-        add(std::string(R"re(random)re") + R"re(_device)re",
-            "std::random_" "device is nondeterministic; seed an "
-            "uvmsim::Rng instead");
-        add(std::string(R"re(\b(mt19)re") + R"re(937|minstd_)re" +
-                R"re(rand|default_random_)re" + R"re(engine)\b)re",
-            "std library engines bypass the seeded uvmsim::Rng");
-        add(R"re((^|[^A-Za-z0-9_.:>])time\s*\(\s*(NULL|nullptr|0)?\s*\))re",
-            "wall-clock time reads break run determinism");
-        add(std::string(R"re(gettimeo)re") + R"re(fday|clock_)re" +
-                R"re(gettime)re",
-            "wall-clock reads break run determinism");
-        add(R"re((^|[^A-Za-z0-9_.:>])clock\s*\(\s*\))re",
-            "libc clock reads host time; use simulation Ticks");
-        add(std::string(R"re((system|steady|high_resolution))re") +
-                R"re(_clock)re",
-            "std::chrono clock reads break run determinism; use "
-            "simulation Ticks (bench wall-timing lives in "
-            "scripts/bench_timing.sh)");
-        return r;
-    }();
-    return rules;
-}
-
-bool
-waived(const std::vector<std::string> &lines, std::size_t index)
-{
-    static const std::string token = "lint:allow(determinism)";
-    if (lines[index].find(token) != std::string::npos)
-        return true;
-    return index > 0 &&
-           lines[index - 1].find(token) != std::string::npos;
-}
-
-} // namespace
-
-std::vector<Finding>
-checkDeterminism(const std::string &root_str)
-{
-    const fs::path root(root_str);
-    std::vector<Finding> findings;
-    const std::vector<std::string> exts = {".cc", ".hh", ".cpp", ".h"};
-    // The RNG implementation itself is the one sanctioned home of
-    // randomness.
-    const std::set<std::string> allow = {"src/sim/rng.hh"};
-
-    for (const char *sub :
-         {"src", "tools", "tests", "bench", "examples"}) {
-        for (const fs::path &path : filesUnder(root, sub, exts)) {
-            const std::string rel = relPath(root, path);
-            if (allow.count(rel))
-                continue;
-            const std::vector<std::string> lines =
-                splitLines(slurp(path));
-            for (std::size_t i = 0; i < lines.size(); ++i) {
-                for (const BanRule &rule : banRules()) {
-                    if (!std::regex_search(lines[i], rule.pattern))
-                        continue;
-                    if (waived(lines, i))
-                        continue;
-                    findings.push_back(
-                        {"determinism", rel, i + 1, rule.what,
-                         "use uvmsim::Rng / simulation Ticks, or "
-                         "waive with lint:allow(determinism)"});
-                }
-            }
-        }
-    }
-    return findings;
-}
+// The determinism, forksafety, lifetime and layering families live in
+// semantic_checks.cc: they analyze the token/declaration/call-graph
+// model built by cxx_model.cc rather than text lines.
 
 // ----------------------------------------------------------- headers check
 
@@ -972,8 +880,23 @@ runChecks(const Config &config)
         append(checkStats(config.root, enumerateRegisteredStats()));
     if (wants("trace"))
         append(checkTrace(config.root));
-    if (wants("determinism"))
-        append(checkDeterminism(config.root));
+
+    // The semantic families share one model of the C++ sources; build
+    // it only when at least one of them is selected.
+    const bool semantic = wants("determinism") || wants("forksafety") ||
+                          wants("lifetime") || wants("layering");
+    if (semantic) {
+        const cxx::Model model = buildRepoModel(config.root);
+        if (wants("determinism"))
+            append(checkDeterminism(config.root, model, config.fix));
+        if (wants("forksafety"))
+            append(checkForkSafety(model));
+        if (wants("lifetime"))
+            append(checkLifetime(model));
+        if (wants("layering"))
+            append(checkLayering(config.root, model));
+    }
+
     if (wants("headers"))
         append(checkHeaders(config.root, config.fix));
     if (wants("jobkey"))
@@ -1041,8 +964,9 @@ usage()
         "tree this binary was built from)\n"
         "  --checks=LIST     comma list of checks to run (default: "
         "all; see --list-checks)\n"
-        "  --fix             apply mechanical fixes (headers: convert "
-        "#ifndef guards to #pragma once)\n"
+        "  --fix             apply mechanical fixes (header guards to "
+        "#pragma once; sorted-key snapshots and proven-benign waiver "
+        "stanzas for unordered iteration)\n"
         "  --json            emit findings as a JSON array instead of "
         "text\n"
         "  --list-checks     print the available check names and "

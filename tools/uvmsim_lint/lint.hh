@@ -7,10 +7,12 @@
  * be documented and exercised by a test, that docs/STATS.md must match
  * the StatRegistry exactly, or that a stray randomness or wall-clock
  * read silently breaks run determinism.  This library encodes those
- * repo-specific rules as six checks, each unit-testable against
- * fixture trees (see
- * tests/tools/lint_test.cc) and runnable against the real repo by the
- * uvmsim_lint binary:
+ * repo-specific rules as nine check families.  The doc-crosscheck
+ * families (flags, stats, trace) work on text, where the ground truth
+ * itself is text; the semantic families run over a real token /
+ * declaration / call-graph model of the C++ sources
+ * (cxx_model.{hh,cc}), so a banned name in a comment or string can
+ * never false-positive and reachability is computed, not guessed:
  *
  *   flags        -- every option a tool consumes appears in its own
  *                   usage text, in README/EXPERIMENTS/docs, and in at
@@ -21,12 +23,15 @@
  *   trace        -- every trace::Category is parseable by parseSpec,
  *                   named consistently, covered by allCategories, and
  *                   documented.
- *   determinism  -- libc rand/srand, the std random engines and
- *                   device entropy, and wall-clock reads (libc
- *                   time, clock, get-time-of-day, the std::chrono
- *                   clocks) are banned outside
- *                   src/sim/rng.hh; waive a line with
- *                   "lint:allow(determinism)" on it or the line above.
+ *   determinism  -- randomness and wall-clock bans (token-level, only
+ *                   src/sim/rng.hh is exempt); iteration over
+ *                   unordered containers in functions reachable from
+ *                   stats/trace/CSV/oracle emission paths (a
+ *                   collect-then-sort snapshot in the same function is
+ *                   recognized and allowed); pointer-keyed ordered
+ *                   containers; float accumulation inside unordered
+ *                   iteration.  Waive with "lint:allow(det)" (the
+ *                   legacy "lint:allow(determinism)" tag also works).
  *   headers      -- headers use "#pragma once" (convertible from
  *                   #ifndef guards with --fix) and never say
  *                   "using namespace" at file scope.
@@ -34,10 +39,33 @@
  *                   WorkloadParams is serialized by runJobKey, so a
  *                   newly added field can never silently alias result
  *                   cache/store entries.
+ *   forksafety   -- every fork() site flushes stdio first, constructs
+ *                   no thread-owning object before forking, restricts
+ *                   the child branch to repo-defined functions plus an
+ *                   async-signal-safe-ish allowlist, and terminates
+ *                   the child through _Exit/_exit -- including
+ *                   transitively: a function reachable from the child
+ *                   branch may only call exit() if it is fork-aware
+ *                   (carries its own guarded _Exit path, like
+ *                   uvmsim::fatal).  Waive with
+ *                   "lint:allow(forksafety)".
+ *   lifetime     -- scheduleCall/emplacePod context arguments must not
+ *                   point at stack locals, by-reference lambda
+ *                   captures must not escape into the pooled event
+ *                   arena through schedule(), and an EventId must not
+ *                   be reused after deschedule() except to reassign or
+ *                   compare it.  Waive with "lint:allow(lifetime)".
+ *   layering     -- the include graph must satisfy the layer diagram
+ *                   declared in DESIGN.md's ```lint-layers block
+ *                   (sim at the bottom; tools/tests/testing may reach
+ *                   anywhere).  Waive with "lint:allow(layering)".
  *
  * The binary exits 0 when the tree is clean, 1 when any finding
  * remains, and 2 on usage errors; --json emits machine-readable
- * findings for CI tooling.
+ * findings for CI tooling.  --fix applies the mechanical rewrites
+ * (header guards; sorted-key snapshots for waivable unordered
+ * iteration; TODO-annotated waiver stanzas for provably
+ * order-independent aggregation loops).
  */
 
 #pragma once
@@ -46,6 +74,8 @@
 #include <set>
 #include <string>
 #include <vector>
+
+#include "cxx_model.hh"
 
 namespace uvmsim::lint
 {
@@ -78,12 +108,22 @@ struct Config
     /** Subset of checks to run; empty runs every check. */
     std::vector<std::string> checks;
 
-    /** Apply mechanical fixes (currently: header guard conversion). */
+    /** Apply mechanical fixes (header guards, sorted-key snapshots,
+     *  proven-benign waiver stanzas). */
     bool fix = false;
 };
 
 /** Names of every available check, in execution order. */
 const std::vector<std::string> &allCheckNames();
+
+/**
+ * Build the semantic model the determinism/forksafety/lifetime/
+ * layering families analyze: every C++ source under src/, tools/,
+ * bench/, examples/ and tests/, lexed and scanned for declarations,
+ * function bodies and the call graph.  Include directories follow the
+ * build's compile_commands.json when one exists.
+ */
+cxx::Model buildRepoModel(const std::string &root);
 
 /**
  * Flag registry consistency.  Scans tools/ sources for Options
@@ -113,9 +153,28 @@ std::vector<Finding> checkStats(const std::string &root,
  */
 std::vector<Finding> checkTrace(const std::string &root);
 
-/** Determinism bans (see file comment) over src/tools/tests/bench/
- *  examples sources. */
-std::vector<Finding> checkDeterminism(const std::string &root);
+/**
+ * The determinism family (see file comment): token-level randomness
+ * and clock bans, emission-reachable unordered iteration,
+ * pointer-keyed ordered containers, float accumulation in unordered
+ * loops.  With `fix`, waivable unordered iteration sites in the
+ * canonical structured-binding form are rewritten to sorted-key
+ * snapshots, and provably order-independent aggregation loops get a
+ * TODO-annotated waiver stanza.
+ */
+std::vector<Finding> checkDeterminism(const std::string &root,
+                                      const cxx::Model &model, bool fix);
+
+/** The fork-safety family (see file comment). */
+std::vector<Finding> checkForkSafety(const cxx::Model &model);
+
+/** The event/arena callback lifetime family (see file comment). */
+std::vector<Finding> checkLifetime(const cxx::Model &model);
+
+/** The include-graph layering family, checked against the
+ *  ```lint-layers block in DESIGN.md. */
+std::vector<Finding> checkLayering(const std::string &root,
+                                   const cxx::Model &model);
 
 /**
  * Header hygiene over src/tools/bench headers: #pragma once guards
